@@ -1,0 +1,130 @@
+//! DeepWordBug-style homoglyph substitution (Gao et al., SPW'18:
+//! "Black-box generation of adversarial text sequences").
+//!
+//! DeepWordBug scores tokens with a surrogate and then applies cheap
+//! character transformations; the variant the CrypText paper highlights is
+//! the **homoglyph swap** — replacing letters with same-shape characters
+//! from other scripts so the token looks identical but tokenizes
+//! differently. Without a surrogate model (black-box scoring is out of
+//! scope here), we apply the swap to the highest-information characters:
+//! the rarer consonants first, which empirically matches where the
+//! original attack lands its edits.
+
+use cryptext_common::SplitMix64;
+use cryptext_confusables::{variants_of_class, VariantClass};
+
+use crate::TokenPerturber;
+
+/// Approximate English letter frequency rank (most frequent first); used
+/// to prefer editing informative (rare) characters.
+const FREQ_ORDER: &str = "etaoinshrdlcumwfgypbvkjxqz";
+
+fn rarity(c: char) -> usize {
+    FREQ_ORDER
+        .find(c.to_ascii_lowercase())
+        .unwrap_or(FREQ_ORDER.len())
+}
+
+/// The DeepWordBug perturber: swaps up to `max_swaps` characters for
+/// foreign-script homoglyphs, preferring rare letters.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepWordBug {
+    /// Maximum homoglyph swaps per token.
+    pub max_swaps: usize,
+}
+
+impl Default for DeepWordBug {
+    fn default() -> Self {
+        DeepWordBug { max_swaps: 2 }
+    }
+}
+
+impl TokenPerturber for DeepWordBug {
+    fn name(&self) -> &'static str {
+        "deepwordbug"
+    }
+
+    fn perturb_token(&self, token: &str, rng: &mut SplitMix64) -> Option<String> {
+        let chars: Vec<char> = token.chars().collect();
+        if chars.len() < 3 {
+            return None;
+        }
+        // Candidate positions that have a homoglyph, ordered rare-first.
+        let mut candidates: Vec<usize> = (0..chars.len())
+            .filter(|&i| !variants_of_class(chars[i], VariantClass::Homoglyph).is_empty())
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.sort_by_key(|&i| std::cmp::Reverse(rarity(chars[i])));
+        let swaps = self.max_swaps.min(candidates.len()).max(1);
+
+        let mut out = chars.clone();
+        for &pos in candidates.iter().take(swaps) {
+            let glyphs = variants_of_class(chars[pos], VariantClass::Homoglyph);
+            if let Some(&g) = rng.choose(&glyphs) {
+                out[pos] = g;
+            }
+        }
+        let result: String = out.into_iter().collect();
+        (result != token).then_some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptext_confusables::skeleton;
+
+    #[test]
+    fn swaps_preserve_visual_skeleton() {
+        let dwb = DeepWordBug::default();
+        let mut rng = SplitMix64::new(1);
+        for word in ["democrats", "vaccine", "suicide", "muslim"] {
+            let out = dwb.perturb_token(word, &mut rng).unwrap();
+            assert_ne!(out, word);
+            assert_eq!(skeleton(&out), word, "homoglyphs fold back for {out}");
+        }
+    }
+
+    #[test]
+    fn respects_max_swaps() {
+        let dwb = DeepWordBug { max_swaps: 1 };
+        let mut rng = SplitMix64::new(2);
+        let out = dwb.perturb_token("republicans", &mut rng).unwrap();
+        let diff = out
+            .chars()
+            .zip("republicans".chars())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn prefers_rare_letters() {
+        // In "extra", 'x' is the rarest letter with a homoglyph; with one
+        // swap it must be chosen.
+        let dwb = DeepWordBug { max_swaps: 1 };
+        let mut rng = SplitMix64::new(3);
+        let out = dwb.perturb_token("extra", &mut rng).unwrap();
+        assert!(out.starts_with('e') && out.ends_with("ra"), "{out}");
+        assert_ne!(out.chars().nth(1).unwrap(), 'x');
+    }
+
+    #[test]
+    fn short_tokens_declined() {
+        let dwb = DeepWordBug::default();
+        let mut rng = SplitMix64::new(4);
+        assert_eq!(dwb.perturb_token("ab", &mut rng), None);
+    }
+
+    #[test]
+    fn length_always_preserved() {
+        let dwb = DeepWordBug::default();
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..100 {
+            let out = dwb.perturb_token("moderation", &mut rng).unwrap();
+            assert_eq!(out.chars().count(), "moderation".len());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! TextBugger-style character operations (Li et al., NDSS'19).
+//!
+//! The five black-box bug types from the paper CrypText cites:
+//! character **insert**, **delete**, adjacent **swap**, **sub-C** with a
+//! keyboard-adjacent character (typo model), and **sub-W**-style visual
+//! substitution. The op is chosen uniformly per token.
+
+use cryptext_common::SplitMix64;
+
+use crate::TokenPerturber;
+
+/// Keyboard-adjacent lowercase letters on QWERTY (used by the typo
+/// substitution op).
+pub fn keyboard_neighbors(c: char) -> &'static [char] {
+    match c.to_ascii_lowercase() {
+        'q' => &['w', 'a'],
+        'w' => &['q', 'e', 's'],
+        'e' => &['w', 'r', 'd'],
+        'r' => &['e', 't', 'f'],
+        't' => &['r', 'y', 'g'],
+        'y' => &['t', 'u', 'h'],
+        'u' => &['y', 'i', 'j'],
+        'i' => &['u', 'o', 'k'],
+        'o' => &['i', 'p', 'l'],
+        'p' => &['o', 'l'],
+        'a' => &['q', 's', 'z'],
+        's' => &['a', 'd', 'w', 'x'],
+        'd' => &['s', 'f', 'e', 'c'],
+        'f' => &['d', 'g', 'r', 'v'],
+        'g' => &['f', 'h', 't', 'b'],
+        'h' => &['g', 'j', 'y', 'n'],
+        'j' => &['h', 'k', 'u', 'm'],
+        'k' => &['j', 'l', 'i'],
+        'l' => &['k', 'o', 'p'],
+        'z' => &['a', 'x'],
+        'x' => &['z', 'c', 's'],
+        'c' => &['x', 'v', 'd'],
+        'v' => &['c', 'b', 'f'],
+        'b' => &['v', 'n', 'g'],
+        'n' => &['b', 'm', 'h'],
+        'm' => &['n', 'j'],
+        _ => &[],
+    }
+}
+
+/// The TextBugger perturber.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TextBugger;
+
+impl TextBugger {
+    const OPS: usize = 5;
+
+    fn apply_op(op: usize, chars: &[char], rng: &mut SplitMix64) -> Option<String> {
+        let n = chars.len();
+        match op {
+            // Insert a space-free character inside the word.
+            0 => {
+                let pos = 1 + rng.index(n - 1);
+                let c = (b'a' + rng.index(26) as u8) as char;
+                let mut out: Vec<char> = chars.to_vec();
+                out.insert(pos, c);
+                Some(out.into_iter().collect())
+            }
+            // Delete an interior character.
+            1 => {
+                if n < 4 {
+                    return None;
+                }
+                let pos = 1 + rng.index(n - 2);
+                let mut out: Vec<char> = chars.to_vec();
+                out.remove(pos);
+                Some(out.into_iter().collect())
+            }
+            // Swap two adjacent interior characters (democrats→demorcats).
+            2 => {
+                if n < 4 {
+                    return None;
+                }
+                let pos = 1 + rng.index(n - 3);
+                let mut out: Vec<char> = chars.to_vec();
+                out.swap(pos, pos + 1);
+                (out != chars).then(|| out.into_iter().collect())
+            }
+            // Substitute with a keyboard neighbour (rwpublicans).
+            3 => {
+                let candidates: Vec<usize> = (0..n)
+                    .filter(|&i| !keyboard_neighbors(chars[i]).is_empty())
+                    .collect();
+                let &pos = rng.choose(&candidates)?;
+                let neighbors = keyboard_neighbors(chars[pos]);
+                let mut out: Vec<char> = chars.to_vec();
+                let replacement = *rng.choose(neighbors).expect("non-empty");
+                out[pos] = if chars[pos].is_ascii_uppercase() {
+                    replacement.to_ascii_uppercase()
+                } else {
+                    replacement
+                };
+                Some(out.into_iter().collect())
+            }
+            // Substitute with a visually similar character (dem0cr@ts).
+            4 => {
+                let candidates: Vec<usize> = (0..n)
+                    .filter(|&i| !cryptext_confusables::visual_variants(chars[i]).is_empty())
+                    .collect();
+                let &pos = rng.choose(&candidates)?;
+                let variants = cryptext_confusables::visual_variants(chars[pos]);
+                let mut out: Vec<char> = chars.to_vec();
+                out[pos] = *rng.choose(variants).expect("non-empty");
+                Some(out.into_iter().collect())
+            }
+            _ => unreachable!("op < OPS"),
+        }
+    }
+}
+
+impl TokenPerturber for TextBugger {
+    fn name(&self) -> &'static str {
+        "textbugger"
+    }
+
+    fn perturb_token(&self, token: &str, rng: &mut SplitMix64) -> Option<String> {
+        let chars: Vec<char> = token.chars().collect();
+        if chars.len() < 3 {
+            return None;
+        }
+        // Try a few random ops; some ops decline some tokens.
+        for _ in 0..6 {
+            let op = rng.index(Self::OPS);
+            if let Some(out) = Self::apply_op(op, &chars, rng) {
+                if out != token {
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_are_symmetric_enough() {
+        // Spot-check bidirectionality of the neighbor graph.
+        for (a, b) in [('q', 'w'), ('s', 'd'), ('n', 'm')] {
+            assert!(keyboard_neighbors(a).contains(&b));
+            assert!(keyboard_neighbors(b).contains(&a));
+        }
+        assert!(keyboard_neighbors('1').is_empty());
+    }
+
+    #[test]
+    fn always_changes_the_token() {
+        let tb = TextBugger;
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..500 {
+            let out = tb.perturb_token("democrats", &mut rng);
+            let out = out.expect("democrats is perturbable");
+            assert_ne!(out, "democrats");
+        }
+    }
+
+    #[test]
+    fn short_tokens_declined() {
+        let tb = TextBugger;
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(tb.perturb_token("ab", &mut rng), None);
+        assert_eq!(tb.perturb_token("", &mut rng), None);
+    }
+
+    #[test]
+    fn produces_all_five_op_shapes() {
+        let tb = TextBugger;
+        let mut rng = SplitMix64::new(7);
+        let mut saw_insert = false;
+        let mut saw_delete = false;
+        let mut saw_other = false;
+        for _ in 0..800 {
+            let out = tb.perturb_token("republicans", &mut rng).unwrap();
+            match out.chars().count().cmp(&"republicans".len()) {
+                std::cmp::Ordering::Greater => saw_insert = true,
+                std::cmp::Ordering::Less => saw_delete = true,
+                std::cmp::Ordering::Equal => saw_other = true,
+            }
+        }
+        assert!(saw_insert && saw_delete && saw_other);
+    }
+
+    #[test]
+    fn edit_distance_is_small() {
+        let tb = TextBugger;
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let out = tb.perturb_token("vaccine", &mut rng).unwrap();
+            // Every TextBugger op is within Damerau distance 1.
+            let chars_a: Vec<char> = "vaccine".chars().collect();
+            let chars_b: Vec<char> = out.chars().collect();
+            let len_diff = chars_a.len().abs_diff(chars_b.len());
+            assert!(len_diff <= 1, "{out}");
+        }
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let tb = TextBugger;
+        let a: Vec<Option<String>> = {
+            let mut rng = SplitMix64::new(42);
+            (0..20).map(|_| tb.perturb_token("senator", &mut rng)).collect()
+        };
+        let b: Vec<Option<String>> = {
+            let mut rng = SplitMix64::new(42);
+            (0..20).map(|_| tb.perturb_token("senator", &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,136 @@
+//! VIPER-style visual perturbation with accented characters
+//! (Eger et al., NAACL'19: "Text processing like humans do: visually
+//! attacking and shielding NLP systems").
+//!
+//! VIPER replaces each character with a visually similar one drawn from a
+//! character-embedding space with probability `p`. Our reproduction draws
+//! from the *accent* class of the confusables tables (`démocrats`,
+//! `vãccine`), the dominant substitution family in the original paper.
+
+use cryptext_common::SplitMix64;
+use cryptext_confusables::{variants_of_class, VariantClass};
+
+use crate::TokenPerturber;
+
+/// The VIPER perturber: each alphabetic character is independently
+/// replaced with an accented variant with probability `p`.
+#[derive(Debug, Clone, Copy)]
+pub struct Viper {
+    /// Per-character replacement probability in `[0, 1]`.
+    pub p: f64,
+}
+
+impl Viper {
+    /// VIPER with the given per-character probability.
+    pub fn new(p: f64) -> Self {
+        Viper { p: p.clamp(0.0, 1.0) }
+    }
+}
+
+impl Default for Viper {
+    /// The moderate `p = 0.4` setting used in the paper's comparisons.
+    fn default() -> Self {
+        Viper::new(0.4)
+    }
+}
+
+impl TokenPerturber for Viper {
+    fn name(&self) -> &'static str {
+        "viper"
+    }
+
+    fn perturb_token(&self, token: &str, rng: &mut SplitMix64) -> Option<String> {
+        let mut out = String::with_capacity(token.len() * 2);
+        let mut changed = false;
+        for c in token.chars() {
+            let mut replaced = false;
+            if c.is_ascii_alphabetic() && rng.chance(self.p) {
+                let accents = variants_of_class(c, VariantClass::Accent);
+                if let Some(&a) = rng.choose(&accents) {
+                    out.push(a);
+                    replaced = true;
+                    changed = true;
+                }
+            }
+            if !replaced {
+                out.push(c);
+            }
+        }
+        // Guarantee at least one substitution for p > 0 on alphabetic
+        // tokens: force the first substitutable character if none fired.
+        if !changed && self.p > 0.0 {
+            let chars: Vec<char> = token.chars().collect();
+            for (i, &c) in chars.iter().enumerate() {
+                let accents = variants_of_class(c, VariantClass::Accent);
+                if let Some(&a) = rng.choose(&accents) {
+                    let mut forced: Vec<char> = chars.clone();
+                    forced[i] = a;
+                    return Some(forced.into_iter().collect());
+                }
+            }
+            return None;
+        }
+        changed.then_some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptext_confusables::skeleton;
+
+    #[test]
+    fn p_zero_never_perturbs() {
+        let v = Viper::new(0.0);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(v.perturb_token("democrats", &mut rng), None);
+    }
+
+    #[test]
+    fn p_one_perturbs_every_accentable_char() {
+        let v = Viper::new(1.0);
+        let mut rng = SplitMix64::new(2);
+        let out = v.perturb_token("democrats", &mut rng).unwrap();
+        assert_ne!(out, "democrats");
+        // Every letter that has an accent variant gets one; only 'm' (no
+        // accent in the table) may remain ASCII.
+        let ascii_left: Vec<char> = out.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+        assert_eq!(ascii_left, vec!['m'], "{out}");
+    }
+
+    #[test]
+    fn skeleton_folds_viper_output_back() {
+        // The defense CrypText provides: the confusables skeleton undoes
+        // VIPER's accent attack completely.
+        let v = Viper::default();
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            if let Some(out) = v.perturb_token("vaccine", &mut rng) {
+                assert_eq!(skeleton(&out), "vaccine", "{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_p_still_guarantees_a_change_when_possible() {
+        let v = Viper::new(0.001);
+        let mut rng = SplitMix64::new(4);
+        let out = v.perturb_token("senate", &mut rng);
+        assert!(out.is_some(), "forced substitution path");
+        assert_ne!(out.unwrap(), "senate");
+    }
+
+    #[test]
+    fn non_alphabetic_tokens_declined() {
+        let v = Viper::default();
+        let mut rng = SplitMix64::new(5);
+        assert_eq!(v.perturb_token("1234", &mut rng), None);
+        assert_eq!(v.perturb_token("", &mut rng), None);
+    }
+
+    #[test]
+    fn probability_clamped() {
+        assert_eq!(Viper::new(7.0).p, 1.0);
+        assert_eq!(Viper::new(-1.0).p, 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Cache microbenchmarks: hit path, miss path, and eviction churn.
+
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cryptext_cache::{Cache, CacheConfig};
+use cryptext_common::SimClock;
+
+fn bench_cache(c: &mut Criterion) {
+    let clock = Arc::new(SimClock::new(0));
+    let cache: Cache<u64, u64> = Cache::new(
+        CacheConfig {
+            capacity: 10_000,
+            default_ttl_ms: Some(60_000),
+            shards: 8,
+        },
+        clock,
+    );
+    for i in 0..5_000u64 {
+        cache.insert(i, i * 2);
+    }
+
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 5_000;
+            black_box(cache.get(&i))
+        })
+    });
+    group.bench_function("get_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.get(&(1_000_000 + i)))
+        })
+    });
+    group.bench_function("insert_fresh", |b| {
+        let mut i = 100_000u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(black_box(i), i);
+        })
+    });
+
+    // Eviction churn: capacity-16 cache under rotating keys.
+    let clock = Arc::new(SimClock::new(0));
+    let tiny: Cache<u64, u64> = Cache::new(
+        CacheConfig {
+            capacity: 16,
+            default_ttl_ms: None,
+            shards: 1,
+        },
+        clock,
+    );
+    group.bench_function("insert_evicting", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tiny.insert(black_box(i), i);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

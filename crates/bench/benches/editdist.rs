@@ -1,0 +1,63 @@
+//! Edit-distance microbenchmarks: the bounded band DP is the SMS filter's
+//! hot loop — confirm it beats the full DP at the paper's default d = 3.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cryptext_editdist::{damerau_osa, levenshtein, levenshtein_bounded};
+
+fn bench_editdist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("editdist");
+    let pairs = [
+        ("republicans", "repubLIEcans"),
+        ("democrats", "demorcats"),
+        ("internationalization", "internationalisation"),
+        ("depression", "depresxion"),
+        ("completely", "different"),
+    ];
+
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(levenshtein(black_box(x), black_box(y)));
+            }
+        })
+    });
+
+    group.bench_function("bounded_d3", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(levenshtein_bounded(black_box(x), black_box(y), 3));
+            }
+        })
+    });
+
+    group.bench_function("bounded_d1", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(levenshtein_bounded(black_box(x), black_box(y), 1));
+            }
+        })
+    });
+
+    group.bench_function("damerau_osa", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(damerau_osa(black_box(x), black_box(y)));
+            }
+        })
+    });
+
+    // Long-string early exit: bound prunes to near-nothing.
+    let long_a = "perturbation".repeat(20);
+    let long_b = "perturbated!".repeat(20);
+    group.bench_function("long_full", |b| {
+        b.iter(|| black_box(levenshtein(black_box(&long_a), black_box(&long_b))))
+    });
+    group.bench_function("long_bounded_d3", |b| {
+        b.iter(|| black_box(levenshtein_bounded(black_box(&long_a), black_box(&long_b), 3)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_editdist);
+criterion_main!(benches);

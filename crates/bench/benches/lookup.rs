@@ -1,0 +1,61 @@
+//! Look Up latency: cold queries against the database vs cache-served
+//! queries through the service facade (the Redis-role measurement that
+//! justifies Fig. 5's cache box).
+
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cryptext_bench::{build_db, build_platform};
+use cryptext_core::service::{CryptextService, ServiceConfig};
+use cryptext_core::{look_up, CrypText, LookupParams};
+
+fn bench_lookup(c: &mut Criterion) {
+    let platform = build_platform(4_000, 7);
+    let db = build_db(&platform);
+    let queries = ["democrats", "republicans", "vaccine", "suicide", "muslim"];
+
+    let mut group = c.benchmark_group("lookup");
+    group.bench_function("db_cold_k1_d3", |b| {
+        b.iter(|| {
+            for q in queries {
+                black_box(look_up(&db, black_box(q), LookupParams::paper_default()).unwrap());
+            }
+        })
+    });
+    group.bench_function("db_cold_k0_d4_worstcase", |b| {
+        b.iter(|| {
+            for q in queries {
+                black_box(look_up(&db, black_box(q), LookupParams::new(0, 4)).unwrap());
+            }
+        })
+    });
+
+    let platform2 = build_platform(4_000, 7);
+    let service = CryptextService::new(
+        CrypText::new(build_db(&platform2)),
+        ServiceConfig {
+            rate_limit_per_minute: u32::MAX,
+            ..ServiceConfig::default()
+        },
+        cryptext_common::system_clock(),
+    );
+    let token = service.issue_token("bench");
+    // Warm the cache.
+    for q in queries {
+        service.look_up(&token, q, LookupParams::paper_default()).unwrap();
+    }
+    group.bench_function("service_cached", |b| {
+        b.iter(|| {
+            for q in queries {
+                black_box(
+                    service
+                        .look_up(&token, black_box(q), LookupParams::paper_default())
+                        .unwrap(),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

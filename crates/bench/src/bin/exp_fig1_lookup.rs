@@ -1,0 +1,41 @@
+//! Experiment F1 — **Figure 1**: the Look Up word-cloud.
+//!
+//! The GUI renders `P_x` as a 3D word-cloud sized by frequency; this
+//! binary emits the underlying data series (token, corpus count, edit
+//! distance) for several sensitive query words.
+//!
+//! ```text
+//! cargo run -p cryptext-bench --bin exp_fig1_lookup
+//! ```
+
+use cryptext_bench::{build_db, build_platform};
+use cryptext_core::{look_up, LookupParams};
+
+fn main() {
+    let platform = build_platform(6_000, 20_230_101);
+    let db = build_db(&platform);
+
+    println!("# Figure 1 — Look Up word-cloud data (k = 1, d = 3)");
+    println!();
+    for query in ["vaccine", "democrats", "republicans", "suicide", "depression"] {
+        let hits = look_up(
+            &db,
+            query,
+            LookupParams::paper_default().perturbations_only().observed(),
+        )
+        .expect("valid params");
+        println!("## P_x for x = {query:?}  ({} perturbations)", hits.len());
+        println!();
+        println!("| token | count | distance |");
+        println!("|-------|-------|----------|");
+        for h in hits.iter().take(20) {
+            println!("| {} | {} | {} |", h.token, h.count, h.distance);
+        }
+        println!();
+    }
+    let stats = db.stats();
+    println!(
+        "Database: {} unique tokens over {} H_1 sounds ({} occurrences).",
+        stats.unique_tokens, stats.unique_sounds[1], stats.total_occurrences
+    );
+}

@@ -1,0 +1,79 @@
+//! Experiment F2 — **Figure 2**: the Normalization function.
+//!
+//! The GUI shows the normalized text with corrected tokens highlighted and
+//! a per-token popup (original, replacement, score, alternatives). This
+//! binary prints the same content, plus an aggregate accuracy measurement
+//! over gold perturbation pairs from the simulated feed.
+//!
+//! ```text
+//! cargo run -p cryptext-bench --bin exp_fig2_normalize
+//! ```
+
+use cryptext_bench::{build_db, build_platform, pct};
+use cryptext_core::{CrypText, NormalizeParams};
+
+fn main() {
+    let platform = build_platform(6_000, 77);
+    let cx = CrypText::new(build_db(&platform));
+
+    println!("# Figure 2 — Normalization demo");
+    println!();
+    for input in [
+        "Biden belongs to the demokRATs",
+        "the vacc1ne mandate is a scam",
+        "thinking about suic1de again",
+        "those repubLIEcans keep lying",
+        "the mus-lim community pushed back",
+    ] {
+        let out = cx
+            .normalize(input, NormalizeParams::default())
+            .expect("normalize");
+        println!("input : {input}");
+        println!("output: {}", out.text);
+        for c in &out.corrections {
+            let alts: Vec<String> = c
+                .candidates
+                .iter()
+                .take(3)
+                .map(|cand| format!("{} ({:.2})", cand.word, cand.score))
+                .collect();
+            println!(
+                "  [{}] → [{}]  score {:.2}; candidates: {}",
+                c.original,
+                c.replacement,
+                c.score,
+                alts.join(", ")
+            );
+        }
+        println!();
+    }
+
+    // Aggregate: how often does normalization recover the gold original?
+    let mut total = 0usize;
+    let mut recovered = 0usize;
+    for post in platform.posts().iter().take(1_500) {
+        if post.perturbations.is_empty() {
+            continue;
+        }
+        let out = cx
+            .normalize(&post.text, NormalizeParams::default())
+            .expect("normalize");
+        for rec in &post.perturbations {
+            total += 1;
+            let fixed = out.corrections.iter().any(|c| {
+                c.original == rec.perturbed
+                    && c.replacement.eq_ignore_ascii_case(&rec.original)
+            });
+            // Emphasis perturbations are already dictionary words after
+            // case folding; treat "left unchanged" as recovered for them.
+            let case_only = rec.perturbed.to_ascii_lowercase() == rec.original.to_ascii_lowercase();
+            if fixed || case_only {
+                recovered += 1;
+            }
+        }
+    }
+    println!(
+        "Gold-pair recovery over the feed: {recovered}/{total} = {}",
+        pct(recovered as f64 / total.max(1) as f64)
+    );
+}

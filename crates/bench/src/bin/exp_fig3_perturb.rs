@@ -1,0 +1,50 @@
+//! Experiment F3 — **Figure 3**: the Perturbation function.
+//!
+//! CrypText rewrites a tweet at a user-chosen manipulation ratio `r`,
+//! highlighting the replaced tokens; every replacement is a stored
+//! human-written token. This binary prints the rewrite at the GUI's three
+//! ratios.
+//!
+//! ```text
+//! cargo run -p cryptext-bench --bin exp_fig3_perturb
+//! ```
+
+use cryptext_bench::{build_db, build_platform};
+use cryptext_core::{CrypText, PerturbParams};
+
+fn main() {
+    let platform = build_platform(6_000, 33);
+    let cx = CrypText::new(build_db(&platform));
+
+    let tweet = "the democrats and republicans keep fighting about the vaccine mandate \
+                 while people struggle with depression";
+    println!("# Figure 3 — Perturbation demo");
+    println!();
+    println!("original: {tweet}");
+    println!();
+    for ratio in [0.15, 0.25, 0.50] {
+        let out = cx
+            .perturb(tweet, PerturbParams::with_ratio(ratio).seeded(7))
+            .expect("perturb");
+        // Bracket the replacements, Fig. 3 highlight style.
+        let mut highlighted = out.text.clone();
+        for r in &out.replacements {
+            highlighted = highlighted.replace(&r.replacement, &format!("[{}]", r.replacement));
+        }
+        println!("r = {:>3.0}% → {highlighted}", ratio * 100.0);
+        for r in &out.replacements {
+            println!("           {} → {}", r.original, r.replacement);
+        }
+        println!(
+            "           ({} replaced, {} sampled tokens had no stored perturbation)",
+            out.replacements.len(),
+            out.misses
+        );
+        println!();
+    }
+    println!(
+        "Every replacement above is a raw token observed in the simulated \
+         human-written feed (count > 0 in the database) — the paper's \
+         'guaranteed to be observable in human-written texts' property."
+    );
+}

@@ -1,0 +1,121 @@
+//! Experiment B1 — the §III-D "ML benchmark page".
+//!
+//! The paper: "CrypText also dedicates an ML benchmark page that
+//! frequently updates our evaluation of publicly available NLP APIs and
+//! models on noisy human-written texts." This binary produces that
+//! leaderboard for the locally-available model zoo (Naive Bayes and
+//! logistic regression per task), scoring each on clean text, CrypText
+//! human perturbations (r = 25%), and the machine baselines.
+//!
+//! ```text
+//! cargo run --release -p cryptext-bench --bin exp_ml_benchmark
+//! ```
+
+use cryptext_attacks::{perturb_text, TextBugger, Viper};
+use cryptext_bench::{build_db, build_platform, pct, row};
+use cryptext_common::SplitMix64;
+use cryptext_core::{CrypText, PerturbParams};
+use cryptext_corpus::{generator, CorpusConfig};
+use cryptext_ml::{
+    accuracy, f1_macro, train_test_split, Classifier, Example, LogisticRegression, NaiveBayes,
+};
+
+const RATIO: f64 = 0.25;
+
+fn eval(
+    model: &dyn Classifier,
+    test: &[Example],
+    transform: impl Fn(usize, &str) -> String,
+) -> (f64, f64) {
+    let y_true: Vec<usize> = test.iter().map(|e| e.label).collect();
+    let y_pred: Vec<usize> = test
+        .iter()
+        .enumerate()
+        .map(|(i, e)| model.predict(&transform(i, &e.text)))
+        .collect();
+    (
+        accuracy(&y_true, &y_pred),
+        f1_macro(model.num_classes(), &y_true, &y_pred),
+    )
+}
+
+fn main() {
+    let clean = generator::generate(CorpusConfig {
+        n_docs: 3_000,
+        seed: 88,
+        perturb_prob_negative: 0.0,
+        perturb_prob_positive: 0.0,
+        secondary_perturb_prob: 0.0,
+        ..CorpusConfig::default()
+    });
+    let platform = build_platform(6_000, 89);
+    let cx = CrypText::new(build_db(&platform));
+
+    println!("# §III-D — ML benchmark page (noisy-text leaderboard, r = 25%)");
+    println!();
+    println!("| task | model | clean acc | cryptext acc | textbugger acc | viper acc | clean F1 | cryptext F1 |");
+    println!("|------|-------|-----------|--------------|----------------|-----------|----------|-------------|");
+
+    for (task, classes) in [("toxicity", 2usize), ("sentiment", 2), ("categories", 5)] {
+        let examples: Vec<Example> = clean
+            .docs
+            .iter()
+            .map(|d| {
+                let label = match task {
+                    "toxicity" => usize::from(d.toxic),
+                    "sentiment" => d.sentiment.class_index(),
+                    _ => d.topic.class_index(),
+                };
+                Example::new(d.text.clone(), label)
+            })
+            .collect();
+        let (train, test) = train_test_split(&examples, 0.3, 5);
+
+        let models: Vec<(&str, Box<dyn Classifier>)> = vec![
+            ("naive-bayes", Box::new(NaiveBayes::train(&train, classes, 1.0))),
+            (
+                "logreg",
+                Box::new(LogisticRegression::train(
+                    &train,
+                    classes,
+                    cryptext_ml::logreg::LogRegConfig::default(),
+                )),
+            ),
+        ];
+        for (name, model) in &models {
+            let (clean_acc, clean_f1) = eval(model.as_ref(), &test, |_, t| t.to_string());
+            let (cx_acc, cx_f1) = eval(model.as_ref(), &test, |i, t| {
+                cx.perturb(t, PerturbParams::with_ratio(RATIO).seeded(i as u64))
+                    .expect("perturb")
+                    .text
+            });
+            let (tb_acc, _) = eval(model.as_ref(), &test, |i, t| {
+                let mut rng = SplitMix64::new(i as u64);
+                perturb_text(&TextBugger, t, RATIO, &mut rng).text
+            });
+            let (vp_acc, _) = eval(model.as_ref(), &test, |i, t| {
+                let mut rng = SplitMix64::new(i as u64);
+                perturb_text(&Viper::default(), t, RATIO, &mut rng).text
+            });
+            println!(
+                "{}",
+                row(&[
+                    task.to_string(),
+                    name.to_string(),
+                    pct(clean_acc),
+                    pct(cx_acc),
+                    pct(tb_acc),
+                    pct(vp_acc),
+                    format!("{clean_f1:.3}"),
+                    format!("{cx_f1:.3}"),
+                ])
+            );
+        }
+    }
+    println!();
+    println!(
+        "Leaderboard semantics: lower perturbed accuracy = less robust to \
+         noisy human text. The page regenerates deterministically as the \
+         database grows (re-run after further crawling)."
+    );
+}

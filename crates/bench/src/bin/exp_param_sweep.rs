@@ -1,0 +1,73 @@
+//! Experiment A2 — the `k`/`d` parameter sweep behind the paper's
+//! defaults (§III-B fixes `k = 1, d = 3` for the GUI).
+//!
+//! Over gold perturbation pairs from the simulated feed we measure, for
+//! each `(k, d)`:
+//!
+//! * **recall** — fraction of gold `(original → perturbed)` pairs where
+//!   Look Up on the original retrieves the perturbed spelling;
+//! * **noise** — average number of *unrelated dictionary words* retrieved
+//!   per query (false friends admitted by loose parameters).
+//!
+//! ```text
+//! cargo run --release -p cryptext-bench --bin exp_param_sweep
+//! ```
+
+use cryptext_bench::{build_db, build_platform, pct, row};
+use cryptext_core::{look_up, LookupParams};
+
+fn main() {
+    let platform = build_platform(6_000, 404);
+    let db = build_db(&platform);
+
+    // Gold pairs: every recorded perturbation in the feed.
+    let mut gold: Vec<(String, String)> = Vec::new();
+    for post in platform.posts() {
+        for rec in &post.perturbations {
+            gold.push((rec.original.to_string(), rec.perturbed.to_string()));
+        }
+    }
+    gold.sort();
+    gold.dedup();
+    println!("# Parameter sweep — {} distinct gold perturbation pairs", gold.len());
+    println!();
+    println!("| k | d | recall | avg unrelated words / query |");
+    println!("|---|---|--------|------------------------------|");
+
+    for k in 0..=2usize {
+        for d in 0..=4usize {
+            let mut recalled = 0usize;
+            let mut unrelated = 0usize;
+            let mut queries = 0usize;
+            for (original, perturbed) in &gold {
+                let hits = look_up(&db, original, LookupParams::new(k, d)).expect("lookup");
+                queries += 1;
+                if hits.iter().any(|h| &h.token == perturbed) {
+                    recalled += 1;
+                }
+                unrelated += hits
+                    .iter()
+                    .filter(|h| {
+                        h.is_english && !h.token.eq_ignore_ascii_case(original)
+                    })
+                    .count();
+            }
+            println!(
+                "{}",
+                row(&[
+                    k.to_string(),
+                    d.to_string(),
+                    pct(recalled as f64 / queries.max(1) as f64),
+                    format!("{:.2}", unrelated as f64 / queries.max(1) as f64),
+                ])
+            );
+        }
+    }
+    println!();
+    println!(
+        "Expected shape: recall rises with d and is near-total by d = 3; \
+         unrelated-word noise explodes as k shrinks and d grows. The \
+         paper's default (k = 1, d = 3) sits at high recall with bounded \
+         noise."
+    );
+}

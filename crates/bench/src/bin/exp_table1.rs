@@ -1,0 +1,40 @@
+//! Experiment T1 — reproduce **Table I** of the paper: the `H_1` hash map
+//! extracted from the three example sentences.
+//!
+//! ```text
+//! cargo run -p cryptext-bench --bin exp_table1
+//! ```
+
+use cryptext_core::TokenDatabase;
+
+fn main() {
+    let sentences = [
+        "the dirrty republicans",
+        "thee dirty repubLIEcans",
+        "the dirty republic@@ns",
+    ];
+    let mut db = TokenDatabase::in_memory();
+    for s in sentences {
+        db.ingest_text(s);
+    }
+
+    println!("# Table I — H_k extracted from the example corpus");
+    println!();
+    println!("Corpus: {sentences:?}");
+    for k in 0..=2 {
+        println!();
+        println!("## H_{k} (phonetic level k = {k})");
+        println!();
+        println!("| Key | Value |");
+        println!("|-----|-------|");
+        for (code, tokens) in db.hashmap_view(k).expect("valid level") {
+            println!("| {code} | {{{}}} |", tokens.join(", "));
+        }
+    }
+    println!();
+    println!(
+        "Paper's H_1 rows: TH000 → {{the, thee}} ✓; DI630 → {{dirty, dirrrty}} ✓; \
+         republicans-family grouped under one key ✓ (paper prints the literal \
+         'RE4425', which its own stated rule set cannot produce — see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,578 @@
+//! # cryptext-cache
+//!
+//! Sharded in-memory TTL + LRU cache — CrypText's Redis substitute.
+//!
+//! The paper (§III-F): *"Since some queries might take a longer time to
+//! process, a Redis cache is adapted to temporarily store and re-use recent
+//! queried results."* This crate provides that role in-process: the service
+//! facade memoizes Look Up and Normalization results keyed by
+//! `(function, token, k, d)`.
+//!
+//! Design notes:
+//!
+//! * **Sharding** — keys hash to one of `N` shards, each behind its own
+//!   `parking_lot::Mutex`, so concurrent lookups on different tokens do not
+//!   contend.
+//! * **LRU** — every shard maintains a recency index (`BTreeMap<tick, key>`),
+//!   giving `O(log n)` touch/evict without unsafe linked-list code.
+//! * **TTL** — entries may carry a deadline from the injected
+//!   [`Clock`](cryptext_common::Clock); expired entries are never returned
+//!   and are reaped lazily on access plus explicitly via
+//!   [`Cache::sweep_expired`]. A [`SimClock`](cryptext_common::SimClock)
+//!   makes expiry fully deterministic in tests.
+//! * **Statistics** — hits/misses/evictions/expirations are atomic counters;
+//!   the architecture experiment (Fig. 5) reports the hit rate.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cryptext_common::hash::FxHashMap;
+use cryptext_common::{Clock, FxHasher, Timestamp};
+use parking_lot::Mutex;
+
+/// Configuration for a [`Cache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum number of live entries across all shards.
+    pub capacity: usize,
+    /// Default time-to-live applied by [`Cache::insert`]; `None` = no expiry.
+    pub default_ttl_ms: Option<u64>,
+    /// Number of shards (rounded up to a power of two, at least 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 10_000,
+            default_ttl_ms: None,
+            shards: 8,
+        }
+    }
+}
+
+/// Snapshot of cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Successful `get`s.
+    pub hits: u64,
+    /// Failed `get`s (absent or expired).
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries dropped because their TTL elapsed.
+    pub expirations: u64,
+    /// Total inserts (including overwrites).
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Hits / (hits + misses); 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    expires_at: Option<Timestamp>,
+    tick: u64,
+}
+
+struct Shard<K, V> {
+    map: FxHashMap<K, Entry<V>>,
+    recency: BTreeMap<u64, K>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: FxHashMap::default(),
+            recency: BTreeMap::new(),
+        }
+    }
+}
+
+/// A thread-safe sharded LRU cache with optional per-entry TTL.
+pub struct Cache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    shard_mask: usize,
+    per_shard_capacity: usize,
+    default_ttl_ms: Option<u64>,
+    clock: Arc<dyn Clock>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    expirations: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
+    /// Build a cache from `config`, reading time from `clock`.
+    pub fn new(config: CacheConfig, clock: Arc<dyn Clock>) -> Self {
+        let shard_count = config.shards.max(1).next_power_of_two();
+        let per_shard_capacity = config.capacity.div_ceil(shard_count).max(1);
+        Cache {
+            shards: (0..shard_count).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_mask: shard_count - 1,
+            per_shard_capacity,
+            default_ttl_ms: config.default_ttl_ms,
+            clock,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience constructor with the system clock.
+    pub fn with_system_clock(config: CacheConfig) -> Self {
+        Cache::new(config, cryptext_common::system_clock())
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.shard_mask]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Insert with the configured default TTL.
+    pub fn insert(&self, key: K, value: V) {
+        self.insert_opt_ttl(key, value, self.default_ttl_ms);
+    }
+
+    /// Insert with an explicit TTL in milliseconds.
+    pub fn insert_with_ttl(&self, key: K, value: V, ttl_ms: u64) {
+        self.insert_opt_ttl(key, value, Some(ttl_ms));
+    }
+
+    fn insert_opt_ttl(&self, key: K, value: V, ttl_ms: Option<u64>) {
+        let now = self.clock.now();
+        let expires_at = ttl_ms.map(|t| now.saturating_add(t));
+        let tick = self.next_tick();
+        let mut shard = self.shard_for(&key).lock();
+        if let Some(old) = shard.map.remove(&key) {
+            shard.recency.remove(&old.tick);
+        }
+        // Evict least-recently-used while at capacity.
+        while shard.map.len() >= self.per_shard_capacity {
+            if let Some((&oldest_tick, _)) = shard.recency.iter().next() {
+                if let Some(victim) = shard.recency.remove(&oldest_tick) {
+                    shard.map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                break;
+            }
+        }
+        shard.recency.insert(tick, key.clone());
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                expires_at,
+                tick,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fetch a live entry, refreshing its recency. Expired entries are
+    /// removed and counted, then reported as misses.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let now = self.clock.now();
+        let new_tick = self.next_tick();
+        let mut shard = self.shard_for(key).lock();
+        let expired = match shard.map.get(key) {
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Some(e) => e.expires_at.is_some_and(|t| t <= now),
+        };
+        if expired {
+            if let Some(old) = shard.map.remove(key) {
+                shard.recency.remove(&old.tick);
+            }
+            self.expirations.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let entry = shard.map.get_mut(key).expect("checked above");
+        let old_tick = entry.tick;
+        entry.tick = new_tick;
+        let value = entry.value.clone();
+        let key_clone = key.clone();
+        shard.recency.remove(&old_tick);
+        shard.recency.insert(new_tick, key_clone);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(value)
+    }
+
+    /// Fetch, or compute-and-insert on miss. The computation runs *outside*
+    /// the shard lock, so concurrent misses may compute twice (last write
+    /// wins) — the same semantics as a Redis look-aside cache.
+    pub fn get_or_insert_with(&self, key: K, f: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let v = f();
+        self.insert(key, v.clone());
+        v
+    }
+
+    /// Remove a key, returning its value if it was live.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let mut shard = self.shard_for(key).lock();
+        let entry = shard.map.remove(key)?;
+        shard.recency.remove(&entry.tick);
+        let now = self.clock.now();
+        if entry.expires_at.is_some_and(|t| t <= now) {
+            self.expirations.fetch_add(1, Ordering::Relaxed);
+            None
+        } else {
+            Some(entry.value)
+        }
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.clear();
+            s.recency.clear();
+        }
+    }
+
+    /// Number of stored entries, including not-yet-reaped expired ones.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Eagerly remove all expired entries; returns how many were reaped.
+    pub fn sweep_expired(&self) -> usize {
+        let now = self.clock.now();
+        let mut reaped = 0usize;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            let dead: Vec<K> = s
+                .map
+                .iter()
+                .filter(|(_, e)| e.expires_at.is_some_and(|t| t <= now))
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in dead {
+                if let Some(e) = s.map.remove(&k) {
+                    s.recency.remove(&e.tick);
+                    reaped += 1;
+                }
+            }
+        }
+        self.expirations.fetch_add(reaped as u64, Ordering::Relaxed);
+        reaped
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptext_common::SimClock;
+
+    fn sim_cache(capacity: usize, ttl: Option<u64>) -> (Cache<String, u32>, SimClock) {
+        let clock = SimClock::new(0);
+        let cache = Cache::new(
+            CacheConfig {
+                capacity,
+                default_ttl_ms: ttl,
+                shards: 1, // single shard → deterministic LRU order
+            },
+            Arc::new(clock.clone()),
+        );
+        (cache, clock)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (c, _) = sim_cache(10, None);
+        c.insert("a".into(), 1);
+        assert_eq!(c.get(&"a".into()), Some(1));
+        assert_eq!(c.get(&"b".into()), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let (c, _) = sim_cache(10, None);
+        c.insert("a".into(), 1);
+        c.insert("a".into(), 2);
+        assert_eq!(c.get(&"a".into()), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_untouched() {
+        let (c, _) = sim_cache(3, None);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        c.insert("c".into(), 3);
+        // Touch "a" so "b" becomes LRU.
+        assert_eq!(c.get(&"a".into()), Some(1));
+        c.insert("d".into(), 4);
+        assert_eq!(c.get(&"b".into()), None, "b evicted");
+        assert_eq!(c.get(&"a".into()), Some(1));
+        assert_eq!(c.get(&"c".into()), Some(3));
+        assert_eq!(c.get(&"d".into()), Some(4));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let (c, _) = sim_cache(5, None);
+        for i in 0..100 {
+            c.insert(format!("k{i}"), i);
+            assert!(c.len() <= 5, "len {} after insert {i}", c.len());
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_with_sim_clock() {
+        let (c, clock) = sim_cache(10, Some(1_000));
+        c.insert("a".into(), 1);
+        assert_eq!(c.get(&"a".into()), Some(1));
+        clock.advance(999);
+        assert_eq!(c.get(&"a".into()), Some(1), "just before deadline");
+        clock.advance(1);
+        assert_eq!(c.get(&"a".into()), None, "expired exactly at deadline");
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn explicit_ttl_overrides_default() {
+        let (c, clock) = sim_cache(10, Some(10));
+        c.insert_with_ttl("long".into(), 1, 1_000_000);
+        clock.advance(500);
+        assert_eq!(c.get(&"long".into()), Some(1));
+    }
+
+    #[test]
+    fn no_ttl_means_immortal() {
+        let (c, clock) = sim_cache(10, None);
+        c.insert("a".into(), 1);
+        clock.advance(u64::MAX / 2);
+        assert_eq!(c.get(&"a".into()), Some(1));
+    }
+
+    #[test]
+    fn sweep_reaps_only_expired() {
+        let (c, clock) = sim_cache(10, None);
+        c.insert_with_ttl("dead".into(), 1, 100);
+        c.insert("alive".into(), 2);
+        clock.advance(200);
+        assert_eq!(c.sweep_expired(), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"alive".into()), Some(2));
+    }
+
+    #[test]
+    fn get_or_insert_with_computes_once_on_hit() {
+        let (c, _) = sim_cache(10, None);
+        let mut calls = 0;
+        let v = c.get_or_insert_with("k".into(), || {
+            calls += 1;
+            7
+        });
+        assert_eq!(v, 7);
+        let v = c.get_or_insert_with("k".into(), || {
+            calls += 1;
+            9
+        });
+        assert_eq!(v, 7, "cached value served");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn remove_returns_live_value() {
+        let (c, clock) = sim_cache(10, None);
+        c.insert("a".into(), 1);
+        assert_eq!(c.remove(&"a".into()), Some(1));
+        assert_eq!(c.remove(&"a".into()), None);
+        c.insert_with_ttl("b".into(), 2, 10);
+        clock.advance(20);
+        assert_eq!(c.remove(&"b".into()), None, "expired value not returned");
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let (c, _) = sim_cache(10, None);
+        for i in 0..5 {
+            c.insert(format!("k{i}"), i);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"k0".into()), None);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let (c, _) = sim_cache(10, None);
+        c.insert("a".into(), 1);
+        c.get(&"a".into());
+        c.get(&"a".into());
+        c.get(&"nope".into());
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.inserts, 1);
+    }
+
+    #[test]
+    fn hit_rate_zero_without_traffic() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn multi_shard_concurrent_smoke() {
+        let clock = SimClock::new(0);
+        let c = Arc::new(Cache::<u64, u64>::new(
+            CacheConfig {
+                capacity: 1_000,
+                default_ttl_ms: None,
+                shards: 8,
+            },
+            Arc::new(clock),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let k = t * 1_000 + (i % 100);
+                    c.insert(k, i);
+                    let _ = c.get(&k);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 1_000);
+        let s = c.stats();
+        assert!(s.hits > 0);
+        assert_eq!(s.inserts, 8 * 500);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cryptext_common::SimClock;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u8, u32, Option<u16>),
+        Get(u8),
+        Remove(u8),
+        Advance(u16),
+        Sweep,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u8>(), any::<u32>(), proptest::option::of(any::<u16>()))
+                .prop_map(|(k, v, t)| Op::Insert(k, v, t)),
+            any::<u8>().prop_map(Op::Get),
+            any::<u8>().prop_map(Op::Remove),
+            any::<u16>().prop_map(Op::Advance),
+            Just(Op::Sweep),
+        ]
+    }
+
+    proptest! {
+        /// Model check against a simple reference map: the cache never
+        /// returns a value that the reference says is absent or expired,
+        /// never exceeds capacity, and hits always return the last insert.
+        #[test]
+        fn model_equivalence(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let clock = SimClock::new(0);
+            let capacity = 16usize;
+            let cache = Cache::<u8, u32>::new(
+                CacheConfig { capacity, default_ttl_ms: None, shards: 1 },
+                Arc::new(clock.clone()),
+            );
+            // Reference: key → (value, expires_at). LRU evictions make the
+            // cache a subset of the reference.
+            let mut reference: std::collections::HashMap<u8, (u32, Option<u64>)> =
+                std::collections::HashMap::new();
+
+            for op in ops {
+                match op {
+                    Op::Insert(k, v, ttl) => {
+                        match ttl {
+                            Some(t) => cache.insert_with_ttl(k, v, t as u64),
+                            None => cache.insert(k, v),
+                        }
+                        let expires = ttl.map(|t| clock.now() + t as u64);
+                        reference.insert(k, (v, expires));
+                    }
+                    Op::Get(k) => {
+                        if let Some(got) = cache.get(&k) {
+                            let (v, expires) = reference
+                                .get(&k)
+                                .unwrap_or_else(|| panic!("cache returned unknown key {k}"));
+                            prop_assert_eq!(got, *v, "stale value for {}", k);
+                            prop_assert!(
+                                expires.is_none_or(|t| t > clock.now()),
+                                "expired value returned for {}", k
+                            );
+                        }
+                    }
+                    Op::Remove(k) => {
+                        cache.remove(&k);
+                        reference.remove(&k);
+                    }
+                    Op::Advance(ms) => {
+                        clock.advance(ms as u64);
+                    }
+                    Op::Sweep => {
+                        cache.sweep_expired();
+                    }
+                }
+                prop_assert!(cache.len() <= capacity);
+            }
+        }
+    }
+}

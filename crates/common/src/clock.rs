@@ -1,0 +1,236 @@
+//! Simulated and real time sources.
+//!
+//! The social-stream substrate replays months of posts in milliseconds, and
+//! the cache needs TTL expiry that tests can drive deterministically. Both
+//! consume the [`Clock`] trait; production code can use [`SystemClock`],
+//! experiments use [`SimClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Milliseconds since the Unix epoch. All CrypText timestamps use this unit.
+pub type Timestamp = u64;
+
+/// Number of milliseconds in one day; convenient for timeline bucketing.
+pub const MILLIS_PER_DAY: u64 = 24 * 60 * 60 * 1000;
+
+/// A monotone time source.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds since the Unix epoch.
+    fn now(&self) -> Timestamp;
+}
+
+/// Wall-clock time from the operating system.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// Shared handle to the wall clock, for APIs taking `Arc<dyn Clock>`.
+pub fn system_clock() -> std::sync::Arc<dyn Clock> {
+    std::sync::Arc::new(SystemClock)
+}
+
+/// A manually-driven clock shared across threads.
+///
+/// Cloning is cheap; all clones observe the same instant. `advance` never
+/// moves backwards, which keeps downstream timeline bucketing monotone.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Create a clock frozen at `start_ms`.
+    pub fn new(start_ms: Timestamp) -> Self {
+        SimClock {
+            now_ms: Arc::new(AtomicU64::new(start_ms)),
+        }
+    }
+
+    /// Move time forward by `delta_ms` and return the new instant.
+    pub fn advance(&self, delta_ms: u64) -> Timestamp {
+        self.now_ms.fetch_add(delta_ms, Ordering::SeqCst) + delta_ms
+    }
+
+    /// Jump to an absolute instant. Jumps backwards are ignored so that the
+    /// clock stays monotone even under racing setters.
+    pub fn set(&self, at_ms: Timestamp) {
+        self.now_ms.fetch_max(at_ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Timestamp {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+}
+
+/// Half-open time interval `[start, end)` in epoch milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Exclusive end.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// Construct a range; `end < start` is clamped to the empty range at `start`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        TimeRange {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Does the range contain `t`?
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Length in milliseconds.
+    #[inline]
+    pub fn len_ms(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Is the range empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Split the range into `n` equal-width buckets (last bucket absorbs the
+    /// rounding remainder). Returns an empty vec when the range is empty or
+    /// `n == 0`.
+    pub fn buckets(&self, n: usize) -> Vec<TimeRange> {
+        if n == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let width = (self.len_ms() / n as u64).max(1);
+        let mut out = Vec::with_capacity(n);
+        let mut start = self.start;
+        for i in 0..n {
+            let end = if i == n - 1 {
+                self.end
+            } else {
+                (start + width).min(self.end)
+            };
+            out.push(TimeRange::new(start, end));
+            start = end;
+        }
+        out
+    }
+
+    /// Index of the bucket containing `t` among `n` equal buckets, or `None`
+    /// when `t` is outside the range.
+    pub fn bucket_of(&self, t: Timestamp, n: usize) -> Option<usize> {
+        if !self.contains(t) || n == 0 {
+            return None;
+        }
+        let width = (self.len_ms() / n as u64).max(1);
+        Some((((t - self.start) / width) as usize).min(n - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_starts_frozen_and_advances() {
+        let c = SimClock::new(1_000);
+        assert_eq!(c.now(), 1_000);
+        assert_eq!(c.advance(500), 1_500);
+        assert_eq!(c.now(), 1_500);
+    }
+
+    #[test]
+    fn sim_clock_clones_share_state() {
+        let c = SimClock::new(0);
+        let c2 = c.clone();
+        c.advance(10);
+        assert_eq!(c2.now(), 10);
+    }
+
+    #[test]
+    fn sim_clock_set_never_goes_backwards() {
+        let c = SimClock::new(100);
+        c.set(50);
+        assert_eq!(c.now(), 100);
+        c.set(200);
+        assert_eq!(c.now(), 200);
+    }
+
+    #[test]
+    fn system_clock_is_nonzero_and_monotoneish() {
+        let c = SystemClock;
+        let a = c.now();
+        assert!(a > 1_600_000_000_000, "after 2020");
+        assert!(c.now() >= a);
+    }
+
+    #[test]
+    fn range_contains_and_len() {
+        let r = TimeRange::new(10, 20);
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.contains(9));
+        assert_eq!(r.len_ms(), 10);
+    }
+
+    #[test]
+    fn inverted_range_is_clamped_empty() {
+        let r = TimeRange::new(20, 10);
+        assert!(r.is_empty());
+        assert_eq!(r.buckets(4), Vec::new());
+        assert_eq!(r.bucket_of(20, 4), None);
+    }
+
+    #[test]
+    fn buckets_partition_the_range() {
+        let r = TimeRange::new(0, 100);
+        let bs = r.buckets(3);
+        assert_eq!(bs.len(), 3);
+        assert_eq!(bs[0].start, 0);
+        assert_eq!(bs.last().unwrap().end, 100);
+        // Adjacent buckets touch exactly.
+        for w in bs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Total length preserved.
+        let total: u64 = bs.iter().map(|b| b.len_ms()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn bucket_of_matches_buckets() {
+        let r = TimeRange::new(0, 100);
+        let bs = r.buckets(7);
+        for t in 0..100 {
+            let i = r.bucket_of(t, 7).unwrap();
+            assert!(bs[i].contains(t), "t={t} in bucket {i}");
+        }
+        assert_eq!(r.bucket_of(100, 7), None);
+    }
+
+    #[test]
+    fn tiny_range_many_buckets() {
+        let r = TimeRange::new(0, 2);
+        let bs = r.buckets(10);
+        assert_eq!(bs.len(), 10);
+        assert_eq!(bs.last().unwrap().end, 2);
+        // Every timestamp lands in a valid bucket.
+        assert!(r.bucket_of(1, 10).is_some());
+    }
+}

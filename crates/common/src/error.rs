@@ -1,0 +1,123 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public API in the CrypText workspace returns
+//! [`Result<T>`]. The error enum is intentionally flat: the system spans a
+//! document store, a cache, ML models and a service facade, and a single
+//! error vocabulary keeps cross-crate plumbing trivial.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The unified CrypText error type.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure (WAL, snapshot, corpus files).
+    Io(std::io::Error),
+    /// Persistent state failed validation during decode/recovery.
+    Corrupt(String),
+    /// A named entity (collection, document, model, token) does not exist.
+    NotFound(String),
+    /// Caller passed an argument outside the supported domain.
+    InvalidArgument(String),
+    /// A uniqueness or schema constraint was violated.
+    Conflict(String),
+    /// Authentication failed (missing/unknown/revoked API token).
+    Unauthorized(String),
+    /// The caller exceeded its rate limit; retry after the embedded budget resets.
+    RateLimited(String),
+    /// Serialization/deserialization failure outside persistent state.
+    Serde(String),
+    /// An internal invariant was broken; indicates a bug, not user error.
+    Internal(String),
+}
+
+impl Error {
+    /// Build a [`Error::NotFound`] from anything printable.
+    pub fn not_found(what: impl fmt::Display) -> Self {
+        Error::NotFound(what.to_string())
+    }
+
+    /// Build a [`Error::InvalidArgument`] from anything printable.
+    pub fn invalid(what: impl fmt::Display) -> Self {
+        Error::InvalidArgument(what.to_string())
+    }
+
+    /// Build a [`Error::Corrupt`] from anything printable.
+    pub fn corrupt(what: impl fmt::Display) -> Self {
+        Error::Corrupt(what.to_string())
+    }
+
+    /// True when retrying the same call later could succeed
+    /// (rate limits and transient I/O), false for logic errors.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::RateLimited(_) | Error::Io(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corrupt(m) => write!(f, "corrupt state: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Conflict(m) => write!(f, "conflict: {m}"),
+            Error::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            Error::RateLimited(m) => write!(f, "rate limited: {m}"),
+            Error::Serde(m) => write!(f, "serialization error: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::NotFound("collection tokens".into());
+        assert_eq!(e.to_string(), "not found: collection tokens");
+        let e = Error::RateLimited("token abc".into());
+        assert!(e.to_string().starts_with("rate limited"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_and_sourced() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(Error::RateLimited("x".into()).is_retryable());
+        assert!(Error::Io(std::io::Error::other("net")).is_retryable());
+        assert!(!Error::invalid("bad k").is_retryable());
+        assert!(!Error::corrupt("bad magic").is_retryable());
+    }
+
+    #[test]
+    fn constructors_accept_display_types() {
+        assert!(matches!(Error::not_found(42), Error::NotFound(s) if s == "42"));
+        assert!(matches!(Error::invalid("k>2"), Error::InvalidArgument(s) if s == "k>2"));
+    }
+}

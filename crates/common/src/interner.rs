@@ -1,0 +1,219 @@
+//! Thread-safe string interning.
+//!
+//! The token database stores the same strings in several indexes (`H_0`,
+//! `H_1`, `H_2`, frequency tables, document references). Interning replaces
+//! those copies with a 4-byte [`Symbol`], cutting memory roughly 5× on the
+//! curated corpora and making token equality a register compare.
+
+use parking_lot::RwLock;
+
+use crate::hash::FxHashMap;
+
+/// A handle to an interned string. Symbols are only meaningful relative to
+/// the [`Interner`] that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+/// An append-only, thread-safe string interner.
+///
+/// `get_or_intern` takes a write lock only when the string is new; the hot
+/// path (existing string) is a read-locked map probe.
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<Inner>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its stable symbol.
+    pub fn get_or_intern(&self, s: &str) -> Symbol {
+        if let Some(sym) = self.get(s) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        // Double-check: another thread may have interned between locks.
+        if let Some(&sym) = inner.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(inner.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        inner.strings.push(boxed.clone());
+        inner.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.inner.read().map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string (owned copy).
+    ///
+    /// Returns `None` for symbols from a different interner (out of range).
+    pub fn resolve(&self, sym: Symbol) -> Option<String> {
+        self.inner
+            .read()
+            .strings
+            .get(sym.index())
+            .map(|s| s.to_string())
+    }
+
+    /// Run `f` over the resolved string without copying it out.
+    pub fn with_resolved<R>(&self, sym: Symbol, f: impl FnOnce(&str) -> R) -> Option<R> {
+        self.inner.read().strings.get(sym.index()).map(|s| f(s))
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot all interned strings in symbol order. Intended for
+    /// persistence; O(n) copies.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .strings
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Rebuild an interner from a snapshot, preserving symbol assignment.
+    pub fn from_snapshot(strings: Vec<String>) -> Self {
+        let mut inner = Inner {
+            map: FxHashMap::default(),
+            strings: Vec::with_capacity(strings.len()),
+        };
+        for (i, s) in strings.into_iter().enumerate() {
+            let boxed: Box<str> = s.into();
+            inner.map.insert(boxed.clone(), Symbol(i as u32));
+            inner.strings.push(boxed);
+        }
+        Interner {
+            inner: RwLock::new(inner),
+        }
+    }
+}
+
+impl std::fmt::Debug for Interner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interner").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.get_or_intern("democrats");
+        let b = i.get_or_intern("democrats");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let i = Interner::new();
+        let a = i.get_or_intern("democrats");
+        let b = i.get_or_intern("democRATs");
+        assert_ne!(a, b, "interning is case-sensitive");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let i = Interner::new();
+        let sym = i.get_or_intern("suic1de");
+        assert_eq!(i.resolve(sym).as_deref(), Some("suic1de"));
+        assert_eq!(i.with_resolved(sym, |s| s.len()), Some(7));
+    }
+
+    #[test]
+    fn resolve_out_of_range_is_none() {
+        let i = Interner::new();
+        assert_eq!(i.resolve(Symbol(99)), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let i = Interner::new();
+        assert_eq!(i.get("ghost"), None);
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_symbols() {
+        let i = Interner::new();
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| i.get_or_intern(s)).collect();
+        let restored = Interner::from_snapshot(i.snapshot());
+        for (s, sym) in ["a", "b", "c"].iter().zip(&syms) {
+            assert_eq!(restored.get(s), Some(*sym));
+            assert_eq!(restored.resolve(*sym).as_deref(), Some(*s));
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        use std::sync::Arc;
+        let i = Arc::new(Interner::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let i = Arc::clone(&i);
+            handles.push(std::thread::spawn(move || {
+                let mut syms = Vec::new();
+                for n in 0..100 {
+                    // Half shared strings, half thread-unique.
+                    let s = if n % 2 == 0 {
+                        format!("shared-{n}")
+                    } else {
+                        format!("t{t}-{n}")
+                    };
+                    syms.push((s.clone(), i.get_or_intern(&s)));
+                }
+                syms
+            }));
+        }
+        let all: Vec<(String, Symbol)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        // Every recorded symbol must still resolve to its string.
+        for (s, sym) in &all {
+            assert_eq!(i.resolve(*sym).as_deref(), Some(s.as_str()));
+        }
+        // Shared strings must have converged to a single symbol.
+        let shared_syms: std::collections::HashSet<_> = all
+            .iter()
+            .filter(|(s, _)| s == "shared-0")
+            .map(|(_, sym)| *sym)
+            .collect();
+        assert_eq!(shared_syms.len(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cryptext-common
+//!
+//! Shared infrastructure for the CrypText workspace.
+//!
+//! This crate deliberately has no heavyweight dependencies; it provides the
+//! small building blocks every other crate needs:
+//!
+//! * [`error`] — the workspace-wide [`Error`](error::Error) type and
+//!   [`Result`](error::Result) alias.
+//! * [`hash`] — an Fx-style fast hasher plus [`FxHashMap`](hash::FxHashMap)
+//!   / [`FxHashSet`](hash::FxHashSet) aliases (database-style hot maps should
+//!   not pay SipHash costs).
+//! * [`rng`] — deterministic, seedable PRNG ([`SplitMix64`](rng::SplitMix64))
+//!   and sampling helpers used wherever reproducibility matters.
+//! * [`clock`] — a simulated clock for the social-stream substrate and cache
+//!   TTL logic, so tests never depend on wall time.
+//! * [`interner`] — a thread-safe string interner used by the token database.
+//! * [`text`] — tiny string helpers shared by tokenizer/phonetics.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod error;
+pub mod hash;
+pub mod interner;
+pub mod rng;
+pub mod text;
+
+pub use clock::{system_clock, Clock, SimClock, SystemClock, TimeRange, Timestamp};
+pub use error::{Error, Result};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use interner::{Interner, Symbol};
+pub use rng::SplitMix64;

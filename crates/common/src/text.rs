@@ -1,0 +1,200 @@
+//! Small string utilities shared across crates.
+//!
+//! These sit here (rather than in the tokenizer) because the phonetics,
+//! attacks and corpus crates need them too and must not depend on the
+//! tokenizer.
+
+/// ASCII-lowercase a string, leaving non-ASCII characters untouched.
+///
+/// CrypText's case handling is deliberately ASCII-scoped: the perturbation
+/// phenomena in the paper (democRATs, RepubLIEcans) are ASCII casing tricks,
+/// and full Unicode case folding would conflate distinct homoglyphs that the
+/// confusables table must see unchanged.
+#[inline]
+pub fn ascii_lower(s: &str) -> String {
+    s.to_ascii_lowercase()
+}
+
+/// True when `c` can appear inside a word token: alphanumeric, or one of the
+/// intra-word joiners that human perturbations exploit (`'`, `-`, `_`), or a
+/// symbol commonly used as a letter substitute (`@ $ ! * + .` inside words).
+#[inline]
+pub fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '\'' | '-' | '_' | '@' | '$' | '!' | '*' | '+')
+}
+
+/// Collapse runs of more than `max_run` identical characters down to exactly
+/// `max_run` (e.g. `porrrrn` → `porrn` with `max_run = 2`).
+///
+/// Works on char boundaries, so multi-byte characters are safe.
+pub fn squeeze_repeats(s: &str, max_run: usize) -> String {
+    if max_run == 0 {
+        return String::new();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    for c in s.chars() {
+        if Some(c) == prev {
+            run += 1;
+        } else {
+            prev = Some(c);
+            run = 1;
+        }
+        if run <= max_run {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Count characters (Unicode scalar values), not bytes.
+#[inline]
+pub fn char_len(s: &str) -> usize {
+    s.chars().count()
+}
+
+/// Truncate to at most `max_chars` characters on a char boundary.
+pub fn truncate_chars(s: &str, max_chars: usize) -> &str {
+    match s.char_indices().nth(max_chars) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+/// True when the token consists entirely of ASCII letters.
+#[inline]
+pub fn is_pure_alpha(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_alphabetic())
+}
+
+/// Does `s` contain at least one non-alphanumeric, non-joining character —
+/// i.e. a symbol a human may have used as a visual letter substitute?
+#[inline]
+pub fn has_symbol_substitution(s: &str) -> bool {
+    s.chars()
+        .any(|c| !c.is_alphanumeric() && !matches!(c, '\'' | '-'))
+        || s.chars().any(|c| c.is_ascii_digit())
+}
+
+/// Ratio (0..=1) of uppercase letters among alphabetic characters; 0 for
+/// tokens with no letters. `democRATs` scores 3/9.
+pub fn upper_ratio(s: &str) -> f64 {
+    let mut upper = 0usize;
+    let mut alpha = 0usize;
+    for c in s.chars() {
+        if c.is_alphabetic() {
+            alpha += 1;
+            if c.is_uppercase() {
+                upper += 1;
+            }
+        }
+    }
+    if alpha == 0 {
+        0.0
+    } else {
+        upper as f64 / alpha as f64
+    }
+}
+
+/// Detect the mixed-case "emphasis" pattern of human perturbations: an
+/// uppercase run strictly inside an otherwise lowercase word (democRATs),
+/// excluding all-caps and Capitalized words.
+pub fn has_inner_emphasis(s: &str) -> bool {
+    let chars: Vec<char> = s.chars().filter(|c| c.is_alphabetic()).collect();
+    if chars.len() < 3 {
+        return false;
+    }
+    let n_upper = chars.iter().filter(|c| c.is_uppercase()).count();
+    if n_upper == 0 || n_upper == chars.len() {
+        return false;
+    }
+    // Capitalized-only (Title) is not emphasis.
+    if n_upper == 1 && chars[0].is_uppercase() {
+        return false;
+    }
+    // Some uppercase letter strictly after position 0.
+    chars[1..].iter().any(|c| c.is_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_lower_leaves_unicode_alone() {
+        assert_eq!(ascii_lower("DemocRATs"), "democrats");
+        assert_eq!(ascii_lower("Ä"), "Ä", "non-ASCII unchanged");
+    }
+
+    #[test]
+    fn word_chars_accept_perturbation_symbols() {
+        for c in ['a', 'Z', '0', '@', '$', '!', '-', '\'', '_'] {
+            assert!(is_word_char(c), "{c} is a word char");
+        }
+        for c in [' ', ',', '?', '"', '(', '#'] {
+            assert!(!is_word_char(c), "{c} is not a word char");
+        }
+    }
+
+    #[test]
+    fn squeeze_repeats_basic() {
+        assert_eq!(squeeze_repeats("porrrrn", 2), "porrn");
+        assert_eq!(squeeze_repeats("porrrrn", 1), "porn");
+        assert_eq!(squeeze_repeats("aaa", 3), "aaa");
+        assert_eq!(squeeze_repeats("", 2), "");
+        assert_eq!(squeeze_repeats("abc", 0), "");
+    }
+
+    #[test]
+    fn squeeze_repeats_multibyte_safe() {
+        assert_eq!(squeeze_repeats("héééllo", 1), "hélo");
+    }
+
+    #[test]
+    fn truncate_chars_respects_boundaries() {
+        assert_eq!(truncate_chars("héllo", 2), "hé");
+        assert_eq!(truncate_chars("hi", 10), "hi");
+        assert_eq!(truncate_chars("", 3), "");
+    }
+
+    #[test]
+    fn char_len_counts_scalars() {
+        assert_eq!(char_len("héllo"), 5);
+        assert_eq!(char_len(""), 0);
+    }
+
+    #[test]
+    fn pure_alpha_detection() {
+        assert!(is_pure_alpha("democrats"));
+        assert!(!is_pure_alpha("dem0crats"));
+        assert!(!is_pure_alpha(""));
+        assert!(!is_pure_alpha("mus-lim"));
+    }
+
+    #[test]
+    fn symbol_substitution_detection() {
+        assert!(has_symbol_substitution("suic1de"));
+        assert!(has_symbol_substitution("republic@@ns"));
+        assert!(has_symbol_substitution("dem0cr@ts"));
+        assert!(!has_symbol_substitution("democrats"));
+        assert!(!has_symbol_substitution("mus-lim"), "hyphen alone is a joiner");
+    }
+
+    #[test]
+    fn upper_ratio_examples() {
+        assert!((upper_ratio("democRATs") - 3.0 / 9.0).abs() < 1e-9);
+        assert_eq!(upper_ratio("1234"), 0.0);
+        assert_eq!(upper_ratio("ALLCAPS"), 1.0);
+    }
+
+    #[test]
+    fn inner_emphasis_examples() {
+        assert!(has_inner_emphasis("democRATs"));
+        assert!(has_inner_emphasis("RepubLIEcans"));
+        assert!(!has_inner_emphasis("Democrats"), "title case");
+        assert!(!has_inner_emphasis("DEMOCRATS"), "all caps");
+        assert!(!has_inner_emphasis("democrats"), "all lower");
+        assert!(!has_inner_emphasis("ab"), "too short");
+    }
+}

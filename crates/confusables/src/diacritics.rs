@@ -1,0 +1,79 @@
+//! Accented-Latin to base-letter folding.
+//!
+//! Covers the Latin-1 Supplement and Latin Extended-A repertoires that the
+//! VIPER baseline ([Eger et al., NAACL'19]) perturbs with, plus a few
+//! extended characters seen in the wild. Deliberately *not* a full Unicode
+//! decomposition: CrypText only needs the letters that plausibly appear as
+//! visual stand-ins in English social-media text.
+
+/// Strip the diacritic from an accented Latin letter, returning the base
+/// lowercase letter, or `None` when `c` is not a known accented form.
+pub fn strip_diacritic(c: char) -> Option<&'static str> {
+    Some(match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' | 'À' | 'Á' | 'Â' | 'Ã' | 'Ä'
+        | 'Å' | 'Ā' | 'Ă' | 'Ą' => "a",
+        'ç' | 'ć' | 'ĉ' | 'ċ' | 'č' | 'Ç' | 'Ć' | 'Ĉ' | 'Ċ' | 'Č' => "c",
+        'ď' | 'đ' | 'Ď' | 'Đ' | 'ð' | 'Ð' => "d",
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' | 'È' | 'É' | 'Ê' | 'Ë' | 'Ē'
+        | 'Ĕ' | 'Ė' | 'Ę' | 'Ě' => "e",
+        'ƒ' => "f",
+        'ĝ' | 'ğ' | 'ġ' | 'ģ' | 'Ĝ' | 'Ğ' | 'Ġ' | 'Ģ' => "g",
+        'ĥ' | 'ħ' | 'Ĥ' | 'Ħ' => "h",
+        'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'ĭ' | 'į' | 'ı' | 'Ì' | 'Í' | 'Î' | 'Ï' | 'Ĩ'
+        | 'Ī' | 'Ĭ' | 'Į' | 'İ' => "i",
+        'ĵ' | 'Ĵ' => "j",
+        'ķ' | 'Ķ' => "k",
+        'ĺ' | 'ļ' | 'ľ' | 'ŀ' | 'ł' | 'Ĺ' | 'Ļ' | 'Ľ' | 'Ŀ' | 'Ł' => "l",
+        'ñ' | 'ń' | 'ņ' | 'ň' | 'ŉ' | 'Ñ' | 'Ń' | 'Ņ' | 'Ň' => "n",
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ŏ' | 'ő' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö'
+        | 'Ø' | 'Ō' | 'Ŏ' | 'Ő' => "o",
+        'ŕ' | 'ŗ' | 'ř' | 'Ŕ' | 'Ŗ' | 'Ř' => "r",
+        'ś' | 'ŝ' | 'ş' | 'š' | 'ș' | 'ß' | 'Ś' | 'Ŝ' | 'Ş' | 'Š' | 'Ș' => "s",
+        'ţ' | 'ť' | 'ŧ' | 'ț' | 'Ţ' | 'Ť' | 'Ŧ' | 'Ț' => "t",
+        'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ŭ' | 'ů' | 'ű' | 'ų' | 'Ù' | 'Ú' | 'Û' | 'Ü'
+        | 'Ũ' | 'Ū' | 'Ŭ' | 'Ů' | 'Ű' | 'Ų' => "u",
+        'ŵ' | 'Ŵ' => "w",
+        'ý' | 'ÿ' | 'ŷ' | 'Ý' | 'Ŷ' | 'Ÿ' => "y",
+        'ź' | 'ż' | 'ž' | 'Ź' | 'Ż' | 'Ž' => "z",
+        'æ' | 'Æ' => "ae",
+        'œ' | 'Œ' => "oe",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_accents_fold() {
+        assert_eq!(strip_diacritic('é'), Some("e"));
+        assert_eq!(strip_diacritic('ü'), Some("u"));
+        assert_eq!(strip_diacritic('ñ'), Some("n"));
+        assert_eq!(strip_diacritic('ç'), Some("c"));
+        assert_eq!(strip_diacritic('Å'), Some("a"));
+    }
+
+    #[test]
+    fn ligatures_expand() {
+        assert_eq!(strip_diacritic('æ'), Some("ae"));
+        assert_eq!(strip_diacritic('Œ'), Some("oe"));
+        assert_eq!(strip_diacritic('ß'), Some("s"));
+    }
+
+    #[test]
+    fn plain_letters_and_symbols_are_none() {
+        assert_eq!(strip_diacritic('e'), None);
+        assert_eq!(strip_diacritic('E'), None);
+        assert_eq!(strip_diacritic('!'), None);
+        assert_eq!(strip_diacritic('д'), None, "non-lookalike cyrillic unmapped");
+    }
+
+    #[test]
+    fn outputs_are_lowercase_ascii() {
+        for c in ['à', 'É', 'î', 'Ø', 'ü', 'ß', 'æ', 'Ž', 'ł'] {
+            let out = strip_diacritic(c).unwrap();
+            assert!(out.bytes().all(|b| b.is_ascii_lowercase()), "{c} → {out}");
+        }
+    }
+}

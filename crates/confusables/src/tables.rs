@@ -1,0 +1,368 @@
+//! Static confusable-character tables.
+//!
+//! Sources: the leetspeak conventions observed in the paper's corpora
+//! (`@→a`, `1→l`, `0→o`, `5→s`, `3→e`, `$→s`, `!→i`), the Unicode
+//! confusables most common in adversarial text (Cyrillic, Greek and
+//! fullwidth lookalikes of Latin letters), and the accent repertoire the
+//! VIPER baseline draws from.
+//!
+//! Two invariants every entry must satisfy (enforced by tests and the
+//! crate-level property tests):
+//!
+//! 1. Decoding is *total over the tables*: every table entry maps to one or
+//!    more lowercase ASCII letters.
+//! 2. Every character in [`visual_variants`]`(c)` folds back to `c` via the
+//!    crate's `fold_char` — i.e. the generator direction and the decoder
+//!    direction agree.
+
+/// Classification of how a stand-in character relates to its base letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariantClass {
+    /// ASCII digit or symbol used for its shape (`@`, `1`, `$`).
+    Leet,
+    /// Letter from another script with near-identical glyph (Cyrillic `а`).
+    Homoglyph,
+    /// Accented form of the same Latin letter (`é`).
+    Accent,
+}
+
+/// Static lowercase strings for the 26 ASCII letters, so `fold_char` can
+/// hand out `&'static str` without allocating.
+const ASCII_LOWER: [&str; 26] = [
+    "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m", "n", "o", "p", "q", "r", "s",
+    "t", "u", "v", "w", "x", "y", "z",
+];
+
+/// The lowercase form of an ASCII letter as a `'static` string.
+///
+/// # Panics
+/// Panics if `c` is not an ASCII alphabetic character.
+#[inline]
+pub fn ascii_lower_str(c: char) -> &'static str {
+    debug_assert!(c.is_ascii_alphabetic());
+    ASCII_LOWER[(c.to_ascii_lowercase() as u8 - b'a') as usize]
+}
+
+/// Decode a leetspeak digit/symbol to its primary letter reading.
+///
+/// Ambiguous glyphs have one *primary* reading here (used for skeletons) and
+/// possibly extra readings in [`leet_alternates`] (used by the phonetic
+/// encoder's multi-key expansion): `1` reads `l` primarily but also `i`.
+pub fn leet_decode_char(c: char) -> Option<&'static str> {
+    Some(match c {
+        '0' => "o",
+        '1' => "l",
+        '2' => "z",
+        '3' => "e",
+        '4' => "a",
+        '5' => "s",
+        '6' => "g",
+        '7' => "t",
+        '8' => "b",
+        '9' => "g",
+        '@' => "a",
+        '$' => "s",
+        '!' => "i",
+        '+' => "t",
+        '(' => "c",
+        '|' => "l",
+        '¢' => "c",
+        '€' => "e",
+        '£' => "l",
+        _ => return None,
+    })
+}
+
+/// Secondary readings of ambiguous leet glyphs. Empty for unambiguous ones.
+///
+/// `1` is the famous case: it stands for `l` (`he11o`) *and* for `i`
+/// (`suic1de`). The customized Soundex indexes tokens under every reading.
+pub fn leet_alternates(c: char) -> &'static [&'static str] {
+    match c {
+        '1' => &["i"],
+        '!' => &["l"],
+        '|' => &["i"],
+        '9' => &["q"],
+        '£' => &["e"],
+        _ => &[],
+    }
+}
+
+/// Decode a non-Latin homoglyph (Cyrillic/Greek/fullwidth/symbol lookalike)
+/// to the Latin letter it imitates.
+pub fn unicode_homoglyph_decode(c: char) -> Option<&'static str> {
+    // Fullwidth Latin block maps positionally.
+    if ('\u{FF21}'..='\u{FF3A}').contains(&c) {
+        return Some(ASCII_LOWER[(c as u32 - 0xFF21) as usize]);
+    }
+    if ('\u{FF41}'..='\u{FF5A}').contains(&c) {
+        return Some(ASCII_LOWER[(c as u32 - 0xFF41) as usize]);
+    }
+    Some(match c {
+        // Cyrillic lowercase lookalikes.
+        'а' => "a",
+        'в' => "b",
+        'с' => "c",
+        'ԁ' => "d",
+        'е' => "e",
+        'г' => "r",
+        'һ' => "h",
+        'і' => "i",
+        'ј' => "j",
+        'к' => "k",
+        'м' => "m",
+        'н' => "h",
+        'п' => "n",
+        'о' => "o",
+        'р' => "p",
+        'ԛ' => "q",
+        'ѕ' => "s",
+        'т' => "t",
+        'у' => "y",
+        'ѵ' => "v",
+        'ѡ' => "w",
+        'х' => "x",
+        // Cyrillic uppercase lookalikes.
+        'А' => "a",
+        'В' => "b",
+        'Е' => "e",
+        'З' => "e",
+        'І' => "i",
+        'Ј' => "j",
+        'К' => "k",
+        'М' => "m",
+        'Н' => "h",
+        'О' => "o",
+        'Р' => "p",
+        'С' => "c",
+        'Т' => "t",
+        'У' => "y",
+        'Х' => "x",
+        'Ѕ' => "s",
+        // Greek lowercase lookalikes.
+        'α' => "a",
+        'β' => "b",
+        'ε' => "e",
+        'η' => "n",
+        'ι' => "i",
+        'κ' => "k",
+        'ν' => "v",
+        'ο' => "o",
+        'ρ' => "p",
+        'τ' => "t",
+        'υ' => "u",
+        'χ' => "x",
+        'ω' => "w",
+        'γ' => "y",
+        // Greek uppercase lookalikes.
+        'Α' => "a",
+        'Β' => "b",
+        'Ε' => "e",
+        'Ζ' => "z",
+        'Η' => "h",
+        'Ι' => "i",
+        'Κ' => "k",
+        'Μ' => "m",
+        'Ν' => "n",
+        'Ο' => "o",
+        'Ρ' => "p",
+        'Τ' => "t",
+        'Υ' => "y",
+        'Χ' => "x",
+        // Symbol lookalikes.
+        '×' => "x",
+        'µ' => "u",
+        'þ' => "p",
+        'Þ' => "p",
+        'ℓ' => "l",
+        _ => return None,
+    })
+}
+
+// Per-letter variant lists. Only characters whose *primary* fold is the base
+// letter may appear (the crate property test enforces this).
+const VAR_A: &[char] = &['@', '4', 'а', 'α', 'à', 'á', 'â', 'ã', 'ä', 'å', 'ā'];
+const VAR_B: &[char] = &['8', 'β', 'в'];
+const VAR_C: &[char] = &['(', '¢', 'с', 'ç', 'ć', 'č'];
+const VAR_D: &[char] = &['ԁ', 'ď', 'đ'];
+const VAR_E: &[char] = &['3', '€', 'е', 'ε', 'è', 'é', 'ê', 'ë', 'ē', 'ė', 'ę'];
+const VAR_F: &[char] = &['ƒ'];
+const VAR_G: &[char] = &['6', '9', 'ğ', 'ġ', 'ģ'];
+const VAR_H: &[char] = &['н', 'һ', 'ĥ', 'ħ'];
+const VAR_I: &[char] = &['!', 'і', 'ι', 'ì', 'í', 'î', 'ï', 'ī', 'į', 'ı'];
+const VAR_J: &[char] = &['ј', 'ĵ'];
+const VAR_K: &[char] = &['κ', 'к', 'ķ'];
+const VAR_L: &[char] = &['1', '|', '£', 'ℓ', 'ĺ', 'ļ', 'ľ'];
+const VAR_M: &[char] = &['м'];
+const VAR_N: &[char] = &['η', 'п', 'ñ', 'ń', 'ņ', 'ň'];
+const VAR_O: &[char] = &['0', 'о', 'ο', 'ò', 'ó', 'ô', 'õ', 'ö', 'ø', 'ō'];
+const VAR_P: &[char] = &['р', 'ρ', 'þ'];
+const VAR_Q: &[char] = &['ԛ'];
+const VAR_R: &[char] = &['г', 'ŕ', 'ř', 'ŗ'];
+const VAR_S: &[char] = &['5', '$', 'ѕ', 'ś', 'š', 'ş', 'ș'];
+const VAR_T: &[char] = &['7', '+', 'т', 'ţ', 'ť', 'ț'];
+const VAR_U: &[char] = &['υ', 'µ', 'ù', 'ú', 'û', 'ü', 'ū', 'ů', 'ų'];
+const VAR_V: &[char] = &['ν', 'ѵ'];
+const VAR_W: &[char] = &['ω', 'ѡ', 'ŵ'];
+const VAR_X: &[char] = &['х', 'χ', '×'];
+const VAR_Y: &[char] = &['у', 'γ', 'ý', 'ÿ'];
+const VAR_Z: &[char] = &['2', 'ž', 'ź', 'ż'];
+
+/// All known visual stand-ins for a base ASCII letter (either case).
+/// Returns an empty slice for non-letters.
+pub fn visual_variants(base: char) -> &'static [char] {
+    if !base.is_ascii_alphabetic() {
+        return &[];
+    }
+    match base.to_ascii_lowercase() {
+        'a' => VAR_A,
+        'b' => VAR_B,
+        'c' => VAR_C,
+        'd' => VAR_D,
+        'e' => VAR_E,
+        'f' => VAR_F,
+        'g' => VAR_G,
+        'h' => VAR_H,
+        'i' => VAR_I,
+        'j' => VAR_J,
+        'k' => VAR_K,
+        'l' => VAR_L,
+        'm' => VAR_M,
+        'n' => VAR_N,
+        'o' => VAR_O,
+        'p' => VAR_P,
+        'q' => VAR_Q,
+        'r' => VAR_R,
+        's' => VAR_S,
+        't' => VAR_T,
+        'u' => VAR_U,
+        'v' => VAR_V,
+        'w' => VAR_W,
+        'x' => VAR_X,
+        'y' => VAR_Y,
+        'z' => VAR_Z,
+        _ => unreachable!("ascii alphabetic"),
+    }
+}
+
+/// Classify a variant character relative to its base letter.
+/// Returns `None` when `c` is not a known stand-in.
+pub fn classify_variant(c: char) -> Option<VariantClass> {
+    if leet_decode_char(c).is_some() {
+        Some(VariantClass::Leet)
+    } else if unicode_homoglyph_decode(c).is_some() {
+        Some(VariantClass::Homoglyph)
+    } else if crate::diacritics::strip_diacritic(c).is_some() {
+        Some(VariantClass::Accent)
+    } else {
+        None
+    }
+}
+
+/// Variants of `base` restricted to one class (e.g. only accents, for the
+/// VIPER baseline).
+pub fn variants_of_class(base: char, class: VariantClass) -> Vec<char> {
+    visual_variants(base)
+        .iter()
+        .copied()
+        .filter(|&v| classify_variant(v) == Some(class))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_lower_str_all_letters() {
+        assert_eq!(ascii_lower_str('A'), "a");
+        assert_eq!(ascii_lower_str('m'), "m");
+        assert_eq!(ascii_lower_str('Z'), "z");
+    }
+
+    #[test]
+    fn leet_primary_readings() {
+        assert_eq!(leet_decode_char('1'), Some("l"));
+        assert_eq!(leet_decode_char('@'), Some("a"));
+        assert_eq!(leet_decode_char('7'), Some("t"));
+        assert_eq!(leet_decode_char('x'), None, "letters are not leet");
+        assert_eq!(leet_decode_char('?'), None);
+    }
+
+    #[test]
+    fn leet_alternates_cover_the_one_i_ambiguity() {
+        assert_eq!(leet_alternates('1'), &["i"]);
+        assert!(leet_alternates('0').is_empty());
+        assert!(leet_alternates('@').is_empty());
+    }
+
+    #[test]
+    fn fullwidth_maps_positionally() {
+        assert_eq!(unicode_homoglyph_decode('Ａ'), Some("a"));
+        assert_eq!(unicode_homoglyph_decode('ｚ'), Some("z"));
+        assert_eq!(unicode_homoglyph_decode('ｍ'), Some("m"));
+    }
+
+    #[test]
+    fn cyrillic_and_greek_decode() {
+        assert_eq!(unicode_homoglyph_decode('а'), Some("a"));
+        assert_eq!(unicode_homoglyph_decode('р'), Some("p"));
+        assert_eq!(unicode_homoglyph_decode('ο'), Some("o"));
+        assert_eq!(unicode_homoglyph_decode('ν'), Some("v"));
+        assert_eq!(unicode_homoglyph_decode('q'), None, "latin is not a homoglyph");
+    }
+
+    #[test]
+    fn all_table_outputs_are_ascii_lowercase() {
+        let leet = "0123456789@$!+(|¢€£";
+        for c in leet.chars() {
+            let out = leet_decode_char(c).unwrap();
+            assert!(out.bytes().all(|b| b.is_ascii_lowercase()), "{c} → {out}");
+        }
+    }
+
+    #[test]
+    fn every_letter_has_variants_except_none() {
+        for c in 'a'..='z' {
+            let v = visual_variants(c);
+            assert!(!v.is_empty(), "{c} should have at least one variant");
+        }
+        assert!(visual_variants('7').is_empty());
+        assert!(visual_variants(' ').is_empty());
+    }
+
+    #[test]
+    fn variants_accept_uppercase_base() {
+        assert_eq!(visual_variants('A'), visual_variants('a'));
+    }
+
+    #[test]
+    fn classify_variant_examples() {
+        assert_eq!(classify_variant('@'), Some(VariantClass::Leet));
+        assert_eq!(classify_variant('а'), Some(VariantClass::Homoglyph));
+        assert_eq!(classify_variant('é'), Some(VariantClass::Accent));
+        assert_eq!(classify_variant('q'), None);
+    }
+
+    #[test]
+    fn variants_of_class_filters() {
+        let accents = variants_of_class('e', VariantClass::Accent);
+        assert!(accents.contains(&'é'));
+        assert!(!accents.contains(&'3'));
+        let leet = variants_of_class('e', VariantClass::Leet);
+        assert!(leet.contains(&'3'));
+        assert!(leet.contains(&'€'));
+    }
+
+    #[test]
+    fn no_variant_is_plain_ascii_letter() {
+        for base in 'a'..='z' {
+            for &v in visual_variants(base) {
+                assert!(
+                    !v.is_ascii_alphabetic(),
+                    "variant {v} of {base} must not be a plain letter"
+                );
+            }
+        }
+    }
+}

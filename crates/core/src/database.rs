@@ -1,0 +1,521 @@
+//! The human-written token database (§III-A).
+//!
+//! Stores **raw case-sensitive tokens** exactly as found in the corpus,
+//! encoded with the customized Soundex at every phonetic level `k ∈
+//! {0, 1, 2}`, and maintains the `H_k` hash maps from Soundex code to the
+//! set of tokens sharing that sound (Table I of the paper).
+//!
+//! The hot structures are in-memory (`FxHashMap` buckets over interned
+//! record ids); [`TokenDatabase::persist_to`] and
+//! [`TokenDatabase::load_from`] move the whole database through the
+//! embedded document store (the MongoDB substitute), with the `codes_k*`
+//! array fields secondary-indexed so bucket queries stay cheap on the
+//! persistent side too.
+
+use cryptext_common::hash::FxHashMap;
+use cryptext_common::{Error, Result};
+use cryptext_docstore::{Database, Document, Filter, Value};
+use cryptext_phonetics::{CustomSoundex, SoundexCode, MAX_PHONETIC_LEVEL};
+use cryptext_tokenizer::{tokenize, TokenKind};
+
+/// Number of materialized phonetic levels (`k = 0, 1, 2`).
+pub const NUM_LEVELS: usize = MAX_PHONETIC_LEVEL + 1;
+
+/// One stored token with its phonetic signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenRecord {
+    /// The raw case-sensitive surface form.
+    pub token: String,
+    /// Number of corpus occurrences (0 for lexicon-seeded entries).
+    pub count: u64,
+    /// Is this a correctly-spelled dictionary word?
+    pub is_english: bool,
+    /// All Soundex codes per phonetic level (ambiguous leet glyphs give
+    /// several codes per level).
+    pub codes: [Vec<SoundexCode>; NUM_LEVELS],
+}
+
+/// Aggregate database statistics (the paper quotes >2M tokens across
+/// >400K sounds for the production instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenStats {
+    /// Distinct case-sensitive tokens.
+    pub unique_tokens: usize,
+    /// Total token occurrences ingested.
+    pub total_occurrences: u64,
+    /// Distinct Soundex codes per level.
+    pub unique_sounds: [usize; NUM_LEVELS],
+    /// How many tokens are dictionary words.
+    pub english_tokens: usize,
+}
+
+/// The token database.
+pub struct TokenDatabase {
+    soundex: [CustomSoundex; NUM_LEVELS],
+    records: Vec<TokenRecord>,
+    by_token: FxHashMap<String, u32>,
+    /// `H_k`: Soundex code string → record ids sharing that sound.
+    buckets: [FxHashMap<String, Vec<u32>>; NUM_LEVELS],
+    /// Clean sentences accumulated for LM training (bounded).
+    clean_sentences: Vec<String>,
+    max_clean_sentences: usize,
+}
+
+impl Default for TokenDatabase {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl TokenDatabase {
+    /// An empty in-memory database.
+    pub fn in_memory() -> Self {
+        TokenDatabase {
+            soundex: [
+                CustomSoundex::new(0),
+                CustomSoundex::new(1),
+                CustomSoundex::new(2),
+            ],
+            records: Vec::new(),
+            by_token: FxHashMap::default(),
+            buckets: [
+                FxHashMap::default(),
+                FxHashMap::default(),
+                FxHashMap::default(),
+            ],
+            clean_sentences: Vec::new(),
+            max_clean_sentences: 50_000,
+        }
+    }
+
+    /// An empty database pre-seeded with the English lexicon (count 0,
+    /// `is_english = true`). Normalization needs dictionary words present
+    /// even when the corpus never used them cleanly.
+    pub fn with_lexicon() -> Self {
+        let mut db = Self::in_memory();
+        db.seed_lexicon();
+        db
+    }
+
+    /// Seed/refresh every dictionary word as an `is_english` record.
+    pub fn seed_lexicon(&mut self) {
+        for w in cryptext_corpus::english_lexicon() {
+            self.upsert_token(w, 0);
+        }
+    }
+
+    fn upsert_token(&mut self, token: &str, add_count: u64) -> u32 {
+        if let Some(&id) = self.by_token.get(token) {
+            self.records[id as usize].count += add_count;
+            return id;
+        }
+        let codes: [Vec<SoundexCode>; NUM_LEVELS] = [
+            self.soundex[0].encode_all(token),
+            self.soundex[1].encode_all(token),
+            self.soundex[2].encode_all(token),
+        ];
+        let id = self.records.len() as u32;
+        for (k, level_codes) in codes.iter().enumerate() {
+            for code in level_codes {
+                self.buckets[k]
+                    .entry(code.as_str().to_string())
+                    .or_default()
+                    .push(id);
+            }
+        }
+        self.records.push(TokenRecord {
+            token: token.to_string(),
+            count: add_count,
+            is_english: cryptext_corpus::is_english_word(token),
+            codes,
+        });
+        self.by_token.insert(token.to_string(), id);
+        id
+    }
+
+    /// Ingest one raw token occurrence (case-sensitive, as the paper's
+    /// curation does). Tokens without letter interpretation are skipped.
+    pub fn ingest_token(&mut self, token: &str) {
+        if token.chars().count() < 2 {
+            return;
+        }
+        if self.soundex[0].encode(token).is_none() {
+            return; // no phonetic content
+        }
+        self.upsert_token(token, 1);
+    }
+
+    /// Tokenize `text` and ingest every word token. Returns how many
+    /// tokens were ingested. If the sentence is fully in-dictionary it is
+    /// also recorded as LM training material.
+    pub fn ingest_text(&mut self, text: &str) -> usize {
+        let mut n = 0;
+        let mut all_english = true;
+        let mut any_word = false;
+        for tok in tokenize(text) {
+            if tok.kind == TokenKind::Word {
+                any_word = true;
+                self.ingest_token(&tok.text);
+                if !cryptext_corpus::is_english_word(&tok.text) {
+                    all_english = false;
+                }
+                n += 1;
+            }
+        }
+        if any_word && all_english && self.clean_sentences.len() < self.max_clean_sentences {
+            self.clean_sentences.push(text.to_string());
+        }
+        n
+    }
+
+    /// Record a known-clean sentence for LM training without ingesting
+    /// perturbations (used when gold clean text is available).
+    pub fn record_clean_sentence(&mut self, text: &str) {
+        if self.clean_sentences.len() < self.max_clean_sentences {
+            self.clean_sentences.push(text.to_string());
+        }
+    }
+
+    /// Clean sentences accumulated so far (LM training corpus).
+    pub fn clean_sentences(&self) -> &[String] {
+        &self.clean_sentences
+    }
+
+    /// Fetch a token's record (case-sensitive).
+    pub fn get(&self, token: &str) -> Option<&TokenRecord> {
+        self.by_token.get(token).map(|&id| &self.records[id as usize])
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[TokenRecord] {
+        &self.records
+    }
+
+    /// Validate a phonetic level.
+    pub fn check_level(k: usize) -> Result<()> {
+        if k >= NUM_LEVELS {
+            return Err(Error::invalid(format!(
+                "phonetic level k={k} unsupported (materialized: k ≤ {MAX_PHONETIC_LEVEL})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The members of bucket `H_k[code]`, if any.
+    pub fn bucket(&self, k: usize, code: &str) -> Result<&[u32]> {
+        Self::check_level(k)?;
+        Ok(self.buckets[k]
+            .get(code)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]))
+    }
+
+    /// All records sharing a sound with `token` at level `k` (union over
+    /// the token's ambiguous readings), including the token itself if
+    /// stored. Records are deduplicated, in insertion order.
+    pub fn sound_mates(&self, k: usize, token: &str) -> Result<Vec<&TokenRecord>> {
+        Self::check_level(k)?;
+        let mut seen: Vec<u32> = Vec::new();
+        for code in self.soundex[k].encode_all(token) {
+            if let Some(ids) = self.buckets[k].get(code.as_str()) {
+                for &id in ids {
+                    if !seen.contains(&id) {
+                        seen.push(id);
+                    }
+                }
+            }
+        }
+        Ok(seen.into_iter().map(|id| &self.records[id as usize]).collect())
+    }
+
+    /// The encoder for level `k`.
+    pub fn soundex(&self, k: usize) -> Result<&CustomSoundex> {
+        Self::check_level(k)?;
+        Ok(&self.soundex[k])
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> TokenStats {
+        TokenStats {
+            unique_tokens: self.records.len(),
+            total_occurrences: self.records.iter().map(|r| r.count).sum(),
+            unique_sounds: [
+                self.buckets[0].len(),
+                self.buckets[1].len(),
+                self.buckets[2].len(),
+            ],
+            english_tokens: self.records.iter().filter(|r| r.is_english).count(),
+        }
+    }
+
+    /// Materialize the `H_k` map at level `k` as `(code, tokens)` pairs,
+    /// sorted by code — the exact shape of Table I.
+    pub fn hashmap_view(&self, k: usize) -> Result<Vec<(String, Vec<String>)>> {
+        Self::check_level(k)?;
+        let mut out: Vec<(String, Vec<String>)> = self.buckets[k]
+            .iter()
+            .map(|(code, ids)| {
+                let mut tokens: Vec<String> = ids
+                    .iter()
+                    .map(|&id| self.records[id as usize].token.clone())
+                    .collect();
+                tokens.sort();
+                (code.clone(), tokens)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Persist every record into `store[collection]`, creating the
+    /// collection and per-level code indexes. Existing contents of the
+    /// collection are replaced.
+    pub fn persist_to(&self, store: &Database, collection: &str) -> Result<()> {
+        if store.has_collection(collection) {
+            store.drop_collection(collection)?;
+        }
+        store.create_collection(collection)?;
+        for k in 0..NUM_LEVELS {
+            store.create_index(collection, &format!("codes_k{k}"))?;
+        }
+        store.create_index(collection, "token")?;
+        for rec in &self.records {
+            let mut doc = Document::new()
+                .with("token", rec.token.as_str())
+                .with("count", rec.count as i64)
+                .with("is_english", rec.is_english);
+            for (k, codes) in rec.codes.iter().enumerate() {
+                doc.set(
+                    format!("codes_k{k}"),
+                    Value::Array(codes.iter().map(|c| Value::from(c.as_str())).collect()),
+                );
+            }
+            store.insert(collection, doc)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild a database from `store[collection]` (inverse of
+    /// [`TokenDatabase::persist_to`]). Clean sentences are not persisted.
+    pub fn load_from(store: &Database, collection: &str) -> Result<TokenDatabase> {
+        let mut db = TokenDatabase::in_memory();
+        let docs = store.find(collection, &Filter::All)?;
+        for (_, doc) in docs {
+            let token = doc
+                .get("token")
+                .and_then(Value::as_str)
+                .ok_or_else(|| Error::corrupt("token field missing"))?
+                .to_string();
+            let count = doc
+                .get("count")
+                .and_then(Value::as_int)
+                .ok_or_else(|| Error::corrupt("count field missing"))?;
+            let id = db.upsert_token(&token, count.max(0) as u64);
+            // Trust recomputed codes over stored ones (algorithm is the
+            // source of truth), but verify agreement for corruption safety.
+            let rec = &db.records[id as usize];
+            if let Some(stored) = doc.get("codes_k1").and_then(Value::as_array) {
+                let recomputed: Vec<&str> =
+                    rec.codes[1].iter().map(|c| c.as_str()).collect();
+                let stored_strs: Vec<&str> =
+                    stored.iter().filter_map(Value::as_str).collect();
+                if recomputed != stored_strs {
+                    return Err(Error::corrupt(format!(
+                        "code mismatch for token {token}: {stored_strs:?} vs {recomputed:?}"
+                    )));
+                }
+            }
+        }
+        Ok(db)
+    }
+}
+
+impl std::fmt::Debug for TokenDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("TokenDatabase")
+            .field("unique_tokens", &s.unique_tokens)
+            .field("sounds_k1", &s.unique_sounds[1])
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_db() -> TokenDatabase {
+        let mut db = TokenDatabase::in_memory();
+        for s in [
+            "the dirrty republicans",
+            "thee dirty repubLIEcans",
+            "the dirty republic@@ns",
+        ] {
+            db.ingest_text(s);
+        }
+        db
+    }
+
+    #[test]
+    fn table1_h1_groups() {
+        let db = table1_db();
+        let view = db.hashmap_view(1).unwrap();
+        let get = |code: &str| -> Vec<String> {
+            view.iter()
+                .find(|(c, _)| c == code)
+                .map(|(_, t)| t.clone())
+                .unwrap_or_default()
+        };
+        // Table I, reproduced with our (documented) code literals.
+        assert_eq!(get("TH000"), vec!["the", "thee"]);
+        assert_eq!(get("DI630"), vec!["dirrty", "dirty"]);
+        // The republicans row groups all three variants.
+        let rep_code = db.soundex(1).unwrap().encode("republicans").unwrap();
+        let group = get(rep_code.as_str());
+        assert!(group.contains(&"republicans".to_string()));
+        assert!(group.contains(&"repubLIEcans".to_string()));
+        assert!(group.contains(&"republic@@ns".to_string()));
+    }
+
+    #[test]
+    fn counts_accumulate_case_sensitively() {
+        let db = table1_db();
+        assert_eq!(db.get("the").unwrap().count, 2);
+        assert_eq!(db.get("dirty").unwrap().count, 2);
+        assert_eq!(db.get("repubLIEcans").unwrap().count, 1);
+        // Case-sensitive: "The" absent.
+        assert!(db.get("The").is_none());
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let db = table1_db();
+        let s = db.stats();
+        // the, thee, dirrty, dirty, republicans, repubLIEcans, republic@@ns
+        assert_eq!(s.unique_tokens, 7);
+        assert_eq!(s.total_occurrences, 9);
+        assert!(s.english_tokens >= 3, "the, dirty, republicans");
+        // H1 sounds: TH000, DI630, RE…, and dirrty≡dirty share DI630.
+        assert!(s.unique_sounds[1] >= 3);
+        assert!(s.unique_sounds[0] <= s.unique_sounds[1]);
+    }
+
+    #[test]
+    fn ambiguous_tokens_live_in_multiple_buckets() {
+        let mut db = TokenDatabase::in_memory();
+        db.ingest_token("suic1de");
+        let mates = db.sound_mates(1, "suicide").unwrap();
+        assert!(
+            mates.iter().any(|r| r.token == "suic1de"),
+            "query by the clean word finds the 1-perturbed token"
+        );
+    }
+
+    #[test]
+    fn short_and_unencodable_tokens_skipped() {
+        let mut db = TokenDatabase::in_memory();
+        db.ingest_token("a");
+        db.ingest_token("...");
+        db.ingest_token("🙂🙂");
+        assert_eq!(db.stats().unique_tokens, 0);
+    }
+
+    #[test]
+    fn ingest_text_counts_words_only() {
+        let mut db = TokenDatabase::in_memory();
+        let n = db.ingest_text("@user check https://x.com the vaccine!! 123");
+        // "check", "the", "vaccine" are word tokens (123 is a number,
+        // @user a mention, the URL a url).
+        assert_eq!(n, 3);
+        assert!(db.get("vaccine").is_some());
+        assert!(db.get("123").is_none());
+    }
+
+    #[test]
+    fn clean_sentences_gate_on_dictionary() {
+        let mut db = TokenDatabase::in_memory();
+        db.ingest_text("the vaccine mandate was announced");
+        db.ingest_text("the vacc1ne mandate was announced");
+        assert_eq!(db.clean_sentences().len(), 1);
+        db.record_clean_sentence("manually recorded sentence");
+        assert_eq!(db.clean_sentences().len(), 2);
+    }
+
+    #[test]
+    fn lexicon_seeding_marks_english() {
+        let db = TokenDatabase::with_lexicon();
+        let s = db.stats();
+        assert!(s.unique_tokens > 400);
+        assert_eq!(s.english_tokens, s.unique_tokens);
+        assert_eq!(s.total_occurrences, 0, "seeds carry no counts");
+        let rec = db.get("democrats").unwrap();
+        assert!(rec.is_english);
+    }
+
+    #[test]
+    fn invalid_level_rejected() {
+        let db = table1_db();
+        assert!(db.bucket(3, "TH000").is_err());
+        assert!(db.sound_mates(9, "the").is_err());
+        assert!(db.hashmap_view(3).is_err());
+        assert!(db.soundex(3).is_err());
+    }
+
+    #[test]
+    fn bucket_lookup_by_code() {
+        let db = table1_db();
+        let ids = db.bucket(1, "TH000").unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(db.bucket(1, "ZZ999").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn persist_and_load_round_trip() {
+        let db = table1_db();
+        let store = Database::in_memory();
+        db.persist_to(&store, "tokens").unwrap();
+        assert_eq!(store.len("tokens").unwrap(), 7);
+
+        let restored = TokenDatabase::load_from(&store, "tokens").unwrap();
+        assert_eq!(restored.stats(), db.stats());
+        assert_eq!(
+            restored.get("repubLIEcans").unwrap().count,
+            db.get("repubLIEcans").unwrap().count
+        );
+        assert_eq!(restored.hashmap_view(1).unwrap(), db.hashmap_view(1).unwrap());
+    }
+
+    #[test]
+    fn persisted_codes_queryable_through_store_index() {
+        let db = table1_db();
+        let store = Database::in_memory();
+        db.persist_to(&store, "tokens").unwrap();
+        // Query the docstore directly by H1 code — exercises the
+        // array-valued secondary index.
+        let hits = store
+            .find("tokens", &Filter::eq("codes_k1", "TH000"))
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn persist_replaces_existing_collection() {
+        let db = table1_db();
+        let store = Database::in_memory();
+        db.persist_to(&store, "tokens").unwrap();
+        db.persist_to(&store, "tokens").unwrap();
+        assert_eq!(store.len("tokens").unwrap(), 7, "no duplicates");
+    }
+
+    #[test]
+    fn reingest_increments_not_duplicates() {
+        let mut db = TokenDatabase::in_memory();
+        db.ingest_token("vaccine");
+        db.ingest_token("vaccine");
+        assert_eq!(db.stats().unique_tokens, 1);
+        assert_eq!(db.get("vaccine").unwrap().count, 2);
+        // Bucket membership not duplicated either.
+        let code = db.soundex(1).unwrap().encode("vaccine").unwrap();
+        assert_eq!(db.bucket(1, code.as_str()).unwrap().len(), 1);
+    }
+}

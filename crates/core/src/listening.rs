@@ -1,0 +1,421 @@
+//! Social Listening (§III-E): monitoring perturbation usage online.
+//!
+//! Given a watch-word, CrypText expands it into its known perturbations
+//! (Look Up), searches the platform for each spelling, and aggregates
+//! per-term frequency and sentiment into timeline buckets — the data
+//! behind the paper's interactive timeline charts.
+
+use cryptext_common::{Result, TimeRange};
+use cryptext_corpus::Sentiment;
+use cryptext_stream::{Post, SearchQuery, SocialPlatform};
+
+use crate::database::TokenDatabase;
+use crate::lookup::{look_up, LookupParams};
+
+/// Configuration of a listening pass.
+#[derive(Debug, Clone, Copy)]
+pub struct ListeningConfig {
+    /// Look Up parameters for watch-word expansion.
+    pub lookup: LookupParams,
+    /// Number of timeline buckets.
+    pub buckets: usize,
+    /// Include the watch-word itself as a tracked term.
+    pub include_base: bool,
+}
+
+impl Default for ListeningConfig {
+    fn default() -> Self {
+        ListeningConfig {
+            lookup: LookupParams::paper_default().observed(),
+            buckets: 10,
+            include_base: true,
+        }
+    }
+}
+
+/// Timeline of one tracked spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermTimeline {
+    /// The tracked spelling.
+    pub term: String,
+    /// Is it a perturbation (differs case-folded from the watch-word)?
+    pub is_perturbation: bool,
+    /// Total matching posts.
+    pub total: usize,
+    /// Posts per time bucket.
+    pub counts: Vec<usize>,
+    /// Fraction of negative posts per bucket (0 for empty buckets).
+    pub negative_fraction: Vec<f64>,
+}
+
+impl TermTimeline {
+    /// Overall negative fraction across all buckets.
+    pub fn overall_negative_fraction(&self) -> f64 {
+        let total_posts: usize = self.counts.iter().sum();
+        if total_posts == 0 {
+            return 0.0;
+        }
+        let negatives: f64 = self
+            .counts
+            .iter()
+            .zip(&self.negative_fraction)
+            .map(|(&c, &f)| c as f64 * f)
+            .sum();
+        negatives / total_posts as f64
+    }
+}
+
+impl TermTimeline {
+    /// Activity growth: posts in the second half of the window divided by
+    /// posts in the first half (`+1` smoothing so fresh terms with an
+    /// empty first half still compare). Values above 1 mean accelerating
+    /// usage.
+    pub fn growth_ratio(&self) -> f64 {
+        let mid = self.counts.len() / 2;
+        let first: usize = self.counts[..mid].iter().sum();
+        let second: usize = self.counts[mid..].iter().sum();
+        (second as f64 + 1.0) / (first as f64 + 1.0)
+    }
+}
+
+/// The full report for one watch-word.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchReport {
+    /// The watched base word.
+    pub watchword: String,
+    /// Per-spelling timelines, base word first, then perturbations by
+    /// descending total.
+    pub terms: Vec<TermTimeline>,
+    /// The time range the buckets partition.
+    pub range: TimeRange,
+}
+
+impl WatchReport {
+    /// Sum of posts matched across all tracked spellings.
+    pub fn total_posts(&self) -> usize {
+        self.terms.iter().map(|t| t.total).sum()
+    }
+
+    /// Timelines of perturbed spellings only.
+    pub fn perturbation_terms(&self) -> impl Iterator<Item = &TermTimeline> {
+        self.terms.iter().filter(|t| t.is_perturbation)
+    }
+
+    /// The §III-E gatekeeper signal: perturbed spellings whose usage is
+    /// accelerating — at least `min_total` posts overall and a
+    /// [`growth_ratio`](TermTimeline::growth_ratio) of at least `factor`.
+    /// Sorted by growth, fastest first. These are the evasive spellings a
+    /// moderation team should add to its filters *now*.
+    pub fn emerging_perturbations(&self, factor: f64, min_total: usize) -> Vec<&TermTimeline> {
+        let mut out: Vec<&TermTimeline> = self
+            .perturbation_terms()
+            .filter(|t| t.total >= min_total && t.growth_ratio() >= factor)
+            .collect();
+        out.sort_by(|a, b| {
+            b.growth_ratio()
+                .partial_cmp(&a.growth_ratio())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.term.cmp(&b.term))
+        });
+        out
+    }
+}
+
+/// The Social Listening engine.
+pub struct SocialListener<'a> {
+    db: &'a TokenDatabase,
+}
+
+impl<'a> SocialListener<'a> {
+    /// Build over a token database.
+    pub fn new(db: &'a TokenDatabase) -> Self {
+        SocialListener { db }
+    }
+
+    /// Expand a watch-word into the query set of spellings: the word
+    /// itself (if configured) plus every known perturbation.
+    ///
+    /// Spellings that differ only by case are collapsed to one term:
+    /// platform search is case-insensitive, so `demoCRATs` and `democrats`
+    /// retrieve identical result sets.
+    pub fn expand(&self, word: &str, config: &ListeningConfig) -> Result<Vec<String>> {
+        let hits = look_up(self.db, word, config.lookup)?;
+        let mut terms: Vec<String> = Vec::with_capacity(hits.len() + 1);
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        if config.include_base {
+            terms.push(word.to_string());
+            seen.insert(word.to_lowercase());
+        }
+        for h in hits {
+            if seen.insert(h.token.to_lowercase()) {
+                terms.push(h.token);
+            }
+        }
+        Ok(terms)
+    }
+
+    /// Watch `word` over `platform` using gold sentiment labels.
+    pub fn watch(
+        &self,
+        platform: &SocialPlatform,
+        word: &str,
+        config: &ListeningConfig,
+    ) -> Result<WatchReport> {
+        self.watch_with_scorer(platform, word, config, |p| p.sentiment)
+    }
+
+    /// Watch with a custom sentiment scorer (e.g. the trained classifier —
+    /// production would not have gold labels).
+    pub fn watch_with_scorer(
+        &self,
+        platform: &SocialPlatform,
+        word: &str,
+        config: &ListeningConfig,
+        scorer: impl Fn(&Post) -> Sentiment,
+    ) -> Result<WatchReport> {
+        let range = platform
+            .time_range()
+            .unwrap_or(TimeRange::new(0, 1));
+        let n_buckets = config.buckets.max(1);
+        let terms = self.expand(word, config)?;
+
+        let mut timelines: Vec<TermTimeline> = Vec::with_capacity(terms.len());
+        for term in terms {
+            let results = platform.search(&SearchQuery::keyword(term.clone()));
+            let mut counts = vec![0usize; n_buckets];
+            let mut negatives = vec![0usize; n_buckets];
+            for post in &results.posts {
+                if let Some(b) = range.bucket_of(post.created_at, n_buckets) {
+                    counts[b] += 1;
+                    if scorer(post) == Sentiment::Negative {
+                        negatives[b] += 1;
+                    }
+                }
+            }
+            let negative_fraction: Vec<f64> = counts
+                .iter()
+                .zip(&negatives)
+                .map(|(&c, &n)| if c == 0 { 0.0 } else { n as f64 / c as f64 })
+                .collect();
+            timelines.push(TermTimeline {
+                is_perturbation: !term.eq_ignore_ascii_case(word),
+                term,
+                total: results.total,
+                counts,
+                negative_fraction,
+            });
+        }
+        // Base first, then perturbations by descending volume.
+        timelines.sort_by(|a, b| {
+            a.is_perturbation
+                .cmp(&b.is_perturbation)
+                .then(b.total.cmp(&a.total))
+                .then(a.term.cmp(&b.term))
+        });
+        Ok(WatchReport {
+            watchword: word.to_string(),
+            terms: timelines,
+            range,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptext_stream::StreamConfig;
+
+    fn fixture() -> (TokenDatabase, SocialPlatform) {
+        let platform = SocialPlatform::simulate(StreamConfig {
+            n_posts: 1_500,
+            seed: 11,
+            ..StreamConfig::default()
+        });
+        // Build the database from the same feed (as the crawler would).
+        let mut db = TokenDatabase::in_memory();
+        for post in platform.posts() {
+            db.ingest_text(&post.text);
+        }
+        (db, platform)
+    }
+
+    #[test]
+    fn expand_includes_base_and_perturbations() {
+        let (db, _) = fixture();
+        let listener = SocialListener::new(&db);
+        let terms = listener
+            .expand("vaccine", &ListeningConfig::default())
+            .unwrap();
+        assert_eq!(terms[0], "vaccine");
+        assert!(terms.len() > 1, "perturbations found: {terms:?}");
+        let set: std::collections::HashSet<&String> = terms.iter().collect();
+        assert_eq!(set.len(), terms.len(), "no duplicates");
+    }
+
+    #[test]
+    fn watch_produces_consistent_buckets() {
+        let (db, platform) = fixture();
+        let listener = SocialListener::new(&db);
+        let report = listener
+            .watch(&platform, "vaccine", &ListeningConfig::default())
+            .unwrap();
+        assert_eq!(report.watchword, "vaccine");
+        assert!(!report.terms.is_empty());
+        for t in &report.terms {
+            assert_eq!(t.counts.len(), 10);
+            assert_eq!(t.negative_fraction.len(), 10);
+            assert_eq!(t.counts.iter().sum::<usize>(), t.total);
+            for &f in &t.negative_fraction {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+        // Base term is listed first and is not a perturbation.
+        assert!(!report.terms[0].is_perturbation);
+        assert!(report.total_posts() > 0);
+    }
+
+    #[test]
+    fn perturbation_terms_skew_negative() {
+        // The §III-B/§III-E regularity: perturbed spellings carry more
+        // negative sentiment than the clean spelling.
+        let (db, platform) = fixture();
+        let listener = SocialListener::new(&db);
+        let mut base_neg = Vec::new();
+        let mut pert_neg = Vec::new();
+        for word in ["vaccine", "democrats", "republicans"] {
+            let report = listener
+                .watch(&platform, word, &ListeningConfig::default())
+                .unwrap();
+            let base = &report.terms[0];
+            if base.total > 10 {
+                base_neg.push(base.overall_negative_fraction());
+            }
+            for t in report.perturbation_terms() {
+                if t.total > 0 {
+                    pert_neg.push((t.overall_negative_fraction(), t.total));
+                }
+            }
+        }
+        let base_avg = base_neg.iter().sum::<f64>() / base_neg.len() as f64;
+        let pert_total: usize = pert_neg.iter().map(|(_, n)| n).sum();
+        let pert_avg =
+            pert_neg.iter().map(|(f, n)| f * *n as f64).sum::<f64>() / pert_total as f64;
+        assert!(
+            pert_avg > base_avg,
+            "perturbed spellings more negative: {pert_avg:.2} vs {base_avg:.2}"
+        );
+    }
+
+    #[test]
+    fn custom_scorer_is_used() {
+        let (db, platform) = fixture();
+        let listener = SocialListener::new(&db);
+        // A scorer that calls everything negative.
+        let report = listener
+            .watch_with_scorer(
+                &platform,
+                "vaccine",
+                &ListeningConfig::default(),
+                |_| Sentiment::Negative,
+            )
+            .unwrap();
+        for t in &report.terms {
+            for (i, &c) in t.counts.iter().enumerate() {
+                if c > 0 {
+                    assert_eq!(t.negative_fraction[i], 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_watchword_yields_base_only() {
+        let (db, platform) = fixture();
+        let listener = SocialListener::new(&db);
+        let report = listener
+            .watch(&platform, "qqqqq", &ListeningConfig::default())
+            .unwrap();
+        assert_eq!(report.terms.len(), 1);
+        assert_eq!(report.terms[0].total, 0);
+    }
+
+    #[test]
+    fn growth_ratio_shapes() {
+        let grow = TermTimeline {
+            term: "vacc1ne".into(),
+            is_perturbation: true,
+            total: 12,
+            counts: vec![1, 1, 4, 6],
+            negative_fraction: vec![1.0; 4],
+        };
+        assert!(grow.growth_ratio() > 3.0, "{}", grow.growth_ratio());
+        let fade = TermTimeline {
+            term: "old".into(),
+            is_perturbation: true,
+            total: 12,
+            counts: vec![6, 4, 1, 1],
+            negative_fraction: vec![1.0; 4],
+        };
+        assert!(fade.growth_ratio() < 0.5);
+        let flat = TermTimeline {
+            term: "flat".into(),
+            is_perturbation: true,
+            total: 8,
+            counts: vec![2, 2, 2, 2],
+            negative_fraction: vec![0.0; 4],
+        };
+        assert!((flat.growth_ratio() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn emerging_filters_and_sorts() {
+        let mk = |term: &str, counts: Vec<usize>, is_perturbation: bool| TermTimeline {
+            term: term.into(),
+            is_perturbation,
+            total: counts.iter().sum(),
+            negative_fraction: vec![0.5; counts.len()],
+            counts,
+        };
+        let report = WatchReport {
+            watchword: "vaccine".into(),
+            terms: vec![
+                mk("vaccine", vec![50, 50, 50, 50], false),
+                mk("vacc1ne", vec![0, 1, 5, 10], true),
+                mk("va-ccine", vec![0, 0, 2, 3], true),
+                mk("fading", vec![9, 8, 0, 0], true),
+                mk("tiny", vec![0, 0, 1, 0], true),
+            ],
+            range: TimeRange::new(0, 100),
+        };
+        let emerging = report.emerging_perturbations(2.0, 3);
+        let names: Vec<&str> = emerging.iter().map(|t| t.term.as_str()).collect();
+        // vacc1ne (ratio 8) before va-ccine (ratio 6); base word, fading
+        // and below-floor terms excluded.
+        assert_eq!(names, vec!["vacc1ne", "va-ccine"]);
+    }
+
+    #[test]
+    fn emerging_over_simulated_feed_does_not_flag_base() {
+        let (db, platform) = fixture();
+        let listener = SocialListener::new(&db);
+        let report = listener
+            .watch(&platform, "vaccine", &ListeningConfig::default())
+            .unwrap();
+        for t in report.emerging_perturbations(1.5, 2) {
+            assert!(t.is_perturbation);
+            assert!(t.total >= 2);
+        }
+    }
+
+    #[test]
+    fn bucket_count_configurable() {
+        let (db, platform) = fixture();
+        let listener = SocialListener::new(&db);
+        let config = ListeningConfig {
+            buckets: 4,
+            ..ListeningConfig::default()
+        };
+        let report = listener.watch(&platform, "vaccine", &config).unwrap();
+        assert!(report.terms.iter().all(|t| t.counts.len() == 4));
+    }
+}

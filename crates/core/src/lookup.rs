@@ -1,0 +1,311 @@
+//! Look Up (§III-B): retrieving the perturbation set `P_x`.
+//!
+//! The SMS property: a perturbation of `x` is a stored token with the same
+//! **S**ound (shared `H_k` bucket at phonetic level `k`), the same
+//! **M**eaning (approximated by case-folded Levenshtein distance ≤ `d`),
+//! and (optionally) different **S**pelling. Defaults are the paper's
+//! `k = 1, d = 3`.
+
+use cryptext_common::Result;
+use cryptext_editdist::levenshtein_bounded_chars;
+
+use crate::database::TokenDatabase;
+
+/// Parameters of a Look Up query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LookupParams {
+    /// Phonetic level (`k ≤ 2`).
+    pub k: usize,
+    /// Levenshtein bound `d` (case-folded).
+    pub d: usize,
+    /// Drop hits whose case-folded spelling equals the query's (keep only
+    /// true perturbations). Off by default: the paper's `P_x` includes the
+    /// query token itself.
+    pub exclude_identity: bool,
+    /// Keep only hits actually observed in a corpus (count > 0), dropping
+    /// lexicon-seeded entries. Off by default.
+    pub observed_only: bool,
+}
+
+impl LookupParams {
+    /// Custom `k` and `d`.
+    pub fn new(k: usize, d: usize) -> Self {
+        LookupParams {
+            k,
+            d,
+            exclude_identity: false,
+            observed_only: false,
+        }
+    }
+
+    /// The paper's GUI defaults: `k = 1, d = 3`.
+    pub fn paper_default() -> Self {
+        LookupParams::new(1, 3)
+    }
+
+    /// Builder: drop identity spellings.
+    pub fn perturbations_only(mut self) -> Self {
+        self.exclude_identity = true;
+        self
+    }
+
+    /// Builder: only corpus-observed tokens.
+    pub fn observed(mut self) -> Self {
+        self.observed_only = true;
+        self
+    }
+}
+
+impl Default for LookupParams {
+    fn default() -> Self {
+        LookupParams::paper_default()
+    }
+}
+
+/// One member of `P_x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupHit {
+    /// The stored case-sensitive token.
+    pub token: String,
+    /// Corpus frequency.
+    pub count: u64,
+    /// Case-folded Levenshtein distance to the query.
+    pub distance: usize,
+    /// Is the hit a dictionary word?
+    pub is_english: bool,
+}
+
+/// Execute a Look Up against `db`. Hits are ordered by
+/// `(distance asc, count desc, token asc)` — closest and most frequent
+/// perturbations first, deterministic throughout.
+pub fn look_up(db: &TokenDatabase, token: &str, params: LookupParams) -> Result<Vec<LookupHit>> {
+    TokenDatabase::check_level(params.k)?;
+    let query_folded: Vec<char> = token.to_lowercase().chars().collect();
+
+    let mut hits: Vec<LookupHit> = Vec::new();
+    for rec in db.sound_mates(params.k, token)? {
+        if params.observed_only && rec.count == 0 {
+            continue;
+        }
+        let cand_folded: Vec<char> = rec.token.to_lowercase().chars().collect();
+        if params.exclude_identity && cand_folded == query_folded {
+            continue;
+        }
+        if let Some(distance) =
+            levenshtein_bounded_chars(&query_folded, &cand_folded, params.d)
+        {
+            hits.push(LookupHit {
+                token: rec.token.clone(),
+                count: rec.count,
+                distance,
+                is_english: rec.is_english,
+            });
+        }
+    }
+    hits.sort_by(|a, b| {
+        a.distance
+            .cmp(&b.distance)
+            .then_with(|| b.count.cmp(&a.count))
+            .then_with(|| a.token.cmp(&b.token))
+    });
+    Ok(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TokenDatabase {
+        let mut db = TokenDatabase::in_memory();
+        for s in [
+            "the dirrty republicans",
+            "thee dirty repubLIEcans",
+            "the dirty republic@@ns",
+            "the demokRATs and the democrats",
+            "thinking about suic1de",
+            "suicide prevention matters",
+        ] {
+            db.ingest_text(s);
+        }
+        db
+    }
+
+    #[test]
+    fn paper_example_k1_d1() {
+        let hits = look_up(&db(), "republicans", LookupParams::new(1, 1)).unwrap();
+        let tokens: Vec<&str> = hits.iter().map(|h| h.token.as_str()).collect();
+        assert_eq!(tokens, vec!["republicans", "repubLIEcans"]);
+    }
+
+    #[test]
+    fn widening_d_admits_more() {
+        let hits = look_up(&db(), "republicans", LookupParams::new(1, 2)).unwrap();
+        let tokens: Vec<&str> = hits.iter().map(|h| h.token.as_str()).collect();
+        assert!(tokens.contains(&"republic@@ns"));
+        assert_eq!(tokens.len(), 3);
+    }
+
+    #[test]
+    fn identity_exclusion() {
+        let hits = look_up(
+            &db(),
+            "republicans",
+            LookupParams::new(1, 2).perturbations_only(),
+        )
+        .unwrap();
+        assert!(hits.iter().all(|h| !h.token.eq_ignore_ascii_case("republicans")));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn ambiguous_leet_reachable_both_directions() {
+        let d = db();
+        // Clean → perturbed.
+        let hits = look_up(&d, "suicide", LookupParams::paper_default()).unwrap();
+        assert!(hits.iter().any(|h| h.token == "suic1de"));
+        // Perturbed → clean.
+        let hits = look_up(&d, "suic1de", LookupParams::paper_default()).unwrap();
+        assert!(hits.iter().any(|h| h.token == "suicide"));
+    }
+
+    #[test]
+    fn ordering_distance_then_count() {
+        let mut d = TokenDatabase::in_memory();
+        // Three same-sound variants at different distances/counts.
+        d.ingest_text("dirty dirty dirty dirrty dirrty dirrrty");
+        let hits = look_up(&d, "dirty", LookupParams::paper_default()).unwrap();
+        let tokens: Vec<&str> = hits.iter().map(|h| h.token.as_str()).collect();
+        assert_eq!(tokens, vec!["dirty", "dirrty", "dirrrty"]);
+        assert_eq!(hits[0].distance, 0);
+        assert!(hits[1].count >= hits[2].count);
+    }
+
+    #[test]
+    fn case_emphasis_is_distance_zero() {
+        let hits = look_up(&db(), "democrats", LookupParams::new(1, 0)).unwrap();
+        let tokens: Vec<&str> = hits.iter().map(|h| h.token.as_str()).collect();
+        assert!(tokens.contains(&"demokRATs") == false);
+        assert!(tokens.contains(&"democrats"));
+        // demokRATs is distance 1 (k→c after folding).
+        let hits = look_up(&db(), "democrats", LookupParams::new(1, 1)).unwrap();
+        assert!(hits.iter().any(|h| h.token == "demokRATs"));
+    }
+
+    #[test]
+    fn unknown_token_returns_empty_not_error() {
+        let hits = look_up(&db(), "zzzzzz", LookupParams::paper_default()).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn invalid_level_is_error() {
+        assert!(look_up(&db(), "the", LookupParams::new(5, 1)).is_err());
+    }
+
+    #[test]
+    fn observed_only_drops_lexicon_seeds() {
+        let mut d = TokenDatabase::with_lexicon();
+        d.ingest_text("the demokRATs rallied");
+        let all = look_up(&d, "democrats", LookupParams::paper_default()).unwrap();
+        assert!(all.iter().any(|h| h.count == 0), "lexicon seed present");
+        let observed = look_up(
+            &d,
+            "democrats",
+            LookupParams::paper_default().observed(),
+        )
+        .unwrap();
+        assert!(observed.iter().all(|h| h.count > 0));
+        assert!(observed.iter().any(|h| h.token == "demokRATs"));
+    }
+
+    #[test]
+    fn k_zero_is_coarser_than_k_one() {
+        let mut d = TokenDatabase::in_memory();
+        d.ingest_token("losbian");
+        d.ingest_token("lesbian");
+        // k=0: classic-style collision (both L…), so lookup finds both.
+        let hits = look_up(&d, "lesbian", LookupParams::new(0, 2)).unwrap();
+        assert_eq!(hits.len(), 2);
+        // k=1: distinct prefixes LO/LE → only the exact word.
+        let hits = look_up(&d, "lesbian", LookupParams::new(1, 2)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].token, "lesbian");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_db(tokens: &[String]) -> TokenDatabase {
+        let mut db = TokenDatabase::in_memory();
+        for t in tokens {
+            db.ingest_token(t);
+        }
+        db
+    }
+
+    proptest! {
+        /// Every hit satisfies the SMS contract: within distance d, and
+        /// sharing at least one H_k code with the query.
+        #[test]
+        fn hits_respect_sms_contract(
+            tokens in proptest::collection::vec("[a-e]{2,7}", 1..20),
+            query in "[a-e]{2,7}",
+            k in 0usize..=2,
+            d in 0usize..=3,
+        ) {
+            let db = small_db(&tokens);
+            let hits = look_up(&db, &query, LookupParams::new(k, d)).unwrap();
+            let sx = db.soundex(k).unwrap();
+            let query_codes = sx.encode_all(&query);
+            for h in &hits {
+                prop_assert!(h.distance <= d, "{} at distance {}", h.token, h.distance);
+                prop_assert_eq!(
+                    cryptext_editdist::levenshtein(&h.token.to_lowercase(), &query.to_lowercase()),
+                    h.distance
+                );
+                let cand_codes = sx.encode_all(&h.token);
+                prop_assert!(
+                    cand_codes.iter().any(|c| query_codes.contains(c)),
+                    "{} shares a sound with {}", h.token, query
+                );
+            }
+            // Sorted by (distance, count desc, token).
+            for w in hits.windows(2) {
+                prop_assert!(w[0].distance <= w[1].distance);
+            }
+        }
+
+        /// Widening d only adds hits (monotone retrieval).
+        #[test]
+        fn widening_d_is_monotone(
+            tokens in proptest::collection::vec("[a-e]{2,7}", 1..20),
+            query in "[a-e]{2,7}",
+            d in 0usize..=2,
+        ) {
+            let db = small_db(&tokens);
+            let narrow = look_up(&db, &query, LookupParams::new(1, d)).unwrap();
+            let wide = look_up(&db, &query, LookupParams::new(1, d + 1)).unwrap();
+            for h in &narrow {
+                prop_assert!(
+                    wide.iter().any(|w| w.token == h.token),
+                    "{} lost when widening d", h.token
+                );
+            }
+        }
+
+        /// A stored token is always findable from itself (reflexivity), at
+        /// any k and d.
+        #[test]
+        fn stored_tokens_find_themselves(
+            token in "[a-e]{2,7}",
+            k in 0usize..=2,
+        ) {
+            let db = small_db(&[token.clone()]);
+            let hits = look_up(&db, &token, LookupParams::new(k, 0)).unwrap();
+            prop_assert!(hits.iter().any(|h| h.token == token));
+        }
+    }
+}

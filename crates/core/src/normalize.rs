@@ -1,0 +1,377 @@
+//! Normalization (§III-C): detecting and de-perturbing text.
+//!
+//! For each word token `xᵢ`: if it is already a dictionary word it stands.
+//! Otherwise CrypText gathers candidate dictionary words that share an
+//! `H_k` bucket within Levenshtein `d` (the SMS property again, restricted
+//! to English candidates) and ranks them by
+//!
+//! ```text
+//! score(w) = coherency(w | context)            (masked n-gram LM)
+//!          − λ · lev(w, xᵢ)                    (edit penalty)
+//!          + μ · ln P(w)                       (unigram prior)
+//! ```
+//!
+//! mirroring the paper's BERT coherency ranking with a deterministic
+//! substitute. The full candidate list with scores is exposed (the paper's
+//! "advanced users can retrieve all candidates w* and their coherency
+//! scores via a provided API").
+
+use cryptext_common::Result;
+use cryptext_lm::NgramLm;
+use cryptext_tokenizer::{splice, tokenize, Token};
+
+use crate::database::TokenDatabase;
+use crate::lookup::{look_up, LookupParams};
+
+/// Parameters of a Normalization pass.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalizeParams {
+    /// Phonetic level for candidate retrieval.
+    pub k: usize,
+    /// Levenshtein bound for candidate retrieval.
+    pub d: usize,
+    /// Weight of the edit-distance penalty (λ).
+    pub edit_penalty: f64,
+    /// Weight of the unigram prior (μ).
+    pub prior_weight: f64,
+    /// Maximum candidates to keep per token.
+    pub max_candidates: usize,
+}
+
+impl Default for NormalizeParams {
+    fn default() -> Self {
+        NormalizeParams {
+            k: 1,
+            d: 3,
+            edit_penalty: 1.0,
+            prior_weight: 0.3,
+            max_candidates: 8,
+        }
+    }
+}
+
+/// A scored correction candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The dictionary word.
+    pub word: String,
+    /// Combined ranking score (higher = better).
+    pub score: f64,
+    /// Case-folded edit distance to the original token.
+    pub distance: usize,
+}
+
+/// One corrected token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Correction {
+    /// The perturbed surface form found in the input.
+    pub original: String,
+    /// The chosen dictionary replacement.
+    pub replacement: String,
+    /// Byte span of the original token in the input text.
+    pub span: std::ops::Range<usize>,
+    /// Winning score.
+    pub score: f64,
+    /// The full ranked candidate list (winner first).
+    pub candidates: Vec<Candidate>,
+}
+
+/// Result of normalizing a text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizationResult {
+    /// The de-perturbed text.
+    pub text: String,
+    /// Every correction, in span order (Fig. 2 highlights these).
+    pub corrections: Vec<Correction>,
+}
+
+impl NormalizationResult {
+    /// Was anything corrected?
+    pub fn changed(&self) -> bool {
+        !self.corrections.is_empty()
+    }
+}
+
+/// The Normalization engine: a language model for coherency scoring.
+pub struct Normalizer<'a> {
+    lm: &'a NgramLm,
+}
+
+impl<'a> Normalizer<'a> {
+    /// Build from a trained language model.
+    pub fn new(lm: &'a NgramLm) -> Self {
+        Normalizer { lm }
+    }
+
+    /// Should this token be left alone? Dictionary words (case-folded)
+    /// stand as written.
+    fn is_clean(token: &str) -> bool {
+        cryptext_corpus::is_english_word(token)
+    }
+
+    /// Score and rank dictionary candidates for one token.
+    fn candidates_for(
+        &self,
+        db: &TokenDatabase,
+        token: &str,
+        left: &[&str],
+        right: &[&str],
+        params: NormalizeParams,
+    ) -> Result<Vec<Candidate>> {
+        let hits = look_up(db, token, LookupParams::new(params.k, params.d))?;
+        let mut cands: Vec<Candidate> = hits
+            .into_iter()
+            .filter(|h| h.is_english)
+            .map(|h| {
+                let word = h.token.to_ascii_lowercase();
+                let coherency = self.lm.coherency(&word, left, right);
+                let prior = self.lm.unigram_log_prob(&word);
+                let score = coherency - params.edit_penalty * h.distance as f64
+                    + params.prior_weight * prior;
+                Candidate {
+                    word,
+                    score,
+                    distance: h.distance,
+                }
+            })
+            .collect();
+        // Same dictionary word may appear under several surface forms;
+        // keep the best-scoring instance of each.
+        cands.sort_by(|a, b| {
+            a.word
+                .cmp(&b.word)
+                .then(b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        cands.dedup_by(|a, b| a.word == b.word);
+        cands.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        cands.truncate(params.max_candidates);
+        Ok(cands)
+    }
+
+    /// Normalize one token given its context; `None` when the token is
+    /// clean or no candidate exists.
+    pub fn normalize_token(
+        &self,
+        db: &TokenDatabase,
+        token: &str,
+        left: &[&str],
+        right: &[&str],
+        params: NormalizeParams,
+    ) -> Result<Option<(String, f64, Vec<Candidate>)>> {
+        if Self::is_clean(token) {
+            return Ok(None);
+        }
+        let cands = self.candidates_for(db, token, left, right, params)?;
+        match cands.first() {
+            None => Ok(None),
+            Some(best) => Ok(Some((best.word.clone(), best.score, cands.clone()))),
+        }
+    }
+
+    /// Normalize a whole text (§III-C, Fig. 2).
+    pub fn normalize(
+        &self,
+        db: &TokenDatabase,
+        text: &str,
+        params: NormalizeParams,
+    ) -> Result<NormalizationResult> {
+        TokenDatabase::check_level(params.k)?;
+        let tokens = tokenize(text);
+        let word_positions: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_word())
+            .map(|(i, _)| i)
+            .collect();
+        let words_lower: Vec<String> = word_positions
+            .iter()
+            .map(|&i| tokens[i].text.to_ascii_lowercase())
+            .collect();
+
+        let mut corrections: Vec<Correction> = Vec::new();
+        let mut replacements: Vec<(std::ops::Range<usize>, String)> = Vec::new();
+        for (wi, &ti) in word_positions.iter().enumerate() {
+            let tok: &Token = &tokens[ti];
+            let left_start = wi.saturating_sub(2);
+            let left: Vec<&str> = words_lower[left_start..wi]
+                .iter()
+                .map(|s| s.as_str())
+                .collect();
+            let right_end = (wi + 3).min(words_lower.len());
+            let right: Vec<&str> = words_lower[wi + 1..right_end]
+                .iter()
+                .map(|s| s.as_str())
+                .collect();
+            if let Some((replacement, score, candidates)) =
+                self.normalize_token(db, &tok.text, &left, &right, params)?
+            {
+                replacements.push((tok.span.clone(), replacement.clone()));
+                corrections.push(Correction {
+                    original: tok.text.clone(),
+                    replacement,
+                    span: tok.span.clone(),
+                    score,
+                    candidates,
+                });
+            }
+        }
+        Ok(NormalizationResult {
+            text: splice(text, &replacements),
+            corrections,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptext_lm::NgramLm;
+
+    fn fixture() -> (TokenDatabase, NgramLm) {
+        let mut db = TokenDatabase::with_lexicon();
+        // Observed perturbations so buckets exist for them too.
+        for s in [
+            "the demokRATs rallied",
+            "vacc1ne mandate pushback",
+            "thinking about suic1de",
+        ] {
+            db.ingest_text(s);
+        }
+        let lm = NgramLm::train([
+            "biden belongs to the democrats",
+            "the democrats proposed the bill",
+            "the republicans blocked the bill",
+            "the vaccine mandate was announced",
+            "people discussed the vaccine mandate online",
+            "suicide prevention is important",
+            "thinking about suicide is a warning sign",
+            "the dirty campaign continued",
+        ]);
+        (db, lm)
+    }
+
+    #[test]
+    fn paper_figure2_style_normalization() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let out = n
+            .normalize(&db, "Biden belongs to the demokRATs", NormalizeParams::default())
+            .unwrap();
+        assert_eq!(out.text, "Biden belongs to the democrats");
+        assert_eq!(out.corrections.len(), 1);
+        let c = &out.corrections[0];
+        assert_eq!(c.original, "demokRATs");
+        assert_eq!(c.replacement, "democrats");
+        assert!(!c.candidates.is_empty());
+        assert_eq!(c.candidates[0].word, "democrats");
+    }
+
+    #[test]
+    fn leet_and_ambiguous_tokens_normalize() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let out = n
+            .normalize(&db, "the vacc1ne mandate was announced", NormalizeParams::default())
+            .unwrap();
+        assert_eq!(out.text, "the vaccine mandate was announced");
+
+        let out = n
+            .normalize(&db, "thinking about suic1de", NormalizeParams::default())
+            .unwrap();
+        assert_eq!(out.text, "thinking about suicide");
+    }
+
+    #[test]
+    fn clean_text_untouched() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let text = "the democrats proposed the bill";
+        let out = n.normalize(&db, text, NormalizeParams::default()).unwrap();
+        assert_eq!(out.text, text);
+        assert!(!out.changed());
+    }
+
+    #[test]
+    fn unknown_gibberish_left_alone() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let out = n
+            .normalize(&db, "qzxqzx happened", NormalizeParams::default())
+            .unwrap();
+        assert!(out.text.contains("qzxqzx"), "no candidates → unchanged");
+    }
+
+    #[test]
+    fn context_breaks_ties() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        // "vacc1ne" in a mandate context → vaccine (not some other v-word).
+        let (replacement, _, cands) = n
+            .normalize_token(
+                &db,
+                "vacc1ne",
+                &["the"],
+                &["mandate", "was"],
+                NormalizeParams::default(),
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(replacement, "vaccine");
+        assert!(cands.len() >= 1);
+    }
+
+    #[test]
+    fn candidate_list_is_ranked_and_deduped() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let (_, _, cands) = n
+            .normalize_token(&db, "demokRATs", &["the"], &[], NormalizeParams::default())
+            .unwrap()
+            .unwrap();
+        for w in cands.windows(2) {
+            assert!(w[0].score >= w[1].score, "ranked descending");
+        }
+        let words: std::collections::HashSet<&str> =
+            cands.iter().map(|c| c.word.as_str()).collect();
+        assert_eq!(words.len(), cands.len(), "no duplicate words");
+    }
+
+    #[test]
+    fn spans_point_into_original_text() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let text = "so the demokRATs and the vacc1ne push";
+        let out = n.normalize(&db, text, NormalizeParams::default()).unwrap();
+        assert_eq!(out.corrections.len(), 2);
+        for c in &out.corrections {
+            assert_eq!(&text[c.span.clone()], c.original);
+        }
+    }
+
+    #[test]
+    fn invalid_level_is_error() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let params = NormalizeParams {
+            k: 7,
+            ..NormalizeParams::default()
+        };
+        assert!(n.normalize(&db, "whatever", params).is_err());
+    }
+
+    #[test]
+    fn max_candidates_truncates() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let params = NormalizeParams {
+            max_candidates: 1,
+            ..NormalizeParams::default()
+        };
+        if let Some((_, _, cands)) = n
+            .normalize_token(&db, "demokRATs", &["the"], &[], params)
+            .unwrap()
+        {
+            assert_eq!(cands.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Perturbation (§III-D): rewriting text with *database* perturbations.
+//!
+//! Unlike the machine baselines in `cryptext-attacks`, every replacement
+//! here is drawn from the token database via Look Up — i.e. it was
+//! actually written by a human somewhere in the corpus. That is the
+//! paper's headline claim for this function: "perturbations utilized by
+//! CrypText are guaranteed to be observable in human-written texts."
+
+use cryptext_common::{Result, SplitMix64};
+use cryptext_tokenizer::{splice, tokenize, Token};
+
+use crate::database::TokenDatabase;
+use crate::lookup::{look_up, LookupParams};
+
+/// Parameters of a Perturbation pass.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbParams {
+    /// Manipulation ratio `r`: fraction of eligible tokens to rewrite
+    /// (the paper's GUI offers 15%, 25%, 50%).
+    pub ratio: f64,
+    /// Phonetic level for Look Up.
+    pub k: usize,
+    /// Edit-distance bound for Look Up.
+    pub d: usize,
+    /// Case-sensitive mode: when false, a perturbation of any casing of
+    /// the token is acceptable (§III-D offers both).
+    pub case_sensitive: bool,
+    /// Only replacements observed in a corpus (count > 0). On by default —
+    /// this is the "guaranteed human-written" property.
+    pub observed_only: bool,
+    /// RNG seed; equal seeds give identical rewrites.
+    pub seed: u64,
+}
+
+impl PerturbParams {
+    /// Ratio `r` with paper-default `k = 1, d = 3`.
+    pub fn with_ratio(ratio: f64) -> Self {
+        PerturbParams {
+            ratio,
+            k: 1,
+            d: 3,
+            case_sensitive: false,
+            observed_only: true,
+            seed: 42,
+        }
+    }
+
+    /// Builder: set the seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One applied replacement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedPerturbation {
+    /// Original token.
+    pub original: String,
+    /// Database perturbation that replaced it.
+    pub replacement: String,
+    /// Byte span in the source text (Fig. 3 highlights these).
+    pub span: std::ops::Range<usize>,
+}
+
+/// Result of a Perturbation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerturbationOutcome {
+    /// The rewritten text.
+    pub text: String,
+    /// What was replaced, in span order.
+    pub replacements: Vec<AppliedPerturbation>,
+    /// Tokens sampled for manipulation that had no perturbation in the
+    /// database (counted toward `r` but left unchanged).
+    pub misses: usize,
+}
+
+/// The Perturbation engine.
+pub struct Perturber<'a> {
+    db: &'a TokenDatabase,
+}
+
+impl<'a> Perturber<'a> {
+    /// Build over a token database.
+    pub fn new(db: &'a TokenDatabase) -> Self {
+        Perturber { db }
+    }
+
+    /// The perturbation choices available for one token (excluding
+    /// identity spellings).
+    pub fn choices_for(&self, token: &str, params: PerturbParams) -> Result<Vec<String>> {
+        let mut lookup_params = LookupParams::new(params.k, params.d).perturbations_only();
+        if params.observed_only {
+            lookup_params = lookup_params.observed();
+        }
+        let hits = look_up(self.db, token, lookup_params)?;
+        Ok(hits
+            .into_iter()
+            .filter(|h| {
+                // A *different* dictionary word is not a perturbation of
+                // this token — it is a different word that merely sounds
+                // alike ("the" vs "they"). Real perturbations are either
+                // out-of-dictionary spellings or case-emphasis variants of
+                // the same word (the latter only in case-insensitive mode,
+                // per §III-D's case-sensitivity switch).
+                if h.token.eq_ignore_ascii_case(token) {
+                    !params.case_sensitive && h.token != token
+                } else {
+                    !h.is_english
+                }
+            })
+            .map(|h| h.token)
+            .collect())
+    }
+
+    /// Rewrite `text` at manipulation ratio `r` (§III-D, Fig. 3).
+    pub fn perturb(&self, text: &str, params: PerturbParams) -> Result<PerturbationOutcome> {
+        TokenDatabase::check_level(params.k)?;
+        let mut rng = SplitMix64::new(params.seed);
+        let tokens = tokenize(text);
+        let eligible: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| t.is_word() && t.text.chars().count() >= 3)
+            .collect();
+        if eligible.is_empty() {
+            return Ok(PerturbationOutcome {
+                text: text.to_string(),
+                replacements: Vec::new(),
+                misses: 0,
+            });
+        }
+        let n_target = ((params.ratio.clamp(0.0, 1.0) * eligible.len() as f64).ceil() as usize)
+            .min(eligible.len());
+        let mut chosen = rng.sample_indices(eligible.len(), n_target);
+        chosen.sort_unstable();
+
+        let mut replacements: Vec<AppliedPerturbation> = Vec::new();
+        let mut misses = 0usize;
+        for idx in chosen {
+            let tok = eligible[idx];
+            let choices = self.choices_for(&tok.text, params)?;
+            match rng.choose(&choices) {
+                Some(replacement) => replacements.push(AppliedPerturbation {
+                    original: tok.text.clone(),
+                    replacement: replacement.clone(),
+                    span: tok.span.clone(),
+                }),
+                None => misses += 1,
+            }
+        }
+        let splices: Vec<(std::ops::Range<usize>, String)> = replacements
+            .iter()
+            .map(|r| (r.span.clone(), r.replacement.clone()))
+            .collect();
+        Ok(PerturbationOutcome {
+            text: splice(text, &splices),
+            replacements,
+            misses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TokenDatabase {
+        let mut db = TokenDatabase::in_memory();
+        for s in [
+            "the demokRATs and democrats argue",
+            "the dem0crats lie",
+            "repubLIEcans and republicans fight",
+            "republic@@ns everywhere",
+            "the vacc1ne and the vaccine",
+            "vac-cine skeptics",
+        ] {
+            db.ingest_text(s);
+        }
+        db
+    }
+
+    #[test]
+    fn replacements_come_from_database() {
+        let d = db();
+        let p = Perturber::new(&d);
+        let out = p
+            .perturb(
+                "Biden belongs to the democrats",
+                PerturbParams::with_ratio(1.0),
+            )
+            .unwrap();
+        for r in &out.replacements {
+            assert!(
+                d.get(&r.replacement).is_some(),
+                "{} is a stored human-written token",
+                r.replacement
+            );
+            assert!(d.get(&r.replacement).unwrap().count > 0, "observed");
+            assert_ne!(r.replacement, r.original);
+        }
+        // "democrats" must have been rewritten to one of its stored variants.
+        let demo = out
+            .replacements
+            .iter()
+            .find(|r| r.original == "democrats")
+            .expect("democrats perturbed");
+        assert!(["demokRATs", "dem0crats"].contains(&demo.replacement.as_str()));
+    }
+
+    #[test]
+    fn ratio_controls_attempt_count() {
+        let d = db();
+        let p = Perturber::new(&d);
+        let text = "democrats republicans vaccine democrats republicans vaccine democrats republicans";
+        for (ratio, expected) in [(0.25, 2), (0.5, 4), (1.0, 8)] {
+            let out = p.perturb(text, PerturbParams::with_ratio(ratio)).unwrap();
+            assert_eq!(
+                out.replacements.len() + out.misses,
+                expected,
+                "ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_ratio_is_identity() {
+        let d = db();
+        let p = Perturber::new(&d);
+        let text = "the democrats and republicans";
+        let out = p.perturb(text, PerturbParams::with_ratio(0.0)).unwrap();
+        assert_eq!(out.text, text);
+        assert!(out.replacements.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = db();
+        let p = Perturber::new(&d);
+        let text = "democrats and republicans discuss the vaccine at length";
+        let a = p
+            .perturb(text, PerturbParams::with_ratio(0.5).seeded(7))
+            .unwrap();
+        let b = p
+            .perturb(text, PerturbParams::with_ratio(0.5).seeded(7))
+            .unwrap();
+        assert_eq!(a, b);
+        let c = p
+            .perturb(text, PerturbParams::with_ratio(0.5).seeded(8))
+            .unwrap();
+        // Different seed → (almost surely) different outcome.
+        assert!(a != c || a.replacements.is_empty());
+    }
+
+    #[test]
+    fn tokens_without_perturbations_count_as_misses() {
+        let d = db();
+        let p = Perturber::new(&d);
+        let out = p
+            .perturb("zebra crossing ahead", PerturbParams::with_ratio(1.0))
+            .unwrap();
+        assert_eq!(out.replacements.len(), 0);
+        assert_eq!(out.misses, 3);
+        assert_eq!(out.text, "zebra crossing ahead");
+    }
+
+    #[test]
+    fn spans_reference_original_text() {
+        let d = db();
+        let p = Perturber::new(&d);
+        let text = "the democrats met the republicans";
+        let out = p.perturb(text, PerturbParams::with_ratio(1.0)).unwrap();
+        for r in &out.replacements {
+            assert_eq!(&text[r.span.clone()], r.original);
+        }
+    }
+
+    #[test]
+    fn choices_exclude_identity_spellings() {
+        let d = db();
+        let p = Perturber::new(&d);
+        let choices = p
+            .choices_for("democrats", PerturbParams::with_ratio(1.0))
+            .unwrap();
+        assert!(!choices.iter().any(|c| c.eq_ignore_ascii_case("democrats") && c == "democrats"));
+        assert!(choices.contains(&"demokRATs".to_string()));
+    }
+
+    #[test]
+    fn invalid_level_is_error() {
+        let d = db();
+        let p = Perturber::new(&d);
+        let params = PerturbParams {
+            k: 9,
+            ..PerturbParams::with_ratio(0.5)
+        };
+        assert!(p.perturb("anything", params).is_err());
+    }
+
+    #[test]
+    fn empty_text_ok() {
+        let d = db();
+        let p = Perturber::new(&d);
+        let out = p.perturb("", PerturbParams::with_ratio(0.5)).unwrap();
+        assert_eq!(out.text, "");
+    }
+}

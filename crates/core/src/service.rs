@@ -1,0 +1,395 @@
+//! The public-API service facade (§III-F).
+//!
+//! "All functions of CrypText are equipped with secured public APIs,
+//! allowing users to utilize Look Up, Normalization and Perturbation in
+//! bulks. Accessing such APIs requires an authorization token… a Redis
+//! cache is adapted to temporarily store and re-use recent queried
+//! results."
+//!
+//! [`CryptextService`] reproduces that contract in-process: API-token
+//! authentication, per-token fixed-window rate limiting over an injected
+//! [`Clock`], a TTL+LRU result cache for Look Up, and bulk endpoints.
+
+use std::sync::Arc;
+
+use cryptext_cache::{Cache, CacheConfig, CacheStats};
+use cryptext_common::hash::fx_hash_str;
+use cryptext_common::{Clock, Error, Result, Timestamp};
+use parking_lot::RwLock;
+
+use crate::lookup::{LookupHit, LookupParams};
+use crate::normalize::{NormalizationResult, NormalizeParams};
+use crate::perturb::{PerturbParams, PerturbationOutcome};
+use crate::CrypText;
+
+/// An issued API authorization token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ApiToken(String);
+
+impl ApiToken {
+    /// The opaque token string (what a client would put in a header).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Requests allowed per token per fixed one-minute window.
+    pub rate_limit_per_minute: u32,
+    /// Look Up cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Look Up cache TTL in milliseconds.
+    pub cache_ttl_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            rate_limit_per_minute: 600,
+            cache_capacity: 10_000,
+            cache_ttl_ms: 5 * 60 * 1000,
+        }
+    }
+}
+
+struct RateState {
+    window_start: Timestamp,
+    used: u32,
+}
+
+const WINDOW_MS: u64 = 60_000;
+
+/// The authenticated, rate-limited, cached service facade.
+pub struct CryptextService {
+    system: CrypText,
+    config: ServiceConfig,
+    clock: Arc<dyn Clock>,
+    tokens: RwLock<std::collections::HashMap<String, RateState>>,
+    issued: std::sync::atomic::AtomicU64,
+    lookup_cache: Cache<String, Vec<LookupHit>>,
+}
+
+impl CryptextService {
+    /// Wrap an assembled [`CrypText`] system.
+    pub fn new(system: CrypText, config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
+        let cache = Cache::new(
+            CacheConfig {
+                capacity: config.cache_capacity,
+                default_ttl_ms: Some(config.cache_ttl_ms),
+                shards: 8,
+            },
+            Arc::clone(&clock),
+        );
+        CryptextService {
+            system,
+            config,
+            clock,
+            tokens: RwLock::new(std::collections::HashMap::new()),
+            issued: std::sync::atomic::AtomicU64::new(0),
+            lookup_cache: cache,
+        }
+    }
+
+    /// Issue a new API token for `owner` ("provided upon request" in the
+    /// paper). The returned token is the only credential; store it.
+    pub fn issue_token(&self, owner: &str) -> ApiToken {
+        let n = self
+            .issued
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let token = format!("cx_{owner}_{:016x}", fx_hash_str(owner) ^ (n << 1) ^ 0xC0FFEE);
+        self.tokens.write().insert(
+            token.clone(),
+            RateState {
+                window_start: self.clock.now(),
+                used: 0,
+            },
+        );
+        ApiToken(token)
+    }
+
+    /// Revoke a token; subsequent calls with it fail with `Unauthorized`.
+    pub fn revoke_token(&self, token: &ApiToken) {
+        self.tokens.write().remove(&token.0);
+    }
+
+    /// Authorize one request: token must exist and have window budget.
+    fn authorize(&self, token: &ApiToken) -> Result<()> {
+        let now = self.clock.now();
+        let mut tokens = self.tokens.write();
+        let state = tokens
+            .get_mut(&token.0)
+            .ok_or_else(|| Error::Unauthorized(format!("unknown token {}", token.0)))?;
+        if now.saturating_sub(state.window_start) >= WINDOW_MS {
+            state.window_start = now;
+            state.used = 0;
+        }
+        if state.used >= self.config.rate_limit_per_minute {
+            return Err(Error::RateLimited(format!(
+                "token {} exhausted {} requests/minute",
+                token.0, self.config.rate_limit_per_minute
+            )));
+        }
+        state.used += 1;
+        Ok(())
+    }
+
+    fn lookup_cache_key(token: &str, params: LookupParams) -> String {
+        format!(
+            "lookup\u{1}{token}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
+            params.k, params.d, params.exclude_identity, params.observed_only
+        )
+    }
+
+    /// Look Up endpoint (cached).
+    pub fn look_up(
+        &self,
+        auth: &ApiToken,
+        token: &str,
+        params: LookupParams,
+    ) -> Result<Vec<LookupHit>> {
+        self.authorize(auth)?;
+        let key = Self::lookup_cache_key(token, params);
+        if let Some(hits) = self.lookup_cache.get(&key) {
+            return Ok(hits);
+        }
+        let hits = self.system.look_up(token, params)?;
+        self.lookup_cache.insert(key, hits.clone());
+        Ok(hits)
+    }
+
+    /// Bulk Look Up: one authorization for the whole batch.
+    pub fn look_up_bulk(
+        &self,
+        auth: &ApiToken,
+        tokens: &[&str],
+        params: LookupParams,
+    ) -> Result<Vec<Vec<LookupHit>>> {
+        self.authorize(auth)?;
+        tokens
+            .iter()
+            .map(|t| {
+                let key = Self::lookup_cache_key(t, params);
+                if let Some(hits) = self.lookup_cache.get(&key) {
+                    return Ok(hits);
+                }
+                let hits = self.system.look_up(t, params)?;
+                self.lookup_cache.insert(key, hits.clone());
+                Ok(hits)
+            })
+            .collect()
+    }
+
+    /// Normalization endpoint.
+    pub fn normalize(
+        &self,
+        auth: &ApiToken,
+        text: &str,
+        params: NormalizeParams,
+    ) -> Result<NormalizationResult> {
+        self.authorize(auth)?;
+        self.system.normalize(text, params)
+    }
+
+    /// Bulk Normalization.
+    pub fn normalize_bulk(
+        &self,
+        auth: &ApiToken,
+        texts: &[&str],
+        params: NormalizeParams,
+    ) -> Result<Vec<NormalizationResult>> {
+        self.authorize(auth)?;
+        texts.iter().map(|t| self.system.normalize(t, params)).collect()
+    }
+
+    /// Perturbation endpoint.
+    pub fn perturb(
+        &self,
+        auth: &ApiToken,
+        text: &str,
+        params: PerturbParams,
+    ) -> Result<PerturbationOutcome> {
+        self.authorize(auth)?;
+        self.system.perturb(text, params)
+    }
+
+    /// Cache statistics (the Fig. 5 architecture experiment reports the
+    /// hit rate).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lookup_cache.stats()
+    }
+
+    /// The wrapped system (read access).
+    pub fn system(&self) -> &CrypText {
+        &self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::TokenDatabase;
+    use cryptext_common::SimClock;
+
+    fn service(limit: u32) -> (CryptextService, SimClock) {
+        let mut db = TokenDatabase::in_memory();
+        for s in [
+            "the demokRATs and democrats argue",
+            "repubLIEcans and republicans fight",
+            "the vaccine and the vacc1ne",
+        ] {
+            db.ingest_text(s);
+        }
+        let clock = SimClock::new(0);
+        let svc = CryptextService::new(
+            CrypText::new(db),
+            ServiceConfig {
+                rate_limit_per_minute: limit,
+                ..ServiceConfig::default()
+            },
+            Arc::new(clock.clone()),
+        );
+        (svc, clock)
+    }
+
+    #[test]
+    fn requires_valid_token() {
+        let (svc, _) = service(10);
+        let bogus = ApiToken("cx_fake_0000".into());
+        let err = svc
+            .look_up(&bogus, "democrats", LookupParams::paper_default())
+            .unwrap_err();
+        assert!(matches!(err, Error::Unauthorized(_)));
+    }
+
+    #[test]
+    fn issued_token_works_and_revocation_stops_it() {
+        let (svc, _) = service(10);
+        let tok = svc.issue_token("alice");
+        assert!(tok.as_str().starts_with("cx_alice_"));
+        let hits = svc
+            .look_up(&tok, "democrats", LookupParams::paper_default())
+            .unwrap();
+        assert!(hits.iter().any(|h| h.token == "demokRATs"));
+        svc.revoke_token(&tok);
+        assert!(matches!(
+            svc.look_up(&tok, "democrats", LookupParams::paper_default()),
+            Err(Error::Unauthorized(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_tokens_for_distinct_owners_and_calls() {
+        let (svc, _) = service(10);
+        let a = svc.issue_token("alice");
+        let b = svc.issue_token("alice");
+        let c = svc.issue_token("bob");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rate_limit_enforced_and_window_resets() {
+        let (svc, clock) = service(3);
+        let tok = svc.issue_token("bob");
+        for _ in 0..3 {
+            svc.look_up(&tok, "vaccine", LookupParams::paper_default())
+                .unwrap();
+        }
+        let err = svc
+            .look_up(&tok, "vaccine", LookupParams::paper_default())
+            .unwrap_err();
+        assert!(matches!(err, Error::RateLimited(_)));
+        assert!(err.is_retryable());
+        // A minute later the window resets.
+        clock.advance(60_000);
+        svc.look_up(&tok, "vaccine", LookupParams::paper_default())
+            .unwrap();
+    }
+
+    #[test]
+    fn rate_limits_are_per_token() {
+        let (svc, _) = service(1);
+        let a = svc.issue_token("a");
+        let b = svc.issue_token("b");
+        svc.look_up(&a, "vaccine", LookupParams::paper_default()).unwrap();
+        assert!(svc
+            .look_up(&a, "vaccine", LookupParams::paper_default())
+            .is_err());
+        svc.look_up(&b, "vaccine", LookupParams::paper_default()).unwrap();
+    }
+
+    #[test]
+    fn lookup_results_are_cached() {
+        let (svc, _) = service(100);
+        let tok = svc.issue_token("carol");
+        let a = svc
+            .look_up(&tok, "republicans", LookupParams::paper_default())
+            .unwrap();
+        let b = svc
+            .look_up(&tok, "republicans", LookupParams::paper_default())
+            .unwrap();
+        assert_eq!(a, b);
+        let stats = svc.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // Different params → different cache entry.
+        svc.look_up(&tok, "republicans", LookupParams::new(1, 1))
+            .unwrap();
+        assert_eq!(svc.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn cache_entries_expire_by_ttl() {
+        let (svc, clock) = service(100);
+        let tok = svc.issue_token("dave");
+        svc.look_up(&tok, "vaccine", LookupParams::paper_default())
+            .unwrap();
+        clock.advance(ServiceConfig::default().cache_ttl_ms + 1);
+        svc.look_up(&tok, "vaccine", LookupParams::paper_default())
+            .unwrap();
+        assert_eq!(svc.cache_stats().expirations, 1);
+    }
+
+    #[test]
+    fn bulk_endpoints_one_authorization() {
+        let (svc, _) = service(1);
+        let tok = svc.issue_token("erin");
+        let out = svc
+            .look_up_bulk(
+                &tok,
+                &["democrats", "republicans", "vaccine"],
+                LookupParams::paper_default(),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        // Budget of 1 is now spent; the next call rate-limits.
+        assert!(svc
+            .look_up(&tok, "vaccine", LookupParams::paper_default())
+            .is_err());
+    }
+
+    #[test]
+    fn normalize_and_perturb_endpoints() {
+        let (svc, _) = service(100);
+        let tok = svc.issue_token("frank");
+        let norm = svc
+            .normalize(
+                &tok,
+                "the demokRATs won",
+                NormalizeParams::default(),
+            )
+            .unwrap();
+        assert_eq!(norm.text, "the democrats won");
+        let out = svc
+            .perturb(&tok, "the democrats won", PerturbParams::with_ratio(1.0))
+            .unwrap();
+        assert!(out.replacements.len() + out.misses > 0);
+
+        let bulk = svc
+            .normalize_bulk(&tok, &["the demokRATs", "ok text"], NormalizeParams::default())
+            .unwrap();
+        assert_eq!(bulk.len(), 2);
+    }
+}

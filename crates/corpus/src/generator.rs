@@ -1,0 +1,416 @@
+//! The labelled synthetic corpus generator.
+
+use cryptext_attacks::{HumanPerturber, TokenPerturber};
+use cryptext_common::SplitMix64;
+use cryptext_tokenizer::{splice, tokenize};
+
+use crate::lexicon::{Topic, GENERAL, SENTIMENT_NEGATIVE, SENTIMENT_POSITIVE, TOXIC_WORDS};
+use crate::templates::{NEGATIVE_TEMPLATES, POSITIVE_TEMPLATES, TOXIC_TEMPLATES};
+use crate::Sentiment;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Master seed; equal configs generate identical corpora.
+    pub seed: u64,
+    /// Relative topic weights (need not sum to 1).
+    pub topic_weights: [f64; 5],
+    /// Probability a document is negative.
+    pub negative_fraction: f64,
+    /// Probability a *negative* document is toxic/abusive.
+    pub toxic_given_negative: f64,
+    /// Probability the sensitive target of a *negative* document gets
+    /// perturbed. The wild-data regularity (§III-B): perturbations
+    /// concentrate in negative/abusive content.
+    pub perturb_prob_negative: f64,
+    /// Same for positive documents (much lower in the wild).
+    pub perturb_prob_positive: f64,
+    /// Probability of additionally perturbing one non-target content word.
+    pub secondary_perturb_prob: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            n_docs: 1_000,
+            seed: 42,
+            topic_weights: [1.0; 5],
+            negative_fraction: 0.5,
+            toxic_given_negative: 0.4,
+            perturb_prob_negative: 0.55,
+            perturb_prob_positive: 0.12,
+            secondary_perturb_prob: 0.10,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small corpus for unit tests.
+    pub fn small(seed: u64) -> Self {
+        CorpusConfig {
+            n_docs: 120,
+            seed,
+            ..CorpusConfig::default()
+        }
+    }
+}
+
+/// Ground truth for one perturbed token.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PerturbationRecord {
+    /// The clean dictionary word that was perturbed.
+    pub original: String,
+    /// The perturbed surface form actually placed in the text.
+    pub perturbed: String,
+}
+
+/// One generated, fully-labelled document.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LabeledDoc {
+    /// Post text (possibly containing perturbations).
+    pub text: String,
+    /// The same text before perturbation (gold for normalization).
+    pub clean_text: String,
+    /// Topic label.
+    pub topic: Topic,
+    /// Sentiment label.
+    pub sentiment: Sentiment,
+    /// Toxicity label.
+    pub toxic: bool,
+    /// Which tokens were perturbed, in text order.
+    pub perturbations: Vec<PerturbationRecord>,
+}
+
+impl LabeledDoc {
+    /// Was anything perturbed?
+    pub fn is_perturbed(&self) -> bool {
+        !self.perturbations.is_empty()
+    }
+}
+
+/// A generated corpus plus its provenance.
+#[derive(Debug, Clone)]
+pub struct GeneratedCorpus {
+    /// The documents.
+    pub docs: Vec<LabeledDoc>,
+    /// The configuration that produced them.
+    pub config: CorpusConfig,
+}
+
+impl GeneratedCorpus {
+    /// Just the texts.
+    pub fn texts(&self) -> Vec<String> {
+        self.docs.iter().map(|d| d.text.clone()).collect()
+    }
+
+    /// Fraction of documents that carry at least one perturbation.
+    pub fn perturbed_fraction(&self) -> f64 {
+        if self.docs.is_empty() {
+            return 0.0;
+        }
+        self.docs.iter().filter(|d| d.is_perturbed()).count() as f64 / self.docs.len() as f64
+    }
+
+    /// Fraction of documents labelled negative.
+    pub fn negative_fraction(&self) -> f64 {
+        if self.docs.is_empty() {
+            return 0.0;
+        }
+        self.docs
+            .iter()
+            .filter(|d| d.sentiment == Sentiment::Negative)
+            .count() as f64
+            / self.docs.len() as f64
+    }
+}
+
+fn pick<'a>(rng: &mut SplitMix64, items: &[&'a str]) -> &'a str {
+    rng.choose(items).copied().unwrap_or("thing")
+}
+
+fn fill_template(
+    template: &str,
+    rng: &mut SplitMix64,
+    topic: Topic,
+    sentiment: Sentiment,
+) -> (String, String) {
+    let target = pick(rng, topic.sensitive_targets());
+    let sent_lex = match sentiment {
+        Sentiment::Positive => SENTIMENT_POSITIVE,
+        Sentiment::Negative => SENTIMENT_NEGATIVE,
+    };
+    let mut out = String::with_capacity(template.len() + 32);
+    let mut rest = template;
+    while let Some(start) = rest.find('{') {
+        out.push_str(&rest[..start]);
+        let end = rest[start..].find('}').map(|e| start + e).expect("closed slot");
+        let slot = &rest[start + 1..end];
+        let word = match slot {
+            "target" => target,
+            "topic" => pick(rng, topic.vocabulary()),
+            "sent" | "sent2" => pick(rng, sent_lex),
+            "gen" => pick(rng, GENERAL),
+            "toxic" | "toxic2" => pick(rng, TOXIC_WORDS),
+            other => panic!("unknown template slot {other}"),
+        };
+        out.push_str(word);
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    (out, target.to_string())
+}
+
+/// Generate a labelled corpus.
+pub fn generate(config: CorpusConfig) -> GeneratedCorpus {
+    let mut rng = SplitMix64::new(config.seed);
+    let perturber = HumanPerturber::sound_preserving();
+    let mut docs = Vec::with_capacity(config.n_docs);
+
+    for _ in 0..config.n_docs {
+        let topic = Topic::ALL[rng
+            .weighted_index(&config.topic_weights)
+            .unwrap_or(0)];
+        let sentiment = if rng.chance(config.negative_fraction) {
+            Sentiment::Negative
+        } else {
+            Sentiment::Positive
+        };
+        let toxic = match sentiment {
+            Sentiment::Negative => rng.chance(config.toxic_given_negative),
+            Sentiment::Positive => rng.chance(0.02),
+        };
+        let template = if toxic {
+            pick_template(&mut rng, TOXIC_TEMPLATES)
+        } else {
+            match sentiment {
+                Sentiment::Positive => pick_template(&mut rng, POSITIVE_TEMPLATES),
+                Sentiment::Negative => pick_template(&mut rng, NEGATIVE_TEMPLATES),
+            }
+        };
+        let (clean_text, target) = fill_template(template, &mut rng, topic, sentiment);
+
+        // Perturbation pass over the clean text.
+        let perturb_prob = match sentiment {
+            Sentiment::Negative => config.perturb_prob_negative,
+            Sentiment::Positive => config.perturb_prob_positive,
+        };
+        let tokens = tokenize(&clean_text);
+        let mut replacements: Vec<(std::ops::Range<usize>, String)> = Vec::new();
+        let mut records: Vec<PerturbationRecord> = Vec::new();
+        let mut perturbed_target = false;
+        let mut perturbed_secondary = false;
+        for tok in tokens.iter().filter(|t| t.is_word()) {
+            if records.len() >= 3 {
+                break;
+            }
+            let is_target = tok.text.eq_ignore_ascii_case(&target);
+            let lower = tok.text.to_ascii_lowercase();
+            // Signal words are what evasive users actually perturb in the
+            // wild: insults (to dodge toxicity moderation) and strong
+            // sentiment carriers.
+            let is_signal = TOXIC_WORDS.contains(&lower.as_str())
+                || SENTIMENT_NEGATIVE.contains(&lower.as_str())
+                || SENTIMENT_POSITIVE.contains(&lower.as_str());
+            let fire = if is_target {
+                !perturbed_target && rng.chance(perturb_prob)
+            } else if is_signal {
+                rng.chance(perturb_prob * 0.8)
+            } else {
+                !perturbed_secondary
+                    && tok.text.len() >= 5
+                    && rng.chance(config.secondary_perturb_prob)
+            };
+            if !fire {
+                continue;
+            }
+            if let Some(p) = perturber.perturb_token(&tok.text, &mut rng) {
+                if is_target {
+                    perturbed_target = true;
+                } else if !is_signal {
+                    perturbed_secondary = true;
+                }
+                records.push(PerturbationRecord {
+                    original: tok.text.clone(),
+                    perturbed: p.clone(),
+                });
+                replacements.push((tok.span.clone(), p));
+            }
+        }
+        let text = if replacements.is_empty() {
+            clean_text.clone()
+        } else {
+            splice(&clean_text, &replacements)
+        };
+
+        docs.push(LabeledDoc {
+            text,
+            clean_text,
+            topic,
+            sentiment,
+            toxic,
+            perturbations: records,
+        });
+    }
+    GeneratedCorpus { docs, config }
+}
+
+fn pick_template<'a>(rng: &mut SplitMix64, templates: &[&'a str]) -> &'a str {
+    rng.choose(templates).copied().expect("non-empty template set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::is_english_word;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(CorpusConfig::small(7));
+        let b = generate(CorpusConfig::small(7));
+        assert_eq!(a.docs, b.docs);
+        let c = generate(CorpusConfig::small(8));
+        assert_ne!(a.docs, c.docs);
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let corpus = generate(CorpusConfig::small(1));
+        assert_eq!(corpus.docs.len(), 120);
+    }
+
+    #[test]
+    fn labels_match_configured_rates_roughly() {
+        let corpus = generate(CorpusConfig {
+            n_docs: 2_000,
+            ..CorpusConfig::default()
+        });
+        let neg = corpus.negative_fraction();
+        assert!((0.45..0.55).contains(&neg), "negative fraction {neg}");
+        let toxic = corpus.docs.iter().filter(|d| d.toxic).count() as f64 / 2_000.0;
+        // ≈ 0.5·0.4 + 0.5·0.02 = 0.21.
+        assert!((0.15..0.27).contains(&toxic), "toxic fraction {toxic}");
+    }
+
+    #[test]
+    fn negative_docs_perturb_more() {
+        let corpus = generate(CorpusConfig {
+            n_docs: 3_000,
+            ..CorpusConfig::default()
+        });
+        let frac = |s: Sentiment| {
+            let docs: Vec<_> = corpus.docs.iter().filter(|d| d.sentiment == s).collect();
+            docs.iter().filter(|d| d.is_perturbed()).count() as f64 / docs.len() as f64
+        };
+        let neg = frac(Sentiment::Negative);
+        let pos = frac(Sentiment::Positive);
+        assert!(
+            neg > pos + 0.2,
+            "perturbations concentrate in negative content: {neg} vs {pos}"
+        );
+    }
+
+    #[test]
+    fn perturbation_records_are_faithful() {
+        let corpus = generate(CorpusConfig::small(3));
+        for doc in &corpus.docs {
+            for rec in &doc.perturbations {
+                assert_ne!(rec.original, rec.perturbed);
+                assert!(
+                    doc.text.contains(&rec.perturbed),
+                    "text {:?} contains {:?}",
+                    doc.text,
+                    rec.perturbed
+                );
+                assert!(
+                    doc.clean_text.contains(&rec.original),
+                    "clean {:?} contains {:?}",
+                    doc.clean_text,
+                    rec.original
+                );
+                assert!(is_english_word(&rec.original), "{}", rec.original);
+                // Emphasis perturbations (stoRY) stay dictionary words
+                // under case folding; every other strategy leaves the
+                // dictionary.
+                if is_english_word(&rec.perturbed) {
+                    assert_eq!(
+                        rec.perturbed.to_ascii_lowercase(),
+                        rec.original.to_ascii_lowercase(),
+                        "in-dictionary perturbation must be a pure case change"
+                    );
+                }
+            }
+            if doc.perturbations.is_empty() {
+                assert_eq!(doc.text, doc.clean_text);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_text_is_all_dictionary_words() {
+        let corpus = generate(CorpusConfig::small(4));
+        for doc in &corpus.docs {
+            for w in cryptext_tokenizer::words(&doc.clean_text) {
+                assert!(is_english_word(&w), "{w} in {:?}", doc.clean_text);
+            }
+        }
+    }
+
+    #[test]
+    fn toxic_docs_use_abusive_register() {
+        let corpus = generate(CorpusConfig {
+            n_docs: 500,
+            ..CorpusConfig::default()
+        });
+        let toxic_docs: Vec<_> = corpus.docs.iter().filter(|d| d.toxic).collect();
+        assert!(!toxic_docs.is_empty());
+        let with_insult = toxic_docs
+            .iter()
+            .filter(|d| {
+                cryptext_tokenizer::words(&d.clean_text)
+                    .iter()
+                    .any(|w| crate::lexicon::TOXIC_WORDS.contains(&w.as_str()))
+            })
+            .count();
+        assert_eq!(with_insult, toxic_docs.len(), "every toxic doc has an insult");
+    }
+
+    #[test]
+    fn every_doc_mentions_a_sensitive_target_in_clean_form() {
+        let corpus = generate(CorpusConfig::small(5));
+        for doc in &corpus.docs {
+            let words = cryptext_tokenizer::words(&doc.clean_text);
+            assert!(
+                doc.topic
+                    .sensitive_targets()
+                    .iter()
+                    .any(|t| words.iter().any(|w| w == t)),
+                "{:?} mentions a target of {:?}",
+                doc.clean_text,
+                doc.topic
+            );
+        }
+    }
+
+    #[test]
+    fn topic_weights_skew_generation() {
+        let corpus = generate(CorpusConfig {
+            n_docs: 600,
+            topic_weights: [1.0, 0.0, 0.0, 0.0, 0.0],
+            ..CorpusConfig::default()
+        });
+        assert!(corpus.docs.iter().all(|d| d.topic == Topic::Politics));
+    }
+
+    #[test]
+    fn zero_docs_is_fine() {
+        let corpus = generate(CorpusConfig {
+            n_docs: 0,
+            ..CorpusConfig::default()
+        });
+        assert!(corpus.docs.is_empty());
+        assert_eq!(corpus.perturbed_fraction(), 0.0);
+        assert_eq!(corpus.negative_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # cryptext-corpus
+//!
+//! Embedded lexicons and synthetic corpus generators.
+//!
+//! The paper curates its token database from public abuse-detection
+//! corpora — rumors (Kochkina et al.), hate speech (Gomez et al.),
+//! cyberbullying / Wikipedia personal attacks (Wulczyn et al.) — and keeps
+//! enriching it from live Twitter. Those datasets cannot ship here, so this
+//! crate generates *synthetic equivalents*: topic- and sentiment-conditioned
+//! social-media-style posts, seeded with human-written perturbations from
+//! [`cryptext_attacks::HumanPerturber`] at configurable rates.
+//!
+//! What must hold for the substitution to be faithful (and is tested):
+//!
+//! * posts mention *sensitive targets* (democrats, vaccine, muslim, …) that
+//!   carry perturbations in the wild;
+//! * perturbation probability is higher in negative/abusive posts — the
+//!   empirical regularity behind the paper's keyword-enrichment use case
+//!   (§III-B: perturbed queries surface more negative content);
+//! * every document carries gold labels (topic, sentiment, toxicity) plus
+//!   the ground-truth perturbation map, so experiments can score retrieval
+//!   and normalization exactly.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod generator;
+pub mod lexicon;
+pub mod templates;
+
+pub use generator::{CorpusConfig, GeneratedCorpus, LabeledDoc, PerturbationRecord};
+pub use lexicon::{english_lexicon, is_english_word, Topic};
+
+/// Document sentiment polarity (binary, as in the paper's §III-B
+/// percentages: a tweet is either negative or not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Sentiment {
+    /// Positive-or-neutral.
+    Positive,
+    /// Negative.
+    Negative,
+}
+
+impl Sentiment {
+    /// Dense class index for classifiers (`Positive = 0`).
+    pub fn class_index(self) -> usize {
+        match self {
+            Sentiment::Positive => 0,
+            Sentiment::Negative => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentiment_class_indices_are_dense() {
+        assert_eq!(Sentiment::Positive.class_index(), 0);
+        assert_eq!(Sentiment::Negative.class_index(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Sentence templates for the synthetic social stream.
+//!
+//! Slots: `{target}` — a sensitive target word of the topic; `{topic}` — a
+//! topical content word; `{sent}` — a sentiment word matching the post's
+//! polarity; `{gen}` — general filler; `{toxic}` — an insult (toxic posts
+//! only). Templates are deliberately colloquial: the tokenizer, database
+//! curation and classifiers must work on social-media register, not
+//! newswire.
+//!
+//! Design constraint for the Fig. 4 reproduction: the toxic templates are
+//! glue-for-glue copies of the negative templates with insult slots in
+//! place of sentiment slots. That makes the insult tokens carry (nearly)
+//! all of the toxicity signal — exactly how a Perspective-style lexical
+//! toxicity scorer behaves, and why perturbing those tokens (the wild
+//! evasion strategy) degrades it.
+
+/// Templates for positive/neutral posts.
+pub const POSITIVE_TEMPLATES: &[&str] = &[
+    "the {target} made real progress on {topic} and people are {sent}",
+    "so {sent} about the {target} and their {topic} plans today",
+    "honestly the {topic} news about {target} is {sent}",
+    "big {sent} moment for {target} after the {topic} announcement",
+    "my {gen} said the {target} handled the {topic} debate and it was {sent}",
+    "this {topic} update from {target} is actually {sent} and {gen} agree",
+    "we should {gen} more because the {target} {topic} results look {sent}",
+    "what a {sent} week for {target} with the {topic} finally moving",
+    "the {topic} report shows {sent} progress and even {target} noticed",
+    "feeling {sent} after reading about {target} and the new {topic}",
+    "everyone in my {gen} thinks the {target} {topic} idea is {sent}",
+    "credit where due the {target} were {sent} on {topic} this time",
+];
+
+/// Templates for negative posts.
+pub const NEGATIVE_TEMPLATES: &[&str] = &[
+    "the {target} are {sent} and their {topic} plan is a {sent2}",
+    "cannot believe the {target} pushed that {sent} {topic} again",
+    "this {topic} mess proves the {target} are {sent}",
+    "so {sent} about the {target} and the whole {topic} disaster",
+    "the {target} keep {gen} about {topic} and it is {sent}",
+    "another {sent} week of {target} ruining the {topic} for everyone",
+    "my {gen} warned me the {target} {topic} push was {sent}",
+    "wake up people the {target} are spreading {sent} lies about {topic}",
+    "the {topic} numbers are {sent} and the {target} still deny it",
+    "tired of the {sent} {target} and their {topic} propaganda",
+    "everything about the {target} {topic} agenda is {sent} and {sent2}",
+    "the {target} turned the {topic} into a {sent} circus",
+];
+
+/// Templates for toxic negative posts: the same glue as
+/// [`NEGATIVE_TEMPLATES`], with insults in the signal slots.
+pub const TOXIC_TEMPLATES: &[&str] = &[
+    "the {target} are {toxic} and their {topic} plan is a {toxic2}",
+    "cannot believe the {toxic} {target} pushed that {topic} again",
+    "this {topic} mess proves the {target} are {toxic}",
+    "so tired of the {toxic} {target} and the whole {topic} disaster",
+    "the {target} keep {gen} about {topic} and they are {toxic}",
+    "another week of {toxic} {target} ruining the {topic} for everyone",
+    "my {gen} warned me the {target} are {toxic} about {topic}",
+    "wake up people the {toxic} {target} are spreading lies about {topic}",
+    "the {topic} numbers are fake and the {toxic} {target} still deny it",
+    "tired of the {toxic} {target} and their {topic} propaganda",
+    "everything about the {target} {topic} agenda is {toxic} and {toxic2}",
+    "the {toxic} {target} turned the {topic} into a circus",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slots_of(t: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut rest = t;
+        while let Some(start) = rest.find('{') {
+            let end = rest[start..].find('}').map(|e| start + e).expect("closed slot");
+            out.push(&rest[start + 1..end]);
+            rest = &rest[end + 1..];
+        }
+        out
+    }
+
+    #[test]
+    fn every_template_mentions_a_target() {
+        for t in POSITIVE_TEMPLATES
+            .iter()
+            .chain(NEGATIVE_TEMPLATES)
+            .chain(TOXIC_TEMPLATES)
+        {
+            assert!(slots_of(t).contains(&"target"), "{t}");
+        }
+    }
+
+    #[test]
+    fn sentiment_templates_carry_sentiment_slots() {
+        for t in POSITIVE_TEMPLATES.iter().chain(NEGATIVE_TEMPLATES) {
+            assert!(slots_of(t).iter().any(|s| s.starts_with("sent")), "{t}");
+        }
+    }
+
+    #[test]
+    fn toxic_templates_carry_toxic_slots() {
+        for t in TOXIC_TEMPLATES {
+            assert!(slots_of(t).iter().any(|s| s.starts_with("toxic")), "{t}");
+        }
+    }
+
+    #[test]
+    fn toxic_glue_matches_negative_glue() {
+        // The toxicity signal must live in the {toxic} slots, not in glue
+        // vocabulary: every non-slot word of every toxic template must
+        // appear somewhere in the negative templates' glue too.
+        let negative_glue: std::collections::HashSet<&str> = NEGATIVE_TEMPLATES
+            .iter()
+            .flat_map(|t| t.split_whitespace())
+            .filter(|w| !w.contains('{'))
+            .collect();
+        for t in TOXIC_TEMPLATES {
+            for w in t.split_whitespace().filter(|w| !w.contains('{')) {
+                // A tiny allow-list of function-word variations; they carry
+                // no toxicity signal.
+                let harmless = ["fake", "week", "they", "are", "of"];
+                assert!(
+                    negative_glue.contains(w) || harmless.contains(&w),
+                    "toxic-only glue word {w:?} in {t:?} would leak label signal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_known() {
+        let known = ["target", "topic", "sent", "sent2", "gen", "toxic", "toxic2"];
+        for t in POSITIVE_TEMPLATES
+            .iter()
+            .chain(NEGATIVE_TEMPLATES)
+            .chain(TOXIC_TEMPLATES)
+        {
+            for s in slots_of(t) {
+                assert!(known.contains(&s), "unknown slot {s} in {t}");
+            }
+        }
+    }
+}

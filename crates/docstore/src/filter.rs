@@ -1,0 +1,222 @@
+//! The query algebra.
+//!
+//! A deliberately small subset of Mongo-style matching: equality, set
+//! membership, ranges over [`Value::cmp_total`], substring/element
+//! containment, field existence, and boolean combinators. Collections
+//! accelerate top-level `Eq`/`In` via hash indexes (see
+//! [`Collection::find`](crate::collection::Collection::find)).
+
+use crate::value::{Document, Value};
+
+/// A predicate over documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every document.
+    All,
+    /// Field at dotted path equals value. For array fields, also matches
+    /// when *any element* equals the value (Mongo semantics — this is what
+    /// makes `codes: [..]` queryable by a single code).
+    Eq(String, Value),
+    /// Negated [`Filter::Eq`].
+    Ne(String, Value),
+    /// Field equals any of the listed values (array fields: any element).
+    In(String, Vec<Value>),
+    /// Field strictly less than value (total order).
+    Lt(String, Value),
+    /// Field less than or equal.
+    Lte(String, Value),
+    /// Field strictly greater.
+    Gt(String, Value),
+    /// Field greater than or equal.
+    Gte(String, Value),
+    /// String field contains the given substring, or array field contains
+    /// the value as an element.
+    Contains(String, Value),
+    /// The field exists (any value, including null).
+    Exists(String),
+    /// Every sub-filter matches.
+    And(Vec<Filter>),
+    /// At least one sub-filter matches.
+    Or(Vec<Filter>),
+    /// Sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Convenience constructor: `field == value`.
+    pub fn eq(field: impl Into<String>, value: impl Into<Value>) -> Self {
+        Filter::Eq(field.into(), value.into())
+    }
+
+    /// Convenience constructor: `field ∈ values`.
+    pub fn is_in(field: impl Into<String>, values: Vec<Value>) -> Self {
+        Filter::In(field.into(), values)
+    }
+
+    /// Does `doc` satisfy this filter?
+    pub fn matches(&self, doc: &Document) -> bool {
+        match self {
+            Filter::All => true,
+            Filter::Eq(path, v) => doc.get(path).is_some_and(|f| value_eq_or_elem(f, v)),
+            Filter::Ne(path, v) => !doc.get(path).is_some_and(|f| value_eq_or_elem(f, v)),
+            Filter::In(path, vs) => doc
+                .get(path)
+                .is_some_and(|f| vs.iter().any(|v| value_eq_or_elem(f, v))),
+            Filter::Lt(path, v) => cmp_ok(doc, path, v, |o| o == std::cmp::Ordering::Less),
+            Filter::Lte(path, v) => cmp_ok(doc, path, v, |o| o != std::cmp::Ordering::Greater),
+            Filter::Gt(path, v) => cmp_ok(doc, path, v, |o| o == std::cmp::Ordering::Greater),
+            Filter::Gte(path, v) => cmp_ok(doc, path, v, |o| o != std::cmp::Ordering::Less),
+            Filter::Contains(path, v) => doc.get(path).is_some_and(|f| match (f, v) {
+                (Value::Str(hay), Value::Str(needle)) => hay.contains(needle.as_str()),
+                (Value::Array(items), needle) => items.iter().any(|i| i == needle),
+                _ => false,
+            }),
+            Filter::Exists(path) => doc.get(path).is_some(),
+            Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
+            Filter::Not(f) => !f.matches(doc),
+        }
+    }
+
+    /// If this filter (or a conjunct of it) pins an indexable field to
+    /// specific values, return `(field, candidate values)` for index
+    /// acceleration. Conservative: only top-level `Eq`/`In`, or the first
+    /// usable conjunct inside an `And`.
+    pub(crate) fn index_probe(&self) -> Option<(&str, Vec<&Value>)> {
+        match self {
+            Filter::Eq(path, v) => Some((path.as_str(), vec![v])),
+            Filter::In(path, vs) => Some((path.as_str(), vs.iter().collect())),
+            Filter::And(fs) => fs.iter().find_map(|f| f.index_probe()),
+            _ => None,
+        }
+    }
+}
+
+fn value_eq_or_elem(field: &Value, target: &Value) -> bool {
+    if field == target {
+        return true;
+    }
+    matches!(field, Value::Array(items) if items.iter().any(|i| i == target))
+}
+
+fn cmp_ok(
+    doc: &Document,
+    path: &str,
+    v: &Value,
+    pred: impl Fn(std::cmp::Ordering) -> bool,
+) -> bool {
+    doc.get(path).is_some_and(|f| pred(f.cmp_total(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::new()
+            .with("token", "demokRATs")
+            .with("count", 12i64)
+            .with("score", 0.75)
+            .with("codes", vec!["DE56232", "DE5623"])
+            .with("flagged", true)
+    }
+
+    #[test]
+    fn eq_scalar_and_array_element() {
+        assert!(Filter::eq("token", "demokRATs").matches(&doc()));
+        assert!(!Filter::eq("token", "democrats").matches(&doc()));
+        // Array field: Eq matches any element (Mongo semantics).
+        assert!(Filter::eq("codes", "DE5623").matches(&doc()));
+        assert!(!Filter::eq("codes", "XX000").matches(&doc()));
+    }
+
+    #[test]
+    fn eq_missing_field_is_false_and_ne_true() {
+        assert!(!Filter::eq("missing", 1i64).matches(&doc()));
+        assert!(Filter::Ne("missing".into(), Value::Int(1)).matches(&doc()));
+        assert!(Filter::Ne("count".into(), Value::Int(5)).matches(&doc()));
+        assert!(!Filter::Ne("count".into(), Value::Int(12)).matches(&doc()));
+    }
+
+    #[test]
+    fn in_filter() {
+        let f = Filter::is_in("token", vec!["a".into(), "demokRATs".into()]);
+        assert!(f.matches(&doc()));
+        let f = Filter::is_in("codes", vec!["DE56232".into()]);
+        assert!(f.matches(&doc()), "array membership through In");
+        let f = Filter::is_in("token", vec![]);
+        assert!(!f.matches(&doc()), "empty In matches nothing");
+    }
+
+    #[test]
+    fn range_filters_use_total_order() {
+        assert!(Filter::Lt("count".into(), Value::Int(13)).matches(&doc()));
+        assert!(!Filter::Lt("count".into(), Value::Int(12)).matches(&doc()));
+        assert!(Filter::Lte("count".into(), Value::Int(12)).matches(&doc()));
+        assert!(Filter::Gt("score".into(), Value::Float(0.5)).matches(&doc()));
+        assert!(Filter::Gte("score".into(), Value::Int(0)).matches(&doc()), "cross-type numeric");
+        assert!(!Filter::Gt("missing".into(), Value::Int(0)).matches(&doc()));
+    }
+
+    #[test]
+    fn contains_substring_and_element() {
+        assert!(Filter::Contains("token".into(), Value::Str("RAT".into())).matches(&doc()));
+        assert!(!Filter::Contains("token".into(), Value::Str("rat".into())).matches(&doc()));
+        assert!(Filter::Contains("codes".into(), Value::Str("DE5623".into())).matches(&doc()));
+        assert!(!Filter::Contains("count".into(), Value::Str("1".into())).matches(&doc()));
+    }
+
+    #[test]
+    fn exists_and_not() {
+        assert!(Filter::Exists("flagged".into()).matches(&doc()));
+        assert!(!Filter::Exists("nope".into()).matches(&doc()));
+        assert!(Filter::Not(Box::new(Filter::Exists("nope".into()))).matches(&doc()));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let f = Filter::And(vec![
+            Filter::eq("flagged", true),
+            Filter::Gt("count".into(), Value::Int(10)),
+        ]);
+        assert!(f.matches(&doc()));
+        let f = Filter::Or(vec![
+            Filter::eq("token", "nope"),
+            Filter::eq("token", "demokRATs"),
+        ]);
+        assert!(f.matches(&doc()));
+        assert!(Filter::And(vec![]).matches(&doc()), "empty And is true");
+        assert!(!Filter::Or(vec![]).matches(&doc()), "empty Or is false");
+        assert!(Filter::All.matches(&doc()));
+    }
+
+    #[test]
+    fn index_probe_extraction() {
+        let f = Filter::eq("token", "x");
+        let (field, vals) = f.index_probe().unwrap();
+        assert_eq!(field, "token");
+        assert_eq!(vals.len(), 1);
+
+        let f = Filter::And(vec![
+            Filter::Gt("count".into(), Value::Int(0)),
+            Filter::eq("token", "x"),
+        ]);
+        assert_eq!(f.index_probe().unwrap().0, "token", "probe found inside And");
+
+        assert!(Filter::Gt("count".into(), Value::Int(0)).index_probe().is_none());
+        assert!(Filter::All.index_probe().is_none());
+    }
+
+    #[test]
+    fn nested_path_filters() {
+        let d = Document::new().with(
+            "meta",
+            Value::Object(std::collections::BTreeMap::from([(
+                "lang".to_string(),
+                Value::Str("en".into()),
+            )])),
+        );
+        assert!(Filter::eq("meta.lang", "en").matches(&d));
+        assert!(!Filter::eq("meta.lang", "de").matches(&d));
+    }
+}

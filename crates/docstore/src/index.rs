@@ -1,0 +1,212 @@
+//! Secondary hash indexes.
+//!
+//! A [`HashIndex`] maps a field's value to the set of document ids holding
+//! that value. Array-valued fields index **every element** — the property
+//! the token database depends on: a token document carries
+//! `codes: ["SU243", "SU230"]` and must be found by either code.
+
+use cryptext_common::hash::{FxHashMap, FxHashSet};
+
+use crate::value::{Document, Value};
+
+/// Hashable canonical form of an indexable [`Value`].
+///
+/// Scalars only; arrays are decomposed into element keys, objects are not
+/// indexable. Numeric canonicalization follows the query layer's equality:
+/// an integral float keys identically to the integer (`3.0` ≡ `3`), `-0.0`
+/// keys as `0`, NaN collapses to one canonical bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexKey {
+    /// Null key.
+    Null,
+    /// Boolean key.
+    Bool(bool),
+    /// Integer key (also integral floats).
+    Int(i64),
+    /// Non-integral float, keyed by canonical bits.
+    FloatBits(u64),
+    /// String key.
+    Str(String),
+}
+
+impl IndexKey {
+    /// Canonical key for a scalar value; `None` for arrays/objects.
+    pub fn from_value(v: &Value) -> Option<IndexKey> {
+        Some(match v {
+            Value::Null => IndexKey::Null,
+            Value::Bool(b) => IndexKey::Bool(*b),
+            Value::Int(i) => IndexKey::Int(*i),
+            Value::Float(f) => {
+                if f.is_nan() {
+                    IndexKey::FloatBits(f64::NAN.to_bits())
+                } else if *f == f.trunc() && f.abs() < (1i64 << 62) as f64 {
+                    IndexKey::Int(*f as i64)
+                } else {
+                    // +0.0 for -0.0 is covered by the integral branch.
+                    IndexKey::FloatBits(f.to_bits())
+                }
+            }
+            Value::Str(s) => IndexKey::Str(s.clone()),
+            Value::Array(_) | Value::Object(_) => return None,
+        })
+    }
+}
+
+/// A hash index over one (dotted) field path.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    field: String,
+    map: FxHashMap<IndexKey, FxHashSet<u64>>,
+}
+
+impl HashIndex {
+    /// New empty index over `field`.
+    pub fn new(field: impl Into<String>) -> Self {
+        HashIndex {
+            field: field.into(),
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// The indexed field path.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    fn keys_for(&self, doc: &Document) -> Vec<IndexKey> {
+        match doc.get(&self.field) {
+            None => Vec::new(),
+            Some(Value::Array(items)) => items.iter().filter_map(IndexKey::from_value).collect(),
+            Some(v) => IndexKey::from_value(v).into_iter().collect(),
+        }
+    }
+
+    /// Register `doc` under `id`.
+    pub fn insert_doc(&mut self, id: u64, doc: &Document) {
+        for key in self.keys_for(doc) {
+            self.map.entry(key).or_default().insert(id);
+        }
+    }
+
+    /// Remove `doc`'s entries for `id`.
+    pub fn remove_doc(&mut self, id: u64, doc: &Document) {
+        for key in self.keys_for(doc) {
+            if let Some(set) = self.map.get_mut(&key) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Document ids whose field equals (or, for array fields, contains) `v`.
+    pub fn lookup(&self, v: &Value) -> impl Iterator<Item = u64> + '_ {
+        IndexKey::from_value(v)
+            .and_then(|k| self.map.get(&k))
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of (key, id) postings.
+    pub fn posting_count(&self) -> usize {
+        self.map.values().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_key_numeric_canonicalization() {
+        assert_eq!(
+            IndexKey::from_value(&Value::Float(3.0)),
+            Some(IndexKey::Int(3)),
+            "integral float keys as int"
+        );
+        assert_eq!(
+            IndexKey::from_value(&Value::Float(-0.0)),
+            Some(IndexKey::Int(0))
+        );
+        assert_eq!(
+            IndexKey::from_value(&Value::Float(f64::NAN)),
+            IndexKey::from_value(&Value::Float(-f64::NAN)),
+            "all NaNs collapse"
+        );
+        assert_ne!(
+            IndexKey::from_value(&Value::Float(0.5)),
+            IndexKey::from_value(&Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn arrays_and_objects_not_scalar_keyable() {
+        assert_eq!(IndexKey::from_value(&Value::Array(vec![])), None);
+        assert_eq!(
+            IndexKey::from_value(&Value::Object(Default::default())),
+            None
+        );
+    }
+
+    #[test]
+    fn scalar_field_round_trip() {
+        let mut idx = HashIndex::new("token");
+        let doc = Document::new().with("token", "suic1de");
+        idx.insert_doc(7, &doc);
+        assert_eq!(idx.lookup(&Value::from("suic1de")).collect::<Vec<_>>(), vec![7]);
+        assert_eq!(idx.lookup(&Value::from("other")).count(), 0);
+        idx.remove_doc(7, &doc);
+        assert_eq!(idx.lookup(&Value::from("suic1de")).count(), 0);
+        assert_eq!(idx.key_count(), 0, "empty postings pruned");
+    }
+
+    #[test]
+    fn array_field_indexes_every_element() {
+        let mut idx = HashIndex::new("codes");
+        let doc = Document::new().with("codes", vec!["SU243", "SU230"]);
+        idx.insert_doc(1, &doc);
+        assert_eq!(idx.lookup(&Value::from("SU243")).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(idx.lookup(&Value::from("SU230")).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(idx.posting_count(), 2);
+    }
+
+    #[test]
+    fn multiple_docs_share_keys() {
+        let mut idx = HashIndex::new("code");
+        idx.insert_doc(1, &Document::new().with("code", "TH000"));
+        idx.insert_doc(2, &Document::new().with("code", "TH000"));
+        idx.insert_doc(3, &Document::new().with("code", "DI630"));
+        let mut hits: Vec<u64> = idx.lookup(&Value::from("TH000")).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+        idx.remove_doc(1, &Document::new().with("code", "TH000"));
+        assert_eq!(idx.lookup(&Value::from("TH000")).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn missing_field_not_indexed() {
+        let mut idx = HashIndex::new("absent");
+        idx.insert_doc(1, &Document::new().with("other", 1i64));
+        assert_eq!(idx.key_count(), 0);
+    }
+
+    #[test]
+    fn nested_path_indexing() {
+        let mut idx = HashIndex::new("meta.lang");
+        let doc = Document::new().with(
+            "meta",
+            Value::Object(std::collections::BTreeMap::from([(
+                "lang".to_string(),
+                Value::Str("en".into()),
+            )])),
+        );
+        idx.insert_doc(4, &doc);
+        assert_eq!(idx.lookup(&Value::from("en")).collect::<Vec<_>>(), vec![4]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # cryptext-docstore
+//!
+//! An embedded document database — CrypText's MongoDB substitute.
+//!
+//! The paper stores everything in MongoDB (§III-F): the `H_k` hash maps,
+//! per-token frequency metadata, crawler state and benchmark results. This
+//! crate supplies those capabilities in-process with the shape a database
+//! practitioner expects:
+//!
+//! * [`Value`]/[`Document`] — a BSON-like dynamic value model.
+//! * [`Filter`] — a small query algebra (`Eq`, `In`, ranges, `Contains`,
+//!   boolean combinators) with index-accelerated execution.
+//! * [`Collection`] — primary-key storage plus secondary [hash
+//!   indexes](index::HashIndex); indexing a field whose value is an array
+//!   indexes *every element* (exactly how a token maps to several Soundex
+//!   codes).
+//! * [`Database`] — named collections, a write-ahead log with CRC-framed
+//!   records, point-in-time [snapshots](snapshot), and crash recovery that
+//!   replays the WAL over the latest snapshot and tolerates a torn tail.
+//!
+//! Durability model: every mutation is appended to the WAL before being
+//! applied in memory (`WalSync` chooses whether appends also `fsync`).
+//! [`Database::checkpoint`] writes a snapshot atomically (temp file +
+//! rename) and truncates the log.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod db;
+pub mod encoding;
+pub mod filter;
+pub mod index;
+pub mod snapshot;
+pub mod value;
+pub mod wal;
+
+pub use collection::{Collection, DocId, FindOptions};
+pub use db::{Database, DbOptions, WalSync};
+pub use filter::Filter;
+pub use value::{Document, Value};

@@ -1,0 +1,257 @@
+//! Point-in-time snapshots.
+//!
+//! A snapshot is a single file capturing every collection (documents,
+//! next-id counters, index definitions). Layout:
+//!
+//! ```text
+//! magic "CXDB" | version u32 | body... | crc32(body) u32
+//! body := n_collections u32, then per collection:
+//!         name | next_id u64 | n_indexes u32, field*  | n_docs u64, (id u64, doc)*
+//! ```
+//!
+//! Snapshots are written to a temporary file and atomically renamed into
+//! place, so a crash during checkpointing leaves the previous snapshot
+//! intact. Index *contents* are not serialized — they are rebuilt from the
+//! documents on load, which keeps the format trivially forward-compatible
+//! with index implementation changes.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cryptext_common::{Error, Result};
+
+use crate::collection::Collection;
+use crate::encoding::{crc32, decode_document, encode_document, get_str, put_str};
+
+const MAGIC: &[u8; 4] = b"CXDB";
+const VERSION: u32 = 1;
+
+/// Serialize `collections` into snapshot bytes.
+pub fn encode_snapshot(collections: &[&Collection]) -> Vec<u8> {
+    let mut body = BytesMut::with_capacity(4096);
+    body.put_u32_le(collections.len() as u32);
+    for coll in collections {
+        put_str(&mut body, coll.name());
+        body.put_u64_le(coll.next_id());
+        let fields = coll.index_fields();
+        body.put_u32_le(fields.len() as u32);
+        for f in &fields {
+            put_str(&mut body, f);
+        }
+        let docs: Vec<_> = coll.scan().collect();
+        body.put_u64_le(docs.len() as u64);
+        for (id, doc) in docs {
+            body.put_u64_le(id.0);
+            encode_document(doc, &mut body);
+        }
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// Parse snapshot bytes back into collections (indexes rebuilt).
+pub fn decode_snapshot(data: &[u8]) -> Result<Vec<Collection>> {
+    if data.len() < 12 {
+        return Err(Error::corrupt("snapshot too small"));
+    }
+    if &data[..4] != MAGIC {
+        return Err(Error::corrupt("bad snapshot magic"));
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(Error::corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let body = &data[8..data.len() - 4];
+    let stored_crc = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(body) != stored_crc {
+        return Err(Error::corrupt("snapshot crc mismatch"));
+    }
+
+    let mut buf = Bytes::copy_from_slice(body);
+    if buf.remaining() < 4 {
+        return Err(Error::corrupt("snapshot body truncated"));
+    }
+    let n_collections = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n_collections);
+    for _ in 0..n_collections {
+        let name = get_str(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(Error::corrupt("snapshot collection header truncated"));
+        }
+        let next_id = buf.get_u64_le();
+        if buf.remaining() < 4 {
+            return Err(Error::corrupt("snapshot index header truncated"));
+        }
+        let n_indexes = buf.get_u32_le() as usize;
+        let mut coll = Collection::new(name);
+        let mut fields = Vec::with_capacity(n_indexes);
+        for _ in 0..n_indexes {
+            fields.push(get_str(&mut buf)?);
+        }
+        if buf.remaining() < 8 {
+            return Err(Error::corrupt("snapshot doc count truncated"));
+        }
+        let n_docs = buf.get_u64_le() as usize;
+        // Create indexes before inserts so they populate incrementally.
+        for f in fields {
+            coll.create_index(f);
+        }
+        for _ in 0..n_docs {
+            if buf.remaining() < 8 {
+                return Err(Error::corrupt("snapshot doc id truncated"));
+            }
+            let id = buf.get_u64_le();
+            let doc = decode_document(&mut buf)?;
+            coll.insert_with_id(id, doc);
+        }
+        // insert_with_id advances next_id past the max id; restore the
+        // recorded counter if it was further ahead (deleted tail ids).
+        if coll.next_id() < next_id {
+            coll.bump_next_id(next_id);
+        }
+        out.push(coll);
+    }
+    if !buf.is_empty() {
+        return Err(Error::corrupt("trailing bytes in snapshot"));
+    }
+    Ok(out)
+}
+
+/// Write a snapshot atomically: temp file in the same directory, fsync,
+/// rename over `path`.
+pub fn write_snapshot(path: &Path, collections: &[&Collection]) -> Result<()> {
+    let bytes = encode_snapshot(collections);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a snapshot file; a missing file yields an empty collection set.
+pub fn read_snapshot(path: &Path) -> Result<Vec<Collection>> {
+    let mut data = Vec::new();
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut data)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    }
+    decode_snapshot(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Filter;
+    use crate::value::Document;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cryptext-snap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn build_collection() -> Collection {
+        let mut c = Collection::new("tokens");
+        c.create_index("codes");
+        c.insert(Document::new().with("token", "the").with("codes", vec!["TH000"]));
+        c.insert(Document::new().with("token", "dirty").with("codes", vec!["DI630"]));
+        let id = c.insert(Document::new().with("token", "temp").with("codes", vec!["TE510"]));
+        c.delete(id); // leaves a gap so next_id > max live id
+        c
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = build_collection();
+        let bytes = encode_snapshot(&[&c]);
+        let restored = decode_snapshot(&bytes).unwrap();
+        assert_eq!(restored.len(), 1);
+        let r = &restored[0];
+        assert_eq!(r.name(), "tokens");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.next_id(), c.next_id(), "id counter survives deletes");
+        assert!(r.has_index("codes"));
+        // Index works after rebuild.
+        assert_eq!(r.find(&Filter::eq("codes", "TH000")).len(), 1);
+    }
+
+    #[test]
+    fn multiple_collections_round_trip() {
+        let a = build_collection();
+        let mut b = Collection::new("posts");
+        b.insert(Document::new().with("body", "hello"));
+        let bytes = encode_snapshot(&[&a, &b]);
+        let restored = decode_snapshot(&bytes).unwrap();
+        assert_eq!(restored.len(), 2);
+        let names: Vec<&str> = restored.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["tokens", "posts"]);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trip() {
+        let bytes = encode_snapshot(&[]);
+        assert!(decode_snapshot(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_crc() {
+        let c = build_collection();
+        let good = encode_snapshot(&[&c]);
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(decode_snapshot(&bad).is_err(), "magic");
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(decode_snapshot(&bad).is_err(), "version");
+
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(decode_snapshot(&bad).is_err(), "crc");
+
+        assert!(decode_snapshot(&good[..8]).is_err(), "truncated");
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let dir = tmp_dir("file");
+        let path = dir.join("db.snapshot");
+        assert!(read_snapshot(&path).unwrap().is_empty(), "missing = empty");
+        let c = build_collection();
+        write_snapshot(&path, &[&c]).unwrap();
+        let restored = read_snapshot(&path).unwrap();
+        assert_eq!(restored[0].len(), 2);
+        // No temp file left behind.
+        assert!(!path.with_extension("tmp").exists());
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let dir = tmp_dir("rewrite");
+        let path = dir.join("db.snapshot");
+        let c = build_collection();
+        write_snapshot(&path, &[&c]).unwrap();
+        let mut c2 = Collection::new("other");
+        c2.insert(Document::new().with("x", 1i64));
+        write_snapshot(&path, &[&c2]).unwrap();
+        let restored = read_snapshot(&path).unwrap();
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[0].name(), "other");
+    }
+}

@@ -1,0 +1,415 @@
+//! Write-ahead log.
+//!
+//! Every mutation is appended here before being applied in memory. Records
+//! are framed `[len: u32][crc32: u32][payload]`; recovery reads frames
+//! until end-of-file or the first frame whose length/CRC fails, treating a
+//! torn tail (a crash mid-append) as a clean end of log — standard
+//! ARIES-style physical logging, minus the undo side because applies happen
+//! strictly after append.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cryptext_common::{Error, Result};
+
+use crate::encoding::{crc32, decode_document, encode_document, get_str, put_str};
+use crate::value::Document;
+
+/// One logical WAL operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A collection came into existence.
+    CreateCollection {
+        /// Collection name.
+        name: String,
+    },
+    /// A collection was dropped.
+    DropCollection {
+        /// Collection name.
+        name: String,
+    },
+    /// A secondary index was created.
+    CreateIndex {
+        /// Collection name.
+        collection: String,
+        /// Indexed field path.
+        field: String,
+    },
+    /// A document was inserted (or replaced at an explicit id).
+    Insert {
+        /// Collection name.
+        collection: String,
+        /// Assigned document id.
+        id: u64,
+        /// Full document payload.
+        doc: Document,
+    },
+    /// A document was replaced.
+    Update {
+        /// Collection name.
+        collection: String,
+        /// Target document id.
+        id: u64,
+        /// New document payload.
+        doc: Document,
+    },
+    /// A document was deleted.
+    Delete {
+        /// Collection name.
+        collection: String,
+        /// Target document id.
+        id: u64,
+    },
+}
+
+const OP_CREATE_COLLECTION: u8 = 1;
+const OP_DROP_COLLECTION: u8 = 2;
+const OP_CREATE_INDEX: u8 = 3;
+const OP_INSERT: u8 = 4;
+const OP_UPDATE: u8 = 5;
+const OP_DELETE: u8 = 6;
+
+impl WalOp {
+    /// Encode the op payload (without framing).
+    pub fn encode(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            WalOp::CreateCollection { name } => {
+                buf.put_u8(OP_CREATE_COLLECTION);
+                put_str(&mut buf, name);
+            }
+            WalOp::DropCollection { name } => {
+                buf.put_u8(OP_DROP_COLLECTION);
+                put_str(&mut buf, name);
+            }
+            WalOp::CreateIndex { collection, field } => {
+                buf.put_u8(OP_CREATE_INDEX);
+                put_str(&mut buf, collection);
+                put_str(&mut buf, field);
+            }
+            WalOp::Insert { collection, id, doc } => {
+                buf.put_u8(OP_INSERT);
+                put_str(&mut buf, collection);
+                buf.put_u64_le(*id);
+                encode_document(doc, &mut buf);
+            }
+            WalOp::Update { collection, id, doc } => {
+                buf.put_u8(OP_UPDATE);
+                put_str(&mut buf, collection);
+                buf.put_u64_le(*id);
+                encode_document(doc, &mut buf);
+            }
+            WalOp::Delete { collection, id } => {
+                buf.put_u8(OP_DELETE);
+                put_str(&mut buf, collection);
+                buf.put_u64_le(*id);
+            }
+        }
+        buf
+    }
+
+    /// Decode an op payload.
+    pub fn decode(mut buf: Bytes) -> Result<WalOp> {
+        if buf.is_empty() {
+            return Err(Error::corrupt("empty wal record"));
+        }
+        let tag = buf.get_u8();
+        let op = match tag {
+            OP_CREATE_COLLECTION => WalOp::CreateCollection {
+                name: get_str(&mut buf)?,
+            },
+            OP_DROP_COLLECTION => WalOp::DropCollection {
+                name: get_str(&mut buf)?,
+            },
+            OP_CREATE_INDEX => WalOp::CreateIndex {
+                collection: get_str(&mut buf)?,
+                field: get_str(&mut buf)?,
+            },
+            OP_INSERT => {
+                let collection = get_str(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(Error::corrupt("truncated insert record"));
+                }
+                let id = buf.get_u64_le();
+                let doc = decode_document(&mut buf)?;
+                WalOp::Insert { collection, id, doc }
+            }
+            OP_UPDATE => {
+                let collection = get_str(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(Error::corrupt("truncated update record"));
+                }
+                let id = buf.get_u64_le();
+                let doc = decode_document(&mut buf)?;
+                WalOp::Update { collection, id, doc }
+            }
+            OP_DELETE => {
+                let collection = get_str(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(Error::corrupt("truncated delete record"));
+                }
+                let id = buf.get_u64_le();
+                WalOp::Delete { collection, id }
+            }
+            other => return Err(Error::corrupt(format!("unknown wal op tag {other}"))),
+        };
+        if !buf.is_empty() {
+            return Err(Error::corrupt("trailing bytes in wal record"));
+        }
+        Ok(op)
+    }
+}
+
+/// Append-side handle to a WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    writer: BufWriter<File>,
+    sync_every_append: bool,
+    appended: u64,
+}
+
+impl WalWriter {
+    /// Open (creating if missing) the WAL at `path` for appending.
+    pub fn open(path: &Path, sync_every_append: bool) -> Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(WalWriter {
+            writer: BufWriter::new(file),
+            sync_every_append,
+            appended: 0,
+        })
+    }
+
+    /// Append one framed record; flushes (and optionally fsyncs) before
+    /// returning, so a successful append is at worst torn, never silent.
+    pub fn append(&mut self, op: &WalOp) -> Result<()> {
+        let payload = op.encode();
+        let mut frame = BytesMut::with_capacity(payload.len() + 8);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u32_le(crc32(&payload));
+        frame.extend_from_slice(&payload);
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        if self.sync_every_append {
+            self.writer.get_ref().sync_data()?;
+        }
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Force an fsync regardless of the per-append setting.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+/// Outcome of reading a WAL file.
+#[derive(Debug)]
+pub struct WalReadResult {
+    /// Successfully decoded operations, in append order.
+    pub ops: Vec<WalOp>,
+    /// True when the file ended with a torn/corrupt frame that was
+    /// discarded (expected after a crash; alarming otherwise).
+    pub truncated_tail: bool,
+}
+
+/// Read all intact records from the WAL at `path`. A missing file reads as
+/// an empty log.
+pub fn read_wal(path: &Path) -> Result<WalReadResult> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut data)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalReadResult {
+                ops: Vec::new(),
+                truncated_tail: false,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    }
+
+    let mut ops = Vec::new();
+    let mut offset = 0usize;
+    let mut truncated_tail = false;
+    while offset < data.len() {
+        if data.len() - offset < 8 {
+            truncated_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let body_start = offset + 8;
+        if data.len() - body_start < len {
+            truncated_tail = true;
+            break;
+        }
+        let payload = &data[body_start..body_start + len];
+        if crc32(payload) != crc {
+            truncated_tail = true;
+            break;
+        }
+        match WalOp::decode(Bytes::copy_from_slice(payload)) {
+            Ok(op) => ops.push(op),
+            Err(_) => {
+                truncated_tail = true;
+                break;
+            }
+        }
+        offset = body_start + len;
+    }
+    Ok(WalReadResult { ops, truncated_tail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cryptext-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::CreateCollection { name: "tokens".into() },
+            WalOp::CreateIndex {
+                collection: "tokens".into(),
+                field: "codes".into(),
+            },
+            WalOp::Insert {
+                collection: "tokens".into(),
+                id: 0,
+                doc: Document::new().with("token", "the").with("count", 1i64),
+            },
+            WalOp::Update {
+                collection: "tokens".into(),
+                id: 0,
+                doc: Document::new().with("token", "the").with("count", 2i64),
+            },
+            WalOp::Delete {
+                collection: "tokens".into(),
+                id: 0,
+            },
+            WalOp::DropCollection { name: "tokens".into() },
+        ]
+    }
+
+    #[test]
+    fn ops_encode_decode_round_trip() {
+        for op in sample_ops() {
+            let encoded = op.encode().freeze();
+            assert_eq!(WalOp::decode(encoded).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut buf = WalOp::CreateCollection { name: "x".into() }.encode();
+        buf.put_u8(0xFF);
+        assert!(WalOp::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn append_then_read_back() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("wal.log");
+        let ops = sample_ops();
+        {
+            let mut w = WalWriter::open(&path, false).unwrap();
+            for op in &ops {
+                w.append(op).unwrap();
+            }
+            assert_eq!(w.appended(), ops.len() as u64);
+        }
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.ops, ops);
+        assert!(!read.truncated_tail);
+    }
+
+    #[test]
+    fn missing_file_is_empty_log() {
+        let dir = tmp_dir("missing");
+        let read = read_wal(&dir.join("nope.log")).unwrap();
+        assert!(read.ops.is_empty());
+        assert!(!read.truncated_tail);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal.log");
+        let ops = sample_ops();
+        {
+            let mut w = WalWriter::open(&path, false).unwrap();
+            for op in &ops {
+                w.append(op).unwrap();
+            }
+        }
+        // Chop bytes off the end to simulate a crash mid-append.
+        let full = std::fs::read(&path).unwrap();
+        for cut in [1usize, 3, 7] {
+            std::fs::write(&path, &full[..full.len() - cut]).unwrap();
+            let read = read_wal(&path).unwrap();
+            assert!(read.truncated_tail, "cut {cut} detected");
+            assert_eq!(read.ops, ops[..ops.len() - 1], "only the last record lost");
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay_at_that_frame() {
+        let dir = tmp_dir("crc");
+        let path = dir.join("wal.log");
+        let ops = sample_ops();
+        {
+            let mut w = WalWriter::open(&path, false).unwrap();
+            for op in &ops {
+                w.append(op).unwrap();
+            }
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip one payload byte in the middle of the file.
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert!(read.truncated_tail);
+        assert!(read.ops.len() < ops.len());
+        // Whatever was read must be a prefix of the original sequence.
+        assert_eq!(read.ops[..], ops[..read.ops.len()]);
+    }
+
+    #[test]
+    fn append_is_durable_across_reopen() {
+        let dir = tmp_dir("reopen");
+        let path = dir.join("wal.log");
+        {
+            let mut w = WalWriter::open(&path, true).unwrap();
+            w.append(&WalOp::CreateCollection { name: "a".into() }).unwrap();
+        }
+        {
+            let mut w = WalWriter::open(&path, true).unwrap();
+            w.append(&WalOp::CreateCollection { name: "b".into() }).unwrap();
+            w.sync().unwrap();
+        }
+        let read = read_wal(&path).unwrap();
+        assert_eq!(
+            read.ops,
+            vec![
+                WalOp::CreateCollection { name: "a".into() },
+                WalOp::CreateCollection { name: "b".into() },
+            ]
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Optimal String Alignment (restricted Damerau–Levenshtein) distance.
+
+/// OSA distance: Levenshtein plus adjacent transposition as a single edit,
+/// with the restriction that no substring is edited twice.
+///
+/// TextBugger's "swap" operation (`democrats → demorcats`) is one OSA edit
+/// but two Levenshtein edits; the ablation experiments compare retrieval
+/// quality under both metrics.
+pub fn damerau_osa(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+
+    // Three rolling rows: i-2, i-1, i.
+    let m = b.len();
+    let mut prev2: Vec<usize> = vec![0; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr: Vec<usize> = vec![0; m + 1];
+
+    for i in 1..=a.len() {
+        curr[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (prev[j - 1] + cost) // substitute
+                .min(prev[j] + 1) // delete
+                .min(curr[j - 1] + 1); // insert
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(prev2[j - 2] + 1); // transpose
+            }
+            curr[j] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transposition_is_one_edit() {
+        assert_eq!(damerau_osa("democrats", "demorcats"), 1, "cr → rc swap");
+        assert_eq!(damerau_osa("ab", "ba"), 1);
+        assert_eq!(damerau_osa("abcdef", "abcdfe"), 1);
+    }
+
+    #[test]
+    fn matches_levenshtein_without_transpositions() {
+        assert_eq!(damerau_osa("kitten", "sitting"), 3);
+        assert_eq!(damerau_osa("", "abc"), 3);
+        assert_eq!(damerau_osa("abc", ""), 3);
+        assert_eq!(damerau_osa("same", "same"), 0);
+    }
+
+    #[test]
+    fn osa_restriction_classic_case() {
+        // OSA("ca", "abc") = 3 (the restricted variant cannot reuse the
+        // transposed substring), while unrestricted Damerau would give 2.
+        assert_eq!(damerau_osa("ca", "abc"), 3);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("abcd", "acbd"), ("republicans", "repulbicans"), ("x", "")] {
+            assert_eq!(damerau_osa(a, b), damerau_osa(b, a));
+        }
+    }
+
+    #[test]
+    fn unicode_transposition() {
+        assert_eq!(damerau_osa("naïve", "naveï"), 2);
+        assert_eq!(damerau_osa("héllo", "hlélo"), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Levenshtein distance: full and bounded variants.
+
+/// Classic Levenshtein distance over Unicode scalar values, using the
+/// two-row dynamic program (`O(n·m)` time, `O(min(n, m))` space).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    // Fast paths.
+    if a == b {
+        return 0;
+    }
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a_chars, &b_chars)
+}
+
+/// Levenshtein over pre-split char slices; exposed for callers that reuse
+/// the decomposition (the Look Up hot path decomposes the query once).
+pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    // Keep the shorter string in the inner dimension for less memory.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost) // substitute
+                .min(prev[j + 1] + 1) // delete from long
+                .min(curr[j] + 1); // insert into long
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Bounded Levenshtein: returns `Some(d)` when `d = lev(a, b) <= max`, else
+/// `None`.
+///
+/// Runs the DP restricted to a diagonal band of half-width `max`
+/// (`O(max · min(n, m))`) and exits as soon as every cell in a row exceeds
+/// the bound. This is the work-horse of SMS filtering: with the paper's
+/// default `d = 3`, buckets of thousands of candidates are filtered with a
+/// handful of band cells each.
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    levenshtein_bounded_chars(&a_chars, &b_chars, max)
+}
+
+/// Char-slice version of [`levenshtein_bounded`].
+pub fn levenshtein_bounded_chars(a: &[char], b: &[char], max: usize) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    // Length difference is a lower bound on the distance.
+    if long.len() - short.len() > max {
+        return None;
+    }
+    if short.is_empty() {
+        return (long.len() <= max).then_some(long.len());
+    }
+
+    const INF: usize = usize::MAX / 2;
+    let n = short.len();
+    let mut prev: Vec<usize> = vec![INF; n + 1];
+    let mut curr: Vec<usize> = vec![INF; n + 1];
+    // Row 0: distance from empty prefix of `long`.
+    for (j, p) in prev.iter_mut().enumerate().take(max.min(n) + 1) {
+        *p = j;
+    }
+
+    for (i, &lc) in long.iter().enumerate() {
+        // Band for row i+1: columns where |(i+1) - j| <= max.
+        let row = i + 1;
+        let lo = row.saturating_sub(max);
+        let hi = (row + max).min(n);
+        if lo > hi {
+            return None;
+        }
+        curr[lo.saturating_sub(1)] = INF; // left neighbour of band start
+        let mut row_min = INF;
+        for j in lo..=hi {
+            let val = if j == 0 {
+                row
+            } else {
+                let cost = usize::from(lc != short[j - 1]);
+                let diag = prev[j - 1].saturating_add(cost);
+                let up = prev[j].saturating_add(1);
+                let left = curr[j - 1].saturating_add(1);
+                diag.min(up).min(left)
+            };
+            curr[j] = val;
+            row_min = row_min.min(val);
+        }
+        if row_min > max {
+            return None;
+        }
+        // Reset cells outside next band to INF lazily via swap pattern:
+        // cells outside [lo, hi] in `curr` may hold stale values; clear the
+        // immediate neighbours that the next row can read.
+        if lo > 0 {
+            curr[lo - 1] = INF;
+        }
+        if hi < n {
+            curr[hi + 1] = INF;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let d = prev[n];
+    (d <= max).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+    }
+
+    #[test]
+    fn paper_perturbation_distances() {
+        // §III-B: repubLIEcans is distance 1 (case-insensitive) from republicans.
+        assert_eq!(levenshtein("republicans", "republiecans"), 1);
+        assert_eq!(levenshtein("republicans", "republic@@ns"), 2);
+        assert_eq!(levenshtein("democrats", "demokrats"), 1);
+        assert_eq!(levenshtein("democrats", "demorcats"), 2, "swap = 2 plain edits");
+        assert_eq!(levenshtein("suicide", "suic1de"), 1);
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        // Cyrillic а for Latin a: one substitution, though 2 bytes differ.
+        assert_eq!(levenshtein("paypal", "p\u{0430}ypal"), 1);
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn bounded_exact_values() {
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_bounded("abc", "abc", 0), Some(0));
+        assert_eq!(levenshtein_bounded("abc", "abd", 0), None);
+    }
+
+    #[test]
+    fn bounded_length_gap_shortcut() {
+        // Length difference alone exceeds the bound — must not run the DP.
+        assert_eq!(levenshtein_bounded("a", "aaaaaaaaaa", 3), None);
+        assert_eq!(levenshtein_bounded("", "abcd", 3), None);
+        assert_eq!(levenshtein_bounded("", "abc", 3), Some(3));
+    }
+
+    #[test]
+    fn bounded_zero_max() {
+        assert_eq!(levenshtein_bounded("same", "same", 0), Some(0));
+        assert_eq!(levenshtein_bounded("same", "sane", 0), None);
+    }
+
+    #[test]
+    fn bounded_large_max_equals_full() {
+        let pairs = [
+            ("democrats", "republicans"),
+            ("abcdef", "fedcba"),
+            ("aaa", "bbbb"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein_bounded(a, b, 100), Some(levenshtein(a, b)));
+        }
+    }
+
+    #[test]
+    fn char_slice_api_matches_str_api() {
+        let a: Vec<char> = "perturbation".chars().collect();
+        let b: Vec<char> = "perturbaton".chars().collect();
+        assert_eq!(levenshtein_chars(&a, &b), levenshtein("perturbation", "perturbaton"));
+        assert_eq!(
+            levenshtein_bounded_chars(&a, &b, 2),
+            levenshtein_bounded("perturbation", "perturbaton", 2)
+        );
+    }
+
+    #[test]
+    fn asymmetric_lengths_both_orders() {
+        assert_eq!(levenshtein("ab", "abcdef"), 4);
+        assert_eq!(levenshtein("abcdef", "ab"), 4);
+        assert_eq!(levenshtein_bounded("ab", "abcdef", 4), Some(4));
+        assert_eq!(levenshtein_bounded("abcdef", "ab", 4), Some(4));
+    }
+}

@@ -1,0 +1,148 @@
+//! # cryptext-editdist
+//!
+//! Edit distances for the CrypText SMS property (§III-B of the paper).
+//!
+//! CrypText treats a small Levenshtein distance between two tokens that
+//! share a phonetic encoding as a proxy for "same meaning". The Look Up and
+//! Normalization paths call the *bounded* variant millions of times while
+//! filtering `H_k` buckets, so this crate provides:
+//!
+//! * [`levenshtein`] — the classic two-row dynamic program.
+//! * [`levenshtein_bounded`] — banded DP with early exit; `O(d·min(n,m))`
+//!   instead of `O(n·m)`, the hot-path workhorse.
+//! * [`damerau_osa`] — optimal-string-alignment distance counting adjacent
+//!   transposition as one edit (the TextBugger "swap" operation).
+//! * [`similarity`] — normalized similarity in `[0, 1]`.
+//!
+//! All functions operate on Unicode scalar values, not bytes, so homoglyph
+//! perturbations count as single edits.
+
+#![warn(missing_docs)]
+
+mod damerau;
+mod levenshtein;
+
+pub use damerau::damerau_osa;
+pub use levenshtein::{
+    levenshtein, levenshtein_bounded, levenshtein_bounded_chars, levenshtein_chars,
+};
+
+/// Normalized similarity: `1 - lev(a, b) / max(|a|, |b|)`, and `1.0` when
+/// both strings are empty. Always in `[0, 1]`.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / denom as f64
+}
+
+/// Is `lev(a, b) <= d`? Uses the bounded algorithm, so this is cheap even
+/// for long strings when `d` is small.
+#[inline]
+pub fn within(a: &str, b: &str, d: usize) -> bool {
+    levenshtein_bounded(a, b, d).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_range_and_examples() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert_eq!(similarity("abc", ""), 0.0);
+        let s = similarity("democrats", "demokrats");
+        assert!((s - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_uses_bound() {
+        assert!(within("republicans", "republiecans", 1));
+        assert!(!within("republicans", "republic@@ns", 1));
+        assert!(within("republicans", "republic@@ns", 2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_string() -> impl Strategy<Value = String> {
+        "[a-d]{0,12}"
+    }
+
+    proptest! {
+        /// Identity of indiscernibles: d(a,b) == 0 iff a == b.
+        #[test]
+        fn identity(a in small_string(), b in small_string()) {
+            let d = levenshtein(&a, &b);
+            prop_assert_eq!(d == 0, a == b);
+        }
+
+        /// Symmetry.
+        #[test]
+        fn symmetry(a in small_string(), b in small_string()) {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        /// Triangle inequality over a sampled triple.
+        #[test]
+        fn triangle(a in small_string(), b in small_string(), c in small_string()) {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+        }
+
+        /// Distance is bounded by the longer string's length and bounded
+        /// below by the length difference.
+        #[test]
+        fn length_bounds(a in small_string(), b in small_string()) {
+            let d = levenshtein(&a, &b);
+            let (la, lb) = (a.chars().count(), b.chars().count());
+            prop_assert!(d <= la.max(lb));
+            prop_assert!(d >= la.abs_diff(lb));
+        }
+
+        /// The bounded variant agrees exactly with the full DP whenever the
+        /// true distance fits the bound, and returns None otherwise.
+        #[test]
+        fn bounded_agrees_with_full(a in small_string(), b in small_string(), max in 0usize..8) {
+            let full = levenshtein(&a, &b);
+            match levenshtein_bounded(&a, &b, max) {
+                Some(d) => {
+                    prop_assert_eq!(d, full);
+                    prop_assert!(d <= max);
+                }
+                None => prop_assert!(full > max),
+            }
+        }
+
+        /// OSA never exceeds Levenshtein (a transposition is cheaper than
+        /// two plain edits).
+        #[test]
+        fn osa_leq_levenshtein(a in small_string(), b in small_string()) {
+            prop_assert!(damerau_osa(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        /// Appending the same suffix never increases the distance.
+        #[test]
+        fn common_suffix_stable(a in small_string(), b in small_string(), s in "[a-d]{0,4}") {
+            let d0 = levenshtein(&a, &b);
+            let d1 = levenshtein(&format!("{a}{s}"), &format!("{b}{s}"));
+            prop_assert!(d1 <= d0);
+        }
+
+        /// Similarity is always within [0, 1].
+        #[test]
+        fn similarity_unit_interval(a in small_string(), b in small_string()) {
+            let s = similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

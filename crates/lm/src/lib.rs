@@ -1,0 +1,458 @@
+//! # cryptext-lm
+//!
+//! Word n-gram language model — CrypText's substitute for the BERT masked
+//! language model used in the paper's Normalization function (§III-C).
+//!
+//! The paper ranks candidate corrections of a perturbed token by a
+//! *coherency score*: "how likely w\* appears in the immediate context of
+//! xᵢ". That only requires a **relative** ordering of candidate words given
+//! a small context window, which an interpolated trigram model trained on
+//! the clean corpus provides — deterministically, offline, and fast enough
+//! to sit on the normalization hot path.
+//!
+//! The model:
+//!
+//! * interpolated maximum-likelihood trigram/bigram/unigram estimates with
+//!   a uniform-vocabulary floor (Jelinek–Mercer smoothing),
+//! * sentence boundary markers so leading/trailing context is meaningful,
+//! * [`NgramLm::coherency`] — the masked-position score: the sum of the log
+//!   probabilities of every trigram window that covers the masked slot,
+//!   mirroring how a masked LM scores a fill-in.
+
+#![warn(missing_docs)]
+
+use cryptext_common::hash::FxHashMap;
+use cryptext_common::{Interner, Symbol};
+
+/// Sentinel for sentence start (never a real token).
+const BOS: &str = "<s>";
+/// Sentinel for sentence end.
+const EOS: &str = "</s>";
+
+/// Interpolation weights for trigram/bigram/unigram/uniform components.
+/// Must sum to 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Interpolation {
+    /// Trigram ML weight.
+    pub l3: f64,
+    /// Bigram ML weight.
+    pub l2: f64,
+    /// Unigram ML weight.
+    pub l1: f64,
+    /// Uniform 1/V floor weight.
+    pub l0: f64,
+}
+
+impl Default for Interpolation {
+    fn default() -> Self {
+        // Tuned for tiny corpora: heavy unigram/bigram mass, small uniform
+        // floor so unseen words are penalized but not -inf.
+        Interpolation {
+            l3: 0.5,
+            l2: 0.3,
+            l1: 0.15,
+            l0: 0.05,
+        }
+    }
+}
+
+/// Accumulates counts; call [`LmBuilder::build`] to freeze into an
+/// [`NgramLm`].
+#[derive(Default)]
+pub struct LmBuilder {
+    interner: Interner,
+    unigrams: FxHashMap<Symbol, u64>,
+    bigrams: FxHashMap<(Symbol, Symbol), u64>,
+    trigrams: FxHashMap<(Symbol, Symbol, Symbol), u64>,
+    total_unigrams: u64,
+    sentences: u64,
+}
+
+impl LmBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one sentence (already split into word tokens). Tokens are
+    /// lowercased; boundary markers are added internally.
+    pub fn train_sentence<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        if tokens.is_empty() {
+            return;
+        }
+        self.sentences += 1;
+        let mut syms = Vec::with_capacity(tokens.len() + 4);
+        let bos = self.interner.get_or_intern(BOS);
+        let eos = self.interner.get_or_intern(EOS);
+        syms.push(bos);
+        syms.push(bos);
+        for t in tokens {
+            let lower = t.as_ref().to_ascii_lowercase();
+            syms.push(self.interner.get_or_intern(&lower));
+        }
+        syms.push(eos);
+        syms.push(eos);
+
+        // Unigrams over real tokens + one EOS (standard convention).
+        for &s in &syms[2..syms.len() - 1] {
+            *self.unigrams.entry(s).or_insert(0) += 1;
+            self.total_unigrams += 1;
+        }
+        for w in syms.windows(2) {
+            *self.bigrams.entry((w[0], w[1])).or_insert(0) += 1;
+        }
+        for w in syms.windows(3) {
+            *self.trigrams.entry((w[0], w[1], w[2])).or_insert(0) += 1;
+        }
+    }
+
+    /// Tokenize `text` with the social-media tokenizer and count every
+    /// word token as one sentence per line.
+    pub fn train_text(&mut self, text: &str) {
+        for line in text.lines() {
+            let words = cryptext_tokenizer::words(line);
+            self.train_sentence(&words);
+        }
+    }
+
+    /// Freeze into an immutable model with the given interpolation.
+    pub fn build(self, weights: Interpolation) -> NgramLm {
+        let vocab_size = self.unigrams.len().max(1);
+        NgramLm {
+            interner: self.interner,
+            unigrams: self.unigrams,
+            bigrams: self.bigrams,
+            trigrams: self.trigrams,
+            total_unigrams: self.total_unigrams.max(1),
+            vocab_size,
+            weights,
+            sentences: self.sentences,
+        }
+    }
+}
+
+/// An immutable interpolated trigram language model.
+pub struct NgramLm {
+    interner: Interner,
+    unigrams: FxHashMap<Symbol, u64>,
+    bigrams: FxHashMap<(Symbol, Symbol), u64>,
+    trigrams: FxHashMap<(Symbol, Symbol, Symbol), u64>,
+    total_unigrams: u64,
+    vocab_size: usize,
+    weights: Interpolation,
+    sentences: u64,
+}
+
+impl NgramLm {
+    /// Train from an iterator of sentences with default interpolation.
+    pub fn train<'a>(sentences: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut b = LmBuilder::new();
+        for s in sentences {
+            let words = cryptext_tokenizer::words(s);
+            b.train_sentence(&words);
+        }
+        b.build(Interpolation::default())
+    }
+
+    /// Vocabulary size (distinct trained tokens incl. EOS).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Number of training sentences.
+    pub fn sentences(&self) -> u64 {
+        self.sentences
+    }
+
+    /// Is `word` in the trained vocabulary?
+    pub fn knows(&self, word: &str) -> bool {
+        self.sym(word).is_some_and(|s| self.unigrams.contains_key(&s))
+    }
+
+    fn sym(&self, word: &str) -> Option<Symbol> {
+        self.interner.get(&word.to_ascii_lowercase())
+    }
+
+    fn unigram_count(&self, s: Option<Symbol>) -> u64 {
+        s.and_then(|s| self.unigrams.get(&s)).copied().unwrap_or(0)
+    }
+
+    fn bigram_count(&self, a: Option<Symbol>, b: Option<Symbol>) -> u64 {
+        match (a, b) {
+            (Some(a), Some(b)) => self.bigrams.get(&(a, b)).copied().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    fn trigram_count(&self, a: Option<Symbol>, b: Option<Symbol>, c: Option<Symbol>) -> u64 {
+        match (a, b, c) {
+            (Some(a), Some(b), Some(c)) => self.trigrams.get(&(a, b, c)).copied().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// Context-history count for bigram denominator: occurrences of `a` as
+    /// a history token (= its unigram count, with BOS counted via bigrams).
+    fn history_count(&self, a: Option<Symbol>) -> u64 {
+        match a {
+            None => 0,
+            Some(s) => {
+                // BOS never appears as a unigram; derive from bigram mass.
+                if self.unigrams.contains_key(&s) {
+                    self.unigrams[&s]
+                } else {
+                    self.bigrams
+                        .iter()
+                        .filter(|((x, _), _)| *x == s)
+                        .map(|(_, c)| *c)
+                        .sum()
+                }
+            }
+        }
+    }
+
+    /// Interpolated `P(w | a, b)` where `a, b` are the two history tokens
+    /// (use `"<s>"` markers for sentence starts). Always > 0.
+    pub fn prob(&self, w: &str, a: &str, b: &str) -> f64 {
+        let sw = self.sym(w);
+        let sa = self.sym(a);
+        let sb = self.sym(b);
+
+        let tri_num = self.trigram_count(sa, sb, sw);
+        let tri_den = self.bigram_count(sa, sb);
+        let p3 = if tri_den > 0 { tri_num as f64 / tri_den as f64 } else { 0.0 };
+
+        let bi_num = self.bigram_count(sb, sw);
+        let bi_den = self.history_count(sb);
+        let p2 = if bi_den > 0 { bi_num as f64 / bi_den as f64 } else { 0.0 };
+
+        let p1 = self.unigram_count(sw) as f64 / self.total_unigrams as f64;
+        let p0 = 1.0 / (self.vocab_size as f64 + 1.0);
+
+        let w = &self.weights;
+        (w.l3 * p3 + w.l2 * p2 + w.l1 * p1 + w.l0 * p0).max(f64::MIN_POSITIVE)
+    }
+
+    /// `ln P(w | a, b)`.
+    pub fn log_prob(&self, w: &str, a: &str, b: &str) -> f64 {
+        self.prob(w, a, b).ln()
+    }
+
+    /// Masked coherency score for placing `candidate` in a slot with the
+    /// given left and right context (nearest-first NOT required: pass
+    /// contexts in natural reading order; missing context is padded with
+    /// boundary markers).
+    ///
+    /// The score sums the log probability of each trigram window covering
+    /// the masked slot:
+    /// `ln P(c | l₋₂ l₋₁) + ln P(r₊₁ | l₋₁ c) + ln P(r₊₂ | c r₊₁)`.
+    /// Higher is more coherent. Comparable **only** across candidates for
+    /// the same slot.
+    pub fn coherency(&self, candidate: &str, left: &[&str], right: &[&str]) -> f64 {
+        let l1 = left.last().copied().unwrap_or(BOS);
+        let l2 = if left.len() >= 2 { left[left.len() - 2] } else { BOS };
+        let r1 = right.first().copied().unwrap_or(EOS);
+        let r2 = if right.len() >= 2 { right[1] } else { EOS };
+
+        self.log_prob(candidate, l2, l1)
+            + self.log_prob(r1, l1, candidate)
+            + self.log_prob(r2, candidate, r1)
+    }
+
+    /// `ln P(w)` under the unigram distribution (with floor).
+    pub fn unigram_log_prob(&self, w: &str) -> f64 {
+        let p = self.unigram_count(self.sym(w)) as f64 / self.total_unigrams as f64;
+        let floor = self.weights.l0 / (self.vocab_size as f64 + 1.0);
+        (p.max(floor)).ln()
+    }
+
+    /// Perplexity of a token sequence under the model (boundary markers
+    /// added). Lower = better fit.
+    pub fn perplexity<S: AsRef<str>>(&self, tokens: &[S]) -> f64 {
+        if tokens.is_empty() {
+            return f64::INFINITY;
+        }
+        let mut hist = (BOS.to_string(), BOS.to_string());
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for t in tokens {
+            let w = t.as_ref().to_ascii_lowercase();
+            log_sum += self.log_prob(&w, &hist.0, &hist.1);
+            n += 1;
+            hist = (hist.1, w);
+        }
+        log_sum += self.log_prob(EOS, &hist.0, &hist.1);
+        n += 1;
+        (-log_sum / n as f64).exp()
+    }
+}
+
+impl std::fmt::Debug for NgramLm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NgramLm")
+            .field("vocab", &self.vocab_size)
+            .field("unigrams", &self.unigrams.len())
+            .field("bigrams", &self.bigrams.len())
+            .field("trigrams", &self.trigrams.len())
+            .field("sentences", &self.sentences)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn political_lm() -> NgramLm {
+        NgramLm::train([
+            "biden belongs to the democrats",
+            "trump belongs to the republicans",
+            "the democrats proposed the bill",
+            "the republicans blocked the bill",
+            "the vaccine mandate was announced",
+            "people discussed the vaccine mandate online",
+            "the democrats and the republicans argued",
+        ])
+    }
+
+    #[test]
+    fn knows_vocabulary_case_insensitively() {
+        let lm = political_lm();
+        assert!(lm.knows("democrats"));
+        assert!(lm.knows("DEMOCRATS"));
+        assert!(!lm.knows("demokrats"));
+        assert!(lm.vocab_size() > 10);
+        assert_eq!(lm.sentences(), 7);
+    }
+
+    #[test]
+    fn probabilities_are_positive_and_at_most_one() {
+        let lm = political_lm();
+        for w in ["democrats", "unknownzzz", "the", "bill"] {
+            let p = lm.prob(w, "to", "the");
+            assert!(p > 0.0, "{w}: {p}");
+            assert!(p <= 1.0, "{w}: {p}");
+        }
+    }
+
+    #[test]
+    fn seen_trigram_beats_unseen() {
+        let lm = political_lm();
+        let seen = lm.prob("democrats", "to", "the");
+        let unseen = lm.prob("mandate", "to", "the");
+        assert!(seen > unseen, "{seen} vs {unseen}");
+    }
+
+    #[test]
+    fn coherency_prefers_contextual_fit() {
+        let lm = political_lm();
+        // Slot: "biden belongs to the ____"
+        let left = ["belongs", "to", "the"];
+        let demo = lm.coherency("democrats", &left, &[]);
+        let mandate = lm.coherency("mandate", &left, &[]);
+        let unknown = lm.coherency("zzzz", &left, &[]);
+        assert!(demo > mandate, "{demo} vs {mandate}");
+        assert!(mandate > unknown, "{mandate} vs {unknown}");
+    }
+
+    #[test]
+    fn coherency_uses_right_context() {
+        let lm = political_lm();
+        // Slot: "the ____ mandate was announced"
+        let vaccine = lm.coherency("vaccine", &["the"], &["mandate", "was"]);
+        let bill = lm.coherency("bill", &["the"], &["mandate", "was"]);
+        assert!(vaccine > bill, "{vaccine} vs {bill}");
+    }
+
+    #[test]
+    fn coherency_handles_empty_context() {
+        let lm = political_lm();
+        let a = lm.coherency("the", &[], &[]);
+        let b = lm.coherency("zzzz", &[], &[]);
+        assert!(a.is_finite() && b.is_finite());
+        assert!(a > b, "frequent word beats unknown even bare");
+    }
+
+    #[test]
+    fn perplexity_lower_on_training_like_text() {
+        let lm = political_lm();
+        let fit = lm.perplexity(&["the", "democrats", "proposed", "the", "bill"]);
+        let misfit = lm.perplexity(&["bill", "the", "proposed", "democrats", "the"]);
+        assert!(fit < misfit, "{fit} vs {misfit}");
+        let unknown = lm.perplexity(&["qqq", "www", "eee"]);
+        assert!(misfit < unknown);
+    }
+
+    #[test]
+    fn perplexity_of_empty_is_infinite() {
+        let lm = political_lm();
+        assert!(lm.perplexity::<&str>(&[]).is_infinite());
+    }
+
+    #[test]
+    fn empty_model_does_not_panic() {
+        let lm = LmBuilder::new().build(Interpolation::default());
+        assert!(lm.prob("x", "a", "b") > 0.0);
+        assert!(lm.coherency("x", &["a"], &["b"]).is_finite());
+        assert_eq!(lm.vocab_size(), 1, "clamped to avoid div-by-zero");
+    }
+
+    #[test]
+    fn builder_skips_empty_sentences() {
+        let mut b = LmBuilder::new();
+        b.train_sentence::<&str>(&[]);
+        let lm = b.build(Interpolation::default());
+        assert_eq!(lm.sentences(), 0);
+    }
+
+    #[test]
+    fn train_text_splits_lines() {
+        let mut b = LmBuilder::new();
+        b.train_text("the cat sat\nthe dog ran");
+        let lm = b.build(Interpolation::default());
+        assert_eq!(lm.sentences(), 2);
+        assert!(lm.knows("cat"));
+        assert!(lm.knows("dog"));
+    }
+
+    #[test]
+    fn unigram_log_prob_orders_by_frequency() {
+        let lm = political_lm();
+        assert!(lm.unigram_log_prob("the") > lm.unigram_log_prob("biden"));
+        assert!(lm.unigram_log_prob("biden") > lm.unigram_log_prob("neverseen"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The conditional distribution over the full vocabulary (plus one
+        /// unseen word) never sums above 1 + l0 (the uniform floor leaks at
+        /// most l0 of extra mass to out-of-vocabulary words).
+        #[test]
+        fn conditional_mass_bounded(seed_sentences in proptest::collection::vec(
+            proptest::collection::vec("[a-c]", 1..5), 1..6)
+        ) {
+            let mut b = LmBuilder::new();
+            for s in &seed_sentences {
+                b.train_sentence(s);
+            }
+            let lm = b.build(Interpolation::default());
+            let vocab = ["a", "b", "c", "</s>"];
+            let mass: f64 = vocab.iter().map(|w| lm.prob(w, "a", "b")).sum();
+            prop_assert!(mass <= 1.0 + 0.05 + 1e-9, "mass {mass}");
+        }
+
+        /// Probabilities are always finite and positive regardless of input.
+        #[test]
+        fn prob_total(w in "\\PC{0,8}", a in "\\PC{0,8}", b in "\\PC{0,8}") {
+            let lm = NgramLm::train(["hello world", "world hello again"]);
+            let p = lm.prob(&w, &a, &b);
+            prop_assert!(p.is_finite() && p > 0.0);
+            prop_assert!(lm.coherency(&w, &[&a], &[&b]).is_finite());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Feature hashing for the linear models.
+//!
+//! The hashing trick maps token strings to a fixed-dimension sparse vector
+//! without storing a vocabulary: `dim` buckets, each token contributing
+//! weight 1 to `fx_hash(token) % dim`, plus optional word bigrams for a
+//! little context sensitivity.
+
+use cryptext_common::hash::fx_hash_str;
+
+use crate::feature_tokens;
+
+/// A sparse feature vector: sorted `(bucket, value)` pairs.
+pub type SparseVec = Vec<(u32, f32)>;
+
+/// Hashing vectorizer with unigram (and optionally bigram) features,
+/// L2-normalized so documents of different lengths are comparable.
+#[derive(Debug, Clone, Copy)]
+pub struct HashingVectorizer {
+    /// Number of hash buckets (power of two recommended).
+    pub dim: u32,
+    /// Also hash adjacent word pairs.
+    pub bigrams: bool,
+}
+
+impl Default for HashingVectorizer {
+    fn default() -> Self {
+        HashingVectorizer {
+            dim: 1 << 16,
+            bigrams: true,
+        }
+    }
+}
+
+impl HashingVectorizer {
+    /// Vectorize one document.
+    pub fn transform(&self, text: &str) -> SparseVec {
+        let tokens = feature_tokens(text);
+        let mut counts: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
+        for t in &tokens {
+            let bucket = (fx_hash_str(t) % self.dim as u64) as u32;
+            *counts.entry(bucket).or_insert(0.0) += 1.0;
+        }
+        if self.bigrams {
+            for pair in tokens.windows(2) {
+                let joined = format!("{}\u{1}{}", pair[0], pair[1]);
+                let bucket = (fx_hash_str(&joined) % self.dim as u64) as u32;
+                *counts.entry(bucket).or_insert(0.0) += 1.0;
+            }
+        }
+        // L2 normalize.
+        let norm: f32 = counts.values().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for v in counts.values_mut() {
+                *v /= norm;
+            }
+        }
+        counts.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let v = HashingVectorizer::default();
+        let a = v.transform("the cat sat on the mat");
+        let b = v.transform("the cat sat on the mat");
+        assert_eq!(a, b);
+        assert!(a.iter().all(|(bucket, _)| *bucket < v.dim));
+    }
+
+    #[test]
+    fn l2_normalized() {
+        let v = HashingVectorizer::default();
+        let a = v.transform("a b c d");
+        let norm: f32 = a.iter().map(|(_, x)| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5, "{norm}");
+    }
+
+    #[test]
+    fn empty_text_is_empty_vector() {
+        let v = HashingVectorizer::default();
+        assert!(v.transform("").is_empty());
+        assert!(v.transform("!!! ...").is_empty());
+    }
+
+    #[test]
+    fn bigrams_add_features() {
+        let uni = HashingVectorizer { dim: 1 << 16, bigrams: false };
+        let bi = HashingVectorizer { dim: 1 << 16, bigrams: true };
+        let a = uni.transform("red green blue");
+        let b = bi.transform("red green blue");
+        assert!(b.len() > a.len(), "{} vs {}", b.len(), a.len());
+    }
+
+    #[test]
+    fn buckets_sorted_for_dot_products() {
+        let v = HashingVectorizer::default();
+        let a = v.transform("z y x w v u t s r q p");
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -1,0 +1,93 @@
+//! # cryptext-ml
+//!
+//! Lexical text classifiers — CrypText's stand-ins for the black-box NLP
+//! APIs evaluated in Fig. 4 of the paper (Perspective toxicity, Google
+//! Cloud sentiment and text categorization).
+//!
+//! The paper's experiment measures how classifiers *trained on clean text*
+//! degrade when inputs carry human-written perturbations: perturbed tokens
+//! fall out of the model's lexical vocabulary, evidence mass vanishes, and
+//! accuracy slides toward the majority baseline. Locally-trained
+//! bag-of-words models reproduce exactly that mechanism, so the *shape* of
+//! Fig. 4 (monotone degradation, ~10-point drop for toxicity at r = 25%)
+//! is recoverable without network APIs.
+//!
+//! Two model families:
+//!
+//! * [`NaiveBayes`] — multinomial NB with add-α smoothing over raw token
+//!   counts; the primary "API" models.
+//! * [`LogisticRegression`] — hashed-feature one-vs-rest SGD; the ablation
+//!   comparator.
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod logreg;
+pub mod metrics;
+pub mod nb;
+pub mod split;
+
+pub use logreg::LogisticRegression;
+pub use metrics::{accuracy, confusion_matrix, f1_macro, precision_recall_f1};
+pub use nb::NaiveBayes;
+pub use split::train_test_split;
+
+/// A trained text classifier mapping a document to a class index.
+pub trait Classifier {
+    /// Predict the class of one document.
+    fn predict(&self, text: &str) -> usize;
+
+    /// Predict a batch (default: map over [`Classifier::predict`]).
+    fn predict_batch(&self, texts: &[String]) -> Vec<usize> {
+        texts.iter().map(|t| self.predict(t)).collect()
+    }
+
+    /// Number of classes.
+    fn num_classes(&self) -> usize;
+}
+
+/// A labelled training/evaluation example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Raw document text.
+    pub text: String,
+    /// Class index (dense, `0..num_classes`).
+    pub label: usize,
+}
+
+impl Example {
+    /// Convenience constructor.
+    pub fn new(text: impl Into<String>, label: usize) -> Self {
+        Example {
+            text: text.into(),
+            label,
+        }
+    }
+}
+
+/// Tokenize a document for feature extraction: lowercased word tokens from
+/// the social-media tokenizer. Centralized so NB, logreg and callers agree.
+pub fn feature_tokens(text: &str) -> Vec<String> {
+    cryptext_tokenizer::words(text)
+        .into_iter()
+        .map(|w| w.to_ascii_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_tokens_lowercase_words_only() {
+        let toks = feature_tokens("The demoCRATs won! :) #midterms");
+        assert_eq!(toks, vec!["the", "democrats", "won"]);
+    }
+
+    #[test]
+    fn example_constructor() {
+        let e = Example::new("hi", 1);
+        assert_eq!(e.text, "hi");
+        assert_eq!(e.label, 1);
+    }
+}

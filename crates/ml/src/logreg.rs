@@ -1,0 +1,219 @@
+//! One-vs-rest logistic regression on hashed features.
+
+use cryptext_common::SplitMix64;
+
+use crate::features::{HashingVectorizer, SparseVec};
+use crate::{Classifier, Example};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LogRegConfig {
+    /// SGD epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 regularization strength (applied per update, scaled by lr).
+    pub l2: f32,
+    /// Shuffle seed for determinism.
+    pub seed: u64,
+    /// Feature extraction.
+    pub vectorizer: HashingVectorizer,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig {
+            epochs: 12,
+            lr: 0.5,
+            l2: 1e-5,
+            seed: 42,
+            vectorizer: HashingVectorizer::default(),
+        }
+    }
+}
+
+/// One-vs-rest logistic regression. For `C` classes, trains `C` binary
+/// sigmoid classifiers; prediction takes the arg-max margin.
+#[derive(Debug)]
+pub struct LogisticRegression {
+    weights: Vec<Vec<f32>>, // [class][bucket]
+    bias: Vec<f32>,
+    classes: usize,
+    vectorizer: HashingVectorizer,
+}
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Train on `examples` with `classes` classes.
+    ///
+    /// # Panics
+    /// Panics on empty input or out-of-range labels.
+    pub fn train(examples: &[Example], classes: usize, config: LogRegConfig) -> Self {
+        assert!(!examples.is_empty(), "cannot train on an empty set");
+        assert!(classes >= 2, "need at least two classes");
+        for ex in examples {
+            assert!(ex.label < classes, "label {} out of range", ex.label);
+        }
+        let dim = config.vectorizer.dim as usize;
+        let mut weights = vec![vec![0.0f32; dim]; classes];
+        let mut bias = vec![0.0f32; classes];
+
+        // Pre-vectorize once.
+        let vectors: Vec<(SparseVec, usize)> = examples
+            .iter()
+            .map(|e| (config.vectorizer.transform(&e.text), e.label))
+            .collect();
+
+        let mut order: Vec<usize> = (0..vectors.len()).collect();
+        let mut rng = SplitMix64::new(config.seed);
+        let decay_base = config.lr;
+        for epoch in 0..config.epochs {
+            rng.shuffle(&mut order);
+            let lr = decay_base / (1.0 + epoch as f32 * 0.5);
+            for &i in &order {
+                let (x, label) = &vectors[i];
+                for c in 0..classes {
+                    let y = if *label == c { 1.0f32 } else { 0.0 };
+                    let mut z = bias[c];
+                    for &(bucket, v) in x {
+                        z += weights[c][bucket as usize] * v;
+                    }
+                    let err = sigmoid(z) - y;
+                    let w = &mut weights[c];
+                    for &(bucket, v) in x {
+                        let b = bucket as usize;
+                        w[b] -= lr * (err * v + config.l2 * w[b]);
+                    }
+                    bias[c] -= lr * err;
+                }
+            }
+        }
+        LogisticRegression {
+            weights,
+            bias,
+            classes,
+            vectorizer: config.vectorizer,
+        }
+    }
+
+    /// Per-class margins (pre-sigmoid scores).
+    pub fn margins(&self, text: &str) -> Vec<f32> {
+        let x = self.vectorizer.transform(text);
+        (0..self.classes)
+            .map(|c| {
+                let mut z = self.bias[c];
+                for &(bucket, v) in &x {
+                    z += self.weights[c][bucket as usize] * v;
+                }
+                z
+            })
+            .collect()
+    }
+
+    /// Sigmoid probability for each one-vs-rest head (not normalized across
+    /// classes).
+    pub fn predict_proba(&self, text: &str) -> Vec<f32> {
+        self.margins(text).into_iter().map(sigmoid).collect()
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn predict(&self, text: &str) -> usize {
+        let margins = self.margins(text);
+        let mut best = 0usize;
+        for (i, &m) in margins.iter().enumerate() {
+            if m > margins[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sentiment_training() -> Vec<Example> {
+        let pos = [
+            "i love this wonderful amazing product",
+            "great fantastic experience highly recommend",
+            "beautiful excellent quality very happy",
+            "best purchase ever absolutely delighted",
+            "superb friendly service loved everything",
+        ];
+        let neg = [
+            "terrible awful experience never again",
+            "horrible waste of money very disappointed",
+            "worst broken useless garbage product",
+            "bad rude service i hate this",
+            "dreadful poor quality totally regret",
+        ];
+        pos.iter()
+            .map(|t| Example::new(*t, 1))
+            .chain(neg.iter().map(|t| Example::new(*t, 0)))
+            .collect()
+    }
+
+    #[test]
+    fn separates_sentiment() {
+        let lr = LogisticRegression::train(&sentiment_training(), 2, LogRegConfig::default());
+        assert_eq!(lr.predict("wonderful amazing quality"), 1);
+        assert_eq!(lr.predict("awful broken garbage"), 0);
+    }
+
+    #[test]
+    fn training_data_fits() {
+        let data = sentiment_training();
+        let lr = LogisticRegression::train(&data, 2, LogRegConfig::default());
+        let correct = data.iter().filter(|e| lr.predict(&e.text) == e.label).count();
+        assert_eq!(correct, data.len(), "linearly separable set fits exactly");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = sentiment_training();
+        let a = LogisticRegression::train(&data, 2, LogRegConfig::default());
+        let b = LogisticRegression::train(&data, 2, LogRegConfig::default());
+        for text in ["great product", "terrible thing", "neutral words here"] {
+            assert_eq!(a.margins(text), b.margins(text));
+        }
+    }
+
+    #[test]
+    fn proba_in_unit_interval() {
+        let lr = LogisticRegression::train(&sentiment_training(), 2, LogRegConfig::default());
+        for p in lr.predict_proba("some mixed great terrible text") {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let examples = vec![
+            Example::new("election vote senate policy congress", 0),
+            Example::new("ballot president congress law senate", 0),
+            Example::new("vaccine doses hospital nurse clinic", 1),
+            Example::new("clinic doctor vaccine health doses", 1),
+            Example::new("match goal striker league playoff", 2),
+            Example::new("season playoff coach team striker", 2),
+        ];
+        let lr = LogisticRegression::train(&examples, 3, LogRegConfig::default());
+        assert_eq!(lr.predict("senate vote on the law"), 0);
+        assert_eq!(lr.predict("nurse at the clinic vaccine"), 1);
+        assert_eq!(lr.predict("the team won the playoff"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_panics() {
+        LogisticRegression::train(&[], 2, LogRegConfig::default());
+    }
+}

@@ -1,0 +1,157 @@
+//! Evaluation metrics for the robustness experiments.
+
+/// Fraction of positions where `y_true[i] == y_pred[i]`.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|(t, p)| t == p)
+        .count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// `matrix[t][p]` = number of examples with true class `t` predicted `p`.
+pub fn confusion_matrix(n_classes: usize, y_true: &[usize], y_pred: &[usize]) -> Vec<Vec<usize>> {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Per-class precision, recall and F1 from a confusion matrix.
+/// Classes with no predictions (or no support) score 0 on the undefined
+/// component, following the common "zero-division = 0" convention.
+pub fn precision_recall_f1(matrix: &[Vec<usize>]) -> Vec<(f64, f64, f64)> {
+    let n = matrix.len();
+    (0..n)
+        .map(|c| {
+            let tp = matrix[c][c] as f64;
+            let fp: f64 = (0..n).filter(|&t| t != c).map(|t| matrix[t][c] as f64).sum();
+            let fn_: f64 = (0..n).filter(|&p| p != c).map(|p| matrix[c][p] as f64).sum();
+            let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+            let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            (precision, recall, f1)
+        })
+        .collect()
+}
+
+/// Macro-averaged F1 across classes.
+pub fn f1_macro(n_classes: usize, y_true: &[usize], y_pred: &[usize]) -> f64 {
+    let m = confusion_matrix(n_classes, y_true, y_pred);
+    let prf = precision_recall_f1(&m);
+    prf.iter().map(|(_, _, f1)| f1).sum::<f64>() / n_classes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_counts_everything() {
+        let m = confusion_matrix(2, &[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0]);
+        assert_eq!(m, vec![vec![1, 1], vec![1, 2]]);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn prf_perfect_predictions() {
+        let m = confusion_matrix(2, &[0, 1, 0, 1], &[0, 1, 0, 1]);
+        for (p, r, f1) in precision_recall_f1(&m) {
+            assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn prf_known_values() {
+        // Class 0: tp=1 fp=1 fn=1 → p=0.5 r=0.5 f1=0.5
+        let m = confusion_matrix(2, &[0, 0, 1, 1], &[0, 1, 0, 1]);
+        let prf = precision_recall_f1(&m);
+        assert_eq!(prf[0], (0.5, 0.5, 0.5));
+        assert_eq!(prf[1], (0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn prf_degenerate_class_is_zero() {
+        // Class 1 never predicted and never true.
+        let m = confusion_matrix(2, &[0, 0], &[0, 0]);
+        let prf = precision_recall_f1(&m);
+        assert_eq!(prf[1], (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn f1_macro_mixes_classes() {
+        let f = f1_macro(2, &[0, 0, 1, 1], &[0, 0, 1, 0]);
+        // class0: p=2/3 r=1 f1=0.8; class1: p=1 r=0.5 f1=2/3.
+        assert!((f - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Accuracy is always in [0, 1] and equals the trace ratio of the
+        /// confusion matrix.
+        #[test]
+        fn accuracy_matches_confusion_trace(
+            labels in proptest::collection::vec((0usize..4, 0usize..4), 1..80)
+        ) {
+            let (y_true, y_pred): (Vec<usize>, Vec<usize>) = labels.into_iter().unzip();
+            let acc = accuracy(&y_true, &y_pred);
+            prop_assert!((0.0..=1.0).contains(&acc));
+            let m = confusion_matrix(4, &y_true, &y_pred);
+            let trace: usize = (0..4).map(|i| m[i][i]).sum();
+            prop_assert!((acc - trace as f64 / y_true.len() as f64).abs() < 1e-12);
+            // Row sums reproduce class supports.
+            for c in 0..4 {
+                let support = y_true.iter().filter(|&&t| t == c).count();
+                let row: usize = m[c].iter().sum();
+                prop_assert_eq!(row, support);
+            }
+        }
+
+        /// All P/R/F1 components live in [0, 1].
+        #[test]
+        fn prf_bounded(
+            labels in proptest::collection::vec((0usize..3, 0usize..3), 1..60)
+        ) {
+            let (y_true, y_pred): (Vec<usize>, Vec<usize>) = labels.into_iter().unzip();
+            let m = confusion_matrix(3, &y_true, &y_pred);
+            for (p, r, f1) in precision_recall_f1(&m) {
+                prop_assert!((0.0..=1.0).contains(&p));
+                prop_assert!((0.0..=1.0).contains(&r));
+                prop_assert!((0.0..=1.0).contains(&f1));
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Multinomial Naive Bayes.
+
+use cryptext_common::hash::FxHashMap;
+
+use crate::{feature_tokens, Classifier, Example};
+
+/// Multinomial Naive Bayes with add-α smoothing.
+///
+/// Stores per-class token counts; prediction scores
+/// `log P(c) + Σ_t log P(t | c)` with unseen-token mass
+/// `α / (N_c + α·|V|)`. Ties break toward the lower class index for
+/// determinism.
+#[derive(Debug)]
+pub struct NaiveBayes {
+    classes: usize,
+    alpha: f64,
+    log_priors: Vec<f64>,
+    token_counts: Vec<FxHashMap<String, u64>>,
+    class_totals: Vec<u64>,
+    vocab_size: usize,
+}
+
+impl NaiveBayes {
+    /// Train on `examples` with `classes` classes and smoothing `alpha`.
+    ///
+    /// # Panics
+    /// Panics if an example's label is `>= classes` or `examples` is empty.
+    pub fn train(examples: &[Example], classes: usize, alpha: f64) -> Self {
+        assert!(!examples.is_empty(), "cannot train on an empty set");
+        assert!(classes >= 2, "need at least two classes");
+        let mut class_docs = vec![0u64; classes];
+        let mut token_counts: Vec<FxHashMap<String, u64>> =
+            (0..classes).map(|_| FxHashMap::default()).collect();
+        let mut class_totals = vec![0u64; classes];
+        let mut vocab: std::collections::HashSet<String> = std::collections::HashSet::new();
+
+        for ex in examples {
+            assert!(ex.label < classes, "label {} out of range", ex.label);
+            class_docs[ex.label] += 1;
+            for tok in feature_tokens(&ex.text) {
+                *token_counts[ex.label].entry(tok.clone()).or_insert(0) += 1;
+                class_totals[ex.label] += 1;
+                vocab.insert(tok);
+            }
+        }
+
+        let n_docs = examples.len() as f64;
+        let log_priors = class_docs
+            .iter()
+            .map(|&d| (((d as f64) + alpha) / (n_docs + alpha * classes as f64)).ln())
+            .collect();
+
+        NaiveBayes {
+            classes,
+            alpha,
+            log_priors,
+            token_counts,
+            class_totals,
+            vocab_size: vocab.len().max(1),
+        }
+    }
+
+    /// Per-class log joint scores for a document (unnormalized posteriors).
+    pub fn scores(&self, text: &str) -> Vec<f64> {
+        let tokens = feature_tokens(text);
+        (0..self.classes)
+            .map(|c| {
+                let denom = self.class_totals[c] as f64 + self.alpha * self.vocab_size as f64;
+                let mut score = self.log_priors[c];
+                for tok in &tokens {
+                    let count = self.token_counts[c].get(tok).copied().unwrap_or(0);
+                    score += ((count as f64 + self.alpha) / denom).ln();
+                }
+                score
+            })
+            .collect()
+    }
+
+    /// Posterior probabilities via soft-max of the joint scores.
+    pub fn predict_proba(&self, text: &str) -> Vec<f64> {
+        let scores = self.scores(text);
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / total).collect()
+    }
+
+    /// Does the model's vocabulary contain `token` in any class?
+    pub fn knows_token(&self, token: &str) -> bool {
+        let t = token.to_ascii_lowercase();
+        self.token_counts.iter().any(|m| m.contains_key(&t))
+    }
+
+    /// Distinct vocabulary size observed at training time.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn predict(&self, text: &str) -> usize {
+        let scores = self.scores(text);
+        let mut best = 0usize;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toxic_training() -> Vec<Example> {
+        let toxic = [
+            "you are a stupid idiot loser",
+            "shut up you pathetic trash",
+            "everyone hates you idiot",
+            "you disgusting stupid clown",
+            "what a worthless loser take",
+        ];
+        let clean = [
+            "what a lovely day for a walk",
+            "the game last night was great fun",
+            "thanks for sharing this helpful guide",
+            "i really enjoyed the concert yesterday",
+            "the new library opened downtown today",
+        ];
+        toxic
+            .iter()
+            .map(|t| Example::new(*t, 1))
+            .chain(clean.iter().map(|t| Example::new(*t, 0)))
+            .collect()
+    }
+
+    #[test]
+    fn separates_toxic_from_clean() {
+        let nb = NaiveBayes::train(&toxic_training(), 2, 1.0);
+        assert_eq!(nb.predict("you stupid idiot"), 1);
+        assert_eq!(nb.predict("lovely concert last night"), 0);
+    }
+
+    #[test]
+    fn perturbed_tokens_lose_evidence() {
+        let nb = NaiveBayes::train(&toxic_training(), 2, 1.0);
+        let clean_conf = nb.predict_proba("you are a stupid idiot")[1];
+        let perturbed_conf = nb.predict_proba("you are a stup1d 1d1ot")[1];
+        assert!(
+            perturbed_conf < clean_conf,
+            "OOV perturbations weaken toxicity evidence: {perturbed_conf} vs {clean_conf}"
+        );
+        assert!(!nb.knows_token("stup1d"));
+        assert!(nb.knows_token("STUPID"), "vocabulary probe is case-folded");
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let nb = NaiveBayes::train(&toxic_training(), 2, 1.0);
+        for text in ["anything at all", "", "stupid great"] {
+            let p = nb.predict_proba(text);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{p:?}");
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn empty_text_falls_back_to_prior() {
+        let mut examples = toxic_training();
+        // Skew priors: 3 extra clean docs.
+        examples.push(Example::new("more clean text here", 0));
+        examples.push(Example::new("additional harmless words", 0));
+        examples.push(Example::new("yet another benign document", 0));
+        let nb = NaiveBayes::train(&examples, 2, 1.0);
+        assert_eq!(nb.predict(""), 0, "majority prior wins on empty input");
+    }
+
+    #[test]
+    fn multiclass_topics() {
+        let examples = vec![
+            Example::new("election vote senate policy", 0),
+            Example::new("ballot president congress law", 0),
+            Example::new("vaccine doses hospital nurse", 1),
+            Example::new("clinic doctor vaccine health", 1),
+            Example::new("match goal striker league", 2),
+            Example::new("season playoff coach team", 2),
+        ];
+        let nb = NaiveBayes::train(&examples, 3, 1.0);
+        assert_eq!(nb.predict("the senate passed the law"), 0);
+        assert_eq!(nb.predict("the doctor gave a vaccine"), 1);
+        assert_eq!(nb.predict("the coach praised the striker"), 2);
+        assert_eq!(nb.num_classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn out_of_range_label_panics() {
+        NaiveBayes::train(&[Example::new("x", 5)], 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_panics() {
+        NaiveBayes::train(&[], 2, 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic train/test splitting.
+
+use cryptext_common::SplitMix64;
+
+use crate::Example;
+
+/// Shuffle `examples` with `seed` and split so that roughly
+/// `test_fraction` of them land in the test set (at least one in each side
+/// when `examples.len() >= 2`). Returns `(train, test)`.
+pub fn train_test_split(
+    examples: &[Example],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<Example>, Vec<Example>) {
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    let mut rng = SplitMix64::new(seed);
+    rng.shuffle(&mut order);
+
+    let mut n_test = ((examples.len() as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    if examples.len() >= 2 {
+        n_test = n_test.clamp(1, examples.len() - 1);
+    } else {
+        n_test = n_test.min(examples.len());
+    }
+
+    let test: Vec<Example> = order[..n_test].iter().map(|&i| examples[i].clone()).collect();
+    let train: Vec<Example> = order[n_test..].iter().map(|&i| examples[i].clone()).collect();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(n: usize) -> Vec<Example> {
+        (0..n).map(|i| Example::new(format!("doc {i}"), i % 2)).collect()
+    }
+
+    #[test]
+    fn partitions_without_loss_or_overlap() {
+        let data = make(20);
+        let (train, test) = train_test_split(&data, 0.25, 7);
+        assert_eq!(train.len() + test.len(), 20);
+        assert_eq!(test.len(), 5);
+        let mut all: Vec<&str> = train.iter().chain(&test).map(|e| e.text.as_str()).collect();
+        all.sort_unstable();
+        let mut expected: Vec<String> = (0..20).map(|i| format!("doc {i}")).collect();
+        expected.sort();
+        assert_eq!(all, expected.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = make(30);
+        let (a_train, a_test) = train_test_split(&data, 0.3, 1);
+        let (b_train, b_test) = train_test_split(&data, 0.3, 1);
+        assert_eq!(a_train, b_train);
+        assert_eq!(a_test, b_test);
+        let (c_train, _) = train_test_split(&data, 0.3, 2);
+        assert_ne!(a_train, c_train, "different seed, different shuffle");
+    }
+
+    #[test]
+    fn both_sides_nonempty_for_extreme_fractions() {
+        let data = make(10);
+        let (train, test) = train_test_split(&data, 0.0, 3);
+        assert_eq!(test.len(), 1, "clamped up");
+        assert_eq!(train.len(), 9);
+        let (train, test) = train_test_split(&data, 1.0, 3);
+        assert_eq!(train.len(), 1, "clamped down");
+        assert_eq!(test.len(), 9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (train, test) = train_test_split(&[], 0.5, 1);
+        assert!(train.is_empty() && test.is_empty());
+        let one = make(1);
+        let (train, test) = train_test_split(&one, 0.5, 1);
+        assert_eq!(train.len() + test.len(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Classic American Soundex, kept as the ablation baseline (§III-A argues
+//! why it is insufficient for perturbed text).
+
+use crate::{is_separator, soundex_digit, SoundexCode};
+
+/// Encode `token` with classic American Soundex: first letter kept, the
+/// rest mapped to digit groups, adjacent duplicates collapsed (`h`/`w` do
+/// not break a run, vowels do), padded/truncated to exactly three digits.
+///
+/// Returns `None` when the token contains no ASCII letter to anchor the
+/// code (classic Soundex has no notion of visual similarity — that is the
+/// point of the customized variant).
+pub fn classic_soundex(token: &str) -> Option<SoundexCode> {
+    let mut letters = token
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase());
+    let first = letters.next()?;
+
+    let mut out = String::with_capacity(4);
+    out.push(first.to_ascii_uppercase());
+
+    let mut last_digit = soundex_digit(first);
+    let mut digits = 0usize;
+    for c in letters {
+        if digits == 3 {
+            break;
+        }
+        match soundex_digit(c) {
+            Some(d) => {
+                if last_digit != Some(d) {
+                    out.push((b'0' + d) as char);
+                    digits += 1;
+                }
+                last_digit = Some(d);
+            }
+            None => {
+                if is_separator(c) {
+                    last_digit = None;
+                }
+                // 'h' and 'w' neither code nor reset.
+            }
+        }
+    }
+    while digits < 3 {
+        out.push('0');
+        digits += 1;
+    }
+    Some(SoundexCode::from_string(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(s: &str) -> String {
+        classic_soundex(s).unwrap().into_string()
+    }
+
+    #[test]
+    fn census_textbook_examples() {
+        assert_eq!(code("Robert"), "R163");
+        assert_eq!(code("Rupert"), "R163");
+        assert_eq!(code("Ashcraft"), "A261", "h does not separate s/c");
+        assert_eq!(code("Ashcroft"), "A261");
+        assert_eq!(code("Tymczak"), "T522");
+        assert_eq!(code("Pfister"), "P236", "initial double-group collapses");
+        assert_eq!(code("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn paper_motivating_collision() {
+        // §III-A: classic Soundex conflates losbian/lesbian ("L215").
+        assert_eq!(code("losbian"), "L215");
+        assert_eq!(code("lesbian"), "L215");
+    }
+
+    #[test]
+    fn vowel_resets_duplicate_suppression() {
+        // Two 's' separated by a vowel code twice...
+        assert_eq!(code("sasas"), "S220");
+        // ...but separated by 'h' they collapse.
+        assert_eq!(code("sshss"), "S000");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(code("DemocRATs"), code("democrats"));
+        assert_eq!(code("REPUBLICANS"), code("republicans"));
+    }
+
+    #[test]
+    fn non_letters_ignored() {
+        assert_eq!(code("o'brien"), code("obrien"));
+        assert_eq!(code("mus-lim"), code("muslim"));
+    }
+
+    #[test]
+    fn no_letters_is_none() {
+        assert_eq!(classic_soundex(""), None);
+        assert_eq!(classic_soundex("1234"), None, "classic is blind to leet");
+        assert_eq!(classic_soundex("@@@"), None);
+    }
+
+    #[test]
+    fn classic_is_blind_to_visual_substitution() {
+        // The motivating failure: a leet consonant ('5' for 's') changes
+        // the consonant signature, so the perturbation lands in a different
+        // bucket and Look Up would miss it.
+        assert_ne!(code("mu5lim"), code("muslim"));
+        assert_ne!(code("cla55"), code("class"));
+    }
+
+    #[test]
+    fn short_tokens_pad() {
+        assert_eq!(code("a"), "A000");
+        assert_eq!(code("at"), "A300");
+    }
+
+    #[test]
+    fn exactly_four_chars_always() {
+        for s in ["supercalifragilistic", "a", "rrrr", "schwarzenegger"] {
+            assert_eq!(code(s).len(), 4, "{s}");
+        }
+    }
+}

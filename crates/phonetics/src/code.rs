@@ -1,0 +1,117 @@
+//! The [`SoundexCode`] key type.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A phonetic encoding produced by either Soundex variant.
+///
+/// Codes are short ASCII strings like `RE1425` or `TH000`: an uppercase
+/// literal prefix (1 character classically, `k+1` characters in the
+/// customized variant) followed by digit groups padded to at least three
+/// digits. They key the `H_k` hash maps of the token database, so the type
+/// implements `Borrow<str>` for zero-copy map probes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct SoundexCode(String);
+
+impl SoundexCode {
+    /// Wrap a pre-validated code string. Intended for the encoders and for
+    /// deserializing persisted databases.
+    pub fn from_string(code: String) -> Self {
+        SoundexCode(code)
+    }
+
+    /// The code as a string slice.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The literal (alphabetic) prefix of the code.
+    pub fn prefix(&self) -> &str {
+        let end = self
+            .0
+            .find(|c: char| c.is_ascii_digit())
+            .unwrap_or(self.0.len());
+        &self.0[..end]
+    }
+
+    /// The digit portion of the code.
+    pub fn digits(&self) -> &str {
+        let start = self
+            .0
+            .find(|c: char| c.is_ascii_digit())
+            .unwrap_or(self.0.len());
+        &self.0[start..]
+    }
+
+    /// Consume the code, yielding the underlying string.
+    pub fn into_string(self) -> String {
+        self.0
+    }
+}
+
+impl fmt::Display for SoundexCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Borrow<str> for SoundexCode {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for SoundexCode {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for SoundexCode {
+    fn from(s: &str) -> Self {
+        SoundexCode(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_and_digits_split() {
+        let c = SoundexCode::from("RE1425");
+        assert_eq!(c.prefix(), "RE");
+        assert_eq!(c.digits(), "1425");
+        assert_eq!(c.to_string(), "RE1425");
+    }
+
+    #[test]
+    fn all_prefix_or_all_digits() {
+        let c = SoundexCode::from("TH");
+        assert_eq!(c.prefix(), "TH");
+        assert_eq!(c.digits(), "");
+        let c = SoundexCode::from("000");
+        assert_eq!(c.prefix(), "");
+        assert_eq!(c.digits(), "000");
+    }
+
+    #[test]
+    fn borrow_str_enables_map_probe_without_alloc() {
+        let mut m: std::collections::HashMap<SoundexCode, u32> = std::collections::HashMap::new();
+        m.insert(SoundexCode::from("DI630"), 2);
+        assert_eq!(m.get("DI630"), Some(&2), "&str probe via Borrow");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![
+            SoundexCode::from("TH000"),
+            SoundexCode::from("DI630"),
+            SoundexCode::from("RE1425"),
+        ];
+        v.sort();
+        assert_eq!(v[0].as_str(), "DI630");
+        assert_eq!(v[2].as_str(), "TH000");
+    }
+}

@@ -1,0 +1,536 @@
+//! # cryptext-stream
+//!
+//! A simulated social platform — CrypText's substitute for the Reddit
+//! (PushShift) and Twitter APIs.
+//!
+//! §III-E and §III-F of the paper depend on two external interfaces:
+//! a *search* API over historical posts (PushShift) and a *live stream*
+//! (Twitter's public stream) that continually feeds the crawler. This
+//! crate simulates both over a reproducible synthetic timeline:
+//!
+//! * [`SocialPlatform::simulate`] — generate a time-ordered feed of posts
+//!   (content from [`cryptext_corpus`], so posts carry gold topic,
+//!   sentiment, toxicity and perturbation labels);
+//! * [`SocialPlatform::search`] — keyword search with time-range filters
+//!   and pagination, matching whole tokens case-insensitively exactly like
+//!   the real search endpoints (which is precisely why leetspeak
+//!   perturbations are *unreachable* with clean keywords — the paper's
+//!   §III-B motivation);
+//! * [`SocialPlatform::stream_from`] — a chronological iterator used by
+//!   the ingest crawler.
+
+#![warn(missing_docs)]
+
+use cryptext_common::{SplitMix64, TimeRange, Timestamp};
+use cryptext_corpus::{CorpusConfig, LabeledDoc, PerturbationRecord, Sentiment, Topic};
+
+/// Which simulated platform a post belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Platform {
+    /// Reddit-like: channels are subreddits.
+    Reddit,
+    /// Twitter-like: channels are hashtag communities.
+    Twitter,
+}
+
+/// One post in the simulated feed.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Post {
+    /// Dense feed-unique id.
+    pub id: u64,
+    /// Originating platform.
+    pub platform: Platform,
+    /// Subreddit / community name.
+    pub channel: String,
+    /// Author handle.
+    pub author: String,
+    /// Post text (may contain perturbations).
+    pub text: String,
+    /// Creation time (epoch ms).
+    pub created_at: Timestamp,
+    /// Upvotes/likes.
+    pub score: i64,
+    /// Gold topic label.
+    pub topic: Topic,
+    /// Gold sentiment label.
+    pub sentiment: Sentiment,
+    /// Gold toxicity label.
+    pub toxic: bool,
+    /// Gold perturbation map.
+    pub perturbations: Vec<PerturbationRecord>,
+}
+
+/// Configuration of the simulated feed.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of posts across the window.
+    pub n_posts: usize,
+    /// Seed for full determinism.
+    pub seed: u64,
+    /// Window start (epoch ms).
+    pub start_ms: Timestamp,
+    /// Window length in ms.
+    pub duration_ms: u64,
+    /// Content characteristics (topic mix, sentiment skew, perturbation
+    /// rates).
+    pub corpus: CorpusConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            n_posts: 2_000,
+            seed: 42,
+            // Nov 2021, matching the paper's keyword-enrichment window.
+            start_ms: 1_635_724_800_000,
+            duration_ms: 30 * cryptext_common::clock::MILLIS_PER_DAY,
+            corpus: CorpusConfig::default(),
+        }
+    }
+}
+
+/// PushShift-style search query.
+#[derive(Debug, Clone, Default)]
+pub struct SearchQuery {
+    /// Keywords, OR semantics; each must match a whole token
+    /// case-insensitively.
+    pub keywords: Vec<String>,
+    /// Optional time window.
+    pub range: Option<TimeRange>,
+    /// Restrict to one platform.
+    pub platform: Option<Platform>,
+    /// Page size (0 = unlimited).
+    pub limit: usize,
+    /// Offset into the chronological result list.
+    pub offset: usize,
+}
+
+impl SearchQuery {
+    /// Query for a single keyword.
+    pub fn keyword(word: impl Into<String>) -> Self {
+        SearchQuery {
+            keywords: vec![word.into()],
+            ..Default::default()
+        }
+    }
+
+    /// Query for any of several keywords (the "enriched" query of §III-B).
+    pub fn any_of<I: IntoIterator<Item = S>, S: Into<String>>(words: I) -> Self {
+        SearchQuery {
+            keywords: words.into_iter().map(Into::into).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Restrict to a time range (builder style).
+    pub fn in_range(mut self, range: TimeRange) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// Paginate (builder style).
+    pub fn page(mut self, offset: usize, limit: usize) -> Self {
+        self.offset = offset;
+        self.limit = limit;
+        self
+    }
+}
+
+/// Search response: one page plus the total match count.
+#[derive(Debug, Clone)]
+pub struct SearchResults {
+    /// The requested page, chronological order.
+    pub posts: Vec<Post>,
+    /// Total matches before pagination.
+    pub total: usize,
+}
+
+/// The simulated platform: an immutable, time-sorted feed.
+#[derive(Debug)]
+pub struct SocialPlatform {
+    posts: Vec<Post>,
+}
+
+fn channel_for(platform: Platform, topic: Topic) -> String {
+    match platform {
+        Platform::Reddit => format!("r/{}", topic.name()),
+        Platform::Twitter => format!("#{}", topic.name()),
+    }
+}
+
+impl SocialPlatform {
+    /// Generate the feed. Equal configs produce identical feeds.
+    pub fn simulate(config: StreamConfig) -> Self {
+        let mut corpus_cfg = config.corpus.clone();
+        corpus_cfg.n_docs = config.n_posts;
+        corpus_cfg.seed = config.seed;
+        let corpus = cryptext_corpus::generator::generate(corpus_cfg);
+
+        let mut rng = SplitMix64::new(config.seed ^ 0x5EED_57EA);
+        let mut posts: Vec<Post> = corpus
+            .docs
+            .into_iter()
+            .map(|doc: LabeledDoc| {
+                let platform = if rng.chance(0.5) {
+                    Platform::Reddit
+                } else {
+                    Platform::Twitter
+                };
+                let created_at =
+                    config.start_ms + rng.next_below(config.duration_ms.max(1));
+                // Long-tailed score distribution.
+                let score = (rng.next_f64().powi(3) * 500.0) as i64
+                    + if doc.toxic { 0 } else { 5 };
+                Post {
+                    id: 0, // assigned after sorting
+                    platform,
+                    channel: channel_for(platform, doc.topic),
+                    author: format!("user{}", rng.next_below(500)),
+                    text: doc.text,
+                    created_at,
+                    score,
+                    topic: doc.topic,
+                    sentiment: doc.sentiment,
+                    toxic: doc.toxic,
+                    perturbations: doc.perturbations,
+                }
+            })
+            .collect();
+        posts.sort_by_key(|p| p.created_at);
+        for (i, p) in posts.iter_mut().enumerate() {
+            p.id = i as u64;
+        }
+        SocialPlatform { posts }
+    }
+
+    /// Total number of posts.
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Is the feed empty?
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// The covered time range (`None` when empty).
+    pub fn time_range(&self) -> Option<TimeRange> {
+        match (self.posts.first(), self.posts.last()) {
+            (Some(a), Some(b)) => Some(TimeRange::new(a.created_at, b.created_at + 1)),
+            _ => None,
+        }
+    }
+
+    /// All posts, chronological.
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// Does `post` match `query`'s keyword set? Whole-token,
+    /// case-insensitive — the behaviour of real search endpoints, and the
+    /// reason perturbed spellings evade clean-keyword search.
+    fn matches(post: &Post, query: &SearchQuery) -> bool {
+        if let Some(p) = query.platform {
+            if post.platform != p {
+                return false;
+            }
+        }
+        if let Some(r) = query.range {
+            if !r.contains(post.created_at) {
+                return false;
+            }
+        }
+        if query.keywords.is_empty() {
+            return true;
+        }
+        let tokens = cryptext_tokenizer::words(&post.text);
+        query.keywords.iter().any(|kw| {
+            tokens.iter().any(|t| t.eq_ignore_ascii_case(kw))
+        })
+    }
+
+    /// PushShift-style search: filter, order chronologically, paginate.
+    pub fn search(&self, query: &SearchQuery) -> SearchResults {
+        let matched: Vec<&Post> = self
+            .posts
+            .iter()
+            .filter(|p| Self::matches(p, query))
+            .collect();
+        let total = matched.len();
+        let page: Vec<Post> = matched
+            .into_iter()
+            .skip(query.offset)
+            .take(if query.limit == 0 { usize::MAX } else { query.limit })
+            .cloned()
+            .collect();
+        SearchResults { posts: page, total }
+    }
+
+    /// Chronological iterator over posts created at or after `from` — the
+    /// crawler's stream interface.
+    pub fn stream_from(&self, from: Timestamp) -> impl Iterator<Item = &Post> {
+        let start = self.posts.partition_point(|p| p.created_at < from);
+        self.posts[start..].iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> SocialPlatform {
+        SocialPlatform::simulate(StreamConfig {
+            n_posts: 800,
+            ..StreamConfig::default()
+        })
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = SocialPlatform::simulate(StreamConfig::default());
+        let b = SocialPlatform::simulate(StreamConfig::default());
+        assert_eq!(a.posts(), b.posts());
+    }
+
+    #[test]
+    fn posts_are_chronological_with_dense_ids() {
+        let p = platform();
+        assert_eq!(p.len(), 800);
+        for w in p.posts().windows(2) {
+            assert!(w[0].created_at <= w[1].created_at);
+        }
+        for (i, post) in p.posts().iter().enumerate() {
+            assert_eq!(post.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn timestamps_inside_configured_window() {
+        let cfg = StreamConfig::default();
+        let p = SocialPlatform::simulate(cfg.clone());
+        let range = p.time_range().unwrap();
+        assert!(range.start >= cfg.start_ms);
+        assert!(range.end <= cfg.start_ms + cfg.duration_ms + 1);
+    }
+
+    #[test]
+    fn channels_follow_platform_and_topic() {
+        for post in platform().posts() {
+            match post.platform {
+                Platform::Reddit => assert!(post.channel.starts_with("r/"), "{}", post.channel),
+                Platform::Twitter => assert!(post.channel.starts_with('#'), "{}", post.channel),
+            }
+            assert!(post.channel.contains(post.topic.name()));
+        }
+    }
+
+    #[test]
+    fn search_matches_whole_tokens_case_insensitively() {
+        let p = platform();
+        let results = p.search(&SearchQuery::keyword("democrats"));
+        assert!(results.total > 0);
+        for post in &results.posts {
+            let words = cryptext_tokenizer::words(&post.text);
+            assert!(
+                words.iter().any(|w| w.eq_ignore_ascii_case("democrats")),
+                "{:?}",
+                post.text
+            );
+        }
+    }
+
+    #[test]
+    fn leet_perturbations_evade_clean_keyword_search() {
+        let p = platform();
+        // Find a post whose target was leet-perturbed (not a pure case
+        // change); the clean keyword must not retrieve it.
+        let mut checked = 0;
+        for post in p.posts() {
+            for rec in &post.perturbations {
+                // Skip pure case changes (still token-matchable) and posts
+                // where the clean form survives in another token.
+                let clean_form_remains = cryptext_tokenizer::words(&post.text)
+                    .iter()
+                    .any(|w| w.eq_ignore_ascii_case(&rec.original));
+                if rec.perturbed.to_ascii_lowercase() != rec.original.to_ascii_lowercase()
+                    && !clean_form_remains
+                {
+                    let res = p.search(&SearchQuery::keyword(rec.original.clone()));
+                    assert!(
+                        !res.posts.iter().any(|m| m.id == post.id),
+                        "post {} with {:?} reachable via {:?}",
+                        post.id,
+                        rec.perturbed,
+                        rec.original
+                    );
+                    // ...but the perturbed spelling as a query finds it.
+                    let res = p.search(&SearchQuery::keyword(rec.perturbed.clone()));
+                    assert!(res.posts.iter().any(|m| m.id == post.id));
+                    checked += 1;
+                }
+            }
+            if checked > 20 {
+                break;
+            }
+        }
+        assert!(checked > 5, "enough perturbed posts to test ({checked})");
+    }
+
+    #[test]
+    fn enriched_query_is_superset_of_plain() {
+        let p = platform();
+        let plain = p.search(&SearchQuery::keyword("vaccine"));
+        let enriched = p.search(&SearchQuery::any_of(["vaccine", "vac-cine", "vacc1ne"]));
+        assert!(enriched.total >= plain.total);
+    }
+
+    #[test]
+    fn time_range_filter() {
+        let p = platform();
+        let full = p.time_range().unwrap();
+        let mid = full.start + full.len_ms() / 2;
+        let early = SearchQuery::default().in_range(TimeRange::new(full.start, mid));
+        let res = p.search(&early);
+        assert!(res.total > 0);
+        assert!(res.posts.iter().all(|post| post.created_at < mid));
+        assert!(res.total < p.len());
+    }
+
+    #[test]
+    fn platform_filter() {
+        let p = platform();
+        let reddit_only = SearchQuery {
+            platform: Some(Platform::Reddit),
+            ..Default::default()
+        };
+        let res = p.search(&reddit_only);
+        assert!(res.total > 0);
+        assert!(res.posts.iter().all(|post| post.platform == Platform::Reddit));
+        assert!(res.total < p.len(), "both platforms present");
+    }
+
+    #[test]
+    fn pagination_covers_without_overlap() {
+        let p = platform();
+        let q = SearchQuery::keyword("the");
+        let all = p.search(&q);
+        let page1 = p.search(&q.clone().page(0, 10));
+        let page2 = p.search(&q.clone().page(10, 10));
+        assert_eq!(page1.total, all.total);
+        assert_eq!(page1.posts.len(), 10.min(all.total));
+        if all.total > 10 {
+            assert_ne!(page1.posts.last().unwrap().id, page2.posts.first().unwrap().id);
+        }
+        // Concatenation of pages == full prefix.
+        let ids: Vec<u64> = page1.posts.iter().chain(&page2.posts).map(|p| p.id).collect();
+        let expected: Vec<u64> = all.posts.iter().take(20).map(|p| p.id).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn empty_keyword_query_matches_everything() {
+        let p = platform();
+        let res = p.search(&SearchQuery::default());
+        assert_eq!(res.total, p.len());
+    }
+
+    #[test]
+    fn stream_from_starts_at_timestamp() {
+        let p = platform();
+        let range = p.time_range().unwrap();
+        let mid = range.start + range.len_ms() / 2;
+        let streamed: Vec<&Post> = p.stream_from(mid).collect();
+        assert!(!streamed.is_empty());
+        assert!(streamed.iter().all(|post| post.created_at >= mid));
+        // Streaming from the very start yields everything.
+        assert_eq!(p.stream_from(0).count(), p.len());
+        // Streaming from beyond the end yields nothing.
+        assert_eq!(p.stream_from(range.end).count(), 0);
+    }
+
+    #[test]
+    fn empty_feed_is_sane() {
+        let p = SocialPlatform::simulate(StreamConfig {
+            n_posts: 0,
+            ..StreamConfig::default()
+        });
+        assert!(p.is_empty());
+        assert_eq!(p.time_range(), None);
+        assert_eq!(p.search(&SearchQuery::keyword("x")).total, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fixed_platform() -> &'static SocialPlatform {
+        use std::sync::OnceLock;
+        static P: OnceLock<SocialPlatform> = OnceLock::new();
+        P.get_or_init(|| {
+            SocialPlatform::simulate(StreamConfig {
+                n_posts: 300,
+                seed: 999,
+                ..StreamConfig::default()
+            })
+        })
+    }
+
+    proptest! {
+        /// Pagination never fabricates or reorders posts: every page is
+        /// the corresponding slice of the unpaginated result.
+        #[test]
+        fn pagination_is_a_slice(offset in 0usize..350, limit in 1usize..60) {
+            let p = fixed_platform();
+            let q = SearchQuery::keyword("the");
+            let all = p.search(&q);
+            let page = p.search(&q.clone().page(offset, limit));
+            prop_assert_eq!(page.total, all.total, "total independent of paging");
+            let expected: Vec<u64> = all
+                .posts
+                .iter()
+                .skip(offset)
+                .take(limit)
+                .map(|post| post.id)
+                .collect();
+            let got: Vec<u64> = page.posts.iter().map(|post| post.id).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Narrowing the time range never adds results, and every result
+        /// respects the range.
+        #[test]
+        fn time_range_monotone(a in 0u64..100, b in 0u64..100) {
+            let p = fixed_platform();
+            let full = p.time_range().unwrap();
+            let lo = full.start + full.len_ms() * a.min(b) / 100;
+            let hi = full.start + full.len_ms() * a.max(b) / 100;
+            let sub = TimeRange::new(lo, hi);
+            let all = p.search(&SearchQuery::default());
+            let ranged = p.search(&SearchQuery::default().in_range(sub));
+            prop_assert!(ranged.total <= all.total);
+            for post in &ranged.posts {
+                prop_assert!(sub.contains(post.created_at));
+            }
+        }
+
+        /// OR-keyword queries are unions: the enriched total is at least
+        /// the max of the individual totals and at most their sum.
+        #[test]
+        fn keyword_or_is_union(pick in proptest::sample::subsequence(
+            vec!["the", "vaccine", "democrats", "about", "zzz-not-present"], 1..4))
+        {
+            let p = fixed_platform();
+            let combined = p.search(&SearchQuery::any_of(pick.clone())).total;
+            let singles: Vec<usize> = pick
+                .iter()
+                .map(|k| p.search(&SearchQuery::keyword(*k)).total)
+                .collect();
+            let max = singles.iter().copied().max().unwrap_or(0);
+            let sum: usize = singles.iter().sum();
+            prop_assert!(combined >= max, "{combined} >= {max}");
+            prop_assert!(combined <= sum, "{combined} <= {sum}");
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! # cryptext-tokenizer
+//!
+//! A social-media-aware tokenizer for CrypText.
+//!
+//! The paper's database is curated by tokenizing raw Reddit/Twitter text
+//! (§III-A), which is full of constructs a whitespace tokenizer mangles:
+//! mentions (`@user`), hashtags (`#vaxx`), URLs, emoticons (`:)`), and —
+//! crucially — perturbed words whose *interior* contains symbols that look
+//! like punctuation (`suic1de`, `republic@@ns`, `mus-lim`, `$lut`).
+//!
+//! Every token carries its byte span in the original text, so the
+//! Perturbation and Normalization functions can splice replacements back
+//! without disturbing anything else (Figs. 2 and 3 highlight changed
+//! tokens in place).
+
+#![warn(missing_docs)]
+
+pub mod emoticons;
+
+use std::ops::Range;
+
+pub use emoticons::{is_emoticon, match_emoticon_at};
+
+/// What kind of surface form a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// A word, possibly perturbed (may contain digits/symbols inside).
+    Word,
+    /// A pure number (no letter interpretation attempted).
+    Number,
+    /// `@handle` — platform mention; never perturbed or normalized.
+    Mention,
+    /// `#topic` — hashtag; the tag body may still be analyzed.
+    Hashtag,
+    /// URL (`http://…`, `https://…`, `www.…`).
+    Url,
+    /// Western emoticon like `:)` or `<3`.
+    Emoticon,
+    /// Anything else: punctuation and stray symbols, one char each.
+    Punct,
+}
+
+/// A token plus its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The exact source slice (owned copy).
+    pub text: String,
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte range in the original input; `input[span.clone()] == text`.
+    pub span: Range<usize>,
+}
+
+impl Token {
+    /// Is this a word-like token eligible for perturbation/normalization?
+    #[inline]
+    pub fn is_word(&self) -> bool {
+        self.kind == TokenKind::Word
+    }
+}
+
+/// Characters that may start or continue the *interior* of a word because
+/// humans use them as letter stand-ins (`suic!de`, `cla$$`, `dem0cr@ts`)
+/// or joiners (`mus-lim`, `don't`).
+#[inline]
+fn is_word_interior(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '\'' | '-' | '_' | '@' | '$' | '!' | '*' | '+' | '€' | '£' | '¢')
+        || cryptext_confusables::fold_char(c).is_some()
+}
+
+/// Characters a word may *begin* with: alphanumerics and the symbol
+/// stand-ins, but not joiners (a leading `-` is punctuation).
+#[inline]
+fn is_word_start(c: char) -> bool {
+    c.is_alphanumeric()
+        || matches!(c, '$' | '!' | '*' | '+' | '€' | '£' | '¢')
+        || cryptext_confusables::fold_char(c).is_some()
+}
+
+/// Trailing characters trimmed from word tokens: sentence punctuation that
+/// also happens to be a word-interior symbol. `hello!!!` keeps only
+/// `hello`; `suic!de` keeps its interior `!`.
+#[inline]
+fn is_trim_trailing(c: char) -> bool {
+    matches!(c, '!' | '-' | '\'' | '_' | '+' | '*' | '.' | ',')
+}
+
+/// Tokenize `input` into classified, span-carrying tokens. Whitespace is
+/// skipped; all other bytes belong to exactly one token, and spans are
+/// strictly increasing.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes_len = input.len();
+    let mut iter = input.char_indices().peekable();
+
+    while let Some(&(start, c)) = iter.peek() {
+        // Whitespace: skip.
+        if c.is_whitespace() {
+            iter.next();
+            continue;
+        }
+
+        // URLs.
+        if let Some(end) = match_url(input, start) {
+            push_span(&mut tokens, input, start..end, TokenKind::Url);
+            advance_to(&mut iter, end);
+            continue;
+        }
+
+        // Emoticons (only at a non-word boundary position).
+        let prev_is_word = input[..start]
+            .chars()
+            .next_back()
+            .is_some_and(is_word_interior);
+        if !prev_is_word {
+            if let Some(len) = match_emoticon_at(&input[start..]) {
+                push_span(&mut tokens, input, start..start + len, TokenKind::Emoticon);
+                advance_to(&mut iter, start + len);
+                continue;
+            }
+        }
+
+        // Mentions and hashtags.
+        if (c == '@' || c == '#') && !prev_is_word {
+            let body_start = start + c.len_utf8();
+            let body_end = scan_while(input, body_start, |c| c.is_alphanumeric() || c == '_');
+            if body_end > body_start {
+                let kind = if c == '@' { TokenKind::Mention } else { TokenKind::Hashtag };
+                push_span(&mut tokens, input, start..body_end, kind);
+                advance_to(&mut iter, body_end);
+                continue;
+            }
+        }
+
+        // Words (including perturbed forms) and numbers.
+        if is_word_start(c) {
+            let mut end = scan_while(input, start, is_word_interior);
+            // Trim trailing sentence punctuation, but never below one char.
+            while end > start {
+                let last = input[start..end].chars().next_back().expect("non-empty");
+                if is_trim_trailing(last) && end - last.len_utf8() > start {
+                    end -= last.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            let text = &input[start..end];
+            let kind = if text.chars().all(|c| c.is_ascii_digit() || matches!(c, '.' | ',')) {
+                TokenKind::Number
+            } else if text.chars().any(char::is_alphanumeric) {
+                TokenKind::Word
+            } else {
+                // Symbol-only runs ("!!!", "$$") are punctuation, not words,
+                // even though those symbols can stand in for letters inside
+                // real words.
+                TokenKind::Punct
+            };
+            push_span(&mut tokens, input, start..end, kind);
+            advance_to(&mut iter, end);
+            continue;
+        }
+
+        // Single punctuation char.
+        let end = (start + c.len_utf8()).min(bytes_len);
+        push_span(&mut tokens, input, start..end, TokenKind::Punct);
+        iter.next();
+    }
+    tokens
+}
+
+/// Convenience: just the word tokens' texts, in order.
+pub fn words(input: &str) -> Vec<String> {
+    tokenize(input)
+        .into_iter()
+        .filter(|t| t.is_word())
+        .map(|t| t.text)
+        .collect()
+}
+
+/// Replace spans of `input` with new strings. `replacements` must be
+/// non-overlapping; they are applied in span order regardless of input
+/// order. Used by Perturbation/Normalization to splice corrected or
+/// perturbed tokens back into the original text.
+pub fn splice(input: &str, replacements: &[(Range<usize>, String)]) -> String {
+    let mut sorted: Vec<&(Range<usize>, String)> = replacements.iter().collect();
+    sorted.sort_by_key(|(r, _)| r.start);
+    let mut out = String::with_capacity(input.len() + 16);
+    let mut cursor = 0usize;
+    for (range, replacement) in sorted {
+        debug_assert!(range.start >= cursor, "overlapping replacement spans");
+        out.push_str(&input[cursor..range.start]);
+        out.push_str(replacement);
+        cursor = range.end;
+    }
+    out.push_str(&input[cursor..]);
+    out
+}
+
+fn push_span(tokens: &mut Vec<Token>, input: &str, span: Range<usize>, kind: TokenKind) {
+    tokens.push(Token {
+        text: input[span.clone()].to_string(),
+        kind,
+        span,
+    });
+}
+
+fn advance_to(iter: &mut std::iter::Peekable<std::str::CharIndices>, end: usize) {
+    while let Some(&(i, _)) = iter.peek() {
+        if i >= end {
+            break;
+        }
+        iter.next();
+    }
+}
+
+fn scan_while(input: &str, from: usize, pred: impl Fn(char) -> bool) -> usize {
+    let mut end = from;
+    for (i, c) in input[from..].char_indices() {
+        if pred(c) {
+            end = from + i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    end
+}
+
+fn match_url(input: &str, start: usize) -> Option<usize> {
+    let rest = &input[start..];
+    let prefix_len = if rest.starts_with("https://") || rest.starts_with("http://") {
+        rest.find("://").expect("checked") + 3
+    } else if rest.starts_with("www.") {
+        4
+    } else {
+        return None;
+    };
+    let end = scan_while(
+        input,
+        start + prefix_len,
+        |c| !c.is_whitespace() && c != '"' && c != '<' && c != '>',
+    );
+    (end > start + prefix_len).then_some(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<(String, TokenKind)> {
+        tokenize(input)
+            .into_iter()
+            .map(|t| (t.text, t.kind))
+            .collect()
+    }
+
+    #[test]
+    fn plain_sentence() {
+        let ts = kinds("the dirty republicans");
+        assert_eq!(
+            ts,
+            vec![
+                ("the".into(), TokenKind::Word),
+                ("dirty".into(), TokenKind::Word),
+                ("republicans".into(), TokenKind::Word),
+            ]
+        );
+    }
+
+    #[test]
+    fn perturbed_words_stay_whole() {
+        assert_eq!(words("thinking about suic1de"), vec!["thinking", "about", "suic1de"]);
+        assert_eq!(words("the republic@@ns lie"), vec!["the", "republic@@ns", "lie"]);
+        assert_eq!(words("dem0cr@ts and cla$$"), vec!["dem0cr@ts", "and", "cla$$"]);
+        assert_eq!(words("mus-lim ban"), vec!["mus-lim", "ban"]);
+        assert_eq!(words("that is porrrrn"), vec!["that", "is", "porrrrn"]);
+    }
+
+    #[test]
+    fn sentence_punctuation_trims_but_interior_stays() {
+        assert_eq!(words("stop it!!!"), vec!["stop", "it"]);
+        assert_eq!(words("suic!de"), vec!["suic!de"]);
+        assert_eq!(words("really, now."), vec!["really", "now"]);
+        // Trimmed punctuation becomes Punct tokens, preserving coverage.
+        let ts = kinds("it!");
+        assert_eq!(ts[0], ("it".into(), TokenKind::Word));
+        assert_eq!(ts[1], ("!".into(), TokenKind::Punct));
+    }
+
+    #[test]
+    fn mentions_and_hashtags() {
+        let ts = kinds("@potus pushed #VaccineMandate again");
+        assert_eq!(ts[0], ("@potus".into(), TokenKind::Mention));
+        assert_eq!(ts[1], ("pushed".into(), TokenKind::Word));
+        assert_eq!(ts[2], ("#VaccineMandate".into(), TokenKind::Hashtag));
+    }
+
+    #[test]
+    fn at_inside_word_is_not_a_mention() {
+        let ts = kinds("republic@@ns");
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].1, TokenKind::Word);
+    }
+
+    #[test]
+    fn urls_are_single_tokens() {
+        let ts = kinds("see https://example.com/a?b=1 now");
+        assert_eq!(ts[1], ("https://example.com/a?b=1".into(), TokenKind::Url));
+        let ts = kinds("visit www.example.org today");
+        assert_eq!(ts[1], ("www.example.org".into(), TokenKind::Url));
+    }
+
+    #[test]
+    fn bare_www_dot_is_not_url() {
+        let ts = kinds("www. hello");
+        assert_ne!(ts[0].1, TokenKind::Url);
+    }
+
+    #[test]
+    fn emoticons_detected_at_boundaries() {
+        let ts = kinds("sad :( but ok <3");
+        assert!(ts.iter().any(|(t, k)| t == ":(" && *k == TokenKind::Emoticon));
+        assert!(ts.iter().any(|(t, k)| t == "<3" && *k == TokenKind::Emoticon));
+    }
+
+    #[test]
+    fn numbers_are_numbers() {
+        let ts = kinds("in 2021, 67% were negative");
+        assert!(ts.iter().any(|(t, k)| t == "2021" && *k == TokenKind::Number));
+        assert!(ts.iter().any(|(t, k)| t == "67" && *k == TokenKind::Number));
+    }
+
+    #[test]
+    fn leet_number_words_are_words() {
+        // Mixed letters+digits is a Word (perturbation candidate).
+        let ts = kinds("suic1de h8 sp33ch");
+        assert!(ts.iter().all(|(_, k)| *k == TokenKind::Word));
+    }
+
+    #[test]
+    fn spans_match_source() {
+        let input = "The democRATs… and RepubLIEcans!";
+        for t in tokenize(input) {
+            assert_eq!(&input[t.span.clone()], t.text, "span integrity for {:?}", t.text);
+        }
+    }
+
+    #[test]
+    fn spans_are_increasing_and_disjoint() {
+        let input = "a b!! c@d.com #x :) www.e.f";
+        let ts = tokenize(input);
+        for w in ts.windows(2) {
+            assert!(w[0].span.end <= w[1].span.start, "{:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n  ").is_empty());
+    }
+
+    #[test]
+    fn unicode_text_tokenizes() {
+        let ts = kinds("vãccine 😀 mandate");
+        assert_eq!(ts[0], ("vãccine".into(), TokenKind::Word));
+        assert!(ts.iter().any(|(t, _)| t == "mandate"));
+    }
+
+    #[test]
+    fn apostrophe_words() {
+        assert_eq!(words("don't can't y'all"), vec!["don't", "can't", "y'all"]);
+    }
+
+    #[test]
+    fn splice_replaces_spans() {
+        let input = "Biden belongs to the democrats";
+        let ts = tokenize(input);
+        let demo = ts.iter().find(|t| t.text == "democrats").unwrap();
+        let out = splice(input, &[(demo.span.clone(), "demokRATs".to_string())]);
+        assert_eq!(out, "Biden belongs to the demokRATs");
+    }
+
+    #[test]
+    fn splice_multiple_out_of_order() {
+        let input = "a b c";
+        let ts = tokenize(input);
+        let out = splice(
+            input,
+            &[
+                (ts[2].span.clone(), "C".to_string()),
+                (ts[0].span.clone(), "A".to_string()),
+            ],
+        );
+        assert_eq!(out, "A b C");
+    }
+
+    #[test]
+    fn splice_empty_replacements_is_identity() {
+        assert_eq!(splice("unchanged", &[]), "unchanged");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every token's text is exactly the source slice at its span.
+        #[test]
+        fn span_integrity(input in "\\PC{0,60}") {
+            for t in tokenize(&input) {
+                prop_assert_eq!(&input[t.span.clone()], t.text.as_str());
+            }
+        }
+
+        /// Spans never overlap and are sorted.
+        #[test]
+        fn spans_sorted_disjoint(input in "\\PC{0,60}") {
+            let ts = tokenize(&input);
+            for w in ts.windows(2) {
+                prop_assert!(w[0].span.end <= w[1].span.start);
+            }
+        }
+
+        /// Inter-token gaps contain only whitespace: tokenization covers
+        /// every non-whitespace byte.
+        #[test]
+        fn full_coverage(input in "[a-z0-9 @#!.,$]{0,60}") {
+            let ts = tokenize(&input);
+            let mut cursor = 0usize;
+            for t in &ts {
+                prop_assert!(input[cursor..t.span.start].chars().all(char::is_whitespace),
+                    "gap {:?} before {:?}", &input[cursor..t.span.start], t.text);
+                cursor = t.span.end;
+            }
+            prop_assert!(input[cursor..].chars().all(char::is_whitespace));
+        }
+
+        /// Identity splice: replacing every token with itself reconstructs
+        /// the input.
+        #[test]
+        fn identity_splice(input in "\\PC{0,60}") {
+            let ts = tokenize(&input);
+            let reps: Vec<_> = ts.iter().map(|t| (t.span.clone(), t.text.clone())).collect();
+            prop_assert_eq!(splice(&input, &reps), input);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The §III-C use case: de-noise a perturbed training corpus with
+//! Normalization and measure the downstream classifier lift.
+//!
+//! ```text
+//! cargo run --release --example denoise_pipeline
+//! ```
+
+use cryptext::core::database::TokenDatabase;
+use cryptext::core::{CrypText, NormalizeParams};
+use cryptext::corpus::{generator, CorpusConfig};
+use cryptext::ml::{accuracy, Classifier, Example, NaiveBayes};
+use cryptext::stream::{SocialPlatform, StreamConfig};
+
+fn main() {
+    // A heavily perturbed labelled corpus (the kind of noisy user text a
+    // moderation team actually gets).
+    let noisy = generator::generate(CorpusConfig {
+        n_docs: 2_400,
+        seed: 64,
+        perturb_prob_negative: 0.8,
+        perturb_prob_positive: 0.5,
+        secondary_perturb_prob: 0.3,
+        ..CorpusConfig::default()
+    });
+    let (train_docs, test_docs) = noisy.docs.split_at(1_600);
+
+    // The CrypText normalizer, backed by a database built from a wild feed.
+    let platform = SocialPlatform::simulate(StreamConfig {
+        n_posts: 5_000,
+        seed: 65,
+        ..StreamConfig::default()
+    });
+    let mut db = TokenDatabase::with_lexicon();
+    for post in platform.posts() {
+        db.ingest_text(&post.text);
+    }
+    let cryptext = CrypText::new(db);
+    let normalize = |text: &str| {
+        cryptext
+            .normalize(text, NormalizeParams::default())
+            .expect("normalize")
+            .text
+    };
+
+    // Pipeline A: train and test on raw noisy text.
+    let raw_train: Vec<Example> = train_docs
+        .iter()
+        .map(|d| Example::new(d.text.clone(), usize::from(d.toxic)))
+        .collect();
+    // Pipeline B: de-noise both sides with CrypText first.
+    let clean_train: Vec<Example> = train_docs
+        .iter()
+        .map(|d| Example::new(normalize(&d.text), usize::from(d.toxic)))
+        .collect();
+
+    let raw_model = NaiveBayes::train(&raw_train, 2, 1.0);
+    let denoised_model = NaiveBayes::train(&clean_train, 2, 1.0);
+
+    let y_true: Vec<usize> = test_docs.iter().map(|d| usize::from(d.toxic)).collect();
+    let raw_pred: Vec<usize> = test_docs.iter().map(|d| raw_model.predict(&d.text)).collect();
+    let denoised_pred: Vec<usize> = test_docs
+        .iter()
+        .map(|d| denoised_model.predict(&normalize(&d.text)))
+        .collect();
+
+    let corrected: usize = test_docs
+        .iter()
+        .map(|d| {
+            cryptext
+                .normalize(&d.text, NormalizeParams::default())
+                .expect("normalize")
+                .corrections
+                .len()
+        })
+        .sum();
+
+    println!("toxicity classification on heavily perturbed text:");
+    println!("  raw pipeline       : {:.1}%", accuracy(&y_true, &raw_pred) * 100.0);
+    println!(
+        "  de-noised pipeline : {:.1}%  ({} tokens corrected in the test set)",
+        accuracy(&y_true, &denoised_pred) * 100.0,
+        corrected
+    );
+    println!();
+    println!(
+        "Normalizing with CrypText folds out-of-vocabulary perturbations\n\
+         back onto dictionary words, restoring the lexical evidence the\n\
+         model was trained on (§III-C use case 1)."
+    );
+}

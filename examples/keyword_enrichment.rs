@@ -1,0 +1,71 @@
+//! The §III-B use case: enrich a sensitive-topic search query with
+//! human-written perturbations to reach content that clean keywords miss.
+//!
+//! ```text
+//! cargo run --release --example keyword_enrichment
+//! ```
+
+use cryptext::core::database::TokenDatabase;
+use cryptext::core::{look_up, LookupParams};
+use cryptext::corpus::Sentiment;
+use cryptext::stream::{SearchQuery, SocialPlatform, StreamConfig};
+
+fn main() {
+    // A month of simulated social traffic.
+    let platform = SocialPlatform::simulate(StreamConfig {
+        n_posts: 4_000,
+        seed: 2021,
+        ..StreamConfig::default()
+    });
+
+    // The crawler-built token database over the same feed.
+    let mut db = TokenDatabase::in_memory();
+    for post in platform.posts() {
+        db.ingest_text(&post.text);
+    }
+
+    for keyword in ["vaccine", "democrats"] {
+        // Plain query.
+        let plain = platform.search(&SearchQuery::keyword(keyword));
+
+        // Enriched query: keyword + its Look Up perturbations.
+        let perturbations = look_up(
+            &db,
+            keyword,
+            LookupParams::paper_default().perturbations_only().observed(),
+        )
+        .expect("lookup");
+        let mut terms = vec![keyword.to_string()];
+        terms.extend(perturbations.iter().map(|h| h.token.clone()));
+        let enriched = platform.search(&SearchQuery::any_of(terms.clone()));
+
+        let neg = |posts: &[cryptext::stream::Post]| {
+            if posts.is_empty() {
+                return 0.0;
+            }
+            posts
+                .iter()
+                .filter(|p| p.sentiment == Sentiment::Negative)
+                .count() as f64
+                / posts.len() as f64
+        };
+
+        println!("keyword: {keyword:?}");
+        println!("  query terms       : {}", terms.join(", "));
+        println!(
+            "  plain search      : {} posts, {:.0}% negative",
+            plain.total,
+            neg(&plain.posts) * 100.0
+        );
+        println!(
+            "  enriched search   : {} posts, {:.0}% negative",
+            enriched.total,
+            neg(&enriched.posts) * 100.0
+        );
+        println!(
+            "  unreachable posts : {} (only findable via perturbed spellings)",
+            enriched.total - plain.total
+        );
+        println!();
+    }
+}

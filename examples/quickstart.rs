@@ -1,0 +1,64 @@
+//! Quickstart: build a token database, then exercise all three core
+//! functions — Look Up, Normalization, Perturbation.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cryptext::prelude::*;
+use cryptext::core::{NormalizeParams, PerturbParams};
+
+fn main() -> Result<()> {
+    // 1. Curate a database from raw human-written text (Table I corpus
+    //    plus a few wild perturbations).
+    let mut db = TokenDatabase::with_lexicon();
+    for post in [
+        "the dirrty republicans",
+        "thee dirty repubLIEcans",
+        "the dirty republic@@ns",
+        "the demokRATs keep lying",
+        "Biden belongs to the democrats",
+        "the vacc1ne mandate is terrible",
+        "the vaccine mandate was announced",
+        "thinking about suic1de",
+        "suicide prevention is important",
+    ] {
+        db.ingest_text(post);
+    }
+    let stats = db.stats();
+    println!(
+        "database: {} unique tokens across {} phonetic sounds (k = 1)",
+        stats.unique_tokens, stats.unique_sounds[1]
+    );
+
+    let cryptext = CrypText::new(db);
+
+    // 2. Look Up: the perturbation set of "republicans" (SMS property,
+    //    paper defaults k = 1, d = 3).
+    let hits = cryptext.look_up("republicans", LookupParams::paper_default())?;
+    println!("\nLook Up  P_x for x = \"republicans\":");
+    for h in &hits {
+        println!("  {:<14} count={} distance={}", h.token, h.count, h.distance);
+    }
+
+    // 3. Normalization: de-perturb a noisy post.
+    let noisy = "the demokRATs pushed the vacc1ne mandate";
+    let normalized = cryptext.normalize(noisy, NormalizeParams::default())?;
+    println!("\nNormalize:");
+    println!("  in : {noisy}");
+    println!("  out: {}", normalized.text);
+    for c in &normalized.corrections {
+        println!("    {} → {} (score {:.2})", c.original, c.replacement, c.score);
+    }
+
+    // 4. Perturbation: rewrite clean text with observed human spellings.
+    let clean = "the democrats discussed the vaccine";
+    let perturbed = cryptext.perturb(clean, PerturbParams::with_ratio(0.5))?;
+    println!("\nPerturb (r = 50%):");
+    println!("  in : {clean}");
+    println!("  out: {}", perturbed.text);
+    for r in &perturbed.replacements {
+        println!("    {} → {}", r.original, r.replacement);
+    }
+    Ok(())
+}

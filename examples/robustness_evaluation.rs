@@ -1,0 +1,85 @@
+//! The §III-D use case (Fig. 4): stress-test a toxicity classifier with
+//! realistic human-written perturbations and compare against a machine
+//! baseline.
+//!
+//! ```text
+//! cargo run --release --example robustness_evaluation
+//! ```
+
+use cryptext::attacks::{perturb_text, TextBugger};
+use cryptext::common::SplitMix64;
+use cryptext::core::database::TokenDatabase;
+use cryptext::core::{CrypText, PerturbParams};
+use cryptext::corpus::{generator, CorpusConfig};
+use cryptext::ml::{accuracy, train_test_split, Classifier, Example, NaiveBayes};
+use cryptext::stream::{SocialPlatform, StreamConfig};
+
+fn main() {
+    // Train a toxicity model on clean text.
+    let clean = generator::generate(CorpusConfig {
+        n_docs: 2_000,
+        seed: 7,
+        perturb_prob_negative: 0.0,
+        perturb_prob_positive: 0.0,
+        secondary_perturb_prob: 0.0,
+        ..CorpusConfig::default()
+    });
+    let examples: Vec<Example> = clean
+        .docs
+        .iter()
+        .map(|d| Example::new(d.text.clone(), usize::from(d.toxic)))
+        .collect();
+    let (train, test) = train_test_split(&examples, 0.3, 1);
+    let model = NaiveBayes::train(&train, 2, 1.0);
+
+    // CrypText database of wild perturbations.
+    let platform = SocialPlatform::simulate(StreamConfig {
+        n_posts: 4_000,
+        seed: 13,
+        ..StreamConfig::default()
+    });
+    let mut db = TokenDatabase::with_lexicon();
+    for post in platform.posts() {
+        db.ingest_text(&post.text);
+    }
+    let cryptext = CrypText::new(db);
+
+    let y_true: Vec<usize> = test.iter().map(|e| e.label).collect();
+    println!("toxicity accuracy under perturbation (test set: {} docs)", test.len());
+    println!("{:>5} {:>18} {:>12}", "r", "cryptext (human)", "textbugger");
+    for ratio in [0.0, 0.15, 0.25, 0.5] {
+        // CrypText: only observed human-written replacements.
+        let human: Vec<usize> = test
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let out = cryptext
+                    .perturb(&e.text, PerturbParams::with_ratio(ratio).seeded(i as u64))
+                    .expect("perturb");
+                model.predict(&out.text)
+            })
+            .collect();
+        // Machine baseline.
+        let machine: Vec<usize> = test
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let mut rng = SplitMix64::new(i as u64);
+                let out = perturb_text(&TextBugger, &e.text, ratio, &mut rng);
+                model.predict(&out.text)
+            })
+            .collect();
+        println!(
+            "{:>4.0}% {:>17.1}% {:>11.1}%",
+            ratio * 100.0,
+            accuracy(&y_true, &human) * 100.0,
+            accuracy(&y_true, &machine) * 100.0,
+        );
+    }
+    println!();
+    println!(
+        "CrypText's rewrites use only spellings observed in human text, so\n\
+         the measured degradation reflects realistic noise, not synthetic\n\
+         worst-case attacks (§III-D)."
+    );
+}

@@ -1,0 +1,74 @@
+//! # CrypText
+//!
+//! A Rust reproduction of **"CRYPTEXT: Database and Interactive Toolkit of
+//! Human-Written Text Perturbations in the Wild"** (ICDE 2023).
+//!
+//! This facade crate re-exports the whole workspace under one roof. The
+//! short tour:
+//!
+//! * [`core`] (re-exported from `cryptext-core`) — the CrypText system:
+//!   the human-written token database (`H_k` hash maps over a customized
+//!   Soundex), Look Up, Normalization, Perturbation, Social Listening and
+//!   the authenticated service facade.
+//! * [`phonetics`] — classic + customized Soundex.
+//! * [`confusables`] — visual-similarity tables (leet, homoglyphs, accents).
+//! * [`editdist`] — Levenshtein/Damerau distances with bounded variants.
+//! * [`tokenizer`] — social-media tokenizer with byte spans.
+//! * [`docstore`] — embedded document database (MongoDB substitute).
+//! * [`cache`] — sharded TTL+LRU cache (Redis substitute).
+//! * [`lm`] — n-gram language model (BERT coherency-score substitute).
+//! * [`ml`] — text classifiers (Google NLP API substitutes for Fig. 4).
+//! * [`attacks`] — TextBugger/VIPER/DeepWordBug baselines + the
+//!   human-perturbation generator.
+//! * [`corpus`] — lexicons and synthetic corpus builders.
+//! * [`stream`] — simulated Reddit/Twitter platforms with PushShift-style
+//!   search.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cryptext::prelude::*;
+//!
+//! // Build a token database from a tiny corpus (Table I of the paper).
+//! let corpus = [
+//!     "the dirrty republicans",
+//!     "thee dirty repubLIEcans",
+//!     "the dirty republic@@ns",
+//! ];
+//! let mut db = TokenDatabase::in_memory();
+//! for sentence in corpus {
+//!     db.ingest_text(sentence);
+//! }
+//!
+//! // Look Up perturbations of "republicans" under the SMS property.
+//! let cryptext = CrypText::new(db);
+//! let hits = cryptext.look_up("republicans", LookupParams::new(1, 1)).unwrap();
+//! let tokens: Vec<&str> = hits.iter().map(|h| h.token.as_str()).collect();
+//! assert!(tokens.contains(&"repubLIEcans"));
+//! assert!(!tokens.contains(&"republic@@ns")); // edit distance 2 > d=1
+//! ```
+
+pub use cryptext_attacks as attacks;
+pub use cryptext_cache as cache;
+pub use cryptext_common as common;
+pub use cryptext_confusables as confusables;
+pub use cryptext_core as core;
+pub use cryptext_corpus as corpus;
+pub use cryptext_docstore as docstore;
+pub use cryptext_editdist as editdist;
+pub use cryptext_lm as lm;
+pub use cryptext_ml as ml;
+pub use cryptext_phonetics as phonetics;
+pub use cryptext_stream as stream;
+pub use cryptext_tokenizer as tokenizer;
+
+/// Commonly used items, importable with `use cryptext::prelude::*`.
+pub mod prelude {
+    pub use cryptext_common::{Error, Result};
+    pub use cryptext_core::database::TokenDatabase;
+    pub use cryptext_core::lookup::{LookupHit, LookupParams};
+    pub use cryptext_core::normalize::{NormalizeParams, Normalizer};
+    pub use cryptext_core::perturb::{PerturbParams, Perturber as TextPerturber};
+    pub use cryptext_core::CrypText;
+    pub use cryptext_phonetics::{CustomSoundex, SoundexCode};
+}
