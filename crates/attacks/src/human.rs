@@ -137,8 +137,10 @@ impl Strategy {
                     let leet: Vec<char> = variants
                         .iter()
                         .copied()
-                        .filter(|&v| cryptext_confusables::tables::classify_variant(v)
-                            == Some(VariantClass::Leet))
+                        .filter(|&v| {
+                            cryptext_confusables::tables::classify_variant(v)
+                                == Some(VariantClass::Leet)
+                        })
                         .collect();
                     let pool: &[char] = if !leet.is_empty() && rng.chance(0.75) {
                         &leet
@@ -162,8 +164,7 @@ impl Strategy {
                     .filter(|&i| {
                         chars[i].is_ascii_lowercase()
                             && soundex_digit(chars[i]).is_some_and(|d| {
-                                ('a'..='z')
-                                    .any(|c| c != chars[i] && soundex_digit(c) == Some(d))
+                                ('a'..='z').any(|c| c != chars[i] && soundex_digit(c) == Some(d))
                             })
                     })
                     .collect();
@@ -311,8 +312,11 @@ mod tests {
         for _ in 0..100 {
             let out = Strategy::Repetition.apply("porn", &mut rng).unwrap();
             assert!(out.len() > 4, "{out}");
-            assert_eq!(cryptext_common::text::squeeze_repeats(&out, 1),
-                       cryptext_common::text::squeeze_repeats("porn", 1), "{out}");
+            assert_eq!(
+                cryptext_common::text::squeeze_repeats(&out, 1),
+                cryptext_common::text::squeeze_repeats("porn", 1),
+                "{out}"
+            );
         }
     }
 
@@ -357,7 +361,13 @@ mod tests {
         // ambiguous-leet reading).
         let sx = CustomSoundex::new(1);
         let mut rng = SplitMix64::new(8);
-        for word in ["democrats", "republicans", "vaccine", "depression", "muslim"] {
+        for word in [
+            "democrats",
+            "republicans",
+            "vaccine",
+            "depression",
+            "muslim",
+        ] {
             let base = sx.encode(word).unwrap();
             for strategy in Strategy::ALL.iter().filter(|s| s.sound_preserving()) {
                 for _ in 0..50 {
@@ -405,7 +415,10 @@ mod tests {
                     "emphasis"
                 } else if out.len() > "depression".len() {
                     "repetition"
-                } else if out.chars().any(|c| !c.is_ascii_alphanumeric() || c.is_ascii_digit()) {
+                } else if out
+                    .chars()
+                    .any(|c| !c.is_ascii_alphanumeric() || c.is_ascii_digit())
+                {
                     "leet"
                 } else {
                     "phonetic"

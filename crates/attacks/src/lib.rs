@@ -98,8 +98,8 @@ pub fn perturb_text(
             replacements: Vec::new(),
         };
     }
-    let n_target = ((ratio.clamp(0.0, 1.0) * eligible.len() as f64).ceil() as usize)
-        .min(eligible.len());
+    let n_target =
+        ((ratio.clamp(0.0, 1.0) * eligible.len() as f64).ceil() as usize).min(eligible.len());
     let chosen = rng.sample_indices(eligible.len(), n_target);
 
     let mut replacements: Vec<Replacement> = Vec::with_capacity(n_target);

@@ -206,11 +206,15 @@ mod tests {
         let tb = TextBugger;
         let a: Vec<Option<String>> = {
             let mut rng = SplitMix64::new(42);
-            (0..20).map(|_| tb.perturb_token("senator", &mut rng)).collect()
+            (0..20)
+                .map(|_| tb.perturb_token("senator", &mut rng))
+                .collect()
         };
         let b: Vec<Option<String>> = {
             let mut rng = SplitMix64::new(42);
-            (0..20).map(|_| tb.perturb_token("senator", &mut rng)).collect()
+            (0..20)
+                .map(|_| tb.perturb_token("senator", &mut rng))
+                .collect()
         };
         assert_eq!(a, b);
     }

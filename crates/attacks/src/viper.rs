@@ -23,7 +23,9 @@ pub struct Viper {
 impl Viper {
     /// VIPER with the given per-character probability.
     pub fn new(p: f64) -> Self {
-        Viper { p: p.clamp(0.0, 1.0) }
+        Viper {
+            p: p.clamp(0.0, 1.0),
+        }
     }
 }
 

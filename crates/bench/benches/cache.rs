@@ -1,6 +1,5 @@
 //! Cache microbenchmarks: hit path, miss path, and eviction churn.
 
-
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};

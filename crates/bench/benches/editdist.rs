@@ -53,7 +53,13 @@ fn bench_editdist(c: &mut Criterion) {
         b.iter(|| black_box(levenshtein(black_box(&long_a), black_box(&long_b))))
     });
     group.bench_function("long_bounded_d3", |b| {
-        b.iter(|| black_box(levenshtein_bounded(black_box(&long_a), black_box(&long_b), 3)))
+        b.iter(|| {
+            black_box(levenshtein_bounded(
+                black_box(&long_a),
+                black_box(&long_b),
+                3,
+            ))
+        })
     });
 
     group.finish();

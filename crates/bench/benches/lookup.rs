@@ -2,11 +2,10 @@
 //! queries through the service facade (the Redis-role measurement that
 //! justifies Fig. 5's cache box).
 
-
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cryptext_bench::{build_db, build_platform};
 use cryptext_core::service::{CryptextService, ServiceConfig};
-use cryptext_core::{look_up, CrypText, LookupParams};
+use cryptext_core::{look_up, look_up_naive, look_up_with, CrypText, LookupParams, LookupScratch};
 
 fn bench_lookup(c: &mut Criterion) {
     let platform = build_platform(4_000, 7);
@@ -18,6 +17,32 @@ fn bench_lookup(c: &mut Criterion) {
         b.iter(|| {
             for q in queries {
                 black_box(look_up(&db, black_box(q), LookupParams::paper_default()).unwrap());
+            }
+        })
+    });
+    // The pre-optimization path, kept as the regression baseline: the
+    // read-optimized engine above must beat this by a wide margin in the
+    // same run (see BENCH_lookup.json for the tracked ratio).
+    group.bench_function("db_cold_k1_d3_naive", |b| {
+        b.iter(|| {
+            for q in queries {
+                black_box(look_up_naive(&db, black_box(q), LookupParams::paper_default()).unwrap());
+            }
+        })
+    });
+    group.bench_function("db_cold_k1_d3_scratch_reuse", |b| {
+        let mut scratch = LookupScratch::new();
+        b.iter(|| {
+            for q in queries {
+                black_box(
+                    look_up_with(
+                        &db,
+                        black_box(q),
+                        LookupParams::paper_default(),
+                        &mut scratch,
+                    )
+                    .unwrap(),
+                );
             }
         })
     });
@@ -41,7 +66,9 @@ fn bench_lookup(c: &mut Criterion) {
     let token = service.issue_token("bench");
     // Warm the cache.
     for q in queries {
-        service.look_up(&token, q, LookupParams::paper_default()).unwrap();
+        service
+            .look_up(&token, q, LookupParams::paper_default())
+            .unwrap();
     }
     group.bench_function("service_cached", |b| {
         b.iter(|| {

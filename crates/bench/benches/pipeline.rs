@@ -34,7 +34,12 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     group.bench_function("ingest_100_posts", |b| {
-        let texts: Vec<&str> = platform.posts().iter().take(100).map(|p| p.text.as_str()).collect();
+        let texts: Vec<&str> = platform
+            .posts()
+            .iter()
+            .take(100)
+            .map(|p| p.text.as_str())
+            .collect();
         b.iter(|| {
             let mut db = TokenDatabase::in_memory();
             for t in &texts {

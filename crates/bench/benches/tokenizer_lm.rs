@@ -31,22 +31,25 @@ fn bench_tokenizer_lm(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("lm");
     group.bench_function("coherency_score", |b| {
-        b.iter(|| {
-            black_box(lm.coherency(
-                black_box("vaccine"),
-                &["the"],
-                &["mandate", "was"],
-            ))
-        })
+        b.iter(|| black_box(lm.coherency(black_box("vaccine"), &["the"], &["mandate", "was"])))
     });
     group.bench_function("perplexity_10_tokens", |b| {
-        let toks = ["the", "vaccine", "mandate", "was", "discussed", "by", "many", "people", "online", "today"];
+        let toks = [
+            "the",
+            "vaccine",
+            "mandate",
+            "was",
+            "discussed",
+            "by",
+            "many",
+            "people",
+            "online",
+            "today",
+        ];
         b.iter(|| black_box(lm.perplexity(&toks)))
     });
     group.bench_function("train_500_sentences", |b| {
-        b.iter(|| {
-            black_box(NgramLm::train(sentences.iter().map(|s| s.as_str())))
-        })
+        b.iter(|| black_box(NgramLm::train(sentences.iter().map(|s| s.as_str()))))
     });
     group.finish();
 }

@@ -10,7 +10,6 @@
 //! cargo run --release -p cryptext-bench --bin exp_architecture
 //! ```
 
-
 use cryptext_bench::{build_platform, pct};
 use cryptext_core::ingest::Crawler;
 use cryptext_core::service::{CryptextService, ServiceConfig};
@@ -68,7 +67,13 @@ fn main() {
         cryptext_common::system_clock(),
     );
     let token = service.issue_token("demo");
-    let queries = ["democrats", "republicans", "vaccine", "suicide", "depression"];
+    let queries = [
+        "democrats",
+        "republicans",
+        "vaccine",
+        "suicide",
+        "depression",
+    ];
     // Two passes: the second should be served by the cache.
     for _ in 0..2 {
         for q in queries {
@@ -89,5 +94,7 @@ fn main() {
 
     let _ = std::fs::remove_dir_all(&dir);
     println!();
-    println!("pipeline complete: crawler → tokenDB → docstore(WAL/snapshot) → recovery → API(cache).");
+    println!(
+        "pipeline complete: crawler → tokenDB → docstore(WAL/snapshot) → recovery → API(cache)."
+    );
 }

@@ -1,0 +1,180 @@
+//! Experiment B0 — **performance trajectory**: machine-readable lookup /
+//! normalize throughput over a seeded corpus, written to
+//! `BENCH_lookup.json` at the workspace root so successive PRs have
+//! comparable numbers (same seed, same query mix, same machine class).
+//!
+//! Reports, per engine path:
+//!
+//! * `queries_per_sec` — cold Look Up throughput (no service cache),
+//! * `p50_us` / `p99_us` — per-query latency quantiles in microseconds,
+//! * the optimized-over-naive speedup ratio for the paper-default
+//!   `k = 1, d = 3` workload,
+//! * database shape (tokens, sounds, occurrences) and ingest timing
+//!   (sequential vs parallel batch).
+//!
+//! ```text
+//! cargo run --release -p cryptext-bench --bin exp_bench_json
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cryptext_bench::{build_db, build_platform};
+use cryptext_core::{
+    look_up_naive, look_up_with, CrypText, LookupParams, LookupScratch, NormalizeParams,
+    TokenDatabase,
+};
+
+const N_POSTS: usize = 4_000;
+const SEED: u64 = 7;
+const WARMUP_ROUNDS: usize = 4;
+const MEASURE_ROUNDS: usize = 40;
+
+struct Measured {
+    queries_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    total_hits: usize,
+}
+
+/// Run `f` once per query over `rounds` rounds; returns per-call quantiles.
+fn measure(queries: &[&str], rounds: usize, mut f: impl FnMut(&str) -> usize) -> Measured {
+    let mut samples_us: Vec<f64> = Vec::with_capacity(queries.len() * rounds);
+    let mut total_hits = 0;
+    let wall = Instant::now();
+    for _ in 0..rounds {
+        for q in queries {
+            let start = Instant::now();
+            total_hits += std::hint::black_box(f(q));
+            samples_us.push(start.elapsed().as_nanos() as f64 / 1e3);
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pick = |q: f64| samples_us[((samples_us.len() - 1) as f64 * q).round() as usize];
+    Measured {
+        queries_per_sec: samples_us.len() as f64 / wall_s,
+        p50_us: pick(0.5),
+        p99_us: pick(0.99),
+        total_hits,
+    }
+}
+
+fn json_block(out: &mut String, name: &str, m: &Measured, last: bool) {
+    let _ = writeln!(out, "    \"{name}\": {{");
+    let _ = writeln!(out, "      \"queries_per_sec\": {:.1},", m.queries_per_sec);
+    let _ = writeln!(out, "      \"p50_us\": {:.2},", m.p50_us);
+    let _ = writeln!(out, "      \"p99_us\": {:.2},", m.p99_us);
+    let _ = writeln!(out, "      \"total_hits\": {}", m.total_hits);
+    let _ = writeln!(out, "    }}{}", if last { "" } else { "," });
+}
+
+fn main() {
+    let platform = build_platform(N_POSTS, SEED);
+    let texts: Vec<String> = platform.posts().iter().map(|p| p.text.clone()).collect();
+
+    // Ingest timing: the same corpus sequentially and in one parallel batch.
+    let ingest_seq_start = Instant::now();
+    let mut db_seq = TokenDatabase::with_lexicon();
+    for t in &texts {
+        db_seq.ingest_text(t);
+    }
+    let ingest_seq_ms = ingest_seq_start.elapsed().as_secs_f64() * 1e3;
+
+    let ingest_par_start = Instant::now();
+    let mut db_par = TokenDatabase::with_lexicon();
+    db_par.ingest_texts(&texts);
+    let ingest_par_ms = ingest_par_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(db_seq.stats(), db_par.stats(), "parallel ingest must agree");
+
+    let db = build_db(&platform);
+    let stats = db.stats();
+
+    // A query mix of clean words, observed perturbations, and misses.
+    let queries: Vec<&str> = [
+        "democrats",
+        "republicans",
+        "vaccine",
+        "suicide",
+        "muslim",
+        "depression",
+        "vacc1ne",
+        "the",
+        "demokrats",
+        "zzzmiss",
+        "lesbian",
+        "dirty",
+    ]
+    .into_iter()
+    .collect();
+    let params = LookupParams::paper_default();
+
+    let mut scratch = LookupScratch::new();
+    for _ in 0..WARMUP_ROUNDS {
+        for q in &queries {
+            let _ = look_up_with(&db, q, params, &mut scratch).unwrap();
+            let _ = look_up_naive(&db, q, params).unwrap();
+        }
+    }
+
+    let optimized = measure(&queries, MEASURE_ROUNDS, |q| {
+        look_up_with(&db, q, params, &mut scratch).unwrap().len()
+    });
+    let naive = measure(&queries, MEASURE_ROUNDS, |q| {
+        look_up_naive(&db, q, params).unwrap().len()
+    });
+    assert_eq!(
+        optimized.total_hits, naive.total_hits,
+        "engines must retrieve identical result sets"
+    );
+    let speedup = naive.p50_us / optimized.p50_us;
+
+    // Normalization throughput (drives Look Up per out-of-dictionary word).
+    let cx = CrypText::new(db);
+    let norm_texts: Vec<&str> = texts.iter().take(200).map(|s| s.as_str()).collect();
+    let norm = measure(&norm_texts, 2, |t| {
+        cx.normalize(t, NormalizeParams::default())
+            .unwrap()
+            .corrections
+            .len()
+    });
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"lookup\",");
+    let _ = writeln!(
+        out,
+        "  \"corpus\": {{ \"posts\": {N_POSTS}, \"seed\": {SEED} }},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"db\": {{ \"unique_tokens\": {}, \"sounds_k1\": {}, \"total_occurrences\": {} }},",
+        stats.unique_tokens, stats.unique_sounds[1], stats.total_occurrences
+    );
+    let _ = writeln!(
+        out,
+        "  \"ingest\": {{ \"sequential_ms\": {ingest_seq_ms:.1}, \"parallel_batch_ms\": {ingest_par_ms:.1}, \"threads\": {} }},",
+        cryptext_common::par::max_threads()
+    );
+    let _ = writeln!(out, "  \"lookup_k1_d3\": {{");
+    json_block(&mut out, "optimized", &optimized, false);
+    json_block(&mut out, "naive", &naive, false);
+    let _ = writeln!(
+        out,
+        "    \"speedup_p50_naive_over_optimized\": {speedup:.2}"
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"normalize_default\": {{");
+    let _ = writeln!(out, "    \"texts_per_sec\": {:.1},", norm.queries_per_sec);
+    let _ = writeln!(out, "    \"p50_us\": {:.2},", norm.p50_us);
+    let _ = writeln!(out, "    \"p99_us\": {:.2}", norm.p99_us);
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+
+    std::fs::write("BENCH_lookup.json", &out).expect("write BENCH_lookup.json");
+    print!("{out}");
+    eprintln!(
+        "lookup p50: optimized {:.2}µs vs naive {:.2}µs → {speedup:.2}x",
+        optimized.p50_us, naive.p50_us
+    );
+}

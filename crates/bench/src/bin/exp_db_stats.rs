@@ -34,9 +34,21 @@ fn main() {
     println!();
     println!("| metric | value |");
     println!("|--------|-------|");
-    println!("{}", row(&["unique tokens".into(), stats.unique_tokens.to_string()]));
-    println!("{}", row(&["total occurrences".into(), stats.total_occurrences.to_string()]));
-    println!("{}", row(&["dictionary tokens".into(), stats.english_tokens.to_string()]));
+    println!(
+        "{}",
+        row(&["unique tokens".into(), stats.unique_tokens.to_string()])
+    );
+    println!(
+        "{}",
+        row(&[
+            "total occurrences".into(),
+            stats.total_occurrences.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&["dictionary tokens".into(), stats.english_tokens.to_string()])
+    );
     for k in 0..=2 {
         println!(
             "{}",
@@ -47,7 +59,10 @@ fn main() {
         );
     }
     let ratio = stats.unique_tokens as f64 / stats.unique_sounds[1] as f64;
-    println!("{}", row(&["tokens per H_1 sound".into(), format!("{ratio:.2}")]));
+    println!(
+        "{}",
+        row(&["tokens per H_1 sound".into(), format!("{ratio:.2}")])
+    );
     println!();
 
     // Heaviest H_1 buckets — where perturbation families live.
@@ -59,7 +74,10 @@ fn main() {
     println!("|------|------|---------------|");
     for (code, tokens) in view.iter().take(10) {
         let sample: Vec<&str> = tokens.iter().take(6).map(|s| s.as_str()).collect();
-        println!("{}", row(&[code.clone(), tokens.len().to_string(), sample.join(", ")]));
+        println!(
+            "{}",
+            row(&[code.clone(), tokens.len().to_string(), sample.join(", ")])
+        );
     }
     println!();
     println!(

@@ -17,11 +17,19 @@ fn main() {
 
     println!("# Figure 1 — Look Up word-cloud data (k = 1, d = 3)");
     println!();
-    for query in ["vaccine", "democrats", "republicans", "suicide", "depression"] {
+    for query in [
+        "vaccine",
+        "democrats",
+        "republicans",
+        "suicide",
+        "depression",
+    ] {
         let hits = look_up(
             &db,
             query,
-            LookupParams::paper_default().perturbations_only().observed(),
+            LookupParams::paper_default()
+                .perturbations_only()
+                .observed(),
         )
         .expect("valid params");
         println!("## P_x for x = {query:?}  ({} perturbations)", hits.len());

@@ -61,12 +61,11 @@ fn main() {
         for rec in &post.perturbations {
             total += 1;
             let fixed = out.corrections.iter().any(|c| {
-                c.original == rec.perturbed
-                    && c.replacement.eq_ignore_ascii_case(&rec.original)
+                c.original == rec.perturbed && c.replacement.eq_ignore_ascii_case(&rec.original)
             });
             // Emphasis perturbations are already dictionary words after
             // case folding; treat "left unchanged" as recovered for them.
-            let case_only = rec.perturbed.to_ascii_lowercase() == rec.original.to_ascii_lowercase();
+            let case_only = rec.perturbed.eq_ignore_ascii_case(&rec.original);
             if fixed || case_only {
                 recovered += 1;
             }

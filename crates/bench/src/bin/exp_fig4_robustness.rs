@@ -25,7 +25,8 @@ use cryptext_ml::{accuracy, train_test_split, Classifier, Example, NaiveBayes};
 const RATIOS: [f64; 4] = [0.0, 0.15, 0.25, 0.50];
 
 struct Task {
-    #[allow(dead_code)] name: &'static str,
+    #[allow(dead_code)]
+    name: &'static str,
     model: NaiveBayes,
     test: Vec<Example>,
 }

@@ -22,7 +22,11 @@ use cryptext_ml::{Classifier, Example, NaiveBayes};
 use cryptext_stream::{SearchQuery, SocialPlatform};
 
 /// Negative fraction of a query's result set under `model`.
-fn negative_fraction(platform: &SocialPlatform, query: &SearchQuery, model: &NaiveBayes) -> (f64, usize) {
+fn negative_fraction(
+    platform: &SocialPlatform,
+    query: &SearchQuery,
+    model: &NaiveBayes,
+) -> (f64, usize) {
     let results = platform.search(query);
     if results.total == 0 {
         return (0.0, 0);
@@ -67,9 +71,17 @@ fn main() {
 
     println!("# §III-B — keyword enrichment: negative-sentiment fraction");
     println!();
-    println!("| keyword | plain query | enriched query | extra posts | paper plain | paper enriched |");
-    println!("|---------|-------------|----------------|-------------|-------------|----------------|");
-    let paper = [("democrats", 67, 87), ("republicans", 66, 84), ("vaccine", 46, 61)];
+    println!(
+        "| keyword | plain query | enriched query | extra posts | paper plain | paper enriched |"
+    );
+    println!(
+        "|---------|-------------|----------------|-------------|-------------|----------------|"
+    );
+    let paper = [
+        ("democrats", 67, 87),
+        ("republicans", 66, 84),
+        ("vaccine", 46, 61),
+    ];
     for ((keyword, weights, neg_frac), (_, p_plain, p_enr)) in scenarios.iter().zip(paper) {
         let platform = build_platform_with(
             5_000,
@@ -94,7 +106,9 @@ fn main() {
         let hits = look_up(
             &db,
             keyword,
-            LookupParams::paper_default().perturbations_only().observed(),
+            LookupParams::paper_default()
+                .perturbations_only()
+                .observed(),
         )
         .expect("lookup");
         let mut terms: Vec<String> = vec![keyword.to_string()];

@@ -72,7 +72,10 @@ fn main() {
         let (train, test) = train_test_split(&examples, 0.3, 5);
 
         let models: Vec<(&str, Box<dyn Classifier>)> = vec![
-            ("naive-bayes", Box::new(NaiveBayes::train(&train, classes, 1.0))),
+            (
+                "naive-bayes",
+                Box::new(NaiveBayes::train(&train, classes, 1.0)),
+            ),
             (
                 "logreg",
                 Box::new(LogisticRegression::train(

@@ -29,7 +29,10 @@ fn main() {
     }
     gold.sort();
     gold.dedup();
-    println!("# Parameter sweep — {} distinct gold perturbation pairs", gold.len());
+    println!(
+        "# Parameter sweep — {} distinct gold perturbation pairs",
+        gold.len()
+    );
     println!();
     println!("| k | d | recall | avg unrelated words / query |");
     println!("|---|---|--------|------------------------------|");
@@ -47,9 +50,7 @@ fn main() {
                 }
                 unrelated += hits
                     .iter()
-                    .filter(|h| {
-                        h.is_english && !h.token.eq_ignore_ascii_case(original)
-                    })
+                    .filter(|h| h.is_english && !h.token.eq_ignore_ascii_case(original))
                     .count();
             }
             println!(

@@ -512,7 +512,11 @@ mod proptests {
 
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (any::<u8>(), any::<u32>(), proptest::option::of(any::<u16>()))
+            (
+                any::<u8>(),
+                any::<u32>(),
+                proptest::option::of(any::<u16>())
+            )
                 .prop_map(|(k, v, t)| Op::Insert(k, v, t)),
             any::<u8>().prop_map(Op::Get),
             any::<u8>().prop_map(Op::Remove),

@@ -155,6 +155,10 @@ mod tests {
                 }
             }
         }
-        assert!(hashes.len() as u32 >= n - 2, "{} of {n} unique", hashes.len());
+        assert!(
+            hashes.len() as u32 >= n - 2,
+            "{} of {n} unique",
+            hashes.len()
+        );
     }
 }

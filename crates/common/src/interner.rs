@@ -121,7 +121,9 @@ impl Interner {
 
 impl std::fmt::Debug for Interner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Interner").field("len", &self.len()).finish()
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

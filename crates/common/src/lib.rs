@@ -15,6 +15,8 @@
 //! * [`clock`] — a simulated clock for the social-stream substrate and cache
 //!   TTL logic, so tests never depend on wall time.
 //! * [`interner`] — a thread-safe string interner used by the token database.
+//! * [`par`] — order-preserving parallel map over scoped threads, backing
+//!   the bulk service endpoints and parallel corpus ingest.
 //! * [`text`] — tiny string helpers shared by tokenizer/phonetics.
 
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod clock;
 pub mod error;
 pub mod hash;
 pub mod interner;
+pub mod par;
 pub mod rng;
 pub mod text;
 

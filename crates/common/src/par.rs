@@ -1,0 +1,207 @@
+//! Minimal data-parallel helpers over `std::thread::scope`.
+//!
+//! The service facade fans bulk Look Up / Normalize traffic across cores
+//! and the database parallelizes corpus ingest; a work-stealing runtime
+//! (rayon) is not available in this environment, so this module provides
+//! the two primitives those paths need. Outputs are returned **in input
+//! order**, so parallel callers observe exactly the sequential results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads, respecting `CRYPTEXT_THREADS` when set.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("CRYPTEXT_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Below this batch size the per-call thread spawn/join overhead (tens of
+/// microseconds per worker) tends to exceed the work being parallelized,
+/// so `par_map` stays sequential. A persistent worker pool would remove
+/// this trade-off entirely (tracked in ROADMAP).
+const MIN_PARALLEL_ITEMS: usize = 16;
+
+/// Map `f` over `items` in parallel, preserving input order in the output.
+///
+/// Work is handed out in small batches from a shared atomic cursor, so
+/// skewed per-item costs (one giant bucket among thousands of small ones)
+/// still balance across workers. Falls back to a sequential map for tiny
+/// inputs or single-core hosts. Panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 || items.len() < MIN_PARALLEL_ITEMS {
+        return items.iter().map(f).collect();
+    }
+    par_map_threaded(items, threads, f)
+}
+
+/// The scoped-thread branch of [`par_map`], with an explicit worker count
+/// so tests exercise it even on single-core hosts.
+fn par_map_threaded<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    // Batched dynamic scheduling: each worker claims `batch` consecutive
+    // indices at a time and records (index, result) pairs locally.
+    let batch = (n / (threads * 8)).clamp(1, 256);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor_ref = &cursor;
+
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor_ref.fetch_add(batch, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + batch).min(n);
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            local.push((start + i, f(item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => tagged.extend(local),
+                // Re-raise with the original payload so assertion messages
+                // and locations survive the thread boundary.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Fallible [`par_map`]: runs every item, then returns the first error in
+/// input order (matching what a sequential `collect::<Result<_, _>>` would
+/// surface) or the ordered successes.
+pub fn try_par_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    par_map(items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+        assert_eq!(par_map(&[1u32, 2, 3], |&x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_sequential_map_on_skewed_work() {
+        let items: Vec<usize> = (0..333).collect();
+        let seq: Vec<usize> = items.iter().map(|&x| (0..x % 50).sum::<usize>()).collect();
+        let par = par_map(&items, |&x| (0..x % 50).sum::<usize>());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out: Result<Vec<usize>, usize> =
+            try_par_map(&items, |&x| if x % 30 == 17 { Err(x) } else { Ok(x) });
+        assert_eq!(out, Err(17));
+        let ok: Result<Vec<usize>, usize> = try_par_map(&items[..10], |&x| Ok(x));
+        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_branch_preserves_order_and_results() {
+        // par_map falls back to sequential on single-core hosts, so drive
+        // the scoped-thread branch directly with a fixed worker count.
+        let items: Vec<usize> = (0..500).collect();
+        for threads in [2, 3, 8] {
+            let out = par_map_threaded(&items, threads, |&x| x * x);
+            assert_eq!(out.len(), 500, "{threads} threads");
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i, "{threads} threads, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_branch_panic_payload_propagates() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_threaded(&items, 4, |&x| {
+                assert!(x != 20, "threaded boom at {x}");
+                x
+            })
+        }));
+        let payload = result.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("threaded boom at 20"), "{msg:?}");
+    }
+
+    #[test]
+    fn worker_panic_payload_propagates() {
+        let items: Vec<usize> = (0..100).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, |&x| {
+                assert!(x != 50, "boom at {x}");
+                x
+            })
+        }));
+        let payload = result.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 50"), "original message kept: {msg:?}");
+    }
+
+    #[test]
+    fn thread_cap_env_is_respected() {
+        // max_threads is >= 1 even with garbage in the env var.
+        assert!(max_threads() >= 1);
+    }
+}

@@ -178,7 +178,10 @@ mod tests {
         assert!(has_symbol_substitution("republic@@ns"));
         assert!(has_symbol_substitution("dem0cr@ts"));
         assert!(!has_symbol_substitution("democrats"));
-        assert!(!has_symbol_substitution("mus-lim"), "hyphen alone is a joiner");
+        assert!(
+            !has_symbol_substitution("mus-lim"),
+            "hyphen alone is a joiner"
+        );
     }
 
     #[test]

@@ -10,28 +10,28 @@
 /// lowercase letter, or `None` when `c` is not a known accented form.
 pub fn strip_diacritic(c: char) -> Option<&'static str> {
     Some(match c {
-        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' | 'À' | 'Á' | 'Â' | 'Ã' | 'Ä'
-        | 'Å' | 'Ā' | 'Ă' | 'Ą' => "a",
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' | 'À' | 'Á' | 'Â' | 'Ã' | 'Ä' | 'Å'
+        | 'Ā' | 'Ă' | 'Ą' => "a",
         'ç' | 'ć' | 'ĉ' | 'ċ' | 'č' | 'Ç' | 'Ć' | 'Ĉ' | 'Ċ' | 'Č' => "c",
         'ď' | 'đ' | 'Ď' | 'Đ' | 'ð' | 'Ð' => "d",
-        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' | 'È' | 'É' | 'Ê' | 'Ë' | 'Ē'
-        | 'Ĕ' | 'Ė' | 'Ę' | 'Ě' => "e",
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' | 'È' | 'É' | 'Ê' | 'Ë' | 'Ē' | 'Ĕ'
+        | 'Ė' | 'Ę' | 'Ě' => "e",
         'ƒ' => "f",
         'ĝ' | 'ğ' | 'ġ' | 'ģ' | 'Ĝ' | 'Ğ' | 'Ġ' | 'Ģ' => "g",
         'ĥ' | 'ħ' | 'Ĥ' | 'Ħ' => "h",
-        'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'ĭ' | 'į' | 'ı' | 'Ì' | 'Í' | 'Î' | 'Ï' | 'Ĩ'
-        | 'Ī' | 'Ĭ' | 'Į' | 'İ' => "i",
+        'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'ĭ' | 'į' | 'ı' | 'Ì' | 'Í' | 'Î' | 'Ï' | 'Ĩ' | 'Ī'
+        | 'Ĭ' | 'Į' | 'İ' => "i",
         'ĵ' | 'Ĵ' => "j",
         'ķ' | 'Ķ' => "k",
         'ĺ' | 'ļ' | 'ľ' | 'ŀ' | 'ł' | 'Ĺ' | 'Ļ' | 'Ľ' | 'Ŀ' | 'Ł' => "l",
         'ñ' | 'ń' | 'ņ' | 'ň' | 'ŉ' | 'Ñ' | 'Ń' | 'Ņ' | 'Ň' => "n",
-        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ŏ' | 'ő' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö'
-        | 'Ø' | 'Ō' | 'Ŏ' | 'Ő' => "o",
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ŏ' | 'ő' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö' | 'Ø'
+        | 'Ō' | 'Ŏ' | 'Ő' => "o",
         'ŕ' | 'ŗ' | 'ř' | 'Ŕ' | 'Ŗ' | 'Ř' => "r",
         'ś' | 'ŝ' | 'ş' | 'š' | 'ș' | 'ß' | 'Ś' | 'Ŝ' | 'Ş' | 'Š' | 'Ș' => "s",
         'ţ' | 'ť' | 'ŧ' | 'ț' | 'Ţ' | 'Ť' | 'Ŧ' | 'Ț' => "t",
-        'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ŭ' | 'ů' | 'ű' | 'ų' | 'Ù' | 'Ú' | 'Û' | 'Ü'
-        | 'Ũ' | 'Ū' | 'Ŭ' | 'Ů' | 'Ű' | 'Ų' => "u",
+        'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ŭ' | 'ů' | 'ű' | 'ų' | 'Ù' | 'Ú' | 'Û' | 'Ü' | 'Ũ'
+        | 'Ū' | 'Ŭ' | 'Ů' | 'Ű' | 'Ų' => "u",
         'ŵ' | 'Ŵ' => "w",
         'ý' | 'ÿ' | 'ŷ' | 'Ý' | 'Ŷ' | 'Ÿ' => "y",
         'ź' | 'ż' | 'ž' | 'Ź' | 'Ż' | 'Ž' => "z",
@@ -66,7 +66,11 @@ mod tests {
         assert_eq!(strip_diacritic('e'), None);
         assert_eq!(strip_diacritic('E'), None);
         assert_eq!(strip_diacritic('!'), None);
-        assert_eq!(strip_diacritic('д'), None, "non-lookalike cyrillic unmapped");
+        assert_eq!(
+            strip_diacritic('д'),
+            None,
+            "non-lookalike cyrillic unmapped"
+        );
     }
 
     #[test]

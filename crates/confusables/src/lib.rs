@@ -23,7 +23,10 @@ pub mod diacritics;
 pub mod tables;
 
 pub use diacritics::strip_diacritic;
-pub use tables::{classify_variant, leet_decode_char, unicode_homoglyph_decode, variants_of_class, visual_variants, VariantClass};
+pub use tables::{
+    classify_variant, leet_decode_char, unicode_homoglyph_decode, variants_of_class,
+    visual_variants, VariantClass,
+};
 
 /// Canonicalize a single character to its base lowercase ASCII form.
 ///
@@ -113,12 +116,16 @@ pub fn skeleton_variants(s: &str) -> Vec<String> {
     for c in s.chars() {
         let alternates = tables::leet_alternates(c);
         let primary: Option<&'static str> = fold_char(c);
-        if primary.is_some() && !alternates.is_empty() && expanded < MAX_AMBIGUOUS_EXPANSIONS {
+        if let (Some(primary), false, true) = (
+            primary,
+            alternates.is_empty(),
+            expanded < MAX_AMBIGUOUS_EXPANSIONS,
+        ) {
             expanded += 1;
             let mut next = Vec::with_capacity(variants.len() * (1 + alternates.len()));
             for v in &variants {
                 let mut w = v.clone();
-                w.push_str(primary.expect("checked above"));
+                w.push_str(primary);
                 next.push(w);
                 for alt in alternates {
                     let mut w = v.clone();
@@ -296,7 +303,13 @@ mod tests {
 
     #[test]
     fn skeleton_is_idempotent_on_examples() {
-        for s in ["suic1de", "dem0cr@ts", "démocrats", "р\u{0430}ypal", "mus-lim"] {
+        for s in [
+            "suic1de",
+            "dem0cr@ts",
+            "démocrats",
+            "р\u{0430}ypal",
+            "mus-lim",
+        ] {
             let once = skeleton(s);
             assert_eq!(skeleton(&once), once, "skeleton({s}) stable");
         }

@@ -309,7 +309,11 @@ mod tests {
         assert_eq!(unicode_homoglyph_decode('р'), Some("p"));
         assert_eq!(unicode_homoglyph_decode('ο'), Some("o"));
         assert_eq!(unicode_homoglyph_decode('ν'), Some("v"));
-        assert_eq!(unicode_homoglyph_decode('q'), None, "latin is not a homoglyph");
+        assert_eq!(
+            unicode_homoglyph_decode('q'),
+            None,
+            "latin is not a homoglyph"
+        );
     }
 
     #[test]

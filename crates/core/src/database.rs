@@ -5,14 +5,45 @@
 //! {0, 1, 2}`, and maintains the `H_k` hash maps from Soundex code to the
 //! set of tokens sharing that sound (Table I of the paper).
 //!
-//! The hot structures are in-memory (`FxHashMap` buckets over interned
-//! record ids); [`TokenDatabase::persist_to`] and
-//! [`TokenDatabase::load_from`] move the whole database through the
-//! embedded document store (the MongoDB substitute), with the `codes_k*`
-//! array fields secondary-indexed so bucket queries stay cheap on the
-//! persistent side too.
+//! # Hot-path data layout
+//!
+//! The Look Up read path (§III-B) touches every record in a bucket, so the
+//! in-memory layout is organized for scan speed, not update convenience:
+//!
+//! * **Records are a dense `Vec<TokenRecord>`** addressed by a `u32` id.
+//!   Every index (by-token map, buckets) stores ids, never owned strings.
+//! * **Soundex codes are interned per level** in a [`CodeIndex`]: each
+//!   distinct code gets a dense `u32` code id; `H_k` is then plain
+//!   `postings: Vec<Vec<u32>>` indexed by code id, with a side
+//!   `FxHashMap<Box<str>, u32>` used only to resolve a query's code
+//!   string to its id (one probe per query code, not per candidate).
+//! * **Case folding is precomputed at ingest**: [`TokenRecord::folded`]
+//!   holds the lowercased form and [`TokenRecord::folded_chars`] its
+//!   scalar count, so the per-candidate filter never calls
+//!   `to_lowercase()` or decodes chars — it length-prefilters on the
+//!   stored count and runs the scratch-buffer bounded Levenshtein
+//!   directly on the stored strings.
+//! * **Candidate iteration is visitor-based**:
+//!   [`TokenDatabase::for_each_sound_mate`] walks the union of a token's
+//!   bucket postings, deduplicating across ambiguous codes with a
+//!   generation-marked [`SoundScratch`] (O(1) per candidate, no per-query
+//!   set allocation) instead of the old `Vec::contains` linear scan.
+//!
+//! Ingest can be parallelized with [`TokenDatabase::ingest_texts`], which
+//! computes tokenization and phonetic codes for a batch of texts across
+//! cores and then merges sequentially in input order, producing a database
+//! byte-identical to one built by calling
+//! [`TokenDatabase::ingest_text`] per text.
+//!
+//! [`TokenDatabase::persist_to`] and [`TokenDatabase::load_from`] move the
+//! whole database through the embedded document store (the MongoDB
+//! substitute), with the `codes_k*` array fields secondary-indexed so
+//! bucket queries stay cheap on the persistent side too.
+
+use std::cell::RefCell;
 
 use cryptext_common::hash::FxHashMap;
+use cryptext_common::par::par_map;
 use cryptext_common::{Error, Result};
 use cryptext_docstore::{Database, Document, Filter, Value};
 use cryptext_phonetics::{CustomSoundex, SoundexCode, MAX_PHONETIC_LEVEL};
@@ -26,6 +57,12 @@ pub const NUM_LEVELS: usize = MAX_PHONETIC_LEVEL + 1;
 pub struct TokenRecord {
     /// The raw case-sensitive surface form.
     pub token: String,
+    /// The case-folded form, precomputed at ingest so the Look Up filter
+    /// never lowercases per candidate.
+    pub folded: String,
+    /// Unicode scalar count of [`TokenRecord::folded`], precomputed for the
+    /// Levenshtein length pre-filter.
+    pub folded_chars: u32,
     /// Number of corpus occurrences (0 for lexicon-seeded entries).
     pub count: u64,
     /// Is this a correctly-spelled dictionary word?
@@ -49,13 +86,125 @@ pub struct TokenStats {
     pub english_tokens: usize,
 }
 
+/// One level's interned code table: dense code ids over append-only
+/// posting lists. The string map is touched once per *query code*; the
+/// per-candidate scan runs over plain `u32` postings.
+#[derive(Debug, Default)]
+struct CodeIndex {
+    ids: FxHashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+    postings: Vec<Vec<u32>>,
+}
+
+impl CodeIndex {
+    #[inline]
+    fn id_of(&self, code: &str) -> Option<u32> {
+        self.ids.get(code).copied()
+    }
+
+    fn intern(&mut self, code: &str) -> u32 {
+        if let Some(&id) = self.ids.get(code) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let boxed: Box<str> = code.into();
+        self.names.push(boxed.clone());
+        self.ids.insert(boxed, id);
+        self.postings.push(Vec::new());
+        id
+    }
+
+    fn add(&mut self, code: &str, record: u32) {
+        let id = self.intern(code);
+        self.postings[id as usize].push(record);
+    }
+
+    #[inline]
+    fn members(&self, code: &str) -> &[u32] {
+        self.id_of(code)
+            .map(|id| self.postings[id as usize].as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// Generation-marked visited set plus a reusable code buffer, the working
+/// memory of [`TokenDatabase::for_each_sound_mate`].
+///
+/// Marking a record visited is one `u32` compare-and-store; starting a new
+/// query is one epoch increment (no clearing). Reuse one instance per
+/// thread or per bulk request.
+#[derive(Debug, Default)]
+pub struct SoundScratch {
+    visited: Vec<u32>,
+    epoch: u32,
+    codes: Vec<SoundexCode>,
+}
+
+impl SoundScratch {
+    /// Fresh scratch space (allocates lazily on first use).
+    pub fn new() -> Self {
+        SoundScratch::default()
+    }
+
+    fn begin(&mut self, n_records: usize) {
+        if self.visited.len() < n_records {
+            self.visited.resize(n_records, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: old marks could alias. Reset once per 2^32.
+            self.visited.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Returns true on the first visit of `id` this epoch.
+    #[inline]
+    fn mark(&mut self, id: u32) -> bool {
+        let slot = &mut self.visited[id as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+thread_local! {
+    static SHARED_SOUND_SCRATCH: RefCell<SoundScratch> = RefCell::new(SoundScratch::new());
+}
+
+/// A word token prepared off-thread during parallel ingest.
+enum PreparedWord {
+    /// Too short or no phonetic content; counts toward the token total but
+    /// is not stored.
+    Skip,
+    /// Already in the database when the batch was prepared; only the
+    /// occurrence count changes.
+    Counted(String),
+    /// New token with phonetic codes precomputed in the parallel phase.
+    Fresh(String, Box<[Vec<SoundexCode>; NUM_LEVELS]>),
+}
+
+/// One text prepared off-thread during parallel ingest.
+struct PreparedText {
+    words: Vec<PreparedWord>,
+    any_word: bool,
+    all_english: bool,
+}
+
 /// The token database.
 pub struct TokenDatabase {
     soundex: [CustomSoundex; NUM_LEVELS],
     records: Vec<TokenRecord>,
     by_token: FxHashMap<String, u32>,
-    /// `H_k`: Soundex code string → record ids sharing that sound.
-    buckets: [FxHashMap<String, Vec<u32>>; NUM_LEVELS],
+    /// `H_k`: interned Soundex code → record ids sharing that sound.
+    buckets: [CodeIndex; NUM_LEVELS],
     /// Clean sentences accumulated for LM training (bounded).
     clean_sentences: Vec<String>,
     max_clean_sentences: usize,
@@ -79,9 +228,9 @@ impl TokenDatabase {
             records: Vec::new(),
             by_token: FxHashMap::default(),
             buckets: [
-                FxHashMap::default(),
-                FxHashMap::default(),
-                FxHashMap::default(),
+                CodeIndex::default(),
+                CodeIndex::default(),
+                CodeIndex::default(),
             ],
             clean_sentences: Vec::new(),
             max_clean_sentences: 50_000,
@@ -104,33 +253,47 @@ impl TokenDatabase {
         }
     }
 
-    fn upsert_token(&mut self, token: &str, add_count: u64) -> u32 {
-        if let Some(&id) = self.by_token.get(token) {
-            self.records[id as usize].count += add_count;
-            return id;
-        }
-        let codes: [Vec<SoundexCode>; NUM_LEVELS] = [
+    fn compute_codes(&self, token: &str) -> [Vec<SoundexCode>; NUM_LEVELS] {
+        [
             self.soundex[0].encode_all(token),
             self.soundex[1].encode_all(token),
             self.soundex[2].encode_all(token),
-        ];
+        ]
+    }
+
+    fn insert_new(
+        &mut self,
+        token: &str,
+        add_count: u64,
+        codes: [Vec<SoundexCode>; NUM_LEVELS],
+    ) -> u32 {
         let id = self.records.len() as u32;
         for (k, level_codes) in codes.iter().enumerate() {
             for code in level_codes {
-                self.buckets[k]
-                    .entry(code.as_str().to_string())
-                    .or_default()
-                    .push(id);
+                self.buckets[k].add(code.as_str(), id);
             }
         }
+        let folded = token.to_lowercase();
+        let folded_chars = folded.chars().count() as u32;
         self.records.push(TokenRecord {
             token: token.to_string(),
+            folded,
+            folded_chars,
             count: add_count,
             is_english: cryptext_corpus::is_english_word(token),
             codes,
         });
         self.by_token.insert(token.to_string(), id);
         id
+    }
+
+    fn upsert_token(&mut self, token: &str, add_count: u64) -> u32 {
+        if let Some(&id) = self.by_token.get(token) {
+            self.records[id as usize].count += add_count;
+            return id;
+        }
+        let codes = self.compute_codes(token);
+        self.insert_new(token, add_count, codes)
     }
 
     /// Ingest one raw token occurrence (case-sensitive, as the paper's
@@ -168,6 +331,94 @@ impl TokenDatabase {
         n
     }
 
+    /// Ingest a batch of texts, parallelizing the expensive per-token work
+    /// (tokenization, confusable folding, Soundex encoding at all levels)
+    /// across cores and merging sequentially in input order.
+    ///
+    /// The resulting database state — record ids, bucket posting order,
+    /// counts, clean sentences — is **identical** to calling
+    /// [`TokenDatabase::ingest_text`] on each text in order. Returns the
+    /// total word-token count, i.e. the sum of the per-text returns.
+    pub fn ingest_texts<S: AsRef<str> + Sync>(&mut self, texts: &[S]) -> usize {
+        let prepared: Vec<PreparedText> = par_map(texts, |text| self.prepare_text(text.as_ref()));
+
+        let mut n = 0;
+        for (text, prep) in texts.iter().zip(prepared) {
+            n += prep.words.len();
+            for word in prep.words {
+                match word {
+                    PreparedWord::Skip => {}
+                    PreparedWord::Counted(t) => {
+                        self.upsert_token(&t, 1);
+                    }
+                    PreparedWord::Fresh(t, codes) => {
+                        // An earlier text in this batch may have inserted it
+                        // already; fall back to a plain count bump.
+                        if let Some(&id) = self.by_token.get(t.as_str()) {
+                            self.records[id as usize].count += 1;
+                        } else {
+                            self.insert_new(&t, 1, *codes);
+                        }
+                    }
+                }
+            }
+            if prep.any_word
+                && prep.all_english
+                && self.clean_sentences.len() < self.max_clean_sentences
+            {
+                self.clean_sentences.push(text.as_ref().to_string());
+            }
+        }
+        n
+    }
+
+    /// The read-only, parallel-safe half of ingest: tokenize and encode.
+    fn prepare_text(&self, text: &str) -> PreparedText {
+        let mut words = Vec::new();
+        let mut any_word = false;
+        let mut all_english = true;
+        // New tokens already encoded earlier in this text: true = emitted
+        // as `Fresh` (later occurrences just count), false = unencodable
+        // (later occurrences skip). Avoids re-running the 3-level encoder
+        // for every repeat of the same new word.
+        let mut local: FxHashMap<String, bool> = FxHashMap::default();
+        for tok in tokenize(text) {
+            if tok.kind != TokenKind::Word {
+                continue;
+            }
+            any_word = true;
+            if !cryptext_corpus::is_english_word(&tok.text) {
+                all_english = false;
+            }
+            let word = if tok.text.chars().count() < 2 {
+                PreparedWord::Skip
+            } else if self.by_token.contains_key(&tok.text) {
+                PreparedWord::Counted(tok.text)
+            } else {
+                match local.get(&tok.text) {
+                    Some(true) => PreparedWord::Counted(tok.text),
+                    Some(false) => PreparedWord::Skip,
+                    None => {
+                        let codes = self.compute_codes(&tok.text);
+                        if codes[0].is_empty() {
+                            local.insert(tok.text, false);
+                            PreparedWord::Skip // no phonetic content
+                        } else {
+                            local.insert(tok.text.clone(), true);
+                            PreparedWord::Fresh(tok.text, Box::new(codes))
+                        }
+                    }
+                }
+            };
+            words.push(word);
+        }
+        PreparedText {
+            words,
+            any_word,
+            all_english,
+        }
+    }
+
     /// Record a known-clean sentence for LM training without ingesting
     /// perturbations (used when gold clean text is available).
     pub fn record_clean_sentence(&mut self, text: &str) {
@@ -183,7 +434,9 @@ impl TokenDatabase {
 
     /// Fetch a token's record (case-sensitive).
     pub fn get(&self, token: &str) -> Option<&TokenRecord> {
-        self.by_token.get(token).map(|&id| &self.records[id as usize])
+        self.by_token
+            .get(token)
+            .map(|&id| &self.records[id as usize])
     }
 
     /// All records.
@@ -204,28 +457,56 @@ impl TokenDatabase {
     /// The members of bucket `H_k[code]`, if any.
     pub fn bucket(&self, k: usize, code: &str) -> Result<&[u32]> {
         Self::check_level(k)?;
-        Ok(self.buckets[k]
-            .get(code)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[]))
+        Ok(self.buckets[k].members(code))
     }
 
-    /// All records sharing a sound with `token` at level `k` (union over
-    /// the token's ambiguous readings), including the token itself if
-    /// stored. Records are deduplicated, in insertion order.
-    pub fn sound_mates(&self, k: usize, token: &str) -> Result<Vec<&TokenRecord>> {
+    /// Visit every record sharing a sound with `token` at level `k` (union
+    /// over the token's ambiguous readings), including the token itself if
+    /// stored. Each record is visited exactly once, in bucket insertion
+    /// order — the Look Up hot loop drives this directly.
+    ///
+    /// `scratch` carries the generation-marked visited set and the query
+    /// code buffer; reusing one instance across calls makes the walk
+    /// allocation-free.
+    pub fn for_each_sound_mate<'a, F>(
+        &'a self,
+        k: usize,
+        token: &str,
+        scratch: &mut SoundScratch,
+        mut f: F,
+    ) -> Result<()>
+    where
+        F: FnMut(u32, &'a TokenRecord),
+    {
         Self::check_level(k)?;
-        let mut seen: Vec<u32> = Vec::new();
-        for code in self.soundex[k].encode_all(token) {
-            if let Some(ids) = self.buckets[k].get(code.as_str()) {
-                for &id in ids {
-                    if !seen.contains(&id) {
-                        seen.push(id);
+        scratch.begin(self.records.len());
+        // Take the code buffer out so the visited marks and the code list
+        // can be borrowed simultaneously.
+        let mut codes = std::mem::take(&mut scratch.codes);
+        self.soundex[k].encode_all_into(token, &mut codes);
+        for code in &codes {
+            if let Some(cid) = self.buckets[k].id_of(code.as_str()) {
+                for &id in &self.buckets[k].postings[cid as usize] {
+                    if scratch.mark(id) {
+                        f(id, &self.records[id as usize]);
                     }
                 }
             }
         }
-        Ok(seen.into_iter().map(|id| &self.records[id as usize]).collect())
+        scratch.codes = codes;
+        Ok(())
+    }
+
+    /// All records sharing a sound with `token` at level `k`, deduplicated,
+    /// in insertion order. Compatibility wrapper over
+    /// [`TokenDatabase::for_each_sound_mate`] (same generation-marked
+    /// dedup; allocates only the returned `Vec`).
+    pub fn sound_mates(&self, k: usize, token: &str) -> Result<Vec<&TokenRecord>> {
+        let mut out = Vec::new();
+        SHARED_SOUND_SCRATCH.with(|scratch| {
+            self.for_each_sound_mate(k, token, &mut scratch.borrow_mut(), |_, rec| out.push(rec))
+        })?;
+        Ok(out)
     }
 
     /// The encoder for level `k`.
@@ -252,15 +533,18 @@ impl TokenDatabase {
     /// sorted by code — the exact shape of Table I.
     pub fn hashmap_view(&self, k: usize) -> Result<Vec<(String, Vec<String>)>> {
         Self::check_level(k)?;
-        let mut out: Vec<(String, Vec<String>)> = self.buckets[k]
+        let idx = &self.buckets[k];
+        let mut out: Vec<(String, Vec<String>)> = idx
+            .names
             .iter()
+            .zip(&idx.postings)
             .map(|(code, ids)| {
                 let mut tokens: Vec<String> = ids
                     .iter()
                     .map(|&id| self.records[id as usize].token.clone())
                     .collect();
                 tokens.sort();
-                (code.clone(), tokens)
+                (code.to_string(), tokens)
             })
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -315,10 +599,8 @@ impl TokenDatabase {
             // source of truth), but verify agreement for corruption safety.
             let rec = &db.records[id as usize];
             if let Some(stored) = doc.get("codes_k1").and_then(Value::as_array) {
-                let recomputed: Vec<&str> =
-                    rec.codes[1].iter().map(|c| c.as_str()).collect();
-                let stored_strs: Vec<&str> =
-                    stored.iter().filter_map(Value::as_str).collect();
+                let recomputed: Vec<&str> = rec.codes[1].iter().map(|c| c.as_str()).collect();
+                let stored_strs: Vec<&str> = stored.iter().filter_map(Value::as_str).collect();
                 if recomputed != stored_strs {
                     return Err(Error::corrupt(format!(
                         "code mismatch for token {token}: {stored_strs:?} vs {recomputed:?}"
@@ -482,7 +764,10 @@ mod tests {
             restored.get("repubLIEcans").unwrap().count,
             db.get("repubLIEcans").unwrap().count
         );
-        assert_eq!(restored.hashmap_view(1).unwrap(), db.hashmap_view(1).unwrap());
+        assert_eq!(
+            restored.hashmap_view(1).unwrap(),
+            db.hashmap_view(1).unwrap()
+        );
     }
 
     #[test]
@@ -517,5 +802,110 @@ mod tests {
         // Bucket membership not duplicated either.
         let code = db.soundex(1).unwrap().encode("vaccine").unwrap();
         assert_eq!(db.bucket(1, code.as_str()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn folded_fields_precomputed() {
+        let mut db = TokenDatabase::in_memory();
+        db.ingest_token("demokRATs");
+        db.ingest_token("vãccine");
+        let rec = db.get("demokRATs").unwrap();
+        assert_eq!(rec.folded, "demokrats");
+        assert_eq!(rec.folded_chars, 9);
+        let rec = db.get("vãccine").unwrap();
+        assert_eq!(rec.folded, "vãccine");
+        assert_eq!(rec.folded_chars, 7, "scalar count, not byte count");
+    }
+
+    #[test]
+    fn visitor_visits_each_mate_exactly_once() {
+        let mut db = TokenDatabase::in_memory();
+        // suic1de sits in two H1 buckets (1→l and 1→i readings); a query
+        // that probes both buckets must still see it once.
+        db.ingest_token("suic1de");
+        db.ingest_token("suicide");
+        let mut scratch = SoundScratch::new();
+        let mut seen: Vec<String> = Vec::new();
+        db.for_each_sound_mate(1, "suic1de", &mut scratch, |_, rec| {
+            seen.push(rec.token.clone());
+        })
+        .unwrap();
+        let unique: std::collections::HashSet<&String> = seen.iter().collect();
+        assert_eq!(unique.len(), seen.len(), "no duplicate visits: {seen:?}");
+        assert!(seen.contains(&"suic1de".to_string()));
+        assert!(seen.contains(&"suicide".to_string()));
+        // Scratch reuse across queries stays correct.
+        let mut second: Vec<String> = Vec::new();
+        db.for_each_sound_mate(1, "suicide", &mut scratch, |_, rec| {
+            second.push(rec.token.clone());
+        })
+        .unwrap();
+        assert!(second.contains(&"suic1de".to_string()));
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential_exactly() {
+        let texts: Vec<String> = (0..40)
+            .map(|i| match i % 5 {
+                0 => format!("the dirrty republicans round {i}"),
+                1 => "thee dirty repubLIEcans".to_string(),
+                2 => format!("vacc1ne mandate pushback {i}"),
+                3 => "the vaccine mandate was announced".to_string(),
+                _ => "thinking about suic1de 🙂 ok".to_string(),
+            })
+            .collect();
+
+        let mut seq = TokenDatabase::in_memory();
+        let mut expect_n = 0;
+        for t in &texts {
+            expect_n += seq.ingest_text(t);
+        }
+
+        let mut par = TokenDatabase::in_memory();
+        let n = par.ingest_texts(&texts);
+
+        assert_eq!(n, expect_n);
+        assert_eq!(par.stats(), seq.stats());
+        assert_eq!(par.clean_sentences(), seq.clean_sentences());
+        for k in 0..NUM_LEVELS {
+            assert_eq!(
+                par.hashmap_view(k).unwrap(),
+                seq.hashmap_view(k).unwrap(),
+                "H_{k} identical"
+            );
+        }
+        // Record ids and bucket posting order are identical too.
+        assert_eq!(par.records(), seq.records());
+    }
+
+    #[test]
+    fn parallel_ingest_repeated_new_token_within_one_text() {
+        // A brand-new word repeated inside a single text must count every
+        // occurrence while encoding only once (per-text dedup in prepare).
+        let texts = [
+            "zzyzxx zzyzxx zzyzxx and ...  ... again",
+            "zzyzxx once more",
+        ];
+        let mut seq = TokenDatabase::in_memory();
+        for t in texts {
+            seq.ingest_text(t);
+        }
+        let mut par = TokenDatabase::in_memory();
+        par.ingest_texts(&texts);
+        assert_eq!(par.records(), seq.records());
+        assert_eq!(par.get("zzyzxx").unwrap().count, 4);
+    }
+
+    #[test]
+    fn parallel_ingest_on_prepopulated_database() {
+        let mut seq = TokenDatabase::with_lexicon();
+        let mut par = TokenDatabase::with_lexicon();
+        let texts = ["the demokRATs rallied", "the demokRATs rallied again"];
+        for t in texts {
+            seq.ingest_text(t);
+        }
+        par.ingest_texts(&texts);
+        assert_eq!(par.records(), seq.records());
+        assert_eq!(par.get("demokRATs").unwrap().count, 2);
     }
 }

@@ -63,7 +63,11 @@ impl Crawler {
     ) -> IngestStats {
         let before_unique = db.stats().unique_tokens;
         let mut stats = IngestStats::default();
-        let limit = if max_posts == 0 { usize::MAX } else { max_posts };
+        let limit = if max_posts == 0 {
+            usize::MAX
+        } else {
+            max_posts
+        };
         let mut last_ts = self.cursor;
         for post in platform.stream_from(self.cursor).take(limit) {
             stats.posts += 1;

@@ -36,8 +36,8 @@ pub mod service;
 
 use cryptext_common::Result;
 
-pub use database::{TokenDatabase, TokenRecord, TokenStats};
-pub use lookup::{look_up, LookupHit, LookupParams};
+pub use database::{SoundScratch, TokenDatabase, TokenRecord, TokenStats};
+pub use lookup::{look_up, look_up_naive, look_up_with, LookupHit, LookupParams, LookupScratch};
 pub use normalize::{NormalizeParams, Normalizer};
 pub use perturb::{PerturbParams, Perturber};
 
@@ -129,18 +129,14 @@ mod tests {
 
         // §III-B: query "republicans" with k=1, d=1 →
         // {republicans, repubLIEcans}, excluding republic@@ns (d = 2).
-        let hits = cx
-            .look_up("republicans", LookupParams::new(1, 1))
-            .unwrap();
+        let hits = cx.look_up("republicans", LookupParams::new(1, 1)).unwrap();
         let tokens: Vec<&str> = hits.iter().map(|h| h.token.as_str()).collect();
         assert!(tokens.contains(&"republicans"));
         assert!(tokens.contains(&"repubLIEcans"));
         assert!(!tokens.contains(&"republic@@ns"));
 
         // With d=2 the third variant appears.
-        let hits = cx
-            .look_up("republicans", LookupParams::new(1, 2))
-            .unwrap();
+        let hits = cx.look_up("republicans", LookupParams::new(1, 2)).unwrap();
         let tokens: Vec<&str> = hits.iter().map(|h| h.token.as_str()).collect();
         assert!(tokens.contains(&"republic@@ns"));
     }

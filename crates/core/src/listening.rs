@@ -173,9 +173,7 @@ impl<'a> SocialListener<'a> {
         config: &ListeningConfig,
         scorer: impl Fn(&Post) -> Sentiment,
     ) -> Result<WatchReport> {
-        let range = platform
-            .time_range()
-            .unwrap_or(TimeRange::new(0, 1));
+        let range = platform.time_range().unwrap_or(TimeRange::new(0, 1));
         let n_buckets = config.buckets.max(1);
         let terms = self.expand(word, config)?;
 
@@ -298,8 +296,7 @@ mod tests {
         }
         let base_avg = base_neg.iter().sum::<f64>() / base_neg.len() as f64;
         let pert_total: usize = pert_neg.iter().map(|(_, n)| n).sum();
-        let pert_avg =
-            pert_neg.iter().map(|(f, n)| f * *n as f64).sum::<f64>() / pert_total as f64;
+        let pert_avg = pert_neg.iter().map(|(f, n)| f * *n as f64).sum::<f64>() / pert_total as f64;
         assert!(
             pert_avg > base_avg,
             "perturbed spellings more negative: {pert_avg:.2} vs {base_avg:.2}"
@@ -312,12 +309,9 @@ mod tests {
         let listener = SocialListener::new(&db);
         // A scorer that calls everything negative.
         let report = listener
-            .watch_with_scorer(
-                &platform,
-                "vaccine",
-                &ListeningConfig::default(),
-                |_| Sentiment::Negative,
-            )
+            .watch_with_scorer(&platform, "vaccine", &ListeningConfig::default(), |_| {
+                Sentiment::Negative
+            })
             .unwrap();
         for t in &report.terms {
             for (i, &c) in t.counts.iter().enumerate() {

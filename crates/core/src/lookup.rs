@@ -6,10 +6,12 @@
 //! and (optionally) different **S**pelling. Defaults are the paper's
 //! `k = 1, d = 3`.
 
-use cryptext_common::Result;
-use cryptext_editdist::levenshtein_bounded_chars;
+use std::cell::RefCell;
 
-use crate::database::TokenDatabase;
+use cryptext_common::Result;
+use cryptext_editdist::{levenshtein_bounded_chars, levenshtein_bounded_scratch, EditScratch};
+
+use crate::database::{SoundScratch, TokenDatabase, TokenRecord};
 
 /// Parameters of a Look Up query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,24 +77,69 @@ pub struct LookupHit {
     pub is_english: bool,
 }
 
+/// Reusable working memory for [`look_up_with`]: the generation-marked
+/// bucket-walk state plus the bounded-Levenshtein DP rows. One instance
+/// per thread (or per bulk request) makes the whole retrieval path
+/// allocation-free per candidate.
+#[derive(Debug, Default)]
+pub struct LookupScratch {
+    sound: SoundScratch,
+    edit: EditScratch,
+}
+
+impl LookupScratch {
+    /// Fresh scratch space (allocates lazily on first use).
+    pub fn new() -> Self {
+        LookupScratch::default()
+    }
+}
+
+thread_local! {
+    static SHARED_LOOKUP_SCRATCH: RefCell<LookupScratch> = RefCell::new(LookupScratch::new());
+}
+
 /// Execute a Look Up against `db`. Hits are ordered by
 /// `(distance asc, count desc, token asc)` — closest and most frequent
 /// perturbations first, deterministic throughout.
+///
+/// Uses a thread-local [`LookupScratch`]; callers managing their own
+/// scratch (bulk endpoints, benches) should call [`look_up_with`].
 pub fn look_up(db: &TokenDatabase, token: &str, params: LookupParams) -> Result<Vec<LookupHit>> {
-    TokenDatabase::check_level(params.k)?;
-    let query_folded: Vec<char> = token.to_lowercase().chars().collect();
+    SHARED_LOOKUP_SCRATCH.with(|scratch| look_up_with(db, token, params, &mut scratch.borrow_mut()))
+}
 
-    let mut hits: Vec<LookupHit> = Vec::new();
-    for rec in db.sound_mates(params.k, token)? {
+/// [`look_up`] with caller-provided scratch buffers.
+///
+/// The hot loop is allocation-free per candidate: the query is folded
+/// once, each candidate's precomputed fold/length comes straight off its
+/// [`crate::database::TokenRecord`], a length-difference pre-filter skips
+/// hopeless candidates before any DP work, and the bounded Levenshtein
+/// runs through reusable scratch rows (ASCII inputs never decode chars).
+pub fn look_up_with(
+    db: &TokenDatabase,
+    token: &str,
+    params: LookupParams,
+    scratch: &mut LookupScratch,
+) -> Result<Vec<LookupHit>> {
+    TokenDatabase::check_level(params.k)?;
+    let query_folded = token.to_lowercase();
+    let query_chars = query_folded.chars().count();
+
+    let LookupScratch { sound, edit } = scratch;
+    let mut hits: Vec<LookupHit> = Vec::with_capacity(16);
+    db.for_each_sound_mate(params.k, token, sound, |_, rec| {
         if params.observed_only && rec.count == 0 {
-            continue;
+            return;
         }
-        let cand_folded: Vec<char> = rec.token.to_lowercase().chars().collect();
-        if params.exclude_identity && cand_folded == query_folded {
-            continue;
+        // Cheap pre-filter: the length gap lower-bounds the distance.
+        if query_chars.abs_diff(rec.folded_chars as usize) > params.d {
+            return;
+        }
+        if params.exclude_identity && rec.folded == query_folded {
+            return;
         }
         if let Some(distance) =
-            levenshtein_bounded_chars(&query_folded, &cand_folded, params.d)
+            levenshtein_bounded_scratch(&query_folded, &rec.folded, params.d, edit)
         {
             hits.push(LookupHit {
                 token: rec.token.clone(),
@@ -101,14 +148,78 @@ pub fn look_up(db: &TokenDatabase, token: &str, params: LookupParams) -> Result<
                 is_english: rec.is_english,
             });
         }
-    }
-    hits.sort_by(|a, b| {
-        a.distance
-            .cmp(&b.distance)
-            .then_with(|| b.count.cmp(&a.count))
-            .then_with(|| a.token.cmp(&b.token))
-    });
+    })?;
+    // Hit keys are unique (one record per token string), so an unstable
+    // sort yields the same order as the reference's stable sort.
+    hits.sort_unstable_by(hit_order);
     Ok(hits)
+}
+
+/// The pre-optimization Look Up, kept as the differential-testing and
+/// benchmarking reference. It reproduces the seed engine faithfully:
+/// candidates come from a `Vec<&TokenRecord>` deduplicated with an O(n²)
+/// `Vec::contains` scan over string-probed buckets, and per candidate it
+/// lowercases, collects `Vec<char>`, and runs the allocating bounded DP.
+/// Must return byte-identical hits in identical order to [`look_up`].
+pub fn look_up_naive(
+    db: &TokenDatabase,
+    token: &str,
+    params: LookupParams,
+) -> Result<Vec<LookupHit>> {
+    TokenDatabase::check_level(params.k)?;
+    let query_folded: Vec<char> = token.to_lowercase().chars().collect();
+
+    let mut hits: Vec<LookupHit> = Vec::new();
+    for rec in sound_mates_naive(db, params.k, token)? {
+        if params.observed_only && rec.count == 0 {
+            continue;
+        }
+        let cand_folded: Vec<char> = rec.token.to_lowercase().chars().collect();
+        if params.exclude_identity && cand_folded == query_folded {
+            continue;
+        }
+        if let Some(distance) = levenshtein_bounded_chars(&query_folded, &cand_folded, params.d) {
+            hits.push(LookupHit {
+                token: rec.token.clone(),
+                count: rec.count,
+                distance,
+                is_english: rec.is_english,
+            });
+        }
+    }
+    sort_hits(&mut hits);
+    Ok(hits)
+}
+
+/// The seed's candidate gathering: linear-scan dedup (`seen.contains`)
+/// over per-code bucket probes — O(candidates²) — kept verbatim so the
+/// naive baseline measures what the engine replaced.
+fn sound_mates_naive<'a>(
+    db: &'a TokenDatabase,
+    k: usize,
+    token: &str,
+) -> Result<Vec<&'a TokenRecord>> {
+    let mut seen: Vec<u32> = Vec::new();
+    for code in db.soundex(k)?.encode_all(token) {
+        for &id in db.bucket(k, code.as_str())? {
+            if !seen.contains(&id) {
+                seen.push(id);
+            }
+        }
+    }
+    let records = db.records();
+    Ok(seen.into_iter().map(|id| &records[id as usize]).collect())
+}
+
+fn hit_order(a: &LookupHit, b: &LookupHit) -> std::cmp::Ordering {
+    a.distance
+        .cmp(&b.distance)
+        .then_with(|| b.count.cmp(&a.count))
+        .then_with(|| a.token.cmp(&b.token))
+}
+
+fn sort_hits(hits: &mut [LookupHit]) {
+    hits.sort_by(hit_order);
 }
 
 #[cfg(test)]
@@ -153,7 +264,9 @@ mod tests {
             LookupParams::new(1, 2).perturbations_only(),
         )
         .unwrap();
-        assert!(hits.iter().all(|h| !h.token.eq_ignore_ascii_case("republicans")));
+        assert!(hits
+            .iter()
+            .all(|h| !h.token.eq_ignore_ascii_case("republicans")));
         assert_eq!(hits.len(), 2);
     }
 
@@ -184,7 +297,7 @@ mod tests {
     fn case_emphasis_is_distance_zero() {
         let hits = look_up(&db(), "democrats", LookupParams::new(1, 0)).unwrap();
         let tokens: Vec<&str> = hits.iter().map(|h| h.token.as_str()).collect();
-        assert!(tokens.contains(&"demokRATs") == false);
+        assert!(!tokens.contains(&"demokRATs"));
         assert!(tokens.contains(&"democrats"));
         // demokRATs is distance 1 (k→c after folding).
         let hits = look_up(&db(), "democrats", LookupParams::new(1, 1)).unwrap();
@@ -208,14 +321,37 @@ mod tests {
         d.ingest_text("the demokRATs rallied");
         let all = look_up(&d, "democrats", LookupParams::paper_default()).unwrap();
         assert!(all.iter().any(|h| h.count == 0), "lexicon seed present");
-        let observed = look_up(
-            &d,
-            "democrats",
-            LookupParams::paper_default().observed(),
-        )
-        .unwrap();
+        let observed = look_up(&d, "democrats", LookupParams::paper_default().observed()).unwrap();
         assert!(observed.iter().all(|h| h.count > 0));
         assert!(observed.iter().any(|h| h.token == "demokRATs"));
+    }
+
+    #[test]
+    fn optimized_matches_naive_on_fixture_db() {
+        let d = db();
+        let mut scratch = LookupScratch::new();
+        for q in [
+            "republicans",
+            "democrats",
+            "suic1de",
+            "the",
+            "zzzzzz",
+            "vãccine",
+        ] {
+            for k in 0..3 {
+                for dist in 0..4 {
+                    for params in [
+                        LookupParams::new(k, dist),
+                        LookupParams::new(k, dist).perturbations_only(),
+                        LookupParams::new(k, dist).observed(),
+                    ] {
+                        let fast = look_up_with(&d, q, params, &mut scratch).unwrap();
+                        let slow = look_up_naive(&d, q, params).unwrap();
+                        assert_eq!(fast, slow, "query {q:?} params {params:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -303,9 +439,38 @@ mod proptests {
             token in "[a-e]{2,7}",
             k in 0usize..=2,
         ) {
-            let db = small_db(&[token.clone()]);
+            let db = small_db(std::slice::from_ref(&token));
             let hits = look_up(&db, &token, LookupParams::new(k, 0)).unwrap();
             prop_assert!(hits.iter().any(|h| h.token == token));
+        }
+
+        /// Differential pin: the read-optimized engine returns
+        /// byte-identical hits in identical order to the kept naive
+        /// reference, across random corpora (including leet/confusable
+        /// glyphs that fan out to multiple codes), queries, levels and
+        /// bounds, and all parameter flags.
+        #[test]
+        fn optimized_equals_naive_reference(
+            tokens in proptest::collection::vec("[a-e1@O]{2,9}", 1..30),
+            query in "[a-e1@O]{2,9}",
+            k in 0usize..=2,
+            d in 0usize..=4,
+            exclude_identity in proptest::arbitrary::any::<bool>(),
+            observed_only in proptest::arbitrary::any::<bool>(),
+        ) {
+            let db = small_db(&tokens);
+            let mut params = LookupParams::new(k, d);
+            params.exclude_identity = exclude_identity;
+            params.observed_only = observed_only;
+
+            let mut scratch = LookupScratch::new();
+            let fast = look_up_with(&db, &query, params, &mut scratch).unwrap();
+            let slow = look_up_naive(&db, &query, params).unwrap();
+            prop_assert_eq!(&fast, &slow, "params {:?} query {:?}", params, query);
+
+            // The thread-local convenience wrapper agrees too.
+            let wrapped = look_up(&db, &query, params).unwrap();
+            prop_assert_eq!(&wrapped, &slow);
         }
     }
 }

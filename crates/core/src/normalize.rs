@@ -138,12 +138,18 @@ impl<'a> Normalizer<'a> {
         // Same dictionary word may appear under several surface forms;
         // keep the best-scoring instance of each.
         cands.sort_by(|a, b| {
-            a.word
-                .cmp(&b.word)
-                .then(b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal))
+            a.word.cmp(&b.word).then(
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         cands.dedup_by(|a, b| a.word == b.word);
-        cands.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        cands.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         cands.truncate(params.max_candidates);
         Ok(cands)
     }
@@ -255,7 +261,11 @@ mod tests {
         let (db, lm) = fixture();
         let n = Normalizer::new(&lm);
         let out = n
-            .normalize(&db, "Biden belongs to the demokRATs", NormalizeParams::default())
+            .normalize(
+                &db,
+                "Biden belongs to the demokRATs",
+                NormalizeParams::default(),
+            )
             .unwrap();
         assert_eq!(out.text, "Biden belongs to the democrats");
         assert_eq!(out.corrections.len(), 1);
@@ -271,7 +281,11 @@ mod tests {
         let (db, lm) = fixture();
         let n = Normalizer::new(&lm);
         let out = n
-            .normalize(&db, "the vacc1ne mandate was announced", NormalizeParams::default())
+            .normalize(
+                &db,
+                "the vacc1ne mandate was announced",
+                NormalizeParams::default(),
+            )
             .unwrap();
         assert_eq!(out.text, "the vaccine mandate was announced");
 
@@ -317,7 +331,7 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(replacement, "vaccine");
-        assert!(cands.len() >= 1);
+        assert!(!cands.is_empty());
     }
 
     #[test]

@@ -211,7 +211,8 @@ mod tests {
     fn ratio_controls_attempt_count() {
         let d = db();
         let p = Perturber::new(&d);
-        let text = "democrats republicans vaccine democrats republicans vaccine democrats republicans";
+        let text =
+            "democrats republicans vaccine democrats republicans vaccine democrats republicans";
         for (ratio, expected) in [(0.25, 2), (0.5, 4), (1.0, 8)] {
             let out = p.perturb(text, PerturbParams::with_ratio(ratio)).unwrap();
             assert_eq!(
@@ -281,7 +282,9 @@ mod tests {
         let choices = p
             .choices_for("democrats", PerturbParams::with_ratio(1.0))
             .unwrap();
-        assert!(!choices.iter().any(|c| c.eq_ignore_ascii_case("democrats") && c == "democrats"));
+        assert!(!choices
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case("democrats") && c == "democrats"));
         assert!(choices.contains(&"demokRATs".to_string()));
     }
 

@@ -13,7 +13,8 @@
 use std::sync::Arc;
 
 use cryptext_cache::{Cache, CacheConfig, CacheStats};
-use cryptext_common::hash::fx_hash_str;
+use cryptext_common::hash::{fx_hash_str, FxHashMap};
+use cryptext_common::par::try_par_map;
 use cryptext_common::{Clock, Error, Result, Timestamp};
 use parking_lot::RwLock;
 
@@ -98,7 +99,10 @@ impl CryptextService {
         let n = self
             .issued
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let token = format!("cx_{owner}_{:016x}", fx_hash_str(owner) ^ (n << 1) ^ 0xC0FFEE);
+        let token = format!(
+            "cx_{owner}_{:016x}",
+            fx_hash_str(owner) ^ (n << 1) ^ 0xC0FFEE
+        );
         self.tokens.write().insert(
             token.clone(),
             RateState {
@@ -159,7 +163,14 @@ impl CryptextService {
         Ok(hits)
     }
 
-    /// Bulk Look Up: one authorization for the whole batch.
+    /// Bulk Look Up: one authorization for the whole batch, fanned out
+    /// across cores ([`cryptext_common::par`]) with results in input
+    /// order — identical to what the sequential per-token endpoint would
+    /// return, cache included.
+    ///
+    /// Duplicate tokens in one batch are coalesced before the fan-out, so
+    /// a hot token repeated across the batch is computed once rather than
+    /// racing several workers into the same cache miss.
     pub fn look_up_bulk(
         &self,
         auth: &ApiToken,
@@ -167,18 +178,42 @@ impl CryptextService {
         params: LookupParams,
     ) -> Result<Vec<Vec<LookupHit>>> {
         self.authorize(auth)?;
-        tokens
+        let mut index_of: FxHashMap<&str, usize> = FxHashMap::default();
+        let mut unique: Vec<&str> = Vec::with_capacity(tokens.len());
+        for &t in tokens {
+            index_of.entry(t).or_insert_with(|| {
+                unique.push(t);
+                unique.len() - 1
+            });
+        }
+        let computed = try_par_map(&unique, |t| -> Result<Vec<LookupHit>> {
+            let key = Self::lookup_cache_key(t, params);
+            if let Some(hits) = self.lookup_cache.get(&key) {
+                return Ok(hits);
+            }
+            let hits = self.system.look_up(t, params)?;
+            self.lookup_cache.insert(key, hits.clone());
+            Ok(hits)
+        })?;
+        // Scatter back to input order, moving (not cloning) each computed
+        // result into its last output position.
+        let mut remaining: Vec<usize> = vec![0; unique.len()];
+        for t in tokens {
+            remaining[index_of[t]] += 1;
+        }
+        let mut slots: Vec<Option<Vec<LookupHit>>> = computed.into_iter().map(Some).collect();
+        Ok(tokens
             .iter()
             .map(|t| {
-                let key = Self::lookup_cache_key(t, params);
-                if let Some(hits) = self.lookup_cache.get(&key) {
-                    return Ok(hits);
+                let i = index_of[t];
+                remaining[i] -= 1;
+                if remaining[i] == 0 {
+                    slots[i].take().expect("last use moves the value")
+                } else {
+                    slots[i].clone().expect("earlier uses clone")
                 }
-                let hits = self.system.look_up(t, params)?;
-                self.lookup_cache.insert(key, hits.clone());
-                Ok(hits)
             })
-            .collect()
+            .collect())
     }
 
     /// Normalization endpoint.
@@ -192,7 +227,8 @@ impl CryptextService {
         self.system.normalize(text, params)
     }
 
-    /// Bulk Normalization.
+    /// Bulk Normalization, fanned out across cores with results in input
+    /// order.
     pub fn normalize_bulk(
         &self,
         auth: &ApiToken,
@@ -200,7 +236,7 @@ impl CryptextService {
         params: NormalizeParams,
     ) -> Result<Vec<NormalizationResult>> {
         self.authorize(auth)?;
-        texts.iter().map(|t| self.system.normalize(t, params)).collect()
+        try_par_map(texts, |t| self.system.normalize(t, params))
     }
 
     /// Perturbation endpoint.
@@ -313,11 +349,13 @@ mod tests {
         let (svc, _) = service(1);
         let a = svc.issue_token("a");
         let b = svc.issue_token("b");
-        svc.look_up(&a, "vaccine", LookupParams::paper_default()).unwrap();
+        svc.look_up(&a, "vaccine", LookupParams::paper_default())
+            .unwrap();
         assert!(svc
             .look_up(&a, "vaccine", LookupParams::paper_default())
             .is_err());
-        svc.look_up(&b, "vaccine", LookupParams::paper_default()).unwrap();
+        svc.look_up(&b, "vaccine", LookupParams::paper_default())
+            .unwrap();
     }
 
     #[test]
@@ -371,15 +409,104 @@ mod tests {
     }
 
     #[test]
+    fn parallel_bulk_lookup_equals_sequential() {
+        // Force real worker threads even on single-core hosts, and use
+        // enough distinct tokens (>= MIN_PARALLEL_ITEMS after duplicate
+        // coalescing) that the scoped-thread branch actually runs. The
+        // env var is process-global, but every other par_map caller is
+        // agnostic to thread count, so the race is benign.
+        std::env::set_var("CRYPTEXT_THREADS", "4");
+        let (svc, _) = service(u32::MAX);
+        let tok = svc.issue_token("pat");
+        let distinct: Vec<String> = (0..24).map(|i| format!("token{i}word")).collect();
+        let mut queries: Vec<&str> = vec![
+            "democrats",
+            "republicans",
+            "vaccine",
+            "vacc1ne",
+            "demokRATs",
+            "unknownzz",
+        ];
+        queries.extend(distinct.iter().map(|s| s.as_str()));
+
+        let sequential: Vec<Vec<LookupHit>> = queries
+            .iter()
+            .map(|q| svc.look_up(&tok, q, LookupParams::paper_default()).unwrap())
+            .collect();
+        let bulk = svc
+            .look_up_bulk(&tok, &queries, LookupParams::paper_default())
+            .unwrap();
+        std::env::remove_var("CRYPTEXT_THREADS");
+        assert_eq!(
+            bulk, sequential,
+            "bulk results identical and in input order"
+        );
+    }
+
+    #[test]
+    fn bulk_lookup_coalesces_duplicate_tokens() {
+        let (svc, _) = service(u32::MAX);
+        let tok = svc.issue_token("dup");
+        let queries: Vec<&str> = ["vaccine", "democrats", "republicans"]
+            .into_iter()
+            .cycle()
+            .take(60)
+            .collect();
+        let out = svc
+            .look_up_bulk(&tok, &queries, LookupParams::paper_default())
+            .unwrap();
+        assert_eq!(out.len(), 60);
+        // Each distinct token probes (and misses) the cache exactly once;
+        // duplicates are served from the coalesced computation.
+        let stats = svc.cache_stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.inserts, 3);
+        // Results still line up with the input positions.
+        assert_eq!(out[0], out[3]);
+        assert_eq!(out[1], out[4]);
+    }
+
+    #[test]
+    fn parallel_bulk_normalize_equals_sequential() {
+        let (svc, _) = service(u32::MAX);
+        let tok = svc.issue_token("norm");
+        let texts: Vec<&str> = vec![
+            "the demokRATs won",
+            "ok clean text",
+            "the vacc1ne mandate",
+            "nothing to fix here",
+        ]
+        .into_iter()
+        .cycle()
+        .take(32)
+        .collect();
+        let sequential: Vec<NormalizationResult> = texts
+            .iter()
+            .map(|t| svc.normalize(&tok, t, NormalizeParams::default()).unwrap())
+            .collect();
+        let bulk = svc
+            .normalize_bulk(&tok, &texts, NormalizeParams::default())
+            .unwrap();
+        assert_eq!(bulk, sequential);
+    }
+
+    #[test]
+    fn bulk_lookup_invalid_level_errors_like_sequential() {
+        let (svc, _) = service(u32::MAX);
+        let tok = svc.issue_token("err");
+        let err = svc
+            .look_up_bulk(&tok, &["a", "b"], LookupParams::new(9, 1))
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument(_)));
+    }
+
+    #[test]
     fn normalize_and_perturb_endpoints() {
         let (svc, _) = service(100);
         let tok = svc.issue_token("frank");
         let norm = svc
-            .normalize(
-                &tok,
-                "the demokRATs won",
-                NormalizeParams::default(),
-            )
+            .normalize(&tok, "the demokRATs won", NormalizeParams::default())
             .unwrap();
         assert_eq!(norm.text, "the democrats won");
         let out = svc
@@ -388,7 +515,11 @@ mod tests {
         assert!(out.replacements.len() + out.misses > 0);
 
         let bulk = svc
-            .normalize_bulk(&tok, &["the demokRATs", "ok text"], NormalizeParams::default())
+            .normalize_bulk(
+                &tok,
+                &["the demokRATs", "ok text"],
+                NormalizeParams::default(),
+            )
             .unwrap();
         assert_eq!(bulk.len(), 2);
     }

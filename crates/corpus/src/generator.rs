@@ -145,7 +145,10 @@ fn fill_template(
     let mut rest = template;
     while let Some(start) = rest.find('{') {
         out.push_str(&rest[..start]);
-        let end = rest[start..].find('}').map(|e| start + e).expect("closed slot");
+        let end = rest[start..]
+            .find('}')
+            .map(|e| start + e)
+            .expect("closed slot");
         let slot = &rest[start + 1..end];
         let word = match slot {
             "target" => target,
@@ -169,9 +172,7 @@ pub fn generate(config: CorpusConfig) -> GeneratedCorpus {
     let mut docs = Vec::with_capacity(config.n_docs);
 
     for _ in 0..config.n_docs {
-        let topic = Topic::ALL[rng
-            .weighted_index(&config.topic_weights)
-            .unwrap_or(0)];
+        let topic = Topic::ALL[rng.weighted_index(&config.topic_weights).unwrap_or(0)];
         let sentiment = if rng.chance(config.negative_fraction) {
             Sentiment::Negative
         } else {
@@ -257,7 +258,9 @@ pub fn generate(config: CorpusConfig) -> GeneratedCorpus {
 }
 
 fn pick_template<'a>(rng: &mut SplitMix64, templates: &[&'a str]) -> &'a str {
-    rng.choose(templates).copied().expect("non-empty template set")
+    rng.choose(templates)
+        .copied()
+        .expect("non-empty template set")
 }
 
 #[cfg(test)]
@@ -373,7 +376,11 @@ mod tests {
                     .any(|w| crate::lexicon::TOXIC_WORDS.contains(&w.as_str()))
             })
             .count();
-        assert_eq!(with_insult, toxic_docs.len(), "every toxic doc has an insult");
+        assert_eq!(
+            with_insult,
+            toxic_docs.len(),
+            "every toxic doc has an insult"
+        );
     }
 
     #[test]

@@ -70,7 +70,13 @@ impl Topic {
     /// Sensitive, frequently-perturbed targets within this topic.
     pub fn sensitive_targets(self) -> &'static [&'static str] {
         match self {
-            Topic::Politics => &["democrats", "republicans", "muslim", "chinese", "immigrants"],
+            Topic::Politics => &[
+                "democrats",
+                "republicans",
+                "muslim",
+                "chinese",
+                "immigrants",
+            ],
             Topic::Health => &["vaccine", "suicide", "depression", "abortion", "overdose"],
             Topic::Sports => &["doping", "gambling", "cheating"],
             Topic::Tech => &["porn", "hackers", "censorship"],
@@ -81,120 +87,672 @@ impl Topic {
 
 /// Function words (never perturbed, glue for templates).
 pub const FUNCTION_WORDS: &[&str] = &[
-    "the", "a", "an", "and", "or", "but", "if", "then", "because", "about", "with", "without",
-    "into", "onto", "over", "under", "again", "very", "really", "just", "still", "even", "also",
-    "only", "not", "never", "always", "sometimes", "often", "now", "today", "yesterday",
-    "tomorrow", "here", "there", "this", "that", "these", "those", "they", "them", "their", "we",
-    "our", "you", "your", "he", "she", "his", "her", "it", "its", "who", "what", "when", "where",
-    "why", "how", "all", "some", "any", "many", "much", "more", "most", "few", "less", "least",
-    "own", "other", "another", "such", "both", "each", "every", "no", "nor", "too", "so", "than",
-    "of", "in", "on", "at", "by", "for", "from", "to", "up", "down", "out", "off", "as", "is",
-    "are", "was", "were", "be", "been", "being", "have", "has", "had", "do", "does", "did",
-    "will", "would", "can", "could", "should", "may", "might", "must", "shall",
+    "the",
+    "a",
+    "an",
+    "and",
+    "or",
+    "but",
+    "if",
+    "then",
+    "because",
+    "about",
+    "with",
+    "without",
+    "into",
+    "onto",
+    "over",
+    "under",
+    "again",
+    "very",
+    "really",
+    "just",
+    "still",
+    "even",
+    "also",
+    "only",
+    "not",
+    "never",
+    "always",
+    "sometimes",
+    "often",
+    "now",
+    "today",
+    "yesterday",
+    "tomorrow",
+    "here",
+    "there",
+    "this",
+    "that",
+    "these",
+    "those",
+    "they",
+    "them",
+    "their",
+    "we",
+    "our",
+    "you",
+    "your",
+    "he",
+    "she",
+    "his",
+    "her",
+    "it",
+    "its",
+    "who",
+    "what",
+    "when",
+    "where",
+    "why",
+    "how",
+    "all",
+    "some",
+    "any",
+    "many",
+    "much",
+    "more",
+    "most",
+    "few",
+    "less",
+    "least",
+    "own",
+    "other",
+    "another",
+    "such",
+    "both",
+    "each",
+    "every",
+    "no",
+    "nor",
+    "too",
+    "so",
+    "than",
+    "of",
+    "in",
+    "on",
+    "at",
+    "by",
+    "for",
+    "from",
+    "to",
+    "up",
+    "down",
+    "out",
+    "off",
+    "as",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "have",
+    "has",
+    "had",
+    "do",
+    "does",
+    "did",
+    "will",
+    "would",
+    "can",
+    "could",
+    "should",
+    "may",
+    "might",
+    "must",
+    "shall",
 ];
 
 /// Politics vocabulary.
 pub const POLITICS: &[&str] = &[
-    "democrats", "republicans", "senate", "congress", "election", "ballot", "vote", "voters",
-    "president", "senator", "governor", "campaign", "policy", "legislation", "bill", "law",
-    "debate", "caucus", "primary", "midterms", "liberal", "conservative", "progressive",
-    "moderate", "coalition", "filibuster", "impeachment", "lobbyist", "mandate", "reform",
-    "borders", "immigration", "immigrants", "taxes", "budget", "deficit", "inflation",
-    "economy", "muslim", "chinese", "russia", "sanctions", "treaty", "diplomat", "protest",
-    "rally", "supporters", "opposition", "scandal", "corruption", "media", "propaganda",
-    "freedom", "rights", "amendment", "constitution", "court", "justice", "ruling", "veto",
-    "majority", "minority", "district", "county", "federal", "state", "national", "capitol",
+    "democrats",
+    "republicans",
+    "senate",
+    "congress",
+    "election",
+    "ballot",
+    "vote",
+    "voters",
+    "president",
+    "senator",
+    "governor",
+    "campaign",
+    "policy",
+    "legislation",
+    "bill",
+    "law",
+    "debate",
+    "caucus",
+    "primary",
+    "midterms",
+    "liberal",
+    "conservative",
+    "progressive",
+    "moderate",
+    "coalition",
+    "filibuster",
+    "impeachment",
+    "lobbyist",
+    "mandate",
+    "reform",
+    "borders",
+    "immigration",
+    "immigrants",
+    "taxes",
+    "budget",
+    "deficit",
+    "inflation",
+    "economy",
+    "muslim",
+    "chinese",
+    "russia",
+    "sanctions",
+    "treaty",
+    "diplomat",
+    "protest",
+    "rally",
+    "supporters",
+    "opposition",
+    "scandal",
+    "corruption",
+    "media",
+    "propaganda",
+    "freedom",
+    "rights",
+    "amendment",
+    "constitution",
+    "court",
+    "justice",
+    "ruling",
+    "veto",
+    "majority",
+    "minority",
+    "district",
+    "county",
+    "federal",
+    "state",
+    "national",
+    "capitol",
 ];
 
 /// Health vocabulary.
 pub const HEALTH: &[&str] = &[
-    "vaccine", "vaccination", "mandate", "booster", "doses", "pandemic", "virus", "variant",
-    "infection", "immunity", "hospital", "clinic", "doctor", "nurse", "patient", "treatment",
-    "therapy", "medicine", "prescription", "symptoms", "diagnosis", "recovery", "quarantine",
-    "masks", "lockdown", "outbreak", "epidemic", "disease", "illness", "chronic", "mental",
-    "depression", "anxiety", "suicide", "overdose", "addiction", "wellness", "fitness",
-    "nutrition", "diet", "exercise", "sleep", "stress", "insurance", "medicare", "abortion",
-    "surgery", "emergency", "ambulance", "pharmacy", "trial", "research", "study", "science",
-    "effectiveness", "safety", "risks", "benefits", "experts", "guidelines",
+    "vaccine",
+    "vaccination",
+    "mandate",
+    "booster",
+    "doses",
+    "pandemic",
+    "virus",
+    "variant",
+    "infection",
+    "immunity",
+    "hospital",
+    "clinic",
+    "doctor",
+    "nurse",
+    "patient",
+    "treatment",
+    "therapy",
+    "medicine",
+    "prescription",
+    "symptoms",
+    "diagnosis",
+    "recovery",
+    "quarantine",
+    "masks",
+    "lockdown",
+    "outbreak",
+    "epidemic",
+    "disease",
+    "illness",
+    "chronic",
+    "mental",
+    "depression",
+    "anxiety",
+    "suicide",
+    "overdose",
+    "addiction",
+    "wellness",
+    "fitness",
+    "nutrition",
+    "diet",
+    "exercise",
+    "sleep",
+    "stress",
+    "insurance",
+    "medicare",
+    "abortion",
+    "surgery",
+    "emergency",
+    "ambulance",
+    "pharmacy",
+    "trial",
+    "research",
+    "study",
+    "science",
+    "effectiveness",
+    "safety",
+    "risks",
+    "benefits",
+    "experts",
+    "guidelines",
 ];
 
 /// Sports vocabulary.
 pub const SPORTS: &[&str] = &[
-    "match", "game", "season", "league", "playoff", "championship", "tournament", "finals",
-    "team", "coach", "player", "striker", "goalkeeper", "quarterback", "pitcher", "captain",
-    "goal", "score", "points", "win", "loss", "draw", "defeat", "victory", "record",
-    "transfer", "contract", "injury", "training", "stadium", "fans", "referee", "penalty",
-    "offside", "foul", "doping", "gambling", "cheating", "underdog", "favorite", "ranking",
-    "medal", "olympics", "marathon", "sprint", "basketball", "football", "soccer", "baseball",
-    "hockey", "tennis", "golf", "boxing", "racing",
+    "match",
+    "game",
+    "season",
+    "league",
+    "playoff",
+    "championship",
+    "tournament",
+    "finals",
+    "team",
+    "coach",
+    "player",
+    "striker",
+    "goalkeeper",
+    "quarterback",
+    "pitcher",
+    "captain",
+    "goal",
+    "score",
+    "points",
+    "win",
+    "loss",
+    "draw",
+    "defeat",
+    "victory",
+    "record",
+    "transfer",
+    "contract",
+    "injury",
+    "training",
+    "stadium",
+    "fans",
+    "referee",
+    "penalty",
+    "offside",
+    "foul",
+    "doping",
+    "gambling",
+    "cheating",
+    "underdog",
+    "favorite",
+    "ranking",
+    "medal",
+    "olympics",
+    "marathon",
+    "sprint",
+    "basketball",
+    "football",
+    "soccer",
+    "baseball",
+    "hockey",
+    "tennis",
+    "golf",
+    "boxing",
+    "racing",
 ];
 
 /// Tech vocabulary.
 pub const TECH: &[&str] = &[
-    "software", "hardware", "startup", "platform", "algorithm", "database", "server", "cloud",
-    "network", "internet", "browser", "website", "application", "update", "release", "launch",
-    "feature", "interface", "privacy", "security", "encryption", "hackers", "breach", "leak",
-    "malware", "phishing", "password", "authentication", "censorship", "moderation", "content",
-    "users", "accounts", "profiles", "posts", "comments", "likes", "shares", "followers",
-    "trending", "viral", "streaming", "gaming", "console", "smartphone", "gadget", "chip",
-    "processor", "battery", "robot", "automation", "porn", "spam", "bots",
+    "software",
+    "hardware",
+    "startup",
+    "platform",
+    "algorithm",
+    "database",
+    "server",
+    "cloud",
+    "network",
+    "internet",
+    "browser",
+    "website",
+    "application",
+    "update",
+    "release",
+    "launch",
+    "feature",
+    "interface",
+    "privacy",
+    "security",
+    "encryption",
+    "hackers",
+    "breach",
+    "leak",
+    "malware",
+    "phishing",
+    "password",
+    "authentication",
+    "censorship",
+    "moderation",
+    "content",
+    "users",
+    "accounts",
+    "profiles",
+    "posts",
+    "comments",
+    "likes",
+    "shares",
+    "followers",
+    "trending",
+    "viral",
+    "streaming",
+    "gaming",
+    "console",
+    "smartphone",
+    "gadget",
+    "chip",
+    "processor",
+    "battery",
+    "robot",
+    "automation",
+    "porn",
+    "spam",
+    "bots",
 ];
 
 /// Entertainment vocabulary.
 pub const ENTERTAINMENT: &[&str] = &[
-    "movie", "film", "director", "actor", "actress", "celebrity", "premiere", "trailer",
-    "sequel", "franchise", "blockbuster", "boxoffice", "album", "single", "concert", "tour",
-    "festival", "award", "oscars", "grammys", "nomination", "drama", "comedy", "thriller",
-    "horror", "romance", "documentary", "series", "episode", "season", "finale", "streaming",
-    "soundtrack", "lyrics", "band", "singer", "rapper", "audience", "critics", "review",
-    "rating", "scandal", "gossip", "interview", "paparazzi", "lesbian", "racist", "diva",
+    "movie",
+    "film",
+    "director",
+    "actor",
+    "actress",
+    "celebrity",
+    "premiere",
+    "trailer",
+    "sequel",
+    "franchise",
+    "blockbuster",
+    "boxoffice",
+    "album",
+    "single",
+    "concert",
+    "tour",
+    "festival",
+    "award",
+    "oscars",
+    "grammys",
+    "nomination",
+    "drama",
+    "comedy",
+    "thriller",
+    "horror",
+    "romance",
+    "documentary",
+    "series",
+    "episode",
+    "season",
+    "finale",
+    "streaming",
+    "soundtrack",
+    "lyrics",
+    "band",
+    "singer",
+    "rapper",
+    "audience",
+    "critics",
+    "review",
+    "rating",
+    "scandal",
+    "gossip",
+    "interview",
+    "paparazzi",
+    "lesbian",
+    "racist",
+    "diva",
 ];
 
 /// Positive sentiment words.
 pub const SENTIMENT_POSITIVE: &[&str] = &[
-    "love", "loved", "great", "wonderful", "amazing", "fantastic", "excellent", "brilliant",
-    "beautiful", "awesome", "superb", "perfect", "happy", "glad", "delighted", "proud",
-    "hopeful", "inspiring", "impressive", "outstanding", "remarkable", "refreshing",
-    "enjoyable", "pleasant", "friendly", "helpful", "honest", "fair", "strong", "smart",
-    "thoughtful", "supportive", "grateful", "thankful", "best", "better", "good", "win",
-    "winning", "success", "successful", "progress", "improvement", "promising", "safe",
-    "effective", "reliable", "trustworthy", "celebrate", "recommend", "appreciate",
+    "love",
+    "loved",
+    "great",
+    "wonderful",
+    "amazing",
+    "fantastic",
+    "excellent",
+    "brilliant",
+    "beautiful",
+    "awesome",
+    "superb",
+    "perfect",
+    "happy",
+    "glad",
+    "delighted",
+    "proud",
+    "hopeful",
+    "inspiring",
+    "impressive",
+    "outstanding",
+    "remarkable",
+    "refreshing",
+    "enjoyable",
+    "pleasant",
+    "friendly",
+    "helpful",
+    "honest",
+    "fair",
+    "strong",
+    "smart",
+    "thoughtful",
+    "supportive",
+    "grateful",
+    "thankful",
+    "best",
+    "better",
+    "good",
+    "win",
+    "winning",
+    "success",
+    "successful",
+    "progress",
+    "improvement",
+    "promising",
+    "safe",
+    "effective",
+    "reliable",
+    "trustworthy",
+    "celebrate",
+    "recommend",
+    "appreciate",
 ];
 
 /// Negative sentiment words.
 pub const SENTIMENT_NEGATIVE: &[&str] = &[
-    "hate", "hated", "terrible", "awful", "horrible", "disgusting", "dreadful", "appalling",
-    "pathetic", "miserable", "angry", "furious", "outraged", "disappointed", "disappointing",
-    "sad", "worried", "scared", "afraid", "dangerous", "harmful", "toxic", "corrupt",
-    "dishonest", "unfair", "weak", "stupid", "foolish", "reckless", "shameful", "disgraceful",
-    "worst", "worse", "bad", "fail", "failing", "failure", "disaster", "crisis", "collapse",
-    "broken", "useless", "worthless", "lies", "lying", "fraud", "scam", "betrayal", "threat",
-    "ruined", "destroy", "destroying",
+    "hate",
+    "hated",
+    "terrible",
+    "awful",
+    "horrible",
+    "disgusting",
+    "dreadful",
+    "appalling",
+    "pathetic",
+    "miserable",
+    "angry",
+    "furious",
+    "outraged",
+    "disappointed",
+    "disappointing",
+    "sad",
+    "worried",
+    "scared",
+    "afraid",
+    "dangerous",
+    "harmful",
+    "toxic",
+    "corrupt",
+    "dishonest",
+    "unfair",
+    "weak",
+    "stupid",
+    "foolish",
+    "reckless",
+    "shameful",
+    "disgraceful",
+    "worst",
+    "worse",
+    "bad",
+    "fail",
+    "failing",
+    "failure",
+    "disaster",
+    "crisis",
+    "collapse",
+    "broken",
+    "useless",
+    "worthless",
+    "lies",
+    "lying",
+    "fraud",
+    "scam",
+    "betrayal",
+    "threat",
+    "ruined",
+    "destroy",
+    "destroying",
 ];
 
 /// Mild insults for the toxicity corpus (kept non-graphic deliberately —
 /// the experiments only need a separable toxic register).
 pub const TOXIC_WORDS: &[&str] = &[
-    "idiot", "idiots", "stupid", "moron", "morons", "loser", "losers", "clown", "clowns",
-    "trash", "garbage", "pathetic", "dumb", "fool", "fools", "ignorant", "disgusting",
-    "worthless", "coward", "cowards", "liar", "liars", "crook", "crooks", "parasite",
-    "parasites", "traitor", "traitors", "scum", "creep", "creeps", "jerk", "jerks",
-    "hypocrite", "hypocrites", "sheep", "bootlicker", "shill", "shills", "troll", "trolls",
+    "idiot",
+    "idiots",
+    "stupid",
+    "moron",
+    "morons",
+    "loser",
+    "losers",
+    "clown",
+    "clowns",
+    "trash",
+    "garbage",
+    "pathetic",
+    "dumb",
+    "fool",
+    "fools",
+    "ignorant",
+    "disgusting",
+    "worthless",
+    "coward",
+    "cowards",
+    "liar",
+    "liars",
+    "crook",
+    "crooks",
+    "parasite",
+    "parasites",
+    "traitor",
+    "traitors",
+    "scum",
+    "creep",
+    "creeps",
+    "jerk",
+    "jerks",
+    "hypocrite",
+    "hypocrites",
+    "sheep",
+    "bootlicker",
+    "shill",
+    "shills",
+    "troll",
+    "trolls",
 ];
 
 /// General filler content words (verbs/nouns used across topics).
 pub const GENERAL: &[&str] = &[
-    "people", "person", "world", "country", "city", "community", "family", "friends",
-    "children", "school", "work", "job", "money", "time", "year", "week", "day", "night",
-    "morning", "story", "news", "report", "reports", "statement", "announcement", "decision",
-    "plan", "plans", "idea", "ideas", "problem", "problems", "solution", "question",
-    "questions", "answer", "answers", "reason", "reasons", "result", "results", "change",
-    "changes", "situation", "moment", "thing", "things", "way", "ways", "place", "home",
-    "house", "street", "everyone", "everybody", "nobody", "someone", "something", "nothing",
-    "dirty", "clean", "announced", "checked", "check", "talking", "saying", "thinking",
-    "feeling", "watching", "reading", "writing", "sharing",
-    "posting", "spreading", "pushing", "blocking", "supporting", "opposing", "defending",
-    "attacking", "claiming", "denying", "admitting", "ignoring", "demanding", "promising",
+    "people",
+    "person",
+    "world",
+    "country",
+    "city",
+    "community",
+    "family",
+    "friends",
+    "children",
+    "school",
+    "work",
+    "job",
+    "money",
+    "time",
+    "year",
+    "week",
+    "day",
+    "night",
+    "morning",
+    "story",
+    "news",
+    "report",
+    "reports",
+    "statement",
+    "announcement",
+    "decision",
+    "plan",
+    "plans",
+    "idea",
+    "ideas",
+    "problem",
+    "problems",
+    "solution",
+    "question",
+    "questions",
+    "answer",
+    "answers",
+    "reason",
+    "reasons",
+    "result",
+    "results",
+    "change",
+    "changes",
+    "situation",
+    "moment",
+    "thing",
+    "things",
+    "way",
+    "ways",
+    "place",
+    "home",
+    "house",
+    "street",
+    "everyone",
+    "everybody",
+    "nobody",
+    "someone",
+    "something",
+    "nothing",
+    "dirty",
+    "clean",
+    "announced",
+    "checked",
+    "check",
+    "talking",
+    "saying",
+    "thinking",
+    "feeling",
+    "watching",
+    "reading",
+    "writing",
+    "sharing",
+    "posting",
+    "spreading",
+    "pushing",
+    "blocking",
+    "supporting",
+    "opposing",
+    "defending",
+    "attacking",
+    "claiming",
+    "denying",
+    "admitting",
+    "ignoring",
+    "demanding",
+    "promising",
 ];
 
 /// Every distinct word across all lexicons — the "correctly-spelled English
@@ -234,12 +792,7 @@ pub fn english_lexicon() -> &'static [&'static str] {
 /// Is `w` (case-insensitively) a dictionary word?
 pub fn is_english_word(w: &str) -> bool {
     static SET: OnceLock<HashSet<String>> = OnceLock::new();
-    let set = SET.get_or_init(|| {
-        english_lexicon()
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
-    });
+    let set = SET.get_or_init(|| english_lexicon().iter().map(|s| s.to_string()).collect());
     set.contains(&w.to_ascii_lowercase())
 }
 
@@ -286,8 +839,15 @@ mod tests {
     #[test]
     fn paper_examples_present() {
         for w in [
-            "democrats", "republicans", "vaccine", "muslim", "chinese", "suicide", "porn",
-            "depression", "lesbian",
+            "democrats",
+            "republicans",
+            "vaccine",
+            "muslim",
+            "chinese",
+            "suicide",
+            "porn",
+            "depression",
+            "lesbian",
         ] {
             assert!(is_english_word(w), "{w} from the paper must be present");
         }

@@ -71,7 +71,10 @@ mod tests {
         let mut out = Vec::new();
         let mut rest = t;
         while let Some(start) = rest.find('{') {
-            let end = rest[start..].find('}').map(|e| start + e).expect("closed slot");
+            let end = rest[start..]
+                .find('}')
+                .map(|e| start + e)
+                .expect("closed slot");
             out.push(&rest[start + 1..end]);
             rest = &rest[end + 1..];
         }

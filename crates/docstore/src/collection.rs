@@ -10,7 +10,9 @@ use crate::index::HashIndex;
 use crate::value::Document;
 
 /// Identifier of a document within its collection, assigned at insert.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct DocId(pub u64);
 
 impl std::fmt::Display for DocId {
@@ -283,7 +285,10 @@ mod tests {
     fn token_doc(token: &str, codes: Vec<&str>, count: i64) -> Document {
         Document::new()
             .with("token", token)
-            .with("codes", codes.into_iter().map(Value::from).collect::<Vec<_>>())
+            .with(
+                "codes",
+                codes.into_iter().map(Value::from).collect::<Vec<_>>(),
+            )
             .with("count", count)
     }
 
@@ -357,7 +362,10 @@ mod tests {
         c.create_index("codes");
         let id = c.insert(token_doc("dirty", vec!["DI630"], 1));
         c.update(id, token_doc("dirty", vec!["DX999"], 1)).unwrap();
-        assert!(c.find(&Filter::eq("codes", "DI630")).is_empty(), "old key gone");
+        assert!(
+            c.find(&Filter::eq("codes", "DI630")).is_empty(),
+            "old key gone"
+        );
         assert_eq!(c.find(&Filter::eq("codes", "DX999")).len(), 1);
         c.delete(id);
         assert!(c.find(&Filter::eq("codes", "DX999")).is_empty());
@@ -482,10 +490,7 @@ mod tests {
             .collect();
         assert_eq!(tokens, vec!["c", "e"]);
 
-        let skipped = c.find_with(
-            &Filter::All,
-            &FindOptions::sorted_by("count").page(3, 10),
-        );
+        let skipped = c.find_with(&Filter::All, &FindOptions::sorted_by("count").page(3, 10));
         assert_eq!(skipped.len(), 2);
     }
 

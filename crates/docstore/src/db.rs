@@ -84,7 +84,10 @@ impl Database {
             collections: RwLock::new(map),
             persistence: Some(Persistence {
                 dir: dir.to_path_buf(),
-                wal: Mutex::new(WalWriter::open(&wal_path, opts.wal_sync == WalSync::EveryAppend)?),
+                wal: Mutex::new(WalWriter::open(
+                    &wal_path,
+                    opts.wal_sync == WalSync::EveryAppend,
+                )?),
                 sync_mode: opts.wal_sync,
             }),
         };
@@ -108,12 +111,20 @@ impl Database {
                     c.get_mut().create_index(field);
                 }
             }
-            WalOp::Insert { collection, id, doc } => {
+            WalOp::Insert {
+                collection,
+                id,
+                doc,
+            } => {
                 if let Some(c) = map.get_mut(&collection) {
                     c.get_mut().insert_with_id(id, doc);
                 }
             }
-            WalOp::Update { collection, id, doc } => {
+            WalOp::Update {
+                collection,
+                id,
+                doc,
+            } => {
                 if let Some(c) = map.get_mut(&collection) {
                     // Replay tolerates updates to ids missing after a
                     // partial history — treated as inserts.
@@ -169,7 +180,11 @@ impl Database {
         self.collections.read().contains_key(name)
     }
 
-    fn with_collection<R>(&self, name: &str, f: impl FnOnce(&RwLock<Collection>) -> R) -> Result<R> {
+    fn with_collection<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&RwLock<Collection>) -> R,
+    ) -> Result<R> {
         let read = self.collections.read();
         let coll = read
             .get(name)
@@ -319,9 +334,10 @@ mod tests {
         ] {
             db.insert(
                 "tokens",
-                Document::new()
-                    .with("token", t)
-                    .with("codes", codes.into_iter().map(Value::from).collect::<Vec<_>>()),
+                Document::new().with("token", t).with(
+                    "codes",
+                    codes.into_iter().map(Value::from).collect::<Vec<_>>(),
+                ),
             )
             .unwrap();
         }
@@ -335,7 +351,8 @@ mod tests {
         let hits = db.find("tokens", &Filter::eq("codes", "TH000")).unwrap();
         assert_eq!(hits.len(), 2);
         let (id, _) = hits[0].clone();
-        db.update("tokens", id, Document::new().with("token", "THE")).unwrap();
+        db.update("tokens", id, Document::new().with("token", "THE"))
+            .unwrap();
         assert_eq!(
             db.get("tokens", id).unwrap().unwrap().get("token"),
             Some(&Value::from("THE"))
@@ -349,10 +366,7 @@ mod tests {
         let db = Database::in_memory();
         assert!(db.insert("nope", Document::new()).is_err());
         assert!(db.find("nope", &Filter::All).is_err());
-        assert!(matches!(
-            db.len("nope").unwrap_err(),
-            Error::NotFound(_)
-        ));
+        assert!(matches!(db.len("nope").unwrap_err(), Error::NotFound(_)));
     }
 
     #[test]
@@ -387,14 +401,18 @@ mod tests {
             // Post-checkpoint mutations only live in the new WAL.
             db.insert(
                 "tokens",
-                Document::new().with("token", "new").with("codes", vec!["NE000"]),
+                Document::new()
+                    .with("token", "new")
+                    .with("codes", vec!["NE000"]),
             )
             .unwrap();
         }
         let db = Database::open(&dir, DbOptions::default()).unwrap();
         assert_eq!(db.len("tokens").unwrap(), 4);
         assert_eq!(
-            db.find("tokens", &Filter::eq("codes", "NE000")).unwrap().len(),
+            db.find("tokens", &Filter::eq("codes", "NE000"))
+                .unwrap()
+                .len(),
             1
         );
     }
@@ -504,7 +522,9 @@ mod tests {
         let db = Database::in_memory();
         seed(&db);
         let n = db
-            .read_collection("tokens", |c| c.scan().filter(|(_, d)| d.get("token").is_some()).count())
+            .read_collection("tokens", |c| {
+                c.scan().filter(|(_, d)| d.get("token").is_some()).count()
+            })
             .unwrap();
         assert_eq!(n, 3);
     }

@@ -154,7 +154,10 @@ mod tests {
         assert!(!Filter::Lt("count".into(), Value::Int(12)).matches(&doc()));
         assert!(Filter::Lte("count".into(), Value::Int(12)).matches(&doc()));
         assert!(Filter::Gt("score".into(), Value::Float(0.5)).matches(&doc()));
-        assert!(Filter::Gte("score".into(), Value::Int(0)).matches(&doc()), "cross-type numeric");
+        assert!(
+            Filter::Gte("score".into(), Value::Int(0)).matches(&doc()),
+            "cross-type numeric"
+        );
         assert!(!Filter::Gt("missing".into(), Value::Int(0)).matches(&doc()));
     }
 
@@ -201,9 +204,15 @@ mod tests {
             Filter::Gt("count".into(), Value::Int(0)),
             Filter::eq("token", "x"),
         ]);
-        assert_eq!(f.index_probe().unwrap().0, "token", "probe found inside And");
+        assert_eq!(
+            f.index_probe().unwrap().0,
+            "token",
+            "probe found inside And"
+        );
 
-        assert!(Filter::Gt("count".into(), Value::Int(0)).index_probe().is_none());
+        assert!(Filter::Gt("count".into(), Value::Int(0))
+            .index_probe()
+            .is_none());
         assert!(Filter::All.index_probe().is_none());
     }
 

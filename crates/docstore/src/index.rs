@@ -159,7 +159,10 @@ mod tests {
         let mut idx = HashIndex::new("token");
         let doc = Document::new().with("token", "suic1de");
         idx.insert_doc(7, &doc);
-        assert_eq!(idx.lookup(&Value::from("suic1de")).collect::<Vec<_>>(), vec![7]);
+        assert_eq!(
+            idx.lookup(&Value::from("suic1de")).collect::<Vec<_>>(),
+            vec![7]
+        );
         assert_eq!(idx.lookup(&Value::from("other")).count(), 0);
         idx.remove_doc(7, &doc);
         assert_eq!(idx.lookup(&Value::from("suic1de")).count(), 0);
@@ -171,8 +174,14 @@ mod tests {
         let mut idx = HashIndex::new("codes");
         let doc = Document::new().with("codes", vec!["SU243", "SU230"]);
         idx.insert_doc(1, &doc);
-        assert_eq!(idx.lookup(&Value::from("SU243")).collect::<Vec<_>>(), vec![1]);
-        assert_eq!(idx.lookup(&Value::from("SU230")).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            idx.lookup(&Value::from("SU243")).collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(
+            idx.lookup(&Value::from("SU230")).collect::<Vec<_>>(),
+            vec![1]
+        );
         assert_eq!(idx.posting_count(), 2);
     }
 
@@ -186,7 +195,10 @@ mod tests {
         hits.sort_unstable();
         assert_eq!(hits, vec![1, 2]);
         idx.remove_doc(1, &Document::new().with("code", "TH000"));
-        assert_eq!(idx.lookup(&Value::from("TH000")).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(
+            idx.lookup(&Value::from("TH000")).collect::<Vec<_>>(),
+            vec![2]
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub fn decode_snapshot(data: &[u8]) -> Result<Vec<Collection>> {
     }
     let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
     if version != VERSION {
-        return Err(Error::corrupt(format!("unsupported snapshot version {version}")));
+        return Err(Error::corrupt(format!(
+            "unsupported snapshot version {version}"
+        )));
     }
     let body = &data[8..data.len() - 4];
     let stored_crc = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
@@ -157,8 +159,7 @@ mod tests {
     use crate::value::Document;
 
     fn tmp_dir(name: &str) -> std::path::PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("cryptext-snap-{name}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("cryptext-snap-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -167,9 +168,21 @@ mod tests {
     fn build_collection() -> Collection {
         let mut c = Collection::new("tokens");
         c.create_index("codes");
-        c.insert(Document::new().with("token", "the").with("codes", vec!["TH000"]));
-        c.insert(Document::new().with("token", "dirty").with("codes", vec!["DI630"]));
-        let id = c.insert(Document::new().with("token", "temp").with("codes", vec!["TE510"]));
+        c.insert(
+            Document::new()
+                .with("token", "the")
+                .with("codes", vec!["TH000"]),
+        );
+        c.insert(
+            Document::new()
+                .with("token", "dirty")
+                .with("codes", vec!["DI630"]),
+        );
+        let id = c.insert(
+            Document::new()
+                .with("token", "temp")
+                .with("codes", vec!["TE510"]),
+        );
         c.delete(id); // leaves a gap so next_id > max live id
         c
     }

@@ -347,7 +347,10 @@ mod tests {
         assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.5)), Less);
         assert_eq!(Value::Float(3.0).cmp_total(&Value::Int(3)), Equal);
         assert_eq!(Value::Float(f64::NAN).cmp_total(&Value::Int(1)), Greater);
-        assert_eq!(Value::Float(f64::NAN).cmp_total(&Value::Float(f64::NAN)), Equal);
+        assert_eq!(
+            Value::Float(f64::NAN).cmp_total(&Value::Float(f64::NAN)),
+            Equal
+        );
     }
 
     #[test]

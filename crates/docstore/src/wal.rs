@@ -89,13 +89,21 @@ impl WalOp {
                 put_str(&mut buf, collection);
                 put_str(&mut buf, field);
             }
-            WalOp::Insert { collection, id, doc } => {
+            WalOp::Insert {
+                collection,
+                id,
+                doc,
+            } => {
                 buf.put_u8(OP_INSERT);
                 put_str(&mut buf, collection);
                 buf.put_u64_le(*id);
                 encode_document(doc, &mut buf);
             }
-            WalOp::Update { collection, id, doc } => {
+            WalOp::Update {
+                collection,
+                id,
+                doc,
+            } => {
                 buf.put_u8(OP_UPDATE);
                 put_str(&mut buf, collection);
                 buf.put_u64_le(*id);
@@ -134,7 +142,11 @@ impl WalOp {
                 }
                 let id = buf.get_u64_le();
                 let doc = decode_document(&mut buf)?;
-                WalOp::Insert { collection, id, doc }
+                WalOp::Insert {
+                    collection,
+                    id,
+                    doc,
+                }
             }
             OP_UPDATE => {
                 let collection = get_str(&mut buf)?;
@@ -143,7 +155,11 @@ impl WalOp {
                 }
                 let id = buf.get_u64_le();
                 let doc = decode_document(&mut buf)?;
-                WalOp::Update { collection, id, doc }
+                WalOp::Update {
+                    collection,
+                    id,
+                    doc,
+                }
             }
             OP_DELETE => {
                 let collection = get_str(&mut buf)?;
@@ -246,7 +262,8 @@ pub fn read_wal(path: &Path) -> Result<WalReadResult> {
             truncated_tail = true;
             break;
         }
-        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let len =
+            u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
         let body_start = offset + 8;
         if data.len() - body_start < len {
@@ -267,7 +284,10 @@ pub fn read_wal(path: &Path) -> Result<WalReadResult> {
         }
         offset = body_start + len;
     }
-    Ok(WalReadResult { ops, truncated_tail })
+    Ok(WalReadResult {
+        ops,
+        truncated_tail,
+    })
 }
 
 #[cfg(test)]
@@ -283,7 +303,9 @@ mod tests {
 
     fn sample_ops() -> Vec<WalOp> {
         vec![
-            WalOp::CreateCollection { name: "tokens".into() },
+            WalOp::CreateCollection {
+                name: "tokens".into(),
+            },
             WalOp::CreateIndex {
                 collection: "tokens".into(),
                 field: "codes".into(),
@@ -302,7 +324,9 @@ mod tests {
                 collection: "tokens".into(),
                 id: 0,
             },
-            WalOp::DropCollection { name: "tokens".into() },
+            WalOp::DropCollection {
+                name: "tokens".into(),
+            },
         ]
     }
 
@@ -396,11 +420,13 @@ mod tests {
         let path = dir.join("wal.log");
         {
             let mut w = WalWriter::open(&path, true).unwrap();
-            w.append(&WalOp::CreateCollection { name: "a".into() }).unwrap();
+            w.append(&WalOp::CreateCollection { name: "a".into() })
+                .unwrap();
         }
         {
             let mut w = WalWriter::open(&path, true).unwrap();
-            w.append(&WalOp::CreateCollection { name: "b".into() }).unwrap();
+            w.append(&WalOp::CreateCollection { name: "b".into() })
+                .unwrap();
             w.sync().unwrap();
         }
         let read = read_wal(&path).unwrap();

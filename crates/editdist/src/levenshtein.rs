@@ -1,4 +1,148 @@
 //! Levenshtein distance: full and bounded variants.
+//!
+//! The Look Up hot path calls [`levenshtein_bounded_scratch`] once per
+//! bucket candidate; it reuses caller-provided buffers ([`EditScratch`])
+//! and takes an ASCII byte-slice fast path, so the per-candidate cost is
+//! pure DP work with zero heap allocation after warm-up.
+
+/// Reusable working memory for [`levenshtein_bounded_scratch`].
+///
+/// One instance per thread (or per bulk request) amortizes the two DP rows
+/// and, for non-ASCII inputs, the char-decoding buffers across millions of
+/// candidate comparisons.
+#[derive(Debug, Default, Clone)]
+pub struct EditScratch {
+    prev: Vec<u32>,
+    curr: Vec<u32>,
+    a_chars: Vec<char>,
+    b_chars: Vec<char>,
+}
+
+impl EditScratch {
+    /// Fresh scratch space (allocates lazily on first use).
+    pub fn new() -> Self {
+        EditScratch::default()
+    }
+}
+
+/// Bounded Levenshtein over strings using caller-provided scratch buffers.
+///
+/// Semantically identical to [`levenshtein_bounded`] — returns `Some(d)`
+/// when `d = lev(a, b) <= max`, else `None` — but allocation-free per call:
+/// ASCII inputs run the banded DP directly over bytes, and non-ASCII inputs
+/// decode into reusable char buffers inside `scratch`.
+pub fn levenshtein_bounded_scratch(
+    a: &str,
+    b: &str,
+    max: usize,
+    scratch: &mut EditScratch,
+) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    if a.is_ascii() && b.is_ascii() {
+        let (a, b) = trim_common_affixes(a.as_bytes(), b.as_bytes());
+        return banded_dp(a, b, max, &mut scratch.prev, &mut scratch.curr);
+    }
+    scratch.a_chars.clear();
+    scratch.a_chars.extend(a.chars());
+    scratch.b_chars.clear();
+    scratch.b_chars.extend(b.chars());
+    let (a, b) = trim_common_affixes(&scratch.a_chars, &scratch.b_chars);
+    banded_dp(a, b, max, &mut scratch.prev, &mut scratch.curr)
+}
+
+/// Strip the longest common prefix and suffix — neither contributes edits,
+/// and real-world perturbations share most of their characters with the
+/// clean form, so this usually collapses the DP to a few cells.
+#[inline]
+fn trim_common_affixes<'s, T: Copy + PartialEq>(
+    mut a: &'s [T],
+    mut b: &'s [T],
+) -> (&'s [T], &'s [T]) {
+    let prefix = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+    a = &a[prefix..];
+    b = &b[prefix..];
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    (&a[..a.len() - suffix], &b[..b.len() - suffix])
+}
+
+/// The banded two-row DP shared by the scratch and allocating entry points.
+/// `prev`/`curr` are resized (not reallocated once warm) to `min(n,m)+1`.
+fn banded_dp<T: Copy + PartialEq>(
+    a: &[T],
+    b: &[T],
+    max: usize,
+    prev: &mut Vec<u32>,
+    curr: &mut Vec<u32>,
+) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.len() - short.len() > max {
+        return None;
+    }
+    if short.is_empty() {
+        return (long.len() <= max).then_some(long.len());
+    }
+    if short.len() == 1 {
+        // Closed form: align the lone element against `long` — one
+        // substitution saved iff it occurs anywhere in `long`. After
+        // affix trimming most real perturbation pairs land here.
+        let hit = long.contains(&short[0]);
+        let d = long.len() - usize::from(hit);
+        return (d <= max).then_some(d);
+    }
+
+    const INF: u32 = u32::MAX / 2;
+    let n = short.len();
+    prev.clear();
+    prev.resize(n + 1, INF);
+    curr.clear();
+    curr.resize(n + 1, INF);
+    for (j, p) in prev.iter_mut().enumerate().take(max.min(n) + 1) {
+        *p = j as u32;
+    }
+
+    for (i, &lc) in long.iter().enumerate() {
+        let row = i + 1;
+        let lo = row.saturating_sub(max);
+        let hi = (row + max).min(n);
+        if lo > hi {
+            return None;
+        }
+        curr[lo.saturating_sub(1)] = INF;
+        let mut row_min = INF;
+        for j in lo..=hi {
+            let val = if j == 0 {
+                row as u32
+            } else {
+                let cost = u32::from(lc != short[j - 1]);
+                let diag = prev[j - 1].saturating_add(cost);
+                let up = prev[j].saturating_add(1);
+                let left = curr[j - 1].saturating_add(1);
+                diag.min(up).min(left)
+            };
+            curr[j] = val;
+            row_min = row_min.min(val);
+        }
+        if row_min as usize > max {
+            return None;
+        }
+        if lo > 0 {
+            curr[lo - 1] = INF;
+        }
+        if hi < n {
+            curr[hi + 1] = INF;
+        }
+        std::mem::swap(prev, curr);
+    }
+    let d = prev[n] as usize;
+    (d <= max).then_some(d)
+}
 
 /// Classic Levenshtein distance over Unicode scalar values, using the
 /// two-row dynamic program (`O(n·m)` time, `O(min(n, m))` space).
@@ -132,7 +276,11 @@ mod tests {
         assert_eq!(levenshtein("republicans", "republiecans"), 1);
         assert_eq!(levenshtein("republicans", "republic@@ns"), 2);
         assert_eq!(levenshtein("democrats", "demokrats"), 1);
-        assert_eq!(levenshtein("democrats", "demorcats"), 2, "swap = 2 plain edits");
+        assert_eq!(
+            levenshtein("democrats", "demorcats"),
+            2,
+            "swap = 2 plain edits"
+        );
         assert_eq!(levenshtein("suicide", "suic1de"), 1);
     }
 
@@ -181,10 +329,63 @@ mod tests {
     fn char_slice_api_matches_str_api() {
         let a: Vec<char> = "perturbation".chars().collect();
         let b: Vec<char> = "perturbaton".chars().collect();
-        assert_eq!(levenshtein_chars(&a, &b), levenshtein("perturbation", "perturbaton"));
+        assert_eq!(
+            levenshtein_chars(&a, &b),
+            levenshtein("perturbation", "perturbaton")
+        );
         assert_eq!(
             levenshtein_bounded_chars(&a, &b, 2),
             levenshtein_bounded("perturbation", "perturbaton", 2)
+        );
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let mut scratch = EditScratch::new();
+        let pairs = [
+            ("kitten", "sitting"),
+            ("republicans", "republic@@ns"),
+            ("café", "cafe"),
+            ("p\u{0430}ypal", "paypal"),
+            ("", "abc"),
+            ("same", "same"),
+            ("a", "aaaaaaaaaa"),
+        ];
+        for (a, b) in pairs {
+            for max in 0..6 {
+                assert_eq!(
+                    levenshtein_bounded_scratch(a, b, max, &mut scratch),
+                    levenshtein_bounded(a, b, max),
+                    "{a:?} vs {b:?} at max {max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_mixed_ascii_unicode_calls() {
+        // Interleave ASCII and non-ASCII comparisons through one scratch to
+        // catch stale-buffer bugs.
+        let mut scratch = EditScratch::new();
+        assert_eq!(
+            levenshtein_bounded_scratch("abcdef", "abXdef", 3, &mut scratch),
+            Some(1)
+        );
+        assert_eq!(
+            levenshtein_bounded_scratch("naïve", "naive", 3, &mut scratch),
+            Some(1)
+        );
+        assert_eq!(
+            levenshtein_bounded_scratch("abc", "abc", 3, &mut scratch),
+            Some(0)
+        );
+        assert_eq!(
+            levenshtein_bounded_scratch("żółć", "zolc", 4, &mut scratch),
+            Some(4)
+        );
+        assert_eq!(
+            levenshtein_bounded_scratch("longerword", "cut", 3, &mut scratch),
+            None
         );
     }
 

@@ -9,7 +9,11 @@
 //!
 //! * [`levenshtein`] — the classic two-row dynamic program.
 //! * [`levenshtein_bounded`] — banded DP with early exit; `O(d·min(n,m))`
-//!   instead of `O(n·m)`, the hot-path workhorse.
+//!   instead of `O(n·m)`.
+//! * [`levenshtein_bounded_scratch`] — the hot-path workhorse: same banded
+//!   DP driven through caller-provided [`EditScratch`] buffers with an
+//!   ASCII byte-slice fast path, so per-candidate filtering allocates
+//!   nothing.
 //! * [`damerau_osa`] — optimal-string-alignment distance counting adjacent
 //!   transposition as one edit (the TextBugger "swap" operation).
 //! * [`similarity`] — normalized similarity in `[0, 1]`.
@@ -24,7 +28,8 @@ mod levenshtein;
 
 pub use damerau::damerau_osa;
 pub use levenshtein::{
-    levenshtein, levenshtein_bounded, levenshtein_bounded_chars, levenshtein_chars,
+    levenshtein, levenshtein_bounded, levenshtein_bounded_chars, levenshtein_bounded_scratch,
+    levenshtein_chars, EditScratch,
 };
 
 /// Normalized similarity: `1 - lev(a, b) / max(|a|, |b|)`, and `1.0` when
@@ -143,6 +148,29 @@ mod proptests {
         fn similarity_unit_interval(a in small_string(), b in small_string()) {
             let s = similarity(&a, &b);
             prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        /// The scratch-buffer variant is bit-identical to the allocating
+        /// bounded variant, including across mixed ASCII/Unicode inputs
+        /// reusing one scratch.
+        #[test]
+        fn scratch_agrees_with_bounded(
+            a in "\\PC{0,12}",
+            b in "\\PC{0,12}",
+            max in 0usize..8,
+        ) {
+            let mut scratch = EditScratch::new();
+            prop_assert_eq!(
+                levenshtein_bounded_scratch(&a, &b, max, &mut scratch),
+                levenshtein_bounded(&a, &b, max),
+                "{:?} vs {:?} at {}", a, b, max
+            );
+            // Second call through the same scratch must be unaffected by
+            // leftover state.
+            prop_assert_eq!(
+                levenshtein_bounded_scratch(&b, &a, max, &mut scratch),
+                levenshtein_bounded(&b, &a, max)
+            );
         }
     }
 }

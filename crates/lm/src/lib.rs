@@ -166,7 +166,8 @@ impl NgramLm {
 
     /// Is `word` in the trained vocabulary?
     pub fn knows(&self, word: &str) -> bool {
-        self.sym(word).is_some_and(|s| self.unigrams.contains_key(&s))
+        self.sym(word)
+            .is_some_and(|s| self.unigrams.contains_key(&s))
     }
 
     fn sym(&self, word: &str) -> Option<Symbol> {
@@ -220,11 +221,19 @@ impl NgramLm {
 
         let tri_num = self.trigram_count(sa, sb, sw);
         let tri_den = self.bigram_count(sa, sb);
-        let p3 = if tri_den > 0 { tri_num as f64 / tri_den as f64 } else { 0.0 };
+        let p3 = if tri_den > 0 {
+            tri_num as f64 / tri_den as f64
+        } else {
+            0.0
+        };
 
         let bi_num = self.bigram_count(sb, sw);
         let bi_den = self.history_count(sb);
-        let p2 = if bi_den > 0 { bi_num as f64 / bi_den as f64 } else { 0.0 };
+        let p2 = if bi_den > 0 {
+            bi_num as f64 / bi_den as f64
+        } else {
+            0.0
+        };
 
         let p1 = self.unigram_count(sw) as f64 / self.total_unigrams as f64;
         let p0 = 1.0 / (self.vocab_size as f64 + 1.0);
@@ -250,7 +259,11 @@ impl NgramLm {
     /// the same slot.
     pub fn coherency(&self, candidate: &str, left: &[&str], right: &[&str]) -> f64 {
         let l1 = left.last().copied().unwrap_or(BOS);
-        let l2 = if left.len() >= 2 { left[left.len() - 2] } else { BOS };
+        let l2 = if left.len() >= 2 {
+            left[left.len() - 2]
+        } else {
+            BOS
+        };
         let r1 = right.first().copied().unwrap_or(EOS);
         let r2 = if right.len() >= 2 { right[1] } else { EOS };
 

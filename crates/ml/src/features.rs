@@ -88,8 +88,14 @@ mod tests {
 
     #[test]
     fn bigrams_add_features() {
-        let uni = HashingVectorizer { dim: 1 << 16, bigrams: false };
-        let bi = HashingVectorizer { dim: 1 << 16, bigrams: true };
+        let uni = HashingVectorizer {
+            dim: 1 << 16,
+            bigrams: false,
+        };
+        let bi = HashingVectorizer {
+            dim: 1 << 16,
+            bigrams: true,
+        };
         let a = uni.transform("red green blue");
         let b = bi.transform("red green blue");
         assert!(b.len() > a.len(), "{} vs {}", b.len(), a.len());

@@ -173,7 +173,10 @@ mod tests {
     fn training_data_fits() {
         let data = sentiment_training();
         let lr = LogisticRegression::train(&data, 2, LogRegConfig::default());
-        let correct = data.iter().filter(|e| lr.predict(&e.text) == e.label).count();
+        let correct = data
+            .iter()
+            .filter(|e| lr.predict(&e.text) == e.label)
+            .count();
         assert_eq!(correct, data.len(), "linearly separable set fits exactly");
     }
 

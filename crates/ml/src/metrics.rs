@@ -9,11 +9,7 @@ pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    let correct = y_true
-        .iter()
-        .zip(y_pred)
-        .filter(|(t, p)| t == p)
-        .count();
+    let correct = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
     correct as f64 / y_true.len() as f64
 }
 
@@ -35,8 +31,14 @@ pub fn precision_recall_f1(matrix: &[Vec<usize>]) -> Vec<(f64, f64, f64)> {
     (0..n)
         .map(|c| {
             let tp = matrix[c][c] as f64;
-            let fp: f64 = (0..n).filter(|&t| t != c).map(|t| matrix[t][c] as f64).sum();
-            let fn_: f64 = (0..n).filter(|&p| p != c).map(|p| matrix[c][p] as f64).sum();
+            let fp: f64 = (0..n)
+                .filter(|&t| t != c)
+                .map(|t| matrix[t][c] as f64)
+                .sum();
+            let fn_: f64 = (0..n)
+                .filter(|&p| p != c)
+                .map(|p| matrix[c][p] as f64)
+                .sum();
             let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
             let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
             let f1 = if precision + recall > 0.0 {
@@ -133,9 +135,9 @@ mod proptests {
             let trace: usize = (0..4).map(|i| m[i][i]).sum();
             prop_assert!((acc - trace as f64 / y_true.len() as f64).abs() < 1e-12);
             // Row sums reproduce class supports.
-            for c in 0..4 {
+            for (c, row_counts) in m.iter().enumerate() {
                 let support = y_true.iter().filter(|&&t| t == c).count();
-                let row: usize = m[c].iter().sum();
+                let row: usize = row_counts.iter().sum();
                 prop_assert_eq!(row, support);
             }
         }

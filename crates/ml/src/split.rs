@@ -23,8 +23,14 @@ pub fn train_test_split(
         n_test = n_test.min(examples.len());
     }
 
-    let test: Vec<Example> = order[..n_test].iter().map(|&i| examples[i].clone()).collect();
-    let train: Vec<Example> = order[n_test..].iter().map(|&i| examples[i].clone()).collect();
+    let test: Vec<Example> = order[..n_test]
+        .iter()
+        .map(|&i| examples[i].clone())
+        .collect();
+    let train: Vec<Example> = order[n_test..]
+        .iter()
+        .map(|&i| examples[i].clone())
+        .collect();
     (train, test)
 }
 
@@ -33,7 +39,9 @@ mod tests {
     use super::*;
 
     fn make(n: usize) -> Vec<Example> {
-        (0..n).map(|i| Example::new(format!("doc {i}"), i % 2)).collect()
+        (0..n)
+            .map(|i| Example::new(format!("doc {i}"), i % 2))
+            .collect()
     }
 
     #[test]

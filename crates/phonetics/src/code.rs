@@ -10,7 +10,9 @@ use std::fmt;
 /// customized variant) followed by digit groups padded to at least three
 /// digits. They key the `H_k` hash maps of the token database, so the type
 /// implements `Borrow<str>` for zero-copy map probes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct SoundexCode(String);
 
 impl SoundexCode {
@@ -105,7 +107,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut v = vec![
+        let mut v = [
             SoundexCode::from("TH000"),
             SoundexCode::from("DI630"),
             SoundexCode::from("RE1425"),

@@ -33,7 +33,10 @@ impl CustomSoundex {
     /// literally). The paper materializes `k ∈ {0, 1, 2}` and defaults to
     /// `k = 1` for Look Up.
     pub fn new(k: usize) -> Self {
-        CustomSoundex { k, max_digits: None }
+        CustomSoundex {
+            k,
+            max_digits: None,
+        }
     }
 
     /// Restrict the digit portion to at most `max_digits` digits
@@ -66,6 +69,15 @@ impl CustomSoundex {
     /// though `1`'s primary reading is `l`.
     pub fn encode_all(&self, token: &str) -> Vec<SoundexCode> {
         let mut out: Vec<SoundexCode> = Vec::with_capacity(2);
+        self.encode_all_into(token, &mut out);
+        out
+    }
+
+    /// Like [`CustomSoundex::encode_all`], but clears and fills a
+    /// caller-provided buffer so query-side encoding reuses one allocation
+    /// across lookups (the read-path hot loop drives this).
+    pub fn encode_all_into(&self, token: &str, out: &mut Vec<SoundexCode>) {
+        out.clear();
         for variant in skeleton_variants(token) {
             // Variants keep joiners; reduce to letters only.
             let letters: String = variant.chars().filter(char::is_ascii_lowercase).collect();
@@ -75,7 +87,6 @@ impl CustomSoundex {
                 }
             }
         }
-        out
     }
 
     /// Encode a pre-computed lowercase-letter skeleton.

@@ -176,11 +176,9 @@ impl SocialPlatform {
                 } else {
                     Platform::Twitter
                 };
-                let created_at =
-                    config.start_ms + rng.next_below(config.duration_ms.max(1));
+                let created_at = config.start_ms + rng.next_below(config.duration_ms.max(1));
                 // Long-tailed score distribution.
-                let score = (rng.next_f64().powi(3) * 500.0) as i64
-                    + if doc.toxic { 0 } else { 5 };
+                let score = (rng.next_f64().powi(3) * 500.0) as i64 + if doc.toxic { 0 } else { 5 };
                 Post {
                     id: 0, // assigned after sorting
                     platform,
@@ -244,9 +242,10 @@ impl SocialPlatform {
             return true;
         }
         let tokens = cryptext_tokenizer::words(&post.text);
-        query.keywords.iter().any(|kw| {
-            tokens.iter().any(|t| t.eq_ignore_ascii_case(kw))
-        })
+        query
+            .keywords
+            .iter()
+            .any(|kw| tokens.iter().any(|t| t.eq_ignore_ascii_case(kw)))
     }
 
     /// PushShift-style search: filter, order chronologically, paginate.
@@ -260,7 +259,11 @@ impl SocialPlatform {
         let page: Vec<Post> = matched
             .into_iter()
             .skip(query.offset)
-            .take(if query.limit == 0 { usize::MAX } else { query.limit })
+            .take(if query.limit == 0 {
+                usize::MAX
+            } else {
+                query.limit
+            })
             .cloned()
             .collect();
         SearchResults { posts: page, total }
@@ -352,9 +355,7 @@ mod tests {
                 let clean_form_remains = cryptext_tokenizer::words(&post.text)
                     .iter()
                     .any(|w| w.eq_ignore_ascii_case(&rec.original));
-                if rec.perturbed.to_ascii_lowercase() != rec.original.to_ascii_lowercase()
-                    && !clean_form_remains
-                {
+                if !rec.perturbed.eq_ignore_ascii_case(&rec.original) && !clean_form_remains {
                     let res = p.search(&SearchQuery::keyword(rec.original.clone()));
                     assert!(
                         !res.posts.iter().any(|m| m.id == post.id),
@@ -405,7 +406,10 @@ mod tests {
         };
         let res = p.search(&reddit_only);
         assert!(res.total > 0);
-        assert!(res.posts.iter().all(|post| post.platform == Platform::Reddit));
+        assert!(res
+            .posts
+            .iter()
+            .all(|post| post.platform == Platform::Reddit));
         assert!(res.total < p.len(), "both platforms present");
     }
 
@@ -419,10 +423,18 @@ mod tests {
         assert_eq!(page1.total, all.total);
         assert_eq!(page1.posts.len(), 10.min(all.total));
         if all.total > 10 {
-            assert_ne!(page1.posts.last().unwrap().id, page2.posts.first().unwrap().id);
+            assert_ne!(
+                page1.posts.last().unwrap().id,
+                page2.posts.first().unwrap().id
+            );
         }
         // Concatenation of pages == full prefix.
-        let ids: Vec<u64> = page1.posts.iter().chain(&page2.posts).map(|p| p.id).collect();
+        let ids: Vec<u64> = page1
+            .posts
+            .iter()
+            .chain(&page2.posts)
+            .map(|p| p.id)
+            .collect();
         let expected: Vec<u64> = all.posts.iter().take(20).map(|p| p.id).collect();
         assert_eq!(ids, expected);
     }

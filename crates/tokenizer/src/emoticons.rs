@@ -8,44 +8,9 @@
 /// `:-` + `)`. Kept small and high-precision: false emoticon positives
 /// would eat word characters.
 pub const EMOTICONS: &[&str] = &[
-    ":'-(",
-    ":'-)",
-    ":-))",
-    ">:-(",
-    ":'(",
-    ":')",
-    ":-)",
-    ":-(",
-    ":-D",
-    ":-P",
-    ":-/",
-    ":-|",
-    ":-O",
-    ":-*",
-    ";-)",
-    ">:(",
-    "=))",
-    ":)",
-    ":(",
-    ":D",
-    ":P",
-    ":/",
-    ":|",
-    ":O",
-    ":*",
-    ";)",
-    ";(",
-    "=)",
-    "=(",
-    "<3",
-    "</3",
-    "^_^",
-    "-_-",
-    "o_O",
-    "O_o",
-    "T_T",
-    "xD",
-    "XD",
+    ":'-(", ":'-)", ":-))", ">:-(", ":'(", ":')", ":-)", ":-(", ":-D", ":-P", ":-/", ":-|", ":-O",
+    ":-*", ";-)", ">:(", "=))", ":)", ":(", ":D", ":P", ":/", ":|", ":O", ":*", ";)", ";(", "=)",
+    "=(", "<3", "</3", "^_^", "-_-", "o_O", "O_o", "T_T", "xD", "XD",
 ];
 
 /// Is `s` exactly an emoticon?
@@ -61,7 +26,10 @@ pub fn match_emoticon_at(rest: &str) -> Option<usize> {
         if let Some(after) = rest.strip_prefix(e) {
             let boundary = match after.chars().next() {
                 None => true,
-                Some(c) => c.is_whitespace() || c.is_alphanumeric() && !e.ends_with(|x: char| x.is_alphanumeric()),
+                Some(c) => {
+                    c.is_whitespace()
+                        || c.is_alphanumeric() && !e.ends_with(|x: char| x.is_alphanumeric())
+                }
             };
             // Also accept further punctuation like "." after the emoticon.
             let boundary = boundary

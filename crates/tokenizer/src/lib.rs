@@ -64,7 +64,11 @@ impl Token {
 /// or joiners (`mus-lim`, `don't`).
 #[inline]
 fn is_word_interior(c: char) -> bool {
-    c.is_alphanumeric() || matches!(c, '\'' | '-' | '_' | '@' | '$' | '!' | '*' | '+' | '€' | '£' | '¢')
+    c.is_alphanumeric()
+        || matches!(
+            c,
+            '\'' | '-' | '_' | '@' | '$' | '!' | '*' | '+' | '€' | '£' | '¢'
+        )
         || cryptext_confusables::fold_char(c).is_some()
 }
 
@@ -125,7 +129,11 @@ pub fn tokenize(input: &str) -> Vec<Token> {
             let body_start = start + c.len_utf8();
             let body_end = scan_while(input, body_start, |c| c.is_alphanumeric() || c == '_');
             if body_end > body_start {
-                let kind = if c == '@' { TokenKind::Mention } else { TokenKind::Hashtag };
+                let kind = if c == '@' {
+                    TokenKind::Mention
+                } else {
+                    TokenKind::Hashtag
+                };
                 push_span(&mut tokens, input, start..body_end, kind);
                 advance_to(&mut iter, body_end);
                 continue;
@@ -145,7 +153,10 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 }
             }
             let text = &input[start..end];
-            let kind = if text.chars().all(|c| c.is_ascii_digit() || matches!(c, '.' | ',')) {
+            let kind = if text
+                .chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, '.' | ','))
+            {
                 TokenKind::Number
             } else if text.chars().any(char::is_alphanumeric) {
                 TokenKind::Word
@@ -234,11 +245,9 @@ fn match_url(input: &str, start: usize) -> Option<usize> {
     } else {
         return None;
     };
-    let end = scan_while(
-        input,
-        start + prefix_len,
-        |c| !c.is_whitespace() && c != '"' && c != '<' && c != '>',
-    );
+    let end = scan_while(input, start + prefix_len, |c| {
+        !c.is_whitespace() && c != '"' && c != '<' && c != '>'
+    });
     (end > start + prefix_len).then_some(end)
 }
 
@@ -268,9 +277,18 @@ mod tests {
 
     #[test]
     fn perturbed_words_stay_whole() {
-        assert_eq!(words("thinking about suic1de"), vec!["thinking", "about", "suic1de"]);
-        assert_eq!(words("the republic@@ns lie"), vec!["the", "republic@@ns", "lie"]);
-        assert_eq!(words("dem0cr@ts and cla$$"), vec!["dem0cr@ts", "and", "cla$$"]);
+        assert_eq!(
+            words("thinking about suic1de"),
+            vec!["thinking", "about", "suic1de"]
+        );
+        assert_eq!(
+            words("the republic@@ns lie"),
+            vec!["the", "republic@@ns", "lie"]
+        );
+        assert_eq!(
+            words("dem0cr@ts and cla$$"),
+            vec!["dem0cr@ts", "and", "cla$$"]
+        );
         assert_eq!(words("mus-lim ban"), vec!["mus-lim", "ban"]);
         assert_eq!(words("that is porrrrn"), vec!["that", "is", "porrrrn"]);
     }
@@ -318,14 +336,20 @@ mod tests {
     #[test]
     fn emoticons_detected_at_boundaries() {
         let ts = kinds("sad :( but ok <3");
-        assert!(ts.iter().any(|(t, k)| t == ":(" && *k == TokenKind::Emoticon));
-        assert!(ts.iter().any(|(t, k)| t == "<3" && *k == TokenKind::Emoticon));
+        assert!(ts
+            .iter()
+            .any(|(t, k)| t == ":(" && *k == TokenKind::Emoticon));
+        assert!(ts
+            .iter()
+            .any(|(t, k)| t == "<3" && *k == TokenKind::Emoticon));
     }
 
     #[test]
     fn numbers_are_numbers() {
         let ts = kinds("in 2021, 67% were negative");
-        assert!(ts.iter().any(|(t, k)| t == "2021" && *k == TokenKind::Number));
+        assert!(ts
+            .iter()
+            .any(|(t, k)| t == "2021" && *k == TokenKind::Number));
         assert!(ts.iter().any(|(t, k)| t == "67" && *k == TokenKind::Number));
     }
 
@@ -340,7 +364,12 @@ mod tests {
     fn spans_match_source() {
         let input = "The democRATs… and RepubLIEcans!";
         for t in tokenize(input) {
-            assert_eq!(&input[t.span.clone()], t.text, "span integrity for {:?}", t.text);
+            assert_eq!(
+                &input[t.span.clone()],
+                t.text,
+                "span integrity for {:?}",
+                t.text
+            );
         }
     }
 

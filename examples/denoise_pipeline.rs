@@ -57,7 +57,10 @@ fn main() {
     let denoised_model = NaiveBayes::train(&clean_train, 2, 1.0);
 
     let y_true: Vec<usize> = test_docs.iter().map(|d| usize::from(d.toxic)).collect();
-    let raw_pred: Vec<usize> = test_docs.iter().map(|d| raw_model.predict(&d.text)).collect();
+    let raw_pred: Vec<usize> = test_docs
+        .iter()
+        .map(|d| raw_model.predict(&d.text))
+        .collect();
     let denoised_pred: Vec<usize> = test_docs
         .iter()
         .map(|d| denoised_model.predict(&normalize(&d.text)))
@@ -75,7 +78,10 @@ fn main() {
         .sum();
 
     println!("toxicity classification on heavily perturbed text:");
-    println!("  raw pipeline       : {:.1}%", accuracy(&y_true, &raw_pred) * 100.0);
+    println!(
+        "  raw pipeline       : {:.1}%",
+        accuracy(&y_true, &raw_pred) * 100.0
+    );
     println!(
         "  de-noised pipeline : {:.1}%  ({} tokens corrected in the test set)",
         accuracy(&y_true, &denoised_pred) * 100.0,

@@ -32,7 +32,9 @@ fn main() {
         let perturbations = look_up(
             &db,
             keyword,
-            LookupParams::paper_default().perturbations_only().observed(),
+            LookupParams::paper_default()
+                .perturbations_only()
+                .observed(),
         )
         .expect("lookup");
         let mut terms = vec![keyword.to_string()];

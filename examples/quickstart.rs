@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use cryptext::prelude::*;
 use cryptext::core::{NormalizeParams, PerturbParams};
+use cryptext::prelude::*;
 
 fn main() -> Result<()> {
     // 1. Curate a database from raw human-written text (Table I corpus
@@ -38,7 +38,10 @@ fn main() -> Result<()> {
     let hits = cryptext.look_up("republicans", LookupParams::paper_default())?;
     println!("\nLook Up  P_x for x = \"republicans\":");
     for h in &hits {
-        println!("  {:<14} count={} distance={}", h.token, h.count, h.distance);
+        println!(
+            "  {:<14} count={} distance={}",
+            h.token, h.count, h.distance
+        );
     }
 
     // 3. Normalization: de-perturb a noisy post.
@@ -48,7 +51,10 @@ fn main() -> Result<()> {
     println!("  in : {noisy}");
     println!("  out: {}", normalized.text);
     for c in &normalized.corrections {
-        println!("    {} → {} (score {:.2})", c.original, c.replacement, c.score);
+        println!(
+            "    {} → {} (score {:.2})",
+            c.original, c.replacement, c.score
+        );
     }
 
     // 4. Perturbation: rewrite clean text with observed human spellings.

@@ -45,7 +45,10 @@ fn main() {
     let cryptext = CrypText::new(db);
 
     let y_true: Vec<usize> = test.iter().map(|e| e.label).collect();
-    println!("toxicity accuracy under perturbation (test set: {} docs)", test.len());
+    println!(
+        "toxicity accuracy under perturbation (test set: {} docs)",
+        test.len()
+    );
     println!("{:>5} {:>18} {:>12}", "r", "cryptext (human)", "textbugger");
     for ratio in [0.0, 0.15, 0.25, 0.5] {
         // CrypText: only observed human-written replacements.

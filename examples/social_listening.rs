@@ -27,7 +27,12 @@ fn main() {
     };
     for word in ["vaccine", "democrats"] {
         let report = listener.watch(&platform, word, &config).expect("watch");
-        println!("watching {:?} — {} total posts across {} spellings", word, report.total_posts(), report.terms.len());
+        println!(
+            "watching {:?} — {} total posts across {} spellings",
+            word,
+            report.total_posts(),
+            report.terms.len()
+        );
         for term in report.terms.iter().take(8) {
             let spark: String = term
                 .counts
@@ -46,7 +51,11 @@ fn main() {
                 term.total,
                 spark,
                 term.overall_negative_fraction() * 100.0,
-                if term.is_perturbation { "  (perturbation)" } else { "" }
+                if term.is_perturbation {
+                    "  (perturbation)"
+                } else {
+                    ""
+                }
             );
         }
         println!();

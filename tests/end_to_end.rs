@@ -27,7 +27,12 @@ fn crawl_lookup_normalize_perturb_listen() {
 
     // Look Up finds wild perturbations of sensitive words.
     let hits = cx
-        .look_up("vaccine", LookupParams::paper_default().perturbations_only().observed())
+        .look_up(
+            "vaccine",
+            LookupParams::paper_default()
+                .perturbations_only()
+                .observed(),
+        )
         .expect("lookup");
     assert!(!hits.is_empty(), "wild perturbations of 'vaccine' found");
     for h in &hits {
@@ -44,12 +49,10 @@ fn crawl_lookup_normalize_perturb_listen() {
             let out = cx
                 .normalize(&post.text, NormalizeParams::default())
                 .expect("normalize");
-            let case_only =
-                rec.perturbed.to_ascii_lowercase() == rec.original.to_ascii_lowercase();
+            let case_only = rec.perturbed.eq_ignore_ascii_case(&rec.original);
             if case_only
                 || out.corrections.iter().any(|c| {
-                    c.original == rec.perturbed
-                        && c.replacement.eq_ignore_ascii_case(&rec.original)
+                    c.original == rec.perturbed && c.replacement.eq_ignore_ascii_case(&rec.original)
                 })
             {
                 recovered += 1;
@@ -58,7 +61,10 @@ fn crawl_lookup_normalize_perturb_listen() {
     }
     assert!(checked > 50, "enough gold pairs sampled: {checked}");
     let rate = recovered as f64 / checked as f64;
-    assert!(rate > 0.7, "normalization recovers most gold pairs: {rate:.2}");
+    assert!(
+        rate > 0.7,
+        "normalization recovers most gold pairs: {rate:.2}"
+    );
 
     // Perturbation only emits database tokens.
     let out = cx

@@ -57,7 +57,11 @@ fn full_api_surface_with_one_token() {
     assert_eq!(norm.text, "the vaccine mandate");
 
     let pert = svc
-        .perturb(&token, "the vaccine mandate", PerturbParams::with_ratio(1.0))
+        .perturb(
+            &token,
+            "the vaccine mandate",
+            PerturbParams::with_ratio(1.0),
+        )
         .unwrap();
     assert!(pert.replacements.len() + pert.misses > 0);
 }
@@ -69,7 +73,8 @@ fn cache_carries_repeat_traffic() {
     let queries = ["democrats", "republicans", "vaccine", "muslim"];
     for _ in 0..50 {
         for q in queries {
-            svc.look_up(&token, q, LookupParams::paper_default()).unwrap();
+            svc.look_up(&token, q, LookupParams::paper_default())
+                .unwrap();
         }
     }
     let CacheStats { hits, misses, .. } = svc.cache_stats();
@@ -109,7 +114,10 @@ fn concurrent_clients_are_isolated() {
             let mut ok = 0;
             for i in 0..100 {
                 let q = ["democrats", "vaccine", "republicans"][i % 3];
-                if svc.look_up(&token, q, LookupParams::paper_default()).is_ok() {
+                if svc
+                    .look_up(&token, q, LookupParams::paper_default())
+                    .is_ok()
+                {
                     ok += 1;
                 }
             }

@@ -1,0 +1,278 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter` / `iter_batched`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — as
+//! a simple wall-clock harness: per benchmark it runs a short warm-up,
+//! collects a fixed number of timed samples, and prints mean / p50 / p99
+//! per-iteration times. No statistics engine, no HTML reports, but honest
+//! comparable numbers on the same machine within the same run.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized; the shim treats all variants alike.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Explicit iteration count per batch.
+    NumBatches(u64),
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 20,
+            target_sample_time: Duration::from_millis(40),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_count_override: None,
+        }
+    }
+
+    /// Register a stand-alone benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
+        let stats = run_bench(self.sample_count, self.target_sample_time, f);
+        print_result(name.as_ref(), &stats, None);
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count_override: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count_override = Some(n.clamp(5, 200));
+        self
+    }
+
+    /// Declare per-iteration throughput for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self
+            .sample_count_override
+            .unwrap_or(self.criterion.sample_count);
+        let stats = run_bench(samples, self.criterion.target_sample_time, f);
+        print_result(
+            &format!("{}/{}", self.name, name.as_ref()),
+            &stats,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing statistics (nanoseconds per iteration).
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Mean ns/iter over all samples.
+    pub mean_ns: f64,
+    /// Median ns/iter.
+    pub p50_ns: f64,
+    /// 99th-percentile ns/iter.
+    pub p99_ns: f64,
+}
+
+/// The per-benchmark measurement handle passed to bench closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly, recording per-iteration wall time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_budget {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples
+                .push(total.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_bench(samples: usize, target: Duration, mut f: impl FnMut(&mut Bencher)) -> Stats {
+    // Calibration pass: one iteration per sample, one sample.
+    let mut probe = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_budget: 1,
+    };
+    f(&mut probe);
+    let per_iter_ns = probe.samples.first().copied().unwrap_or(1.0).max(1.0);
+    let iters = ((target.as_nanos() as f64 / per_iter_ns).ceil() as u64).clamp(1, 1_000_000);
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(samples),
+        sample_budget: samples,
+    };
+    f(&mut bencher);
+    stats_of(&mut bencher.samples)
+}
+
+fn stats_of(samples: &mut [f64]) -> Stats {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = samples.len().max(1);
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let pick = |q: f64| samples[(((n - 1) as f64) * q).round() as usize];
+    Stats {
+        mean_ns: mean,
+        p50_ns: if samples.is_empty() { 0.0 } else { pick(0.5) },
+        p99_ns: if samples.is_empty() { 0.0 } else { pick(0.99) },
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn print_result(name: &str, stats: &Stats, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{name:<44} time: [mean {} p50 {} p99 {}]",
+        fmt_ns(stats.mean_ns),
+        fmt_ns(stats.p50_ns),
+        fmt_ns(stats.p99_ns)
+    );
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Bytes(n) => format!(
+                "{:.1} MiB/s",
+                n as f64 / (stats.mean_ns / 1e9) / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (stats.mean_ns / 1e9)),
+        };
+        line.push_str(&format!(" thrpt: {per_sec}"));
+    }
+    println!("{line}");
+}
+
+/// Bundle benchmark functions into a runnable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn stats_quantiles() {
+        let mut s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let st = stats_of(&mut s);
+        assert!((st.mean_ns - 50.5).abs() < 1e-9);
+        assert!(st.p50_ns >= 50.0 && st.p50_ns <= 51.0);
+        assert!(st.p99_ns >= 99.0);
+    }
+}

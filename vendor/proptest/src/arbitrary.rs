@@ -1,0 +1,89 @@
+//! `any::<T>()` and the [`Arbitrary`] trait.
+
+use std::marker::PhantomData;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-range generation strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy over the full value range of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values across a wide magnitude range.
+
+        rng.unit_f64() * 2e12 - 1e12
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        crate::pattern::Pattern::parse("\\PC")
+            .generate(rng)
+            .chars()
+            .next()
+            .expect("one char")
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::new(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::new(9);
+        let mut bytes = std::collections::HashSet::new();
+        for _ in 0..200 {
+            bytes.insert(any::<u8>().generate(&mut rng));
+        }
+        assert!(bytes.len() > 50);
+        let f = any::<f64>().generate(&mut rng);
+        assert!(f.is_finite());
+    }
+}

@@ -1,0 +1,49 @@
+//! Character strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Uniform characters in `[lo, hi]` (inclusive); surrogate gaps are
+/// re-rolled.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "inverted char range");
+    CharRange { lo, hi }
+}
+
+/// See [`range`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: char,
+    hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        loop {
+            let cp = rng.range_u64(self.lo as u64, self.hi as u64) as u32;
+            if let Some(c) = char::from_u32(cp) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_range() {
+        let strat = range('a', 'z');
+        let mut rng = TestRng::new(8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let c = strat.generate(&mut rng);
+            assert!(c.is_ascii_lowercase());
+            seen.insert(c);
+        }
+        assert!(seen.len() > 20, "covers most of the range");
+    }
+}

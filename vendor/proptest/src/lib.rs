@@ -1,0 +1,103 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_recursive` and boxing, `any::<T>()`, string-pattern strategies
+//! (`"[a-z]{1,6}"`, `"\\PC{0,16}"`), numeric range strategies, tuples,
+//! [`collection::vec`] / [`collection::btree_map`], [`option::of`],
+//! [`sample::subsequence`] / [`sample::Index`], [`char::range`], and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!` macros.
+//!
+//! Differences from the real crate: inputs are generated from a
+//! deterministic per-test PRNG (seeded from the test name, overridable
+//! case count via `PROPTEST_CASES`), and failing cases are **not shrunk**
+//! — the failing case index is reported instead so the run can be replayed.
+
+pub mod arbitrary;
+pub mod char;
+pub mod collection;
+pub mod option;
+pub mod pattern;
+pub mod prelude;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use rng::TestRng;
+
+/// Number of cases each property runs, from `PROPTEST_CASES` (default 48).
+pub fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Deterministic RNG for one (test, case) pair.
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::new(seed ^ ((case as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item expands to a normal test that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases_from_env();
+                for case in 0..cases {
+                    let mut __cx_rng = $crate::test_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __cx_rng);
+                    )+
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest case {case}/{cases} of `{}` failed (replay: deterministic seed)",
+                            stringify!($name)
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert inside a property body (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Choose uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

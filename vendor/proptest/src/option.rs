@@ -1,0 +1,46 @@
+//! `Option` strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// `Some` with probability 3/4, `None` with probability 1/4.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.ratio(1, 4) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let strat = of(0u8..=255);
+        let mut rng = TestRng::new(1);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..400 {
+            match strat.generate(&mut rng) {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+        }
+        assert!(some > 100 && none > 20, "some={some} none={none}");
+    }
+}

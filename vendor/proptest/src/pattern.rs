@@ -1,0 +1,211 @@
+//! Tiny string-pattern generator covering the regex subset this workspace
+//! uses in strategies: character classes `[a-z0-9 @#!.,$]` (with ranges),
+//! the printable-character class `\PC`, literal characters, and `{m}` /
+//! `{m,n}` repeat counts.
+
+use crate::rng::TestRng;
+
+const UNICODE_EXTRAS: &[char] = &['é', 'ß', 'Ω', 'д', 'ç', 'ñ', '中', '🙂', '€', '—', 'а', 'ö'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Explicit character set.
+    Class(Vec<char>),
+    /// Any printable character (`\PC`): ASCII graphic/space plus a sprinkle
+    /// of multi-byte codepoints so UTF-8 handling gets exercised.
+    Printable,
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern: a sequence of repeated atoms.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+impl Pattern {
+    /// Parse `src`; panics on syntax this mini-engine does not support, so
+    /// unsupported patterns fail loudly at test time rather than silently
+    /// generating the wrong language.
+    pub fn parse(src: &str) -> Pattern {
+        let chars: Vec<char> = src.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {src:?}"));
+                    let set = parse_class(&chars[i + 1..close], src);
+                    i = close + 1;
+                    Atom::Class(set)
+                }
+                '\\' => {
+                    let tail: String = chars[i + 1..].iter().take(2).collect();
+                    if tail.starts_with("PC") {
+                        i += 3;
+                        Atom::Printable
+                    } else {
+                        let c = *chars
+                            .get(i + 1)
+                            .unwrap_or_else(|| panic!("dangling escape in pattern {src:?}"));
+                        i += 2;
+                        Atom::Literal(c)
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {src:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in {src:?}")),
+                        hi.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in {src:?}")),
+                    ),
+                    None => {
+                        let n = body
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in {src:?}"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted repeat in pattern {src:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        Pattern { pieces }
+    }
+
+    /// Generate one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Class(set) => out.push(set[rng.below(set.len())]),
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Printable => out.push(printable(rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_class(body: &[char], src: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in pattern {src:?}");
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "inverted class range in pattern {src:?}");
+            for cp in lo..=hi {
+                if let Some(c) = char::from_u32(cp) {
+                    set.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    if rng.ratio(1, 8) {
+        UNICODE_EXTRAS[rng.below(UNICODE_EXTRAS.len())]
+    } else {
+        // ASCII space through tilde.
+        char::from_u32(32 + rng.below(95) as u32).expect("printable ascii")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_repeat() {
+        let p = Pattern::parse("[a-d]{0,12}");
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = p.generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class_literals() {
+        let p = Pattern::parse("[a-z0-9 @#!.,$]{0,60}");
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let s = p.generate(&mut rng);
+            assert!(s.chars().count() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || " @#!.,$".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_class_produces_valid_utf8_strings() {
+        let p = Pattern::parse("\\PC{0,16}");
+        let mut rng = TestRng::new(3);
+        let mut saw_multibyte = false;
+        for _ in 0..500 {
+            let s = p.generate(&mut rng);
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            saw_multibyte |= s.len() != s.chars().count();
+        }
+        assert!(saw_multibyte, "unicode extras should appear");
+    }
+
+    #[test]
+    fn single_char_class_defaults_to_one() {
+        let p = Pattern::parse("[a-c]");
+        let mut rng = TestRng::new(4);
+        for _ in 0..50 {
+            assert_eq!(p.generate(&mut rng).chars().count(), 1);
+        }
+    }
+
+    #[test]
+    fn exact_repeat() {
+        let p = Pattern::parse("[x]{3}");
+        let mut rng = TestRng::new(5);
+        assert_eq!(p.generate(&mut rng), "xxx");
+    }
+}

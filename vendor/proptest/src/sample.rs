@@ -1,0 +1,97 @@
+//! Sampling strategies: random indexes and subsequences.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// A generated index that projects onto any runtime collection length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Wrap a raw value.
+    pub fn new(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// Project onto `[0, len)`; `len` must be nonzero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.raw % len
+    }
+}
+
+/// Strategy for order-preserving subsequences of `items` whose length is
+/// drawn from `size` (clamped to the collection length).
+pub fn subsequence<T: Clone>(
+    items: Vec<T>,
+    size: impl Into<crate::collection::SizeRange>,
+) -> SubsequenceStrategy<T> {
+    SubsequenceStrategy {
+        items,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+pub struct SubsequenceStrategy<T> {
+    items: Vec<T>,
+    size: crate::collection::SizeRange,
+}
+
+impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let want = self.size.pick(rng).min(self.items.len());
+        // Floyd's algorithm for `want` distinct indices, then sort to keep
+        // original order.
+        let mut picked: Vec<usize> = Vec::with_capacity(want);
+        let n = self.items.len();
+        for j in n - want..n {
+            let t = rng.below(j + 1);
+            if picked.contains(&t) {
+                picked.push(j);
+            } else {
+                picked.push(t);
+            }
+        }
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_projects() {
+        let i = Index::new(1_000_003);
+        assert!(i.index(7) < 7);
+        assert_eq!(i.index(1), 0);
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let strat = subsequence(vec![1, 2, 3, 4, 5], 1..4);
+        let mut rng = TestRng::new(6);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!((1..4).contains(&s.len()));
+            for w in s.windows(2) {
+                assert!(w[0] < w[1], "order preserved: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn subsequence_size_clamps_to_len() {
+        let strat = subsequence(vec![1, 2], 1..10);
+        let mut rng = TestRng::new(7);
+        for _ in 0..50 {
+            assert!(strat.generate(&mut rng).len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros for the vendored `serde` shim.
+//!
+//! The workspace only uses `#[derive(serde::Serialize, serde::Deserialize)]`
+//! as forward-looking annotations; nothing serializes through serde yet (the
+//! docstore has its own binary encoding). With no network access to a crates
+//! registry, these derives expand to nothing so the annotations stay legal.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any input item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any input item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

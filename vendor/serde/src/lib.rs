@@ -1,0 +1,10 @@
+//! Vendored stand-in for the `serde` facade.
+//!
+//! The workspace derives `serde::Serialize` / `serde::Deserialize` on a
+//! handful of types as forward-looking annotations; actual persistence goes
+//! through `cryptext-docstore`'s own binary encoding. This shim re-exports
+//! no-op derive macros so those annotations compile without registry access.
+//! If real serde becomes available, swapping the path dependency for the
+//! crates.io package is a drop-in change.
+
+pub use serde_derive_shim::{Deserialize, Serialize};
