@@ -4,7 +4,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cryptext_bench::{build_db, build_platform};
-use cryptext_core::{CrypText, NormalizeParams, PerturbParams, TokenDatabase};
+use cryptext_core::{
+    CrypText, NormalizeParams, NormalizeScratch, Normalizer, PerturbParams, TokenDatabase,
+};
 use cryptext_ml::{Classifier, Example, NaiveBayes};
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -20,6 +22,36 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 cx.normalize(black_box(perturbed_text), NormalizeParams::default())
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("normalize_sentence_scratch", |b| {
+        let normalizer = Normalizer::new(cx.language_model());
+        let mut scratch = NormalizeScratch::new();
+        b.iter(|| {
+            black_box(
+                normalizer
+                    .normalize_with(
+                        cx.database(),
+                        black_box(perturbed_text),
+                        NormalizeParams::default(),
+                        &mut scratch,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("normalize_sentence_naive", |b| {
+        let normalizer = Normalizer::new(cx.language_model());
+        b.iter(|| {
+            black_box(
+                normalizer
+                    .normalize_naive(
+                        cx.database(),
+                        black_box(perturbed_text),
+                        NormalizeParams::default(),
+                    )
                     .unwrap(),
             )
         })

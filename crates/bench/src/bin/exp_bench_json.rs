@@ -1,20 +1,30 @@
 //! Experiment B0 — **performance trajectory**: machine-readable lookup /
 //! normalize throughput over a seeded corpus, written to
-//! `BENCH_lookup.json` at the workspace root so successive PRs have
-//! comparable numbers (same seed, same query mix, same machine class).
+//! `BENCH_lookup.json` and `BENCH_normalize.json` at the workspace root so
+//! successive PRs have comparable numbers (same seed, same query mix, same
+//! machine class).
 //!
 //! Reports, per engine path:
 //!
-//! * `queries_per_sec` — cold Look Up throughput (no service cache),
-//! * `p50_us` / `p99_us` — per-query latency quantiles in microseconds,
+//! * `queries_per_sec` / `texts_per_sec` — cold throughput (no service
+//!   cache),
+//! * `p50_us` / `p99_us` — per-call latency quantiles in microseconds,
 //! * the optimized-over-naive speedup ratio for the paper-default
-//!   `k = 1, d = 3` workload,
+//!   workloads (`k = 1, d = 3` Look Up; default-parameter Normalization),
+//! * result-shape invariants (`total_hits`, `corrections_total`) that must
+//!   never drift — the optimized engines are byte-identical rewrites,
 //! * database shape (tokens, sounds, occurrences) and ingest timing
 //!   (sequential vs parallel batch).
 //!
 //! ```text
 //! cargo run --release -p cryptext-bench --bin exp_bench_json
 //! ```
+//!
+//! With `--check`, nothing is rewritten: the invariant fields are
+//! recomputed and compared against the committed JSON files, exiting
+//! non-zero on drift. CI runs this as a bench smoke test, so a change that
+//! silently alters retrieval or correction results fails the build even
+//! when every latency number looks plausible.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -22,13 +32,15 @@ use std::time::Instant;
 use cryptext_bench::{build_db, build_platform};
 use cryptext_core::{
     look_up_naive, look_up_with, CrypText, LookupParams, LookupScratch, NormalizeParams,
-    TokenDatabase,
+    NormalizeScratch, Normalizer, TokenDatabase,
 };
 
 const N_POSTS: usize = 4_000;
 const SEED: u64 = 7;
 const WARMUP_ROUNDS: usize = 4;
 const MEASURE_ROUNDS: usize = 40;
+const NORM_TEXTS: usize = 200;
+const NORM_ROUNDS: usize = 4;
 
 struct Measured {
     queries_per_sec: f64,
@@ -60,34 +72,105 @@ fn measure(queries: &[&str], rounds: usize, mut f: impl FnMut(&str) -> usize) ->
     }
 }
 
-fn json_block(out: &mut String, name: &str, m: &Measured, last: bool) {
+fn json_block(out: &mut String, name: &str, m: &Measured, hits_key: &str, last: bool) {
     let _ = writeln!(out, "    \"{name}\": {{");
     let _ = writeln!(out, "      \"queries_per_sec\": {:.1},", m.queries_per_sec);
     let _ = writeln!(out, "      \"p50_us\": {:.2},", m.p50_us);
     let _ = writeln!(out, "      \"p99_us\": {:.2},", m.p99_us);
-    let _ = writeln!(out, "      \"total_hits\": {}", m.total_hits);
+    let _ = writeln!(out, "      \"{hits_key}\": {}", m.total_hits);
     let _ = writeln!(out, "    }}{}", if last { "" } else { "," });
 }
 
+/// Every integer value attached to `key` in (our own, flat) JSON output.
+fn extract_ints(json: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\":");
+    json.lines()
+        .filter_map(|line| {
+            let idx = line.find(&needle)?;
+            let rest = line[idx + needle.len()..].trim();
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().ok()
+        })
+        .collect()
+}
+
+/// The deterministic result-shape invariants of one measurement round.
+struct Invariants {
+    hits_per_round: usize,
+    corrections_per_round: usize,
+}
+
+fn compute_invariants(
+    db: &TokenDatabase,
+    cx: &CrypText,
+    queries: &[&str],
+    norm_texts: &[&str],
+) -> Invariants {
+    let mut scratch = LookupScratch::new();
+    let params = LookupParams::paper_default();
+    let hits_per_round = queries
+        .iter()
+        .map(|q| look_up_with(db, q, params, &mut scratch).unwrap().len())
+        .sum();
+    let corrections_per_round = norm_texts
+        .iter()
+        .map(|t| {
+            cx.normalize(t, NormalizeParams::default())
+                .unwrap()
+                .corrections
+                .len()
+        })
+        .sum();
+    Invariants {
+        hits_per_round,
+        corrections_per_round,
+    }
+}
+
+fn check_committed(expected: &Invariants) -> Result<(), String> {
+    let lookup_json = std::fs::read_to_string("BENCH_lookup.json")
+        .map_err(|e| format!("read BENCH_lookup.json: {e}"))?;
+    let norm_json = std::fs::read_to_string("BENCH_normalize.json")
+        .map_err(|e| format!("read BENCH_normalize.json: {e}"))?;
+
+    let want_hits = (expected.hits_per_round * MEASURE_ROUNDS) as u64;
+    let committed_hits = extract_ints(&lookup_json, "total_hits");
+    if committed_hits.is_empty() {
+        return Err("BENCH_lookup.json has no total_hits fields".into());
+    }
+    for (i, &h) in committed_hits.iter().enumerate() {
+        if h != want_hits {
+            return Err(format!(
+                "total_hits[{i}] drifted: committed {h}, recomputed {want_hits}"
+            ));
+        }
+    }
+
+    let want_corrections = (expected.corrections_per_round * NORM_ROUNDS) as u64;
+    let committed_corrections = extract_ints(&norm_json, "corrections_total");
+    if committed_corrections.is_empty() {
+        return Err("BENCH_normalize.json has no corrections_total fields".into());
+    }
+    for (i, &c) in committed_corrections.iter().enumerate() {
+        if c != want_corrections {
+            return Err(format!(
+                "corrections_total[{i}] drifted: committed {c}, recomputed {want_corrections}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
+    let check_only = std::env::args().any(|a| a == "--check");
+
     let platform = build_platform(N_POSTS, SEED);
     let texts: Vec<String> = platform.posts().iter().map(|p| p.text.clone()).collect();
 
-    // Ingest timing: the same corpus sequentially and in one parallel batch.
-    let ingest_seq_start = Instant::now();
-    let mut db_seq = TokenDatabase::with_lexicon();
-    for t in &texts {
-        db_seq.ingest_text(t);
-    }
-    let ingest_seq_ms = ingest_seq_start.elapsed().as_secs_f64() * 1e3;
-
-    let ingest_par_start = Instant::now();
-    let mut db_par = TokenDatabase::with_lexicon();
-    db_par.ingest_texts(&texts);
-    let ingest_par_ms = ingest_par_start.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(db_seq.stats(), db_par.stats(), "parallel ingest must agree");
-
-    let db = build_db(&platform);
+    // One lexicon-seeded database serves both the raw lookup measurements
+    // and (wrapped in CrypText) the normalization measurements.
+    let cx = CrypText::new(build_db(&platform));
+    let db = cx.database();
     let stats = db.stats();
 
     // A query mix of clean words, observed perturbations, and misses.
@@ -109,36 +192,108 @@ fn main() {
     .collect();
     let params = LookupParams::paper_default();
 
+    // Normalization over a slice of real (perturbed) feed texts.
+    let norm_texts: Vec<&str> = texts.iter().take(NORM_TEXTS).map(|s| s.as_str()).collect();
+
+    if check_only {
+        let invariants = compute_invariants(db, &cx, &queries, &norm_texts);
+        match check_committed(&invariants) {
+            Ok(()) => {
+                println!(
+                    "bench invariants ok: total_hits {} per round × {MEASURE_ROUNDS}, \
+                     corrections {} per round × {NORM_ROUNDS}",
+                    invariants.hits_per_round, invariants.corrections_per_round
+                );
+                return;
+            }
+            Err(msg) => {
+                eprintln!("bench invariant drift: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Ingest timing: the same corpus sequentially and in one parallel
+    // batch. Measurement-mode only — check mode never reads the timings,
+    // and the seq == par equivalence is already pinned by unit tests.
+    let ingest_seq_start = Instant::now();
+    let mut db_seq = TokenDatabase::with_lexicon();
+    for t in &texts {
+        db_seq.ingest_text(t);
+    }
+    let ingest_seq_ms = ingest_seq_start.elapsed().as_secs_f64() * 1e3;
+
+    let ingest_par_start = Instant::now();
+    let mut db_par = TokenDatabase::with_lexicon();
+    db_par.ingest_texts(&texts);
+    let ingest_par_ms = ingest_par_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(db_seq.stats(), db_par.stats(), "parallel ingest must agree");
+
     let mut scratch = LookupScratch::new();
     for _ in 0..WARMUP_ROUNDS {
         for q in &queries {
-            let _ = look_up_with(&db, q, params, &mut scratch).unwrap();
-            let _ = look_up_naive(&db, q, params).unwrap();
+            let _ = look_up_with(db, q, params, &mut scratch).unwrap();
+            let _ = look_up_naive(db, q, params).unwrap();
         }
     }
 
     let optimized = measure(&queries, MEASURE_ROUNDS, |q| {
-        look_up_with(&db, q, params, &mut scratch).unwrap().len()
+        look_up_with(db, q, params, &mut scratch).unwrap().len()
     });
     let naive = measure(&queries, MEASURE_ROUNDS, |q| {
-        look_up_naive(&db, q, params).unwrap().len()
+        look_up_naive(db, q, params).unwrap().len()
     });
     assert_eq!(
         optimized.total_hits, naive.total_hits,
         "engines must retrieve identical result sets"
     );
-    let speedup = naive.p50_us / optimized.p50_us;
+    let lookup_speedup = naive.p50_us / optimized.p50_us;
 
-    // Normalization throughput (drives Look Up per out-of-dictionary word).
-    let cx = CrypText::new(db);
-    let norm_texts: Vec<&str> = texts.iter().take(200).map(|s| s.as_str()).collect();
-    let norm = measure(&norm_texts, 2, |t| {
-        cx.normalize(t, NormalizeParams::default())
+    // Normalization: the zero-copy scratch-reusing engine vs the kept
+    // naive reference, on identical texts.
+    let normalizer = Normalizer::new(cx.language_model());
+    let mut norm_scratch = NormalizeScratch::new();
+    for t in &norm_texts {
+        let fast = normalizer
+            .normalize_with(
+                cx.database(),
+                t,
+                NormalizeParams::default(),
+                &mut norm_scratch,
+            )
+            .unwrap();
+        let slow = normalizer
+            .normalize_naive(cx.database(), t, NormalizeParams::default())
+            .unwrap();
+        assert_eq!(fast, slow, "normalization engines must agree on {t:?}");
+    }
+
+    let norm_opt = measure(&norm_texts, NORM_ROUNDS, |t| {
+        normalizer
+            .normalize_with(
+                cx.database(),
+                t,
+                NormalizeParams::default(),
+                &mut norm_scratch,
+            )
             .unwrap()
             .corrections
             .len()
     });
+    let norm_naive = measure(&norm_texts, NORM_ROUNDS, |t| {
+        normalizer
+            .normalize_naive(cx.database(), t, NormalizeParams::default())
+            .unwrap()
+            .corrections
+            .len()
+    });
+    assert_eq!(
+        norm_opt.total_hits, norm_naive.total_hits,
+        "engines must produce identical corrections"
+    );
+    let norm_speedup = norm_naive.p50_us / norm_opt.p50_us;
 
+    // ---- BENCH_lookup.json (same shape as PR 1, for trajectory diffs) ----
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"lookup\",");
@@ -157,24 +312,52 @@ fn main() {
         cryptext_common::par::max_threads()
     );
     let _ = writeln!(out, "  \"lookup_k1_d3\": {{");
-    json_block(&mut out, "optimized", &optimized, false);
-    json_block(&mut out, "naive", &naive, false);
+    json_block(&mut out, "optimized", &optimized, "total_hits", false);
+    json_block(&mut out, "naive", &naive, "total_hits", false);
     let _ = writeln!(
         out,
-        "    \"speedup_p50_naive_over_optimized\": {speedup:.2}"
+        "    \"speedup_p50_naive_over_optimized\": {lookup_speedup:.2}"
     );
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"normalize_default\": {{");
-    let _ = writeln!(out, "    \"texts_per_sec\": {:.1},", norm.queries_per_sec);
-    let _ = writeln!(out, "    \"p50_us\": {:.2},", norm.p50_us);
-    let _ = writeln!(out, "    \"p99_us\": {:.2}", norm.p99_us);
+    let _ = writeln!(
+        out,
+        "    \"texts_per_sec\": {:.1},",
+        norm_opt.queries_per_sec
+    );
+    let _ = writeln!(out, "    \"p50_us\": {:.2},", norm_opt.p50_us);
+    let _ = writeln!(out, "    \"p99_us\": {:.2}", norm_opt.p99_us);
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");
-
     std::fs::write("BENCH_lookup.json", &out).expect("write BENCH_lookup.json");
     print!("{out}");
+
+    // ---- BENCH_normalize.json (optimized vs naive, invariants) ----
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"normalize\",");
+    let _ = writeln!(
+        out,
+        "  \"corpus\": {{ \"posts\": {N_POSTS}, \"seed\": {SEED}, \"texts\": {NORM_TEXTS}, \"rounds\": {NORM_ROUNDS} }},"
+    );
+    let _ = writeln!(out, "  \"normalize_default\": {{");
+    json_block(&mut out, "optimized", &norm_opt, "corrections_total", false);
+    json_block(&mut out, "naive", &norm_naive, "corrections_total", false);
+    let _ = writeln!(
+        out,
+        "    \"speedup_p50_naive_over_optimized\": {norm_speedup:.2}"
+    );
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    std::fs::write("BENCH_normalize.json", &out).expect("write BENCH_normalize.json");
+    print!("{out}");
+
     eprintln!(
-        "lookup p50: optimized {:.2}µs vs naive {:.2}µs → {speedup:.2}x",
+        "lookup p50: optimized {:.2}µs vs naive {:.2}µs → {lookup_speedup:.2}x",
         optimized.p50_us, naive.p50_us
+    );
+    eprintln!(
+        "normalize p50: optimized {:.2}µs vs naive {:.2}µs → {norm_speedup:.2}x",
+        norm_opt.p50_us, norm_naive.p50_us
     );
 }

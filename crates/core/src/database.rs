@@ -47,7 +47,7 @@ use cryptext_common::par::par_map;
 use cryptext_common::{Error, Result};
 use cryptext_docstore::{Database, Document, Filter, Value};
 use cryptext_phonetics::{CustomSoundex, SoundexCode, MAX_PHONETIC_LEVEL};
-use cryptext_tokenizer::{tokenize, TokenKind};
+use cryptext_tokenizer::tokenize_spans;
 
 /// Number of materialized phonetic levels (`k = 0, 1, 2`).
 pub const NUM_LEVELS: usize = MAX_PHONETIC_LEVEL + 1;
@@ -184,9 +184,16 @@ enum PreparedWord {
     /// Too short or no phonetic content; counts toward the token total but
     /// is not stored.
     Skip,
-    /// Already in the database when the batch was prepared; only the
-    /// occurrence count changes.
-    Counted(String),
+    /// Already in the database when the batch was prepared; the record id
+    /// was resolved during the parallel phase, so the sequential merge
+    /// bumps the count directly without re-probing `by_token` (the extra
+    /// probe per token used to make batch ingest slower than sequential on
+    /// single-core hosts).
+    Known(u32),
+    /// Repeat of a new token first seen earlier in the same text; its
+    /// `Fresh` occurrence merges first, so the merge resolves this one
+    /// against `by_token`.
+    Repeat(String),
     /// New token with phonetic codes precomputed in the parallel phase.
     Fresh(String, Box<[Vec<SoundexCode>; NUM_LEVELS]>),
 }
@@ -315,11 +322,12 @@ impl TokenDatabase {
         let mut n = 0;
         let mut all_english = true;
         let mut any_word = false;
-        for tok in tokenize(text) {
-            if tok.kind == TokenKind::Word {
+        for tok in tokenize_spans(text) {
+            if tok.is_word() {
+                let word = tok.text(text);
                 any_word = true;
-                self.ingest_token(&tok.text);
-                if !cryptext_corpus::is_english_word(&tok.text) {
+                self.ingest_token(word);
+                if !cryptext_corpus::is_english_word(word) {
                     all_english = false;
                 }
                 n += 1;
@@ -333,7 +341,10 @@ impl TokenDatabase {
 
     /// Ingest a batch of texts, parallelizing the expensive per-token work
     /// (tokenization, confusable folding, Soundex encoding at all levels)
-    /// across cores and merging sequentially in input order.
+    /// across cores and merging sequentially in input order. Tokens already
+    /// present when the batch is prepared carry their resolved record id
+    /// into the merge, so the sequential phase is a plain count bump per
+    /// known token — no second `by_token` probe.
     ///
     /// The resulting database state — record ids, bucket posting order,
     /// counts, clean sentences — is **identical** to calling
@@ -348,8 +359,15 @@ impl TokenDatabase {
             for word in prep.words {
                 match word {
                     PreparedWord::Skip => {}
-                    PreparedWord::Counted(t) => {
-                        self.upsert_token(&t, 1);
+                    PreparedWord::Known(id) => {
+                        self.records[id as usize].count += 1;
+                    }
+                    PreparedWord::Repeat(t) => {
+                        let id = *self
+                            .by_token
+                            .get(t.as_str())
+                            .expect("Repeat follows its Fresh within one text");
+                        self.records[id as usize].count += 1;
                     }
                     PreparedWord::Fresh(t, codes) => {
                         // An earlier text in this batch may have inserted it
@@ -373,6 +391,8 @@ impl TokenDatabase {
     }
 
     /// The read-only, parallel-safe half of ingest: tokenize and encode.
+    /// Token text is borrowed from `text` throughout; owned `String`s are
+    /// materialized only for genuinely new tokens.
     fn prepare_text(&self, text: &str) -> PreparedText {
         let mut words = Vec::new();
         let mut any_word = false;
@@ -381,31 +401,32 @@ impl TokenDatabase {
         // as `Fresh` (later occurrences just count), false = unencodable
         // (later occurrences skip). Avoids re-running the 3-level encoder
         // for every repeat of the same new word.
-        let mut local: FxHashMap<String, bool> = FxHashMap::default();
-        for tok in tokenize(text) {
-            if tok.kind != TokenKind::Word {
+        let mut local: FxHashMap<&str, bool> = FxHashMap::default();
+        for tok in tokenize_spans(text) {
+            if !tok.is_word() {
                 continue;
             }
+            let t = tok.text(text);
             any_word = true;
-            if !cryptext_corpus::is_english_word(&tok.text) {
+            if !cryptext_corpus::is_english_word(t) {
                 all_english = false;
             }
-            let word = if tok.text.chars().count() < 2 {
+            let word = if t.chars().count() < 2 {
                 PreparedWord::Skip
-            } else if self.by_token.contains_key(&tok.text) {
-                PreparedWord::Counted(tok.text)
+            } else if let Some(&id) = self.by_token.get(t) {
+                PreparedWord::Known(id)
             } else {
-                match local.get(&tok.text) {
-                    Some(true) => PreparedWord::Counted(tok.text),
+                match local.get(t) {
+                    Some(true) => PreparedWord::Repeat(t.to_string()),
                     Some(false) => PreparedWord::Skip,
                     None => {
-                        let codes = self.compute_codes(&tok.text);
+                        let codes = self.compute_codes(t);
                         if codes[0].is_empty() {
-                            local.insert(tok.text, false);
+                            local.insert(t, false);
                             PreparedWord::Skip // no phonetic content
                         } else {
-                            local.insert(tok.text.clone(), true);
-                            PreparedWord::Fresh(tok.text, Box::new(codes))
+                            local.insert(t, true);
+                            PreparedWord::Fresh(t.to_string(), Box::new(codes))
                         }
                     }
                 }

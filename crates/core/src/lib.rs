@@ -37,8 +37,10 @@ pub mod service;
 use cryptext_common::Result;
 
 pub use database::{SoundScratch, TokenDatabase, TokenRecord, TokenStats};
-pub use lookup::{look_up, look_up_naive, look_up_with, LookupHit, LookupParams, LookupScratch};
-pub use normalize::{NormalizeParams, Normalizer};
+pub use lookup::{
+    for_each_hit, look_up, look_up_naive, look_up_with, LookupHit, LookupParams, LookupScratch,
+};
+pub use normalize::{NormalizeParams, NormalizeScratch, Normalizer};
 pub use perturb::{PerturbParams, Perturber};
 
 /// The assembled CrypText system: a token database plus the language model

@@ -77,14 +77,16 @@ pub struct LookupHit {
     pub is_english: bool,
 }
 
-/// Reusable working memory for [`look_up_with`]: the generation-marked
-/// bucket-walk state plus the bounded-Levenshtein DP rows. One instance
+/// Reusable working memory for [`look_up_with`] / [`for_each_hit`]: the
+/// generation-marked bucket-walk state, the bounded-Levenshtein scratch
+/// (DP rows + Myers bitmaps), and the query case-fold buffer. One instance
 /// per thread (or per bulk request) makes the whole retrieval path
-/// allocation-free per candidate.
+/// allocation-free per candidate — and, for ASCII queries, per query.
 #[derive(Debug, Default)]
 pub struct LookupScratch {
     sound: SoundScratch,
     edit: EditScratch,
+    query: String,
 }
 
 impl LookupScratch {
@@ -108,26 +110,48 @@ pub fn look_up(db: &TokenDatabase, token: &str, params: LookupParams) -> Result<
     SHARED_LOOKUP_SCRATCH.with(|scratch| look_up_with(db, token, params, &mut scratch.borrow_mut()))
 }
 
-/// [`look_up`] with caller-provided scratch buffers.
+/// Visit every Look Up hit for `token` without materializing owned hit
+/// structs — the zero-copy sibling of [`look_up_with`] and the engine under
+/// Normalization candidate scoring.
 ///
-/// The hot loop is allocation-free per candidate: the query is folded
-/// once, each candidate's precomputed fold/length comes straight off its
-/// [`crate::database::TokenRecord`], a length-difference pre-filter skips
-/// hopeless candidates before any DP work, and the bounded Levenshtein
-/// runs through reusable scratch rows (ASCII inputs never decode chars).
-pub fn look_up_with(
-    db: &TokenDatabase,
+/// `f` receives each matching record's id, the borrowed
+/// [`crate::database::TokenRecord`], and its case-folded Levenshtein
+/// distance to the query. Records arrive in **bucket insertion order**
+/// (the order [`TokenDatabase::for_each_sound_mate`] walks postings), not
+/// hit-sorted order; callers that need the public `(distance, count,
+/// token)` ordering should use [`look_up_with`], which sorts.
+///
+/// The hot loop is allocation-free per candidate *and* per ASCII query:
+/// the query fold reuses a scratch buffer, each candidate's precomputed
+/// fold/length comes straight off its record, a length-difference
+/// pre-filter skips hopeless candidates before any distance work, and the
+/// bounded Levenshtein runs bit-parallel (Myers) through reusable scratch.
+pub fn for_each_hit<'a, F>(
+    db: &'a TokenDatabase,
     token: &str,
     params: LookupParams,
     scratch: &mut LookupScratch,
-) -> Result<Vec<LookupHit>> {
+    mut f: F,
+) -> Result<()>
+where
+    F: FnMut(u32, &'a TokenRecord, usize),
+{
     TokenDatabase::check_level(params.k)?;
-    let query_folded = token.to_lowercase();
+    let LookupScratch { sound, edit, query } = scratch;
+    // Fold the query into the reusable buffer. ASCII folding is identical
+    // to `str::to_lowercase` for ASCII input; non-ASCII queries take the
+    // allocating Unicode path (final-sigma etc. must match the reference).
+    query.clear();
+    if token.is_ascii() {
+        query.push_str(token);
+        query.make_ascii_lowercase();
+    } else {
+        *query = token.to_lowercase();
+    }
+    let query_folded: &str = query;
     let query_chars = query_folded.chars().count();
 
-    let LookupScratch { sound, edit } = scratch;
-    let mut hits: Vec<LookupHit> = Vec::with_capacity(16);
-    db.for_each_sound_mate(params.k, token, sound, |_, rec| {
+    db.for_each_sound_mate(params.k, token, sound, |id, rec| {
         if params.observed_only && rec.count == 0 {
             return;
         }
@@ -139,15 +163,29 @@ pub fn look_up_with(
             return;
         }
         if let Some(distance) =
-            levenshtein_bounded_scratch(&query_folded, &rec.folded, params.d, edit)
+            levenshtein_bounded_scratch(query_folded, &rec.folded, params.d, edit)
         {
-            hits.push(LookupHit {
-                token: rec.token.clone(),
-                count: rec.count,
-                distance,
-                is_english: rec.is_english,
-            });
+            f(id, rec, distance);
         }
+    })
+}
+
+/// [`look_up`] with caller-provided scratch buffers: drives
+/// [`for_each_hit`] and materializes the sorted public hit list.
+pub fn look_up_with(
+    db: &TokenDatabase,
+    token: &str,
+    params: LookupParams,
+    scratch: &mut LookupScratch,
+) -> Result<Vec<LookupHit>> {
+    let mut hits: Vec<LookupHit> = Vec::with_capacity(16);
+    for_each_hit(db, token, params, scratch, |_, rec, distance| {
+        hits.push(LookupHit {
+            token: rec.token.clone(),
+            count: rec.count,
+            distance,
+            is_english: rec.is_english,
+        });
     })?;
     // Hit keys are unique (one record per token string), so an unstable
     // sort yields the same order as the reference's stable sort.
@@ -352,6 +390,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn visitor_yields_exactly_the_lookup_hits() {
+        let d = db();
+        let mut scratch = LookupScratch::new();
+        for q in ["republicans", "suic1de", "the", "zzzzzz", "vãccine"] {
+            for params in [
+                LookupParams::paper_default(),
+                LookupParams::new(1, 2).perturbations_only(),
+                LookupParams::new(0, 3).observed(),
+            ] {
+                let mut visited: Vec<LookupHit> = Vec::new();
+                for_each_hit(&d, q, params, &mut scratch, |id, rec, distance| {
+                    assert_eq!(d.records()[id as usize], *rec, "id ↔ record agree");
+                    visited.push(LookupHit {
+                        token: rec.token.clone(),
+                        count: rec.count,
+                        distance,
+                        is_english: rec.is_english,
+                    });
+                })
+                .unwrap();
+                visited.sort_unstable_by(hit_order);
+                let reference = look_up_with(&d, q, params, &mut scratch).unwrap();
+                assert_eq!(visited, reference, "query {q:?} params {params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn visitor_rejects_invalid_level() {
+        let d = db();
+        let mut scratch = LookupScratch::new();
+        assert!(for_each_hit(
+            &d,
+            "the",
+            LookupParams::new(9, 1),
+            &mut scratch,
+            |_, _, _| {}
+        )
+        .is_err());
     }
 
     #[test]

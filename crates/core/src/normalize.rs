@@ -15,13 +15,39 @@
 //! substitute. The full candidate list with scores is exposed (the paper's
 //! "advanced users can retrieve all candidates w* and their coherency
 //! scores via a provided API").
+//!
+//! # Hot-path layout
+//!
+//! Normalization used to re-run an allocating [`look_up`] per
+//! out-of-dictionary token — cloning every hit's token `String`, cloning
+//! again into lowercased candidate words, and re-probing the LM hash
+//! tables for every candidate of every token. The hot path now mirrors the
+//! Look Up engine's zero-copy discipline:
+//!
+//! * **Candidates stream through [`for_each_hit`]** — no intermediate
+//!   owned hit vector; non-English records are skipped before any scoring.
+//! * **Candidate words borrow the database** (`Cow::Borrowed` into each
+//!   record's precomputed fold for the ASCII common case); owned `String`s
+//!   are materialized only for the final, truncated candidate list.
+//! * **One [`NormalizeScratch`] serves a whole text**: the Look Up scratch
+//!   (visited marks, Myers/DP buffers, query fold) plus a
+//!   generation-marked [`CoherencyCache`] that memoizes LM scores per
+//!   resolved `(context, candidate)` window, so candidates repeated across
+//!   tokens never re-probe the n-gram tables.
+//!
+//! [`Normalizer::normalize_naive`] preserves the pre-optimization pipeline
+//! verbatim; proptests pin the optimized output (text, corrections,
+//! candidate ordering, scores) byte-identical against it.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
 
 use cryptext_common::Result;
-use cryptext_lm::NgramLm;
-use cryptext_tokenizer::{splice, tokenize, Token};
+use cryptext_lm::{CoherencyCache, NgramLm};
+use cryptext_tokenizer::{splice, tokenize, tokenize_spans, Token};
 
 use crate::database::TokenDatabase;
-use crate::lookup::{look_up, LookupParams};
+use crate::lookup::{for_each_hit, look_up, LookupParams, LookupScratch};
 
 /// Parameters of a Normalization pass.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +118,37 @@ impl NormalizationResult {
     }
 }
 
+/// Reusable working memory for a Normalization pass: the Look Up retrieval
+/// scratch plus the LM coherency memo table. One instance per thread (or
+/// per bulk request) makes per-token candidate retrieval allocation-free
+/// and de-duplicates LM probes across a text.
+#[derive(Debug, Default)]
+pub struct NormalizeScratch {
+    lookup: LookupScratch,
+    lm_cache: CoherencyCache,
+}
+
+impl NormalizeScratch {
+    /// Fresh scratch space (allocates lazily on first use).
+    pub fn new() -> Self {
+        NormalizeScratch::default()
+    }
+}
+
+thread_local! {
+    static SHARED_NORM_SCRATCH: RefCell<NormalizeScratch> =
+        RefCell::new(NormalizeScratch::new());
+}
+
+/// A candidate scored against the database without owning its word: the
+/// common (ASCII) case borrows the record's precomputed fold. Owned
+/// `Candidate`s are materialized only after dedup + rank + truncate.
+struct ScoredCand<'d> {
+    word: Cow<'d, str>,
+    score: f64,
+    distance: usize,
+}
+
 /// The Normalization engine: a language model for coherency scoring.
 pub struct Normalizer<'a> {
     lm: &'a NgramLm,
@@ -109,49 +166,99 @@ impl<'a> Normalizer<'a> {
         cryptext_corpus::is_english_word(token)
     }
 
-    /// Score and rank dictionary candidates for one token.
-    fn candidates_for(
+    /// Stream, score, dedup, and rank dictionary candidates for one token
+    /// into `buf`. Equivalent to the naive look-up-then-clone pipeline
+    /// (see [`Normalizer::normalize_naive`]) but zero-copy per candidate.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_candidates<'d>(
         &self,
-        db: &TokenDatabase,
+        db: &'d TokenDatabase,
         token: &str,
         left: &[&str],
         right: &[&str],
         params: NormalizeParams,
-    ) -> Result<Vec<Candidate>> {
-        let hits = look_up(db, token, LookupParams::new(params.k, params.d))?;
-        let mut cands: Vec<Candidate> = hits
-            .into_iter()
-            .filter(|h| h.is_english)
-            .map(|h| {
-                let word = h.token.to_ascii_lowercase();
-                let coherency = self.lm.coherency(&word, left, right);
-                let prior = self.lm.unigram_log_prob(&word);
-                let score = coherency - params.edit_penalty * h.distance as f64
-                    + params.prior_weight * prior;
-                Candidate {
-                    word,
-                    score,
-                    distance: h.distance,
-                }
-            })
-            .collect();
+        scratch: &mut NormalizeScratch,
+        buf: &mut Vec<ScoredCand<'d>>,
+    ) -> Result<()> {
+        buf.clear();
+        let NormalizeScratch { lookup, lm_cache } = scratch;
+        let retrieval = LookupParams::new(params.k, params.d);
+        for_each_hit(db, token, retrieval, lookup, |_, rec, distance| {
+            if !rec.is_english {
+                return;
+            }
+            // The reference lowercases the raw surface form with
+            // `to_ascii_lowercase`; for ASCII tokens that equals the
+            // record's precomputed Unicode fold, so borrow it.
+            let word: Cow<'d, str> = if rec.token.is_ascii() {
+                Cow::Borrowed(rec.folded.as_str())
+            } else {
+                Cow::Owned(rec.token.to_ascii_lowercase())
+            };
+            let coherency = self.lm.coherency_cached(&word, left, right, lm_cache);
+            let prior = self.lm.unigram_log_prob(&word);
+            let score =
+                coherency - params.edit_penalty * distance as f64 + params.prior_weight * prior;
+            buf.push(ScoredCand {
+                word,
+                score,
+                distance,
+            });
+        })?;
         // Same dictionary word may appear under several surface forms;
-        // keep the best-scoring instance of each.
-        cands.sort_by(|a, b| {
+        // keep the best-scoring instance of each. Candidates tied on
+        // (word, score) are interchangeable — equal word implies equal
+        // fold, distance, and score — so visiting in bucket order rather
+        // than hit-sorted order cannot change the surviving values.
+        buf.sort_by(|a, b| {
             a.word.cmp(&b.word).then(
                 b.score
                     .partial_cmp(&a.score)
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
-        cands.dedup_by(|a, b| a.word == b.word);
-        cands.sort_by(|a, b| {
+        buf.dedup_by(|a, b| a.word == b.word);
+        buf.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        cands.truncate(params.max_candidates);
-        Ok(cands)
+        buf.truncate(params.max_candidates);
+        Ok(())
+    }
+
+    /// The scratch-threading core of [`Normalizer::normalize_token`].
+    #[allow(clippy::too_many_arguments)]
+    fn normalize_token_with<'d>(
+        &self,
+        db: &'d TokenDatabase,
+        token: &str,
+        left: &[&str],
+        right: &[&str],
+        params: NormalizeParams,
+        scratch: &mut NormalizeScratch,
+        buf: &mut Vec<ScoredCand<'d>>,
+    ) -> Result<Option<(String, f64, Vec<Candidate>)>> {
+        if Self::is_clean(token) {
+            return Ok(None);
+        }
+        self.collect_candidates(db, token, left, right, params, scratch, buf)?;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let cands: Vec<Candidate> = buf
+            .iter()
+            .map(|c| Candidate {
+                word: c.word.clone().into_owned(),
+                score: c.score,
+                distance: c.distance,
+            })
+            .collect();
+        let replacement = cands[0].word.clone();
+        let score = cands[0].score;
+        // Move the list out — the winner is duplicated once (the returned
+        // replacement string), not the whole candidate vector.
+        Ok(Some((replacement, score, cands)))
     }
 
     /// Normalize one token given its context; `None` when the token is
@@ -164,18 +271,100 @@ impl<'a> Normalizer<'a> {
         right: &[&str],
         params: NormalizeParams,
     ) -> Result<Option<(String, f64, Vec<Candidate>)>> {
-        if Self::is_clean(token) {
-            return Ok(None);
-        }
-        let cands = self.candidates_for(db, token, left, right, params)?;
-        match cands.first() {
-            None => Ok(None),
-            Some(best) => Ok(Some((best.word.clone(), best.score, cands.clone()))),
-        }
+        // No up-front level validation: like the seed, clean tokens stand
+        // (`Ok(None)`) before the retrieval path ever inspects `params.k`.
+        SHARED_NORM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.lm_cache.begin();
+            let mut buf: Vec<ScoredCand> = Vec::new();
+            self.normalize_token_with(db, token, left, right, params, scratch, &mut buf)
+        })
     }
 
     /// Normalize a whole text (§III-C, Fig. 2).
+    ///
+    /// Uses a thread-local [`NormalizeScratch`]; callers managing their
+    /// own scratch (bulk endpoints, benches) should call
+    /// [`Normalizer::normalize_with`].
     pub fn normalize(
+        &self,
+        db: &TokenDatabase,
+        text: &str,
+        params: NormalizeParams,
+    ) -> Result<NormalizationResult> {
+        SHARED_NORM_SCRATCH
+            .with(|scratch| self.normalize_with(db, text, params, &mut scratch.borrow_mut()))
+    }
+
+    /// [`Normalizer::normalize`] with caller-provided scratch buffers. One
+    /// scratch serves the whole text: candidate retrieval reuses the
+    /// Look Up buffers per token and LM coherency probes are memoized
+    /// across tokens (fresh memo generation per text).
+    pub fn normalize_with(
+        &self,
+        db: &TokenDatabase,
+        text: &str,
+        params: NormalizeParams,
+        scratch: &mut NormalizeScratch,
+    ) -> Result<NormalizationResult> {
+        TokenDatabase::check_level(params.k)?;
+        scratch.lm_cache.begin();
+        // Zero-copy tokenization: word texts are slices of `text`, and the
+        // lowercased context words borrow them unless a fold is needed.
+        let word_spans: Vec<std::ops::Range<usize>> = tokenize_spans(text)
+            .into_iter()
+            .filter(|t| t.is_word())
+            .map(|t| t.span)
+            .collect();
+        let words_lower: Vec<Cow<str>> = word_spans
+            .iter()
+            .map(|span| {
+                let w = &text[span.clone()];
+                if w.bytes().any(|b| b.is_ascii_uppercase()) {
+                    Cow::Owned(w.to_ascii_lowercase())
+                } else {
+                    Cow::Borrowed(w)
+                }
+            })
+            .collect();
+        let word_refs: Vec<&str> = words_lower.iter().map(|s| s.as_ref()).collect();
+
+        let mut buf: Vec<ScoredCand> = Vec::new();
+        let mut corrections: Vec<Correction> = Vec::new();
+        let mut replacements: Vec<(std::ops::Range<usize>, String)> = Vec::new();
+        for (wi, span) in word_spans.iter().enumerate() {
+            let token = &text[span.clone()];
+            let left_start = wi.saturating_sub(2);
+            let left = &word_refs[left_start..wi];
+            let right_end = (wi + 3).min(word_refs.len());
+            let right = &word_refs[wi + 1..right_end];
+            if let Some((replacement, score, candidates)) =
+                self.normalize_token_with(db, token, left, right, params, scratch, &mut buf)?
+            {
+                replacements.push((span.clone(), replacement.clone()));
+                corrections.push(Correction {
+                    original: token.to_string(),
+                    replacement,
+                    span: span.clone(),
+                    score,
+                    candidates,
+                });
+            }
+        }
+        Ok(NormalizationResult {
+            text: splice(text, &replacements),
+            corrections,
+        })
+    }
+
+    /// The pre-optimization Normalization, kept as the differential-testing
+    /// and benchmarking reference. It reproduces the seed pipeline
+    /// faithfully: every out-of-dictionary token re-runs an allocating
+    /// [`look_up`] (cloning each hit), lowercases every candidate into a
+    /// fresh `String`, re-probes the LM for every candidate of every
+    /// token, and clones the winning candidate list on return. Must return
+    /// byte-identical results to [`Normalizer::normalize`].
+    pub fn normalize_naive(
         &self,
         db: &TokenDatabase,
         text: &str,
@@ -209,7 +398,7 @@ impl<'a> Normalizer<'a> {
                 .map(|s| s.as_str())
                 .collect();
             if let Some((replacement, score, candidates)) =
-                self.normalize_token(db, &tok.text, &left, &right, params)?
+                self.normalize_token_naive(db, &tok.text, &left, &right, params)?
             {
                 replacements.push((tok.span.clone(), replacement.clone()));
                 corrections.push(Correction {
@@ -225,6 +414,56 @@ impl<'a> Normalizer<'a> {
             text: splice(text, &replacements),
             corrections,
         })
+    }
+
+    /// The seed's per-token path: allocating candidate retrieval and the
+    /// double-clone return (`best.word.clone()` + `cands.clone()`).
+    fn normalize_token_naive(
+        &self,
+        db: &TokenDatabase,
+        token: &str,
+        left: &[&str],
+        right: &[&str],
+        params: NormalizeParams,
+    ) -> Result<Option<(String, f64, Vec<Candidate>)>> {
+        if Self::is_clean(token) {
+            return Ok(None);
+        }
+        let hits = look_up(db, token, LookupParams::new(params.k, params.d))?;
+        let mut cands: Vec<Candidate> = hits
+            .into_iter()
+            .filter(|h| h.is_english)
+            .map(|h| {
+                let word = h.token.to_ascii_lowercase();
+                let coherency = self.lm.coherency(&word, left, right);
+                let prior = self.lm.unigram_log_prob(&word);
+                let score = coherency - params.edit_penalty * h.distance as f64
+                    + params.prior_weight * prior;
+                Candidate {
+                    word,
+                    score,
+                    distance: h.distance,
+                }
+            })
+            .collect();
+        cands.sort_by(|a, b| {
+            a.word.cmp(&b.word).then(
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        cands.dedup_by(|a, b| a.word == b.word);
+        cands.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        cands.truncate(params.max_candidates);
+        match cands.first() {
+            None => Ok(None),
+            Some(best) => Ok(Some((best.word.clone(), best.score, cands.clone()))),
+        }
     }
 }
 
@@ -371,6 +610,16 @@ mod tests {
             ..NormalizeParams::default()
         };
         assert!(n.normalize(&db, "whatever", params).is_err());
+        assert!(n.normalize_naive(&db, "whatever", params).is_err());
+        assert!(n
+            .normalize_token(&db, "whatever", &[], &[], params)
+            .is_err());
+        // Seed behavior: a clean token stands before the retrieval path
+        // ever validates the level.
+        assert!(n
+            .normalize_token(&db, "the", &[], &[], params)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -386,6 +635,152 @@ mod tests {
             .unwrap()
         {
             assert_eq!(cands.len(), 1);
+        }
+    }
+
+    #[test]
+    fn optimized_matches_naive_on_fixture_texts() {
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let mut scratch = NormalizeScratch::new();
+        for text in [
+            "Biden belongs to the demokRATs",
+            "the vacc1ne mandate was announced and the vacc1ne again",
+            "so the demokRATs and the vacc1ne push",
+            "clean text stays clean",
+            "qzxqzx happened 🙂 ok",
+            "",
+            "suic1de suic1de suic1de",
+        ] {
+            for params in [
+                NormalizeParams::default(),
+                NormalizeParams {
+                    max_candidates: 1,
+                    ..NormalizeParams::default()
+                },
+                NormalizeParams {
+                    k: 0,
+                    d: 2,
+                    ..NormalizeParams::default()
+                },
+            ] {
+                let fast = n.normalize_with(&db, text, params, &mut scratch).unwrap();
+                let slow = n.normalize_naive(&db, text, params).unwrap();
+                assert_eq!(fast, slow, "text {text:?} params {params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_texts_is_clean() {
+        // The same scratch (lookup buffers + LM memo generations) across
+        // many different texts must never leak state between texts.
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let mut scratch = NormalizeScratch::new();
+        let texts = [
+            "the demokRATs won",
+            "the vacc1ne mandate",
+            "thinking about suic1de",
+            "the demokRATs won",
+        ];
+        let isolated: Vec<NormalizationResult> = texts
+            .iter()
+            .map(|t| {
+                let mut fresh = NormalizeScratch::new();
+                n.normalize_with(&db, t, NormalizeParams::default(), &mut fresh)
+                    .unwrap()
+            })
+            .collect();
+        let reused: Vec<NormalizationResult> = texts
+            .iter()
+            .map(|t| {
+                n.normalize_with(&db, t, NormalizeParams::default(), &mut scratch)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(isolated, reused);
+        assert_eq!(isolated[0], isolated[3], "same text → same result");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cryptext_lm::NgramLm;
+    use proptest::prelude::*;
+
+    /// A corpus alphabet that exercises leet fan-out (1 ↔ i/l, @ ↔ a) and
+    /// real dictionary collisions against the seeded lexicon.
+    fn word() -> impl Strategy<Value = String> {
+        "[a-e1@]{2,8}"
+    }
+
+    fn text_strategy() -> impl Strategy<Value = String> {
+        proptest::collection::vec(word(), 0..10).prop_map(|ws| ws.join(" "))
+    }
+
+    proptest! {
+        /// Differential pin: the zero-copy scratch-reusing Normalization
+        /// returns byte-identical results — de-perturbed text, corrections
+        /// (spans, scores), and full candidate ordering — to the kept
+        /// naive reference, across random corpora, texts, and parameters.
+        #[test]
+        fn optimized_equals_naive_reference(
+            corpus in proptest::collection::vec(text_strategy(), 1..8),
+            lm_texts in proptest::collection::vec(text_strategy(), 1..6),
+            texts in proptest::collection::vec(text_strategy(), 1..6),
+            k in 0usize..=2,
+            d in 1usize..=3,
+            max_candidates in 1usize..=8,
+        ) {
+            let mut db = TokenDatabase::with_lexicon();
+            for t in &corpus {
+                db.ingest_text(t);
+            }
+            let lm = NgramLm::train(lm_texts.iter().map(|s| s.as_str()));
+            let n = Normalizer::new(&lm);
+            let params = NormalizeParams {
+                k,
+                d,
+                max_candidates,
+                ..NormalizeParams::default()
+            };
+            let mut scratch = NormalizeScratch::new();
+            for text in &texts {
+                let fast = n.normalize_with(&db, text, params, &mut scratch).unwrap();
+                let slow = n.normalize_naive(&db, text, params).unwrap();
+                prop_assert_eq!(&fast, &slow, "text {:?} params {:?}", text, params);
+                // The thread-local convenience wrapper agrees too.
+                let wrapped = n.normalize(&db, text, params).unwrap();
+                prop_assert_eq!(&wrapped, &slow);
+            }
+        }
+
+        /// Corrections always carry their winner as the first candidate,
+        /// and every candidate respects the retrieval bound `d`.
+        #[test]
+        fn corrections_are_internally_consistent(
+            corpus in proptest::collection::vec(text_strategy(), 1..6),
+            text in text_strategy(),
+        ) {
+            let mut db = TokenDatabase::with_lexicon();
+            for t in &corpus {
+                db.ingest_text(t);
+            }
+            let lm = NgramLm::train(corpus.iter().map(|s| s.as_str()));
+            let n = Normalizer::new(&lm);
+            let params = NormalizeParams::default();
+            let out = n.normalize(&db, &text, params).unwrap();
+            for c in &out.corrections {
+                prop_assert!(!c.candidates.is_empty());
+                prop_assert_eq!(&c.replacement, &c.candidates[0].word);
+                prop_assert_eq!(c.score.to_bits(), c.candidates[0].score.to_bits());
+                for cand in &c.candidates {
+                    prop_assert!(cand.distance <= params.d);
+                }
+                prop_assert_eq!(&text[c.span.clone()], c.original.as_str());
+            }
         }
     }
 }

@@ -793,7 +793,13 @@ pub fn english_lexicon() -> &'static [&'static str] {
 pub fn is_english_word(w: &str) -> bool {
     static SET: OnceLock<HashSet<String>> = OnceLock::new();
     let set = SET.get_or_init(|| english_lexicon().iter().map(|s| s.to_string()).collect());
-    set.contains(&w.to_ascii_lowercase())
+    // Tokens on the Normalization/ingest hot paths are usually already
+    // lowercase; skip the per-probe String allocation for them.
+    if w.bytes().any(|b| b.is_ascii_uppercase()) {
+        set.contains(&w.to_ascii_lowercase())
+    } else {
+        set.contains(w)
+    }
 }
 
 #[cfg(test)]

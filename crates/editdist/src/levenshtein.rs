@@ -3,19 +3,28 @@
 //! The Look Up hot path calls [`levenshtein_bounded_scratch`] once per
 //! bucket candidate; it reuses caller-provided buffers ([`EditScratch`])
 //! and takes an ASCII byte-slice fast path, so the per-candidate cost is
-//! pure DP work with zero heap allocation after warm-up.
+//! pure DP work with zero heap allocation after warm-up. ASCII pairs whose
+//! shorter side fits in a machine word after common-affix trimming run
+//! [`myers_ascii`] — Myers' bit-parallel algorithm, `O(n)` single-word
+//! operations instead of `O(d·n)` DP cells — with the banded DP kept as
+//! the fallback (long or non-ASCII inputs) and as the differential
+//! reference in tests.
 
 /// Reusable working memory for [`levenshtein_bounded_scratch`].
 ///
-/// One instance per thread (or per bulk request) amortizes the two DP rows
-/// and, for non-ASCII inputs, the char-decoding buffers across millions of
-/// candidate comparisons.
+/// One instance per thread (or per bulk request) amortizes the two DP rows,
+/// the Myers pattern-bitmap table, and, for non-ASCII inputs, the
+/// char-decoding buffers across millions of candidate comparisons.
 #[derive(Debug, Default, Clone)]
 pub struct EditScratch {
     prev: Vec<u32>,
     curr: Vec<u32>,
     a_chars: Vec<char>,
     b_chars: Vec<char>,
+    /// 128-entry `Eq` bitmap for [`myers_ascii`], indexed by ASCII byte.
+    /// Entries touched by a pattern are zeroed again after each call, so
+    /// the table never needs a full wipe.
+    peq: Vec<u64>,
 }
 
 impl EditScratch {
@@ -29,8 +38,9 @@ impl EditScratch {
 ///
 /// Semantically identical to [`levenshtein_bounded`] — returns `Some(d)`
 /// when `d = lev(a, b) <= max`, else `None` — but allocation-free per call:
-/// ASCII inputs run the banded DP directly over bytes, and non-ASCII inputs
-/// decode into reusable char buffers inside `scratch`.
+/// ASCII inputs run bit-parallel [`myers_ascii`] (or the banded DP beyond
+/// 64 chars) directly over bytes, and non-ASCII inputs decode into reusable
+/// char buffers inside `scratch`.
 pub fn levenshtein_bounded_scratch(
     a: &str,
     b: &str,
@@ -42,7 +52,7 @@ pub fn levenshtein_bounded_scratch(
     }
     if a.is_ascii() && b.is_ascii() {
         let (a, b) = trim_common_affixes(a.as_bytes(), b.as_bytes());
-        return banded_dp(a, b, max, &mut scratch.prev, &mut scratch.curr);
+        return bounded_ascii(a, b, max, scratch);
     }
     scratch.a_chars.clear();
     scratch.a_chars.extend(a.chars());
@@ -50,6 +60,103 @@ pub fn levenshtein_bounded_scratch(
     scratch.b_chars.extend(b.chars());
     let (a, b) = trim_common_affixes(&scratch.a_chars, &scratch.b_chars);
     banded_dp(a, b, max, &mut scratch.prev, &mut scratch.curr)
+}
+
+/// The ASCII dispatcher behind [`levenshtein_bounded_scratch`]: shares the
+/// length-gap / empty / single-char closed forms with [`banded_dp`], then
+/// routes word-sized patterns to [`myers_ascii`] and everything else to the
+/// banded DP.
+fn bounded_ascii(a: &[u8], b: &[u8], max: usize, scratch: &mut EditScratch) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.len() - short.len() > max {
+        return None;
+    }
+    if short.is_empty() {
+        return (long.len() <= max).then_some(long.len());
+    }
+    if short.len() == 1 {
+        let hit = long.contains(&short[0]);
+        let d = long.len() - usize::from(hit);
+        return (d <= max).then_some(d);
+    }
+    if short.len() <= 64 {
+        let d = myers_ascii_impl(short, long, scratch);
+        return (d <= max).then_some(d);
+    }
+    banded_dp(short, long, max, &mut scratch.prev, &mut scratch.curr)
+}
+
+/// Myers' bit-parallel Levenshtein distance (the 1999 `O(⌈m/w⌉·n)`
+/// algorithm, single-word case): exact edit distance between an ASCII
+/// `pattern` of length `1..=64` and an ASCII `text`, in one pass over
+/// `text` with a constant number of word operations per byte.
+///
+/// The pattern's `Eq` bitmaps live in `scratch` (128 lazily-allocated
+/// entries); only the entries a pattern actually touches are set and then
+/// cleared, so reusing one scratch across millions of calls never rescans
+/// the table.
+///
+/// # Panics
+///
+/// Panics when `pattern.len()` is outside `1..=64` or either input holds a
+/// non-ASCII byte. Both are validated **before** any scratch state is
+/// touched, so a rejected call can never poison the reusable bitmaps
+/// (enforced in release builds too; the internal hot path skips the scans
+/// because [`levenshtein_bounded_scratch`] guarantees the preconditions).
+pub fn myers_ascii(pattern: &[u8], text: &[u8], scratch: &mut EditScratch) -> usize {
+    assert!(
+        (1..=64).contains(&pattern.len()),
+        "pattern must fit one 64-bit word"
+    );
+    assert!(
+        pattern.is_ascii() && text.is_ascii(),
+        "inputs must be ASCII"
+    );
+    myers_ascii_impl(pattern, text, scratch)
+}
+
+/// [`myers_ascii`] without the precondition scans, for callers that have
+/// already guaranteed ASCII word-sized inputs.
+fn myers_ascii_impl(pattern: &[u8], text: &[u8], scratch: &mut EditScratch) -> usize {
+    let m = pattern.len();
+    debug_assert!((1..=64).contains(&m), "pattern must fit one word");
+    debug_assert!(pattern.is_ascii() && text.is_ascii());
+    let peq = &mut scratch.peq;
+    if peq.is_empty() {
+        peq.resize(128, 0);
+    }
+    for (i, &c) in pattern.iter().enumerate() {
+        peq[c as usize] |= 1u64 << i;
+    }
+
+    // Vertical positive/negative delta words; score tracks the DP cell
+    // D[m][j] as j walks the text.
+    let mut pv: u64 = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+    let mut mv: u64 = 0;
+    let mut score = m;
+    let high = 1u64 << (m - 1);
+    for &c in text {
+        let eq = peq[c as usize];
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        if ph & high != 0 {
+            score += 1;
+        }
+        if mh & high != 0 {
+            score -= 1;
+        }
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+
+    for &c in pattern {
+        peq[c as usize] = 0;
+    }
+    score
 }
 
 /// Strip the longest common prefix and suffix — neither contributes edits,
@@ -387,6 +494,71 @@ mod tests {
             levenshtein_bounded_scratch("longerword", "cut", 3, &mut scratch),
             None
         );
+    }
+
+    #[test]
+    fn myers_matches_classic_dp_on_textbook_cases() {
+        let mut scratch = EditScratch::new();
+        let pairs = [
+            ("kitten", "sitting"),
+            ("flaw", "lawn"),
+            ("republicans", "republic@@ns"),
+            ("democrats", "demorcats"),
+            ("ab", "abcdef"),
+            ("abcdef", "ab"),
+            ("xy", "xy"),
+        ];
+        for (a, b) in pairs {
+            let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            assert_eq!(
+                myers_ascii(short.as_bytes(), long.as_bytes(), &mut scratch),
+                levenshtein(a, b),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn myers_full_word_pattern() {
+        // 64-byte pattern exercises the m == 64 mask edge (1 << 64 would
+        // overflow; the implementation must use u64::MAX).
+        let mut scratch = EditScratch::new();
+        let a = "a".repeat(64);
+        let mut b = a.clone();
+        b.replace_range(10..11, "b");
+        b.push('c');
+        assert_eq!(myers_ascii(a.as_bytes(), b.as_bytes(), &mut scratch), 2);
+        assert_eq!(
+            myers_ascii(a.as_bytes(), a.as_bytes(), &mut scratch),
+            0,
+            "identical full-word inputs"
+        );
+    }
+
+    #[test]
+    fn myers_scratch_reuse_clears_pattern_bitmaps() {
+        // A second call whose pattern shares bytes with the first must not
+        // see stale Eq bits.
+        let mut scratch = EditScratch::new();
+        assert_eq!(myers_ascii(b"abc", b"abd", &mut scratch), 1);
+        assert_eq!(myers_ascii(b"cba", b"abc", &mut scratch), 2);
+        assert_eq!(myers_ascii(b"zz", b"azza", &mut scratch), 2);
+    }
+
+    #[test]
+    fn scratch_routes_long_ascii_through_banded_fallback() {
+        // Shorter side > 64 bytes after trimming: Myers cannot apply, and
+        // the banded fallback must agree with the allocating variant.
+        let mut scratch = EditScratch::new();
+        let a: String = (0..80).map(|i| char::from(b'a' + (i % 7) as u8)).collect();
+        let b: String = (0..83).map(|i| char::from(b'a' + (i % 5) as u8)).collect();
+        for max in [0, 3, 60, 100] {
+            assert_eq!(
+                levenshtein_bounded_scratch(&a, &b, max, &mut scratch),
+                levenshtein_bounded(&a, &b, max),
+                "max {max}"
+            );
+        }
     }
 
     #[test]

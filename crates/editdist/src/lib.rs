@@ -10,10 +10,12 @@
 //! * [`levenshtein`] — the classic two-row dynamic program.
 //! * [`levenshtein_bounded`] — banded DP with early exit; `O(d·min(n,m))`
 //!   instead of `O(n·m)`.
-//! * [`levenshtein_bounded_scratch`] — the hot-path workhorse: same banded
-//!   DP driven through caller-provided [`EditScratch`] buffers with an
-//!   ASCII byte-slice fast path, so per-candidate filtering allocates
-//!   nothing.
+//! * [`levenshtein_bounded_scratch`] — the hot-path workhorse: driven
+//!   through caller-provided [`EditScratch`] buffers with an ASCII
+//!   byte-slice fast path, so per-candidate filtering allocates nothing.
+//!   ASCII pairs whose shorter side fits in 64 bytes (after common-affix
+//!   trimming) run [`myers_ascii`], Myers' bit-parallel algorithm; longer
+//!   or non-ASCII inputs fall back to the banded DP.
 //! * [`damerau_osa`] — optimal-string-alignment distance counting adjacent
 //!   transposition as one edit (the TextBugger "swap" operation).
 //! * [`similarity`] — normalized similarity in `[0, 1]`.
@@ -29,7 +31,7 @@ mod levenshtein;
 pub use damerau::damerau_osa;
 pub use levenshtein::{
     levenshtein, levenshtein_bounded, levenshtein_bounded_chars, levenshtein_bounded_scratch,
-    levenshtein_chars, EditScratch,
+    levenshtein_chars, myers_ascii, EditScratch,
 };
 
 /// Normalized similarity: `1 - lev(a, b) / max(|a|, |b|)`, and `1.0` when
@@ -171,6 +173,56 @@ mod proptests {
                 levenshtein_bounded_scratch(&b, &a, max, &mut scratch),
                 levenshtein_bounded(&b, &a, max)
             );
+        }
+
+        /// Myers' bit-parallel distance agrees exactly with the banded DP
+        /// reference (via the full two-row DP) on word-sized ASCII inputs,
+        /// reusing one scratch across calls.
+        #[test]
+        fn myers_agrees_with_dp(
+            a in "[ -~]{1,64}",
+            b in "[ -~]{0,80}",
+        ) {
+            let mut scratch = EditScratch::new();
+            let (short, long) = if a.len() <= b.len() {
+                (a.as_bytes(), b.as_bytes())
+            } else {
+                (b.as_bytes(), a.as_bytes())
+            };
+            if !short.is_empty() {
+                let myers = myers_ascii(short, long, &mut scratch);
+                prop_assert_eq!(myers, levenshtein(&a, &b), "{:?} vs {:?}", a, b);
+            }
+        }
+
+        /// The scratch entry point stays bit-identical to the allocating
+        /// reference across the Myers routing boundary: short ASCII (Myers),
+        /// >64-char ASCII (banded fallback), and Unicode (char-decode path),
+        /// interleaved through one scratch.
+        #[test]
+        fn routing_boundary_agrees_with_bounded(
+            short_a in "[a-f!@ ]{0,20}",
+            short_b in "[a-f!@ ]{0,20}",
+            long_a in "[a-c]{60,90}",
+            long_b in "[a-c]{60,90}",
+            uni_a in "\\PC{0,10}",
+            uni_b in "\\PC{0,10}",
+            max in 0usize..40,
+        ) {
+            let mut scratch = EditScratch::new();
+            for (a, b) in [
+                (&short_a, &short_b),
+                (&long_a, &long_b),
+                (&uni_a, &uni_b),
+                (&short_a, &long_b),
+                (&uni_a, &short_b),
+            ] {
+                prop_assert_eq!(
+                    levenshtein_bounded_scratch(a, b, max, &mut scratch),
+                    levenshtein_bounded(a, b, max),
+                    "{:?} vs {:?} at {}", a, b, max
+                );
+            }
         }
     }
 }

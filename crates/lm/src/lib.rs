@@ -17,7 +17,15 @@
 //! * sentence boundary markers so leading/trailing context is meaningful,
 //! * [`NgramLm::coherency`] — the masked-position score: the sum of the log
 //!   probabilities of every trigram window that covers the masked slot,
-//!   mirroring how a masked LM scores a fill-in.
+//!   mirroring how a masked LM scores a fill-in,
+//! * [`NgramLm::coherency_cached`] — the Normalization hot-path variant: a
+//!   caller-held, generation-marked [`CoherencyCache`] memoizes scores per
+//!   resolved `(context, candidate)` symbol window, so candidates repeated
+//!   across the tokens of one text never re-probe the n-gram tables.
+//!
+//! Scores depend on words only through their interned [`Symbol`]s (unknown
+//! words all resolve to the same "no symbol" state), which is what makes
+//! symbol-window memoization exact rather than approximate.
 
 #![warn(missing_docs)]
 
@@ -118,11 +126,22 @@ impl LmBuilder {
     /// Freeze into an immutable model with the given interpolation.
     pub fn build(self, weights: Interpolation) -> NgramLm {
         let vocab_size = self.unigrams.len().max(1);
+        // History counts for symbols that never occur as unigrams (BOS in
+        // practice) are a sum over every bigram starting with the symbol.
+        // BOS is the history of *every* sentence-initial slot, so that sum
+        // sat directly on the Normalization hot path — precompute it once.
+        let mut history_fallback: FxHashMap<Symbol, u64> = FxHashMap::default();
+        for (&(a, _), &c) in &self.bigrams {
+            if !self.unigrams.contains_key(&a) {
+                *history_fallback.entry(a).or_insert(0) += c;
+            }
+        }
         NgramLm {
             interner: self.interner,
             unigrams: self.unigrams,
             bigrams: self.bigrams,
             trigrams: self.trigrams,
+            history_fallback,
             total_unigrams: self.total_unigrams.max(1),
             vocab_size,
             weights,
@@ -137,6 +156,9 @@ pub struct NgramLm {
     unigrams: FxHashMap<Symbol, u64>,
     bigrams: FxHashMap<(Symbol, Symbol), u64>,
     trigrams: FxHashMap<(Symbol, Symbol, Symbol), u64>,
+    /// Precomputed history counts for symbols absent from `unigrams`
+    /// (boundary markers); see [`LmBuilder::build`].
+    history_fallback: FxHashMap<Symbol, u64>,
     total_unigrams: u64,
     vocab_size: usize,
     weights: Interpolation,
@@ -171,7 +193,13 @@ impl NgramLm {
     }
 
     fn sym(&self, word: &str) -> Option<Symbol> {
-        self.interner.get(&word.to_ascii_lowercase())
+        // Candidate words on the Normalization hot path arrive already
+        // lowercased; skip the per-call String allocation for them.
+        if word.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.interner.get(&word.to_ascii_lowercase())
+        } else {
+            self.interner.get(word)
+        }
     }
 
     fn unigram_count(&self, s: Option<Symbol>) -> u64 {
@@ -193,20 +221,18 @@ impl NgramLm {
     }
 
     /// Context-history count for bigram denominator: occurrences of `a` as
-    /// a history token (= its unigram count, with BOS counted via bigrams).
+    /// a history token (= its unigram count, with BOS counted via bigram
+    /// mass precomputed at build time).
     fn history_count(&self, a: Option<Symbol>) -> u64 {
         match a {
             None => 0,
             Some(s) => {
-                // BOS never appears as a unigram; derive from bigram mass.
-                if self.unigrams.contains_key(&s) {
-                    self.unigrams[&s]
+                // BOS never appears as a unigram; its bigram-mass sum was
+                // folded into `history_fallback` by the builder.
+                if let Some(&c) = self.unigrams.get(&s) {
+                    c
                 } else {
-                    self.bigrams
-                        .iter()
-                        .filter(|((x, _), _)| *x == s)
-                        .map(|(_, c)| *c)
-                        .sum()
+                    self.history_fallback.get(&s).copied().unwrap_or(0)
                 }
             }
         }
@@ -215,10 +241,14 @@ impl NgramLm {
     /// Interpolated `P(w | a, b)` where `a, b` are the two history tokens
     /// (use `"<s>"` markers for sentence starts). Always > 0.
     pub fn prob(&self, w: &str, a: &str, b: &str) -> f64 {
-        let sw = self.sym(w);
-        let sa = self.sym(a);
-        let sb = self.sym(b);
+        self.prob_syms(self.sym(w), self.sym(a), self.sym(b))
+    }
 
+    /// [`NgramLm::prob`] over pre-resolved symbols — the form every scoring
+    /// path bottoms out in. Symbols fully determine the probability, so
+    /// callers that resolve a window once (coherency, the memo cache) skip
+    /// all repeated interner probes.
+    fn prob_syms(&self, sw: Option<Symbol>, sa: Option<Symbol>, sb: Option<Symbol>) -> f64 {
         let tri_num = self.trigram_count(sa, sb, sw);
         let tri_den = self.bigram_count(sa, sb);
         let p3 = if tri_den > 0 {
@@ -247,6 +277,44 @@ impl NgramLm {
         self.prob(w, a, b).ln()
     }
 
+    #[inline]
+    fn log_prob_syms(&self, w: Option<Symbol>, a: Option<Symbol>, b: Option<Symbol>) -> f64 {
+        self.prob_syms(w, a, b).ln()
+    }
+
+    /// Resolve the coherency window — candidate plus the two context words
+    /// on each side, padded with boundary markers — to symbols, once.
+    fn resolve_window(
+        &self,
+        candidate: &str,
+        left: &[&str],
+        right: &[&str],
+    ) -> [Option<Symbol>; 5] {
+        let l1 = left.last().copied().unwrap_or(BOS);
+        let l2 = if left.len() >= 2 {
+            left[left.len() - 2]
+        } else {
+            BOS
+        };
+        let r1 = right.first().copied().unwrap_or(EOS);
+        let r2 = if right.len() >= 2 { right[1] } else { EOS };
+        [
+            self.sym(candidate),
+            self.sym(l2),
+            self.sym(l1),
+            self.sym(r1),
+            self.sym(r2),
+        ]
+    }
+
+    /// The coherency sum over a pre-resolved window (see
+    /// [`NgramLm::coherency`] for the formula).
+    fn coherency_syms(&self, [c, l2, l1, r1, r2]: [Option<Symbol>; 5]) -> f64 {
+        self.log_prob_syms(c, l2, l1)
+            + self.log_prob_syms(r1, l1, c)
+            + self.log_prob_syms(r2, c, r1)
+    }
+
     /// Masked coherency score for placing `candidate` in a slot with the
     /// given left and right context (nearest-first NOT required: pass
     /// contexts in natural reading order; missing context is padded with
@@ -258,18 +326,31 @@ impl NgramLm {
     /// Higher is more coherent. Comparable **only** across candidates for
     /// the same slot.
     pub fn coherency(&self, candidate: &str, left: &[&str], right: &[&str]) -> f64 {
-        let l1 = left.last().copied().unwrap_or(BOS);
-        let l2 = if left.len() >= 2 {
-            left[left.len() - 2]
-        } else {
-            BOS
-        };
-        let r1 = right.first().copied().unwrap_or(EOS);
-        let r2 = if right.len() >= 2 { right[1] } else { EOS };
+        self.coherency_syms(self.resolve_window(candidate, left, right))
+    }
 
-        self.log_prob(candidate, l2, l1)
-            + self.log_prob(r1, l1, candidate)
-            + self.log_prob(r2, candidate, r1)
+    /// [`NgramLm::coherency`] memoized through a caller-held
+    /// [`CoherencyCache`]. Returns bit-identical scores: the cache key is
+    /// the resolved symbol window, which fully determines the score (all
+    /// out-of-vocabulary words share one "no symbol" state). Normalization
+    /// holds one cache per text, so a candidate that recurs across tokens
+    /// (or a whole context window that recurs across candidates) is scored
+    /// once.
+    pub fn coherency_cached(
+        &self,
+        candidate: &str,
+        left: &[&str],
+        right: &[&str],
+        cache: &mut CoherencyCache,
+    ) -> f64 {
+        let window = self.resolve_window(candidate, left, right);
+        let key = CoherencyCache::key_of(window);
+        if let Some(v) = cache.get(key) {
+            return v;
+        }
+        let v = self.coherency_syms(window);
+        cache.put(key, v);
+        v
     }
 
     /// `ln P(w)` under the unigram distribution (with floor).
@@ -297,6 +378,129 @@ impl NgramLm {
         log_sum += self.log_prob(EOS, &hist.0, &hist.1);
         n += 1;
         (-log_sum / n as f64).exp()
+    }
+}
+
+/// Number of slots in a [`CoherencyCache`] (power of two). A text rarely
+/// produces more than a few hundred distinct `(context, candidate)`
+/// windows, so 512 slots with a short probe window keeps the hit rate high
+/// at 12 KiB per thread.
+const COHERENCY_CACHE_SLOTS: usize = 512;
+/// Linear-probe window before giving up on a slot (missing the cache is
+/// always safe — the score is recomputed).
+const COHERENCY_CACHE_PROBES: usize = 8;
+
+#[derive(Clone, Copy)]
+struct CoherencySlot {
+    key: [u32; 5],
+    gen: u32,
+    val: f64,
+}
+
+/// Generation-marked memo table for [`NgramLm::coherency_cached`].
+///
+/// Keys are resolved symbol windows (candidate + four context slots), so a
+/// hit returns the exact `f64` the uncached path would compute. Starting a
+/// new text is one [`CoherencyCache::begin`] generation bump — no clearing,
+/// mirroring the Look Up engine's visited-set scratch. Stale entries from
+/// earlier generations are simply treated as empty slots.
+///
+/// Reuse one instance per thread (or per bulk request); storage is
+/// allocated lazily on first use.
+#[derive(Default)]
+pub struct CoherencyCache {
+    slots: Vec<CoherencySlot>,
+    gen: u32,
+}
+
+impl CoherencyCache {
+    /// Fresh cache (allocates lazily on first probe).
+    pub fn new() -> Self {
+        CoherencyCache::default()
+    }
+
+    /// Start a new generation (typically: a new text). O(1) — entries from
+    /// earlier generations become invisible without being cleared.
+    pub fn begin(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation counter wrapped: old marks could alias. Reset the
+            // slot generations once per 2^32 texts.
+            for slot in &mut self.slots {
+                slot.gen = 0;
+            }
+            self.gen = 1;
+        }
+    }
+
+    /// Pack a resolved window into the cache key; `u32::MAX` encodes the
+    /// shared out-of-vocabulary state (symbols are dense vector indices, so
+    /// the sentinel cannot collide with a real symbol).
+    fn key_of(window: [Option<Symbol>; 5]) -> [u32; 5] {
+        window.map(|s| s.map_or(u32::MAX, |s| s.0))
+    }
+
+    #[inline]
+    fn slot_index(key: [u32; 5]) -> usize {
+        // FxHash-style multiply-mix over the five words.
+        let mut h: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        for w in key {
+            h = (h.rotate_left(5) ^ u64::from(w)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+        (h >> 32) as usize & (COHERENCY_CACHE_SLOTS - 1)
+    }
+
+    fn get(&mut self, key: [u32; 5]) -> Option<f64> {
+        if self.gen == 0 {
+            self.begin(); // used without an explicit begin(): lazily start
+        }
+        if self.slots.is_empty() {
+            self.slots = vec![
+                CoherencySlot {
+                    key: [0; 5],
+                    gen: 0,
+                    val: 0.0,
+                };
+                COHERENCY_CACHE_SLOTS
+            ];
+        }
+        let start = Self::slot_index(key);
+        for i in 0..COHERENCY_CACHE_PROBES {
+            let slot = &self.slots[(start + i) & (COHERENCY_CACHE_SLOTS - 1)];
+            if slot.gen == self.gen && slot.key == key {
+                return Some(slot.val);
+            }
+        }
+        None
+    }
+
+    fn put(&mut self, key: [u32; 5], val: f64) {
+        debug_assert!(!self.slots.is_empty(), "get() runs first and allocates");
+        let start = Self::slot_index(key);
+        let mut victim = start & (COHERENCY_CACHE_SLOTS - 1);
+        for i in 0..COHERENCY_CACHE_PROBES {
+            let idx = (start + i) & (COHERENCY_CACHE_SLOTS - 1);
+            if self.slots[idx].gen != self.gen {
+                victim = idx;
+                break;
+            }
+        }
+        // All probes current-generation: overwrite the home slot. Losing a
+        // memoized entry only costs a recompute.
+        self.slots[victim] = CoherencySlot {
+            key,
+            gen: self.gen,
+            val,
+        };
+    }
+}
+
+impl std::fmt::Debug for CoherencyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoherencyCache")
+            .field("slots", &self.slots.len())
+            .field("gen", &self.gen)
+            .finish()
     }
 }
 
@@ -429,6 +633,78 @@ mod tests {
     }
 
     #[test]
+    fn cached_coherency_is_bit_identical() {
+        let lm = political_lm();
+        let mut cache = CoherencyCache::new();
+        cache.begin();
+        let windows: Vec<(&str, Vec<&str>, Vec<&str>)> = vec![
+            ("democrats", vec!["belongs", "to", "the"], vec![]),
+            ("vaccine", vec!["the"], vec!["mandate", "was"]),
+            ("zzzz", vec![], vec![]),
+            ("DEMOCRATS", vec!["the"], vec!["proposed"]),
+            ("unknownzz", vec!["alsounknown"], vec!["the"]),
+        ];
+        for (cand, left, right) in &windows {
+            let plain = lm.coherency(cand, left, right);
+            let cached_miss = lm.coherency_cached(cand, left, right, &mut cache);
+            let cached_hit = lm.coherency_cached(cand, left, right, &mut cache);
+            assert_eq!(plain.to_bits(), cached_miss.to_bits(), "{cand}: miss");
+            assert_eq!(plain.to_bits(), cached_hit.to_bits(), "{cand}: hit");
+        }
+    }
+
+    #[test]
+    fn cache_survives_generation_turnover() {
+        let lm = political_lm();
+        let mut cache = CoherencyCache::new();
+        for text in 0..50 {
+            cache.begin();
+            // Same windows every "text": hits within a generation, fresh
+            // entries across generations, always the uncached value.
+            for cand in ["democrats", "republicans", "neverseen"] {
+                let left = ["the"];
+                let expect = lm.coherency(cand, &left, &[]);
+                let got = lm.coherency_cached(cand, &left, &[], &mut cache);
+                assert_eq!(expect.to_bits(), got.to_bits(), "text {text}, {cand}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_oov_from_vocabulary_words() {
+        // All OOV words share a key slot component; two different OOV words
+        // in the same context legitimately share one (identical) score, but
+        // an OOV word must never collide with a vocabulary word.
+        let lm = political_lm();
+        let mut cache = CoherencyCache::new();
+        cache.begin();
+        let oov_a = lm.coherency_cached("qqqq", &["the"], &[], &mut cache);
+        let oov_b = lm.coherency_cached("wwww", &["the"], &[], &mut cache);
+        let known = lm.coherency_cached("democrats", &["the"], &[], &mut cache);
+        assert_eq!(oov_a.to_bits(), oov_b.to_bits(), "OOV words score alike");
+        assert_ne!(known.to_bits(), oov_a.to_bits());
+        assert_eq!(
+            known.to_bits(),
+            lm.coherency("democrats", &["the"], &[]).to_bits()
+        );
+    }
+
+    #[test]
+    fn bos_history_precompute_matches_bigram_mass() {
+        // P(w | <s>, <s>) uses the BOS history count; the precomputed sum
+        // must reproduce the brute-force bigram scan the seed used, which
+        // existing ordering tests exercise only implicitly.
+        let lm = political_lm();
+        let sentence_starts = lm.prob("the", BOS, BOS)
+            + lm.prob("biden", BOS, BOS)
+            + lm.prob("trump", BOS, BOS)
+            + lm.prob("people", BOS, BOS);
+        // The four observed sentence-initial words carry most of the mass.
+        assert!(sentence_starts > 0.5, "{sentence_starts}");
+        assert!(lm.prob("mandate", BOS, BOS) < lm.prob("the", BOS, BOS));
+    }
+
+    #[test]
     fn unigram_log_prob_orders_by_frequency() {
         let lm = political_lm();
         assert!(lm.unigram_log_prob("the") > lm.unigram_log_prob("biden"));
@@ -466,6 +742,37 @@ mod proptests {
             let p = lm.prob(&w, &a, &b);
             prop_assert!(p.is_finite() && p > 0.0);
             prop_assert!(lm.coherency(&w, &[&a], &[&b]).is_finite());
+        }
+
+        /// The memoized coherency is bit-identical to the plain one over
+        /// random models, windows, and repeat patterns — including cache
+        /// collisions, evictions, and generation reuse.
+        #[test]
+        fn cached_coherency_equals_plain(
+            seed_sentences in proptest::collection::vec(
+                proptest::collection::vec("[a-e]{1,4}", 1..6), 1..8),
+            queries in proptest::collection::vec(
+                ("[a-f]{1,4}", proptest::collection::vec("[a-f]{1,4}", 0..3),
+                 proptest::collection::vec("[a-f]{1,4}", 0..3)), 1..40),
+            texts in 1usize..4,
+        ) {
+            let mut b = LmBuilder::new();
+            for s in &seed_sentences {
+                b.train_sentence(s);
+            }
+            let lm = b.build(Interpolation::default());
+            let mut cache = CoherencyCache::new();
+            for _ in 0..texts {
+                cache.begin();
+                for (cand, left, right) in &queries {
+                    let left: Vec<&str> = left.iter().map(|s| s.as_str()).collect();
+                    let right: Vec<&str> = right.iter().map(|s| s.as_str()).collect();
+                    let plain = lm.coherency(cand, &left, &right);
+                    let cached = lm.coherency_cached(cand, &left, &right, &mut cache);
+                    prop_assert_eq!(plain.to_bits(), cached.to_bits(),
+                        "{} | {:?} | {:?}", cand, left, right);
+                }
+            }
         }
     }
 }

@@ -59,6 +59,31 @@ impl Token {
     }
 }
 
+/// A token's classification and byte span without an owned text copy — the
+/// zero-copy sibling of [`Token`] produced by [`tokenize_spans`]. The text
+/// is always `&input[span.clone()]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenSpan {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte range in the original input.
+    pub span: Range<usize>,
+}
+
+impl TokenSpan {
+    /// Is this a word-like token eligible for perturbation/normalization?
+    #[inline]
+    pub fn is_word(&self) -> bool {
+        self.kind == TokenKind::Word
+    }
+
+    /// The token's text, borrowed from the input it was scanned from.
+    #[inline]
+    pub fn text<'a>(&self, input: &'a str) -> &'a str {
+        &input[self.span.clone()]
+    }
+}
+
 /// Characters that may start or continue the *interior* of a word because
 /// humans use them as letter stand-ins (`suic!de`, `cla$$`, `dem0cr@ts`)
 /// or joiners (`mus-lim`, `don't`).
@@ -93,6 +118,20 @@ fn is_trim_trailing(c: char) -> bool {
 /// skipped; all other bytes belong to exactly one token, and spans are
 /// strictly increasing.
 pub fn tokenize(input: &str) -> Vec<Token> {
+    tokenize_spans(input)
+        .into_iter()
+        .map(|t| Token {
+            text: input[t.span.clone()].to_string(),
+            kind: t.kind,
+            span: t.span,
+        })
+        .collect()
+}
+
+/// [`tokenize`] without the per-token text copies: one `Vec` of spans, no
+/// `String` allocations. The Normalization hot path reads token text
+/// straight out of the input through [`TokenSpan::text`].
+pub fn tokenize_spans(input: &str) -> Vec<TokenSpan> {
     let mut tokens = Vec::new();
     let bytes_len = input.len();
     let mut iter = input.char_indices().peekable();
@@ -106,7 +145,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
 
         // URLs.
         if let Some(end) = match_url(input, start) {
-            push_span(&mut tokens, input, start..end, TokenKind::Url);
+            push_span(&mut tokens, start..end, TokenKind::Url);
             advance_to(&mut iter, end);
             continue;
         }
@@ -118,7 +157,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
             .is_some_and(is_word_interior);
         if !prev_is_word {
             if let Some(len) = match_emoticon_at(&input[start..]) {
-                push_span(&mut tokens, input, start..start + len, TokenKind::Emoticon);
+                push_span(&mut tokens, start..start + len, TokenKind::Emoticon);
                 advance_to(&mut iter, start + len);
                 continue;
             }
@@ -134,7 +173,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 } else {
                     TokenKind::Hashtag
                 };
-                push_span(&mut tokens, input, start..body_end, kind);
+                push_span(&mut tokens, start..body_end, kind);
                 advance_to(&mut iter, body_end);
                 continue;
             }
@@ -166,14 +205,14 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 // real words.
                 TokenKind::Punct
             };
-            push_span(&mut tokens, input, start..end, kind);
+            push_span(&mut tokens, start..end, kind);
             advance_to(&mut iter, end);
             continue;
         }
 
         // Single punctuation char.
         let end = (start + c.len_utf8()).min(bytes_len);
-        push_span(&mut tokens, input, start..end, TokenKind::Punct);
+        push_span(&mut tokens, start..end, TokenKind::Punct);
         iter.next();
     }
     tokens
@@ -207,12 +246,8 @@ pub fn splice(input: &str, replacements: &[(Range<usize>, String)]) -> String {
     out
 }
 
-fn push_span(tokens: &mut Vec<Token>, input: &str, span: Range<usize>, kind: TokenKind) {
-    tokens.push(Token {
-        text: input[span.clone()].to_string(),
-        kind,
-        span,
-    });
+fn push_span(tokens: &mut Vec<TokenSpan>, span: Range<usize>, kind: TokenKind) {
+    tokens.push(TokenSpan { kind, span });
 }
 
 fn advance_to(iter: &mut std::iter::Peekable<std::str::CharIndices>, end: usize) {
@@ -260,6 +295,27 @@ mod tests {
             .into_iter()
             .map(|t| (t.text, t.kind))
             .collect()
+    }
+
+    #[test]
+    fn spans_api_matches_owned_api() {
+        for input in [
+            "the dirty republicans",
+            "@potus pushed #VaccineMandate again :) https://x.com",
+            "stop it!!! suic!de really, now.",
+            "dem0cr@ts and cla$$ 🙂 vacc1ne",
+            "",
+        ] {
+            let owned = tokenize(input);
+            let spans = tokenize_spans(input);
+            assert_eq!(owned.len(), spans.len(), "{input:?}");
+            for (o, s) in owned.iter().zip(&spans) {
+                assert_eq!(o.kind, s.kind, "{input:?}");
+                assert_eq!(o.span, s.span, "{input:?}");
+                assert_eq!(o.text, s.text(input), "{input:?}");
+                assert_eq!(o.is_word(), s.is_word());
+            }
+        }
     }
 
     #[test]
