@@ -32,7 +32,7 @@ use std::time::Instant;
 use cryptext_bench::{build_db, build_platform};
 use cryptext_core::{
     look_up_naive, look_up_with, CrypText, LookupParams, LookupScratch, NormalizeParams,
-    NormalizeScratch, Normalizer, TokenDatabase,
+    NormalizeScratch, Normalizer, ShardedTokenDatabase, TokenDatabase,
 };
 
 const N_POSTS: usize = 4_000;
@@ -41,6 +41,11 @@ const WARMUP_ROUNDS: usize = 4;
 const MEASURE_ROUNDS: usize = 40;
 const NORM_TEXTS: usize = 200;
 const NORM_ROUNDS: usize = 4;
+/// The shard counts of the `shards` dimension: the same Look Up workload
+/// measured over the consistent-hash sharded backend at each count.
+/// Count 1 doubles as the trait-indirection regression check against the
+/// plain `optimized` block.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 struct Measured {
     queries_per_sec: f64,
@@ -127,6 +132,28 @@ fn compute_invariants(
     }
 }
 
+/// The sharded-backend half of the bench smoke: for every entry of
+/// [`SHARD_COUNTS`], the sharded store must retrieve exactly the same hit
+/// count as the single instance — the byte-identical contract, recomputed
+/// live in CI rather than trusted from the committed file.
+fn check_sharded(db: &TokenDatabase, queries: &[&str], expected_hits: usize) -> Result<(), String> {
+    let params = LookupParams::paper_default();
+    for n in SHARD_COUNTS {
+        let wide = ShardedTokenDatabase::from_database(db, n);
+        let mut scratch = LookupScratch::new();
+        let hits: usize = queries
+            .iter()
+            .map(|q| look_up_with(&wide, q, params, &mut scratch).unwrap().len())
+            .sum();
+        if hits != expected_hits {
+            return Err(format!(
+                "sharded backend ({n} shards) retrieved {hits} hits, single instance {expected_hits}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn check_committed(expected: &Invariants) -> Result<(), String> {
     let lookup_json = std::fs::read_to_string("BENCH_lookup.json")
         .map_err(|e| format!("read BENCH_lookup.json: {e}"))?;
@@ -157,6 +184,18 @@ fn check_committed(expected: &Invariants) -> Result<(), String> {
                 "corrections_total[{i}] drifted: committed {c}, recomputed {want_corrections}"
             ));
         }
+    }
+
+    // The shards dimension must be present and cover exactly SHARD_COUNTS
+    // (each entry's total_hits was already validated above — every
+    // "total_hits" in the file, sharded entries included, must equal the
+    // recomputed single-instance count).
+    let committed_shards = extract_ints(&lookup_json, "shards");
+    let want_shards: Vec<u64> = SHARD_COUNTS.iter().map(|&n| n as u64).collect();
+    if committed_shards != want_shards {
+        return Err(format!(
+            "BENCH_lookup.json shards dimension is {committed_shards:?}, expected {want_shards:?}"
+        ));
     }
     Ok(())
 }
@@ -197,7 +236,9 @@ fn main() {
 
     if check_only {
         let invariants = compute_invariants(db, &cx, &queries, &norm_texts);
-        match check_committed(&invariants) {
+        match check_committed(&invariants)
+            .and_then(|()| check_sharded(db, &queries, invariants.hits_per_round))
+        {
             Ok(()) => {
                 println!(
                     "bench invariants ok: total_hits {} per round × {MEASURE_ROUNDS}, \
@@ -248,6 +289,31 @@ fn main() {
         "engines must retrieve identical result sets"
     );
     let lookup_speedup = naive.p50_us / optimized.p50_us;
+
+    // The shards dimension: the same workload over the consistent-hash
+    // sharded backend at every configured count. Byte-identical results
+    // are asserted (total_hits), and the single-shard entry doubles as
+    // the trait-indirection regression guard against `optimized`.
+    let sharded_measurements: Vec<(usize, Measured)> = SHARD_COUNTS
+        .iter()
+        .map(|&n| {
+            let wide = ShardedTokenDatabase::from_database(db, n);
+            let mut scratch = LookupScratch::new();
+            for _ in 0..WARMUP_ROUNDS {
+                for q in &queries {
+                    let _ = look_up_with(&wide, q, params, &mut scratch).unwrap();
+                }
+            }
+            let m = measure(&queries, MEASURE_ROUNDS, |q| {
+                look_up_with(&wide, q, params, &mut scratch).unwrap().len()
+            });
+            assert_eq!(
+                m.total_hits, optimized.total_hits,
+                "{n}-shard backend must retrieve identical result sets"
+            );
+            (n, m)
+        })
+        .collect();
 
     // Normalization: the zero-copy scratch-reusing engine vs the kept
     // naive reference, on identical texts.
@@ -319,6 +385,19 @@ fn main() {
         "    \"speedup_p50_naive_over_optimized\": {lookup_speedup:.2}"
     );
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"shards\": [");
+    for (i, (n, m)) in sharded_measurements.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"shards\": {n}, \"queries_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"total_hits\": {} }}{}",
+            m.queries_per_sec,
+            m.p50_us,
+            m.p99_us,
+            m.total_hits,
+            if i + 1 == sharded_measurements.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"normalize_default\": {{");
     let _ = writeln!(
         out,
@@ -360,4 +439,7 @@ fn main() {
         "normalize p50: optimized {:.2}µs vs naive {:.2}µs → {norm_speedup:.2}x",
         norm_opt.p50_us, norm_naive.p50_us
     );
+    for (n, m) in &sharded_measurements {
+        eprintln!("lookup p50 over {n} shard(s): {:.2}µs", m.p50_us);
+    }
 }

@@ -85,6 +85,66 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Jump consistent hash (Lamping & Veach, 2014): map `key` onto
+/// `[0, buckets)` such that growing the bucket count from `n` to `n + 1`
+/// relocates only `~1/(n + 1)` of the keys — and every relocated key moves
+/// to the *new* bucket, never between existing ones. No ring state, no
+/// virtual nodes, O(ln buckets) time.
+///
+/// This is the shard router of the sharded token database: keys are Fx
+/// hashes of phonetic codes, buckets are shard indexes, and the minimal
+/// relocation property keeps a future shard-count change from reshuffling
+/// the whole corpus.
+#[inline]
+pub fn jump_hash(mut key: u64, buckets: u32) -> u32 {
+    assert!(buckets > 0, "jump_hash needs at least one bucket");
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        // LCG step from the reference implementation.
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        j = (((b + 1) as f64) * ((1u64 << 31) as f64 / ((key >> 33) + 1) as f64)) as i64;
+    }
+    b as u32
+}
+
+/// A fixed-size consistent-hash ring over `shards` buckets, routing string
+/// keys (phonetic codes) and raw `u64` keys through [`jump_hash`] on top of
+/// the Fx hash. Stateless and `Copy`; the shard count is the only
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRing {
+    shards: u32,
+}
+
+impl ShardRing {
+    /// A ring over `shards` buckets (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardRing {
+            shards: (shards.max(1)).min(u32::MAX as usize) as u32,
+        }
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Route a prehashed key to its bucket.
+    #[inline]
+    pub fn route_key(&self, key: u64) -> usize {
+        jump_hash(key, self.shards) as usize
+    }
+
+    /// Route a string key (e.g. an `H_1` Soundex code) to its bucket.
+    #[inline]
+    pub fn route_str(&self, s: &str) -> usize {
+        self.route_key(fx_hash_str(s))
+    }
+}
+
 /// Hash an arbitrary byte slice with the Fx algorithm in one call.
 #[inline]
 pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
@@ -138,6 +198,62 @@ mod tests {
         // Flip one byte in the middle; hash must change.
         b.replace_range(512..513, "y");
         assert_ne!(fx_hash_str(&a), fx_hash_str(&b));
+    }
+
+    #[test]
+    fn jump_hash_is_deterministic_and_in_range() {
+        for key in [0u64, 1, 42, u64::MAX, fx_hash_str("TH000")] {
+            for buckets in [1u32, 2, 3, 8, 100] {
+                let a = jump_hash(key, buckets);
+                assert_eq!(a, jump_hash(key, buckets), "stable per (key, buckets)");
+                assert!(a < buckets);
+            }
+        }
+        assert_eq!(jump_hash(123, 1), 0, "one bucket gets everything");
+    }
+
+    #[test]
+    fn jump_hash_relocates_only_to_new_buckets() {
+        // The consistent-hashing contract: growing n → n+1 either keeps a
+        // key in place or moves it to the brand-new bucket n.
+        for key in 0..5_000u64 {
+            for n in 1..10u32 {
+                let before = jump_hash(key, n);
+                let after = jump_hash(key, n + 1);
+                assert!(
+                    after == before || after == n,
+                    "key {key}: {before} → {after} at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jump_hash_distributes_roughly_uniformly() {
+        let buckets = 8u32;
+        let mut counts = [0usize; 8];
+        let n_keys = 80_000u64;
+        for key in 0..n_keys {
+            counts[jump_hash(fx_hash_bytes(&key.to_le_bytes()), buckets) as usize] += 1;
+        }
+        let expected = n_keys as usize / buckets as usize;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "bucket {b} has {c} of ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_ring_routes_consistently() {
+        let ring = ShardRing::new(4);
+        assert_eq!(ring.shards(), 4);
+        assert_eq!(ring.route_str("TH000"), ring.route_str("TH000"));
+        assert!(ring.route_str("DI630") < 4);
+        // Degenerate counts clamp to one shard.
+        assert_eq!(ShardRing::new(0).shards(), 1);
+        assert_eq!(ShardRing::new(1).route_str("anything"), 0);
     }
 
     #[test]

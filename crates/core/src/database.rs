@@ -1,9 +1,30 @@
-//! The human-written token database (§III-A).
+//! The human-written token database (§III-A): the single-instance backend
+//! of the [`crate::store::TokenStore`] trait.
 //!
 //! Stores **raw case-sensitive tokens** exactly as found in the corpus,
 //! encoded with the customized Soundex at every phonetic level `k ∈
 //! {0, 1, 2}`, and maintains the `H_k` hash maps from Soundex code to the
 //! set of tokens sharing that sound (Table I of the paper).
+//!
+//! # Storage backends
+//!
+//! [`TokenDatabase`] is one of two [`crate::store::TokenStore`] backends:
+//!
+//! * **`TokenDatabase`** (this module) — one in-memory instance, the right
+//!   choice for corpora that fit one machine.
+//! * **[`crate::shard::ShardedTokenDatabase`]** — N independent
+//!   `TokenDatabase` shards behind a consistent-hash router
+//!   ([`cryptext_common::hash::jump_hash`] on the token's primary `H_1`
+//!   Soundex code), for corpora that need to scale out. Every record lives
+//!   in exactly one shard, so shard-local record ids stay dense; the
+//!   router remaps them to globally unique ids at the trait boundary
+//!   (`global = local * n_shards + shard`). Both backends produce
+//!   byte-identical Look Up / Normalization results (proptest-pinned in
+//!   `shard.rs`).
+//!
+//! The engines ([`crate::lookup`], [`crate::normalize`],
+//! [`crate::perturb`], [`crate::listening`], [`crate::ingest`]) are generic
+//! over the trait and never name a backend.
 //!
 //! # Hot-path data layout
 //!
@@ -179,8 +200,10 @@ thread_local! {
     static SHARED_SOUND_SCRATCH: RefCell<SoundScratch> = RefCell::new(SoundScratch::new());
 }
 
-/// A word token prepared off-thread during parallel ingest.
-enum PreparedWord {
+/// A word token prepared off-thread during parallel ingest. Shared with
+/// the shard router, which prepares against the routed shard's state and
+/// scatters the words into per-shard merge queues.
+pub(crate) enum PreparedWord {
     /// Too short or no phonetic content; counts toward the token total but
     /// is not stored.
     Skip,
@@ -204,6 +227,11 @@ struct PreparedText {
     any_word: bool,
     all_english: bool,
 }
+
+/// Cap on accumulated LM training sentences, shared by both
+/// [`TokenStore`](crate::store::TokenStore) backends so their
+/// `clean_sentences()` output stays byte-identical.
+pub(crate) const MAX_CLEAN_SENTENCES: usize = 50_000;
 
 /// The token database.
 pub struct TokenDatabase {
@@ -240,7 +268,7 @@ impl TokenDatabase {
                 CodeIndex::default(),
             ],
             clean_sentences: Vec::new(),
-            max_clean_sentences: 50_000,
+            max_clean_sentences: MAX_CLEAN_SENTENCES,
         }
     }
 
@@ -294,7 +322,10 @@ impl TokenDatabase {
         id
     }
 
-    fn upsert_token(&mut self, token: &str, add_count: u64) -> u32 {
+    /// Insert or count a token with an explicit occurrence delta. Crate
+    /// internal: the shard router uses it to reshard existing records and
+    /// to seed lexicons without re-running the ingest gates.
+    pub(crate) fn upsert_token(&mut self, token: &str, add_count: u64) -> u32 {
         if let Some(&id) = self.by_token.get(token) {
             self.records[id as usize].count += add_count;
             return id;
@@ -357,28 +388,7 @@ impl TokenDatabase {
         for (text, prep) in texts.iter().zip(prepared) {
             n += prep.words.len();
             for word in prep.words {
-                match word {
-                    PreparedWord::Skip => {}
-                    PreparedWord::Known(id) => {
-                        self.records[id as usize].count += 1;
-                    }
-                    PreparedWord::Repeat(t) => {
-                        let id = *self
-                            .by_token
-                            .get(t.as_str())
-                            .expect("Repeat follows its Fresh within one text");
-                        self.records[id as usize].count += 1;
-                    }
-                    PreparedWord::Fresh(t, codes) => {
-                        // An earlier text in this batch may have inserted it
-                        // already; fall back to a plain count bump.
-                        if let Some(&id) = self.by_token.get(t.as_str()) {
-                            self.records[id as usize].count += 1;
-                        } else {
-                            self.insert_new(&t, 1, *codes);
-                        }
-                    }
-                }
+                self.merge_prepared_word(word);
             }
             if prep.any_word
                 && prep.all_english
@@ -388,6 +398,49 @@ impl TokenDatabase {
             }
         }
         n
+    }
+
+    /// Apply one prepared word to the store — the sequential half of batch
+    /// ingest. Shared with the shard router, which merges each shard's
+    /// scattered word queue through this in parallel.
+    pub(crate) fn merge_prepared_word(&mut self, word: PreparedWord) {
+        match word {
+            PreparedWord::Skip => {}
+            PreparedWord::Known(id) => {
+                self.records[id as usize].count += 1;
+            }
+            PreparedWord::Repeat(t) => {
+                let id = *self
+                    .by_token
+                    .get(t.as_str())
+                    .expect("Repeat follows its Fresh within one text");
+                self.records[id as usize].count += 1;
+            }
+            PreparedWord::Fresh(t, codes) => {
+                // An earlier text in this batch may have inserted it
+                // already; fall back to a plain count bump.
+                if let Some(&id) = self.by_token.get(t.as_str()) {
+                    self.records[id as usize].count += 1;
+                } else {
+                    self.insert_new(&t, 1, *codes);
+                }
+            }
+        }
+    }
+
+    /// Is `token` stored, and at which dense record id? Crate internal:
+    /// the shard router's batch-prepare resolves ids against the routed
+    /// shard before the merge phase.
+    #[inline]
+    pub(crate) fn id_of_token(&self, token: &str) -> Option<u32> {
+        self.by_token.get(token).copied()
+    }
+
+    /// Distinct interned code names at level `k`, in interning order.
+    /// Crate internal: the shard router unions these across shards for
+    /// [`TokenDatabase::stats`]-compatible sound counts.
+    pub(crate) fn code_names(&self, k: usize) -> &[Box<str>] {
+        &self.buckets[k].names
     }
 
     /// The read-only, parallel-safe half of ingest: tokenize and encode.
@@ -574,10 +627,16 @@ impl TokenDatabase {
 
     /// Persist every record into `store[collection]`, creating the
     /// collection and per-level code indexes. Existing contents of the
-    /// collection are replaced.
+    /// collection are replaced — including the per-shard collections of a
+    /// previous *sharded* persist under the same name, so switching a
+    /// deployment from the sharded backend to the single instance never
+    /// leaks a stale corpus copy.
     pub fn persist_to(&self, store: &Database, collection: &str) -> Result<()> {
         if store.has_collection(collection) {
             store.drop_collection(collection)?;
+        }
+        for name in store.collections_with_prefix(&format!("{collection}__shard")) {
+            store.drop_collection(&name)?;
         }
         store.create_collection(collection)?;
         for k in 0..NUM_LEVELS {
@@ -811,6 +870,28 @@ mod tests {
         db.persist_to(&store, "tokens").unwrap();
         db.persist_to(&store, "tokens").unwrap();
         assert_eq!(store.len("tokens").unwrap(), 7, "no duplicates");
+        // Regression: double-persist then load must reconstruct the exact
+        // database, not an appended/duplicated one.
+        let restored = TokenDatabase::load_from(&store, "tokens").unwrap();
+        assert_eq!(restored.stats(), db.stats());
+        assert_eq!(
+            restored.hashmap_view(1).unwrap(),
+            db.hashmap_view(1).unwrap()
+        );
+    }
+
+    #[test]
+    fn repersist_after_new_ingest_replaces_stale_counts() {
+        // Persist, ingest more occurrences, persist again: the collection
+        // must reflect only the latest state after a round trip.
+        let mut db = table1_db();
+        let store = Database::in_memory();
+        db.persist_to(&store, "tokens").unwrap();
+        db.ingest_text("the dirty republicans again");
+        db.persist_to(&store, "tokens").unwrap();
+        let restored = TokenDatabase::load_from(&store, "tokens").unwrap();
+        assert_eq!(restored.stats(), db.stats());
+        assert_eq!(restored.get("the").unwrap().count, 3);
     }
 
     #[test]

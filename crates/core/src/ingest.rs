@@ -9,7 +9,7 @@
 use cryptext_common::Timestamp;
 use cryptext_stream::SocialPlatform;
 
-use crate::database::TokenDatabase;
+use crate::store::TokenStore;
 
 /// Statistics from one crawl batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,13 +55,17 @@ impl Crawler {
 
     /// Consume every post at or after the cursor, up to `max_posts`
     /// (0 = unlimited). Advances the cursor past the last consumed post.
-    pub fn run_once(
+    /// Works against any [`TokenStore`] backend — the crawler feeds a
+    /// sharded deployment the same way it feeds a single instance.
+    pub fn run_once<S: TokenStore>(
         &mut self,
         platform: &SocialPlatform,
-        db: &mut TokenDatabase,
+        db: &mut S,
         max_posts: usize,
     ) -> IngestStats {
-        let before_unique = db.stats().unique_tokens;
+        // The cheap counter, not full stats(): the sharded backend's
+        // per-level sound unions are O(total codes) and unused here.
+        let before_unique = db.unique_tokens();
         let mut stats = IngestStats::default();
         let limit = if max_posts == 0 {
             usize::MAX
@@ -75,7 +79,7 @@ impl Crawler {
             last_ts = post.created_at + 1;
         }
         self.cursor = last_ts.max(self.cursor);
-        stats.new_tokens = db.stats().unique_tokens - before_unique;
+        stats.new_tokens = db.unique_tokens() - before_unique;
         self.lifetime.posts += stats.posts;
         self.lifetime.tokens += stats.tokens;
         self.lifetime.new_tokens += stats.new_tokens;
@@ -86,6 +90,7 @@ impl Crawler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::TokenDatabase;
     use cryptext_stream::StreamConfig;
 
     fn platform() -> SocialPlatform {

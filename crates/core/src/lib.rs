@@ -23,6 +23,10 @@
 //!   from the stream into the database.
 //! * [`service`] — the public-API facade (§III-F): token auth, rate
 //!   limiting, Redis-style result caching, bulk endpoints.
+//! * [`store`] / [`shard`] — the storage abstraction: every engine is
+//!   generic over the [`store::TokenStore`] trait, implemented by the
+//!   single-instance [`database::TokenDatabase`] and the consistent-hash
+//!   [`shard::ShardedTokenDatabase`].
 
 #![warn(missing_docs)]
 
@@ -33,6 +37,8 @@ pub mod lookup;
 pub mod normalize;
 pub mod perturb;
 pub mod service;
+pub mod shard;
+pub mod store;
 
 use cryptext_common::Result;
 
@@ -42,35 +48,58 @@ pub use lookup::{
 };
 pub use normalize::{NormalizeParams, NormalizeScratch, Normalizer};
 pub use perturb::{PerturbParams, Perturber};
+pub use shard::ShardedTokenDatabase;
+pub use store::{AnyTokenStore, TokenStore};
 
-/// The assembled CrypText system: a token database plus the language model
-/// used by Normalization.
-pub struct CrypText {
-    db: TokenDatabase,
+/// The assembled CrypText system: a token store plus the language model
+/// used by Normalization. Generic over the storage backend; the default
+/// type parameter keeps single-instance callers (`CrypText::new(db)`)
+/// source-compatible.
+pub struct CrypText<S: TokenStore = TokenDatabase> {
+    db: S,
     lm: cryptext_lm::NgramLm,
 }
 
-impl CrypText {
-    /// Assemble from a database; the normalization language model is
-    /// trained on the database's accumulated clean sentences (see
-    /// [`TokenDatabase::clean_sentences`]).
+impl CrypText<TokenDatabase> {
+    /// Assemble from a single-instance database; the normalization
+    /// language model is trained on the database's accumulated clean
+    /// sentences (see [`TokenDatabase::clean_sentences`]).
     pub fn new(db: TokenDatabase) -> Self {
+        Self::with_store(db)
+    }
+}
+
+impl CrypText<AnyTokenStore> {
+    /// Assemble from a database wrapped in the `CRYPTEXT_SHARDS`-selected
+    /// backend ([`AnyTokenStore::from_env`]): unchanged for one shard,
+    /// resharded by consistent hashing for `CRYPTEXT_SHARDS > 1`. Both
+    /// backends serve byte-identical results, so callers need not care
+    /// which one they got.
+    pub fn from_env(db: TokenDatabase) -> Self {
+        Self::with_store(AnyTokenStore::from_env(db))
+    }
+}
+
+impl<S: TokenStore> CrypText<S> {
+    /// Assemble from any storage backend, training the normalization
+    /// language model on the store's accumulated clean sentences.
+    pub fn with_store(db: S) -> Self {
         let lm = cryptext_lm::NgramLm::train(db.clean_sentences().iter().map(|s| s.as_str()));
         CrypText { db, lm }
     }
 
     /// Assemble with an explicitly trained language model.
-    pub fn with_lm(db: TokenDatabase, lm: cryptext_lm::NgramLm) -> Self {
+    pub fn with_lm(db: S, lm: cryptext_lm::NgramLm) -> Self {
         CrypText { db, lm }
     }
 
-    /// The underlying token database.
-    pub fn database(&self) -> &TokenDatabase {
+    /// The underlying token store.
+    pub fn database(&self) -> &S {
         &self.db
     }
 
     /// Mutable access (for incremental ingest).
-    pub fn database_mut(&mut self) -> &mut TokenDatabase {
+    pub fn database_mut(&mut self) -> &mut S {
         &mut self.db
     }
 
@@ -104,7 +133,7 @@ impl CrypText {
     }
 }
 
-impl std::fmt::Debug for CrypText {
+impl<S: TokenStore> std::fmt::Debug for CrypText<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CrypText")
             .field("db", &self.db.stats())

@@ -11,6 +11,7 @@ use cryptext_stream::{Post, SearchQuery, SocialPlatform};
 
 use crate::database::TokenDatabase;
 use crate::lookup::{look_up, LookupParams};
+use crate::store::TokenStore;
 
 /// Configuration of a listening pass.
 #[derive(Debug, Clone, Copy)]
@@ -121,14 +122,14 @@ impl WatchReport {
     }
 }
 
-/// The Social Listening engine.
-pub struct SocialListener<'a> {
-    db: &'a TokenDatabase,
+/// The Social Listening engine, generic over the storage backend.
+pub struct SocialListener<'a, S: TokenStore = TokenDatabase> {
+    db: &'a S,
 }
 
-impl<'a> SocialListener<'a> {
-    /// Build over a token database.
-    pub fn new(db: &'a TokenDatabase) -> Self {
+impl<'a, S: TokenStore> SocialListener<'a, S> {
+    /// Build over a token store.
+    pub fn new(db: &'a S) -> Self {
         SocialListener { db }
     }
 

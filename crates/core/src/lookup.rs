@@ -12,6 +12,7 @@ use cryptext_common::Result;
 use cryptext_editdist::{levenshtein_bounded_chars, levenshtein_bounded_scratch, EditScratch};
 
 use crate::database::{SoundScratch, TokenDatabase, TokenRecord};
+use crate::store::TokenStore;
 
 /// Parameters of a Look Up query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,13 +101,14 @@ thread_local! {
     static SHARED_LOOKUP_SCRATCH: RefCell<LookupScratch> = RefCell::new(LookupScratch::new());
 }
 
-/// Execute a Look Up against `db`. Hits are ordered by
-/// `(distance asc, count desc, token asc)` — closest and most frequent
-/// perturbations first, deterministic throughout.
+/// Execute a Look Up against any [`TokenStore`] backend. Hits are ordered
+/// by `(distance asc, count desc, token asc)` — closest and most frequent
+/// perturbations first, deterministic throughout (and therefore identical
+/// across backends, whatever order their buckets are walked in).
 ///
 /// Uses a thread-local [`LookupScratch`]; callers managing their own
 /// scratch (bulk endpoints, benches) should call [`look_up_with`].
-pub fn look_up(db: &TokenDatabase, token: &str, params: LookupParams) -> Result<Vec<LookupHit>> {
+pub fn look_up<S: TokenStore>(db: &S, token: &str, params: LookupParams) -> Result<Vec<LookupHit>> {
     SHARED_LOOKUP_SCRATCH.with(|scratch| look_up_with(db, token, params, &mut scratch.borrow_mut()))
 }
 
@@ -126,14 +128,15 @@ pub fn look_up(db: &TokenDatabase, token: &str, params: LookupParams) -> Result<
 /// fold/length comes straight off its record, a length-difference
 /// pre-filter skips hopeless candidates before any distance work, and the
 /// bounded Levenshtein runs bit-parallel (Myers) through reusable scratch.
-pub fn for_each_hit<'a, F>(
-    db: &'a TokenDatabase,
+pub fn for_each_hit<'a, S, F>(
+    db: &'a S,
     token: &str,
     params: LookupParams,
     scratch: &mut LookupScratch,
     mut f: F,
 ) -> Result<()>
 where
+    S: TokenStore,
     F: FnMut(u32, &'a TokenRecord, usize),
 {
     TokenDatabase::check_level(params.k)?;
@@ -172,8 +175,8 @@ where
 
 /// [`look_up`] with caller-provided scratch buffers: drives
 /// [`for_each_hit`] and materializes the sorted public hit list.
-pub fn look_up_with(
-    db: &TokenDatabase,
+pub fn look_up_with<S: TokenStore>(
+    db: &S,
     token: &str,
     params: LookupParams,
     scratch: &mut LookupScratch,

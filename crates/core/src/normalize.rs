@@ -48,6 +48,7 @@ use cryptext_tokenizer::{splice, tokenize, tokenize_spans, Token};
 
 use crate::database::TokenDatabase;
 use crate::lookup::{for_each_hit, look_up, LookupParams, LookupScratch};
+use crate::store::TokenStore;
 
 /// Parameters of a Normalization pass.
 #[derive(Debug, Clone, Copy)]
@@ -170,9 +171,9 @@ impl<'a> Normalizer<'a> {
     /// into `buf`. Equivalent to the naive look-up-then-clone pipeline
     /// (see [`Normalizer::normalize_naive`]) but zero-copy per candidate.
     #[allow(clippy::too_many_arguments)]
-    fn collect_candidates<'d>(
+    fn collect_candidates<'d, S: TokenStore>(
         &self,
-        db: &'d TokenDatabase,
+        db: &'d S,
         token: &str,
         left: &[&str],
         right: &[&str],
@@ -229,9 +230,9 @@ impl<'a> Normalizer<'a> {
 
     /// The scratch-threading core of [`Normalizer::normalize_token`].
     #[allow(clippy::too_many_arguments)]
-    fn normalize_token_with<'d>(
+    fn normalize_token_with<'d, S: TokenStore>(
         &self,
-        db: &'d TokenDatabase,
+        db: &'d S,
         token: &str,
         left: &[&str],
         right: &[&str],
@@ -263,9 +264,9 @@ impl<'a> Normalizer<'a> {
 
     /// Normalize one token given its context; `None` when the token is
     /// clean or no candidate exists.
-    pub fn normalize_token(
+    pub fn normalize_token<S: TokenStore>(
         &self,
-        db: &TokenDatabase,
+        db: &S,
         token: &str,
         left: &[&str],
         right: &[&str],
@@ -286,9 +287,9 @@ impl<'a> Normalizer<'a> {
     /// Uses a thread-local [`NormalizeScratch`]; callers managing their
     /// own scratch (bulk endpoints, benches) should call
     /// [`Normalizer::normalize_with`].
-    pub fn normalize(
+    pub fn normalize<S: TokenStore>(
         &self,
-        db: &TokenDatabase,
+        db: &S,
         text: &str,
         params: NormalizeParams,
     ) -> Result<NormalizationResult> {
@@ -300,9 +301,9 @@ impl<'a> Normalizer<'a> {
     /// scratch serves the whole text: candidate retrieval reuses the
     /// Look Up buffers per token and LM coherency probes are memoized
     /// across tokens (fresh memo generation per text).
-    pub fn normalize_with(
+    pub fn normalize_with<S: TokenStore>(
         &self,
-        db: &TokenDatabase,
+        db: &S,
         text: &str,
         params: NormalizeParams,
         scratch: &mut NormalizeScratch,

@@ -11,6 +11,7 @@ use cryptext_tokenizer::{splice, tokenize, Token};
 
 use crate::database::TokenDatabase;
 use crate::lookup::{look_up, LookupParams};
+use crate::store::TokenStore;
 
 /// Parameters of a Perturbation pass.
 #[derive(Debug, Clone, Copy)]
@@ -75,14 +76,14 @@ pub struct PerturbationOutcome {
     pub misses: usize,
 }
 
-/// The Perturbation engine.
-pub struct Perturber<'a> {
-    db: &'a TokenDatabase,
+/// The Perturbation engine, generic over the storage backend.
+pub struct Perturber<'a, S: TokenStore = TokenDatabase> {
+    db: &'a S,
 }
 
-impl<'a> Perturber<'a> {
-    /// Build over a token database.
-    pub fn new(db: &'a TokenDatabase) -> Self {
+impl<'a, S: TokenStore> Perturber<'a, S> {
+    /// Build over a token store.
+    pub fn new(db: &'a S) -> Self {
         Perturber { db }
     }
 

@@ -9,7 +9,22 @@
 //! [`CryptextService`] reproduces that contract in-process: API-token
 //! authentication, per-token fixed-window rate limiting over an injected
 //! [`Clock`], a TTL+LRU result cache for Look Up, and bulk endpoints.
+//! The service is generic over the [`TokenStore`] backend, so the same
+//! facade fronts a single-instance database or a consistent-hash sharded
+//! deployment.
+//!
+//! # Concurrency
+//!
+//! Every request crosses the authorization path, so it must never become
+//! the serialization point for bulk traffic. The token table is an
+//! `RwLock` taken in **read** mode on the hot path — rate-limit state
+//! lives in per-token atomics, and the write lock is reserved for the
+//! rare mutations (issuing and revoking tokens). Concurrent
+//! [`CryptextService::look_up_bulk`] readers therefore proceed in
+//! parallel instead of queueing behind one another (or behind a token
+//! writer) on a single exclusive lock.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cryptext_cache::{Cache, CacheConfig, CacheStats};
@@ -18,9 +33,11 @@ use cryptext_common::par::try_par_map;
 use cryptext_common::{Clock, Error, Result, Timestamp};
 use parking_lot::RwLock;
 
+use crate::database::TokenDatabase;
 use crate::lookup::{LookupHit, LookupParams};
 use crate::normalize::{NormalizationResult, NormalizeParams};
 use crate::perturb::{PerturbParams, PerturbationOutcome};
+use crate::store::TokenStore;
 use crate::CrypText;
 
 /// An issued API authorization token.
@@ -55,16 +72,39 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Per-token rate-limit state, mutated through one atomic so the hot
+/// authorization path only ever takes the token table's **read** lock.
+///
+/// The window index (clock-aligned, `now / WINDOW_MS`) and the used
+/// counter are packed into a single `AtomicU64` — `(window << 32) | used`
+/// — so a window rollover swaps both halves in one compare-exchange.
+/// Splitting them into two atomics would race: a reset of the counter
+/// could erase slots claimed between the window CAS and the counter
+/// store, making admission inexact.
 struct RateState {
-    window_start: Timestamp,
-    used: u32,
+    window: AtomicU64,
+}
+
+impl RateState {
+    fn new(window_index: u64) -> Self {
+        RateState {
+            window: AtomicU64::new(window_index << 32),
+        }
+    }
 }
 
 const WINDOW_MS: u64 = 60_000;
 
-/// The authenticated, rate-limited, cached service facade.
-pub struct CryptextService {
-    system: CrypText,
+/// The clock-aligned window index of a timestamp, truncated to the packed
+/// 32-bit field (wraps after ~8,000 years of minutes).
+fn window_index(now: Timestamp) -> u64 {
+    (now / WINDOW_MS) & 0xFFFF_FFFF
+}
+
+/// The authenticated, rate-limited, cached service facade, generic over
+/// the storage backend.
+pub struct CryptextService<S: TokenStore = TokenDatabase> {
+    system: CrypText<S>,
     config: ServiceConfig,
     clock: Arc<dyn Clock>,
     tokens: RwLock<std::collections::HashMap<String, RateState>>,
@@ -72,9 +112,9 @@ pub struct CryptextService {
     lookup_cache: Cache<String, Vec<LookupHit>>,
 }
 
-impl CryptextService {
+impl<S: TokenStore> CryptextService<S> {
     /// Wrap an assembled [`CrypText`] system.
-    pub fn new(system: CrypText, config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
+    pub fn new(system: CrypText<S>, config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
         let cache = Cache::new(
             CacheConfig {
                 capacity: config.cache_capacity,
@@ -105,10 +145,7 @@ impl CryptextService {
         );
         self.tokens.write().insert(
             token.clone(),
-            RateState {
-                window_start: self.clock.now(),
-                used: 0,
-            },
+            RateState::new(window_index(self.clock.now())),
         );
         ApiToken(token)
     }
@@ -119,24 +156,45 @@ impl CryptextService {
     }
 
     /// Authorize one request: token must exist and have window budget.
+    ///
+    /// Lock-light hot path: the token table is read-locked (many
+    /// authorizations proceed concurrently; only issue/revoke take the
+    /// write lock) and the per-token window state advances through one
+    /// packed-atomic CAS loop. Because the window index and the used
+    /// counter travel in the same word, rollover and slot claims are
+    /// mutually atomic and admission is exact: each clock-aligned
+    /// one-minute window admits precisely `rate_limit_per_minute`
+    /// requests no matter how many threads race.
     fn authorize(&self, token: &ApiToken) -> Result<()> {
-        let now = self.clock.now();
-        let mut tokens = self.tokens.write();
+        let now: Timestamp = self.clock.now();
+        let now_window = window_index(now);
+        let tokens = self.tokens.read();
         let state = tokens
-            .get_mut(&token.0)
+            .get(&token.0)
             .ok_or_else(|| Error::Unauthorized(format!("unknown token {}", token.0)))?;
-        if now.saturating_sub(state.window_start) >= WINDOW_MS {
-            state.window_start = now;
-            state.used = 0;
+        let mut cur = state.window.load(Ordering::Acquire);
+        loop {
+            let (win, used) = (cur >> 32, cur & 0xFFFF_FFFF);
+            if win == now_window && used as u32 >= self.config.rate_limit_per_minute {
+                return Err(Error::RateLimited(format!(
+                    "token {} exhausted {} requests/minute",
+                    token.0, self.config.rate_limit_per_minute
+                )));
+            }
+            let next = if win == now_window {
+                (win << 32) | (used + 1)
+            } else {
+                // Fresh window: this request claims its first slot.
+                (now_window << 32) | 1
+            };
+            match state
+                .window
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
         }
-        if state.used >= self.config.rate_limit_per_minute {
-            return Err(Error::RateLimited(format!(
-                "token {} exhausted {} requests/minute",
-                token.0, self.config.rate_limit_per_minute
-            )));
-        }
-        state.used += 1;
-        Ok(())
     }
 
     fn lookup_cache_key(token: &str, params: LookupParams) -> String {
@@ -257,7 +315,7 @@ impl CryptextService {
     }
 
     /// The wrapped system (read access).
-    pub fn system(&self) -> &CrypText {
+    pub fn system(&self) -> &CrypText<S> {
         &self.system
     }
 }
@@ -499,6 +557,77 @@ mod tests {
             .look_up_bulk(&tok, &["a", "b"], LookupParams::new(9, 1))
             .unwrap_err();
         assert!(matches!(err, Error::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn concurrent_authorization_admits_exactly_the_budget() {
+        // The read-locked atomic authorize path must admit exactly
+        // `rate_limit_per_minute` requests per window no matter how many
+        // threads race — every fetch_add claims a distinct slot.
+        let limit = 64u32;
+        let (svc, _) = service(limit);
+        let tok = svc.issue_token("racer");
+        let admitted = std::sync::atomic::AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..32 {
+                        if svc
+                            .look_up(&tok, "vaccine", LookupParams::paper_default())
+                            .is_ok()
+                        {
+                            admitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(admitted.load(std::sync::atomic::Ordering::Relaxed), limit);
+    }
+
+    #[test]
+    fn sharded_backend_serves_identical_results() {
+        use crate::shard::ShardedTokenDatabase;
+        let mut db = TokenDatabase::with_lexicon();
+        for s in [
+            "the demokRATs and democrats argue",
+            "repubLIEcans and republicans fight",
+            "the vaccine and the vacc1ne",
+        ] {
+            db.ingest_text(s);
+        }
+        let clock = SimClock::new(0);
+        let sharded = ShardedTokenDatabase::from_database(&db, 4);
+        let svc_single = CryptextService::new(
+            CrypText::new(db),
+            ServiceConfig::default(),
+            Arc::new(clock.clone()),
+        );
+        let svc_sharded = CryptextService::new(
+            CrypText::with_store(sharded),
+            ServiceConfig::default(),
+            Arc::new(clock.clone()),
+        );
+        let a = svc_single.issue_token("x");
+        let b = svc_sharded.issue_token("x");
+        let queries = ["democrats", "republicans", "vacc1ne", "unknownzz"];
+        assert_eq!(
+            svc_single
+                .look_up_bulk(&a, &queries, LookupParams::paper_default())
+                .unwrap(),
+            svc_sharded
+                .look_up_bulk(&b, &queries, LookupParams::paper_default())
+                .unwrap(),
+            "bulk Look Up identical across backends"
+        );
+        assert_eq!(
+            svc_single
+                .normalize(&a, "the demokRATs won", NormalizeParams::default())
+                .unwrap(),
+            svc_sharded
+                .normalize(&b, "the demokRATs won", NormalizeParams::default())
+                .unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,840 @@
+//! Consistent-hash sharding of the token database.
+//!
+//! [`ShardedTokenDatabase`] splits the corpus across N independent
+//! [`TokenDatabase`] shards so dictionaries that outgrow one instance
+//! (the paper mines ~3.6M perturbations and keeps growing) scale out
+//! instead of up. The pieces:
+//!
+//! * **Routing** — every token is owned by exactly one shard, selected by
+//!   [`jump_hash`](cryptext_common::hash::jump_hash) over the Fx hash of
+//!   the token's **primary `H_1` Soundex code** (tokens without phonetic
+//!   content fall back to hashing the raw token). Hashing the sound
+//!   rather than the spelling keeps a clean word and the bulk of its
+//!   perturbations colocated, and jump hashing keeps a future shard-count
+//!   change from reshuffling the whole corpus.
+//! * **Shard-local id spaces** — each shard keeps its own dense `u32`
+//!   record ids (the `CodeIndex` postings stay small and cache-friendly);
+//!   the router remaps them to globally unique ids at the
+//!   [`TokenStore`] boundary as `global = local * n_shards + shard`.
+//! * **Reads** — a lookup walks every shard's buckets through the shared
+//!   [`SoundScratch`]; records are disjoint across shards, so no
+//!   cross-shard dedup is needed and results are byte-identical to the
+//!   single-instance backend (proptest-pinned below). `&self` reads are
+//!   lock-free and `Sync`, so bulk endpoints fan out across cores without
+//!   serializing behind any writer.
+//! * **Batch ingest** — the parallel prepare phase (tokenize, confusable
+//!   fold, 3-level Soundex) runs per text through
+//!   [`cryptext_common::par`], then the prepared words scatter into
+//!   per-shard queues that merge **in parallel, one worker per shard**.
+//! * **Persistence** — one document-store collection per shard plus a
+//!   shard-count manifest record; persist and load fan out across shards
+//!   through the same pool. Re-persisting replaces the previous layout,
+//!   including stale shard collections from a larger prior shard count.
+
+use std::collections::BTreeMap;
+
+use cryptext_common::hash::{FxHashMap, FxHashSet, ShardRing};
+use cryptext_common::par::{par_map, try_par_map};
+use cryptext_common::{Error, Result};
+use cryptext_docstore::{Database, Document, Filter, Value};
+use cryptext_phonetics::{CustomSoundex, SoundexCode};
+use cryptext_tokenizer::tokenize_spans;
+use parking_lot::Mutex;
+
+use crate::database::{
+    PreparedWord, SoundScratch, TokenDatabase, TokenRecord, TokenStats, MAX_CLEAN_SENTENCES,
+    NUM_LEVELS,
+};
+use crate::store::TokenStore;
+
+/// One text prepared off-thread during parallel sharded ingest: the
+/// routed, encoded words plus the clean-sentence gate bits.
+struct ShardPreparedText {
+    /// `(shard, word)` for every word that reaches a shard; `Skip`s are
+    /// counted in `n_words` but not scattered.
+    words: Vec<(u32, PreparedWord)>,
+    n_words: usize,
+    any_word: bool,
+    all_english: bool,
+}
+
+/// A token database split across consistent-hash shards. See the module
+/// docs for the routing and id-space design; the public surface is the
+/// [`TokenStore`] trait plus a few shard-introspection helpers.
+pub struct ShardedTokenDatabase {
+    ring: ShardRing,
+    soundex: [CustomSoundex; NUM_LEVELS],
+    shards: Vec<TokenDatabase>,
+    clean_sentences: Vec<String>,
+}
+
+impl ShardedTokenDatabase {
+    /// An empty store over `shards` consistent-hash shards (clamped to at
+    /// least 1).
+    pub fn in_memory(shards: usize) -> Self {
+        let ring = ShardRing::new(shards);
+        ShardedTokenDatabase {
+            ring,
+            soundex: [
+                CustomSoundex::new(0),
+                CustomSoundex::new(1),
+                CustomSoundex::new(2),
+            ],
+            shards: (0..ring.shards())
+                .map(|_| TokenDatabase::in_memory())
+                .collect(),
+            clean_sentences: Vec::new(),
+        }
+    }
+
+    /// An empty sharded store pre-seeded with the English lexicon.
+    pub fn with_lexicon(shards: usize) -> Self {
+        let mut db = Self::in_memory(shards);
+        db.seed_lexicon_impl();
+        db
+    }
+
+    /// Reshard an existing single-instance database: every record keeps
+    /// its token, occurrence count, and lexicon status; clean sentences
+    /// carry over. Statistics and retrieval results are preserved exactly.
+    pub fn from_database(db: &TokenDatabase, shards: usize) -> Self {
+        let mut out = Self::in_memory(shards);
+        for rec in db.records() {
+            let s = out.route(&rec.token);
+            out.shards[s].upsert_token(&rec.token, rec.count);
+        }
+        for sentence in db.clean_sentences() {
+            out.record_clean_sentence_impl(sentence);
+        }
+        out
+    }
+
+    /// The shard that owns `token`: jump hash of the primary `H_1` code,
+    /// falling back to the raw token for strings without phonetic content.
+    #[inline]
+    fn route(&self, token: &str) -> usize {
+        match self.soundex[1].encode(token) {
+            Some(code) => self.ring.route_str(code.as_str()),
+            None => self.ring.route_str(token),
+        }
+    }
+
+    /// Read access to one shard (for introspection and tests).
+    pub fn shard(&self, i: usize) -> &TokenDatabase {
+        &self.shards[i]
+    }
+
+    /// The record behind a global id handed out by
+    /// [`TokenStore::for_each_sound_mate`].
+    pub fn record(&self, global_id: u32) -> Option<&TokenRecord> {
+        let n = self.shards.len() as u32;
+        let shard = self.shards.get((global_id % n) as usize)?;
+        shard.records().get((global_id / n) as usize)
+    }
+
+    fn compute_codes(&self, token: &str) -> [Vec<SoundexCode>; NUM_LEVELS] {
+        [
+            self.soundex[0].encode_all(token),
+            self.soundex[1].encode_all(token),
+            self.soundex[2].encode_all(token),
+        ]
+    }
+
+    /// The read-only, parallel-safe half of sharded batch ingest: route,
+    /// gate, and encode every word of one text against the pre-batch
+    /// shard states. Mirrors `TokenDatabase::prepare_text` word for word,
+    /// with the routed shard standing in for the single instance.
+    fn prepare_text(&self, text: &str) -> ShardPreparedText {
+        let mut words = Vec::new();
+        let mut n_words = 0usize;
+        let mut any_word = false;
+        let mut all_english = true;
+        // New tokens already encoded earlier in this text (routing is
+        // deterministic, so a repeated token always targets one shard).
+        let mut local: FxHashMap<&str, bool> = FxHashMap::default();
+        // Routing runs a Soundex encode, so memoize it per distinct token:
+        // a word repeated through a text routes once, not per occurrence.
+        let mut routed: FxHashMap<&str, u32> = FxHashMap::default();
+        for tok in tokenize_spans(text) {
+            if !tok.is_word() {
+                continue;
+            }
+            let t = tok.text(text);
+            any_word = true;
+            if !cryptext_corpus::is_english_word(t) {
+                all_english = false;
+            }
+            n_words += 1;
+            if t.chars().count() < 2 {
+                continue; // Skip: counted, never stored.
+            }
+            let s = match routed.get(t) {
+                Some(&s) => s,
+                None => {
+                    let s = self.route(t) as u32;
+                    routed.insert(t, s);
+                    s
+                }
+            };
+            if let Some(id) = self.shards[s as usize].id_of_token(t) {
+                words.push((s, PreparedWord::Known(id)));
+                continue;
+            }
+            match local.get(t) {
+                Some(true) => words.push((s, PreparedWord::Repeat(t.to_string()))),
+                Some(false) => {}
+                None => {
+                    let codes = self.compute_codes(t);
+                    if codes[0].is_empty() {
+                        local.insert(t, false); // no phonetic content
+                    } else {
+                        local.insert(t, true);
+                        words.push((s, PreparedWord::Fresh(t.to_string(), Box::new(codes))));
+                    }
+                }
+            }
+        }
+        ShardPreparedText {
+            words,
+            n_words,
+            any_word,
+            all_english,
+        }
+    }
+
+    fn record_clean_sentence_impl(&mut self, text: &str) {
+        if self.clean_sentences.len() < MAX_CLEAN_SENTENCES {
+            self.clean_sentences.push(text.to_string());
+        }
+    }
+
+    fn seed_lexicon_impl(&mut self) {
+        for w in cryptext_corpus::english_lexicon() {
+            let s = self.route(w);
+            self.shards[s].upsert_token(w, 0);
+        }
+    }
+
+    /// Merged Table-I view across shards: identical to what a single
+    /// instance over the same corpus would produce (each record lives in
+    /// exactly one shard, and both sides sort codes and tokens).
+    pub fn hashmap_view(&self, k: usize) -> Result<Vec<(String, Vec<String>)>> {
+        TokenDatabase::check_level(k)?;
+        let mut merged: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for shard in &self.shards {
+            for (code, tokens) in shard.hashmap_view(k)? {
+                merged.entry(code).or_default().extend(tokens);
+            }
+        }
+        Ok(merged
+            .into_iter()
+            .map(|(code, mut tokens)| {
+                tokens.sort();
+                (code, tokens)
+            })
+            .collect())
+    }
+
+    /// The name of shard `i`'s collection under a persist of `collection`.
+    fn shard_collection(collection: &str, i: usize) -> String {
+        format!("{collection}__shard{i}")
+    }
+
+    /// Read the shard count recorded by a sharded persist of `collection`,
+    /// or `None` when the collection is absent or not a sharded layout.
+    pub fn manifest_shards(store: &Database, collection: &str) -> Result<Option<usize>> {
+        if !store.has_collection(collection) {
+            return Ok(None);
+        }
+        let Some((_, doc)) = store.find_one(collection, &Filter::All)? else {
+            return Ok(None);
+        };
+        Ok(doc
+            .get("shard_manifest")
+            .and_then(Value::as_int)
+            .filter(|&n| n > 0)
+            .map(|n| n as usize))
+    }
+}
+
+impl TokenStore for ShardedTokenDatabase {
+    fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn for_each_sound_mate<'a, F>(
+        &'a self,
+        k: usize,
+        token: &str,
+        scratch: &mut SoundScratch,
+        mut f: F,
+    ) -> Result<()>
+    where
+        F: FnMut(u32, &'a TokenRecord),
+    {
+        TokenDatabase::check_level(k)?;
+        let n = self.shards.len() as u32;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let s = s as u32;
+            shard.for_each_sound_mate(k, token, scratch, |local, rec| f(local * n + s, rec))?;
+        }
+        Ok(())
+    }
+
+    fn get(&self, token: &str) -> Option<&TokenRecord> {
+        self.shards[self.route(token)].get(token)
+    }
+
+    fn stats(&self) -> TokenStats {
+        let mut stats = TokenStats {
+            unique_tokens: 0,
+            total_occurrences: 0,
+            unique_sounds: [0; NUM_LEVELS],
+            english_tokens: 0,
+        };
+        for shard in &self.shards {
+            let s = shard.stats();
+            stats.unique_tokens += s.unique_tokens;
+            stats.total_occurrences += s.total_occurrences;
+            stats.english_tokens += s.english_tokens;
+        }
+        // Sounds are not disjoint across shards (a code can host tokens in
+        // several shards through ambiguous secondary readings), so the
+        // per-level counts are unions, not sums.
+        for k in 0..NUM_LEVELS {
+            let mut seen: FxHashSet<&str> = FxHashSet::default();
+            for shard in &self.shards {
+                for name in shard.code_names(k) {
+                    seen.insert(name);
+                }
+            }
+            stats.unique_sounds[k] = seen.len();
+        }
+        stats
+    }
+
+    fn unique_tokens(&self) -> usize {
+        self.shards.iter().map(|s| s.records().len()).sum()
+    }
+
+    fn clean_sentences(&self) -> &[String] {
+        &self.clean_sentences
+    }
+
+    fn soundex(&self, k: usize) -> Result<&CustomSoundex> {
+        TokenDatabase::check_level(k)?;
+        Ok(&self.soundex[k])
+    }
+
+    fn hashmap_view(&self, k: usize) -> Result<Vec<(String, Vec<String>)>> {
+        ShardedTokenDatabase::hashmap_view(self, k)
+    }
+
+    fn ingest_token(&mut self, token: &str) {
+        if token.chars().count() < 2 {
+            return;
+        }
+        if self.soundex[0].encode(token).is_none() {
+            return; // no phonetic content
+        }
+        let s = self.route(token);
+        self.shards[s].upsert_token(token, 1);
+    }
+
+    // `ingest_text` uses the trait's default implementation: the canonical
+    // tokenize/gate/clean-sentence loop over `ingest_token` +
+    // `record_clean_sentence`, shared with the single-instance backend so
+    // the two can never drift.
+
+    fn ingest_texts<T: AsRef<str> + Sync>(&mut self, texts: &[T]) -> usize {
+        let prepared: Vec<ShardPreparedText> =
+            par_map(texts, |text| self.prepare_text(text.as_ref()));
+
+        // Scatter into per-shard merge queues in input order, collecting
+        // clean sentences at the router (the gate is per text, not per
+        // shard).
+        let mut queues: Vec<Vec<PreparedWord>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut n = 0;
+        for (text, prep) in texts.iter().zip(prepared) {
+            n += prep.n_words;
+            for (s, word) in prep.words {
+                queues[s as usize].push(word);
+            }
+            if prep.any_word && prep.all_english {
+                self.record_clean_sentence_impl(text.as_ref());
+            }
+        }
+
+        // Parallel per-shard merge: shards are disjoint, so each queue
+        // applies independently. Each Mutex is locked exactly once, by the
+        // worker that owns that shard's merge.
+        let jobs: Vec<Mutex<(TokenDatabase, Vec<PreparedWord>)>> =
+            self.shards.drain(..).zip(queues).map(Mutex::new).collect();
+        par_map(&jobs, |job| {
+            let mut guard = job.lock();
+            let (shard, queue) = &mut *guard;
+            for word in queue.drain(..) {
+                shard.merge_prepared_word(word);
+            }
+        });
+        self.shards = jobs.into_iter().map(|job| job.into_inner().0).collect();
+        n
+    }
+
+    fn record_clean_sentence(&mut self, text: &str) {
+        self.record_clean_sentence_impl(text)
+    }
+
+    fn seed_lexicon(&mut self) {
+        self.seed_lexicon_impl()
+    }
+
+    fn persist_to(&self, store: &Database, collection: &str) -> Result<()> {
+        // Replace semantics: wipe the manifest and every shard collection
+        // from a previous persist under this name — including stale ones
+        // left by a persist with a larger shard count.
+        if store.has_collection(collection) {
+            store.drop_collection(collection)?;
+        }
+        let prefix = format!("{collection}__shard");
+        for name in store.collections_with_prefix(&prefix) {
+            store.drop_collection(&name)?;
+        }
+        store.create_collection(collection)?;
+        store.insert(
+            collection,
+            Document::new().with("shard_manifest", self.shards.len() as i64),
+        )?;
+        // Fan out: one collection per shard, persisted in parallel (the
+        // document store takes per-collection locks, so writers do not
+        // contend).
+        let jobs: Vec<(usize, &TokenDatabase)> = self.shards.iter().enumerate().collect();
+        try_par_map(&jobs, |&(i, shard)| {
+            shard.persist_to(store, &Self::shard_collection(collection, i))
+        })?;
+        Ok(())
+    }
+
+    fn load_from(store: &Database, collection: &str) -> Result<Self> {
+        let n = Self::manifest_shards(store, collection)?.ok_or_else(|| {
+            Error::corrupt(format!(
+                "collection {collection} has no shard-count manifest"
+            ))
+        })?;
+        let idx: Vec<usize> = (0..n).collect();
+        let shards = try_par_map(&idx, |&i| {
+            TokenDatabase::load_from(store, &Self::shard_collection(collection, i))
+        })?;
+        let mut out = Self::in_memory(n);
+        out.shards = shards;
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for ShardedTokenDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = TokenStore::stats(self);
+        f.debug_struct("ShardedTokenDatabase")
+            .field("shards", &self.shards.len())
+            .field("unique_tokens", &s.unique_tokens)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup::{look_up, LookupParams};
+
+    const FIXTURE_TEXTS: [&str; 6] = [
+        "the dirrty republicans",
+        "thee dirty repubLIEcans",
+        "the dirty republic@@ns",
+        "the demokRATs and the democrats",
+        "thinking about suic1de",
+        "suicide prevention matters",
+    ];
+
+    fn single() -> TokenDatabase {
+        let mut db = TokenDatabase::in_memory();
+        for t in FIXTURE_TEXTS {
+            db.ingest_text(t);
+        }
+        db
+    }
+
+    fn sharded(n: usize) -> ShardedTokenDatabase {
+        let mut db = ShardedTokenDatabase::in_memory(n);
+        for t in FIXTURE_TEXTS {
+            TokenStore::ingest_text(&mut db, t);
+        }
+        db
+    }
+
+    fn assert_equivalent(flat: &TokenDatabase, wide: &ShardedTokenDatabase) {
+        assert_eq!(TokenStore::stats(wide), flat.stats());
+        assert_eq!(wide.clean_sentences(), flat.clean_sentences());
+        for k in 0..NUM_LEVELS {
+            assert_eq!(
+                ShardedTokenDatabase::hashmap_view(wide, k).unwrap(),
+                flat.hashmap_view(k).unwrap(),
+                "H_{k} identical"
+            );
+        }
+        for q in [
+            "republicans",
+            "democrats",
+            "suic1de",
+            "the",
+            "zzzzzz",
+            "vãccine",
+        ] {
+            for k in 0..NUM_LEVELS {
+                for d in 0..4 {
+                    for params in [
+                        LookupParams::new(k, d),
+                        LookupParams::new(k, d).perturbations_only(),
+                        LookupParams::new(k, d).observed(),
+                    ] {
+                        assert_eq!(
+                            look_up(wide, q, params).unwrap(),
+                            look_up(flat, q, params).unwrap(),
+                            "query {q:?} params {params:?}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(TokenStore::get(wide, q), flat.get(q));
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_for_every_shard_count() {
+        let flat = single();
+        for n in 1..=8 {
+            let wide = sharded(n);
+            assert_eq!(wide.num_shards(), n);
+            assert_equivalent(&flat, &wide);
+        }
+    }
+
+    #[test]
+    fn every_record_lives_in_exactly_one_shard() {
+        let wide = sharded(4);
+        let flat = single();
+        let total: usize = (0..4).map(|i| wide.shard(i).records().len()).sum();
+        assert_eq!(total, flat.stats().unique_tokens);
+        // With more than one shard and this corpus, the records actually
+        // spread out (the router is not degenerate).
+        let populated = (0..4)
+            .filter(|&i| !wide.shard(i).records().is_empty())
+            .count();
+        assert!(populated > 1, "tokens spread across shards");
+    }
+
+    #[test]
+    fn routing_groups_primary_sound_mates() {
+        let wide = sharded(8);
+        // Tokens sharing a primary H_1 code are colocated by construction.
+        let a = wide.route("dirty");
+        let b = wide.route("dirrty");
+        assert_eq!(a, b, "same primary H_1 code → same shard");
+    }
+
+    #[test]
+    fn global_ids_decode_back_to_records() {
+        let wide = sharded(3);
+        let mut scratch = SoundScratch::new();
+        let mut seen = 0;
+        TokenStore::for_each_sound_mate(&wide, 1, "republicans", &mut scratch, |id, rec| {
+            assert_eq!(
+                wide.record(id).expect("global id resolves"),
+                rec,
+                "id ↔ record agree through the shard remap"
+            );
+            seen += 1;
+        })
+        .unwrap();
+        assert!(seen >= 3, "all republicans variants visited");
+        assert!(wide.record(u32::MAX).is_none());
+    }
+
+    #[test]
+    fn batch_ingest_matches_sequential_and_single() {
+        let texts: Vec<String> = (0..40)
+            .map(|i| match i % 5 {
+                0 => format!("the dirrty republicans round {i}"),
+                1 => "thee dirty repubLIEcans".to_string(),
+                2 => format!("vacc1ne mandate pushback {i}"),
+                3 => "the vaccine mandate was announced".to_string(),
+                _ => "thinking about suic1de 🙂 ok".to_string(),
+            })
+            .collect();
+
+        let mut flat = TokenDatabase::in_memory();
+        let mut expect_n = 0;
+        for t in &texts {
+            expect_n += flat.ingest_text(t);
+        }
+
+        for n in [1usize, 3, 8] {
+            let mut seq = ShardedTokenDatabase::in_memory(n);
+            for t in &texts {
+                TokenStore::ingest_text(&mut seq, t);
+            }
+            let mut par = ShardedTokenDatabase::in_memory(n);
+            let got_n = TokenStore::ingest_texts(&mut par, &texts);
+            assert_eq!(got_n, expect_n, "{n} shards: token count");
+            for i in 0..n {
+                assert_eq!(
+                    par.shard(i).records(),
+                    seq.shard(i).records(),
+                    "{n} shards: shard {i} byte-identical to sequential"
+                );
+            }
+            assert_eq!(par.clean_sentences(), seq.clean_sentences());
+            assert_equivalent(&flat, &par);
+        }
+    }
+
+    #[test]
+    fn batch_ingest_on_prepopulated_store() {
+        let mut flat = TokenDatabase::with_lexicon();
+        let mut wide = ShardedTokenDatabase::with_lexicon(4);
+        let texts = ["the demokRATs rallied", "the demokRATs rallied again"];
+        for t in texts {
+            flat.ingest_text(t);
+        }
+        TokenStore::ingest_texts(&mut wide, &texts);
+        assert_eq!(TokenStore::get(&wide, "demokRATs").unwrap().count, 2);
+        assert_equivalent(&flat, &wide);
+    }
+
+    #[test]
+    fn from_database_preserves_everything() {
+        let flat = single();
+        for n in [1usize, 2, 5, 8] {
+            let wide = ShardedTokenDatabase::from_database(&flat, n);
+            assert_equivalent(&flat, &wide);
+        }
+    }
+
+    #[test]
+    fn persist_load_round_trip_per_shard_count() {
+        let flat = single();
+        for n in [1usize, 2, 4, 8] {
+            let wide = sharded(n);
+            let store = Database::in_memory();
+            TokenStore::persist_to(&wide, &store, "tokens").unwrap();
+            assert_eq!(
+                ShardedTokenDatabase::manifest_shards(&store, "tokens").unwrap(),
+                Some(n)
+            );
+            let restored = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
+            assert_eq!(restored.num_shards(), n);
+            assert_eq!(TokenStore::stats(&restored), flat.stats());
+            for k in 0..NUM_LEVELS {
+                assert_eq!(
+                    ShardedTokenDatabase::hashmap_view(&restored, k).unwrap(),
+                    flat.hashmap_view(k).unwrap()
+                );
+            }
+            assert_eq!(
+                look_up(&restored, "republicans", LookupParams::paper_default()).unwrap(),
+                look_up(&flat, "republicans", LookupParams::paper_default()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn repersist_replaces_and_drops_stale_shards() {
+        // Persist with 8 shards, then re-persist the same corpus with 2:
+        // the load must see exactly 2 shards and the 6 stale collections
+        // must be gone (double-persist is replace, never append).
+        let store = Database::in_memory();
+        TokenStore::persist_to(&sharded(8), &store, "tokens").unwrap();
+        let names_before = store.collections_with_prefix("tokens__shard");
+        assert_eq!(names_before.len(), 8);
+
+        let two = sharded(2);
+        TokenStore::persist_to(&two, &store, "tokens").unwrap();
+        TokenStore::persist_to(&two, &store, "tokens").unwrap(); // double persist
+        assert_eq!(store.collections_with_prefix("tokens__shard").len(), 2);
+
+        let restored = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
+        assert_eq!(restored.num_shards(), 2);
+        assert_eq!(TokenStore::stats(&restored), single().stats());
+    }
+
+    #[test]
+    fn load_from_without_manifest_is_corrupt() {
+        let store = Database::in_memory();
+        single().persist_to(&store, "tokens").unwrap();
+        let err = ShardedTokenDatabase::load_from(&store, "tokens").unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)));
+        assert!(ShardedTokenDatabase::load_from(&store, "missing").is_err());
+    }
+
+    #[test]
+    fn crawler_feeds_sharded_store_identically() {
+        use crate::ingest::Crawler;
+        let platform = cryptext_stream::SocialPlatform::simulate(cryptext_stream::StreamConfig {
+            n_posts: 200,
+            seed: 3,
+            ..cryptext_stream::StreamConfig::default()
+        });
+        let mut flat = TokenDatabase::in_memory();
+        let mut wide = ShardedTokenDatabase::in_memory(4);
+        let a = Crawler::new().run_once(&platform, &mut flat, 0);
+        let b = Crawler::new().run_once(&platform, &mut wide, 0);
+        assert_eq!(a, b, "crawl statistics agree");
+        assert_eq!(TokenStore::stats(&wide), flat.stats());
+    }
+
+    #[test]
+    fn normalize_identical_across_backends() {
+        let mut flat = TokenDatabase::with_lexicon();
+        for t in FIXTURE_TEXTS {
+            flat.ingest_text(t);
+        }
+        let lm = cryptext_lm::NgramLm::train([
+            "biden belongs to the democrats",
+            "the republicans blocked the bill",
+            "suicide prevention is important",
+        ]);
+        let n = crate::normalize::Normalizer::new(&lm);
+        let wide = ShardedTokenDatabase::from_database(&flat, 5);
+        for text in [
+            "Biden belongs to the demokRATs",
+            "thinking about suic1de",
+            "the dirty republic@@ns everywhere",
+            "clean text stays clean",
+        ] {
+            assert_eq!(
+                n.normalize(&wide, text, crate::normalize::NormalizeParams::default())
+                    .unwrap(),
+                n.normalize(&flat, text, crate::normalize::NormalizeParams::default())
+                    .unwrap(),
+                "text {text:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::lookup::{look_up, LookupParams};
+    use proptest::prelude::*;
+
+    /// Multi-word text over an alphabet that exercises leet fan-out
+    /// (1 ↔ i/l, @ ↔ a) against the seeded lexicon.
+    fn text_strategy() -> impl Strategy<Value = String> {
+        proptest::collection::vec("[a-e1@]{2,8}", 0..6).prop_map(|ws| ws.join(" "))
+    }
+
+    proptest! {
+        /// The tentpole pin: for any corpus and any shard count 1–8, the
+        /// sharded backend returns byte-identical Look Up hits, statistics,
+        /// and Table-I views to the single instance — including after a
+        /// per-shard persist/load round trip.
+        #[test]
+        fn sharded_equals_single_reference(
+            tokens in proptest::collection::vec("[a-e1@O]{2,9}", 1..25),
+            queries in proptest::collection::vec("[a-e1@O]{2,9}", 1..5),
+            shards in 1usize..=8,
+            k in 0usize..=2,
+            d in 0usize..=4,
+            exclude_identity in proptest::arbitrary::any::<bool>(),
+            observed_only in proptest::arbitrary::any::<bool>(),
+        ) {
+            let mut flat = TokenDatabase::in_memory();
+            let mut wide = ShardedTokenDatabase::in_memory(shards);
+            for t in &tokens {
+                flat.ingest_token(t);
+                TokenStore::ingest_token(&mut wide, t);
+            }
+            let mut params = LookupParams::new(k, d);
+            params.exclude_identity = exclude_identity;
+            params.observed_only = observed_only;
+
+            prop_assert_eq!(TokenStore::stats(&wide), flat.stats());
+            for level in 0..NUM_LEVELS {
+                prop_assert_eq!(
+                    ShardedTokenDatabase::hashmap_view(&wide, level).unwrap(),
+                    flat.hashmap_view(level).unwrap()
+                );
+            }
+            for q in &queries {
+                prop_assert_eq!(
+                    look_up(&wide, q, params).unwrap(),
+                    look_up(&flat, q, params).unwrap(),
+                    "query {:?} params {:?}", q, params
+                );
+                prop_assert_eq!(TokenStore::get(&wide, q), flat.get(q));
+            }
+
+            // Persist/load round trip at this shard count.
+            let store = Database::in_memory();
+            TokenStore::persist_to(&wide, &store, "tokens").unwrap();
+            let restored = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
+            prop_assert_eq!(restored.num_shards(), shards);
+            prop_assert_eq!(TokenStore::stats(&restored), flat.stats());
+            for q in &queries {
+                prop_assert_eq!(
+                    look_up(&restored, q, params).unwrap(),
+                    look_up(&flat, q, params).unwrap(),
+                    "after round trip: query {:?}", q
+                );
+            }
+        }
+
+        /// Normalization over the sharded backend is byte-identical to the
+        /// single instance: same corrected text, same spans, same scores,
+        /// same full candidate ordering.
+        #[test]
+        fn sharded_normalize_equals_single(
+            corpus in proptest::collection::vec(text_strategy(), 1..6),
+            texts in proptest::collection::vec(text_strategy(), 1..4),
+            shards in 2usize..=8,
+        ) {
+            let mut flat = TokenDatabase::with_lexicon();
+            for t in &corpus {
+                flat.ingest_text(t);
+            }
+            let wide = ShardedTokenDatabase::from_database(&flat, shards);
+            let lm = cryptext_lm::NgramLm::train(corpus.iter().map(|s| s.as_str()));
+            let n = crate::normalize::Normalizer::new(&lm);
+            let params = crate::normalize::NormalizeParams::default();
+            for text in &texts {
+                prop_assert_eq!(
+                    n.normalize(&wide, text, params).unwrap(),
+                    n.normalize(&flat, text, params).unwrap(),
+                    "text {:?} shards {}", text, shards
+                );
+            }
+        }
+
+        /// Parallel sharded batch ingest is byte-identical (per shard) to
+        /// sequential sharded ingest of the same texts in order.
+        #[test]
+        fn sharded_batch_ingest_equals_sequential(
+            texts in proptest::collection::vec(text_strategy(), 1..10),
+            shards in 1usize..=6,
+        ) {
+            let mut seq = ShardedTokenDatabase::in_memory(shards);
+            let mut expect_n = 0;
+            for t in &texts {
+                expect_n += TokenStore::ingest_text(&mut seq, t);
+            }
+            let mut par = ShardedTokenDatabase::in_memory(shards);
+            let n = TokenStore::ingest_texts(&mut par, &texts);
+            prop_assert_eq!(n, expect_n);
+            for i in 0..shards {
+                prop_assert_eq!(par.shard(i).records(), seq.shard(i).records(), "shard {}", i);
+            }
+            prop_assert_eq!(par.clean_sentences(), seq.clean_sentences());
+        }
+    }
+}

@@ -180,6 +180,19 @@ impl Database {
         self.collections.read().contains_key(name)
     }
 
+    /// Names of all collections starting with `prefix`, sorted. Sharded
+    /// persists name their per-shard collections `{base}__shard{i}`; this
+    /// lets a re-persist find and replace every collection of the previous
+    /// layout, including stale shards from a larger prior shard count.
+    pub fn collections_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.collections
+            .read()
+            .keys()
+            .filter(|name| name.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
     fn with_collection<R>(
         &self,
         name: &str,
@@ -367,6 +380,19 @@ mod tests {
         assert!(db.insert("nope", Document::new()).is_err());
         assert!(db.find("nope", &Filter::All).is_err());
         assert!(matches!(db.len("nope").unwrap_err(), Error::NotFound(_)));
+    }
+
+    #[test]
+    fn collections_with_prefix_filters_and_sorts() {
+        let db = Database::in_memory();
+        for name in ["tokens", "tokens__shard1", "tokens__shard0", "other"] {
+            db.create_collection(name).unwrap();
+        }
+        assert_eq!(
+            db.collections_with_prefix("tokens__shard"),
+            vec!["tokens__shard0".to_string(), "tokens__shard1".to_string()]
+        );
+        assert!(db.collections_with_prefix("nope").is_empty());
     }
 
     #[test]

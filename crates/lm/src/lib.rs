@@ -85,19 +85,33 @@ impl LmBuilder {
     /// Count one sentence (already split into word tokens). Tokens are
     /// lowercased; boundary markers are added internally.
     pub fn train_sentence<S: AsRef<str>>(&mut self, tokens: &[S]) {
-        if tokens.is_empty() {
-            return;
-        }
-        self.sentences += 1;
-        let mut syms = Vec::with_capacity(tokens.len() + 4);
+        self.train_words(tokens.iter().map(|t| t.as_ref()))
+    }
+
+    /// The borrowed-token training core: interns every word straight from
+    /// `&str` slices, allocating only when a token actually contains an
+    /// ASCII uppercase letter (the fold is then unavoidable). Empty
+    /// sentences are not counted.
+    fn train_words<'x>(&mut self, tokens: impl Iterator<Item = &'x str>) {
         let bos = self.interner.get_or_intern(BOS);
         let eos = self.interner.get_or_intern(EOS);
+        let mut syms = Vec::with_capacity(tokens.size_hint().0 + 4);
         syms.push(bos);
         syms.push(bos);
         for t in tokens {
-            let lower = t.as_ref().to_ascii_lowercase();
-            syms.push(self.interner.get_or_intern(&lower));
+            // Already-lowercase tokens (the common case: span-tokenized
+            // clean sentences) intern without a per-token String.
+            let sym = if t.bytes().any(|b| b.is_ascii_uppercase()) {
+                self.interner.get_or_intern(&t.to_ascii_lowercase())
+            } else {
+                self.interner.get_or_intern(t)
+            };
+            syms.push(sym);
         }
+        if syms.len() == 2 {
+            return; // no word tokens — not a sentence
+        }
+        self.sentences += 1;
         syms.push(eos);
         syms.push(eos);
 
@@ -115,11 +129,12 @@ impl LmBuilder {
     }
 
     /// Tokenize `text` with the social-media tokenizer and count every
-    /// word token as one sentence per line.
+    /// word token as one sentence per line. Runs on the zero-copy
+    /// [`cryptext_tokenizer::word_spans`] path: token text is borrowed
+    /// from `text` all the way into the interner.
     pub fn train_text(&mut self, text: &str) {
         for line in text.lines() {
-            let words = cryptext_tokenizer::words(line);
-            self.train_sentence(&words);
+            self.train_words(cryptext_tokenizer::word_spans(line));
         }
     }
 
@@ -167,11 +182,12 @@ pub struct NgramLm {
 
 impl NgramLm {
     /// Train from an iterator of sentences with default interpolation.
+    /// Each sentence tokenizes through the zero-copy span path and interns
+    /// directly from the borrowed text.
     pub fn train<'a>(sentences: impl IntoIterator<Item = &'a str>) -> Self {
         let mut b = LmBuilder::new();
         for s in sentences {
-            let words = cryptext_tokenizer::words(s);
-            b.train_sentence(&words);
+            b.train_words(cryptext_tokenizer::word_spans(s));
         }
         b.build(Interpolation::default())
     }
@@ -630,6 +646,60 @@ mod tests {
         assert_eq!(lm.sentences(), 2);
         assert!(lm.knows("cat"));
         assert!(lm.knows("dog"));
+    }
+
+    #[test]
+    fn borrowed_span_training_matches_owned_token_training() {
+        // The zero-copy train_text path (conditional fold, interning from
+        // borrowed text) must score bit-identically to a reference built
+        // from owned, *pre-folded* token Strings. Pre-folding matters:
+        // the reference side's internal conditional fold is then a no-op
+        // by construction, so a bug in the skip-allocation fold on the
+        // span side cannot cancel out — mixed-case inputs would diverge.
+        // (Span-vs-owned tokenization equivalence is pinned separately in
+        // cryptext-tokenizer's word_spans differential test.)
+        let texts = [
+            "the demokRATs proposed the bill",
+            "check https://x.com the vacc1ne mandate!! 123",
+            "@user thinking about suic1de 🙂 ok",
+            "",
+            "!!! 🙂 …",
+            "CASE Folding MiXeD tokens",
+        ];
+        let mut spans = LmBuilder::new();
+        let mut owned = LmBuilder::new();
+        for t in texts {
+            spans.train_text(t);
+            for line in t.lines() {
+                let lowered: Vec<String> = cryptext_tokenizer::words(line)
+                    .iter()
+                    .map(|w| w.to_ascii_lowercase())
+                    .collect();
+                owned.train_sentence(&lowered);
+            }
+        }
+        let spans = spans.build(Interpolation::default());
+        let owned = owned.build(Interpolation::default());
+        assert_eq!(spans.sentences(), owned.sentences());
+        assert_eq!(spans.vocab_size(), owned.vocab_size());
+        // Word-less lines (punctuation/emoji only) are not sentences.
+        assert_eq!(spans.sentences(), 4);
+        for (word, left, right) in [
+            ("democrats", vec!["the"], vec!["proposed"]),
+            ("vacc1ne", vec!["the"], vec!["mandate"]),
+            ("tokens", vec!["case", "folding"], vec![]),
+            ("unknownzzz", vec![], vec![]),
+        ] {
+            assert_eq!(
+                spans.coherency(word, &left, &right).to_bits(),
+                owned.coherency(word, &left, &right).to_bits(),
+                "coherency({word:?})"
+            );
+            assert_eq!(
+                spans.unigram_log_prob(word).to_bits(),
+                owned.unigram_log_prob(word).to_bits()
+            );
+        }
     }
 
     #[test]

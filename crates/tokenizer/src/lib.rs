@@ -219,12 +219,23 @@ pub fn tokenize_spans(input: &str) -> Vec<TokenSpan> {
 }
 
 /// Convenience: just the word tokens' texts, in order.
+///
+/// Runs on the zero-copy [`tokenize_spans`] path — the only allocations
+/// are the returned `String`s; non-word tokens never materialize at all.
+/// Callers that can consume borrowed text should prefer
+/// [`word_spans`]/[`tokenize_spans`] directly.
 pub fn words(input: &str) -> Vec<String> {
-    tokenize(input)
+    word_spans(input).map(|w| w.to_string()).collect()
+}
+
+/// The word tokens' texts as borrowed slices of `input`, in order — the
+/// allocation-free sibling of [`words`]. LM training interns straight from
+/// these without ever owning a token.
+pub fn word_spans(input: &str) -> impl Iterator<Item = &str> {
+    tokenize_spans(input)
         .into_iter()
         .filter(|t| t.is_word())
-        .map(|t| t.text)
-        .collect()
+        .map(move |t| &input[t.span])
 }
 
 /// Replace spans of `input` with new strings. `replacements` must be
@@ -329,6 +340,36 @@ mod tests {
                 ("republicans".into(), TokenKind::Word),
             ]
         );
+    }
+
+    #[test]
+    fn word_spans_borrow_and_match_words() {
+        for input in [
+            "@user check https://x.com the vaccine!! 123",
+            "thinking about suic1de 🙂 ok",
+            "dem0cr@ts and cla$$",
+            "",
+            "CASE MiXeD",
+        ] {
+            let borrowed: Vec<&str> = word_spans(input).collect();
+            // Differential against the owned-Token tokenizer (not against
+            // words(), which now delegates to word_spans itself).
+            let reference: Vec<String> = tokenize(input)
+                .into_iter()
+                .filter(|t| t.is_word())
+                .map(|t| t.text)
+                .collect();
+            assert_eq!(
+                borrowed,
+                reference.iter().map(String::as_str).collect::<Vec<_>>(),
+                "word_spans ≡ owned-Token word texts on {input:?}"
+            );
+            // Genuinely zero-copy: every yielded slice points into `input`.
+            for w in borrowed {
+                let input_range = input.as_ptr() as usize..input.as_ptr() as usize + input.len();
+                assert!(input_range.contains(&(w.as_ptr() as usize)));
+            }
+        }
     }
 
     #[test]

@@ -4,11 +4,16 @@
 use cryptext::core::database::TokenDatabase;
 use cryptext::core::ingest::Crawler;
 use cryptext::core::listening::{ListeningConfig, SocialListener};
-use cryptext::core::{CrypText, LookupParams, NormalizeParams, PerturbParams};
+use cryptext::core::TokenStore as _;
+use cryptext::core::{AnyTokenStore, CrypText, LookupParams, NormalizeParams, PerturbParams};
 use cryptext::corpus::Sentiment;
 use cryptext::stream::{SocialPlatform, StreamConfig};
 
-fn pipeline() -> (SocialPlatform, CrypText) {
+/// The system under test runs on the `CRYPTEXT_SHARDS`-selected storage
+/// backend (single instance by default; CI re-runs the whole suite with
+/// `CRYPTEXT_SHARDS=4` to exercise the consistent-hash sharded path —
+/// every assertion below must hold identically on both).
+fn pipeline() -> (SocialPlatform, CrypText<AnyTokenStore>) {
     let platform = SocialPlatform::simulate(StreamConfig {
         n_posts: 2_500,
         seed: 4242,
@@ -18,7 +23,7 @@ fn pipeline() -> (SocialPlatform, CrypText) {
     let mut crawler = Crawler::new();
     let stats = crawler.run_once(&platform, &mut db, 0);
     assert_eq!(stats.posts, 2_500);
-    (platform, CrypText::new(db))
+    (platform, CrypText::from_env(db))
 }
 
 #[test]

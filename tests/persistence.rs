@@ -2,7 +2,7 @@
 //! document store, including crash-style recovery.
 
 use cryptext::core::database::TokenDatabase;
-use cryptext::core::{look_up, LookupParams};
+use cryptext::core::{look_up, LookupParams, ShardedTokenDatabase, TokenStore};
 use cryptext::docstore::{Database, DbOptions, Filter};
 use cryptext::stream::{SocialPlatform, StreamConfig};
 
@@ -94,6 +94,72 @@ fn torn_wal_tail_loses_at_most_last_record() {
         .unwrap();
     assert_eq!(store.count("t", &Filter::eq("i", 99i64)).unwrap(), 1);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_database_survives_store_reopen() {
+    // Per-shard persistence: one collection per shard plus a manifest,
+    // reassembled byte-identically across a real disk reopen.
+    let dir = tmp_dir("sharded-reopen");
+    let flat = build_token_db(4);
+    let wide = ShardedTokenDatabase::from_database(&flat, 4);
+
+    {
+        let store = Database::open(&dir, DbOptions::default()).unwrap();
+        wide.persist_to(&store, "tokens").unwrap();
+        store.checkpoint().unwrap();
+    }
+    let store = Database::open(&dir, DbOptions::default()).unwrap();
+    assert_eq!(
+        ShardedTokenDatabase::manifest_shards(&store, "tokens").unwrap(),
+        Some(4)
+    );
+    let restored = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
+    assert_eq!(restored.stats(), flat.stats());
+    let a = look_up(&flat, "vaccine", LookupParams::paper_default()).unwrap();
+    let b = look_up(&restored, "vaccine", LookupParams::paper_default()).unwrap();
+    assert_eq!(a, b, "queries identical after sharded restore");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_repersist_with_fewer_shards_replaces_layout() {
+    // Regression (replace-not-append): persist with 6 shards, re-persist
+    // with 2 under the same name, reopen from disk — only the 2-shard
+    // layout may survive, stale shard collections included.
+    let dir = tmp_dir("sharded-repersist");
+    let flat = build_token_db(5);
+    {
+        let store = Database::open(&dir, DbOptions::default()).unwrap();
+        ShardedTokenDatabase::from_database(&flat, 6)
+            .persist_to(&store, "tokens")
+            .unwrap();
+        ShardedTokenDatabase::from_database(&flat, 2)
+            .persist_to(&store, "tokens")
+            .unwrap();
+    }
+    let store = Database::open(&dir, DbOptions::default()).unwrap();
+    assert_eq!(store.collections_with_prefix("tokens__shard").len(), 2);
+    let restored = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
+    assert_eq!(restored.num_shards(), 2);
+    assert_eq!(restored.stats(), flat.stats());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_double_persist_then_load_is_exact() {
+    // Regression for the replace semantics of TokenDatabase::persist_to:
+    // persisting twice to the same collection must not append.
+    let db = build_token_db(6);
+    let store = Database::in_memory();
+    db.persist_to(&store, "tokens").unwrap();
+    db.persist_to(&store, "tokens").unwrap();
+    let restored = TokenDatabase::load_from(&store, "tokens").unwrap();
+    assert_eq!(restored.stats(), db.stats());
+    assert_eq!(
+        look_up(&restored, "vaccine", LookupParams::paper_default()).unwrap(),
+        look_up(&db, "vaccine", LookupParams::paper_default()).unwrap()
+    );
 }
 
 #[test]

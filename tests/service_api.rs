@@ -7,10 +7,13 @@ use cryptext::cache::CacheStats;
 use cryptext::common::{Error, SimClock};
 use cryptext::core::database::TokenDatabase;
 use cryptext::core::service::{CryptextService, ServiceConfig};
-use cryptext::core::{CrypText, LookupParams, NormalizeParams, PerturbParams};
+use cryptext::core::{AnyTokenStore, CrypText, LookupParams, NormalizeParams, PerturbParams};
 use cryptext::stream::{SocialPlatform, StreamConfig};
 
-fn service(limit: u32) -> (CryptextService, SimClock) {
+/// The facade under test fronts the `CRYPTEXT_SHARDS`-selected backend
+/// (CI re-runs this suite with `CRYPTEXT_SHARDS=4`), so every endpoint is
+/// exercised over both the single instance and the sharded store.
+fn service(limit: u32) -> (CryptextService<AnyTokenStore>, SimClock) {
     let platform = SocialPlatform::simulate(StreamConfig {
         n_posts: 1_200,
         seed: 77,
@@ -22,7 +25,7 @@ fn service(limit: u32) -> (CryptextService, SimClock) {
     }
     let clock = SimClock::new(0);
     let svc = CryptextService::new(
-        CrypText::new(db),
+        CrypText::from_env(db),
         ServiceConfig {
             rate_limit_per_minute: limit,
             ..ServiceConfig::default()
