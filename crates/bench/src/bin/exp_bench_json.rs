@@ -31,8 +31,8 @@ use std::time::Instant;
 
 use cryptext_bench::{build_db, build_platform};
 use cryptext_core::{
-    look_up_naive, look_up_with, CrypText, LookupParams, LookupScratch, NormalizeParams,
-    NormalizeScratch, Normalizer, ShardedTokenDatabase, TokenDatabase,
+    look_up_naive, look_up_with, CrypText, EncodedQuery, LookupParams, LookupScratch,
+    NormalizeParams, NormalizeScratch, Normalizer, ShardedTokenDatabase, TokenDatabase,
 };
 
 const N_POSTS: usize = 4_000;
@@ -132,13 +132,50 @@ fn compute_invariants(
     }
 }
 
+/// Deterministic Bloom-routing statistics of the query mix over one
+/// sharded store: `(shard_walks, skipped_shard_walks)` — how many
+/// per-shard walks the mix would issue without routing, and how many of
+/// those the per-shard code summaries skip. Pure function of the (seeded)
+/// corpus, so `--check` recomputes and pins it.
+fn skip_stats(wide: &ShardedTokenDatabase, queries: &[&str]) -> (usize, usize) {
+    let params = LookupParams::paper_default();
+    let mut query = EncodedQuery::new();
+    let mut walks = 0usize;
+    let mut skipped = 0usize;
+    for q in queries {
+        query.encode(q, params.k).expect("valid level");
+        walks += cryptext_core::TokenStore::num_shards(wide);
+        skipped += wide.skipped_shards(&query);
+    }
+    (walks, skipped)
+}
+
 /// The sharded-backend half of the bench smoke: for every entry of
 /// [`SHARD_COUNTS`], the sharded store must retrieve exactly the same hit
 /// count as the single instance — the byte-identical contract, recomputed
-/// live in CI rather than trusted from the committed file.
-fn check_sharded(db: &TokenDatabase, queries: &[&str], expected_hits: usize) -> Result<(), String> {
+/// live in CI rather than trusted from the committed file — and the
+/// committed skip-rate fields (`shard_walks` / `skipped_shard_walks`) must
+/// match the routing recomputed over the live Bloom summaries.
+fn check_sharded(
+    db: &TokenDatabase,
+    queries: &[&str],
+    expected_hits: usize,
+    lookup_json: &str,
+) -> Result<(), String> {
     let params = LookupParams::paper_default();
-    for n in SHARD_COUNTS {
+    let committed_walks = extract_ints(lookup_json, "shard_walks");
+    let committed_skipped = extract_ints(lookup_json, "skipped_shard_walks");
+    if committed_walks.len() != SHARD_COUNTS.len() || committed_skipped.len() != SHARD_COUNTS.len()
+    {
+        return Err(format!(
+            "BENCH_lookup.json shards entries must each carry shard_walks + \
+             skipped_shard_walks ({} and {} found, want {})",
+            committed_walks.len(),
+            committed_skipped.len(),
+            SHARD_COUNTS.len()
+        ));
+    }
+    for (i, n) in SHARD_COUNTS.into_iter().enumerate() {
         let wide = ShardedTokenDatabase::from_database(db, n);
         let mut scratch = LookupScratch::new();
         let hits: usize = queries
@@ -150,11 +187,20 @@ fn check_sharded(db: &TokenDatabase, queries: &[&str], expected_hits: usize) -> 
                 "sharded backend ({n} shards) retrieved {hits} hits, single instance {expected_hits}"
             ));
         }
+        let (walks, skipped) = skip_stats(&wide, queries);
+        if committed_walks[i] != walks as u64 || committed_skipped[i] != skipped as u64 {
+            return Err(format!(
+                "skip-rate drift at {n} shards: committed {}/{} walks skipped, recomputed {skipped}/{walks}",
+                committed_skipped[i], committed_walks[i]
+            ));
+        }
     }
     Ok(())
 }
 
-fn check_committed(expected: &Invariants) -> Result<(), String> {
+/// Validate the committed invariant fields; returns the BENCH_lookup.json
+/// contents so the sharded check can reuse them without a second read.
+fn check_committed(expected: &Invariants) -> Result<String, String> {
     let lookup_json = std::fs::read_to_string("BENCH_lookup.json")
         .map_err(|e| format!("read BENCH_lookup.json: {e}"))?;
     let norm_json = std::fs::read_to_string("BENCH_normalize.json")
@@ -197,7 +243,7 @@ fn check_committed(expected: &Invariants) -> Result<(), String> {
             "BENCH_lookup.json shards dimension is {committed_shards:?}, expected {want_shards:?}"
         ));
     }
-    Ok(())
+    Ok(lookup_json)
 }
 
 fn main() {
@@ -236,9 +282,9 @@ fn main() {
 
     if check_only {
         let invariants = compute_invariants(db, &cx, &queries, &norm_texts);
-        match check_committed(&invariants)
-            .and_then(|()| check_sharded(db, &queries, invariants.hits_per_round))
-        {
+        match check_committed(&invariants).and_then(|lookup_json| {
+            check_sharded(db, &queries, invariants.hits_per_round, &lookup_json)
+        }) {
             Ok(()) => {
                 println!(
                     "bench invariants ok: total_hits {} per round × {MEASURE_ROUNDS}, \
@@ -292,9 +338,12 @@ fn main() {
 
     // The shards dimension: the same workload over the consistent-hash
     // sharded backend at every configured count. Byte-identical results
-    // are asserted (total_hits), and the single-shard entry doubles as
-    // the trait-indirection regression guard against `optimized`.
-    let sharded_measurements: Vec<(usize, Measured)> = SHARD_COUNTS
+    // are asserted (total_hits), the single-shard entry doubles as the
+    // trait-indirection regression guard against `optimized`, and each
+    // entry records the Bloom routing's deterministic skip statistics
+    // (shard walks issued vs skipped) plus the fan-out width available to
+    // the per-query parallel walk on this machine.
+    let sharded_measurements: Vec<(usize, Measured, usize, usize)> = SHARD_COUNTS
         .iter()
         .map(|&n| {
             let wide = ShardedTokenDatabase::from_database(db, n);
@@ -311,7 +360,8 @@ fn main() {
                 m.total_hits, optimized.total_hits,
                 "{n}-shard backend must retrieve identical result sets"
             );
-            (n, m)
+            let (walks, skipped) = skip_stats(&wide, &queries);
+            (n, m, walks, skipped)
         })
         .collect();
 
@@ -386,14 +436,16 @@ fn main() {
     );
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"shards\": [");
-    for (i, (n, m)) in sharded_measurements.iter().enumerate() {
+    for (i, (n, m, walks, skipped)) in sharded_measurements.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{ \"shards\": {n}, \"queries_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"total_hits\": {} }}{}",
+            "    {{ \"shards\": {n}, \"queries_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"total_hits\": {}, \"fan_out_threads\": {}, \"shard_walks\": {walks}, \"skipped_shard_walks\": {skipped}, \"skip_rate\": {:.2} }}{}",
             m.queries_per_sec,
             m.p50_us,
             m.p99_us,
             m.total_hits,
+            cryptext_common::par::max_threads().min(*n),
+            *skipped as f64 / *walks as f64,
             if i + 1 == sharded_measurements.len() { "" } else { "," }
         );
     }
@@ -439,7 +491,10 @@ fn main() {
         "normalize p50: optimized {:.2}µs vs naive {:.2}µs → {norm_speedup:.2}x",
         norm_opt.p50_us, norm_naive.p50_us
     );
-    for (n, m) in &sharded_measurements {
-        eprintln!("lookup p50 over {n} shard(s): {:.2}µs", m.p50_us);
+    for (n, m, walks, skipped) in &sharded_measurements {
+        eprintln!(
+            "lookup p50 over {n} shard(s): {:.2}µs (skip rate {skipped}/{walks})",
+            m.p50_us
+        );
     }
 }

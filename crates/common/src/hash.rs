@@ -145,6 +145,91 @@ impl ShardRing {
     }
 }
 
+/// Bits in a [`Bloom`] summary: 2^15 = 32768 bits (4 KiB). At the corpus
+/// sizes one shard holds (hundreds to low thousands of distinct codes per
+/// level), the two-probe false-positive rate stays well under 1%; a
+/// saturated filter only costs skip opportunities, never correctness.
+const BLOOM_BITS: usize = 1 << 15;
+
+/// A fixed-size Bloom-style membership summary over pre-hashed `u64` keys.
+///
+/// This is the skip-empty router of the sharded token database: each shard
+/// summarizes the Soundex codes it indexes per phonetic level, and a query
+/// skips every shard whose summary rules out all of its codes. The filter
+/// is insert-only (matching the append-only code interner it mirrors), so
+/// `false` from [`Bloom::may_contain`] is authoritative — a key that was
+/// never inserted — while `true` may be a false positive.
+///
+/// Two probe positions are derived from the low and high halves of the
+/// (already well-mixed) Fx hash, so no rehashing happens per probe.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    items: usize,
+}
+
+impl Bloom {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Bloom {
+            bits: vec![0u64; BLOOM_BITS / 64],
+            items: 0,
+        }
+    }
+
+    #[inline]
+    fn slots(key: u64) -> (usize, usize) {
+        // Low and high 32-bit halves of the mixed hash give two
+        // independent probes (classic double hashing, k = 2).
+        (
+            (key as u32 as usize) % BLOOM_BITS,
+            ((key >> 32) as usize) % BLOOM_BITS,
+        )
+    }
+
+    /// Record a key.
+    pub fn insert(&mut self, key: u64) {
+        let (a, b) = Self::slots(key);
+        self.bits[a / 64] |= 1u64 << (a % 64);
+        self.bits[b / 64] |= 1u64 << (b % 64);
+        self.items += 1;
+    }
+
+    /// Might `key` have been inserted? `false` is definitive, `true` may
+    /// be a false positive.
+    #[inline]
+    pub fn may_contain(&self, key: u64) -> bool {
+        let (a, b) = Self::slots(key);
+        self.bits[a / 64] & (1u64 << (a % 64)) != 0 && self.bits[b / 64] & (1u64 << (b % 64)) != 0
+    }
+
+    /// How many inserts this summary has absorbed (duplicates counted —
+    /// the filter cannot tell them apart).
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// True when nothing was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+}
+
+impl Default for Bloom {
+    fn default() -> Self {
+        Bloom::new()
+    }
+}
+
+impl std::fmt::Debug for Bloom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bloom")
+            .field("items", &self.items)
+            .field("bits", &BLOOM_BITS)
+            .finish()
+    }
+}
+
 /// Hash an arbitrary byte slice with the Fx algorithm in one call.
 #[inline]
 pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
@@ -254,6 +339,43 @@ mod tests {
         // Degenerate counts clamp to one shard.
         assert_eq!(ShardRing::new(0).shards(), 1);
         assert_eq!(ShardRing::new(1).route_str("anything"), 0);
+    }
+
+    #[test]
+    fn bloom_no_false_negatives() {
+        let mut b = Bloom::new();
+        assert!(b.is_empty());
+        let keys: Vec<u64> = (0..2_000u64)
+            .map(|i| fx_hash_bytes(&i.to_le_bytes()))
+            .collect();
+        for &k in &keys {
+            b.insert(k);
+        }
+        assert_eq!(b.items(), 2_000);
+        for &k in &keys {
+            assert!(b.may_contain(k), "inserted key must never read absent");
+        }
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_low_at_shard_scale() {
+        // ~1k codes per shard level is the realistic fill; the 32768-bit
+        // two-probe filter should reject the overwhelming majority of
+        // absent keys at that load.
+        let mut b = Bloom::new();
+        for i in 0..1_000u64 {
+            b.insert(fx_hash_bytes(&i.to_le_bytes()));
+        }
+        let false_positives = (1_000_000u64..1_010_000)
+            .filter(|i| b.may_contain(fx_hash_bytes(&i.to_le_bytes())))
+            .count();
+        assert!(
+            false_positives < 200,
+            "{false_positives} of 10000 absent keys misread as present"
+        );
+        // Empty filter rejects everything.
+        let empty = Bloom::new();
+        assert!(!empty.may_contain(fx_hash_str("TH000")));
     }
 
     #[test]

@@ -48,7 +48,17 @@
 //!   [`TokenDatabase::for_each_sound_mate`] walks the union of a token's
 //!   bucket postings, deduplicating across ambiguous codes with a
 //!   generation-marked [`SoundScratch`] (O(1) per candidate, no per-query
-//!   set allocation) instead of the old `Vec::contains` linear scan.
+//!   set allocation) instead of the old `Vec::contains` linear scan. The
+//!   visitor may return [`std::ops::ControlFlow::Break`] to stop early.
+//! * **Queries encode once**: the walk takes an [`EncodedQuery`] — level,
+//!   deduplicated code set, code hashes, case fold — built a single time
+//!   per query, so a sharded deployment's N per-shard walks share one
+//!   encoding instead of re-running the multi-variant encoder per shard.
+//! * **Each per-level code interner keeps a [`Bloom`] summary** of its
+//!   interned codes, current by construction (codes are only interned,
+//!   never removed). [`TokenDatabase::may_match`] answers "could any of
+//!   this query's codes be indexed here?" without probing the map — the
+//!   skip-empty shard routing of `shard.rs` is built on it.
 //!
 //! Ingest can be parallelized with [`TokenDatabase::ingest_texts`], which
 //! computes tokenization and phonetic codes for a batch of texts across
@@ -62,8 +72,9 @@
 //! bucket queries stay cheap on the persistent side too.
 
 use std::cell::RefCell;
+use std::ops::ControlFlow;
 
-use cryptext_common::hash::FxHashMap;
+use cryptext_common::hash::{fx_hash_str, Bloom, FxHashMap};
 use cryptext_common::par::par_map;
 use cryptext_common::{Error, Result};
 use cryptext_docstore::{Database, Document, Filter, Value};
@@ -109,12 +120,17 @@ pub struct TokenStats {
 
 /// One level's interned code table: dense code ids over append-only
 /// posting lists. The string map is touched once per *query code*; the
-/// per-candidate scan runs over plain `u32` postings.
+/// per-candidate scan runs over plain `u32` postings. A [`Bloom`] summary
+/// of the interned code set rides along (kept current by `intern`, which
+/// is the only insertion point), so a shard router can rule the whole
+/// level out for a query without probing the map — the skip-empty routing
+/// of [`crate::shard::ShardedTokenDatabase`].
 #[derive(Debug, Default)]
 struct CodeIndex {
     ids: FxHashMap<Box<str>, u32>,
     names: Vec<Box<str>>,
     postings: Vec<Vec<u32>>,
+    summary: Bloom,
 }
 
 impl CodeIndex {
@@ -129,6 +145,7 @@ impl CodeIndex {
         }
         let id = self.names.len() as u32;
         let boxed: Box<str> = code.into();
+        self.summary.insert(fx_hash_str(&boxed));
         self.names.push(boxed.clone());
         self.ids.insert(boxed, id);
         self.postings.push(Vec::new());
@@ -152,8 +169,105 @@ impl CodeIndex {
     }
 }
 
-/// Generation-marked visited set plus a reusable code buffer, the working
-/// memory of [`TokenDatabase::for_each_sound_mate`].
+/// A Look Up query encoded **exactly once**: the phonetic level, the
+/// deduplicated Soundex codes of every visual reading at that level (with
+/// their Fx hashes, precomputed for Bloom routing), and the case fold the
+/// distance filter compares against.
+///
+/// Before this type existed, every shard of a
+/// [`crate::shard::ShardedTokenDatabase`] re-ran the multi-variant Soundex
+/// encoder on the raw token — the dominant per-shard overhead of a
+/// cross-shard query. Engines now build one `EncodedQuery` per query
+/// (reusing its buffers across queries via
+/// [`crate::lookup::LookupScratch`]) and thread it through the
+/// [`crate::store::TokenStore`] walk methods, so the encoding cost is
+/// independent of the shard count.
+///
+/// Construction validates the phonetic level, so every walk taking an
+/// `EncodedQuery` is infallible — the `Result` lives at the encode site.
+#[derive(Debug, Default, Clone)]
+pub struct EncodedQuery {
+    k: usize,
+    codes: Vec<SoundexCode>,
+    code_hashes: Vec<u64>,
+    folded: String,
+    folded_chars: usize,
+}
+
+impl EncodedQuery {
+    /// An empty query holder (encode into it with [`EncodedQuery::encode`]).
+    pub fn new() -> Self {
+        EncodedQuery::default()
+    }
+
+    /// Encode `token` at phonetic level `k`, reusing this query's buffers.
+    /// Errors on an unmaterialized level (same contract as
+    /// [`TokenDatabase::check_level`]).
+    pub fn encode(&mut self, token: &str, k: usize) -> Result<()> {
+        TokenDatabase::check_level(k)?;
+        self.k = k;
+        // The per-level encoders are stateless (`CustomSoundex::new(k)`),
+        // so the query encodes without borrowing any backend.
+        CustomSoundex::new(k).encode_all_into(token, &mut self.codes);
+        self.code_hashes.clear();
+        self.code_hashes
+            .extend(self.codes.iter().map(|c| fx_hash_str(c.as_str())));
+        // ASCII folding equals `str::to_lowercase` for ASCII input and
+        // reuses the buffer; non-ASCII takes the allocating Unicode path
+        // (final-sigma etc. must match the reference engines).
+        self.folded.clear();
+        if token.is_ascii() {
+            self.folded.push_str(token);
+            self.folded.make_ascii_lowercase();
+        } else {
+            self.folded = token.to_lowercase();
+        }
+        self.folded_chars = self.folded.chars().count();
+        Ok(())
+    }
+
+    /// Encode a fresh query for `token` at level `k`.
+    pub fn for_token(token: &str, k: usize) -> Result<Self> {
+        let mut q = EncodedQuery::new();
+        q.encode(token, k)?;
+        Ok(q)
+    }
+
+    /// The phonetic level this query was encoded at (always valid).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.k
+    }
+
+    /// The deduplicated Soundex codes of every visual reading, primary
+    /// reading first.
+    #[inline]
+    pub fn codes(&self) -> &[SoundexCode] {
+        &self.codes
+    }
+
+    /// Fx hashes of [`EncodedQuery::codes`], index-aligned. These feed the
+    /// per-shard Bloom summaries, so routing never rehashes per shard.
+    #[inline]
+    pub fn code_hashes(&self) -> &[u64] {
+        &self.code_hashes
+    }
+
+    /// The case-folded form of the encoded token.
+    #[inline]
+    pub fn folded(&self) -> &str {
+        &self.folded
+    }
+
+    /// Unicode scalar count of [`EncodedQuery::folded`].
+    #[inline]
+    pub fn folded_chars(&self) -> usize {
+        self.folded_chars
+    }
+}
+
+/// Generation-marked visited set: the working memory of
+/// [`TokenDatabase::for_each_sound_mate`].
 ///
 /// Marking a record visited is one `u32` compare-and-store; starting a new
 /// query is one epoch increment (no clearing). Reuse one instance per
@@ -162,7 +276,10 @@ impl CodeIndex {
 pub struct SoundScratch {
     visited: Vec<u32>,
     epoch: u32,
-    codes: Vec<SoundexCode>,
+    /// Matching-shard buffer for the sharded fan-out dispatch, kept here
+    /// so routing a query allocates nothing (the shard router borrows it
+    /// via `mem::take` around its walk).
+    pub(crate) fan_out: Vec<u32>,
 }
 
 impl SoundScratch {
@@ -534,52 +651,63 @@ impl TokenDatabase {
         Ok(self.buckets[k].members(code))
     }
 
-    /// Visit every record sharing a sound with `token` at level `k` (union
-    /// over the token's ambiguous readings), including the token itself if
-    /// stored. Each record is visited exactly once, in bucket insertion
-    /// order — the Look Up hot loop drives this directly.
+    /// Might this database index any of `query`'s codes at the query's
+    /// level? A [`Bloom`]-summary check over the interned code set: `false`
+    /// is authoritative (no bucket can match — the walk would visit
+    /// nothing), `true` may be a false positive. The shard router uses
+    /// this to skip shards that cannot contain a query's codes.
+    #[inline]
+    pub fn may_match(&self, query: &EncodedQuery) -> bool {
+        let summary = &self.buckets[query.level()].summary;
+        query.code_hashes().iter().any(|&h| summary.may_contain(h))
+    }
+
+    /// Visit every record sharing a sound with the pre-encoded `query`
+    /// (union over the token's ambiguous readings), including the token
+    /// itself if stored. Each record is visited exactly once, in bucket
+    /// insertion order — the Look Up hot loop drives this directly.
     ///
-    /// `scratch` carries the generation-marked visited set and the query
-    /// code buffer; reusing one instance across calls makes the walk
-    /// allocation-free.
+    /// The visitor may return [`ControlFlow::Break`] to stop the walk
+    /// early; the return value reports whether it did. `scratch` carries
+    /// the generation-marked visited set; reusing one instance across
+    /// calls makes the walk allocation-free. The query carries its own
+    /// codes, so sharded backends walk N shards with **one** encoding.
     pub fn for_each_sound_mate<'a, F>(
         &'a self,
-        k: usize,
-        token: &str,
+        query: &EncodedQuery,
         scratch: &mut SoundScratch,
         mut f: F,
-    ) -> Result<()>
+    ) -> ControlFlow<()>
     where
-        F: FnMut(u32, &'a TokenRecord),
+        F: FnMut(u32, &'a TokenRecord) -> ControlFlow<()>,
     {
-        Self::check_level(k)?;
         scratch.begin(self.records.len());
-        // Take the code buffer out so the visited marks and the code list
-        // can be borrowed simultaneously.
-        let mut codes = std::mem::take(&mut scratch.codes);
-        self.soundex[k].encode_all_into(token, &mut codes);
-        for code in &codes {
-            if let Some(cid) = self.buckets[k].id_of(code.as_str()) {
-                for &id in &self.buckets[k].postings[cid as usize] {
+        let bucket = &self.buckets[query.level()];
+        for code in query.codes() {
+            if let Some(cid) = bucket.id_of(code.as_str()) {
+                for &id in &bucket.postings[cid as usize] {
                     if scratch.mark(id) {
-                        f(id, &self.records[id as usize]);
+                        f(id, &self.records[id as usize])?;
                     }
                 }
             }
         }
-        scratch.codes = codes;
-        Ok(())
+        ControlFlow::Continue(())
     }
 
     /// All records sharing a sound with `token` at level `k`, deduplicated,
-    /// in insertion order. Compatibility wrapper over
+    /// in insertion order. Convenience wrapper over
     /// [`TokenDatabase::for_each_sound_mate`] (same generation-marked
-    /// dedup; allocates only the returned `Vec`).
+    /// dedup; allocates the query encoding and the returned `Vec`).
     pub fn sound_mates(&self, k: usize, token: &str) -> Result<Vec<&TokenRecord>> {
+        let query = EncodedQuery::for_token(token, k)?;
         let mut out = Vec::new();
-        SHARED_SOUND_SCRATCH.with(|scratch| {
-            self.for_each_sound_mate(k, token, &mut scratch.borrow_mut(), |_, rec| out.push(rec))
-        })?;
+        let _ = SHARED_SOUND_SCRATCH.with(|scratch| {
+            self.for_each_sound_mate(&query, &mut scratch.borrow_mut(), |_, rec| {
+                out.push(rec);
+                ControlFlow::Continue(())
+            })
+        });
         Ok(out)
     }
 
@@ -927,22 +1055,97 @@ mod tests {
         db.ingest_token("suic1de");
         db.ingest_token("suicide");
         let mut scratch = SoundScratch::new();
+        let mut query = EncodedQuery::new();
+        query.encode("suic1de", 1).unwrap();
         let mut seen: Vec<String> = Vec::new();
-        db.for_each_sound_mate(1, "suic1de", &mut scratch, |_, rec| {
+        let _ = db.for_each_sound_mate(&query, &mut scratch, |_, rec| {
             seen.push(rec.token.clone());
-        })
-        .unwrap();
+            ControlFlow::Continue(())
+        });
         let unique: std::collections::HashSet<&String> = seen.iter().collect();
         assert_eq!(unique.len(), seen.len(), "no duplicate visits: {seen:?}");
         assert!(seen.contains(&"suic1de".to_string()));
         assert!(seen.contains(&"suicide".to_string()));
-        // Scratch reuse across queries stays correct.
+        // Scratch and query-buffer reuse across queries stays correct.
+        query.encode("suicide", 1).unwrap();
         let mut second: Vec<String> = Vec::new();
-        db.for_each_sound_mate(1, "suicide", &mut scratch, |_, rec| {
+        let _ = db.for_each_sound_mate(&query, &mut scratch, |_, rec| {
             second.push(rec.token.clone());
-        })
-        .unwrap();
+            ControlFlow::Continue(())
+        });
         assert!(second.contains(&"suic1de".to_string()));
+    }
+
+    #[test]
+    fn visitor_break_stops_the_walk() {
+        let mut db = TokenDatabase::in_memory();
+        for t in ["dirty", "dirrty", "dirrrty", "dirrrrty"] {
+            db.ingest_token(t);
+        }
+        let query = EncodedQuery::for_token("dirty", 1).unwrap();
+        let mut scratch = SoundScratch::new();
+        // Full walk first, as the reference sequence.
+        let mut full: Vec<u32> = Vec::new();
+        let flow = db.for_each_sound_mate(&query, &mut scratch, |id, _| {
+            full.push(id);
+            ControlFlow::Continue(())
+        });
+        assert!(flow.is_continue());
+        assert_eq!(full.len(), 4);
+        // Breaking after n visits yields exactly the n-prefix, and the
+        // break is reported to the caller.
+        for n in 1..=full.len() {
+            let mut seen: Vec<u32> = Vec::new();
+            let flow = db.for_each_sound_mate(&query, &mut scratch, |id, _| {
+                seen.push(id);
+                if seen.len() == n {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            assert!(flow.is_break());
+            assert_eq!(seen, full[..n], "break after {n}");
+        }
+    }
+
+    #[test]
+    fn encoded_query_matches_engine_encoders() {
+        let db = table1_db();
+        for token in ["republicans", "suic1de", "the", "vãccine", "..."] {
+            for k in 0..NUM_LEVELS {
+                let q = EncodedQuery::for_token(token, k).unwrap();
+                assert_eq!(q.level(), k);
+                assert_eq!(
+                    q.codes(),
+                    db.soundex(k).unwrap().encode_all(token).as_slice(),
+                    "query encoding equals the backend encoder for {token:?} k={k}"
+                );
+                assert_eq!(q.codes().len(), q.code_hashes().len());
+                assert_eq!(q.folded(), token.to_lowercase());
+                assert_eq!(q.folded_chars(), token.to_lowercase().chars().count());
+            }
+        }
+        assert!(EncodedQuery::for_token("the", 9).is_err(), "invalid level");
+    }
+
+    #[test]
+    fn may_match_never_false_negative() {
+        let db = table1_db();
+        for rec in db.records() {
+            for k in 0..NUM_LEVELS {
+                let q = EncodedQuery::for_token(&rec.token, k).unwrap();
+                assert!(
+                    db.may_match(&q),
+                    "stored token {} must pass the level-{k} summary",
+                    rec.token
+                );
+            }
+        }
+        // An empty database rules everything out.
+        let empty = TokenDatabase::in_memory();
+        let q = EncodedQuery::for_token("republicans", 1).unwrap();
+        assert!(!empty.may_match(&q));
     }
 
     #[test]

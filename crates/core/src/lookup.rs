@@ -7,11 +7,12 @@
 //! `k = 1, d = 3`.
 
 use std::cell::RefCell;
+use std::ops::ControlFlow;
 
 use cryptext_common::Result;
 use cryptext_editdist::{levenshtein_bounded_chars, levenshtein_bounded_scratch, EditScratch};
 
-use crate::database::{SoundScratch, TokenDatabase, TokenRecord};
+use crate::database::{EncodedQuery, SoundScratch, TokenDatabase, TokenRecord};
 use crate::store::TokenStore;
 
 /// Parameters of a Look Up query.
@@ -80,14 +81,15 @@ pub struct LookupHit {
 
 /// Reusable working memory for [`look_up_with`] / [`for_each_hit`]: the
 /// generation-marked bucket-walk state, the bounded-Levenshtein scratch
-/// (DP rows + Myers bitmaps), and the query case-fold buffer. One instance
-/// per thread (or per bulk request) makes the whole retrieval path
-/// allocation-free per candidate — and, for ASCII queries, per query.
+/// (DP rows + Myers bitmaps), and the [`EncodedQuery`] buffers (code set,
+/// code hashes, case fold). One instance per thread (or per bulk request)
+/// makes the whole retrieval path allocation-free per candidate — and, for
+/// ASCII queries, per query.
 #[derive(Debug, Default)]
 pub struct LookupScratch {
     sound: SoundScratch,
     edit: EditScratch,
-    query: String,
+    query: EncodedQuery,
 }
 
 impl LookupScratch {
@@ -99,6 +101,13 @@ impl LookupScratch {
 
 thread_local! {
     static SHARED_LOOKUP_SCRATCH: RefCell<LookupScratch> = RefCell::new(LookupScratch::new());
+    /// Edit-distance scratch for the *parallel* hit filter: the distance
+    /// runs inside [`crate::store::TokenStore::fan_out_sound_mates`]'s
+    /// `map` on pool workers (and on the participating caller), so it
+    /// cannot borrow the caller's [`LookupScratch`]. Distinct from
+    /// `SHARED_LOOKUP_SCRATCH` so a caller mid-borrow of that scratch can
+    /// still participate as a fan-out worker.
+    static FAN_OUT_EDIT_SCRATCH: RefCell<EditScratch> = RefCell::new(EditScratch::new());
 }
 
 /// Execute a Look Up against any [`TokenStore`] backend. Hits are ordered
@@ -112,6 +121,31 @@ pub fn look_up<S: TokenStore>(db: &S, token: &str, params: LookupParams) -> Resu
     SHARED_LOOKUP_SCRATCH.with(|scratch| look_up_with(db, token, params, &mut scratch.borrow_mut()))
 }
 
+/// The SMS hit filter shared by every retrieval path: `None` when the
+/// candidate cannot be a hit, `Some(distance)` otherwise. Pure apart from
+/// the reusable edit scratch, so the sharded fan-out may run it on pool
+/// workers.
+#[inline]
+fn hit_distance(
+    rec: &TokenRecord,
+    query_folded: &str,
+    query_chars: usize,
+    params: LookupParams,
+    edit: &mut EditScratch,
+) -> Option<usize> {
+    if params.observed_only && rec.count == 0 {
+        return None;
+    }
+    // Cheap pre-filter: the length gap lower-bounds the distance.
+    if query_chars.abs_diff(rec.folded_chars as usize) > params.d {
+        return None;
+    }
+    if params.exclude_identity && rec.folded == query_folded {
+        return None;
+    }
+    levenshtein_bounded_scratch(query_folded, &rec.folded, params.d, edit)
+}
+
 /// Visit every Look Up hit for `token` without materializing owned hit
 /// structs — the zero-copy sibling of [`look_up_with`] and the engine under
 /// Normalization candidate scoring.
@@ -119,15 +153,20 @@ pub fn look_up<S: TokenStore>(db: &S, token: &str, params: LookupParams) -> Resu
 /// `f` receives each matching record's id, the borrowed
 /// [`crate::database::TokenRecord`], and its case-folded Levenshtein
 /// distance to the query. Records arrive in **bucket insertion order**
-/// (the order [`TokenDatabase::for_each_sound_mate`] walks postings), not
-/// hit-sorted order; callers that need the public `(distance, count,
-/// token)` ordering should use [`look_up_with`], which sorts.
+/// (the order [`TokenDatabase::for_each_sound_mate`] walks postings, shard
+/// by shard for sharded backends), not hit-sorted order; callers that need
+/// the public `(distance, count, token)` ordering should use
+/// [`look_up_with`], which sorts.
 ///
-/// The hot loop is allocation-free per candidate *and* per ASCII query:
-/// the query fold reuses a scratch buffer, each candidate's precomputed
-/// fold/length comes straight off its record, a length-difference
-/// pre-filter skips hopeless candidates before any distance work, and the
-/// bounded Levenshtein runs bit-parallel (Myers) through reusable scratch.
+/// The query is encoded (Soundex code set, code hashes, case fold) exactly
+/// once into the scratch's [`EncodedQuery`], regardless of how many shards
+/// back `db`. The hot loop is allocation-free per candidate *and* per
+/// ASCII query: each candidate's precomputed fold/length comes straight
+/// off its record, a length-difference pre-filter skips hopeless
+/// candidates before any distance work, and the bounded Levenshtein runs
+/// bit-parallel (Myers) through reusable scratch. Sharded backends skip
+/// shards via their Bloom summaries and may fan the per-shard filter work
+/// out across the worker pool — results are byte-identical either way.
 pub fn for_each_hit<'a, S, F>(
     db: &'a S,
     token: &str,
@@ -139,38 +178,64 @@ where
     S: TokenStore,
     F: FnMut(u32, &'a TokenRecord, usize),
 {
-    TokenDatabase::check_level(params.k)?;
-    let LookupScratch { sound, edit, query } = scratch;
-    // Fold the query into the reusable buffer. ASCII folding is identical
-    // to `str::to_lowercase` for ASCII input; non-ASCII queries take the
-    // allocating Unicode path (final-sigma etc. must match the reference).
-    query.clear();
-    if token.is_ascii() {
-        query.push_str(token);
-        query.make_ascii_lowercase();
-    } else {
-        *query = token.to_lowercase();
-    }
-    let query_folded: &str = query;
-    let query_chars = query_folded.chars().count();
-
-    db.for_each_sound_mate(params.k, token, sound, |id, rec| {
-        if params.observed_only && rec.count == 0 {
-            return;
-        }
-        // Cheap pre-filter: the length gap lower-bounds the distance.
-        if query_chars.abs_diff(rec.folded_chars as usize) > params.d {
-            return;
-        }
-        if params.exclude_identity && rec.folded == query_folded {
-            return;
-        }
-        if let Some(distance) =
-            levenshtein_bounded_scratch(query_folded, &rec.folded, params.d, edit)
-        {
-            f(id, rec, distance);
-        }
+    for_each_hit_until(db, token, params, scratch, |id, rec, distance| {
+        f(id, rec, distance);
+        ControlFlow::Continue(())
     })
+}
+
+/// [`for_each_hit`] with an early-exit visitor: returning
+/// [`ControlFlow::Break`] stops the retrieval. The visited prefix is
+/// identical to what the non-breaking visitor would have seen — pinned
+/// across backends and across the sequential/parallel fan-out paths by the
+/// proptests in `shard.rs`.
+pub fn for_each_hit_until<'a, S, F>(
+    db: &'a S,
+    token: &str,
+    params: LookupParams,
+    scratch: &mut LookupScratch,
+    mut f: F,
+) -> Result<()>
+where
+    S: TokenStore,
+    F: FnMut(u32, &'a TokenRecord, usize) -> ControlFlow<()>,
+{
+    let LookupScratch { sound, edit, query } = scratch;
+    query.encode(token, params.k)?;
+    let query_folded: &str = query.folded();
+    let query_chars = query.folded_chars();
+
+    if db.num_shards() <= 1 {
+        // Single walk: filter inline with the caller's edit scratch.
+        let _ = db.for_each_sound_mate(query, sound, |id, rec| {
+            match hit_distance(rec, query_folded, query_chars, params, edit) {
+                Some(distance) => f(id, rec, distance),
+                None => ControlFlow::Continue(()),
+            }
+        });
+    } else {
+        // Sharded: one encoding feeds every shard; the store may run the
+        // filter map per shard on pool workers (thread-local edit
+        // scratch), with Bloom routing skipping shards that cannot match.
+        let _ = db.fan_out_sound_mates(
+            query,
+            sound,
+            |id, rec| {
+                FAN_OUT_EDIT_SCRATCH.with(|edit| {
+                    hit_distance(
+                        rec,
+                        query_folded,
+                        query_chars,
+                        params,
+                        &mut edit.borrow_mut(),
+                    )
+                    .map(|distance| (id, rec, distance))
+                })
+            },
+            |(id, rec, distance)| f(id, rec, distance),
+        );
+    }
+    Ok(())
 }
 
 /// [`look_up`] with caller-provided scratch buffers: drives

@@ -101,6 +101,38 @@ fn window_index(now: Timestamp) -> u64 {
     (now / WINDOW_MS) & 0xFFFF_FFFF
 }
 
+/// Compute the successor of one packed `(window << 32) | used` word for a
+/// request arriving in `now_window`, or `None` when the window budget is
+/// exhausted.
+///
+/// Pure so the packing arithmetic is testable at the boundaries. Two
+/// hardenings over the original inline form:
+///
+/// * the used counter **saturates** at `u32::MAX` instead of carrying into
+///   the window half. With the admission check in place the carry is not
+///   reachable (a full counter is rejected first, since `limit ≤
+///   u32::MAX`), but the old code enforced that only through the distance
+///   between the guard and the increment — a future guard change could
+///   have turned the increment into a window flip (window + 1, used reset
+///   to 0: a silently refilled budget). The field invariant now holds
+///   locally;
+/// * the budget comparison happens in `u64` rather than truncating `used`
+///   to `u32`, so a corrupted word whose used half somehow exceeded 32
+///   bits rate-limits instead of casting back into the admissible range.
+#[inline]
+fn advance_packed(cur: u64, now_window: u64, limit: u32) -> Option<u64> {
+    let (win, used) = (cur >> 32, cur & 0xFFFF_FFFF);
+    if win == now_window {
+        if used >= limit as u64 {
+            return None;
+        }
+        Some((win << 32) | (used + 1).min(0xFFFF_FFFF))
+    } else {
+        // Fresh window: this request claims its first slot.
+        Some((now_window << 32) | 1)
+    }
+}
+
 /// The authenticated, rate-limited, cached service facade, generic over
 /// the storage backend.
 pub struct CryptextService<S: TokenStore = TokenDatabase> {
@@ -174,18 +206,12 @@ impl<S: TokenStore> CryptextService<S> {
             .ok_or_else(|| Error::Unauthorized(format!("unknown token {}", token.0)))?;
         let mut cur = state.window.load(Ordering::Acquire);
         loop {
-            let (win, used) = (cur >> 32, cur & 0xFFFF_FFFF);
-            if win == now_window && used as u32 >= self.config.rate_limit_per_minute {
+            let Some(next) = advance_packed(cur, now_window, self.config.rate_limit_per_minute)
+            else {
                 return Err(Error::RateLimited(format!(
                     "token {} exhausted {} requests/minute",
                     token.0, self.config.rate_limit_per_minute
                 )));
-            }
-            let next = if win == now_window {
-                (win << 32) | (used + 1)
-            } else {
-                // Fresh window: this request claims its first slot.
-                (now_window << 32) | 1
             };
             match state
                 .window
@@ -557,6 +583,72 @@ mod tests {
             .look_up_bulk(&tok, &["a", "b"], LookupParams::new(9, 1))
             .unwrap_err();
         assert!(matches!(err, Error::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn packed_counter_saturates_at_the_u32_boundary() {
+        // Regression: with rate_limit_per_minute == u32::MAX, the packed
+        // word's used half can legitimately reach u32::MAX - 1; admitting
+        // the next request must not carry into the window field (which
+        // would advance the window and silently refill the budget).
+        let win = 7u64;
+        let limit = u32::MAX;
+
+        // One slot left: admission fills the counter exactly.
+        let cur = (win << 32) | (u32::MAX as u64 - 1);
+        let next = advance_packed(cur, win, limit).expect("one slot left");
+        assert_eq!(next >> 32, win, "window half untouched");
+        assert_eq!(next & 0xFFFF_FFFF, u32::MAX as u64, "counter full");
+
+        // Full counter: exhausted, not carried.
+        assert_eq!(advance_packed(next, win, limit), None);
+
+        // Even a (theoretically unreachable) full counter passed with a
+        // smaller limit saturates rather than overflowing the field.
+        let full = (win << 32) | 0xFFFF_FFFF;
+        assert_eq!(advance_packed(full, win, limit), None);
+
+        // A corrupted word whose used half exceeds the limit in u64 space
+        // rate-limits instead of truncating back into admissibility.
+        assert_eq!(advance_packed(full, win, 100), None);
+
+        // A new window resets regardless of the stale counter.
+        let fresh = advance_packed(full, win + 1, limit).expect("fresh window");
+        assert_eq!(fresh >> 32, win + 1);
+        assert_eq!(fresh & 0xFFFF_FFFF, 1);
+    }
+
+    #[test]
+    fn rate_limit_u32_max_never_corrupts_the_window() {
+        // End-to-end at the boundary: preload the packed counter to one
+        // below the cap, then drive real requests through authorize.
+        let (svc, _) = service(u32::MAX);
+        let tok = svc.issue_token("boundary");
+        {
+            let tokens = svc.tokens.read();
+            let state = tokens.get(tok.as_str()).unwrap();
+            let cur = state.window.load(Ordering::Acquire);
+            let win = cur >> 32;
+            state
+                .window
+                .store((win << 32) | (u32::MAX as u64 - 1), Ordering::Release);
+        }
+        // The last slot admits...
+        svc.look_up(&tok, "vaccine", LookupParams::paper_default())
+            .unwrap();
+        // ...and the very next request rate-limits without the window half
+        // having been disturbed by a carry.
+        let err = svc
+            .look_up(&tok, "vaccine", LookupParams::paper_default())
+            .unwrap_err();
+        assert!(matches!(err, Error::RateLimited(_)));
+        let tokens = svc.tokens.read();
+        let cur = tokens
+            .get(tok.as_str())
+            .unwrap()
+            .window
+            .load(Ordering::Acquire);
+        assert_eq!(cur & 0xFFFF_FFFF, u32::MAX as u64, "saturated, not wrapped");
     }
 
     #[test]

@@ -16,12 +16,27 @@
 //!   record ids (the `CodeIndex` postings stay small and cache-friendly);
 //!   the router remaps them to globally unique ids at the
 //!   [`TokenStore`] boundary as `global = local * n_shards + shard`.
-//! * **Reads** — a lookup walks every shard's buckets through the shared
-//!   [`SoundScratch`]; records are disjoint across shards, so no
-//!   cross-shard dedup is needed and results are byte-identical to the
+//! * **Reads** — a query is encoded **once** into an
+//!   [`EncodedQuery`] (codes + hashes + fold) and every shard's walk
+//!   shares it; records are disjoint across shards, so no cross-shard
+//!   dedup is needed and results are byte-identical to the
 //!   single-instance backend (proptest-pinned below). `&self` reads are
 //!   lock-free and `Sync`, so bulk endpoints fan out across cores without
 //!   serializing behind any writer.
+//! * **Skip-empty routing** — each shard's per-level code interner keeps a
+//!   [`Bloom`](cryptext_common::hash::Bloom) summary of its code set
+//!   (maintained at intern time, so ingest, resharding, and persist/load
+//!   keep it current for free). A query walks only the shards whose
+//!   summaries admit at least one of its codes
+//!   ([`TokenDatabase::may_match`]); a ruled-out shard could not have
+//!   produced a hit, so skipping it is invisible to results.
+//! * **Per-query parallel fan-out** —
+//!   [`TokenStore::fan_out_sound_mates`] runs the matching shards' walks
+//!   through the [`cryptext_common::par`] pool (per-worker scratch,
+//!   per-shard result buffers) and merges in shard order, so the sink
+//!   observes exactly the sequential walk's sequence — early-exit
+//!   [`ControlFlow`] semantics included. Single-matching-shard queries
+//!   bypass the pool entirely.
 //! * **Batch ingest** — the parallel prepare phase (tokenize, confusable
 //!   fold, 3-level Soundex) runs per text through
 //!   [`cryptext_common::par`], then the prepared words scatter into
@@ -31,7 +46,9 @@
 //!   through the same pool. Re-persisting replaces the previous layout,
 //!   including stale shard collections from a larger prior shard count.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::ops::ControlFlow;
 
 use cryptext_common::hash::{FxHashMap, FxHashSet, ShardRing};
 use cryptext_common::par::{par_map, try_par_map};
@@ -42,10 +59,17 @@ use cryptext_tokenizer::tokenize_spans;
 use parking_lot::Mutex;
 
 use crate::database::{
-    PreparedWord, SoundScratch, TokenDatabase, TokenRecord, TokenStats, MAX_CLEAN_SENTENCES,
-    NUM_LEVELS,
+    EncodedQuery, PreparedWord, SoundScratch, TokenDatabase, TokenRecord, TokenStats,
+    MAX_CLEAN_SENTENCES, NUM_LEVELS,
 };
 use crate::store::TokenStore;
+
+thread_local! {
+    /// Per-worker walk scratch for the parallel fan-out path: each pool
+    /// worker (and the participating caller) dedups its shard walks
+    /// through its own visited set, so no scratch crosses threads.
+    static FAN_OUT_SCRATCH: RefCell<SoundScratch> = RefCell::new(SoundScratch::new());
+}
 
 /// One text prepared off-thread during parallel sharded ingest: the
 /// routed, encoded words plus the clean-sentence gate bits.
@@ -130,6 +154,66 @@ impl ShardedTokenDatabase {
         let n = self.shards.len() as u32;
         let shard = self.shards.get((global_id % n) as usize)?;
         shard.records().get((global_id / n) as usize)
+    }
+
+    /// The shards whose Bloom summaries admit at least one of `query`'s
+    /// codes — the only shards a walk visits. False positives are
+    /// possible (a listed shard may still produce no hits); false
+    /// negatives are not (codes are only ever interned, never removed).
+    pub fn matching_shards(&self, query: &EncodedQuery) -> Vec<u32> {
+        (0..self.shards.len() as u32)
+            .filter(|&s| self.shards[s as usize].may_match(query))
+            .collect()
+    }
+
+    /// How many of a query's shard walks the Bloom summaries skip — the
+    /// `skip-rate` statistic of the bench's `shards` dimension.
+    pub fn skipped_shards(&self, query: &EncodedQuery) -> usize {
+        self.shards.iter().filter(|s| !s.may_match(query)).count()
+    }
+
+    /// The parallel half of [`TokenStore::fan_out_sound_mates`]: run every
+    /// matching shard's walk (candidate visit + `map`) on the worker pool,
+    /// buffering per-shard results, then feed the buffers to `sink` in
+    /// shard order. Because shards are disjoint and `map` is pure, the
+    /// sink observes exactly the sequence the sequential walk produces —
+    /// including under early exit, where later results are simply
+    /// discarded. Kept separate from the dispatch heuristic so tests can
+    /// pin this path against the sequential walk regardless of core count.
+    fn fan_out_collected<'a, M, R, F>(
+        &'a self,
+        query: &EncodedQuery,
+        matching: &[u32],
+        map: &M,
+        mut sink: F,
+    ) -> ControlFlow<()>
+    where
+        M: Fn(u32, &'a TokenRecord) -> Option<R> + Sync,
+        R: Send,
+        F: FnMut(R) -> ControlFlow<()>,
+    {
+        let n = self.shards.len() as u32;
+        let per_shard: Vec<Vec<R>> = par_map(matching, |&s| {
+            FAN_OUT_SCRATCH.with(|scratch| {
+                let scratch = &mut *scratch.borrow_mut();
+                let mut out: Vec<R> = Vec::new();
+                let flow =
+                    self.shards[s as usize].for_each_sound_mate(query, scratch, |local, rec| {
+                        if let Some(r) = map(local * n + s, rec) {
+                            out.push(r);
+                        }
+                        ControlFlow::Continue(())
+                    });
+                debug_assert!(flow.is_continue());
+                out
+            })
+        });
+        for results in per_shard {
+            for r in results {
+                sink(r)?;
+            }
+        }
+        ControlFlow::Continue(())
     }
 
     fn compute_codes(&self, token: &str) -> [Vec<SoundexCode>; NUM_LEVELS] {
@@ -264,21 +348,62 @@ impl TokenStore for ShardedTokenDatabase {
 
     fn for_each_sound_mate<'a, F>(
         &'a self,
-        k: usize,
-        token: &str,
+        query: &EncodedQuery,
         scratch: &mut SoundScratch,
         mut f: F,
-    ) -> Result<()>
+    ) -> ControlFlow<()>
     where
-        F: FnMut(u32, &'a TokenRecord),
+        F: FnMut(u32, &'a TokenRecord) -> ControlFlow<()>,
     {
-        TokenDatabase::check_level(k)?;
         let n = self.shards.len() as u32;
         for (s, shard) in self.shards.iter().enumerate() {
+            if !shard.may_match(query) {
+                continue; // Bloom says no bucket here can match.
+            }
             let s = s as u32;
-            shard.for_each_sound_mate(k, token, scratch, |local, rec| f(local * n + s, rec))?;
+            shard.for_each_sound_mate(query, scratch, |local, rec| f(local * n + s, rec))?;
         }
-        Ok(())
+        ControlFlow::Continue(())
+    }
+
+    fn fan_out_sound_mates<'a, M, R, F>(
+        &'a self,
+        query: &EncodedQuery,
+        scratch: &mut SoundScratch,
+        map: M,
+        mut sink: F,
+    ) -> ControlFlow<()>
+    where
+        M: Fn(u32, &'a TokenRecord) -> Option<R> + Sync,
+        R: Send,
+        F: FnMut(R) -> ControlFlow<()>,
+    {
+        let n = self.shards.len() as u32;
+        // Route through the scratch's reusable shard buffer — the hot
+        // path stays allocation-free per query.
+        let mut matching = std::mem::take(&mut scratch.fan_out);
+        matching.clear();
+        matching.extend((0..n).filter(|&s| self.shards[s as usize].may_match(query)));
+        let flow = if matching.len() <= 1 {
+            // Nothing to fan out: walk the (at most one) matching shard
+            // inline on the caller's scratch, no per-shard buffers.
+            let mut walk = || -> ControlFlow<()> {
+                for &s in &matching {
+                    self.shards[s as usize].for_each_sound_mate(query, scratch, |local, rec| {
+                        match map(local * n + s, rec) {
+                            Some(r) => sink(r),
+                            None => ControlFlow::Continue(()),
+                        }
+                    })?;
+                }
+                ControlFlow::Continue(())
+            };
+            walk()
+        } else {
+            self.fan_out_collected(query, &matching, &map, sink)
+        };
+        scratch.fan_out = matching;
+        flow
     }
 
     fn get(&self, token: &str) -> Option<&TokenRecord> {
@@ -546,18 +671,147 @@ mod tests {
     fn global_ids_decode_back_to_records() {
         let wide = sharded(3);
         let mut scratch = SoundScratch::new();
+        let query = EncodedQuery::for_token("republicans", 1).unwrap();
         let mut seen = 0;
-        TokenStore::for_each_sound_mate(&wide, 1, "republicans", &mut scratch, |id, rec| {
+        let flow = TokenStore::for_each_sound_mate(&wide, &query, &mut scratch, |id, rec| {
             assert_eq!(
                 wide.record(id).expect("global id resolves"),
                 rec,
                 "id ↔ record agree through the shard remap"
             );
             seen += 1;
-        })
-        .unwrap();
+            ControlFlow::Continue(())
+        });
+        assert!(flow.is_continue());
         assert!(seen >= 3, "all republicans variants visited");
         assert!(wide.record(u32::MAX).is_none());
+    }
+
+    /// Reference sequence: the sequential shard-order walk with the map
+    /// applied inline — what `fan_out_sound_mates` must reproduce exactly.
+    fn sequential_reference(
+        wide: &ShardedTokenDatabase,
+        query: &EncodedQuery,
+    ) -> Vec<(u32, String)> {
+        let mut scratch = SoundScratch::new();
+        let mut out = Vec::new();
+        let _ = TokenStore::for_each_sound_mate(wide, query, &mut scratch, |id, rec| {
+            out.push((id, rec.token.clone()));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn parallel_fan_out_matches_sequential_walk_exactly() {
+        for n in [2usize, 3, 5, 8] {
+            let wide = sharded(n);
+            for token in ["republicans", "the", "suic1de", "democrats", "zzzzzz"] {
+                for k in 0..NUM_LEVELS {
+                    let query = EncodedQuery::for_token(token, k).unwrap();
+                    let reference = sequential_reference(&wide, &query);
+
+                    // Drive the parallel collect-then-merge path directly
+                    // (bypassing the ≤1-matching-shard shortcut) so the pin
+                    // holds even on single-core hosts and sparse queries.
+                    let matching = wide.matching_shards(&query);
+                    let mut collected = Vec::new();
+                    let flow = wide.fan_out_collected(
+                        &query,
+                        &matching,
+                        &|id, rec: &TokenRecord| Some((id, rec.token.clone())),
+                        |r| {
+                            collected.push(r);
+                            ControlFlow::Continue(())
+                        },
+                    );
+                    assert!(flow.is_continue());
+                    assert_eq!(
+                        collected, reference,
+                        "{n} shards, {token:?} k={k}: parallel == sequential"
+                    );
+
+                    // The public dispatcher agrees too.
+                    let mut scratch = SoundScratch::new();
+                    let mut dispatched = Vec::new();
+                    let _ = wide.fan_out_sound_mates(
+                        &query,
+                        &mut scratch,
+                        |id, rec| Some((id, rec.token.clone())),
+                        |r| {
+                            dispatched.push(r);
+                            ControlFlow::Continue(())
+                        },
+                    );
+                    assert_eq!(dispatched, reference);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_early_exit_yields_exact_prefix() {
+        let wide = sharded(4);
+        let query = EncodedQuery::for_token("republicans", 1).unwrap();
+        let reference = sequential_reference(&wide, &query);
+        assert!(reference.len() >= 3, "fixture has republicans variants");
+        let matching = wide.matching_shards(&query);
+        for cut in 0..=reference.len() {
+            let mut seen = Vec::new();
+            let flow = wide.fan_out_collected(
+                &query,
+                &matching,
+                &|id, rec: &TokenRecord| Some((id, rec.token.clone())),
+                |r| {
+                    seen.push(r);
+                    if seen.len() > cut {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            );
+            if cut < reference.len() {
+                assert!(flow.is_break(), "cut {cut} breaks");
+                assert_eq!(seen, reference[..cut + 1], "prefix after break at {cut}");
+            } else {
+                assert!(flow.is_continue());
+                assert_eq!(seen, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_routing_skips_shards_without_losing_hits() {
+        // At 8 shards most queries route to a strict subset; every hit a
+        // full (skip-free) walk finds must still be found.
+        let wide = sharded(8);
+        let mut skipped_total = 0usize;
+        for token in ["republicans", "democrats", "suic1de", "the", "dirty"] {
+            let query = EncodedQuery::for_token(token, 1).unwrap();
+            let matching = wide.matching_shards(&query);
+            skipped_total += wide.skipped_shards(&query);
+            assert_eq!(matching.len() + wide.skipped_shards(&query), 8);
+            // Walk the skipped shards exhaustively: none may contain a hit.
+            let mut scratch = SoundScratch::new();
+            for s in 0..8u32 {
+                if matching.contains(&s) {
+                    continue;
+                }
+                let mut found = 0usize;
+                let _ = wide
+                    .shard(s as usize)
+                    .for_each_sound_mate(&query, &mut scratch, |_, _| {
+                        found += 1;
+                        ControlFlow::Continue(())
+                    });
+                assert_eq!(found, 0, "skipped shard {s} had a hit for {token:?}");
+            }
+        }
+        assert!(
+            skipped_total > 0,
+            "with 8 shards and this corpus, routing must actually skip"
+        );
     }
 
     #[test]
@@ -813,6 +1067,114 @@ mod proptests {
                     n.normalize(&flat, text, params).unwrap(),
                     "text {:?} shards {}", text, shards
                 );
+            }
+        }
+
+        /// The fan-out pin: for any corpus, shard count, query, and level,
+        /// the Bloom-routed parallel collect-then-merge path produces the
+        /// exact sequence of the sequential shard walk — including after a
+        /// persist/load round trip, and including the prefix an
+        /// early-exiting sink observes.
+        #[test]
+        fn fan_out_equals_sequential_walk(
+            tokens in proptest::collection::vec("[a-e1@O]{2,9}", 1..25),
+            query_str in "[a-e1@O]{2,9}",
+            shards in 1usize..=8,
+            k in 0usize..=2,
+            cut in 0usize..=6,
+        ) {
+            let mut wide = ShardedTokenDatabase::in_memory(shards);
+            for t in &tokens {
+                TokenStore::ingest_token(&mut wide, t);
+            }
+            let query = EncodedQuery::for_token(&query_str, k).unwrap();
+
+            let reference = {
+                let mut scratch = SoundScratch::new();
+                let mut out: Vec<(u32, String)> = Vec::new();
+                let _ = TokenStore::for_each_sound_mate(&wide, &query, &mut scratch, |id, rec| {
+                    out.push((id, rec.token.clone()));
+                    ControlFlow::Continue(())
+                });
+                out
+            };
+
+            for store in [&wide, &ShardedTokenDatabase::load_from(&{
+                let s = Database::in_memory();
+                TokenStore::persist_to(&wide, &s, "tokens").unwrap();
+                s
+            }, "tokens").unwrap()] {
+                // Full parallel path, forced past the dispatch shortcut.
+                let matching = store.matching_shards(&query);
+                let mut collected: Vec<(u32, String)> = Vec::new();
+                let _ = store.fan_out_collected(
+                    &query,
+                    &matching,
+                    &|id, rec: &TokenRecord| Some((id, rec.token.clone())),
+                    |r| { collected.push(r); ControlFlow::Continue(()) },
+                );
+                prop_assert_eq!(&collected, &reference, "parallel == sequential");
+
+                // Early exit after `cut` results sees exactly the prefix.
+                let mut prefix: Vec<(u32, String)> = Vec::new();
+                let _ = store.fan_out_collected(
+                    &query,
+                    &matching,
+                    &|id, rec: &TokenRecord| Some((id, rec.token.clone())),
+                    |r| {
+                        prefix.push(r);
+                        if prefix.len() > cut { ControlFlow::Break(()) } else { ControlFlow::Continue(()) }
+                    },
+                );
+                let want = &reference[..reference.len().min(cut + 1)];
+                prop_assert_eq!(&prefix[..], want, "early-exit prefix");
+            }
+        }
+
+        /// `for_each_hit_until` with a breaking visitor observes exactly
+        /// the prefix of the non-breaking visit sequence, on both backends.
+        #[test]
+        fn early_exit_hits_are_a_prefix(
+            tokens in proptest::collection::vec("[a-e1@O]{2,9}", 1..20),
+            query in "[a-e1@O]{2,9}",
+            shards in 1usize..=8,
+            d in 0usize..=3,
+            cut in 0usize..=5,
+        ) {
+            let mut flat = TokenDatabase::in_memory();
+            let mut wide = ShardedTokenDatabase::in_memory(shards);
+            for t in &tokens {
+                flat.ingest_token(t);
+                TokenStore::ingest_token(&mut wide, t);
+            }
+            let params = LookupParams::new(1, d);
+            let mut scratch = crate::lookup::LookupScratch::new();
+            for backend in [true, false] {
+                let full: Vec<(u32, usize)> = {
+                    let mut out = Vec::new();
+                    if backend {
+                        crate::lookup::for_each_hit(&wide, &query, params, &mut scratch,
+                            |id, _, dist| out.push((id, dist))).unwrap();
+                    } else {
+                        crate::lookup::for_each_hit(&flat, &query, params, &mut scratch,
+                            |id, _, dist| out.push((id, dist))).unwrap();
+                    }
+                    out
+                };
+                let mut seen: Vec<(u32, usize)> = Vec::new();
+                let visit = |seen: &mut Vec<(u32, usize)>, id: u32, dist: usize| {
+                    seen.push((id, dist));
+                    if seen.len() > cut { ControlFlow::Break(()) } else { ControlFlow::Continue(()) }
+                };
+                if backend {
+                    crate::lookup::for_each_hit_until(&wide, &query, params, &mut scratch,
+                        |id, _, dist| visit(&mut seen, id, dist)).unwrap();
+                } else {
+                    crate::lookup::for_each_hit_until(&flat, &query, params, &mut scratch,
+                        |id, _, dist| visit(&mut seen, id, dist)).unwrap();
+                }
+                let want = &full[..full.len().min(cut + 1)];
+                prop_assert_eq!(&seen[..], want, "backend sharded={}", backend);
             }
         }
 

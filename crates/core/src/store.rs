@@ -17,13 +17,23 @@
 //! `CRYPTEXT_SHARDS` environment variable selects the default backend,
 //! which is how CI exercises the sharded path through the entire
 //! integration-test suite without a second test tree.
+//!
+//! Retrieval is **encode-once**: the walk methods take a pre-built
+//! [`EncodedQuery`] (Soundex code set + code hashes + case fold), so a
+//! query's encoding cost is paid once no matter how many shards the
+//! backend walks, and [`TokenStore::fan_out_sound_mates`] lets backends
+//! parallelize the per-candidate filter work while preserving the
+//! sequential walk's exact visit sequence ([`ControlFlow`] early exit
+//! included).
+
+use std::ops::ControlFlow;
 
 use cryptext_common::Result;
 use cryptext_docstore::Database;
 use cryptext_phonetics::CustomSoundex;
 use cryptext_tokenizer::tokenize_spans;
 
-use crate::database::{SoundScratch, TokenDatabase, TokenRecord, TokenStats};
+use crate::database::{EncodedQuery, SoundScratch, TokenDatabase, TokenRecord, TokenStats};
 use crate::shard::ShardedTokenDatabase;
 
 /// The storage contract of the token database (§III-A): phonetic-bucket
@@ -36,24 +46,67 @@ use crate::shard::ShardedTokenDatabase;
 /// (`local * n_shards + shard`) for the sharded backend. They are unique
 /// per store and stable for the store's lifetime, and must not be
 /// interpreted beyond that.
+///
+/// # Queries encode once
+///
+/// The walk methods take a pre-built [`EncodedQuery`] rather than a raw
+/// token: the caller encodes a query's Soundex codes and case fold exactly
+/// once, and a sharded backend's per-shard walks all share that encoding.
+/// Construction of the query validates the phonetic level, which is why
+/// the walks are infallible ([`ControlFlow`], not `Result`).
 pub trait TokenStore: Sync {
     /// How many independent shards back this store (1 for a single
     /// instance).
     fn num_shards(&self) -> usize;
 
-    /// Visit every record sharing a sound with `token` at level `k`
-    /// exactly once. See [`TokenDatabase::for_each_sound_mate`] for the
-    /// scratch discipline; the visit order is backend-defined, and every
-    /// engine built on this is order-insensitive by construction.
+    /// Visit every record sharing a sound with the encoded `query` exactly
+    /// once. The visitor may return [`ControlFlow::Break`] to stop early;
+    /// the return value reports whether it did. See
+    /// [`TokenDatabase::for_each_sound_mate`] for the scratch discipline;
+    /// the visit order is backend-defined (shards walk in shard order),
+    /// and every engine built on this is order-insensitive by
+    /// construction.
     fn for_each_sound_mate<'a, F>(
         &'a self,
-        k: usize,
-        token: &str,
+        query: &EncodedQuery,
         scratch: &mut SoundScratch,
         f: F,
-    ) -> Result<()>
+    ) -> ControlFlow<()>
     where
-        F: FnMut(u32, &'a TokenRecord);
+        F: FnMut(u32, &'a TokenRecord) -> ControlFlow<()>;
+
+    /// [`TokenStore::for_each_sound_mate`] split into a pure, `Sync`
+    /// per-candidate `map` and a sequential `sink`, so backends may fan
+    /// the expensive per-candidate work (the `map` — e.g. the bounded
+    /// Levenshtein filter) out across shards in parallel.
+    ///
+    /// The contract is **byte-identical** to running
+    /// `for_each_sound_mate` and feeding every `Some` result of `map` to
+    /// `sink` inline, early exit included: `sink` receives results in the
+    /// exact order the sequential walk would produce them, and a
+    /// [`ControlFlow::Break`] from `sink` discards the rest. (`map` must
+    /// be pure — a parallel backend may run it for candidates whose
+    /// results a broken-out-of `sink` never sees.)
+    ///
+    /// The default implementation is the sequential inline form; the
+    /// sharded backend overrides it with Bloom-routed parallel fan-out.
+    fn fan_out_sound_mates<'a, M, R, F>(
+        &'a self,
+        query: &EncodedQuery,
+        scratch: &mut SoundScratch,
+        map: M,
+        mut sink: F,
+    ) -> ControlFlow<()>
+    where
+        M: Fn(u32, &'a TokenRecord) -> Option<R> + Sync,
+        R: Send,
+        F: FnMut(R) -> ControlFlow<()>,
+    {
+        self.for_each_sound_mate(query, scratch, |id, rec| match map(id, rec) {
+            Some(r) => sink(r),
+            None => ControlFlow::Continue(()),
+        })
+    }
 
     /// Fetch a token's record (case-sensitive).
     fn get(&self, token: &str) -> Option<&TokenRecord>;
@@ -137,15 +190,14 @@ impl TokenStore for TokenDatabase {
 
     fn for_each_sound_mate<'a, F>(
         &'a self,
-        k: usize,
-        token: &str,
+        query: &EncodedQuery,
         scratch: &mut SoundScratch,
         f: F,
-    ) -> Result<()>
+    ) -> ControlFlow<()>
     where
-        F: FnMut(u32, &'a TokenRecord),
+        F: FnMut(u32, &'a TokenRecord) -> ControlFlow<()>,
     {
-        TokenDatabase::for_each_sound_mate(self, k, token, scratch, f)
+        TokenDatabase::for_each_sound_mate(self, query, scratch, f)
     }
 
     fn get(&self, token: &str) -> Option<&TokenRecord> {
@@ -268,17 +320,37 @@ impl TokenStore for AnyTokenStore {
 
     fn for_each_sound_mate<'a, F>(
         &'a self,
-        k: usize,
-        token: &str,
+        query: &EncodedQuery,
         scratch: &mut SoundScratch,
         f: F,
-    ) -> Result<()>
+    ) -> ControlFlow<()>
     where
-        F: FnMut(u32, &'a TokenRecord),
+        F: FnMut(u32, &'a TokenRecord) -> ControlFlow<()>,
     {
         match self {
-            AnyTokenStore::Single(db) => db.for_each_sound_mate(k, token, scratch, f),
-            AnyTokenStore::Sharded(db) => db.for_each_sound_mate(k, token, scratch, f),
+            AnyTokenStore::Single(db) => db.for_each_sound_mate(query, scratch, f),
+            AnyTokenStore::Sharded(db) => TokenStore::for_each_sound_mate(db, query, scratch, f),
+        }
+    }
+
+    // Forwarded explicitly: without this the enum would fall back to the
+    // trait's sequential default and the sharded backend's Bloom-routed
+    // parallel fan-out would never run behind `AnyTokenStore`.
+    fn fan_out_sound_mates<'a, M, R, F>(
+        &'a self,
+        query: &EncodedQuery,
+        scratch: &mut SoundScratch,
+        map: M,
+        sink: F,
+    ) -> ControlFlow<()>
+    where
+        M: Fn(u32, &'a TokenRecord) -> Option<R> + Sync,
+        R: Send,
+        F: FnMut(R) -> ControlFlow<()>,
+    {
+        match self {
+            AnyTokenStore::Single(db) => db.fan_out_sound_mates(query, scratch, map, sink),
+            AnyTokenStore::Sharded(db) => db.fan_out_sound_mates(query, scratch, map, sink),
         }
     }
 

@@ -479,6 +479,45 @@ mod tests {
     }
 
     #[test]
+    fn open_with_corrupt_snapshot_is_error_not_panic() {
+        // The startup load path: a snapshot file that is garbage, or one
+        // with a valid frame but absurd structural counts, must surface as
+        // `Err` from `open` — the process stays alive to report it.
+        let dir = tmp_dir("corrupt-snap");
+        std::fs::write(dir.join("db.snapshot"), b"CXDBgarbage-not-a-snapshot").unwrap();
+        assert!(Database::open(&dir, DbOptions::default()).is_err());
+
+        // Truncated snapshot (half a real one).
+        let dir2 = tmp_dir("trunc-snap");
+        {
+            let db = Database::open(&dir2, DbOptions::default()).unwrap();
+            seed(&db);
+            db.checkpoint().unwrap();
+        }
+        let snap = std::fs::read(dir2.join("db.snapshot")).unwrap();
+        std::fs::write(dir2.join("db.snapshot"), &snap[..snap.len() / 2]).unwrap();
+        assert!(Database::open(&dir2, DbOptions::default()).is_err());
+    }
+
+    #[test]
+    fn open_with_garbage_wal_recovers_snapshot_state() {
+        // Snapshot intact, WAL replaced with garbage: replay treats it as
+        // a torn log, recovers the checkpointed state, and re-checkpoints.
+        let dir = tmp_dir("garbage-wal");
+        {
+            let db = Database::open(&dir, DbOptions::default()).unwrap();
+            seed(&db);
+            db.checkpoint().unwrap();
+        }
+        std::fs::write(dir.join("wal.log"), [0xFFu8; 64]).unwrap();
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        assert_eq!(db.len("tokens").unwrap(), 3, "snapshot state intact");
+        drop(db);
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        assert_eq!(db.len("tokens").unwrap(), 3, "clean after re-checkpoint");
+    }
+
+    #[test]
     fn checkpoint_truncates_wal() {
         let dir = tmp_dir("ckpt");
         let db = Database::open(&dir, DbOptions::default()).unwrap();

@@ -80,6 +80,17 @@ pub fn decode_snapshot(data: &[u8]) -> Result<Vec<Collection>> {
         return Err(Error::corrupt("snapshot body truncated"));
     }
     let n_collections = buf.get_u32_le() as usize;
+    // Corrupt (or crafted — the CRC is not tamper-proof) counts must
+    // surface as `Err`, never as a sized allocation: each collection needs
+    // at least its 24-byte fixed header, so a count beyond the remaining
+    // bytes is impossible and `with_capacity` on it could abort the
+    // process on allocation failure before any per-item bounds check runs.
+    if n_collections > buf.remaining() {
+        return Err(Error::corrupt(format!(
+            "snapshot claims {n_collections} collections in {} bytes",
+            buf.remaining()
+        )));
+    }
     let mut out = Vec::with_capacity(n_collections);
     for _ in 0..n_collections {
         let name = get_str(&mut buf)?;
@@ -91,6 +102,13 @@ pub fn decode_snapshot(data: &[u8]) -> Result<Vec<Collection>> {
             return Err(Error::corrupt("snapshot index header truncated"));
         }
         let n_indexes = buf.get_u32_le() as usize;
+        // Same bound as above: every index field costs ≥ 4 bytes.
+        if n_indexes > buf.remaining() {
+            return Err(Error::corrupt(format!(
+                "snapshot claims {n_indexes} indexes in {} bytes",
+                buf.remaining()
+            )));
+        }
         let mut coll = Collection::new(name);
         let mut fields = Vec::with_capacity(n_indexes);
         for _ in 0..n_indexes {
@@ -241,6 +259,53 @@ mod tests {
         assert!(decode_snapshot(&good[..8]).is_err(), "truncated");
     }
 
+    /// Re-frame a tampered body with a valid CRC, so decoding exercises
+    /// the structural guards rather than stopping at the checksum.
+    fn reframe(body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(body);
+        out.extend_from_slice(&crc32(body).to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn absurd_collection_count_is_error_not_abort() {
+        // A valid-CRC snapshot claiming u32::MAX collections in a handful
+        // of bytes: the old code passed the count straight to
+        // `Vec::with_capacity`, which aborts the process on allocation
+        // failure — a corrupt file must return `Err` instead.
+        let mut body = Vec::new();
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_snapshot(&reframe(&body)).unwrap_err();
+        assert!(matches!(err, cryptext_common::Error::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn absurd_index_count_is_error_not_abort() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes()); // one collection
+        body.extend_from_slice(&1u32.to_le_bytes()); // name len 1
+        body.push(b'c');
+        body.extend_from_slice(&0u64.to_le_bytes()); // next_id
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // n_indexes: absurd
+        let err = decode_snapshot(&reframe(&body)).unwrap_err();
+        assert!(matches!(err, cryptext_common::Error::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_at_every_prefix_is_error_not_panic() {
+        let c = build_collection();
+        let good = encode_snapshot(&[&c]);
+        for cut in 0..good.len() {
+            assert!(
+                decode_snapshot(&good[..cut]).is_err(),
+                "prefix of {cut} bytes must be a clean error"
+            );
+        }
+    }
+
     #[test]
     fn file_round_trip_and_missing_file() {
         let dir = tmp_dir("file");
@@ -266,5 +331,35 @@ mod tests {
         let restored = read_snapshot(&path).unwrap();
         assert_eq!(restored.len(), 1);
         assert_eq!(restored[0].name(), "other");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary bytes fed to the snapshot decoder either decode or
+        /// error — never panic, never abort on a sized allocation. (The
+        /// load path runs at process start; a corrupt file must surface as
+        /// a recoverable `Err` from `Database::open`.)
+        #[test]
+        fn decode_snapshot_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_snapshot(&bytes);
+        }
+
+        /// Same property with a well-formed frame (magic/version/CRC all
+        /// valid) around arbitrary body bytes, so the structural decoders
+        /// past the checksum are the code actually exercised.
+        #[test]
+        fn decode_framed_garbage_never_panics(body in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut data = Vec::with_capacity(body.len() + 12);
+            data.extend_from_slice(MAGIC);
+            data.extend_from_slice(&VERSION.to_le_bytes());
+            data.extend_from_slice(&body);
+            data.extend_from_slice(&crc32(&body).to_le_bytes());
+            let _ = decode_snapshot(&data);
+        }
     }
 }

@@ -415,6 +415,43 @@ mod tests {
     }
 
     #[test]
+    fn garbage_wal_file_reads_as_torn_not_panic() {
+        // A WAL replaced wholesale with non-WAL bytes (the load path's
+        // worst case) must come back as a clean empty-or-prefix read with
+        // the torn flag set — never a panic or abort during replay.
+        let dir = tmp_dir("garbage");
+        let path = dir.join("wal.log");
+        std::fs::write(&path, [0xDEu8, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03]).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert!(read.ops.is_empty());
+        assert!(read.truncated_tail);
+    }
+
+    #[test]
+    fn absurd_frame_length_is_torn_tail() {
+        // A frame header declaring a body far past end-of-file: the reader
+        // must treat it as a torn tail instead of slicing out of bounds or
+        // allocating the declared length.
+        let dir = tmp_dir("absurd-len");
+        let path = dir.join("wal.log");
+        let ops = sample_ops();
+        {
+            let mut w = WalWriter::open(&path, false).unwrap();
+            w.append(&ops[0]).unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes()); // len: absurd
+        frame.extend_from_slice(&0u32.to_le_bytes()); // crc: irrelevant
+        frame.extend_from_slice(b"short");
+        data.extend_from_slice(&frame);
+        std::fs::write(&path, &data).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.ops, vec![ops[0].clone()], "intact prefix kept");
+        assert!(read.truncated_tail);
+    }
+
+    #[test]
     fn append_is_durable_across_reopen() {
         let dir = tmp_dir("reopen");
         let path = dir.join("wal.log");
