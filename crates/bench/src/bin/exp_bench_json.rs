@@ -1,8 +1,8 @@
 //! Experiment B0 — **performance trajectory**: machine-readable lookup /
-//! normalize throughput over a seeded corpus, written to
-//! `BENCH_lookup.json` and `BENCH_normalize.json` at the workspace root so
-//! successive PRs have comparable numbers (same seed, same query mix, same
-//! machine class).
+//! normalize / ingest throughput over a seeded corpus, written to
+//! `BENCH_lookup.json`, `BENCH_normalize.json` and `BENCH_ingest.json` at
+//! the workspace root so successive PRs have comparable numbers (same
+//! seed, same query mix, same machine class).
 //!
 //! Reports, per engine path:
 //!
@@ -14,7 +14,11 @@
 //! * result-shape invariants (`total_hits`, `corrections_total`) that must
 //!   never drift — the optimized engines are byte-identical rewrites,
 //! * database shape (tokens, sounds, occurrences) and ingest timing
-//!   (sequential vs parallel batch).
+//!   (sequential vs parallel batch),
+//! * the durable streaming-ingest dimension (`BENCH_ingest.json`): the
+//!   per-batch delta-log append latency vs the full `persist_to` it
+//!   replaces as the durability point, compaction wall time, and the
+//!   recovered database shape (pinned by `--check`).
 //!
 //! ```text
 //! cargo run --release -p cryptext-bench --bin exp_bench_json
@@ -30,10 +34,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use cryptext_bench::{build_db, build_platform};
+use cryptext_core::durable::{DurableOptions, DurableTokenStore};
 use cryptext_core::{
     look_up_naive, look_up_with, CrypText, EncodedQuery, LookupParams, LookupScratch,
     NormalizeParams, NormalizeScratch, Normalizer, ShardedTokenDatabase, TokenDatabase,
 };
+use cryptext_docstore::Database;
 
 const N_POSTS: usize = 4_000;
 const SEED: u64 = 7;
@@ -46,6 +52,10 @@ const NORM_ROUNDS: usize = 4;
 /// Count 1 doubles as the trait-indirection regression check against the
 /// plain `optimized` block.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// The ingest dimension's workload: this many one-post batches streamed
+/// through a durable store, compacting every [`COMPACT_EVERY`] batches.
+const INGEST_BATCHES: usize = 2_000;
+const COMPACT_EVERY: usize = 500;
 
 struct Measured {
     queries_per_sec: f64,
@@ -198,6 +208,37 @@ fn check_sharded(
     Ok(())
 }
 
+/// The ingest dimension's invariants: the durable workload's final
+/// database shape is a pure function of the seeded corpus, so `--check`
+/// recomputes it through the ordinary in-memory path and pins the
+/// committed `BENCH_ingest.json` fields against it.
+fn check_ingest(texts: &[String]) -> Result<(), String> {
+    let json = std::fs::read_to_string("BENCH_ingest.json")
+        .map_err(|e| format!("read BENCH_ingest.json: {e}"))?;
+    let n = INGEST_BATCHES.min(texts.len());
+    let mut db = TokenDatabase::in_memory();
+    for t in &texts[..n] {
+        db.ingest_text(t);
+    }
+    let stats = db.stats();
+    let checks = [
+        ("batches", n as u64),
+        ("unique_tokens", stats.unique_tokens as u64),
+        ("total_occurrences", stats.total_occurrences),
+        ("compactions", (n / COMPACT_EVERY) as u64),
+        ("final_epoch", (n / COMPACT_EVERY) as u64),
+    ];
+    for (key, want) in checks {
+        let got = extract_ints(&json, key);
+        if got != vec![want] {
+            return Err(format!(
+                "BENCH_ingest.json {key} is {got:?}, expected [{want}]"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validate the committed invariant fields; returns the BENCH_lookup.json
 /// contents so the sharded check can reuse them without a second read.
 fn check_committed(expected: &Invariants) -> Result<String, String> {
@@ -282,9 +323,12 @@ fn main() {
 
     if check_only {
         let invariants = compute_invariants(db, &cx, &queries, &norm_texts);
-        match check_committed(&invariants).and_then(|lookup_json| {
-            check_sharded(db, &queries, invariants.hits_per_round, &lookup_json)
-        }) {
+        match check_committed(&invariants)
+            .and_then(|lookup_json| {
+                check_sharded(db, &queries, invariants.hits_per_round, &lookup_json)
+            })
+            .and_then(|()| check_ingest(&texts))
+        {
             Ok(()) => {
                 println!(
                     "bench invariants ok: total_hits {} per round × {MEASURE_ROUNDS}, \
@@ -315,6 +359,58 @@ fn main() {
     db_par.ingest_texts(&texts);
     let ingest_par_ms = ingest_par_start.elapsed().as_secs_f64() * 1e3;
     assert_eq!(db_seq.stats(), db_par.stats(), "parallel ingest must agree");
+
+    // Durable streaming ingest: per-batch delta-log append latency vs the
+    // full persist_to it replaces as the durability point, plus compaction
+    // wall time — O(batch) appends against the O(corpus) alternative.
+    let ingest_slice = &texts[..INGEST_BATCHES.min(texts.len())];
+    let dur_dir =
+        std::env::temp_dir().join(format!("cryptext-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dur_dir);
+    let mut dur = DurableTokenStore::<TokenDatabase>::open(&dur_dir, DurableOptions::default())
+        .expect("open durable store");
+    let mut append_us: Vec<f64> = Vec::with_capacity(ingest_slice.len());
+    let mut compact_ms: Vec<f64> = Vec::new();
+    let ingest_wall = Instant::now();
+    for (i, t) in ingest_slice.iter().enumerate() {
+        let start = Instant::now();
+        dur.try_ingest_text(t).expect("durable ingest");
+        append_us.push(start.elapsed().as_nanos() as f64 / 1e3);
+        if (i + 1) % COMPACT_EVERY == 0 {
+            let c = Instant::now();
+            dur.compact().expect("compaction");
+            compact_ms.push(c.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let ingest_wall_s = ingest_wall.elapsed().as_secs_f64();
+    let dur_stats = dur.inner().stats();
+    let final_epoch = dur.epoch();
+
+    let full_store = Database::in_memory();
+    let full_persist_start = Instant::now();
+    dur.inner()
+        .persist_to(&full_store, "tokens")
+        .expect("full persist");
+    let full_persist_ms = full_persist_start.elapsed().as_secs_f64() * 1e3;
+
+    // Recovery smoke: reopening replays snapshot + logs to the same state.
+    drop(dur);
+    let reopened = DurableTokenStore::<TokenDatabase>::open(&dur_dir, DurableOptions::default())
+        .expect("recovery open");
+    assert_eq!(
+        reopened.inner().stats(),
+        dur_stats,
+        "recovered state must be identical"
+    );
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dur_dir);
+
+    append_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pick_append = |q: f64| append_us[((append_us.len() - 1) as f64 * q).round() as usize];
+    let append_p50_us = pick_append(0.5);
+    let append_p99_us = pick_append(0.99);
+    let compact_mean_ms = compact_ms.iter().sum::<f64>() / compact_ms.len() as f64;
+    let compact_max_ms = compact_ms.iter().cloned().fold(0.0f64, f64::max);
 
     let mut scratch = LookupScratch::new();
     for _ in 0..WARMUP_ROUNDS {
@@ -483,6 +579,45 @@ fn main() {
     std::fs::write("BENCH_normalize.json", &out).expect("write BENCH_normalize.json");
     print!("{out}");
 
+    // ---- BENCH_ingest.json (durable streaming-ingest dimension) ----
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"ingest\",");
+    let _ = writeln!(
+        out,
+        "  \"corpus\": {{ \"posts\": {N_POSTS}, \"seed\": {SEED} }},"
+    );
+    let _ = writeln!(out, "  \"durable\": {{");
+    let _ = writeln!(out, "    \"batches\": {},", ingest_slice.len());
+    let _ = writeln!(out, "    \"append_p50_us\": {append_p50_us:.2},");
+    let _ = writeln!(out, "    \"append_p99_us\": {append_p99_us:.2},");
+    let _ = writeln!(
+        out,
+        "    \"batches_per_sec\": {:.1},",
+        ingest_slice.len() as f64 / ingest_wall_s
+    );
+    let _ = writeln!(out, "    \"unique_tokens\": {},", dur_stats.unique_tokens);
+    let _ = writeln!(
+        out,
+        "    \"total_occurrences\": {}",
+        dur_stats.total_occurrences
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(
+        out,
+        "  \"compaction\": {{ \"compactions\": {}, \"wall_ms_mean\": {compact_mean_ms:.1}, \"wall_ms_max\": {compact_max_ms:.1}, \"final_epoch\": {final_epoch} }},",
+        compact_ms.len()
+    );
+    let _ = writeln!(out, "  \"full_persist_ms\": {full_persist_ms:.1},");
+    let _ = writeln!(
+        out,
+        "  \"durability_cost_ratio_full_persist_over_append_p50\": {:.1}",
+        full_persist_ms * 1e3 / append_p50_us
+    );
+    out.push_str("}\n");
+    std::fs::write("BENCH_ingest.json", &out).expect("write BENCH_ingest.json");
+    print!("{out}");
+
     eprintln!(
         "lookup p50: optimized {:.2}µs vs naive {:.2}µs → {lookup_speedup:.2}x",
         optimized.p50_us, naive.p50_us
@@ -497,4 +632,8 @@ fn main() {
             m.p50_us
         );
     }
+    eprintln!(
+        "durable ingest: append p50 {append_p50_us:.2}µs vs full persist \
+         {full_persist_ms:.1}ms per durability point; compaction mean {compact_mean_ms:.1}ms"
+    );
 }

@@ -18,11 +18,14 @@
 //! * [`par`] — order-preserving parallel map over scoped threads, backing
 //!   the bulk service endpoints and parallel corpus ingest.
 //! * [`text`] — tiny string helpers shared by tokenizer/phonetics.
+//! * [`failpoint`] — deterministic fault injection for durability tests
+//!   (kill / torn-write at named crash boundaries).
 
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod error;
+pub mod failpoint;
 pub mod hash;
 pub mod interner;
 pub mod par;

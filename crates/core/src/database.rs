@@ -74,6 +74,7 @@
 use std::cell::RefCell;
 use std::ops::ControlFlow;
 
+use cryptext_common::failpoint;
 use cryptext_common::hash::{fx_hash_str, Bloom, FxHashMap};
 use cryptext_common::par::par_map;
 use cryptext_common::{Error, Result};
@@ -545,6 +546,28 @@ impl TokenDatabase {
         }
     }
 
+    /// Consume the database, yielding its records in id order. Crate
+    /// internal: live resharding drains a shard and redistributes the
+    /// records without re-running the Soundex encoders.
+    pub(crate) fn into_records(self) -> Vec<TokenRecord> {
+        self.records
+    }
+
+    /// Append a fully-formed record, reusing its stored codes (no
+    /// re-encoding) and assigning the next dense id. Crate internal: live
+    /// resharding rebuilds shards from existing records; the caller
+    /// guarantees the token is not already present.
+    pub(crate) fn insert_record_raw(&mut self, rec: TokenRecord) {
+        let id = self.records.len() as u32;
+        for (k, level_codes) in rec.codes.iter().enumerate() {
+            for code in level_codes {
+                self.buckets[k].add(code.as_str(), id);
+            }
+        }
+        self.by_token.insert(rec.token.clone(), id);
+        self.records.push(rec);
+    }
+
     /// Is `token` stored, and at which dense record id? Crate internal:
     /// the shard router's batch-prepare resolves ids against the routed
     /// shard before the merge phase.
@@ -759,18 +782,22 @@ impl TokenDatabase {
     /// previous *sharded* persist under the same name, so switching a
     /// deployment from the sharded backend to the single instance never
     /// leaks a stale corpus copy.
+    ///
+    /// Crash-safe: the new state is built in full under a staging name and
+    /// committed by a single atomic collection rename; a crash at any point
+    /// leaves either the complete previous state or the complete new one.
+    /// Stale collections of other layouts are swept only after the commit.
     pub fn persist_to(&self, store: &Database, collection: &str) -> Result<()> {
-        if store.has_collection(collection) {
-            store.drop_collection(collection)?;
+        let staging = format!("{collection}__staging");
+        if store.has_collection(&staging) {
+            // Leftover from a persist that crashed before its commit.
+            store.drop_collection(&staging)?;
         }
-        for name in store.collections_with_prefix(&format!("{collection}__shard")) {
-            store.drop_collection(&name)?;
-        }
-        store.create_collection(collection)?;
+        store.create_collection(&staging)?;
         for k in 0..NUM_LEVELS {
-            store.create_index(collection, &format!("codes_k{k}"))?;
+            store.create_index(&staging, &format!("codes_k{k}"))?;
         }
-        store.create_index(collection, "token")?;
+        store.create_index(&staging, "token")?;
         for rec in &self.records {
             let mut doc = Document::new()
                 .with("token", rec.token.as_str())
@@ -782,7 +809,17 @@ impl TokenDatabase {
                     Value::Array(codes.iter().map(|c| Value::from(c.as_str())).collect()),
                 );
             }
-            store.insert(collection, doc)?;
+            store.insert(&staging, doc)?;
+        }
+        if failpoint::trigger("persist.commit").is_some() {
+            return Err(failpoint::injected("persist.commit"));
+        }
+        // The commit point: one WAL record swaps staging over live.
+        store.rename_collection(&staging, collection)?;
+        // Sweep stale layouts (old sharded generations, crashed stagings)
+        // strictly after the commit.
+        for name in store.collections_with_prefix(&format!("{collection}__")) {
+            store.drop_collection(&name)?;
         }
         Ok(())
     }

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod durable;
 pub mod ingest;
 pub mod listening;
 pub mod lookup;

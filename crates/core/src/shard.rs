@@ -42,14 +42,25 @@
 //!   [`cryptext_common::par`], then the prepared words scatter into
 //!   per-shard queues that merge **in parallel, one worker per shard**.
 //! * **Persistence** — one document-store collection per shard plus a
-//!   shard-count manifest record; persist and load fan out across shards
-//!   through the same pool. Re-persisting replaces the previous layout,
-//!   including stale shard collections from a larger prior shard count.
+//!   manifest record carrying the shard count and a **generation**
+//!   number; persist and load fan out across shards through the same
+//!   pool. A persist is crash-safe: the new layout is written first under
+//!   a fresh generation (`{name}__g{g}__shard{i}`), the manifest swap
+//!   (staging collection renamed over the live name — one WAL record) is
+//!   the single commit point, and stale generations are swept only after
+//!   the swap. A crash at any boundary leaves the previous persist fully
+//!   loadable (fault-injection-pinned below).
+//! * **Live resharding** — [`ShardedTokenDatabase::grow_one_shard`] grows
+//!   N→N+1 in place. Jump hashing moves a key only to the *new* shard, so
+//!   ~1/(N+1) of the records relocate (reusing their stored codes, no
+//!   re-encoding) and the result is pinned byte-identical to a fresh
+//!   (N+1)-shard build of the same corpus.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 
+use cryptext_common::failpoint;
 use cryptext_common::hash::{FxHashMap, FxHashSet, ShardRing};
 use cryptext_common::par::{par_map, try_par_map};
 use cryptext_common::{Error, Result};
@@ -135,8 +146,10 @@ impl ShardedTokenDatabase {
 
     /// The shard that owns `token`: jump hash of the primary `H_1` code,
     /// falling back to the raw token for strings without phonetic content.
+    /// Crate internal beyond this module: the durable ingest layer routes
+    /// delta-log records with it.
     #[inline]
-    fn route(&self, token: &str) -> usize {
+    pub(crate) fn route(&self, token: &str) -> usize {
         match self.soundex[1].encode(token) {
             Some(code) => self.ring.route_str(code.as_str()),
             None => self.ring.route_str(token),
@@ -286,6 +299,26 @@ impl ShardedTokenDatabase {
         }
     }
 
+    /// Apply one replayed count delta to the routed shard. Crate internal:
+    /// the durable ingest layer's recovery path (`crate::durable`) replays
+    /// delta-log records through this, reproducing live ingest exactly.
+    pub(crate) fn upsert_routed(&mut self, token: &str, delta: u64) {
+        let s = self.route(token);
+        self.shards[s].upsert_token(token, delta);
+    }
+
+    /// Seed the slice of the English lexicon owned by `shard` — the exact
+    /// subsequence (in lexicon order) that [`Self::seed_lexicon_impl`]
+    /// would route there. Crate internal: delta-log replay re-seeds one
+    /// shard at a time.
+    pub(crate) fn seed_lexicon_shard(&mut self, shard: usize) {
+        for w in cryptext_corpus::english_lexicon() {
+            if self.route(w) == shard {
+                self.shards[shard].upsert_token(w, 0);
+            }
+        }
+    }
+
     fn record_clean_sentence_impl(&mut self, text: &str) {
         if self.clean_sentences.len() < MAX_CLEAN_SENTENCES {
             self.clean_sentences.push(text.to_string());
@@ -319,25 +352,107 @@ impl ShardedTokenDatabase {
             .collect())
     }
 
-    /// The name of shard `i`'s collection under a persist of `collection`.
-    fn shard_collection(collection: &str, i: usize) -> String {
-        format!("{collection}__shard{i}")
+    /// The name of shard `i`'s collection under generation `g` of a
+    /// persist of `collection`.
+    fn shard_collection(collection: &str, g: u64, i: usize) -> String {
+        format!("{collection}__g{g}__shard{i}")
     }
 
-    /// Read the shard count recorded by a sharded persist of `collection`,
-    /// or `None` when the collection is absent or not a sharded layout.
-    pub fn manifest_shards(store: &Database, collection: &str) -> Result<Option<usize>> {
+    /// Parse the generation out of a `{collection}__g{g}__shard{i}`-style
+    /// name — including the `__staging` suffixes a crashed shard persist
+    /// can leave behind. `None` for names that are not part of a sharded
+    /// layout of `collection` (the stale-generation sweep only ever drops
+    /// names this function recognizes). Parsing the number rather than
+    /// string-prefix matching keeps `g1` from swallowing `g10`.
+    fn collection_generation(collection: &str, name: &str) -> Option<u64> {
+        let rest = name.strip_prefix(collection)?.strip_prefix("__g")?;
+        let end = rest.find(|c: char| !c.is_ascii_digit())?;
+        if end == 0 || !rest[end..].starts_with("__shard") {
+            return None;
+        }
+        rest[..end].parse().ok()
+    }
+
+    /// Read the `(shard_count, generation)` pair recorded by a sharded
+    /// persist of `collection`, or `None` when the collection is absent or
+    /// not a sharded layout.
+    fn manifest_meta(store: &Database, collection: &str) -> Result<Option<(usize, u64)>> {
         if !store.has_collection(collection) {
             return Ok(None);
         }
         let Some((_, doc)) = store.find_one(collection, &Filter::All)? else {
             return Ok(None);
         };
-        Ok(doc
+        let Some(n) = doc
             .get("shard_manifest")
             .and_then(Value::as_int)
             .filter(|&n| n > 0)
-            .map(|n| n as usize))
+        else {
+            return Ok(None);
+        };
+        let g = doc
+            .get("generation")
+            .and_then(Value::as_int)
+            .unwrap_or(0)
+            .max(0) as u64;
+        Ok(Some((n as usize, g)))
+    }
+
+    /// Read the shard count recorded by a sharded persist of `collection`,
+    /// or `None` when the collection is absent or not a sharded layout.
+    pub fn manifest_shards(store: &Database, collection: &str) -> Result<Option<usize>> {
+        Ok(Self::manifest_meta(store, collection)?.map(|(n, _)| n))
+    }
+
+    /// Route a stored record against `ring` without re-running the Soundex
+    /// encoder: records keep their codes, and `encode_all` lists the
+    /// primary `H_1` reading first, so resharding reuses it (with the same
+    /// raw-token fallback as [`Self::route`] for records without phonetic
+    /// content).
+    fn route_record(ring: &ShardRing, rec: &TokenRecord) -> usize {
+        match rec.codes[1].first() {
+            Some(code) => ring.route_str(code.as_str()),
+            None => ring.route_str(&rec.token),
+        }
+    }
+
+    /// Grow the store by one shard in place, relocating only the records
+    /// whose jump-hash home changes. Jump consistent hashing guarantees a
+    /// key's route either stays put or moves to the *new* shard, so going
+    /// N→N+1 touches ~1/(N+1) of the corpus and every retained shard keeps
+    /// its records (and record order) byte-identical to a fresh
+    /// (N+1)-shard build of the same corpus. Reads pause only for the
+    /// rebuild itself (`&mut self`); before and after, every query surface
+    /// — lookups, stats, Table-I views, Bloom routing — matches the fresh
+    /// build (proptest-pinned below). Returns the number of records moved.
+    pub fn grow_one_shard(&mut self) -> usize {
+        let old_n = self.shards.len();
+        let new_ring = ShardRing::new(old_n + 1);
+        let mut movers: Vec<TokenRecord> = Vec::new();
+        for s in 0..old_n {
+            let shard = std::mem::take(&mut self.shards[s]);
+            let mut keep = TokenDatabase::in_memory();
+            for rec in shard.into_records() {
+                let home = Self::route_record(&new_ring, &rec);
+                // Jump hash moves keys only to the new last shard;
+                // anything else breaks the minimal-movement contract.
+                debug_assert!(home == s || home == old_n);
+                if home == s {
+                    keep.insert_record_raw(rec);
+                } else {
+                    movers.push(rec);
+                }
+            }
+            self.shards[s] = keep;
+        }
+        let moved = movers.len();
+        let mut fresh = TokenDatabase::in_memory();
+        for rec in movers {
+            fresh.insert_record_raw(rec);
+        }
+        self.shards.push(fresh);
+        self.ring = new_ring;
+        moved
     }
 }
 
@@ -516,40 +631,69 @@ impl TokenStore for ShardedTokenDatabase {
     }
 
     fn persist_to(&self, store: &Database, collection: &str) -> Result<()> {
-        // Replace semantics: wipe the manifest and every shard collection
-        // from a previous persist under this name — including stale ones
-        // left by a persist with a larger shard count.
-        if store.has_collection(collection) {
-            store.drop_collection(collection)?;
+        // Crash-safe replace: write the new layout under a fresh
+        // generation first, swap the manifest last, clean stale
+        // generations only after the swap. The manifest rename is the
+        // single commit point — a crash anywhere else leaves the previous
+        // persist fully loadable.
+        let live = Self::manifest_meta(store, collection)?.map_or(0, |(_, g)| g);
+        let ceiling = store
+            .collections_with_prefix(&format!("{collection}__g"))
+            .iter()
+            .filter_map(|name| Self::collection_generation(collection, name))
+            .fold(live, u64::max);
+        let generation = ceiling + 1;
+
+        if failpoint::trigger("persist.shards.write").is_some() {
+            return Err(failpoint::injected("persist.shards.write"));
         }
-        let prefix = format!("{collection}__shard");
-        for name in store.collections_with_prefix(&prefix) {
-            store.drop_collection(&name)?;
-        }
-        store.create_collection(collection)?;
-        store.insert(
-            collection,
-            Document::new().with("shard_manifest", self.shards.len() as i64),
-        )?;
         // Fan out: one collection per shard, persisted in parallel (the
         // document store takes per-collection locks, so writers do not
-        // contend).
+        // contend). The live generation's collections are untouched.
         let jobs: Vec<(usize, &TokenDatabase)> = self.shards.iter().enumerate().collect();
         try_par_map(&jobs, |&(i, shard)| {
-            shard.persist_to(store, &Self::shard_collection(collection, i))
+            shard.persist_to(store, &Self::shard_collection(collection, generation, i))
         })?;
+
+        // Stage the manifest and rename it over the live name: the rename
+        // is a single WAL record with replace semantics, so recovery sees
+        // the old manifest or the new one, never neither.
+        let staging = format!("{collection}__manifest_staging");
+        if store.has_collection(&staging) {
+            store.drop_collection(&staging)?;
+        }
+        store.create_collection(&staging)?;
+        store.insert(
+            &staging,
+            Document::new()
+                .with("shard_manifest", self.shards.len() as i64)
+                .with("generation", generation as i64),
+        )?;
+        if failpoint::trigger("persist.manifest.swap").is_some() {
+            return Err(failpoint::injected("persist.manifest.swap"));
+        }
+        store.rename_collection(&staging, collection)?;
+
+        // Only now is every other generation garbage — including leftovers
+        // from persists that crashed before their swap.
+        for name in store.collections_with_prefix(&format!("{collection}__g")) {
+            match Self::collection_generation(collection, &name) {
+                Some(g) if g != generation => store.drop_collection(&name)?,
+                _ => {}
+            }
+        }
         Ok(())
     }
 
     fn load_from(store: &Database, collection: &str) -> Result<Self> {
-        let n = Self::manifest_shards(store, collection)?.ok_or_else(|| {
+        let (n, generation) = Self::manifest_meta(store, collection)?.ok_or_else(|| {
             Error::corrupt(format!(
                 "collection {collection} has no shard-count manifest"
             ))
         })?;
         let idx: Vec<usize> = (0..n).collect();
         let shards = try_par_map(&idx, |&i| {
-            TokenDatabase::load_from(store, &Self::shard_collection(collection, i))
+            TokenDatabase::load_from(store, &Self::shard_collection(collection, generation, i))
         })?;
         let mut out = Self::in_memory(n);
         out.shards = shards;
@@ -901,24 +1045,160 @@ mod tests {
         }
     }
 
+    /// Count the shard collections (any generation) persisted under
+    /// `collection`.
+    fn shard_collection_count(store: &Database, collection: &str) -> usize {
+        store
+            .collections_with_prefix(&format!("{collection}__g"))
+            .iter()
+            .filter(|name| ShardedTokenDatabase::collection_generation(collection, name).is_some())
+            .count()
+    }
+
     #[test]
     fn repersist_replaces_and_drops_stale_shards() {
         // Persist with 8 shards, then re-persist the same corpus with 2:
-        // the load must see exactly 2 shards and the 6 stale collections
+        // the load must see exactly 2 shards and the 8 stale collections
         // must be gone (double-persist is replace, never append).
         let store = Database::in_memory();
         TokenStore::persist_to(&sharded(8), &store, "tokens").unwrap();
-        let names_before = store.collections_with_prefix("tokens__shard");
-        assert_eq!(names_before.len(), 8);
+        assert_eq!(shard_collection_count(&store, "tokens"), 8);
 
         let two = sharded(2);
         TokenStore::persist_to(&two, &store, "tokens").unwrap();
         TokenStore::persist_to(&two, &store, "tokens").unwrap(); // double persist
-        assert_eq!(store.collections_with_prefix("tokens__shard").len(), 2);
+        assert_eq!(shard_collection_count(&store, "tokens"), 2);
 
         let restored = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
         assert_eq!(restored.num_shards(), 2);
         assert_eq!(TokenStore::stats(&restored), single().stats());
+    }
+
+    #[test]
+    fn persist_kill_between_steps_preserves_previous_state() {
+        use cryptext_common::failpoint;
+
+        let store = Database::in_memory();
+        let old = sharded(3);
+        TokenStore::persist_to(&old, &store, "tokens").unwrap();
+        let mut newer = sharded(3);
+        TokenStore::ingest_text(&mut newer, "entirely fresh zebra vocabulary");
+        let old_stats = TokenStore::stats(&old);
+        let new_stats = TokenStore::stats(&newer);
+        assert_ne!(old_stats, new_stats);
+
+        // Kill before the shard writes, then between the shard writes and
+        // the manifest swap: both must leave the old persist loadable.
+        for point in ["persist.shards.write", "persist.manifest.swap"] {
+            let guard = failpoint::arm(point, "kill");
+            let err = TokenStore::persist_to(&newer, &store, "tokens").unwrap_err();
+            assert!(failpoint::is_injected(&err), "{point}: {err}");
+            drop(guard);
+            let loaded = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
+            assert_eq!(
+                TokenStore::stats(&loaded),
+                old_stats,
+                "{point}: old state intact after injected crash"
+            );
+        }
+
+        // With no failpoint armed the persist commits and sweeps every
+        // stale generation, including the crashed attempts' leftovers.
+        TokenStore::persist_to(&newer, &store, "tokens").unwrap();
+        let loaded = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
+        assert_eq!(TokenStore::stats(&loaded), new_stats);
+        let gens: std::collections::BTreeSet<u64> = store
+            .collections_with_prefix("tokens__g")
+            .iter()
+            .filter_map(|n| ShardedTokenDatabase::collection_generation("tokens", n))
+            .collect();
+        assert_eq!(gens.len(), 1, "exactly one generation survives");
+        assert!(!store.has_collection("tokens__manifest_staging"));
+    }
+
+    #[test]
+    fn flat_persist_kill_at_commit_preserves_previous_state() {
+        use cryptext_common::failpoint;
+
+        let store = Database::in_memory();
+        let old = single();
+        old.persist_to(&store, "tokens").unwrap();
+        let mut newer = single();
+        newer.ingest_text("entirely fresh zebra vocabulary");
+
+        let guard = failpoint::arm("persist.commit", "kill");
+        let err = newer.persist_to(&store, "tokens").unwrap_err();
+        assert!(failpoint::is_injected(&err));
+        drop(guard);
+        let loaded = TokenDatabase::load_from(&store, "tokens").unwrap();
+        assert_eq!(loaded.stats(), old.stats(), "old state intact");
+
+        newer.persist_to(&store, "tokens").unwrap();
+        let loaded = TokenDatabase::load_from(&store, "tokens").unwrap();
+        assert_eq!(loaded.stats(), newer.stats());
+        assert!(
+            store.collections_with_prefix("tokens__").is_empty(),
+            "staging swept after commit"
+        );
+    }
+
+    #[test]
+    fn grow_one_shard_moves_minimum_and_matches_fresh_build() {
+        let flat = single();
+        for n in 1usize..=8 {
+            let mut grown = sharded(n);
+            let total: usize = (0..n).map(|i| grown.shard(i).records().len()).sum();
+            let moved = grown.grow_one_shard();
+            assert_eq!(grown.num_shards(), n + 1);
+
+            let fresh = sharded(n + 1);
+            // Exactly the records whose jump-hash home changed moved, and
+            // they all landed in the new shard — the same population a
+            // fresh (n+1)-shard build routes there.
+            assert_eq!(moved, fresh.shard(n).records().len(), "n={n}: movers");
+            assert!(moved <= total);
+            // Retained shards are byte-identical to the fresh build; the
+            // new shard holds the same record set (arrival order differs —
+            // movers drain in shard order, not corpus order).
+            for i in 0..n {
+                assert_eq!(
+                    grown.shard(i).records(),
+                    fresh.shard(i).records(),
+                    "n={n}: retained shard {i} byte-identical"
+                );
+            }
+            let sorted = |db: &ShardedTokenDatabase| {
+                let mut v: Vec<TokenRecord> = db.shard(n).records().to_vec();
+                v.sort_by(|a, b| a.token.cmp(&b.token));
+                v
+            };
+            assert_eq!(sorted(&grown), sorted(&fresh), "n={n}: new shard set");
+            assert_equivalent(&flat, &grown);
+        }
+    }
+
+    #[test]
+    fn grow_then_persist_load_round_trips() {
+        let flat = single();
+        for n in [1usize, 3, 7] {
+            let mut grown = sharded(n);
+            grown.grow_one_shard();
+            let store = Database::in_memory();
+            TokenStore::persist_to(&grown, &store, "tokens").unwrap();
+            let restored = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
+            assert_eq!(restored.num_shards(), n + 1);
+            assert_eq!(TokenStore::stats(&restored), flat.stats());
+            for k in 0..NUM_LEVELS {
+                assert_eq!(
+                    ShardedTokenDatabase::hashmap_view(&restored, k).unwrap(),
+                    flat.hashmap_view(k).unwrap()
+                );
+            }
+            assert_eq!(
+                look_up(&restored, "republicans", LookupParams::paper_default()).unwrap(),
+                look_up(&flat, "republicans", LookupParams::paper_default()).unwrap()
+            );
+        }
     }
 
     #[test]
@@ -1175,6 +1455,65 @@ mod proptests {
                 }
                 let want = &full[..full.len().min(cut + 1)];
                 prop_assert_eq!(&seen[..], want, "backend sharded={}", backend);
+            }
+        }
+
+        /// The resharding pin: growing N→N+1 moves only the jump-hash
+        /// movers (retained shards stay byte-identical) and every query
+        /// surface matches a fresh (N+1)-shard build of the same corpus —
+        /// including after a persist/load round trip of the grown store.
+        #[test]
+        fn grow_one_shard_equals_fresh_build(
+            tokens in proptest::collection::vec("[a-e1@O]{2,9}", 1..25),
+            queries in proptest::collection::vec("[a-e1@O]{2,9}", 1..5),
+            shards in 1usize..=8,
+            k in 0usize..=2,
+            d in 0usize..=4,
+        ) {
+            let mut grown = ShardedTokenDatabase::in_memory(shards);
+            let mut fresh = ShardedTokenDatabase::in_memory(shards + 1);
+            for t in &tokens {
+                TokenStore::ingest_token(&mut grown, t);
+                TokenStore::ingest_token(&mut fresh, t);
+            }
+            let moved = grown.grow_one_shard();
+            prop_assert_eq!(grown.num_shards(), shards + 1);
+            prop_assert_eq!(moved, fresh.shard(shards).records().len());
+            for i in 0..shards {
+                prop_assert_eq!(
+                    grown.shard(i).records(),
+                    fresh.shard(i).records(),
+                    "retained shard {}", i
+                );
+            }
+            prop_assert_eq!(TokenStore::stats(&grown), TokenStore::stats(&fresh));
+            for level in 0..NUM_LEVELS {
+                prop_assert_eq!(
+                    ShardedTokenDatabase::hashmap_view(&grown, level).unwrap(),
+                    ShardedTokenDatabase::hashmap_view(&fresh, level).unwrap()
+                );
+            }
+            let params = LookupParams::new(k, d);
+            for q in &queries {
+                prop_assert_eq!(
+                    look_up(&grown, q, params).unwrap(),
+                    look_up(&fresh, q, params).unwrap(),
+                    "query {:?}", q
+                );
+                prop_assert_eq!(TokenStore::get(&grown, q), TokenStore::get(&fresh, q));
+            }
+
+            // Persist/load round trip of the grown store.
+            let store = Database::in_memory();
+            TokenStore::persist_to(&grown, &store, "tokens").unwrap();
+            let restored = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
+            prop_assert_eq!(restored.num_shards(), shards + 1);
+            for q in &queries {
+                prop_assert_eq!(
+                    look_up(&restored, q, params).unwrap(),
+                    look_up(&fresh, q, params).unwrap(),
+                    "after round trip: query {:?}", q
+                );
             }
         }
 

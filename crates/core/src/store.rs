@@ -510,10 +510,10 @@ mod tests {
             "tokens",
         )
         .unwrap();
-        assert_eq!(store.collections_with_prefix("tokens__shard").len(), 6);
+        assert_eq!(store.collections_with_prefix("tokens__g").len(), 6);
 
         db.persist_to(&store, "tokens").unwrap();
-        assert!(store.collections_with_prefix("tokens__shard").is_empty());
+        assert!(store.collections_with_prefix("tokens__g").is_empty());
         let restored = AnyTokenStore::load_from(&store, "tokens").unwrap();
         assert!(restored.as_single().is_some());
         assert_eq!(restored.stats(), db.stats());

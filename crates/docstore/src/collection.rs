@@ -86,6 +86,12 @@ impl Collection {
         &self.name
     }
 
+    /// Rename the collection (rename-commit support; the database keeps
+    /// the map key and this field in lockstep).
+    pub(crate) fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
     /// Number of documents.
     pub fn len(&self) -> usize {
         self.docs.len()

@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use cryptext_common::failpoint;
 use cryptext_common::{Error, Result};
 use parking_lot::{Mutex, RwLock};
 
@@ -136,6 +137,12 @@ impl Database {
                     c.get_mut().delete(DocId(id));
                 }
             }
+            WalOp::RenameCollection { from, to } => {
+                if let Some(mut coll) = map.remove(&from) {
+                    coll.get_mut().set_name(&to);
+                    map.insert(to, coll);
+                }
+            }
         }
         Ok(())
     }
@@ -167,6 +174,33 @@ impl Database {
     pub fn drop_collection(&self, name: &str) -> Result<()> {
         self.log(&WalOp::DropCollection { name: name.into() })?;
         self.collections.write().remove(name);
+        Ok(())
+    }
+
+    /// Rename collection `from` to `to`, replacing any collection already
+    /// at `to`. A single WAL record makes the swap atomic under crash
+    /// recovery, which is what crash-safe persists pivot on: build the new
+    /// state under a staging name, then rename over the live name — a
+    /// reopen sees either the complete old state or the complete new one.
+    pub fn rename_collection(&self, from: &str, to: &str) -> Result<()> {
+        {
+            let read = self.collections.read();
+            if !read.contains_key(from) {
+                return Err(Error::not_found(format!("collection {from}")));
+            }
+        }
+        if from == to {
+            return Ok(());
+        }
+        self.log(&WalOp::RenameCollection {
+            from: from.into(),
+            to: to.into(),
+        })?;
+        let mut write = self.collections.write();
+        if let Some(mut coll) = write.remove(from) {
+            coll.get_mut().set_name(to);
+            write.insert(to.to_string(), coll);
+        }
         Ok(())
     }
 
@@ -300,6 +334,12 @@ impl Database {
             let refs: Vec<&Collection> = guards.iter().map(|g| &**g).collect();
             snapshot::write_snapshot(&snapshot_path, &refs)?;
         }
+        // Crash window between snapshot install and WAL truncation: safe,
+        // because replay on top of the new snapshot is idempotent (explicit
+        // ids; inserts replace). Pinned by fault-injection tests.
+        if failpoint::trigger("db.checkpoint.truncate").is_some() {
+            return Err(failpoint::injected("db.checkpoint.truncate"));
+        }
         // Truncate by recreating the file, then swap the writer handle.
         std::fs::write(&wal_path, [])?;
         *wal_guard = WalWriter::open(&wal_path, p.sync_mode == WalSync::EveryAppend)?;
@@ -393,6 +433,70 @@ mod tests {
             vec!["tokens__shard0".to_string(), "tokens__shard1".to_string()]
         );
         assert!(db.collections_with_prefix("nope").is_empty());
+    }
+
+    #[test]
+    fn rename_collection_replaces_destination_and_survives_recovery() {
+        let dir = tmp_dir("rename");
+        {
+            let db = Database::open(&dir, DbOptions::default()).unwrap();
+            seed(&db); // "tokens" with 3 docs
+            db.create_collection("tokens__staging").unwrap();
+            db.create_index("tokens__staging", "codes").unwrap();
+            db.insert("tokens__staging", Document::new().with("token", "fresh"))
+                .unwrap();
+            db.rename_collection("tokens__staging", "tokens").unwrap();
+            assert_eq!(db.len("tokens").unwrap(), 1, "destination replaced");
+            assert!(!db.has_collection("tokens__staging"));
+        }
+        // The swap is one WAL record: recovery replays it atomically.
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        assert_eq!(db.len("tokens").unwrap(), 1);
+        assert!(!db.has_collection("tokens__staging"));
+        // The renamed collection's own name field followed it (snapshots
+        // key on it).
+        db.checkpoint().unwrap();
+        drop(db);
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        assert_eq!(db.len("tokens").unwrap(), 1, "consistent after snapshot");
+    }
+
+    #[test]
+    fn rename_missing_collection_errors() {
+        let db = Database::in_memory();
+        assert!(matches!(
+            db.rename_collection("nope", "x").unwrap_err(),
+            Error::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_crash_before_truncate_recovers_idempotently() {
+        // Crash window between snapshot install and WAL truncation: the
+        // snapshot already holds the state and the stale WAL replays on
+        // top of it. Replay is idempotent (explicit ids, replacing
+        // inserts), so the reopened state matches exactly.
+        let dir = tmp_dir("ckpt-crash");
+        {
+            let db = Database::open(&dir, DbOptions::default()).unwrap();
+            seed(&db);
+            cryptext_common::failpoint::reset_hits();
+            let _g = cryptext_common::failpoint::arm("db.checkpoint.truncate", "kill@1");
+            let err = db.checkpoint().unwrap_err();
+            assert!(cryptext_common::failpoint::is_injected(&err));
+        }
+        assert!(
+            std::fs::metadata(dir.join("wal.log")).unwrap().len() > 0,
+            "WAL survived (truncate never ran)"
+        );
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        assert_eq!(db.len("tokens").unwrap(), 3, "snapshot + stale WAL replay");
+        assert_eq!(
+            db.find("tokens", &Filter::eq("codes", "TH000"))
+                .unwrap()
+                .len(),
+            2
+        );
     }
 
     #[test]

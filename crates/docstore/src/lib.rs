@@ -18,10 +18,38 @@
 //!   records, point-in-time [snapshots](snapshot), and crash recovery that
 //!   replays the WAL over the latest snapshot and tolerates a torn tail.
 //!
-//! Durability model: every mutation is appended to the WAL before being
-//! applied in memory (`WalSync` chooses whether appends also `fsync`).
+//! # Durability contract
+//!
+//! Every mutation is appended to the WAL before being applied in memory;
 //! [`Database::checkpoint`] writes a snapshot atomically (temp file +
-//! rename) and truncates the log.
+//! fsync + rename) and truncates the log. The precise guarantees:
+//!
+//! * **After `append` returns** — the record is flushed to the OS. A
+//!   process crash cannot lose it; an OS/power crash can, unless
+//!   [`WalSync::EveryAppend`] was chosen (then the append also `fsync`s
+//!   and survives both). Appends are framed `[len][crc32][payload]`, so a
+//!   crash mid-append leaves at worst a *torn tail*: recovery keeps the
+//!   intact frame prefix and discards the tear — never a partial record.
+//! * **After a torn write** — [`wal::read_wal`]/[`wal::read_frames`] stop
+//!   at the first bad frame and report `truncated_tail`; reopening a
+//!   writer ([`wal::FrameWriter::open`]) truncates the torn bytes *before*
+//!   appending, so post-crash appends stay reachable. Nothing before the
+//!   tear is ever lost; nothing after it is ever half-applied.
+//! * **After `checkpoint` returns** — the snapshot file alone reconstructs
+//!   the full state (collections, documents, id counters, index
+//!   definitions) and has been `fsync`ed. A crash *between* the snapshot
+//!   rename and the WAL truncation is benign: replaying the stale WAL over
+//!   the new snapshot is idempotent (explicit document ids; inserts
+//!   replace).
+//! * **Rename as commit point** — [`Database::rename_collection`] is a
+//!   single WAL record with replace semantics. Crash-safe bulk rebuilds
+//!   write into a staging collection and rename over the live name; a
+//!   reopen observes either the complete old state or the complete new
+//!   one, never a mix.
+//!
+//! These properties are enforced by fault-injection tests (see
+//! `cryptext_common::failpoint`) that kill or tear writes at every
+//! boundary and assert recovery lands on a valid prefix state.
 
 #![warn(missing_docs)]
 

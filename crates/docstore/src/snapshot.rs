@@ -19,6 +19,7 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cryptext_common::failpoint::{self, FailAction};
 use cryptext_common::{Error, Result};
 
 use crate::collection::Collection;
@@ -144,14 +145,29 @@ pub fn decode_snapshot(data: &[u8]) -> Result<Vec<Collection>> {
 }
 
 /// Write a snapshot atomically: temp file in the same directory, fsync,
-/// rename over `path`.
+/// rename over `path`. A crash anywhere before the rename leaves the
+/// previous snapshot untouched (at worst a stale `.tmp` file remains,
+/// which the next successful write replaces).
 pub fn write_snapshot(path: &Path, collections: &[&Collection]) -> Result<()> {
     let bytes = encode_snapshot(collections);
     let tmp = path.with_extension("tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;
+        match failpoint::trigger("snapshot.write") {
+            Some(FailAction::Kill) => return Err(failpoint::injected("snapshot.write")),
+            Some(FailAction::Torn(k)) => {
+                // Crash mid-write: a partial tmp file is left behind, the
+                // live snapshot is untouched.
+                f.write_all(&bytes[..k.min(bytes.len())])?;
+                return Err(failpoint::injected("snapshot.write"));
+            }
+            None => {}
+        }
         f.write_all(&bytes)?;
         f.sync_all()?;
+    }
+    if failpoint::trigger("snapshot.rename").is_some() {
+        return Err(failpoint::injected("snapshot.rename"));
     }
     std::fs::rename(&tmp, path)?;
     Ok(())

@@ -6,12 +6,24 @@
 //! torn tail (a crash mid-append) as a clean end of log — standard
 //! ARIES-style physical logging, minus the undo side because applies happen
 //! strictly after append.
+//!
+//! The framing layer ([`FrameWriter`], [`read_frames`]) is generic over the
+//! payload and is reused by the streaming-ingest delta logs in
+//! `cryptext-core`; [`WalWriter`]/[`read_wal`] specialize it to [`WalOp`]
+//! payloads.
+//!
+//! Opening a writer is *recovering*: [`FrameWriter::open`] scans the file
+//! and truncates anything past the last intact frame before appending.
+//! Without that, a writer reopened after a crash would append fresh frames
+//! *after* the torn bytes, and recovery — which stops at the first bad
+//! frame — would silently discard every frame written after the crash.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cryptext_common::failpoint::{self, FailAction};
 use cryptext_common::{Error, Result};
 
 use crate::encoding::{crc32, decode_document, encode_document, get_str, put_str};
@@ -62,6 +74,16 @@ pub enum WalOp {
         /// Target document id.
         id: u64,
     },
+    /// A collection was renamed, replacing any collection already at the
+    /// destination name. One WAL record, applied atomically on replay —
+    /// this is the commit point crash-safe persists pivot on: build the
+    /// new state under a staging name, then rename it over the live name.
+    RenameCollection {
+        /// Source collection name (must exist).
+        from: String,
+        /// Destination name; an existing collection here is replaced.
+        to: String,
+    },
 }
 
 const OP_CREATE_COLLECTION: u8 = 1;
@@ -70,6 +92,7 @@ const OP_CREATE_INDEX: u8 = 3;
 const OP_INSERT: u8 = 4;
 const OP_UPDATE: u8 = 5;
 const OP_DELETE: u8 = 6;
+const OP_RENAME_COLLECTION: u8 = 7;
 
 impl WalOp {
     /// Encode the op payload (without framing).
@@ -113,6 +136,11 @@ impl WalOp {
                 buf.put_u8(OP_DELETE);
                 put_str(&mut buf, collection);
                 buf.put_u64_le(*id);
+            }
+            WalOp::RenameCollection { from, to } => {
+                buf.put_u8(OP_RENAME_COLLECTION);
+                put_str(&mut buf, from);
+                put_str(&mut buf, to);
             }
         }
         buf
@@ -169,6 +197,10 @@ impl WalOp {
                 let id = buf.get_u64_le();
                 WalOp::Delete { collection, id }
             }
+            OP_RENAME_COLLECTION => WalOp::RenameCollection {
+                from: get_str(&mut buf)?,
+                to: get_str(&mut buf)?,
+            },
             other => return Err(Error::corrupt(format!("unknown wal op tag {other}"))),
         };
         if !buf.is_empty() {
@@ -178,33 +210,126 @@ impl WalOp {
     }
 }
 
-/// Append-side handle to a WAL file.
+/// Scan raw log bytes, returning `(intact_len, frames)`: the byte length
+/// of the longest prefix made of whole valid frames, and those frames'
+/// payloads in order. Everything past `intact_len` is a torn tail.
+fn scan_frames(data: &[u8]) -> (usize, Vec<Bytes>) {
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        if data.len() - offset < 8 {
+            break;
+        }
+        let len =
+            u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let body_start = offset + 8;
+        if data.len() - body_start < len {
+            break;
+        }
+        let payload = &data[body_start..body_start + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        frames.push(Bytes::copy_from_slice(payload));
+        offset = body_start + len;
+    }
+    (offset, frames)
+}
+
+/// Outcome of reading a framed log file.
 #[derive(Debug)]
-pub struct WalWriter {
+pub struct FrameReadResult {
+    /// Payloads of all intact frames, in append order.
+    pub frames: Vec<Bytes>,
+    /// True when the file ended with a torn/corrupt frame that was
+    /// discarded (expected after a crash; alarming otherwise).
+    pub truncated_tail: bool,
+}
+
+/// Read all intact frames from the log at `path`. A missing file reads as
+/// an empty log.
+pub fn read_frames(path: &Path) -> Result<FrameReadResult> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut data)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(FrameReadResult {
+                frames: Vec::new(),
+                truncated_tail: false,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let (intact_len, frames) = scan_frames(&data);
+    Ok(FrameReadResult {
+        frames,
+        truncated_tail: intact_len < data.len(),
+    })
+}
+
+/// Append-side handle to a CRC-framed log file. Generic over payloads;
+/// [`WalWriter`] specializes it to [`WalOp`] records, the streaming-ingest
+/// delta logs append their own record encodings.
+#[derive(Debug)]
+pub struct FrameWriter {
     writer: BufWriter<File>,
     sync_every_append: bool,
     appended: u64,
+    failpoint: &'static str,
 }
 
-impl WalWriter {
-    /// Open (creating if missing) the WAL at `path` for appending.
-    pub fn open(path: &Path, sync_every_append: bool) -> Result<Self> {
+impl FrameWriter {
+    /// Open (creating if missing) the framed log at `path` for appending,
+    /// in recovery mode: any torn tail left by a crash is truncated away
+    /// first, so new frames land directly after the last intact one and
+    /// stay reachable by recovery scans. `failpoint` names the crash
+    /// boundary this writer's appends hit (fault-injection tests).
+    pub fn open(path: &Path, sync_every_append: bool, failpoint: &'static str) -> Result<Self> {
+        // Scan for the intact prefix and chop off any torn tail.
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let (intact_len, _) = scan_frames(&data);
+        if intact_len < data.len() {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(intact_len as u64)?;
+            f.sync_data()?;
+        }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(WalWriter {
+        Ok(FrameWriter {
             writer: BufWriter::new(file),
             sync_every_append,
             appended: 0,
+            failpoint,
         })
     }
 
-    /// Append one framed record; flushes (and optionally fsyncs) before
+    /// Append one framed payload; flushes (and optionally fsyncs) before
     /// returning, so a successful append is at worst torn, never silent.
-    pub fn append(&mut self, op: &WalOp) -> Result<()> {
-        let payload = op.encode();
+    pub fn append_frame(&mut self, payload: &[u8]) -> Result<()> {
         let mut frame = BytesMut::with_capacity(payload.len() + 8);
         frame.put_u32_le(payload.len() as u32);
-        frame.put_u32_le(crc32(&payload));
-        frame.extend_from_slice(&payload);
+        frame.put_u32_le(crc32(payload));
+        frame.extend_from_slice(payload);
+        match failpoint::trigger(self.failpoint) {
+            Some(FailAction::Kill) => return Err(failpoint::injected(self.failpoint)),
+            Some(FailAction::Torn(k)) => {
+                // Simulate a crash mid-write(2): the first k bytes of the
+                // frame reach the file, then the "process dies".
+                self.writer.write_all(&frame[..k.min(frame.len())])?;
+                self.writer.flush()?;
+                return Err(failpoint::injected(self.failpoint));
+            }
+            None => {}
+        }
         self.writer.write_all(&frame)?;
         self.writer.flush()?;
         if self.sync_every_append {
@@ -214,7 +339,7 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Records appended through this handle.
+    /// Frames appended through this handle.
     pub fn appended(&self) -> u64 {
         self.appended
     }
@@ -224,6 +349,39 @@ impl WalWriter {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         Ok(())
+    }
+}
+
+/// Append-side handle to a WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    inner: FrameWriter,
+}
+
+impl WalWriter {
+    /// Open (creating if missing) the WAL at `path` for appending. Opens in
+    /// recovery mode: a torn tail from a prior crash is truncated before
+    /// the first append (see [`FrameWriter::open`]).
+    pub fn open(path: &Path, sync_every_append: bool) -> Result<Self> {
+        Ok(WalWriter {
+            inner: FrameWriter::open(path, sync_every_append, "wal.append")?,
+        })
+    }
+
+    /// Append one framed record; flushes (and optionally fsyncs) before
+    /// returning, so a successful append is at worst torn, never silent.
+    pub fn append(&mut self, op: &WalOp) -> Result<()> {
+        self.inner.append_frame(&op.encode())
+    }
+
+    /// Records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.inner.appended()
+    }
+
+    /// Force an fsync regardless of the per-append setting.
+    pub fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
     }
 }
 
@@ -240,49 +398,19 @@ pub struct WalReadResult {
 /// Read all intact records from the WAL at `path`. A missing file reads as
 /// an empty log.
 pub fn read_wal(path: &Path) -> Result<WalReadResult> {
-    let mut data = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut data)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(WalReadResult {
-                ops: Vec::new(),
-                truncated_tail: false,
-            })
-        }
-        Err(e) => return Err(e.into()),
-    }
-
-    let mut ops = Vec::new();
-    let mut offset = 0usize;
-    let mut truncated_tail = false;
-    while offset < data.len() {
-        if data.len() - offset < 8 {
-            truncated_tail = true;
-            break;
-        }
-        let len =
-            u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
-        let body_start = offset + 8;
-        if data.len() - body_start < len {
-            truncated_tail = true;
-            break;
-        }
-        let payload = &data[body_start..body_start + len];
-        if crc32(payload) != crc {
-            truncated_tail = true;
-            break;
-        }
-        match WalOp::decode(Bytes::copy_from_slice(payload)) {
+    let read = read_frames(path)?;
+    let mut ops = Vec::with_capacity(read.frames.len());
+    let mut truncated_tail = read.truncated_tail;
+    for payload in read.frames {
+        match WalOp::decode(payload) {
             Ok(op) => ops.push(op),
             Err(_) => {
+                // CRC-valid but undecodable: treat like a torn tail so the
+                // prefix still recovers.
                 truncated_tail = true;
                 break;
             }
         }
-        offset = body_start + len;
     }
     Ok(WalReadResult {
         ops,
@@ -323,6 +451,10 @@ mod tests {
             WalOp::Delete {
                 collection: "tokens".into(),
                 id: 0,
+            },
+            WalOp::RenameCollection {
+                from: "tokens__staging".into(),
+                to: "tokens".into(),
             },
             WalOp::DropCollection {
                 name: "tokens".into(),
@@ -388,6 +520,41 @@ mod tests {
             let read = read_wal(&path).unwrap();
             assert!(read.truncated_tail, "cut {cut} detected");
             assert_eq!(read.ops, ops[..ops.len() - 1], "only the last record lost");
+        }
+    }
+
+    #[test]
+    fn reopen_after_torn_tail_truncates_then_appends() {
+        // The crash-recovery append path: a torn tail must not poison
+        // frames appended after reopen. Before `open` recovered, the new
+        // frame landed after the garbage bytes and `read_wal` — which
+        // stops at the first bad frame — never saw it.
+        let dir = tmp_dir("torn-reopen");
+        let path = dir.join("wal.log");
+        let ops = sample_ops();
+        {
+            let mut w = WalWriter::open(&path, false).unwrap();
+            for op in &ops {
+                w.append(op).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        for cut in [1usize, 3, 7, 11] {
+            std::fs::write(&path, &full[..full.len() - cut]).unwrap();
+            {
+                let mut w = WalWriter::open(&path, false).unwrap();
+                w.append(&WalOp::CreateCollection {
+                    name: "post-crash".into(),
+                })
+                .unwrap();
+            }
+            let read = read_wal(&path).unwrap();
+            assert!(!read.truncated_tail, "cut {cut}: tail was truncated");
+            let mut want = ops[..ops.len() - 1].to_vec();
+            want.push(WalOp::CreateCollection {
+                name: "post-crash".into(),
+            });
+            assert_eq!(read.ops, want, "cut {cut}: prefix + post-crash append");
         }
     }
 
@@ -474,5 +641,169 @@ mod tests {
                 WalOp::CreateCollection { name: "b".into() },
             ]
         );
+    }
+
+    #[test]
+    fn generic_frames_round_trip() {
+        let dir = tmp_dir("frames");
+        let path = dir.join("delta.log");
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"\x00\x01\x02", b"last"];
+        {
+            let mut w = FrameWriter::open(&path, false, "test.append").unwrap();
+            for p in &payloads {
+                w.append_frame(p).unwrap();
+            }
+            assert_eq!(w.appended(), payloads.len() as u64);
+        }
+        let read = read_frames(&path).unwrap();
+        assert!(!read.truncated_tail);
+        let got: Vec<&[u8]> = read.frames.iter().map(|b| b.as_ref()).collect();
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn failpoint_kill_leaves_no_partial_frame() {
+        let dir = tmp_dir("fp-kill");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::open(&path, false).unwrap();
+        w.append(&WalOp::CreateCollection { name: "a".into() })
+            .unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        {
+            cryptext_common::failpoint::reset_hits();
+            let _g = cryptext_common::failpoint::arm("wal.append", "kill@1");
+            let err = w
+                .append(&WalOp::CreateCollection { name: "b".into() })
+                .unwrap_err();
+            assert!(cryptext_common::failpoint::is_injected(&err));
+        }
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            before,
+            "kill fires before any bytes are written"
+        );
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.ops.len(), 1);
+        assert!(!read.truncated_tail);
+    }
+
+    #[test]
+    fn kill_at_every_byte_prefix_recovers_valid_prefix_state() {
+        // Exhaustive crash simulation: truncate the log at *every* byte
+        // offset. Whatever the cut, reading must not panic, must yield a
+        // prefix of the original op sequence, and a writer reopened on the
+        // wreckage must recover (truncate the tail) and append cleanly.
+        let dir = tmp_dir("every-prefix");
+        let path = dir.join("wal.log");
+        let ops = sample_ops();
+        {
+            let mut w = WalWriter::open(&path, false).unwrap();
+            for op in &ops {
+                w.append(op).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let read = read_wal(&path).unwrap();
+            assert!(read.ops.len() <= ops.len());
+            assert_eq!(
+                read.ops[..],
+                ops[..read.ops.len()],
+                "cut {cut}: recovered ops must be a prefix"
+            );
+            // Reopen-and-append must leave a clean log: prefix + new op.
+            {
+                let mut w = WalWriter::open(&path, false).unwrap();
+                w.append(&WalOp::CreateCollection { name: "z".into() })
+                    .unwrap();
+            }
+            let after = read_wal(&path).unwrap();
+            assert!(!after.truncated_tail, "cut {cut}: clean after recovery");
+            assert_eq!(
+                after.ops.last(),
+                Some(&WalOp::CreateCollection { name: "z".into() }),
+                "cut {cut}: post-recovery append visible"
+            );
+            assert_eq!(after.ops.len(), read.ops.len() + 1);
+        }
+    }
+
+    #[test]
+    fn failpoint_torn_write_recovers_to_prefix() {
+        let dir = tmp_dir("fp-torn");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::open(&path, false).unwrap();
+        w.append(&WalOp::CreateCollection { name: "a".into() })
+            .unwrap();
+        {
+            cryptext_common::failpoint::reset_hits();
+            let _g = cryptext_common::failpoint::arm("wal.append", "torn@1:6");
+            let err = w
+                .append(&WalOp::CreateCollection { name: "b".into() })
+                .unwrap_err();
+            assert!(cryptext_common::failpoint::is_injected(&err));
+        }
+        // 6 bytes of the new frame are on disk: a torn tail.
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.ops, vec![WalOp::CreateCollection { name: "a".into() }]);
+        assert!(read.truncated_tail);
+        // Reopen recovers: truncate the torn bytes, append cleanly.
+        let mut w = WalWriter::open(&path, false).unwrap();
+        w.append(&WalOp::CreateCollection { name: "c".into() })
+            .unwrap();
+        let read = read_wal(&path).unwrap();
+        assert!(!read.truncated_tail);
+        assert_eq!(
+            read.ops,
+            vec![
+                WalOp::CreateCollection { name: "a".into() },
+                WalOp::CreateCollection { name: "c".into() },
+            ]
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary bytes fed to the frame scanner either parse as a
+        /// valid frame prefix or stop — never a panic, never an
+        /// out-of-bounds slice. (Recovery runs this over whatever a crash
+        /// left on disk.)
+        #[test]
+        fn scan_frames_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let (intact_len, frames) = scan_frames(&bytes);
+            prop_assert!(intact_len <= bytes.len());
+            // Re-scanning the intact prefix reproduces the same frames.
+            let (len2, frames2) = scan_frames(&bytes[..intact_len]);
+            prop_assert_eq!(len2, intact_len);
+            prop_assert_eq!(frames2, frames);
+        }
+
+        /// A log of arbitrary payload frames truncated at an arbitrary
+        /// offset always scans to a prefix of the payload sequence.
+        #[test]
+        fn truncated_frame_log_scans_to_prefix(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..32), 0..8),
+            cut_pct in 0u32..=100,
+        ) {
+            let mut data = Vec::new();
+            for p in &payloads {
+                data.extend_from_slice(&(p.len() as u32).to_le_bytes());
+                data.extend_from_slice(&crc32(p).to_le_bytes());
+                data.extend_from_slice(p);
+            }
+            let cut = data.len() * (cut_pct as usize) / 100;
+            let (_, frames) = scan_frames(&data[..cut.min(data.len())]);
+            prop_assert!(frames.len() <= payloads.len());
+            for (got, want) in frames.iter().zip(payloads.iter()) {
+                prop_assert_eq!(got.as_ref(), &want[..]);
+            }
+        }
     }
 }

@@ -139,7 +139,9 @@ fn sharded_repersist_with_fewer_shards_replaces_layout() {
             .unwrap();
     }
     let store = Database::open(&dir, DbOptions::default()).unwrap();
-    assert_eq!(store.collections_with_prefix("tokens__shard").len(), 2);
+    // Shard collections are generation-tagged (`tokens__g{g}__shard{i}`);
+    // exactly one generation — the 2-shard one — may survive the sweep.
+    assert_eq!(store.collections_with_prefix("tokens__g").len(), 2);
     let restored = ShardedTokenDatabase::load_from(&store, "tokens").unwrap();
     assert_eq!(restored.num_shards(), 2);
     assert_eq!(restored.stats(), flat.stats());
