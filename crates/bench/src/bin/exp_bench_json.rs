@@ -18,7 +18,13 @@
 //! * the durable streaming-ingest dimension (`BENCH_ingest.json`): the
 //!   per-batch delta-log append latency vs the full `persist_to` it
 //!   replaces as the durability point, compaction wall time, and the
-//!   recovered database shape (pinned by `--check`).
+//!   recovered database shape (pinned by `--check`),
+//! * the gateway dimension (`BENCH_service.json`): the admission-control
+//!   overhead p50 (gateway Look Up vs the direct service call), the
+//!   shed split of a latch-choreographed 10× admission storm, and the
+//!   coalesce hit rate of a duplicate-lookup wave. The storm/wave counts
+//!   are deterministic by construction and pinned by `--check`; the
+//!   overhead numbers are machine-dependent and informational.
 //!
 //! ```text
 //! cargo run --release -p cryptext-bench --bin exp_bench_json
@@ -31,15 +37,22 @@
 //! when every latency number looks plausible.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use cryptext_bench::{build_db, build_platform};
+use cryptext_common::{Error, SimClock};
 use cryptext_core::durable::{DurableOptions, DurableTokenStore};
+use cryptext_core::lookup::LookupHit;
+use cryptext_core::service::{CryptextService, ServiceConfig};
 use cryptext_core::{
     look_up_naive, look_up_with, CrypText, EncodedQuery, LookupParams, LookupScratch,
     NormalizeParams, NormalizeScratch, Normalizer, ShardedTokenDatabase, TokenDatabase,
 };
 use cryptext_docstore::Database;
+use cryptext_gateway::{
+    CallOptions, Gateway, GatewayConfig, RouteBudget, RouteClass, SingleFlight,
+};
 
 const N_POSTS: usize = 4_000;
 const SEED: u64 = 7;
@@ -56,6 +69,16 @@ const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// through a durable store, compacting every [`COMPACT_EVERY`] batches.
 const INGEST_BATCHES: usize = 2_000;
 const COMPACT_EVERY: usize = 500;
+/// The gateway storm: a lane of `STORM_BUDGET` (executing, queued)
+/// capacity against [`STORM_REQUESTS`] simultaneous arrivals — 10× the
+/// lane's total capacity of 4, so exactly 36 must shed.
+const STORM_REQUESTS: usize = 40;
+const STORM_BUDGET: (usize, usize) = (2, 2);
+/// The duplicate wave: this many identical concurrent lookups must
+/// coalesce to a single execution (one leader, the rest followers).
+const WAVE_REQUESTS: usize = 8;
+/// Rounds for the admission-overhead comparison (gateway vs direct).
+const SERVICE_ROUNDS: usize = 40;
 
 struct Measured {
     queries_per_sec: f64,
@@ -239,6 +262,245 @@ fn check_ingest(texts: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One-shot gate: gateway request closures park on it so the overload
+/// choreography can line up every request's admission state (executing,
+/// queued, or shed) before letting any work finish. That staging is what
+/// makes the storm/wave counts deterministic rather than racy.
+struct Latch {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let start = Instant::now();
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            assert!(
+                start.elapsed() < Duration::from_secs(20),
+                "bench latch never opened"
+            );
+            let (guard, _) = self
+                .cv
+                .wait_timeout(open, Duration::from_millis(2))
+                .unwrap();
+            open = guard;
+        }
+    }
+}
+
+/// Spin until `cond` holds; panics (failing the bench/check) on stall.
+fn poll_until(what: &str, cond: impl Fn() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "bench choreography stalled waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A small service on a frozen simulated clock for the gateway
+/// dimension: deadlines never expire mid-choreography, and the tiny
+/// fixed corpus keeps the admitted requests' work (and therefore the
+/// measured overhead) about the gateway, not the database.
+fn service_fixture() -> Arc<CryptextService<TokenDatabase>> {
+    let mut db = TokenDatabase::in_memory();
+    for text in [
+        "the dirrty republicans",
+        "thee dirty repubLIEcans",
+        "the dirty republic@@ns",
+        "vaccine vacc1ne vaxxine mandates",
+        "democrats demokkkrats dem0crats",
+    ] {
+        db.ingest_text(text);
+    }
+    Arc::new(CryptextService::new(
+        CrypText::new(db),
+        ServiceConfig {
+            rate_limit_per_minute: 1_000_000,
+            ..ServiceConfig::default()
+        },
+        Arc::new(SimClock::new(0)),
+    ))
+}
+
+/// The deterministic counts of the gateway choreography, pinned by
+/// `--check`.
+struct ServiceChoreography {
+    storm_completed: usize,
+    storm_shed: usize,
+    wave_followers: u64,
+    wave_executions: u64,
+}
+
+/// Run the 10× storm and the duplicate wave. Latches hold every request
+/// in place until the target admission state is observed, so the splits
+/// below are exact counts, not statistics.
+fn run_service_choreography() -> ServiceChoreography {
+    // Storm: lane capacity 4 (2 executing + 2 queued) vs 40 arrivals.
+    let svc = service_fixture();
+    let gw: Arc<Gateway<TokenDatabase>> = Arc::new(Gateway::new(
+        Arc::clone(&svc),
+        GatewayConfig {
+            lookup: RouteBudget::new(STORM_BUDGET.0, STORM_BUDGET.1),
+            ..GatewayConfig::default()
+        },
+    ));
+    let auth = svc.issue_token("bench-storm");
+    let direct = svc
+        .look_up(&auth, "republicans", LookupParams::paper_default())
+        .expect("direct storm lookup");
+
+    let latch = Latch::new();
+    let mut handles = Vec::new();
+    for _ in 0..STORM_REQUESTS {
+        let (gw, auth, latch) = (Arc::clone(&gw), auth.clone(), Arc::clone(&latch));
+        handles.push(std::thread::spawn(move || {
+            gw.call(
+                RouteClass::Lookup,
+                &auth,
+                CallOptions::default(),
+                move |svc, _| {
+                    latch.wait();
+                    svc.look_up_prechecked(
+                        "republicans",
+                        LookupParams::paper_default(),
+                        &mut || None,
+                    )
+                },
+            )
+        }));
+    }
+    let capacity = STORM_BUDGET.0 + STORM_BUDGET.1;
+    poll_until("storm saturation", || {
+        let s = gw.stats();
+        s.shed_queue_full == (STORM_REQUESTS - capacity) as u64
+            && s.active_now == STORM_BUDGET.0
+            && s.queued_now == STORM_BUDGET.1
+    });
+    latch.open();
+    let (mut storm_completed, mut storm_shed) = (0, 0);
+    for h in handles {
+        match h.join().expect("storm thread") {
+            Ok(hits) => {
+                assert_eq!(
+                    hits, direct,
+                    "admitted storm result must match the direct call"
+                );
+                storm_completed += 1;
+            }
+            Err(Error::Overloaded { .. }) => storm_shed += 1,
+            Err(e) => panic!("storm produced an unexpected error: {e}"),
+        }
+    }
+
+    // Duplicate wave: identical concurrent lookups coalesce to one
+    // execution; every caller gets the leader's exact bytes.
+    let svc = service_fixture();
+    let gw: Arc<Gateway<TokenDatabase>> =
+        Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
+    let auth = svc.issue_token("bench-wave");
+    let direct = svc
+        .look_up(&auth, "democrats", LookupParams::paper_default())
+        .expect("direct wave lookup");
+    let flights: Arc<SingleFlight<Vec<LookupHit>>> = Arc::new(SingleFlight::new());
+    let latch = Latch::new();
+    let mut handles = Vec::new();
+    for _ in 0..WAVE_REQUESTS {
+        let (gw, auth, latch) = (Arc::clone(&gw), auth.clone(), Arc::clone(&latch));
+        let flights = Arc::clone(&flights);
+        handles.push(std::thread::spawn(move || {
+            gw.call_coalesced(
+                RouteClass::Lookup,
+                0xBE5E7CE5,
+                &auth,
+                CallOptions::default(),
+                &flights,
+                move |svc, _| {
+                    latch.wait();
+                    svc.look_up_prechecked("democrats", LookupParams::paper_default(), &mut || None)
+                },
+            )
+        }));
+    }
+    poll_until("wave coalescing", || {
+        gw.stats().coalesced_followers == (WAVE_REQUESTS - 1) as u64
+    });
+    latch.open();
+    for h in handles {
+        let hits = h.join().expect("wave thread").expect("coalesced lookup");
+        assert_eq!(hits, direct, "coalesced result must match the direct call");
+    }
+    let s = gw.stats();
+    ServiceChoreography {
+        storm_completed,
+        storm_shed,
+        wave_followers: s.coalesced_followers,
+        wave_executions: s.executions,
+    }
+}
+
+/// The gateway dimension's invariants: the choreography is deterministic
+/// by construction, so `--check` re-runs it live — proving shed-not-
+/// collapse and single-execution coalescing on the current build — and
+/// pins the committed `BENCH_service.json` counts against the fresh run.
+fn check_service() -> Result<(), String> {
+    let json = std::fs::read_to_string("BENCH_service.json")
+        .map_err(|e| format!("read BENCH_service.json: {e}"))?;
+    let chor = run_service_choreography();
+    let capacity = STORM_BUDGET.0 + STORM_BUDGET.1;
+    if chor.storm_completed != capacity || chor.storm_shed != STORM_REQUESTS - capacity {
+        return Err(format!(
+            "storm split drifted: {}/{} completed/shed, expected {}/{}",
+            chor.storm_completed,
+            chor.storm_shed,
+            capacity,
+            STORM_REQUESTS - capacity
+        ));
+    }
+    if chor.wave_executions != 1 || chor.wave_followers != (WAVE_REQUESTS - 1) as u64 {
+        return Err(format!(
+            "coalescing drifted: {} executions, {} followers (expected 1 and {})",
+            chor.wave_executions,
+            chor.wave_followers,
+            WAVE_REQUESTS - 1
+        ));
+    }
+    let checks = [
+        (
+            "requests",
+            vec![STORM_REQUESTS as u64, WAVE_REQUESTS as u64],
+        ),
+        ("completed", vec![chor.storm_completed as u64]),
+        ("shed", vec![chor.storm_shed as u64]),
+        ("executions", vec![chor.wave_executions]),
+        ("coalesced_followers", vec![chor.wave_followers]),
+    ];
+    for (key, want) in checks {
+        let got = extract_ints(&json, key);
+        if got != want {
+            return Err(format!(
+                "BENCH_service.json {key} is {got:?}, expected {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validate the committed invariant fields; returns the BENCH_lookup.json
 /// contents so the sharded check can reuse them without a second read.
 fn check_committed(expected: &Invariants) -> Result<String, String> {
@@ -328,6 +590,7 @@ fn main() {
                 check_sharded(db, &queries, invariants.hits_per_round, &lookup_json)
             })
             .and_then(|()| check_ingest(&texts))
+            .and_then(|()| check_service())
         {
             Ok(()) => {
                 println!(
@@ -618,6 +881,80 @@ fn main() {
     std::fs::write("BENCH_ingest.json", &out).expect("write BENCH_ingest.json");
     print!("{out}");
 
+    // ---- BENCH_service.json (gateway overload dimension) ----
+    let chor = run_service_choreography();
+
+    // Admission overhead: the same Look Up mix through the full layer
+    // onion (admission → auth → coalescing → deadline → pool dispatch)
+    // vs the direct service endpoint, uncontended and sequential so the
+    // difference is pure layering cost.
+    let svc = service_fixture();
+    let gw: Arc<Gateway<TokenDatabase>> =
+        Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
+    let auth = svc.issue_token("bench-overhead");
+    let gate_queries = [
+        "republicans",
+        "democrats",
+        "vaccine",
+        "mandates",
+        "dirty",
+        "zzzmiss",
+    ];
+    for _ in 0..WARMUP_ROUNDS {
+        for q in gate_queries {
+            let _ = svc.look_up(&auth, q, params).unwrap();
+            let _ = gw
+                .look_up(&auth, q, params, CallOptions::default())
+                .unwrap();
+        }
+    }
+    let svc_direct = measure(&gate_queries, SERVICE_ROUNDS, |q| {
+        svc.look_up(&auth, q, params).unwrap().len()
+    });
+    let svc_gated = measure(&gate_queries, SERVICE_ROUNDS, |q| {
+        gw.look_up(&auth, q, params, CallOptions::default())
+            .unwrap()
+            .len()
+    });
+    assert_eq!(
+        svc_gated.total_hits, svc_direct.total_hits,
+        "the gateway adds layers, not different results"
+    );
+
+    let capacity = STORM_BUDGET.0 + STORM_BUDGET.1;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"service\",");
+    let _ = writeln!(
+        out,
+        "  \"gateway\": {{ \"storm_max_concurrent\": {}, \"storm_max_queued\": {} }},",
+        STORM_BUDGET.0, STORM_BUDGET.1
+    );
+    let _ = writeln!(
+        out,
+        "  \"admission_overhead\": {{ \"direct_p50_us\": {:.2}, \"gateway_p50_us\": {:.2}, \"overhead_p50_us\": {:.2} }},",
+        svc_direct.p50_us,
+        svc_gated.p50_us,
+        svc_gated.p50_us - svc_direct.p50_us
+    );
+    let _ = writeln!(
+        out,
+        "  \"storm_10x\": {{ \"requests\": {STORM_REQUESTS}, \"capacity\": {capacity}, \"completed\": {}, \"shed\": {}, \"shed_rate\": {:.2} }},",
+        chor.storm_completed,
+        chor.storm_shed,
+        chor.storm_shed as f64 / STORM_REQUESTS as f64
+    );
+    let _ = writeln!(
+        out,
+        "  \"coalesce_wave\": {{ \"requests\": {WAVE_REQUESTS}, \"executions\": {}, \"coalesced_followers\": {}, \"coalesce_hit_rate\": {:.3} }}",
+        chor.wave_executions,
+        chor.wave_followers,
+        chor.wave_followers as f64 / WAVE_REQUESTS as f64
+    );
+    out.push_str("}\n");
+    std::fs::write("BENCH_service.json", &out).expect("write BENCH_service.json");
+    print!("{out}");
+
     eprintln!(
         "lookup p50: optimized {:.2}µs vs naive {:.2}µs → {lookup_speedup:.2}x",
         optimized.p50_us, naive.p50_us
@@ -635,5 +972,17 @@ fn main() {
     eprintln!(
         "durable ingest: append p50 {append_p50_us:.2}µs vs full persist \
          {full_persist_ms:.1}ms per durability point; compaction mean {compact_mean_ms:.1}ms"
+    );
+    eprintln!(
+        "gateway: admission overhead p50 {:.2}µs ({:.2}µs gated vs {:.2}µs direct); \
+         storm shed {}/{}; coalesce {}/{} followers, {} execution(s)",
+        svc_gated.p50_us - svc_direct.p50_us,
+        svc_gated.p50_us,
+        svc_direct.p50_us,
+        chor.storm_shed,
+        STORM_REQUESTS,
+        chor.wave_followers,
+        WAVE_REQUESTS,
+        chor.wave_executions
     );
 }

@@ -25,8 +25,23 @@ pub enum Error {
     Conflict(String),
     /// Authentication failed (missing/unknown/revoked API token).
     Unauthorized(String),
-    /// The caller exceeded its rate limit; retry after the embedded budget resets.
-    RateLimited(String),
+    /// The caller exceeded its per-token rate limit; the budget refills
+    /// when the current fixed window rolls over.
+    RateLimited {
+        /// Milliseconds until the current rate window resets.
+        retry_after_ms: u64,
+    },
+    /// The service shed this request under overload (admission queue
+    /// full or draining); retry after backing off.
+    Overloaded {
+        /// Suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline budget expired before a result was ready.
+    DeadlineExceeded {
+        /// The total budget that was granted, in milliseconds.
+        budget_ms: u64,
+    },
     /// Serialization/deserialization failure outside persistent state.
     Serde(String),
     /// An internal invariant was broken; indicates a bug, not user error.
@@ -50,9 +65,52 @@ impl Error {
     }
 
     /// True when retrying the same call later could succeed
-    /// (rate limits and transient I/O), false for logic errors.
+    /// (rate limits, shed load, and transient I/O), false for logic
+    /// errors. A blown deadline is *not* retryable: the caller's budget is
+    /// gone, and only the caller knows whether granting a fresh one makes
+    /// sense.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::RateLimited(_) | Error::Io(_))
+        matches!(
+            self,
+            Error::RateLimited { .. } | Error::Overloaded { .. } | Error::Io(_)
+        )
+    }
+
+    /// The backoff hint carried by throttling errors
+    /// ([`Error::RateLimited`] / [`Error::Overloaded`]), `None` otherwise.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Error::RateLimited { retry_after_ms } | Error::Overloaded { retry_after_ms } => {
+                Some(*retry_after_ms)
+            }
+            _ => None,
+        }
+    }
+
+    /// A structural copy of this error, for broadcasting one failure to
+    /// several coalesced waiters. `std::io::Error` is not `Clone`, so the
+    /// I/O arm is rebuilt from its kind and message; every other arm
+    /// clones exactly.
+    pub fn duplicate(&self) -> Self {
+        match self {
+            Error::Io(e) => Error::Io(std::io::Error::new(e.kind(), e.to_string())),
+            Error::Corrupt(m) => Error::Corrupt(m.clone()),
+            Error::NotFound(m) => Error::NotFound(m.clone()),
+            Error::InvalidArgument(m) => Error::InvalidArgument(m.clone()),
+            Error::Conflict(m) => Error::Conflict(m.clone()),
+            Error::Unauthorized(m) => Error::Unauthorized(m.clone()),
+            Error::RateLimited { retry_after_ms } => Error::RateLimited {
+                retry_after_ms: *retry_after_ms,
+            },
+            Error::Overloaded { retry_after_ms } => Error::Overloaded {
+                retry_after_ms: *retry_after_ms,
+            },
+            Error::DeadlineExceeded { budget_ms } => Error::DeadlineExceeded {
+                budget_ms: *budget_ms,
+            },
+            Error::Serde(m) => Error::Serde(m.clone()),
+            Error::Internal(m) => Error::Internal(m.clone()),
+        }
     }
 }
 
@@ -65,7 +123,15 @@ impl fmt::Display for Error {
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Conflict(m) => write!(f, "conflict: {m}"),
             Error::Unauthorized(m) => write!(f, "unauthorized: {m}"),
-            Error::RateLimited(m) => write!(f, "rate limited: {m}"),
+            Error::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited: retry after {retry_after_ms}ms")
+            }
+            Error::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms}ms")
+            }
+            Error::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline exceeded: {budget_ms}ms budget spent")
+            }
             Error::Serde(m) => write!(f, "serialization error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -95,8 +161,14 @@ mod tests {
     fn display_includes_category_and_message() {
         let e = Error::NotFound("collection tokens".into());
         assert_eq!(e.to_string(), "not found: collection tokens");
-        let e = Error::RateLimited("token abc".into());
-        assert!(e.to_string().starts_with("rate limited"));
+        let e = Error::RateLimited {
+            retry_after_ms: 1500,
+        };
+        assert_eq!(e.to_string(), "rate limited: retry after 1500ms");
+        let e = Error::Overloaded { retry_after_ms: 25 };
+        assert_eq!(e.to_string(), "overloaded: retry after 25ms");
+        let e = Error::DeadlineExceeded { budget_ms: 40 };
+        assert_eq!(e.to_string(), "deadline exceeded: 40ms budget spent");
     }
 
     #[test]
@@ -109,10 +181,56 @@ mod tests {
 
     #[test]
     fn retryability_classification() {
-        assert!(Error::RateLimited("x".into()).is_retryable());
+        assert!(Error::RateLimited { retry_after_ms: 1 }.is_retryable());
+        assert!(Error::Overloaded { retry_after_ms: 1 }.is_retryable());
         assert!(Error::Io(std::io::Error::other("net")).is_retryable());
+        assert!(!Error::DeadlineExceeded { budget_ms: 5 }.is_retryable());
         assert!(!Error::invalid("bad k").is_retryable());
         assert!(!Error::corrupt("bad magic").is_retryable());
+    }
+
+    #[test]
+    fn retry_after_hint_only_on_throttling_errors() {
+        assert_eq!(
+            Error::RateLimited {
+                retry_after_ms: 700
+            }
+            .retry_after_ms(),
+            Some(700)
+        );
+        assert_eq!(
+            Error::Overloaded { retry_after_ms: 9 }.retry_after_ms(),
+            Some(9)
+        );
+        assert_eq!(
+            Error::DeadlineExceeded { budget_ms: 9 }.retry_after_ms(),
+            None
+        );
+        assert_eq!(Error::invalid("x").retry_after_ms(), None);
+    }
+
+    #[test]
+    fn duplicate_preserves_category_and_message() {
+        let io = Error::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "slow shard",
+        ));
+        match io.duplicate() {
+            Error::Io(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::TimedOut);
+                assert_eq!(e.to_string(), "slow shard");
+            }
+            other => panic!("wrong arm: {other:?}"),
+        }
+        for e in [
+            Error::Unauthorized("tok".into()),
+            Error::RateLimited { retry_after_ms: 3 },
+            Error::Overloaded { retry_after_ms: 4 },
+            Error::DeadlineExceeded { budget_ms: 5 },
+            Error::Internal("bug".into()),
+        ] {
+            assert_eq!(e.duplicate().to_string(), e.to_string());
+        }
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! * [`FailAction::Torn`]`(k)` — the call site writes only the first `k`
 //!   bytes of its payload and then errors, simulating a torn write (a
 //!   crash mid-`write(2)`).
+//! * [`FailAction::Delay`]`(ms)` — the call site stalls `ms` milliseconds
+//!   and then proceeds normally, simulating a slow disk or a stalled
+//!   downstream (armed as `delay@N:MS`; the gateway's overload tests use
+//!   it to manufacture deadline misses deterministically).
 //!
 //! Arming is deterministic and hit-indexed: a spec like `kill@3` fires on
 //! the third hit *and every hit after it* — once a process is "dead" it
@@ -50,6 +54,10 @@ pub enum FailAction {
     Kill,
     /// Write only the first `k` bytes of the payload, then crash.
     Torn(usize),
+    /// Stall the call site for the given number of milliseconds before it
+    /// proceeds normally — latency injection for overload/deadline tests.
+    /// Unlike `Kill`, a delayed boundary is *not* dead: it completes.
+    Delay(u64),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +86,13 @@ fn parse_spec(spec: &str) -> Option<FailConfig> {
         let (n, k) = rest.split_once(':')?;
         return Some(FailConfig {
             action: FailAction::Torn(k.trim().parse().ok()?),
+            at_hit: n.trim().parse().ok()?,
+        });
+    }
+    if let Some(rest) = spec.strip_prefix("delay@") {
+        let (n, ms) = rest.split_once(':')?;
+        return Some(FailConfig {
+            action: FailAction::Delay(ms.trim().parse().ok()?),
             at_hit: n.trim().parse().ok()?,
         });
     }
@@ -133,8 +148,9 @@ impl Drop for FailGuard {
     }
 }
 
-/// Arm a failpoint on the current thread. `spec` is `kill`, `kill@N`, or
-/// `torn@N:K` (fire at the N-th hit, writing K bytes first for torn).
+/// Arm a failpoint on the current thread. `spec` is `kill`, `kill@N`,
+/// `torn@N:K` (fire at the N-th hit, writing K bytes first for torn), or
+/// `delay@N:MS` (stall MS milliseconds at the N-th hit and after).
 ///
 /// # Panics
 /// Panics on a malformed spec — an armed-but-ignored failpoint would make
@@ -239,6 +255,22 @@ pub fn is_injected(err: &Error) -> bool {
     matches!(err, Error::Io(e) if e.to_string().starts_with("failpoint:"))
 }
 
+/// Drive a *non-write* boundary (a service layer, a dispatch point): record
+/// a hit at `name` and honor the armed action in place. `Delay` sleeps the
+/// configured milliseconds and then lets the call proceed; `Kill` and
+/// `Torn` (which has no byte budget to spend at a non-write site) return
+/// the [`injected`] crash error. Unarmed points only count, as always.
+pub fn check(name: &str) -> crate::Result<()> {
+    match trigger(name) {
+        None => Ok(()),
+        Some(FailAction::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(FailAction::Kill) | Some(FailAction::Torn(_)) => Err(injected(name)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,8 +326,43 @@ mod tests {
         let torn = parse_spec("torn@2:9").unwrap();
         assert_eq!(torn.at_hit, 2);
         assert_eq!(torn.action, FailAction::Torn(9));
+        let delay = parse_spec("delay@3:25").unwrap();
+        assert_eq!(delay.at_hit, 3);
+        assert_eq!(delay.action, FailAction::Delay(25));
         assert!(parse_spec("explode@1").is_none());
         assert!(parse_spec("torn@x:y").is_none());
+        assert!(parse_spec("delay@1").is_none());
+        assert!(parse_spec("delay@a:b").is_none());
+    }
+
+    #[test]
+    fn delay_fires_at_and_after_threshold_and_completes() {
+        reset_hits();
+        let _g = arm("t.delay", "delay@2:10");
+        assert_eq!(trigger("t.delay"), None);
+        let start = std::time::Instant::now();
+        assert_eq!(trigger("t.delay"), Some(FailAction::Delay(10)));
+        assert_eq!(trigger("t.delay"), Some(FailAction::Delay(10)));
+        // trigger itself never sleeps; `check` does.
+        assert!(start.elapsed().as_millis() < 10);
+    }
+
+    #[test]
+    fn check_sleeps_on_delay_and_errors_on_kill() {
+        reset_hits();
+        {
+            let _g = arm("t.check.delay", "delay@1:15");
+            let start = std::time::Instant::now();
+            assert!(check("t.check.delay").is_ok());
+            assert!(start.elapsed().as_millis() >= 15);
+        }
+        {
+            let _g = arm("t.check.kill", "kill@1");
+            let err = check("t.check.kill").unwrap_err();
+            assert!(is_injected(&err));
+        }
+        assert!(check("t.check.unarmed").is_ok());
+        assert_eq!(hits("t.check.unarmed"), 1);
     }
 
     #[test]

@@ -145,13 +145,21 @@ impl ShardRing {
     }
 }
 
-/// Bits in a [`Bloom`] summary: 2^15 = 32768 bits (4 KiB). At the corpus
-/// sizes one shard holds (hundreds to low thousands of distinct codes per
-/// level), the two-probe false-positive rate stays well under 1%; a
-/// saturated filter only costs skip opportunities, never correctness.
-const BLOOM_BITS: usize = 1 << 15;
+/// Initial bits in a [`Bloom`] summary: 2^12 = 4096 bits (512 B). Small
+/// shards stay cheap; a summary that outgrows this is rebuilt larger from
+/// its exact source set (the code interner) via [`Bloom::with_capacity`].
+const INITIAL_BLOOM_BITS: usize = 1 << 12;
 
-/// A fixed-size Bloom-style membership summary over pre-hashed `u64` keys.
+/// Target bits-per-item when sizing a rebuilt summary: 16 bits/item keeps
+/// the two-probe false-positive rate around a third of a percent.
+const REBUILD_BITS_PER_ITEM: usize = 16;
+
+/// Fill threshold that signals a rebuild: below 8 bits/item the two-probe
+/// false-positive rate passes ~1.5% and keeps climbing, which erodes the
+/// skip rate of shard routing. Rebuild trigger, not a correctness bound.
+const GROW_BITS_PER_ITEM: usize = 8;
+
+/// A Bloom-style membership summary over pre-hashed `u64` keys.
 ///
 /// This is the skip-empty router of the sharded token database: each shard
 /// summarizes the Soundex codes it indexes per phonetic level, and a query
@@ -162,34 +170,58 @@ const BLOOM_BITS: usize = 1 << 15;
 ///
 /// Two probe positions are derived from the low and high halves of the
 /// (already well-mixed) Fx hash, so no rehashing happens per probe.
+///
+/// The filter cannot grow in place (inserted hashes are not retained), but
+/// its *owner* usually can: when [`Bloom::needs_grow`] reports the fill
+/// ratio has crossed the rebuild threshold, rebuild a fresh summary from
+/// the exact source set with [`Bloom::with_capacity`] and re-insert. The
+/// bit count is always a power of two, so probe slots are mask extractions.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Bloom {
     bits: Vec<u64>,
+    /// `bit count - 1`; the bit count is a power of two.
+    mask: usize,
     items: usize,
 }
 
 impl Bloom {
-    /// An empty summary.
+    /// An empty summary at the initial (smallest) size.
     pub fn new() -> Self {
+        Bloom::with_bits(INITIAL_BLOOM_BITS)
+    }
+
+    /// An empty summary sized for `items` keys at the rebuild target of
+    /// 16 bits/item (clamped to at least the initial size, rounded up to a
+    /// power of two).
+    pub fn with_capacity(items: usize) -> Self {
+        let want = items
+            .saturating_mul(REBUILD_BITS_PER_ITEM)
+            .max(INITIAL_BLOOM_BITS);
+        Bloom::with_bits(want.next_power_of_two())
+    }
+
+    fn with_bits(bits: usize) -> Self {
+        debug_assert!(bits.is_power_of_two() && bits >= 64);
         Bloom {
-            bits: vec![0u64; BLOOM_BITS / 64],
+            bits: vec![0u64; bits / 64],
+            mask: bits - 1,
             items: 0,
         }
     }
 
     #[inline]
-    fn slots(key: u64) -> (usize, usize) {
+    fn slots(&self, key: u64) -> (usize, usize) {
         // Low and high 32-bit halves of the mixed hash give two
         // independent probes (classic double hashing, k = 2).
         (
-            (key as u32 as usize) % BLOOM_BITS,
-            ((key >> 32) as usize) % BLOOM_BITS,
+            (key as u32 as usize) & self.mask,
+            ((key >> 32) as usize) & self.mask,
         )
     }
 
     /// Record a key.
     pub fn insert(&mut self, key: u64) {
-        let (a, b) = Self::slots(key);
+        let (a, b) = self.slots(key);
         self.bits[a / 64] |= 1u64 << (a % 64);
         self.bits[b / 64] |= 1u64 << (b % 64);
         self.items += 1;
@@ -199,7 +231,7 @@ impl Bloom {
     /// be a false positive.
     #[inline]
     pub fn may_contain(&self, key: u64) -> bool {
-        let (a, b) = Self::slots(key);
+        let (a, b) = self.slots(key);
         self.bits[a / 64] & (1u64 << (a % 64)) != 0 && self.bits[b / 64] & (1u64 << (b % 64)) != 0
     }
 
@@ -213,6 +245,20 @@ impl Bloom {
     pub fn is_empty(&self) -> bool {
         self.items == 0
     }
+
+    /// The current bit count (a power of two).
+    pub fn bit_count(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Has the fill ratio crossed the rebuild threshold (fewer than 8 bits
+    /// per inserted key)? When this reports `true`, the owner should
+    /// rebuild from its exact key set with [`Bloom::with_capacity`] —
+    /// skipping the rebuild only costs skip opportunities, never
+    /// correctness.
+    pub fn needs_grow(&self) -> bool {
+        self.items.saturating_mul(GROW_BITS_PER_ITEM) > self.bit_count()
+    }
 }
 
 impl Default for Bloom {
@@ -225,7 +271,7 @@ impl std::fmt::Debug for Bloom {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Bloom")
             .field("items", &self.items)
-            .field("bits", &BLOOM_BITS)
+            .field("bits", &self.bit_count())
             .finish()
     }
 }
@@ -358,14 +404,15 @@ mod tests {
     }
 
     #[test]
-    fn bloom_false_positive_rate_is_low_at_shard_scale() {
-        // ~1k codes per shard level is the realistic fill; the 32768-bit
-        // two-probe filter should reject the overwhelming majority of
-        // absent keys at that load.
-        let mut b = Bloom::new();
+    fn bloom_false_positive_rate_is_low_when_sized_for_the_load() {
+        // ~1k codes per shard level is the realistic fill; a summary
+        // rebuilt at capacity (16 bits/item) rejects the overwhelming
+        // majority of absent keys at that load.
+        let mut b = Bloom::with_capacity(1_000);
         for i in 0..1_000u64 {
             b.insert(fx_hash_bytes(&i.to_le_bytes()));
         }
+        assert!(!b.needs_grow(), "sized for the load");
         let false_positives = (1_000_000u64..1_010_000)
             .filter(|i| b.may_contain(fx_hash_bytes(&i.to_le_bytes())))
             .count();
@@ -376,6 +423,45 @@ mod tests {
         // Empty filter rejects everything.
         let empty = Bloom::new();
         assert!(!empty.may_contain(fx_hash_str("TH000")));
+    }
+
+    #[test]
+    fn bloom_capacity_sizing_is_power_of_two_and_monotone() {
+        assert_eq!(Bloom::new().bit_count(), 4096);
+        assert_eq!(Bloom::with_capacity(0).bit_count(), 4096);
+        assert_eq!(Bloom::with_capacity(256).bit_count(), 4096);
+        // 1000 items * 16 bits = 16000 → next power of two 16384.
+        assert_eq!(Bloom::with_capacity(1_000).bit_count(), 16_384);
+        let mut last = 0;
+        for items in [10, 100, 1_000, 10_000, 100_000] {
+            let bits = Bloom::with_capacity(items).bit_count();
+            assert!(bits.is_power_of_two());
+            assert!(bits >= items * GROW_BITS_PER_ITEM, "no immediate regrow");
+            assert!(bits >= last, "monotone in capacity");
+            last = bits;
+        }
+    }
+
+    #[test]
+    fn bloom_signals_growth_at_the_fill_threshold() {
+        let mut b = Bloom::new(); // 4096 bits → threshold at 512 items.
+        for i in 0..512u64 {
+            assert!(!b.needs_grow(), "below threshold at {i} items");
+            b.insert(fx_hash_bytes(&i.to_le_bytes()));
+        }
+        assert!(!b.needs_grow(), "exactly at threshold");
+        b.insert(fx_hash_bytes(&513u64.to_le_bytes()));
+        assert!(b.needs_grow(), "past threshold");
+        // The owner's rebuild: re-insert the exact set at capacity. No key
+        // is lost and the pressure is relieved.
+        let mut grown = Bloom::with_capacity(b.items());
+        for i in 0..=513u64 {
+            grown.insert(fx_hash_bytes(&i.to_le_bytes()));
+        }
+        assert!(!grown.needs_grow());
+        for i in 0..=513u64 {
+            assert!(grown.may_contain(fx_hash_bytes(&i.to_le_bytes())));
+        }
     }
 
     #[test]

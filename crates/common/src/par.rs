@@ -369,6 +369,41 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Grow the shared worker pool to at least `want` workers (capped at the
+/// pool's hard maximum) and return how many live workers exist afterwards.
+///
+/// Long-lived dispatchers (the service gateway) call this once at
+/// construction, sized to their concurrency budget, so steady-state
+/// [`spawn`] dispatches never pay a thread spawn. Unlike [`par_map`]'s
+/// sizing this is independent of [`max_threads`]: a dispatcher's budget
+/// counts *waiting* capacity, not compute parallelism.
+pub fn ensure_pool_capacity(want: usize) -> usize {
+    pool().ensure_workers(want)
+}
+
+/// Dispatch one fire-and-forget job to the shared worker pool. `Ok(())`
+/// means the pool took the job; `Err(job)` hands it back untouched when
+/// the caller must run it inline instead: either no worker could be
+/// created, or the caller *is* a pool worker (a worker blocking on work it
+/// queued behind itself is the classic self-deadlock).
+///
+/// A dispatched job is wrapped in `catch_unwind`, so a panicking job can
+/// never kill a pool worker; callers that need the panic surfaced should
+/// convert it to a result inside the job.
+pub fn spawn<F: FnOnce() + Send + 'static>(job: F) -> std::result::Result<(), F> {
+    if IS_POOL_WORKER.with(|flag| flag.get()) {
+        return Err(job);
+    }
+    let pool = pool();
+    if pool.ensure_workers(1) == 0 {
+        return Err(job);
+    }
+    pool.submit(Box::new(move || {
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+    }));
+    Ok(())
+}
+
 /// Fallible [`par_map`]: runs every item, then returns the first error in
 /// input order (matching what a sequential `collect::<Result<_, _>>` would
 /// surface) or the ordered successes.
@@ -560,6 +595,55 @@ mod tests {
         for h in handles {
             assert!(h.join().unwrap(), "a concurrent call saw wrong results");
         }
+    }
+
+    #[test]
+    fn spawn_runs_the_job_to_completion() {
+        let (tx, rx) = channel::<u32>();
+        assert!(spawn(move || {
+            tx.send(41 + 1).unwrap();
+        })
+        .is_ok());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            42
+        );
+    }
+
+    #[test]
+    fn spawn_survives_a_panicking_job() {
+        let (tx, rx) = channel::<&'static str>();
+        assert!(spawn(|| panic!("job dies, worker must not")).is_ok());
+        assert!(spawn(move || {
+            tx.send("alive").unwrap();
+        })
+        .is_ok());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            "alive"
+        );
+    }
+
+    #[test]
+    fn spawn_refuses_dispatch_from_a_pool_worker() {
+        // A nested spawn from inside a pool worker must tell the caller to
+        // run inline rather than queue behind itself.
+        let (tx, rx) = channel::<bool>();
+        assert!(spawn(move || {
+            tx.send(spawn(|| {}).is_ok()).unwrap();
+        })
+        .is_ok());
+        assert!(
+            !rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            "nested spawn must be refused"
+        );
+    }
+
+    #[test]
+    fn ensure_pool_capacity_grows_and_reports() {
+        let live = ensure_pool_capacity(3);
+        assert!(live >= 3, "pool grew to request: {live}");
+        assert!(ensure_pool_capacity(MAX_POOL_WORKERS + 100) <= MAX_POOL_WORKERS);
     }
 
     #[test]

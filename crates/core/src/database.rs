@@ -150,7 +150,23 @@ impl CodeIndex {
         self.names.push(boxed.clone());
         self.ids.insert(boxed, id);
         self.postings.push(Vec::new());
+        if self.summary.needs_grow() {
+            self.rebuild_summary();
+        }
         id
+    }
+
+    /// Rebuild the Bloom summary from the exact interned code set, sized
+    /// for the current count. The interner is append-only, so the rebuilt
+    /// filter covers precisely the same keys at a healthy fill ratio —
+    /// the growth policy that keeps shard skip rates high as a shard's
+    /// code universe outgrows the summary it started with.
+    fn rebuild_summary(&mut self) {
+        let mut summary = Bloom::with_capacity(self.names.len());
+        for name in &self.names {
+            summary.insert(fx_hash_str(name));
+        }
+        self.summary = summary;
     }
 
     fn add(&mut self, code: &str, record: u32) {
@@ -685,6 +701,14 @@ impl TokenDatabase {
         query.code_hashes().iter().any(|&h| summary.may_contain(h))
     }
 
+    /// Bit width of the level-`k` code summary — growth diagnostics: the
+    /// summary starts at a fixed width and is rebuilt wider once the
+    /// interned code set outgrows it, which the shard growth tests pin.
+    #[cfg(test)]
+    pub(crate) fn summary_bits(&self, k: usize) -> usize {
+        self.buckets[k].summary.bit_count()
+    }
+
     /// Visit every record sharing a sound with the pre-encoded `query`
     /// (union over the token's ambiguous readings), including the token
     /// itself if stored. Each record is visited exactly once, in bucket
@@ -811,9 +835,7 @@ impl TokenDatabase {
             }
             store.insert(&staging, doc)?;
         }
-        if failpoint::trigger("persist.commit").is_some() {
-            return Err(failpoint::injected("persist.commit"));
-        }
+        failpoint::check("persist.commit")?;
         // The commit point: one WAL record swaps staging over live.
         store.rename_collection(&staging, collection)?;
         // Sweep stale layouts (old sharded generations, crashed stagings)

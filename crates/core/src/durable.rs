@@ -298,6 +298,21 @@ impl<S: DeltaStore> DurableTokenStore<S> {
         self.poisoned
     }
 
+    /// Force-fsync every delta log and the commit log, regardless of the
+    /// per-batch sync setting — the flush half of a graceful drain: after
+    /// admissions stop and in-flight batches land, one `sync` makes every
+    /// committed batch power-loss durable before the process exits.
+    /// Fires the `drain.flush` failpoint first, so shutdown chaos tests
+    /// can kill or stall the flush deterministically.
+    pub fn sync(&mut self) -> Result<()> {
+        self.ensure_live()?;
+        failpoint::check("drain.flush")?;
+        for log in &mut self.logs {
+            log.sync()?;
+        }
+        self.commit.sync()
+    }
+
     fn ensure_live(&self) -> Result<()> {
         if self.poisoned {
             return Err(Error::invalid(
@@ -367,9 +382,7 @@ impl<S: DeltaStore> DurableTokenStore<S> {
                 .with("shards", shards as i64)
                 .with("included_batch", included as i64),
         )?;
-        if failpoint::trigger("compact.manifest.swap").is_some() {
-            return Err(failpoint::injected("compact.manifest.swap"));
-        }
+        failpoint::check("compact.manifest.swap")?;
         store.rename_collection(MANIFEST_STAGING, MANIFEST)
     }
 
@@ -526,16 +539,12 @@ impl<S: DeltaStore> DurableTokenStore<S> {
         // state is being replaced) but can never lose data.
         let truncate = |this: &mut Self| -> Result<()> {
             for s in 0..this.logs.len() {
-                if failpoint::trigger("compact.truncate").is_some() {
-                    return Err(failpoint::injected("compact.truncate"));
-                }
+                failpoint::check("compact.truncate")?;
                 let p = Self::log_path_in(&this.dir, s);
                 std::fs::write(&p, [])?;
                 this.logs[s] = FrameWriter::open(&p, false, "delta.append")?;
             }
-            if failpoint::trigger("compact.truncate").is_some() {
-                return Err(failpoint::injected("compact.truncate"));
-            }
+            failpoint::check("compact.truncate")?;
             let p = Self::commit_path_in(&this.dir);
             std::fs::write(&p, [])?;
             this.commit = FrameWriter::open(&p, false, "delta.commit")?;

@@ -261,6 +261,43 @@ pub fn look_up_with<S: TokenStore>(
     Ok(hits)
 }
 
+/// [`look_up_with`] with a cooperative cancellation probe, for callers
+/// whose request carries a deadline (the service gateway): `cancel` is
+/// consulted before each candidate hit is accepted, and the first
+/// `Some(err)` it returns aborts the walk mid-bucket — through
+/// [`for_each_hit_until`]'s early-exit plumbing, so a cancelled query
+/// stops paying for shard walks it no longer wants — and surfaces `err`
+/// to the caller. A query that is never cancelled returns exactly what
+/// [`look_up_with`] would.
+pub fn look_up_cancellable<S: TokenStore>(
+    db: &S,
+    token: &str,
+    params: LookupParams,
+    scratch: &mut LookupScratch,
+    cancel: &mut dyn FnMut() -> Option<cryptext_common::Error>,
+) -> Result<Vec<LookupHit>> {
+    let mut hits: Vec<LookupHit> = Vec::with_capacity(16);
+    let mut aborted: Option<cryptext_common::Error> = None;
+    for_each_hit_until(db, token, params, scratch, |_, rec, distance| {
+        if let Some(err) = cancel() {
+            aborted = Some(err);
+            return ControlFlow::Break(());
+        }
+        hits.push(LookupHit {
+            token: rec.token.clone(),
+            count: rec.count,
+            distance,
+            is_english: rec.is_english,
+        });
+        ControlFlow::Continue(())
+    })?;
+    if let Some(err) = aborted {
+        return Err(err);
+    }
+    hits.sort_unstable_by(hit_order);
+    Ok(hits)
+}
+
 /// The pre-optimization Look Up, kept as the differential-testing and
 /// benchmarking reference. It reproduces the seed engine faithfully:
 /// candidates come from a `Vec<&TokenRecord>` deduplicated with an O(n²)
@@ -500,6 +537,50 @@ mod tests {
             |_, _, _| {}
         )
         .is_err());
+    }
+
+    #[test]
+    fn cancellable_lookup_matches_plain_when_never_cancelled() {
+        let d = db();
+        let mut scratch = LookupScratch::new();
+        for q in ["republicans", "suic1de", "zzzzzz"] {
+            let plain = look_up_with(&d, q, LookupParams::paper_default(), &mut scratch).unwrap();
+            let cancellable = look_up_cancellable(
+                &d,
+                q,
+                LookupParams::paper_default(),
+                &mut scratch,
+                &mut || None,
+            )
+            .unwrap();
+            assert_eq!(plain, cancellable, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn cancellable_lookup_aborts_mid_walk_with_the_probe_error() {
+        let d = db();
+        let mut scratch = LookupScratch::new();
+        // Sanity: the query has several hits, so a cancel after the first
+        // candidate really does abort mid-walk.
+        let all = look_up_with(&d, "republicans", LookupParams::new(1, 2), &mut scratch).unwrap();
+        assert!(all.len() >= 2);
+        let mut probes = 0u32;
+        let err = look_up_cancellable(
+            &d,
+            "republicans",
+            LookupParams::new(1, 2),
+            &mut scratch,
+            &mut || {
+                probes += 1;
+                (probes > 1).then_some(cryptext_common::Error::DeadlineExceeded { budget_ms: 7 })
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            cryptext_common::Error::DeadlineExceeded { budget_ms: 7 }
+        ));
     }
 
     #[test]

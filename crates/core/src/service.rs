@@ -24,6 +24,7 @@
 //! parallel instead of queueing behind one another (or behind a token
 //! writer) on a single exclusive lock.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -34,7 +35,7 @@ use cryptext_common::{Clock, Error, Result, Timestamp};
 use parking_lot::RwLock;
 
 use crate::database::TokenDatabase;
-use crate::lookup::{LookupHit, LookupParams};
+use crate::lookup::{look_up_cancellable, LookupHit, LookupParams, LookupScratch};
 use crate::normalize::{NormalizationResult, NormalizeParams};
 use crate::perturb::{PerturbParams, PerturbationOutcome};
 use crate::store::TokenStore;
@@ -94,6 +95,13 @@ impl RateState {
 }
 
 const WINDOW_MS: u64 = 60_000;
+
+thread_local! {
+    /// Scratch for [`CryptextService::look_up_prechecked`], which drives
+    /// the cancellable walk directly rather than through the engine's
+    /// shared thread-local (gateway executor threads own this one).
+    static PRECHECKED_SCRATCH: RefCell<LookupScratch> = RefCell::new(LookupScratch::new());
+}
 
 /// The clock-aligned window index of a timestamp, truncated to the packed
 /// 32-bit field (wraps after ~8,000 years of minutes).
@@ -208,10 +216,11 @@ impl<S: TokenStore> CryptextService<S> {
         loop {
             let Some(next) = advance_packed(cur, now_window, self.config.rate_limit_per_minute)
             else {
-                return Err(Error::RateLimited(format!(
-                    "token {} exhausted {} requests/minute",
-                    token.0, self.config.rate_limit_per_minute
-                )));
+                // The budget refills when the clock-aligned window rolls
+                // over; tell the caller exactly how long that is.
+                return Err(Error::RateLimited {
+                    retry_after_ms: WINDOW_MS - now % WINDOW_MS,
+                });
             };
             match state
                 .window
@@ -221,6 +230,23 @@ impl<S: TokenStore> CryptextService<S> {
                 Err(actual) => cur = actual,
             }
         }
+    }
+
+    /// Run the authentication + rate-limit gate for one request *without*
+    /// executing anything — the admission hook for front-ends (the service
+    /// gateway) that separate authorization from execution. A successful
+    /// call charges one request against the token's window, exactly like
+    /// the inline endpoints do.
+    pub fn authorize_request(&self, token: &ApiToken) -> Result<()> {
+        self.authorize(token)
+    }
+
+    /// The clock this service (and its cache) runs on, so a front-end
+    /// layered above shares the same notion of time — deadlines measured
+    /// by the gateway and windows measured by the rate limiter must not
+    /// drift apart under a simulated clock.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 
     fn lookup_cache_key(token: &str, params: LookupParams) -> String {
@@ -245,6 +271,59 @@ impl<S: TokenStore> CryptextService<S> {
         let hits = self.system.look_up(token, params)?;
         self.lookup_cache.insert(key, hits.clone());
         Ok(hits)
+    }
+
+    /// Look Up *after* the caller already passed [`Self::authorize_request`]
+    /// — the execution half of the gateway's admit-then-execute split, so
+    /// one admitted request is charged exactly once. Identical to
+    /// [`Self::look_up`] minus the auth gate, cache included, plus a
+    /// cooperative cancellation probe: `cancel` is consulted per candidate
+    /// during the store walk (through the early-exit visitor), so a
+    /// request whose deadline expired stops burning shard time mid-walk
+    /// and surfaces the probe's error.
+    pub fn look_up_prechecked(
+        &self,
+        token: &str,
+        params: LookupParams,
+        cancel: &mut dyn FnMut() -> Option<Error>,
+    ) -> Result<Vec<LookupHit>> {
+        let key = Self::lookup_cache_key(token, params);
+        if let Some(hits) = self.lookup_cache.get(&key) {
+            return Ok(hits);
+        }
+        let hits = PRECHECKED_SCRATCH.with(|scratch| {
+            look_up_cancellable(
+                self.system.database(),
+                token,
+                params,
+                &mut scratch.borrow_mut(),
+                cancel,
+            )
+        })?;
+        self.lookup_cache.insert(key, hits.clone());
+        Ok(hits)
+    }
+
+    /// Normalization after external authorization (see
+    /// [`Self::look_up_prechecked`]); the engine is not internally
+    /// cancellable, so deadline checks happen at the gateway's layer
+    /// boundaries instead.
+    pub fn normalize_prechecked(
+        &self,
+        text: &str,
+        params: NormalizeParams,
+    ) -> Result<NormalizationResult> {
+        self.system.normalize(text, params)
+    }
+
+    /// Perturbation after external authorization (see
+    /// [`Self::look_up_prechecked`]).
+    pub fn perturb_prechecked(
+        &self,
+        text: &str,
+        params: PerturbParams,
+    ) -> Result<PerturbationOutcome> {
+        self.system.perturb(text, params)
     }
 
     /// Bulk Look Up: one authorization for the whole batch, fanned out
@@ -420,7 +499,13 @@ mod tests {
         let err = svc
             .look_up(&tok, "vaccine", LookupParams::paper_default())
             .unwrap_err();
-        assert!(matches!(err, Error::RateLimited(_)));
+        // The clock sits at 0, so the full window remains.
+        assert!(matches!(
+            err,
+            Error::RateLimited {
+                retry_after_ms: 60_000
+            }
+        ));
         assert!(err.is_retryable());
         // A minute later the window resets.
         clock.advance(60_000);
@@ -440,6 +525,62 @@ mod tests {
             .is_err());
         svc.look_up(&b, "vaccine", LookupParams::paper_default())
             .unwrap();
+    }
+
+    #[test]
+    fn rate_limited_retry_after_tracks_window_position() {
+        let (svc, clock) = service(1);
+        let tok = svc.issue_token("mid");
+        clock.advance(45_000); // 15s left in the current window
+        svc.look_up(&tok, "vaccine", LookupParams::paper_default())
+            .unwrap();
+        let err = svc
+            .look_up(&tok, "vaccine", LookupParams::paper_default())
+            .unwrap_err();
+        assert_eq!(err.retry_after_ms(), Some(15_000));
+        // And the hint is honest: advancing exactly that far refills.
+        clock.advance(15_000);
+        svc.look_up(&tok, "vaccine", LookupParams::paper_default())
+            .unwrap();
+    }
+
+    #[test]
+    fn authorize_request_charges_the_window_like_an_endpoint() {
+        let (svc, _) = service(2);
+        let tok = svc.issue_token("gate");
+        svc.authorize_request(&tok).unwrap();
+        svc.authorize_request(&tok).unwrap();
+        assert!(matches!(
+            svc.authorize_request(&tok),
+            Err(Error::RateLimited { .. })
+        ));
+        let bogus = ApiToken("cx_fake_0000".into());
+        assert!(matches!(
+            svc.authorize_request(&bogus),
+            Err(Error::Unauthorized(_))
+        ));
+    }
+
+    #[test]
+    fn prechecked_lookup_matches_the_authorized_endpoint() {
+        let (svc, _) = service(100);
+        let tok = svc.issue_token("pre");
+        let direct = svc
+            .look_up(&tok, "democrats", LookupParams::paper_default())
+            .unwrap();
+        let pre = svc
+            .look_up_prechecked("democrats", LookupParams::paper_default(), &mut || None)
+            .unwrap();
+        assert_eq!(direct, pre, "same bytes, cache included");
+        // Prechecked execution shares the endpoint's cache.
+        assert!(svc.cache_stats().hits >= 1);
+        // A firing cancel probe aborts an uncached walk with its error.
+        let err = svc
+            .look_up_prechecked("republicans", LookupParams::new(1, 2), &mut || {
+                Some(Error::DeadlineExceeded { budget_ms: 3 })
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { budget_ms: 3 }));
     }
 
     #[test]
@@ -641,7 +782,7 @@ mod tests {
         let err = svc
             .look_up(&tok, "vaccine", LookupParams::paper_default())
             .unwrap_err();
-        assert!(matches!(err, Error::RateLimited(_)));
+        assert!(matches!(err, Error::RateLimited { .. }));
         let tokens = svc.tokens.read();
         let cur = tokens
             .get(tok.as_str())

@@ -337,9 +337,7 @@ impl Database {
         // Crash window between snapshot install and WAL truncation: safe,
         // because replay on top of the new snapshot is idempotent (explicit
         // ids; inserts replace). Pinned by fault-injection tests.
-        if failpoint::trigger("db.checkpoint.truncate").is_some() {
-            return Err(failpoint::injected("db.checkpoint.truncate"));
-        }
+        failpoint::check("db.checkpoint.truncate")?;
         // Truncate by recreating the file, then swap the writer handle.
         std::fs::write(&wal_path, [])?;
         *wal_guard = WalWriter::open(&wal_path, p.sync_mode == WalSync::EveryAppend)?;

@@ -161,13 +161,20 @@ pub fn write_snapshot(path: &Path, collections: &[&Collection]) -> Result<()> {
                 f.write_all(&bytes[..k.min(bytes.len())])?;
                 return Err(failpoint::injected("snapshot.write"));
             }
+            Some(FailAction::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
             None => {}
         }
         f.write_all(&bytes)?;
         f.sync_all()?;
     }
-    if failpoint::trigger("snapshot.rename").is_some() {
-        return Err(failpoint::injected("snapshot.rename"));
+    match failpoint::trigger("snapshot.rename") {
+        Some(FailAction::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        Some(_) => return Err(failpoint::injected("snapshot.rename")),
+        None => {}
     }
     std::fs::rename(&tmp, path)?;
     Ok(())

@@ -328,6 +328,10 @@ impl FrameWriter {
                 self.writer.flush()?;
                 return Err(failpoint::injected(self.failpoint));
             }
+            Some(FailAction::Delay(ms)) => {
+                // A slow disk, not a dead one: stall, then write normally.
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
             None => {}
         }
         self.writer.write_all(&frame)?;

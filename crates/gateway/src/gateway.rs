@@ -1,0 +1,859 @@
+//! The gateway proper: the layer onion assembled over one
+//! [`CryptextService`], plus the pool-backed execution core and the
+//! graceful-drain path.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use cryptext_common::hash::{fx_hash_bytes, fx_hash_str};
+use cryptext_common::{failpoint, par, Error, Result};
+use cryptext_core::database::TokenDatabase;
+use cryptext_core::lookup::{LookupHit, LookupParams};
+use cryptext_core::normalize::{NormalizationResult, NormalizeParams};
+use cryptext_core::perturb::{PerturbParams, PerturbationOutcome};
+use cryptext_core::service::{ApiToken, CryptextService};
+use cryptext_core::TokenStore;
+
+use crate::admission::{Admitted, Permit, RouteAdmission};
+use crate::deadline::{Deadline, WAIT_SLICE};
+use crate::singleflight::{FollowerOutcome, Join, SingleFlight};
+use crate::{GatewayConfig, GatewayStats, GatewayStatsSnapshot, RouteClass};
+
+/// Backoff never exceeds this, so exhausting a retry budget stays cheap
+/// even with a large base (and debug-mode tests stay fast).
+const MAX_BACKOFF_MS: u64 = 100;
+
+/// Per-call overrides; `Default` inherits the gateway's configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CallOptions {
+    /// Deadline budget for this call (ms); `None` uses
+    /// [`GatewayConfig::default_deadline_ms`].
+    pub deadline_ms: Option<u64>,
+    /// Retry budget for this call; `None` uses
+    /// [`GatewayConfig::max_retries`].
+    pub max_retries: Option<u32>,
+}
+
+impl CallOptions {
+    /// Override only the deadline.
+    pub fn with_deadline_ms(deadline_ms: u64) -> Self {
+        CallOptions {
+            deadline_ms: Some(deadline_ms),
+            ..CallOptions::default()
+        }
+    }
+
+    /// Disable retries for this call.
+    pub fn no_retries(mut self) -> Self {
+        self.max_retries = Some(0);
+        self
+    }
+}
+
+/// What [`Gateway::drain_with`] observed.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Every in-flight request finished before the drain deadline.
+    pub quiesced: bool,
+    /// Requests still running (or queued) when the flush started —
+    /// nonzero only when the drain deadline fired first.
+    pub in_flight_at_flush: usize,
+    /// Real milliseconds spent waiting for quiescence.
+    pub waited_ms: u64,
+    /// Error from the flush hook (or the `gateway.drain.flush`
+    /// failpoint), if any. A failed flush is reported, not swallowed:
+    /// recovery then falls back to the durable store's committed prefix.
+    pub flush_error: Option<Error>,
+}
+
+/// The caller side of one dispatched execution: a slot the pool worker
+/// fills and a condvar the (possibly detaching) caller waits on.
+struct Completion<V> {
+    slot: Mutex<Option<Result<V>>>,
+    cv: Condvar,
+}
+
+impl<V> Completion<V> {
+    fn new() -> Self {
+        Completion {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<V>) {
+        *lock(&self.slot) = Some(result);
+        self.cv.notify_all();
+    }
+
+    /// Wait for the worker under the caller's deadline; `None` means the
+    /// deadline expired first and the caller detaches (the worker still
+    /// finishes and releases its resources).
+    fn wait(&self, deadline: &Deadline) -> Option<Result<V>> {
+        let mut slot = lock(&self.slot);
+        loop {
+            if let Some(result) = slot.take() {
+                return Some(result);
+            }
+            if deadline.expired() {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(slot, WAIT_SLICE)
+                .unwrap_or_else(|e| e.into_inner());
+            slot = guard;
+        }
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The shared, retryable request body every layer hands down: invoked
+/// once per attempt with the service and the request's deadline.
+type RequestBody<S, V> = Arc<dyn Fn(&CryptextService<S>, &Deadline) -> Result<V> + Send + Sync>;
+
+/// The overload-resilient front-end. See the crate docs for the layer
+/// walk; construction wires every layer over one shared service.
+pub struct Gateway<S: TokenStore + Send + Sync + 'static = TokenDatabase> {
+    service: Arc<CryptextService<S>>,
+    config: GatewayConfig,
+    routes: [Arc<RouteAdmission>; 4],
+    lookup_flights: Arc<SingleFlight<Vec<LookupHit>>>,
+    normalize_flights: Arc<SingleFlight<NormalizationResult>>,
+    /// Database generation mixed into coalescing keys: bumping it after
+    /// an ingest means new requests can never attach to a flight whose
+    /// leader read the pre-ingest store.
+    generation: AtomicU64,
+    draining: AtomicBool,
+    stats: Arc<GatewayStats>,
+}
+
+impl<S: TokenStore + Send + Sync + 'static> std::fmt::Debug for Gateway<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("config", &self.config)
+            .field("draining", &self.draining.load(Ordering::Acquire))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
+    /// Front `service` with the gateway, pre-growing the shared worker
+    /// pool to the configured concurrency so steady-state dispatches
+    /// never pay a thread spawn.
+    pub fn new(service: Arc<CryptextService<S>>, config: GatewayConfig) -> Self {
+        par::ensure_pool_capacity(config.total_concurrency());
+        let routes = [
+            RouteAdmission::new(config.lookup),
+            RouteAdmission::new(config.normalize),
+            RouteAdmission::new(config.perturb),
+            RouteAdmission::new(config.listening),
+        ];
+        Gateway {
+            service,
+            config,
+            routes,
+            lookup_flights: Arc::new(SingleFlight::new()),
+            normalize_flights: Arc::new(SingleFlight::new()),
+            generation: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stats: Arc::new(GatewayStats::default()),
+        }
+    }
+
+    /// The fronted service.
+    pub fn service(&self) -> &Arc<CryptextService<S>> {
+        &self.service
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Counters plus point-in-time gauges.
+    pub fn stats(&self) -> GatewayStatsSnapshot {
+        let s = &self.stats;
+        let relaxed = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        GatewayStatsSnapshot {
+            admitted: relaxed(&s.admitted),
+            queue_waits: relaxed(&s.queue_waits),
+            shed_queue_full: relaxed(&s.shed_queue_full),
+            shed_draining: relaxed(&s.shed_draining),
+            queue_deadline_expired: relaxed(&s.queue_deadline_expired),
+            executions: relaxed(&s.executions),
+            retries: relaxed(&s.retries),
+            completed_ok: relaxed(&s.completed_ok),
+            failed: relaxed(&s.failed),
+            deadline_exceeded: relaxed(&s.deadline_exceeded),
+            coalesced_followers: relaxed(&s.coalesced_followers),
+            promoted_followers: relaxed(&s.promoted_followers),
+            active_now: self.routes.iter().map(|r| r.active()).sum(),
+            queued_now: self.routes.iter().map(|r| r.queued()).sum(),
+        }
+    }
+
+    /// Invalidate coalescing across a store mutation (call after
+    /// ingest/reshard): in-flight leaders finish and serve their cohort
+    /// the pre-mutation result, but no *new* request joins them.
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Is the gateway refusing new admissions?
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    // ---- the layer onion ------------------------------------------------
+
+    /// Run `f` through every layer except coalescing: admission on
+    /// `route`, authorization for `auth`, then pool execution under a
+    /// deadline with bounded retries. `f` may run multiple times (once
+    /// per retry) and must be self-contained (`'static`): it receives
+    /// the service and the request deadline each attempt.
+    pub fn call<V, F>(
+        &self,
+        route: RouteClass,
+        auth: &ApiToken,
+        opts: CallOptions,
+        f: F,
+    ) -> Result<V>
+    where
+        V: Clone + Send + 'static,
+        F: Fn(&CryptextService<S>, &Deadline) -> Result<V> + Send + Sync + 'static,
+    {
+        let (permit, deadline, retries) = self.admit_and_authorize(route, auth, opts)?;
+        self.execute::<V>(permit, deadline, retries, None, Arc::new(f))
+    }
+
+    /// [`Self::call`] plus single-flight coalescing in `flights` under
+    /// `key`: duplicates of an in-flight request attach to its leader
+    /// instead of executing. Every caller is admitted and charged
+    /// individually *before* attaching — coalescing shares the work, not
+    /// the authorization.
+    ///
+    /// The typed endpoints ([`Self::look_up`], [`Self::normalize`]) feed
+    /// the gateway's internal groups; external callers with their own
+    /// coalescable work bring their own [`SingleFlight`] group and key.
+    pub fn call_coalesced<V, F>(
+        &self,
+        route: RouteClass,
+        key: u64,
+        auth: &ApiToken,
+        opts: CallOptions,
+        flights: &Arc<SingleFlight<V>>,
+        f: F,
+    ) -> Result<V>
+    where
+        V: Clone + Send + 'static,
+        F: Fn(&CryptextService<S>, &Deadline) -> Result<V> + Send + Sync + 'static,
+    {
+        let (permit, deadline, retries) = self.admit_and_authorize(route, auth, opts)?;
+        let f: RequestBody<S, V> = Arc::new(f);
+        match flights.join(key) {
+            Join::Leader => self.execute(
+                permit,
+                deadline,
+                retries,
+                Some((key, Arc::clone(flights))),
+                f,
+            ),
+            Join::Follower(flight) => {
+                self.stats
+                    .coalesced_followers
+                    .fetch_add(1, Ordering::Relaxed);
+                match flights.wait(&flight, &deadline) {
+                    FollowerOutcome::Settled(result) => {
+                        self.count_outcome(&result);
+                        result
+                    }
+                    FollowerOutcome::Promoted => {
+                        self.stats
+                            .promoted_followers
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.execute(
+                            permit,
+                            deadline,
+                            retries,
+                            Some((key, Arc::clone(flights))),
+                            f,
+                        )
+                    }
+                    FollowerOutcome::TimedOut => {
+                        self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        Err(Error::DeadlineExceeded {
+                            budget_ms: deadline.budget_ms(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admission + authorization, the shared front half of every call.
+    fn admit_and_authorize(
+        &self,
+        route: RouteClass,
+        auth: &ApiToken,
+        opts: CallOptions,
+    ) -> Result<(Permit, Deadline, u32)> {
+        let deadline = Deadline::new(
+            self.service.clock(),
+            opts.deadline_ms.unwrap_or(self.config.default_deadline_ms),
+        );
+        let retries = opts.max_retries.unwrap_or(self.config.max_retries);
+        if self.is_draining() {
+            self.stats.shed_draining.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::Overloaded {
+                retry_after_ms: self.config.shed_retry_after_ms,
+            });
+        }
+        let admitted = self.routes[route.index()]
+            .acquire(&deadline, &self.draining, self.config.shed_retry_after_ms)
+            .inspect_err(|e| match e {
+                Error::Overloaded { .. } => {
+                    if self.is_draining() {
+                        self.stats.shed_draining.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Error::DeadlineExceeded { .. } => {
+                    self.stats
+                        .queue_deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            })?;
+        let Admitted { permit, waited } = admitted;
+        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        if waited {
+            self.stats.queue_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        // Authorization runs *after* admission (a revocation while the
+        // request queued rejects it here, deterministically) and charges
+        // the token's rate window exactly once for this call.
+        self.service.authorize_request(auth)?;
+        Ok((permit, deadline, retries))
+    }
+
+    /// The execution core: hand the request body to a pool worker, wait
+    /// under the caller's deadline, detach on expiry. The worker owns the
+    /// admission permit and the flight settlement, so a detached caller
+    /// never leaks a slot or strands a cohort.
+    fn execute<V: Clone + Send + 'static>(
+        &self,
+        permit: Permit,
+        deadline: Deadline,
+        max_retries: u32,
+        flight: Option<(u64, Arc<SingleFlight<V>>)>,
+        f: RequestBody<S, V>,
+    ) -> Result<V> {
+        self.stats.executions.fetch_add(1, Ordering::Relaxed);
+        let completion = Arc::new(Completion::new());
+        let job = {
+            let completion = Arc::clone(&completion);
+            let service = Arc::clone(&self.service);
+            let stats = Arc::clone(&self.stats);
+            let backoff_base = self.config.retry_backoff_ms;
+            let deadline = deadline.clone();
+            move || {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    run_attempts(&service, &deadline, max_retries, backoff_base, &stats, &*f)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(Error::Internal(
+                        "gateway execution panicked; request failed cleanly".into(),
+                    ))
+                });
+                if let Some((key, flights)) = flight {
+                    flights.settle(key, &result);
+                }
+                drop(permit);
+                completion.complete(result);
+            }
+        };
+        // A refused dispatch (pool exhausted, or we *are* a pool worker)
+        // degrades to inline execution — same semantics, no detach.
+        if let Err(job) = par::spawn(job) {
+            job();
+        }
+        match completion.wait(&deadline) {
+            Some(result) => {
+                self.count_outcome(&result);
+                result
+            }
+            None => {
+                self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                Err(Error::DeadlineExceeded {
+                    budget_ms: deadline.budget_ms(),
+                })
+            }
+        }
+    }
+
+    fn count_outcome<V>(&self, result: &Result<V>) {
+        let counter = if result.is_ok() {
+            &self.stats.completed_ok
+        } else {
+            &self.stats.failed
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ---- typed endpoints ------------------------------------------------
+
+    /// Coalescing key for one endpoint invocation: route, exact input,
+    /// parameters, and the current DB generation.
+    fn coalesce_key(&self, material: &str) -> u64 {
+        let generation = self.generation.load(Ordering::Acquire);
+        fx_hash_bytes(
+            &[
+                fx_hash_str(material).to_le_bytes(),
+                generation.to_le_bytes(),
+            ]
+            .concat(),
+        )
+    }
+
+    /// Look Up through the full onion, coalesced: concurrent duplicate
+    /// queries (same token, parameters, and generation) execute once and
+    /// share the leader's exact hits. The store walk is cooperatively
+    /// cancellable — an expired deadline aborts it mid-walk.
+    pub fn look_up(
+        &self,
+        auth: &ApiToken,
+        token: &str,
+        params: LookupParams,
+        opts: CallOptions,
+    ) -> Result<Vec<LookupHit>> {
+        let key = self.coalesce_key(&format!(
+            "lookup\u{1}{token}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
+            params.k, params.d, params.exclude_identity, params.observed_only
+        ));
+        let flights = Arc::clone(&self.lookup_flights);
+        let token = token.to_string();
+        self.call_coalesced(
+            RouteClass::Lookup,
+            key,
+            auth,
+            opts,
+            &flights,
+            move |svc, deadline| {
+                let mut probe = || deadline.probe();
+                svc.look_up_prechecked(&token, params, &mut probe)
+            },
+        )
+    }
+
+    /// Normalization through the full onion, coalesced on the exact text
+    /// and parameters.
+    pub fn normalize(
+        &self,
+        auth: &ApiToken,
+        text: &str,
+        params: NormalizeParams,
+        opts: CallOptions,
+    ) -> Result<NormalizationResult> {
+        let key = self.coalesce_key(&format!(
+            "normalize\u{1}{text}\u{1}{}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
+            params.k, params.d, params.edit_penalty, params.prior_weight, params.max_candidates
+        ));
+        let flights = Arc::clone(&self.normalize_flights);
+        let text = text.to_string();
+        self.call_coalesced(
+            RouteClass::Normalize,
+            key,
+            auth,
+            opts,
+            &flights,
+            move |svc, _| svc.normalize_prechecked(&text, params),
+        )
+    }
+
+    /// Perturbation through the onion, uncoalesced: the seeded RNG makes
+    /// byte-identical duplicates rare enough that sharing buys nothing.
+    pub fn perturb(
+        &self,
+        auth: &ApiToken,
+        text: &str,
+        params: PerturbParams,
+        opts: CallOptions,
+    ) -> Result<PerturbationOutcome> {
+        let text = text.to_string();
+        self.call(RouteClass::Perturb, auth, opts, move |svc, _| {
+            svc.perturb_prechecked(&text, params)
+        })
+    }
+
+    // ---- graceful drain -------------------------------------------------
+
+    /// Stop admitting: new arrivals and queued waiters shed with
+    /// [`Error::Overloaded`]; in-flight requests keep their permits and
+    /// finish.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        for route in &self.routes {
+            route.wake_all();
+        }
+    }
+
+    /// Re-open admissions (after a completed drain, e.g. in tests that
+    /// exercise drain-then-recover).
+    pub fn end_drain(&self) {
+        self.draining.store(false, Ordering::Release);
+    }
+
+    /// Graceful drain: stop admissions, wait for in-flight requests
+    /// under the (real-time) drain deadline, then run `flush` — the
+    /// durable store's delta-log sync in a durable deployment. The
+    /// report says whether quiescence was reached and carries any flush
+    /// error; it never panics and never hangs past the deadline.
+    pub fn drain_with(&self, flush: impl FnOnce() -> Result<()>) -> DrainReport {
+        self.begin_drain();
+        // The drain budget is operational wall-clock time (how long the
+        // operator waits), not simulated request time — a frozen test
+        // clock must not stall shutdown forever.
+        let started = std::time::Instant::now();
+        let budget = Duration::from_millis(self.config.drain_deadline_ms);
+        loop {
+            let busy: usize = self.routes.iter().map(|r| r.active() + r.queued()).sum();
+            if busy == 0 || started.elapsed() >= budget {
+                break;
+            }
+            std::thread::sleep(WAIT_SLICE);
+        }
+        let in_flight_at_flush: usize = self.routes.iter().map(|r| r.active() + r.queued()).sum();
+        let flush_error = failpoint::check("gateway.drain.flush")
+            .and_then(|_| flush())
+            .err();
+        DrainReport {
+            quiesced: in_flight_at_flush == 0,
+            in_flight_at_flush,
+            waited_ms: started.elapsed().as_millis() as u64,
+            flush_error,
+        }
+    }
+
+    /// [`Self::drain_with`] with no flush hook.
+    pub fn drain(&self) -> DrainReport {
+        self.drain_with(|| Ok(()))
+    }
+}
+
+/// One request's attempt loop, run on the worker: deadline check, the
+/// `gateway.execute` failpoint (chaos arm: `delay@N:MS` stalls, `kill@N`
+/// injects a retryable I/O error), the body, then bounded jittered
+/// backoff for retryable failures while deadline budget remains.
+fn run_attempts<S, V>(
+    service: &CryptextService<S>,
+    deadline: &Deadline,
+    max_retries: u32,
+    backoff_base_ms: u64,
+    stats: &GatewayStats,
+    f: &(dyn Fn(&CryptextService<S>, &Deadline) -> Result<V> + Send + Sync),
+) -> Result<V>
+where
+    S: TokenStore + Send + Sync + 'static,
+{
+    let mut attempt: u32 = 0;
+    loop {
+        if let Some(e) = deadline.probe() {
+            return Err(e);
+        }
+        let result = match failpoint::check("gateway.execute") {
+            Ok(()) => f(service, deadline),
+            Err(e) => Err(e),
+        };
+        match result {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && attempt < max_retries && !deadline.expired() => {
+                attempt += 1;
+                let nonce = stats.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(backoff_ms(
+                    backoff_base_ms,
+                    attempt,
+                    nonce,
+                )));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Exponential backoff with deterministic-per-nonce jitter: attempt `n`
+/// waits `base * 2^(n-1)` plus up to one extra `base`, capped at
+/// [`MAX_BACKOFF_MS`]. The nonce (the global retry counter) decorrelates
+/// concurrent retriers without needing an RNG.
+fn backoff_ms(base: u64, attempt: u32, nonce: u64) -> u64 {
+    let base = base.max(1);
+    let exp = base.saturating_mul(1 << (attempt - 1).min(6));
+    let jitter = fx_hash_bytes(&nonce.to_le_bytes()) % base;
+    exp.saturating_add(jitter).min(MAX_BACKOFF_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptext_common::{SimClock, SystemClock};
+    use cryptext_core::service::ServiceConfig;
+    use cryptext_core::CrypText;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc::channel;
+
+    fn test_service(limit: u32) -> (Arc<CryptextService<TokenDatabase>>, SimClock) {
+        let mut db = TokenDatabase::in_memory();
+        for text in [
+            "the dirrty republicans",
+            "thee dirty repubLIEcans",
+            "the dirty republic@@ns",
+            "vaccine vacc1ne vaxxine mandates",
+            "democrats demokkkrats dem0crats",
+        ] {
+            db.ingest_text(text);
+        }
+        let clock = SimClock::new(0);
+        let svc = CryptextService::new(
+            CrypText::new(db),
+            ServiceConfig {
+                rate_limit_per_minute: limit,
+                ..ServiceConfig::default()
+            },
+            Arc::new(clock.clone()),
+        );
+        (Arc::new(svc), clock)
+    }
+
+    fn small_gateway(limit: u32) -> (Arc<Gateway<TokenDatabase>>, SimClock) {
+        let (svc, clock) = test_service(limit);
+        (Arc::new(Gateway::new(svc, GatewayConfig::default())), clock)
+    }
+
+    #[test]
+    fn typed_endpoints_match_the_direct_service() {
+        let (gw, _) = small_gateway(1_000_000);
+        let token = gw.service().issue_token("unit");
+
+        let direct = gw
+            .service()
+            .look_up(&token, "republicans", LookupParams::paper_default())
+            .unwrap();
+        let gated = gw
+            .look_up(
+                &token,
+                "republicans",
+                LookupParams::paper_default(),
+                CallOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(gated, direct, "gateway adds layers, not different bytes");
+
+        let direct = gw
+            .service()
+            .normalize(&token, "the vacc1ne mandates", NormalizeParams::default())
+            .unwrap();
+        let gated = gw
+            .normalize(
+                &token,
+                "the vacc1ne mandates",
+                NormalizeParams::default(),
+                CallOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(gated, direct);
+
+        let direct = gw
+            .service()
+            .perturb(
+                &token,
+                "the dirty republicans",
+                PerturbParams::with_ratio(1.0),
+            )
+            .unwrap();
+        let gated = gw
+            .perturb(
+                &token,
+                "the dirty republicans",
+                PerturbParams::with_ratio(1.0),
+                CallOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(gated, direct, "seeded perturbation is deterministic");
+
+        let stats = gw.stats();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.completed_ok, 3);
+        assert_eq!((stats.active_now, stats.queued_now), (0, 0));
+    }
+
+    #[test]
+    fn retryable_failures_consume_the_retry_budget_then_surface() {
+        let (gw, _) = small_gateway(1_000_000);
+        let token = gw.service().issue_token("retry");
+        let calls = Arc::new(AtomicUsize::new(0));
+
+        // Fails retryably twice, succeeds on the third attempt.
+        let calls2 = Arc::clone(&calls);
+        let out: Result<u32> = gw.call(
+            RouteClass::Listening,
+            &token,
+            CallOptions::default(),
+            move |_, _| {
+                if calls2.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(Error::Overloaded { retry_after_ms: 1 })
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(gw.stats().retries, 2);
+
+        // Non-retryable errors surface immediately, no retry spent.
+        let before = gw.stats().retries;
+        let out: Result<u32> = gw.call(
+            RouteClass::Listening,
+            &token,
+            CallOptions::default(),
+            |_, _| Err(Error::InvalidArgument("nope".into())),
+        );
+        assert!(matches!(out, Err(Error::InvalidArgument(_))));
+        assert_eq!(gw.stats().retries, before);
+    }
+
+    #[test]
+    fn caller_detaches_on_deadline_and_the_worker_still_releases_the_slot() {
+        // Real clock so the caller's wait can actually expire.
+        let svc = Arc::new(CryptextService::new(
+            CrypText::new(TokenDatabase::in_memory()),
+            ServiceConfig::default(),
+            Arc::new(SystemClock),
+        ));
+        let gw: Arc<Gateway<TokenDatabase>> = Arc::new(Gateway::new(svc, GatewayConfig::default()));
+        let token = gw.service().issue_token("slow");
+
+        let (release_tx, release_rx) = channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let out: Result<u32> = gw.call(
+            RouteClass::Listening,
+            &token,
+            CallOptions::with_deadline_ms(30).no_retries(),
+            move |_, _| {
+                let _ = lock(&release_rx).recv_timeout(Duration::from_secs(10));
+                Ok(1)
+            },
+        );
+        assert!(matches!(
+            out,
+            Err(Error::DeadlineExceeded { budget_ms: 30 })
+        ));
+        assert_eq!(gw.stats().deadline_exceeded, 1);
+
+        // The detached worker still holds the slot until released…
+        assert_eq!(gw.stats().active_now, 1);
+        release_tx.send(()).unwrap();
+        while gw.stats().active_now != 0 {
+            std::thread::sleep(WAIT_SLICE);
+        }
+        // …and a fresh request then sails through.
+        let ok: Result<u32> = gw.call(
+            RouteClass::Listening,
+            &token,
+            CallOptions::default(),
+            |_, _| Ok(2),
+        );
+        assert_eq!(ok.unwrap(), 2);
+    }
+
+    #[test]
+    fn a_panicking_request_fails_cleanly_without_poisoning_the_lane() {
+        let (gw, _) = small_gateway(1_000_000);
+        let token = gw.service().issue_token("boom");
+        let out: Result<u32> = gw.call(
+            RouteClass::Perturb,
+            &token,
+            CallOptions::default(),
+            |_, _| panic!("request body exploded"),
+        );
+        assert!(matches!(out, Err(Error::Internal(_))));
+        let ok: Result<u32> = gw.call(
+            RouteClass::Perturb,
+            &token,
+            CallOptions::default(),
+            |_, _| Ok(3),
+        );
+        assert_eq!(ok.unwrap(), 3);
+        assert_eq!(gw.stats().active_now, 0);
+    }
+
+    #[test]
+    fn drain_sheds_then_recovers_admissions() {
+        let (gw, _) = small_gateway(1_000_000);
+        let token = gw.service().issue_token("ops");
+        let report = gw.drain_with(|| Ok(()));
+        assert!(report.quiesced);
+        assert!(report.flush_error.is_none());
+        assert!(matches!(
+            gw.look_up(
+                &token,
+                "vaccine",
+                LookupParams::paper_default(),
+                CallOptions::default()
+            ),
+            Err(Error::Overloaded { .. })
+        ));
+        assert!(gw.stats().shed_draining >= 1);
+
+        gw.end_drain();
+        assert!(gw
+            .look_up(
+                &token,
+                "vaccine",
+                LookupParams::paper_default(),
+                CallOptions::default()
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn bump_generation_splits_coalescing_keys() {
+        let (gw, _) = small_gateway(1_000_000);
+        let before = gw.coalesce_key("lookup\u{1}x");
+        gw.bump_generation();
+        assert_ne!(before, gw.coalesce_key("lookup\u{1}x"));
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_grows_with_attempts() {
+        let a1 = backoff_ms(5, 1, 0);
+        let a3 = backoff_ms(5, 3, 0);
+        assert!((5..10).contains(&a1));
+        assert!((20..25).contains(&a3));
+        assert_eq!(backoff_ms(50, 6, 1), MAX_BACKOFF_MS);
+        assert_eq!(backoff_ms(0, 1, 0), 1, "zero base still makes progress");
+    }
+
+    #[test]
+    fn revoked_token_rejects_at_the_auth_layer() {
+        let (gw, _) = small_gateway(1_000_000);
+        let token = gw.service().issue_token("gone");
+        gw.service().revoke_token(&token);
+        assert!(matches!(
+            gw.look_up(
+                &token,
+                "vaccine",
+                LookupParams::paper_default(),
+                CallOptions::default()
+            ),
+            Err(Error::Unauthorized(_))
+        ));
+    }
+}

@@ -1,0 +1,237 @@
+//! Overload-resilient service gateway.
+//!
+//! [`Gateway`] is a layered front-end over
+//! [`CryptextService`](cryptext_core::service::CryptextService) — the same
+//! onion-of-layers shape a tower-style HTTP router puts in front of a
+//! backend, built here without an async runtime (the execution core is a
+//! dispatcher over the process-wide worker pool in
+//! [`cryptext_common::par`]). A request crosses the layers outermost-in:
+//!
+//! 1. **Admission control** ([`admission`]) — per-[`RouteClass`] bounded
+//!    concurrency with a bounded wait queue. A full queue sheds the
+//!    request *immediately* with [`Error::Overloaded`] carrying a
+//!    `retry_after_ms` hint; overload degrades throughput for the excess,
+//!    never latency for the admitted.
+//! 2. **Authorization** — the service's own token + rate-limit gate,
+//!    charged exactly once per admitted request
+//!    ([`CryptextService::authorize_request`](cryptext_core::service::CryptextService::authorize_request)).
+//!    Running it *after* admission means a token revoked while requests
+//!    sit in the queue rejects them deterministically at dequeue.
+//! 3. **Single-flight coalescing** ([`singleflight`]) — duplicate
+//!    in-flight lookups/normalizations attach to the leader and receive
+//!    the leader's exact result bytes; a leader that fails retryably
+//!    promotes one follower instead of failing the cohort.
+//! 4. **Deadline + retry budget** ([`deadline`]) — one [`Deadline`] per
+//!    request, checked at every layer boundary and probed cooperatively
+//!    inside the store walk; retryable failures get a bounded number of
+//!    jitter-backoff retries, but only while the deadline still has
+//!    budget.
+//! 5. **Execution** — the request body runs on a pool worker; the caller
+//!    waits under its deadline and detaches on expiry (the worker still
+//!    finishes, releases its admission slot, and settles any flight).
+//!
+//! Draining reverses the onion: [`Gateway::begin_drain`] stops admissions
+//! (queued waiters shed, new arrivals shed), in-flight requests finish
+//! under the drain deadline, then a flush hook (the durable store's
+//! delta-log sync) runs before shutdown.
+//!
+//! [`Error::Overloaded`]: cryptext_common::Error::Overloaded
+
+pub mod admission;
+pub mod deadline;
+pub mod gateway;
+pub mod singleflight;
+
+use std::sync::atomic::AtomicU64;
+
+pub use deadline::Deadline;
+pub use gateway::{CallOptions, DrainReport, Gateway};
+pub use singleflight::{FollowerOutcome, Join, SingleFlight};
+
+/// The route classes the gateway budgets independently, mirroring the
+/// service's endpoint families. Heavy routes (perturbation rewrites a
+/// whole text) get their own lane so they cannot starve cheap lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteClass {
+    /// Look Up: `P_x` retrieval for one token.
+    Lookup,
+    /// Normalization: perturbed text back to dictionary words.
+    Normalize,
+    /// Perturbation: rewriting a text with database perturbations.
+    Perturb,
+    /// Social Listening: timeline scans over a platform stream.
+    Listening,
+}
+
+impl RouteClass {
+    /// All route classes, in lane order.
+    pub const ALL: [RouteClass; 4] = [
+        RouteClass::Lookup,
+        RouteClass::Normalize,
+        RouteClass::Perturb,
+        RouteClass::Listening,
+    ];
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            RouteClass::Lookup => 0,
+            RouteClass::Normalize => 1,
+            RouteClass::Perturb => 2,
+            RouteClass::Listening => 3,
+        }
+    }
+
+    /// Stable lower-case name (stats, bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteClass::Lookup => "lookup",
+            RouteClass::Normalize => "normalize",
+            RouteClass::Perturb => "perturb",
+            RouteClass::Listening => "listening",
+        }
+    }
+}
+
+/// Concurrency budget for one route class.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteBudget {
+    /// Requests executing at once; the `max_concurrent + 1`-th admitted
+    /// request waits in the queue instead.
+    pub max_concurrent: usize,
+    /// Requests allowed to wait for a slot; arrival `max_queued + 1`
+    /// is shed immediately.
+    pub max_queued: usize,
+}
+
+impl RouteBudget {
+    /// Budget of `max_concurrent` executing plus `max_queued` waiting.
+    pub fn new(max_concurrent: usize, max_queued: usize) -> Self {
+        RouteBudget {
+            max_concurrent: max_concurrent.max(1),
+            max_queued,
+        }
+    }
+
+    /// Total requests this lane holds before shedding.
+    pub fn capacity(&self) -> usize {
+        self.max_concurrent + self.max_queued
+    }
+}
+
+/// Gateway configuration: per-route budgets plus the timing knobs shared
+/// by every request.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Budget for [`RouteClass::Lookup`].
+    pub lookup: RouteBudget,
+    /// Budget for [`RouteClass::Normalize`].
+    pub normalize: RouteBudget,
+    /// Budget for [`RouteClass::Perturb`].
+    pub perturb: RouteBudget,
+    /// Budget for [`RouteClass::Listening`].
+    pub listening: RouteBudget,
+    /// Deadline granted when [`CallOptions::deadline_ms`] is unset.
+    pub default_deadline_ms: u64,
+    /// Retries granted to retryable failures when
+    /// [`CallOptions::max_retries`] is unset.
+    pub max_retries: u32,
+    /// Base backoff between retries; attempt `n` waits roughly
+    /// `base * 2^(n-1)` plus jitter (capped — see [`gateway`]).
+    pub retry_backoff_ms: u64,
+    /// The `retry_after_ms` hint attached to shed requests.
+    pub shed_retry_after_ms: u64,
+    /// Real-time budget [`Gateway::drain_with`] waits for in-flight
+    /// requests before flushing anyway.
+    pub drain_deadline_ms: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            lookup: RouteBudget::new(8, 16),
+            normalize: RouteBudget::new(4, 8),
+            perturb: RouteBudget::new(2, 4),
+            listening: RouteBudget::new(2, 4),
+            default_deadline_ms: 2_000,
+            max_retries: 2,
+            retry_backoff_ms: 5,
+            shed_retry_after_ms: 25,
+            drain_deadline_ms: 5_000,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// The budget for one route class.
+    pub fn budget(&self, route: RouteClass) -> RouteBudget {
+        match route {
+            RouteClass::Lookup => self.lookup,
+            RouteClass::Normalize => self.normalize,
+            RouteClass::Perturb => self.perturb,
+            RouteClass::Listening => self.listening,
+        }
+    }
+
+    /// Sum of all `max_concurrent` budgets — what the gateway asks the
+    /// worker pool to hold ready.
+    pub fn total_concurrency(&self) -> usize {
+        RouteClass::ALL
+            .iter()
+            .map(|&r| self.budget(r).max_concurrent)
+            .sum()
+    }
+}
+
+/// Monotone counters the gateway maintains; read them through
+/// [`Gateway::stats`], which adds the point-in-time gauges.
+#[derive(Debug, Default)]
+pub(crate) struct GatewayStats {
+    pub admitted: AtomicU64,
+    pub queue_waits: AtomicU64,
+    pub shed_queue_full: AtomicU64,
+    pub shed_draining: AtomicU64,
+    pub queue_deadline_expired: AtomicU64,
+    pub executions: AtomicU64,
+    pub retries: AtomicU64,
+    pub completed_ok: AtomicU64,
+    pub failed: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub coalesced_followers: AtomicU64,
+    pub promoted_followers: AtomicU64,
+}
+
+/// A point-in-time copy of the gateway's counters and gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStatsSnapshot {
+    /// Requests that passed admission (straight in or after queueing).
+    pub admitted: u64,
+    /// Admitted requests that had to wait in the queue first.
+    pub queue_waits: u64,
+    /// Requests shed because the wait queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed because the gateway was draining.
+    pub shed_draining: u64,
+    /// Queued requests whose deadline expired before a slot freed.
+    pub queue_deadline_expired: u64,
+    /// Execution jobs dispatched (leaders and uncoalesced calls).
+    pub executions: u64,
+    /// Retry attempts across all requests.
+    pub retries: u64,
+    /// Requests that returned `Ok` to their caller.
+    pub completed_ok: u64,
+    /// Requests that returned an error (excluding sheds, which are
+    /// counted above, and caller deadline detaches).
+    pub failed: u64,
+    /// Callers that detached with `DeadlineExceeded` (queue waits
+    /// excluded — those are `queue_deadline_expired`).
+    pub deadline_exceeded: u64,
+    /// Requests that attached to an in-flight leader instead of
+    /// executing.
+    pub coalesced_followers: u64,
+    /// Followers promoted to leader after a retryable leader failure.
+    pub promoted_followers: u64,
+    /// Requests executing right now, across all routes.
+    pub active_now: usize,
+    /// Requests waiting in admission queues right now.
+    pub queued_now: usize,
+}

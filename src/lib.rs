@@ -16,6 +16,8 @@
 //! * [`tokenizer`] — social-media tokenizer with byte spans.
 //! * [`docstore`] — embedded document database (MongoDB substitute).
 //! * [`cache`] — sharded TTL+LRU cache (Redis substitute).
+//! * [`gateway`] — overload-resilient front-end: admission control,
+//!   single-flight coalescing, deadlines/retries, graceful drain.
 //! * [`lm`] — n-gram language model (BERT coherency-score substitute).
 //! * [`ml`] — text classifiers (Google NLP API substitutes for Fig. 4).
 //! * [`attacks`] — TextBugger/VIPER/DeepWordBug baselines + the
@@ -56,6 +58,7 @@ pub use cryptext_core as core;
 pub use cryptext_corpus as corpus;
 pub use cryptext_docstore as docstore;
 pub use cryptext_editdist as editdist;
+pub use cryptext_gateway as gateway;
 pub use cryptext_lm as lm;
 pub use cryptext_ml as ml;
 pub use cryptext_phonetics as phonetics;

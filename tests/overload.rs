@@ -1,0 +1,679 @@
+//! Integration: the service gateway under synthetic overload — shed, not
+//! collapse.
+//!
+//! Every test drives the public `cryptext::gateway` surface over a real
+//! `CryptextService` and asserts the robustness contract end to end:
+//!
+//! * a 10× admission storm sheds the excess *fast* with typed
+//!   [`Error::Overloaded`] while the admitted cohort's results stay
+//!   byte-identical to a direct service call;
+//! * duplicate in-flight requests coalesce to one execution and share the
+//!   leader's exact bytes; a retryably-failing leader promotes exactly one
+//!   follower; a non-retryable failure broadcasts;
+//! * deadlines are respected before, during (mid-store-walk), and after
+//!   execution dispatch;
+//! * a token revoked while requests sit in the admission queue rejects
+//!   them deterministically at dequeue;
+//! * rate-limited clients fail fast with a typed, honest
+//!   [`Error::RateLimited`] hint — no retry budget is burned on them;
+//! * a chaos-armed graceful drain (flush killed by failpoint) still
+//!   quiesces in-flight work, sheds new arrivals, and loses zero committed
+//!   batches: the durable store reopens to the full committed prefix.
+//!
+//! CI re-runs this binary under `CRYPTEXT_FAILPOINTS` arms for the
+//! gateway's own failpoints (`gateway.execute=delay@1:5`,
+//! `gateway.drain.flush=kill@1`). The assertions below hold under those
+//! arms by construction: delays only stretch wall-clock time (deadlines in
+//! these tests ride a frozen simulated clock), and the drain test expects
+//! the flush kill already.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cryptext::common::{failpoint, Error, SimClock};
+use cryptext::core::database::TokenDatabase;
+use cryptext::core::durable::{DurableOptions, DurableTokenStore};
+use cryptext::core::lookup::LookupHit;
+use cryptext::core::service::{CryptextService, ServiceConfig};
+use cryptext::core::{CrypText, LookupParams};
+use cryptext::gateway::{
+    CallOptions, Gateway, GatewayConfig, RouteBudget, RouteClass, SingleFlight,
+};
+
+/// Poll cadence for test choreography; matches the gateway's internal
+/// wait slice closely enough that conditions are observed promptly.
+const TICK: Duration = Duration::from_millis(2);
+
+/// Generous bound for any single choreography step (single-core debug CI).
+const STEP_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Spin until `cond` holds or fail the test with `what`.
+fn eventually(what: &str, cond: impl Fn() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            start.elapsed() < STEP_TIMEOUT,
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(TICK);
+    }
+}
+
+/// A one-shot gate: request closures park on it so tests can line up
+/// admission states before letting any work finish.
+struct Latch {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let start = Instant::now();
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            assert!(start.elapsed() < STEP_TIMEOUT, "latch never opened");
+            let (guard, _) = self.cv.wait_timeout(open, TICK).unwrap();
+            open = guard;
+        }
+    }
+}
+
+/// A service over a small fixed corpus on a frozen simulated clock, so
+/// deadlines never expire unless a test advances time on purpose.
+fn test_service(limit: u32) -> (Arc<CryptextService<TokenDatabase>>, SimClock) {
+    let mut db = TokenDatabase::in_memory();
+    for text in [
+        "the dirrty republicans",
+        "thee dirty repubLIEcans",
+        "the dirty republic@@ns",
+        "vaccine vacc1ne vaxxine mandates",
+        "democrats demokkkrats dem0crats",
+    ] {
+        db.ingest_text(text);
+    }
+    let clock = SimClock::new(0);
+    let svc = CryptextService::new(
+        CrypText::new(db),
+        ServiceConfig {
+            rate_limit_per_minute: limit,
+            ..ServiceConfig::default()
+        },
+        Arc::new(clock.clone()),
+    );
+    (Arc::new(svc), clock)
+}
+
+#[test]
+fn a_10x_storm_sheds_fast_and_serves_the_admitted_byte_identically() {
+    // Lane capacity 4 (2 executing + 2 queued); 40 requests is a 10×
+    // storm. The excess 36 must shed immediately with a typed hint; the
+    // admitted 4 must see exactly the bytes a direct call returns.
+    let (svc, _) = test_service(1_000_000);
+    let gw: Arc<Gateway<TokenDatabase>> = Arc::new(Gateway::new(
+        Arc::clone(&svc),
+        GatewayConfig {
+            lookup: RouteBudget::new(2, 2),
+            shed_retry_after_ms: 25,
+            ..GatewayConfig::default()
+        },
+    ));
+    let auth = svc.issue_token("storm");
+    let direct = svc
+        .look_up(&auth, "republicans", LookupParams::paper_default())
+        .unwrap();
+
+    let latch = Latch::new();
+    let mut handles = Vec::new();
+    for _ in 0..40 {
+        let (gw, auth, latch) = (Arc::clone(&gw), auth.clone(), Arc::clone(&latch));
+        handles.push(std::thread::spawn(move || {
+            gw.call(
+                RouteClass::Lookup,
+                &auth,
+                CallOptions::default(),
+                move |svc, _| {
+                    latch.wait();
+                    svc.look_up_prechecked(
+                        "republicans",
+                        LookupParams::paper_default(),
+                        &mut || None,
+                    )
+                },
+            )
+        }));
+    }
+
+    // Saturation point: both execution slots held, both queue seats taken,
+    // and all 36 excess arrivals already shed — none of them is waiting.
+    eventually("storm saturation", || {
+        let s = gw.stats();
+        s.shed_queue_full == 36 && s.active_now == 2 && s.queued_now == 2
+    });
+    latch.open();
+
+    let mut ok = 0;
+    let mut shed = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(hits) => {
+                assert_eq!(hits, direct, "admitted result must match the direct call");
+                ok += 1;
+            }
+            Err(Error::Overloaded { retry_after_ms }) => {
+                assert_eq!(retry_after_ms, 25, "shed carries the configured hint");
+                shed += 1;
+            }
+            Err(e) => panic!("storm produced an unexpected error: {e}"),
+        }
+    }
+    assert_eq!((ok, shed), (4, 36), "capacity admitted, the excess shed");
+
+    let s = gw.stats();
+    assert_eq!(s.admitted, 4);
+    assert_eq!(s.completed_ok, 4);
+    assert_eq!(s.queue_waits, 2, "both queue seats were eventually served");
+    assert_eq!(
+        s.retries, 0,
+        "shed is pre-retry: no budget burned on the excess"
+    );
+    assert_eq!((s.active_now, s.queued_now), (0, 0));
+}
+
+#[test]
+fn coalesced_duplicates_execute_once_and_share_exact_bytes() {
+    let (svc, _) = test_service(1_000_000);
+    let gw: Arc<Gateway<TokenDatabase>> =
+        Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
+    let auth = svc.issue_token("dup");
+    let direct = svc
+        .look_up(&auth, "democrats", LookupParams::paper_default())
+        .unwrap();
+
+    let flights: Arc<SingleFlight<Vec<LookupHit>>> = Arc::new(SingleFlight::new());
+    let latch = Latch::new();
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let (gw, auth, latch, flights) = (
+            Arc::clone(&gw),
+            auth.clone(),
+            Arc::clone(&latch),
+            Arc::clone(&flights),
+        );
+        handles.push(std::thread::spawn(move || {
+            gw.call_coalesced(
+                RouteClass::Lookup,
+                0xC0A1E5CE,
+                &auth,
+                CallOptions::default(),
+                &flights,
+                move |svc, _| {
+                    latch.wait();
+                    svc.look_up_prechecked("democrats", LookupParams::paper_default(), &mut || None)
+                },
+            )
+        }));
+    }
+
+    // The leader parks on the latch; the other seven must attach to its
+    // flight rather than execute.
+    eventually("seven followers attached", || {
+        gw.stats().coalesced_followers == 7
+    });
+    latch.open();
+
+    for h in handles {
+        let hits = h.join().unwrap().expect("coalesced lookup succeeds");
+        assert_eq!(hits, direct, "followers get the leader's exact bytes");
+    }
+    let s = gw.stats();
+    assert_eq!(s.executions, 1, "eight requests, one execution");
+    assert_eq!(s.admitted, 8, "every caller was admitted and charged");
+    assert_eq!(s.completed_ok, 8);
+    assert_eq!(s.promoted_followers, 0);
+}
+
+#[test]
+fn a_retryably_failing_leader_promotes_exactly_one_follower() {
+    let (svc, _) = test_service(1_000_000);
+    let gw: Arc<Gateway<TokenDatabase>> =
+        Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
+    let auth = svc.issue_token("promote");
+
+    let flights: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+    let executions = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let (gw, auth, flights, executions) = (
+            Arc::clone(&gw),
+            auth.clone(),
+            Arc::clone(&flights),
+            Arc::clone(&executions),
+        );
+        let gw_for_body = Arc::clone(&gw);
+        handles.push(std::thread::spawn(move || {
+            gw.call_coalesced(
+                RouteClass::Listening,
+                7,
+                &auth,
+                // No self-retries: the leader's failure must surface so the
+                // *promotion* path (a follower re-executes) carries the
+                // retry, not the leader's own loop.
+                CallOptions::default().no_retries(),
+                &flights,
+                move |_, _| {
+                    if executions.fetch_add(1, Ordering::SeqCst) == 0 {
+                        // First execution is the leader: hold until the
+                        // follower has attached, then fail retryably.
+                        let start = Instant::now();
+                        while gw_for_body.stats().coalesced_followers == 0 {
+                            if start.elapsed() > STEP_TIMEOUT {
+                                return Err(Error::Internal("no follower attached".into()));
+                            }
+                            std::thread::sleep(TICK);
+                        }
+                        Err(Error::Overloaded { retry_after_ms: 1 })
+                    } else {
+                        Ok(42)
+                    }
+                },
+            )
+        }));
+    }
+
+    let mut outcomes: Vec<Result<u32, Error>> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    outcomes.sort_by_key(|r| r.is_ok());
+    assert!(
+        matches!(outcomes[0], Err(Error::Overloaded { .. })),
+        "the leader surfaces its own failure: {:?}",
+        outcomes[0]
+    );
+    assert_eq!(
+        *outcomes[1].as_ref().unwrap(),
+        42,
+        "the promoted follower re-executes and succeeds"
+    );
+    let s = gw.stats();
+    assert_eq!(s.coalesced_followers, 1);
+    assert_eq!(s.promoted_followers, 1, "exactly one promotion");
+    assert_eq!(s.executions, 2, "leader attempt + promoted attempt");
+    assert_eq!(executions.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn a_non_retryable_leader_failure_broadcasts_to_the_cohort() {
+    let (svc, _) = test_service(1_000_000);
+    let gw: Arc<Gateway<TokenDatabase>> =
+        Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
+    let auth = svc.issue_token("broadcast");
+
+    let flights: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+    let latch = Latch::new();
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let (gw, auth, flights, latch) = (
+            Arc::clone(&gw),
+            auth.clone(),
+            Arc::clone(&flights),
+            Arc::clone(&latch),
+        );
+        handles.push(std::thread::spawn(move || {
+            // The lookup lane: wide enough (concurrency 8) that all three
+            // callers hold permits at once — followers keep their permit
+            // while they wait on the leader.
+            gw.call_coalesced(
+                RouteClass::Lookup,
+                9,
+                &auth,
+                CallOptions::default(),
+                &flights,
+                move |_, _| -> Result<u32, Error> {
+                    latch.wait();
+                    Err(Error::InvalidArgument("bad dimensions".into()))
+                },
+            )
+        }));
+    }
+    eventually("two followers attached", || {
+        gw.stats().coalesced_followers == 2
+    });
+    latch.open();
+
+    for h in handles {
+        assert!(
+            matches!(h.join().unwrap(), Err(Error::InvalidArgument(_))),
+            "a deterministic failure is shared, not re-executed"
+        );
+    }
+    let s = gw.stats();
+    assert_eq!(s.executions, 1, "nobody re-runs a non-retryable failure");
+    assert_eq!(s.promoted_followers, 0);
+    assert_eq!(s.failed, 3);
+}
+
+#[test]
+fn an_already_expired_deadline_is_rejected_before_any_work() {
+    let (svc, _) = test_service(1_000_000);
+    let gw: Arc<Gateway<TokenDatabase>> =
+        Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
+    let auth = svc.issue_token("expired");
+    let ran = Arc::new(AtomicUsize::new(0));
+
+    let ran2 = Arc::clone(&ran);
+    let out: Result<u32, Error> = gw.call(
+        RouteClass::Lookup,
+        &auth,
+        CallOptions::with_deadline_ms(0),
+        move |_, _| {
+            ran2.fetch_add(1, Ordering::SeqCst);
+            Ok(1)
+        },
+    );
+    assert!(matches!(out, Err(Error::DeadlineExceeded { budget_ms: 0 })));
+    assert_eq!(ran.load(Ordering::SeqCst), 0, "the body never ran");
+    eventually("slot released", || gw.stats().active_now == 0);
+}
+
+#[test]
+fn an_expired_deadline_cancels_the_store_walk_mid_flight() {
+    // The clock expires *inside* the request body — the cancellable walk
+    // must notice via its per-candidate probe and abort with the typed
+    // deadline error rather than finishing the scan.
+    let (svc, clock) = test_service(1_000_000);
+    let gw: Arc<Gateway<TokenDatabase>> =
+        Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
+    let auth = svc.issue_token("walker");
+
+    let out = gw.call(
+        RouteClass::Lookup,
+        &auth,
+        CallOptions::with_deadline_ms(40).no_retries(),
+        move |svc, deadline| {
+            // Burn the whole budget before the walk starts; the first
+            // probe consulted during the walk then fires.
+            clock.advance(40);
+            svc.look_up_prechecked("republicans", LookupParams::new(1, 2), &mut || {
+                deadline.probe()
+            })
+        },
+    );
+    assert!(
+        matches!(out, Err(Error::DeadlineExceeded { budget_ms: 40 })),
+        "walk aborted mid-flight: {out:?}"
+    );
+}
+
+#[test]
+fn revocation_races_queued_requests_and_rejects_them_at_dequeue() {
+    // One slot, two queue seats. A request is mid-execution and two more
+    // are queued when the token is revoked: the in-flight one (already
+    // authorized) completes; both queued ones hit authorization at
+    // dequeue and are rejected deterministically — no panic, no partial
+    // result.
+    let (svc, _) = test_service(1_000_000);
+    let gw: Arc<Gateway<TokenDatabase>> = Arc::new(Gateway::new(
+        Arc::clone(&svc),
+        GatewayConfig {
+            lookup: RouteBudget::new(1, 2),
+            ..GatewayConfig::default()
+        },
+    ));
+    let auth = svc.issue_token("revocable");
+    let direct = svc
+        .look_up(&auth, "vaccine", LookupParams::paper_default())
+        .unwrap();
+
+    let latch = Latch::new();
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let (gw2, auth2, latch2) = (Arc::clone(&gw), auth.clone(), Arc::clone(&latch));
+        handles.push(std::thread::spawn(move || {
+            gw2.call(
+                RouteClass::Lookup,
+                &auth2,
+                CallOptions::default(),
+                move |svc, _| {
+                    latch2.wait();
+                    svc.look_up_prechecked("vaccine", LookupParams::paper_default(), &mut || None)
+                },
+            )
+        }));
+        // Admit the first request before the others arrive, so exactly
+        // one is authorized pre-revocation and two sit in the queue.
+        eventually("first request executing", || gw.stats().active_now == 1);
+    }
+    eventually("two requests queued", || gw.stats().queued_now == 2);
+
+    svc.revoke_token(&auth);
+    latch.open();
+
+    let (mut ok, mut unauthorized) = (0, 0);
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(hits) => {
+                assert_eq!(hits, direct, "the pre-revocation request is whole");
+                ok += 1;
+            }
+            Err(Error::Unauthorized(_)) => unauthorized += 1,
+            Err(e) => panic!("unexpected error in revocation race: {e}"),
+        }
+    }
+    assert_eq!(
+        (ok, unauthorized),
+        (1, 2),
+        "in-flight completes, queued requests reject at dequeue"
+    );
+    assert_eq!(gw.stats().admitted, 3, "all three passed admission");
+    assert_eq!((gw.stats().active_now, gw.stats().queued_now), (0, 0));
+}
+
+#[test]
+fn rate_limited_requests_fail_fast_with_an_honest_typed_hint() {
+    let (svc, clock) = test_service(3);
+    let gw: Arc<Gateway<TokenDatabase>> =
+        Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
+    let auth = svc.issue_token("bursty");
+
+    let (mut ok, mut limited) = (0, 0);
+    for _ in 0..5 {
+        match gw.look_up(
+            &auth,
+            "vaccine",
+            LookupParams::paper_default(),
+            CallOptions::default(),
+        ) {
+            Ok(_) => ok += 1,
+            Err(e @ Error::RateLimited { retry_after_ms }) => {
+                // The frozen clock sits at window start: the full window
+                // remains, and the hint says exactly that.
+                assert_eq!(retry_after_ms, 60_000);
+                assert!(e.is_retryable(), "callers may back off and retry");
+                limited += 1;
+            }
+            Err(e) => panic!("unexpected error under rate limiting: {e}"),
+        }
+    }
+    assert_eq!((ok, limited), (3, 2));
+    assert_eq!(
+        gw.stats().retries,
+        0,
+        "rate limiting rejects at the auth layer — the gateway must not \
+         burn its own retry budget against a depleted window"
+    );
+
+    // The hint is honest: advancing exactly one window refills.
+    clock.advance(60_000);
+    assert!(gw
+        .look_up(
+            &auth,
+            "vaccine",
+            LookupParams::paper_default(),
+            CallOptions::default(),
+        )
+        .is_ok());
+}
+
+#[test]
+fn chaos_drain_quiesces_sheds_and_loses_no_committed_batches() {
+    let armed_env = std::env::var(failpoint::ENV_VAR).is_ok_and(|v| !v.trim().is_empty());
+    let posts: Vec<String> = (0..30)
+        .map(|i| match i % 4 {
+            0 => format!("the dirrty republicans round {i}"),
+            1 => "thee dirty repubLIEcans".to_string(),
+            2 => format!("vacc1ne mandate pushback {i}"),
+            _ => "democrats demokkkrats dem0crats".to_string(),
+        })
+        .collect();
+
+    // Reference: the same posts into a plain in-memory store.
+    let mut reference = TokenDatabase::in_memory();
+    for p in &posts {
+        reference.ingest_text(p);
+    }
+    let reference = reference.stats();
+
+    // The durable store the drain flush targets: one committed batch per
+    // post, fsync deferred so the final flush actually has work to do.
+    let dir = std::env::temp_dir().join(format!(
+        "cryptext-overload-drain-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = DurableTokenStore::<TokenDatabase>::open(
+        &dir,
+        DurableOptions {
+            shards: 1,
+            sync_every_batch: false,
+        },
+    )
+    .expect("clean open");
+    for p in &posts {
+        if let Err(e) = store.try_ingest_text(p) {
+            // A broad env arm (e.g. `*=kill@N`) can reach the ingest
+            // boundaries; that plane is fault_injection.rs's subject.
+            assert!(
+                armed_env && failpoint::is_injected(&e),
+                "ingest failed: {e}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+    }
+
+    let (svc, _) = test_service(1_000_000);
+    let gw: Arc<Gateway<TokenDatabase>> = Arc::new(Gateway::new(
+        Arc::clone(&svc),
+        GatewayConfig {
+            drain_deadline_ms: 15_000,
+            ..GatewayConfig::default()
+        },
+    ));
+    let auth = svc.issue_token("ops");
+
+    // One slow request in flight when the drain begins.
+    let latch = Latch::new();
+    let slow = {
+        let (gw, auth, latch) = (Arc::clone(&gw), auth.clone(), Arc::clone(&latch));
+        std::thread::spawn(move || {
+            gw.call(
+                RouteClass::Listening,
+                &auth,
+                CallOptions::default(),
+                move |_, _| {
+                    latch.wait();
+                    Ok(11u32)
+                },
+            )
+        })
+    };
+    eventually("slow request in flight", || gw.stats().active_now == 1);
+
+    // A sidecar proves the drain sheds new arrivals *while* it waits for
+    // the slow request, then lets that request finish.
+    let sidecar = {
+        let (gw, auth, latch) = (Arc::clone(&gw), auth.clone(), Arc::clone(&latch));
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            while !gw.is_draining() {
+                assert!(start.elapsed() < STEP_TIMEOUT, "drain never began");
+                std::thread::sleep(TICK);
+            }
+            let shed = gw.call(RouteClass::Lookup, &auth, CallOptions::default(), |_, _| {
+                Ok(0u32)
+            });
+            assert!(
+                matches!(shed, Err(Error::Overloaded { .. })),
+                "arrivals during drain are shed: {shed:?}"
+            );
+            latch.open();
+        })
+    };
+
+    // Chaos arm: the flush boundary dies. The drain must still report
+    // faithfully — and the store must still recover every committed batch,
+    // because batch commits hit the delta log before any flush runs.
+    let _guard = failpoint::arm("gateway.drain.flush", "kill@1");
+    let report = gw.drain_with(|| store.sync());
+    assert!(
+        report.quiesced,
+        "in-flight work finished under the drain deadline"
+    );
+    assert_eq!(report.in_flight_at_flush, 0);
+    let flush_err = report.flush_error.expect("the armed flush must fail");
+    assert!(
+        failpoint::is_injected(&flush_err),
+        "only the injected fault: {flush_err}"
+    );
+
+    assert_eq!(
+        slow.join().unwrap().unwrap(),
+        11,
+        "drain waited for in-flight work"
+    );
+    sidecar.join().unwrap();
+    assert!(gw.stats().shed_draining >= 1);
+
+    // Zero committed-batch loss: reopening lands on the full committed
+    // prefix even though the final sync was killed.
+    drop(store);
+    let reopened = DurableTokenStore::<TokenDatabase>::open(
+        &dir,
+        DurableOptions {
+            shards: 1,
+            sync_every_batch: false,
+        },
+    )
+    .expect("recovery open");
+    assert_eq!(
+        reopened.inner().stats(),
+        reference,
+        "every committed batch survived the killed flush"
+    );
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // And the gateway recovers: admissions reopen after the drain.
+    gw.end_drain();
+    assert!(gw
+        .look_up(
+            &auth,
+            "vaccine",
+            LookupParams::paper_default(),
+            CallOptions::default(),
+        )
+        .is_ok());
+}

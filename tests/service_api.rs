@@ -94,7 +94,7 @@ fn rate_limited_clients_recover_next_window() {
     for _ in 0..8 {
         match svc.look_up(&token, "vaccine", LookupParams::paper_default()) {
             Ok(_) => ok += 1,
-            Err(Error::RateLimited(_)) => limited += 1,
+            Err(Error::RateLimited { .. }) => limited += 1,
             Err(e) => panic!("unexpected error {e}"),
         }
     }
