@@ -24,7 +24,15 @@
 //!   shed split of a latch-choreographed 10× admission storm, and the
 //!   coalesce hit rate of a duplicate-lookup wave. The storm/wave counts
 //!   are deterministic by construction and pinned by `--check`; the
-//!   overhead numbers are machine-dependent and informational.
+//!   overhead numbers are machine-dependent and informational,
+//! * the tiered result-cache dimension (`BENCH_cache.json`): the
+//!   hit/miss latency split of the service's normalize caches — the
+//!   whole-text result cache over the cross-text candidate memo —
+//!   (uncached engine vs pure warm hits) and a Zipf-replay workload with
+//!   a mid-stream generation bump. The hit/miss/invalidation counts are
+//!   a pure function of the seeded replay and pinned by `--check`, which
+//!   additionally gates two wide-margin latency invariants: warm-hit p50
+//!   ≤ 1/3 of the uncached p50, and replay p99 below the uncached p99.
 //!
 //! ```text
 //! cargo run --release -p cryptext-bench --bin exp_bench_json
@@ -79,6 +87,17 @@ const STORM_BUDGET: (usize, usize) = (2, 2);
 const WAVE_REQUESTS: usize = 8;
 /// Rounds for the admission-overhead comparison (gateway vs direct).
 const SERVICE_ROUNDS: usize = 40;
+/// The cache dimension's Zipf replay: [`CACHE_REPLAY`] normalize requests
+/// drawn Zipf-style (exponent [`CACHE_ZIPF_S`]) from a pool of
+/// [`CACHE_POOL`] distinct feed texts — hot texts repeat, the tail stays
+/// cold — with one generation bump (cache flush) halfway through. The
+/// small pool keeps the request-level hit rate above 99%, so the replay's
+/// p99 lands on the hit path. Every fourth pool text carries the same
+/// out-of-dictionary token, so its empty candidate list is shared
+/// cross-text during the cold fills — the negative-cache path.
+const CACHE_POOL: usize = 32;
+const CACHE_REPLAY: usize = 10_000;
+const CACHE_ZIPF_S: f64 = 1.1;
 
 struct Measured {
     queries_per_sec: f64,
@@ -501,6 +520,213 @@ fn check_service() -> Result<(), String> {
     Ok(())
 }
 
+/// A deterministic Zipf-distributed index sequence over `pool` items:
+/// xorshift64* stream mapped through the CDF of `1/(i+1)^s` weights. Pure
+/// function of the seed, so `--check` replays the exact same workload.
+fn zipf_sequence(pool: usize, len: usize, seed: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (0..pool)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(CACHE_ZIPF_S))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(pool);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            cdf.iter().position(|&c| u < c).unwrap_or(pool - 1)
+        })
+        .collect()
+}
+
+/// What the cache dimension measured: the replay's latency quantiles, the
+/// deterministic tier-1 counters it produced (whole-text result cache and
+/// per-token candidate memo), and the uncached-vs-warm-hit latency split.
+struct CacheReplay {
+    result_hits: u64,
+    result_misses: u64,
+    candidate_hits: u64,
+    candidate_misses: u64,
+    negative_candidate_hits: u64,
+    invalidation_bumps: u64,
+    invalidated_entries: u64,
+    replay_p50_us: f64,
+    replay_p99_us: f64,
+    uncached: Measured,
+    warm: Measured,
+}
+
+/// Run the Zipf replay through a caching service, byte-checking every
+/// response against an identically-built uncached engine, then measure
+/// the uncached path and a pure warm-hit pass over the same pool.
+fn run_cache_replay(platform: &cryptext_stream::SocialPlatform) -> CacheReplay {
+    // Every fourth pool text gets the same out-of-dictionary token
+    // appended (to both the reference and the service side — the texts
+    // stay identical). Its empty candidate list is written once and then
+    // served as a *negative* candidate hit when the other carriers fill
+    // cold; exact repeats never reach the memo (the whole-text result
+    // cache absorbs them), so this cross-text sharing is what pins the
+    // negative path.
+    let texts: Vec<String> = platform
+        .posts()
+        .iter()
+        .take(CACHE_POOL)
+        .enumerate()
+        .map(|(i, p)| {
+            if i % 4 == 0 {
+                format!("{} zzqzyxt", p.text)
+            } else {
+                p.text.clone()
+            }
+        })
+        .collect();
+    let pool: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+
+    // The uncached reference: its own identically-built system, normalized
+    // through the bare engine (no service, no cache).
+    let cx = CrypText::new(build_db(platform));
+    let normalizer = Normalizer::new(cx.language_model());
+    let mut scratch = NormalizeScratch::new();
+    let reference: Vec<_> = pool
+        .iter()
+        .map(|t| {
+            normalizer
+                .normalize_with(cx.database(), t, NormalizeParams::default(), &mut scratch)
+                .expect("reference normalize")
+        })
+        .collect();
+
+    // The caching service under test, on a frozen clock (no TTL expiry —
+    // the mid-replay generation bump is the only invalidation).
+    let svc = CryptextService::new(
+        CrypText::new(build_db(platform)),
+        ServiceConfig {
+            rate_limit_per_minute: 100_000_000,
+            ..ServiceConfig::default()
+        },
+        Arc::new(SimClock::new(0)),
+    );
+    let auth = svc.issue_token("bench-cache");
+
+    let seq = zipf_sequence(CACHE_POOL, CACHE_REPLAY, SEED);
+    let mut samples_us: Vec<f64> = Vec::with_capacity(CACHE_REPLAY);
+    for (j, &i) in seq.iter().enumerate() {
+        if j == CACHE_REPLAY / 2 {
+            svc.bump_generation();
+        }
+        let start = Instant::now();
+        let got = svc
+            .normalize(&auth, pool[i], NormalizeParams::default())
+            .expect("replay normalize");
+        samples_us.push(start.elapsed().as_nanos() as f64 / 1e3);
+        assert_eq!(
+            got, reference[i],
+            "cached replay must stay byte-identical to the uncached engine"
+        );
+    }
+    // Capture the counters before any further traffic: these are the
+    // replay's own deterministic hit/miss/invalidation counts.
+    let tiers = svc.cache_tier_stats();
+    samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pick = |q: f64| samples_us[((samples_us.len() - 1) as f64 * q).round() as usize];
+    let (replay_p50_us, replay_p99_us) = (pick(0.5), pick(0.99));
+
+    // The latency split: uncached engine path vs pure warm hits, same
+    // pool, same rounds. One priming pass each so the warm side really is
+    // all hits (the bump halfway through the replay left tail entries
+    // cold) and the uncached side starts on a hot scratch.
+    for t in &pool {
+        let _ = normalizer
+            .normalize_with(cx.database(), t, NormalizeParams::default(), &mut scratch)
+            .unwrap();
+        let _ = svc.normalize(&auth, t, NormalizeParams::default()).unwrap();
+    }
+    let uncached = measure(&pool, NORM_ROUNDS, |t| {
+        normalizer
+            .normalize_with(cx.database(), t, NormalizeParams::default(), &mut scratch)
+            .unwrap()
+            .corrections
+            .len()
+    });
+    let warm = measure(&pool, NORM_ROUNDS, |t| {
+        svc.normalize(&auth, t, NormalizeParams::default())
+            .unwrap()
+            .corrections
+            .len()
+    });
+    assert_eq!(
+        warm.total_hits, uncached.total_hits,
+        "the warm-hit pass must produce identical corrections"
+    );
+
+    CacheReplay {
+        result_hits: tiers.normalize_results.hits,
+        result_misses: tiers.normalize_results.misses,
+        candidate_hits: tiers.normalize.hits,
+        candidate_misses: tiers.normalize.misses,
+        negative_candidate_hits: tiers.negative_hits,
+        invalidation_bumps: tiers.invalidation_bumps,
+        invalidated_entries: tiers.invalidated_entries,
+        replay_p50_us,
+        replay_p99_us,
+        uncached,
+        warm,
+    }
+}
+
+/// The cache dimension's gate. Unlike the other dimensions this one pins
+/// *latency* as well as counts — the whole point of the tier is the
+/// hit-path speedup, and the margins are wide enough to be
+/// machine-independent: a warm hit must cost at most a third of the
+/// uncached normalize p50, and the hit-dominated Zipf replay's p99 must
+/// undercut the uncached p99. The hit/miss/invalidation counts are a pure
+/// function of the seeded workload and must match the committed file
+/// exactly; byte-identity of every cached response is asserted inside the
+/// replay itself.
+fn check_cache(platform: &cryptext_stream::SocialPlatform) -> Result<(), String> {
+    let json = std::fs::read_to_string("BENCH_cache.json")
+        .map_err(|e| format!("read BENCH_cache.json: {e}"))?;
+    let r = run_cache_replay(platform);
+    if r.warm.p50_us * 3.0 > r.uncached.p50_us {
+        return Err(format!(
+            "warm-hit normalize p50 {:.2}µs is not ≤ 1/3 of the uncached {:.2}µs",
+            r.warm.p50_us, r.uncached.p50_us
+        ));
+    }
+    if r.replay_p99_us >= r.uncached.p99_us {
+        return Err(format!(
+            "Zipf-replay p99 {:.2}µs did not undercut the uncached p99 {:.2}µs",
+            r.replay_p99_us, r.uncached.p99_us
+        ));
+    }
+    let checks = [
+        ("requests", CACHE_REPLAY as u64),
+        ("distinct_texts", CACHE_POOL as u64),
+        ("result_hits", r.result_hits),
+        ("result_misses", r.result_misses),
+        ("candidate_hits", r.candidate_hits),
+        ("candidate_misses", r.candidate_misses),
+        ("negative_candidate_hits", r.negative_candidate_hits),
+        ("invalidation_bumps", r.invalidation_bumps),
+    ];
+    for (key, want) in checks {
+        let got = extract_ints(&json, key);
+        if got != vec![want] {
+            return Err(format!(
+                "BENCH_cache.json {key} is {got:?}, expected [{want}]"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validate the committed invariant fields; returns the BENCH_lookup.json
 /// contents so the sharded check can reuse them without a second read.
 fn check_committed(expected: &Invariants) -> Result<String, String> {
@@ -591,6 +817,7 @@ fn main() {
             })
             .and_then(|()| check_ingest(&texts))
             .and_then(|()| check_service())
+            .and_then(|()| check_cache(&platform))
         {
             Ok(()) => {
                 println!(
@@ -955,6 +1182,66 @@ fn main() {
     std::fs::write("BENCH_service.json", &out).expect("write BENCH_service.json");
     print!("{out}");
 
+    // ---- BENCH_cache.json (tiered result-cache dimension) ----
+    let cache = run_cache_replay(&platform);
+    let cache_hit_rate = cache.result_hits as f64 / CACHE_REPLAY as f64;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"cache\",");
+    let _ = writeln!(
+        out,
+        "  \"corpus\": {{ \"posts\": {N_POSTS}, \"seed\": {SEED} }},"
+    );
+    let _ = writeln!(out, "  \"zipf_replay\": {{");
+    let _ = writeln!(out, "    \"requests\": {CACHE_REPLAY},");
+    let _ = writeln!(out, "    \"distinct_texts\": {CACHE_POOL},");
+    let _ = writeln!(out, "    \"zipf_s\": {CACHE_ZIPF_S},");
+    let _ = writeln!(out, "    \"p50_us\": {:.2},", cache.replay_p50_us);
+    let _ = writeln!(out, "    \"p99_us\": {:.2},", cache.replay_p99_us);
+    let _ = writeln!(out, "    \"result_hits\": {},", cache.result_hits);
+    let _ = writeln!(out, "    \"result_misses\": {},", cache.result_misses);
+    let _ = writeln!(out, "    \"candidate_hits\": {},", cache.candidate_hits);
+    let _ = writeln!(out, "    \"candidate_misses\": {},", cache.candidate_misses);
+    let _ = writeln!(out, "    \"hit_rate\": {cache_hit_rate:.4},");
+    let _ = writeln!(
+        out,
+        "    \"negative_candidate_hits\": {},",
+        cache.negative_candidate_hits
+    );
+    let _ = writeln!(
+        out,
+        "    \"invalidation_bumps\": {},",
+        cache.invalidation_bumps
+    );
+    let _ = writeln!(
+        out,
+        "    \"invalidated_entries\": {}",
+        cache.invalidated_entries
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"latency_split\": {{");
+    let _ = writeln!(
+        out,
+        "    \"uncached_p50_us\": {:.2},",
+        cache.uncached.p50_us
+    );
+    let _ = writeln!(
+        out,
+        "    \"uncached_p99_us\": {:.2},",
+        cache.uncached.p99_us
+    );
+    let _ = writeln!(out, "    \"warm_hit_p50_us\": {:.2},", cache.warm.p50_us);
+    let _ = writeln!(out, "    \"warm_hit_p99_us\": {:.2},", cache.warm.p99_us);
+    let _ = writeln!(
+        out,
+        "    \"speedup_p50_uncached_over_hit\": {:.2}",
+        cache.uncached.p50_us / cache.warm.p50_us
+    );
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    std::fs::write("BENCH_cache.json", &out).expect("write BENCH_cache.json");
+    print!("{out}");
+
     eprintln!(
         "lookup p50: optimized {:.2}µs vs naive {:.2}µs → {lookup_speedup:.2}x",
         optimized.p50_us, naive.p50_us
@@ -984,5 +1271,20 @@ fn main() {
         chor.wave_followers,
         WAVE_REQUESTS,
         chor.wave_executions
+    );
+    eprintln!(
+        "cache: warm hit p50 {:.2}µs vs uncached {:.2}µs ({:.1}x); Zipf replay p99 {:.2}µs \
+         at {:.1}% result-hit rate ({} result hits / {} misses; candidates {} hits / {} \
+         misses, {} negative)",
+        cache.warm.p50_us,
+        cache.uncached.p50_us,
+        cache.uncached.p50_us / cache.warm.p50_us,
+        cache.replay_p99_us,
+        cache_hit_rate * 100.0,
+        cache.result_hits,
+        cache.result_misses,
+        cache.candidate_hits,
+        cache.candidate_misses,
+        cache.negative_candidate_hits
     );
 }

@@ -25,6 +25,10 @@
 
 #![warn(missing_docs)]
 
+pub mod store;
+
+pub use store::{CacheStore, LruCacheStore, SharedCacheStore, StoreStats, SHARED_PUT_FAILPOINT};
+
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -162,7 +166,9 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
         self.insert_opt_ttl(key, value, Some(ttl_ms));
     }
 
-    fn insert_opt_ttl(&self, key: K, value: V, ttl_ms: Option<u64>) {
+    /// Insert with an explicit optional TTL (`None` = immortal, bypassing
+    /// the configured default).
+    pub fn insert_opt_ttl(&self, key: K, value: V, ttl_ms: Option<u64>) {
         let now = self.clock.now();
         let expires_at = ttl_ms.map(|t| now.saturating_add(t));
         let tick = self.next_tick();
@@ -170,7 +176,22 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
         if let Some(old) = shard.map.remove(&key) {
             shard.recency.remove(&old.tick);
         }
-        // Evict least-recently-used while at capacity.
+        // At capacity: reap this shard's expired entries first so a dead
+        // entry never forces a live one out. Only then fall back to LRU.
+        if shard.map.len() >= self.per_shard_capacity {
+            let dead: Vec<(u64, K)> = shard
+                .map
+                .iter()
+                .filter(|(_, e)| e.expires_at.is_some_and(|t| t <= now))
+                .map(|(k, e)| (e.tick, k.clone()))
+                .collect();
+            for (dead_tick, k) in dead {
+                shard.map.remove(&k);
+                shard.recency.remove(&dead_tick);
+                self.expirations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Evict least-recently-used while still at capacity.
         while shard.map.len() >= self.per_shard_capacity {
             if let Some((&oldest_tick, _)) = shard.recency.iter().next() {
                 if let Some(victim) = shard.recency.remove(&oldest_tick) {
@@ -293,6 +314,28 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
         reaped
     }
 
+    /// Remove every entry whose key fails `keep`; returns how many were
+    /// removed. The tier-2 stores use this for namespace invalidation
+    /// (a generation bump flushes every key of the old namespace).
+    pub fn retain_keys(&self, keep: impl Fn(&K) -> bool) -> usize {
+        let mut removed = 0usize;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            let dead: Vec<(u64, K)> = s
+                .map
+                .iter()
+                .filter(|(k, _)| !keep(k))
+                .map(|(k, e)| (e.tick, k.clone()))
+                .collect();
+            for (dead_tick, k) in dead {
+                s.map.remove(&k);
+                s.recency.remove(&dead_tick);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -403,6 +446,45 @@ mod tests {
         assert_eq!(c.sweep_expired(), 1);
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&"alive".into()), Some(2));
+    }
+
+    #[test]
+    fn capacity_put_reaps_expired_before_evicting_live() {
+        let (c, clock) = sim_cache(2, None);
+        c.insert_with_ttl("dead".into(), 1, 10);
+        c.insert("live".into(), 2);
+        clock.advance(20);
+        // At capacity with one expired entry: the put must reap "dead"
+        // rather than evict "live", which is older than nothing else alive.
+        c.insert("new".into(), 3);
+        assert_eq!(c.get(&"live".into()), Some(2), "live entry survived");
+        assert_eq!(c.get(&"new".into()), Some(3));
+        let s = c.stats();
+        assert_eq!(s.evictions, 0, "no live entry was LRU-evicted");
+        assert_eq!(s.expirations, 1, "the expired entry was reaped");
+    }
+
+    #[test]
+    fn capacity_put_still_evicts_lru_when_nothing_expired() {
+        let (c, _) = sim_cache(2, None);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        c.insert("c".into(), 3);
+        assert_eq!(c.get(&"a".into()), None, "LRU evicted");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn retain_keys_removes_only_failing_keys() {
+        let (c, _) = sim_cache(10, None);
+        for i in 0..6 {
+            c.insert(format!("k{i}"), i);
+        }
+        let removed = c.retain_keys(|k| !k.ends_with(['1', '3']));
+        assert_eq!(removed, 2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(&"k1".into()), None);
+        assert_eq!(c.get(&"k2".into()), Some(2));
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub use lookup::{
     for_each_hit, for_each_hit_until, look_up, look_up_cancellable, look_up_naive, look_up_with,
     LookupHit, LookupParams, LookupScratch,
 };
-pub use normalize::{NormalizeParams, NormalizeScratch, Normalizer};
+pub use normalize::{
+    CandidateCache, CandidatePairs, NormalizeParams, NormalizeScratch, Normalizer,
+};
 pub use perturb::{PerturbParams, Perturber};
 pub use shard::ShardedTokenDatabase;
 pub use store::{AnyTokenStore, TokenStore};

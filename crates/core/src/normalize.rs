@@ -145,6 +145,33 @@ thread_local! {
         RefCell::new(NormalizeScratch::new());
 }
 
+/// The context-independent half of one token's candidate retrieval: the
+/// deduped `(word, distance)` pairs in ascending word order, exactly as
+/// they stand after [`Normalizer::collect_candidates`]' dedup and before
+/// context scoring reorders and truncates them. An **empty** list is a
+/// negative entry — the token is out-of-dictionary with no candidates,
+/// which is precisely the retrieval that dominates uncached p99.
+///
+/// Equal words imply equal folds, distances, and (given a context) scores,
+/// so replaying these pairs through the scorer reproduces the uncached
+/// pipeline byte-identically: scoring is recomputed per call (it depends
+/// on the token's context window), and the final rank sort is stable from
+/// the same word-ascending start order.
+pub type CandidatePairs = std::sync::Arc<Vec<(String, usize)>>;
+
+/// A cross-text memo for candidate retrieval, consulted per
+/// out-of-dictionary token by [`Normalizer::normalize_cached`]. Keys are
+/// `(token, k, d)` — the caller owns versioning (generation, model
+/// identity) inside its own key/namespace scheme.
+pub trait CandidateCache {
+    /// Fetch the pairs memoized for `(token, k, d)`, or `None` on miss.
+    /// `Some` with an empty list is a cached negative result.
+    fn get(&self, token: &str, k: usize, d: usize) -> Option<CandidatePairs>;
+
+    /// Memoize freshly retrieved pairs (possibly empty = negative).
+    fn put(&self, token: &str, k: usize, d: usize, pairs: CandidatePairs);
+}
+
 /// A candidate scored against the database without owning its word: the
 /// common (ASCII) case borrows the record's precomputed fold. Owned
 /// `Candidate`s are materialized only after dedup + rank + truncate.
@@ -184,9 +211,36 @@ impl<'a> Normalizer<'a> {
         params: NormalizeParams,
         scratch: &mut NormalizeScratch,
         buf: &mut Vec<ScoredCand<'d>>,
+        cache: Option<&dyn CandidateCache>,
     ) -> Result<()> {
         buf.clear();
         let NormalizeScratch { lookup, lm_cache } = scratch;
+        // Cache hit: replay the memoized word-ascending pairs through the
+        // scorer. The stable score sort below starts from the same order
+        // the uncached path reaches after its dedup, so ties resolve
+        // identically and the truncated list is byte-identical.
+        if let Some(cache) = cache {
+            if let Some(pairs) = cache.get(token, params.k, params.d) {
+                for (word, distance) in pairs.iter() {
+                    let coherency = self.lm.coherency_cached(word, left, right, lm_cache);
+                    let prior = self.lm.unigram_log_prob(word);
+                    let score = coherency - params.edit_penalty * *distance as f64
+                        + params.prior_weight * prior;
+                    buf.push(ScoredCand {
+                        word: Cow::Owned(word.clone()),
+                        score,
+                        distance: *distance,
+                    });
+                }
+                buf.sort_by(|a, b| {
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                buf.truncate(params.max_candidates);
+                return Ok(());
+            }
+        }
         let retrieval = LookupParams::new(params.k, params.d);
         for_each_hit(db, token, retrieval, lookup, |_, rec, distance| {
             if !rec.is_english {
@@ -223,6 +277,15 @@ impl<'a> Normalizer<'a> {
             )
         });
         buf.dedup_by(|a, b| a.word == b.word);
+        // Memoize the deduped pre-truncation pairs: truncation depends on
+        // the context-sensitive score order, so it must not be cached.
+        if let Some(cache) = cache {
+            let pairs: Vec<(String, usize)> = buf
+                .iter()
+                .map(|c| (c.word.clone().into_owned(), c.distance))
+                .collect();
+            cache.put(token, params.k, params.d, std::sync::Arc::new(pairs));
+        }
         buf.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -243,11 +306,12 @@ impl<'a> Normalizer<'a> {
         params: NormalizeParams,
         scratch: &mut NormalizeScratch,
         buf: &mut Vec<ScoredCand<'d>>,
+        cache: Option<&dyn CandidateCache>,
     ) -> Result<Option<(String, f64, Vec<Candidate>)>> {
         if Self::is_clean(token) {
             return Ok(None);
         }
-        self.collect_candidates(db, token, left, right, params, scratch, buf)?;
+        self.collect_candidates(db, token, left, right, params, scratch, buf, cache)?;
         if buf.is_empty() {
             return Ok(None);
         }
@@ -282,7 +346,7 @@ impl<'a> Normalizer<'a> {
             let scratch = &mut *scratch.borrow_mut();
             scratch.lm_cache.begin();
             let mut buf: Vec<ScoredCand> = Vec::new();
-            self.normalize_token_with(db, token, left, right, params, scratch, &mut buf)
+            self.normalize_token_with(db, token, left, right, params, scratch, &mut buf, None)
         })
     }
 
@@ -311,6 +375,33 @@ impl<'a> Normalizer<'a> {
         text: &str,
         params: NormalizeParams,
         scratch: &mut NormalizeScratch,
+    ) -> Result<NormalizationResult> {
+        self.normalize_inner(db, text, params, scratch, None)
+    }
+
+    /// [`Normalizer::normalize_with`] consulting a cross-text
+    /// [`CandidateCache`] for per-token retrieval. Byte-identical to the
+    /// uncached path: only the context-independent `(word, distance)`
+    /// pairs are memoized; coherency scoring, ranking, and truncation run
+    /// fresh against each token's context.
+    pub fn normalize_cached<S: TokenStore>(
+        &self,
+        db: &S,
+        text: &str,
+        params: NormalizeParams,
+        scratch: &mut NormalizeScratch,
+        cache: &dyn CandidateCache,
+    ) -> Result<NormalizationResult> {
+        self.normalize_inner(db, text, params, scratch, Some(cache))
+    }
+
+    fn normalize_inner<S: TokenStore>(
+        &self,
+        db: &S,
+        text: &str,
+        params: NormalizeParams,
+        scratch: &mut NormalizeScratch,
+        cache: Option<&dyn CandidateCache>,
     ) -> Result<NormalizationResult> {
         TokenDatabase::check_level(params.k)?;
         scratch.lm_cache.begin();
@@ -344,7 +435,7 @@ impl<'a> Normalizer<'a> {
             let right_end = (wi + 3).min(word_refs.len());
             let right = &word_refs[wi + 1..right_end];
             if let Some((replacement, score, candidates)) =
-                self.normalize_token_with(db, token, left, right, params, scratch, &mut buf)?
+                self.normalize_token_with(db, token, left, right, params, scratch, &mut buf, cache)?
             {
                 replacements.push((span.clone(), replacement.clone()));
                 corrections.push(Correction {
@@ -677,6 +768,66 @@ mod tests {
     }
 
     #[test]
+    fn cached_normalization_is_byte_identical_and_memoizes_negatives() {
+        use std::collections::HashMap;
+        #[derive(Default)]
+        struct MapCache {
+            map: RefCell<HashMap<(String, usize, usize), CandidatePairs>>,
+            gets: std::cell::Cell<u64>,
+            hits: std::cell::Cell<u64>,
+        }
+        impl CandidateCache for MapCache {
+            fn get(&self, token: &str, k: usize, d: usize) -> Option<CandidatePairs> {
+                self.gets.set(self.gets.get() + 1);
+                let got = self.map.borrow().get(&(token.to_string(), k, d)).cloned();
+                if got.is_some() {
+                    self.hits.set(self.hits.get() + 1);
+                }
+                got
+            }
+            fn put(&self, token: &str, k: usize, d: usize, pairs: CandidatePairs) {
+                self.map
+                    .borrow_mut()
+                    .insert((token.to_string(), k, d), pairs);
+            }
+        }
+
+        let (db, lm) = fixture();
+        let n = Normalizer::new(&lm);
+        let cache = MapCache::default();
+        let mut scratch = NormalizeScratch::new();
+        let texts = [
+            "Biden belongs to the demokRATs",
+            "so the demokRATs and the vacc1ne push",
+            "qzxqzx happened",
+            "qzxqzx happened again with the demokRATs",
+        ];
+        for text in texts {
+            let uncached = n
+                .normalize_with(&db, text, NormalizeParams::default(), &mut scratch)
+                .unwrap();
+            let cold = n
+                .normalize_cached(&db, text, NormalizeParams::default(), &mut scratch, &cache)
+                .unwrap();
+            let warm = n
+                .normalize_cached(&db, text, NormalizeParams::default(), &mut scratch, &cache)
+                .unwrap();
+            assert_eq!(cold, uncached, "cold pass byte-identical: {text:?}");
+            assert_eq!(warm, uncached, "warm pass byte-identical: {text:?}");
+        }
+        assert!(cache.hits.get() > 0, "repeat tokens served from the memo");
+        // The no-candidate gibberish token is negatively cached: an empty
+        // entry exists and its repeat retrieval was a hit, not a re-walk.
+        let neg = cache
+            .map
+            .borrow()
+            .get(&("qzxqzx".to_string(), 1, 3))
+            .cloned()
+            .expect("negative entry present");
+        assert!(neg.is_empty());
+    }
+
+    #[test]
     fn scratch_reuse_across_texts_is_clean() {
         // The same scratch (lookup buffers + LM memo generations) across
         // many different texts must never leak state between texts.
@@ -752,6 +903,24 @@ mod proptests {
                 ..NormalizeParams::default()
             };
             let mut scratch = NormalizeScratch::new();
+            // One cross-text candidate memo shared by every cached pass:
+            // later texts hit entries populated by earlier ones, and the
+            // result must stay pinned to the naive reference regardless.
+            #[derive(Default)]
+            struct MapCache(
+                std::cell::RefCell<
+                    std::collections::HashMap<(String, usize, usize), CandidatePairs>,
+                >,
+            );
+            impl CandidateCache for MapCache {
+                fn get(&self, token: &str, k: usize, d: usize) -> Option<CandidatePairs> {
+                    self.0.borrow().get(&(token.to_string(), k, d)).cloned()
+                }
+                fn put(&self, token: &str, k: usize, d: usize, pairs: CandidatePairs) {
+                    self.0.borrow_mut().insert((token.to_string(), k, d), pairs);
+                }
+            }
+            let cache = MapCache::default();
             for text in &texts {
                 let fast = n.normalize_with(&db, text, params, &mut scratch).unwrap();
                 let slow = n.normalize_naive(&db, text, params).unwrap();
@@ -759,6 +928,16 @@ mod proptests {
                 // The thread-local convenience wrapper agrees too.
                 let wrapped = n.normalize(&db, text, params).unwrap();
                 prop_assert_eq!(&wrapped, &slow);
+                // Candidate-cached passes (cold fill, then warm replay)
+                // agree byte-for-byte with the reference.
+                let cold = n
+                    .normalize_cached(&db, text, params, &mut scratch, &cache)
+                    .unwrap();
+                prop_assert_eq!(&cold, &slow);
+                let warm = n
+                    .normalize_cached(&db, text, params, &mut scratch, &cache)
+                    .unwrap();
+                prop_assert_eq!(&warm, &slow);
             }
         }
 

@@ -25,21 +25,32 @@
 //! writer) on a single exclusive lock.
 
 use std::cell::RefCell;
+use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cryptext_cache::{Cache, CacheConfig, CacheStats};
+use cryptext_cache::{Cache, CacheConfig, CacheStats, CacheStore, SharedCacheStore, StoreStats};
 use cryptext_common::hash::{fx_hash_str, FxHashMap};
 use cryptext_common::par::try_par_map;
-use cryptext_common::{Clock, Error, Result, Timestamp};
+use cryptext_common::{Clock, Error, FxHasher, Result, Timestamp};
 use parking_lot::RwLock;
 
 use crate::database::TokenDatabase;
 use crate::lookup::{look_up_cancellable, LookupHit, LookupParams, LookupScratch};
-use crate::normalize::{NormalizationResult, NormalizeParams};
+use crate::normalize::{
+    CandidateCache, CandidatePairs, NormalizationResult, NormalizeParams, NormalizeScratch,
+    Normalizer,
+};
 use crate::perturb::{PerturbParams, PerturbationOutcome};
 use crate::store::TokenStore;
 use crate::CrypText;
+
+/// Environment variable selecting the tier-2 cache backend at service
+/// construction. The only recognized value is `shared`, which attaches the
+/// process-global [`SharedCacheStore`] (the in-process Redis stand-in a
+/// fleet of replica services shares); anything else leaves the service
+/// tier-1-only. [`CryptextService::attach_tier2`] overrides either way.
+pub const TIER2_ENV_VAR: &str = "CRYPTEXT_CACHE_TIER2";
 
 /// An issued API authorization token.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -101,6 +112,75 @@ thread_local! {
     /// the cancellable walk directly rather than through the engine's
     /// shared thread-local (gateway executor threads own this one).
     static PRECHECKED_SCRATCH: RefCell<LookupScratch> = RefCell::new(LookupScratch::new());
+
+    /// Scratch for the service's cached Normalization endpoints (one per
+    /// thread — bulk fan-out workers each own their buffers and LM memo).
+    static NORMALIZE_SCRATCH: RefCell<NormalizeScratch> = RefCell::new(NormalizeScratch::new());
+}
+
+/// A compact 128-bit hashed cache key: two independently-salted fx digests
+/// of the request material. Replaces the old per-request `String` key —
+/// no allocation, fixed size, and the collision probability of two live
+/// requests aliasing 128 bits of digest is negligible next to hardware
+/// fault rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CacheKey {
+    fn as_u128(self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+/// Hash the same material twice under different salts into one 128-bit key.
+fn two_point_hash(write: impl Fn(&mut FxHasher)) -> CacheKey {
+    let mut a = FxHasher::default();
+    a.write_u64(0x9E37_79B9_7F4A_7C15);
+    write(&mut a);
+    let mut b = FxHasher::default();
+    b.write_u64(0xC2B2_AE3D_27D4_EB4F);
+    write(&mut b);
+    CacheKey {
+        hi: a.finish(),
+        lo: b.finish(),
+    }
+}
+
+/// Serialize candidate pairs for the byte-valued tier-2 store:
+/// `count:u64` then per pair `word_len:u32 ‖ word bytes ‖ distance:u64`,
+/// all little-endian.
+fn encode_pairs(pairs: &[(String, usize)]) -> Vec<u8> {
+    let body: usize = pairs.iter().map(|(w, _)| w.len() + 12).sum();
+    let mut out = Vec::with_capacity(8 + body);
+    out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    for (w, d) in pairs {
+        out.extend_from_slice(&(w.len() as u32).to_le_bytes());
+        out.extend_from_slice(w.as_bytes());
+        out.extend_from_slice(&(*d as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Decode [`encode_pairs`] bytes; `None` on any malformation (a corrupt
+/// tier-2 value degrades to a miss, never an error or a panic).
+fn decode_pairs(bytes: &[u8]) -> Option<Vec<(String, usize)>> {
+    let (head, mut rest) = bytes.split_at_checked(8)?;
+    let count = u64::from_le_bytes(head.try_into().ok()?);
+    let mut pairs = Vec::new();
+    for _ in 0..count {
+        let (len_bytes, tail) = rest.split_at_checked(4)?;
+        let len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+        let (word_bytes, tail) = tail.split_at_checked(len)?;
+        let word = std::str::from_utf8(word_bytes).ok()?.to_string();
+        let (d_bytes, tail) = tail.split_at_checked(8)?;
+        let distance = usize::try_from(u64::from_le_bytes(d_bytes.try_into().ok()?)).ok()?;
+        pairs.push((word, distance));
+        rest = tail;
+    }
+    rest.is_empty().then_some(pairs)
 }
 
 /// The clock-aligned window index of a timestamp, truncated to the packed
@@ -149,28 +229,120 @@ pub struct CryptextService<S: TokenStore = TokenDatabase> {
     clock: Arc<dyn Clock>,
     tokens: RwLock<std::collections::HashMap<String, RateState>>,
     issued: std::sync::atomic::AtomicU64,
-    lookup_cache: Cache<String, Vec<LookupHit>>,
+    lookup_cache: Cache<CacheKey, Vec<LookupHit>>,
+    /// Tier-1 cross-text Normalization candidate memo (negative entries
+    /// are empty pair lists — the out-of-dictionary p99 path).
+    norm_cache: Cache<CacheKey, CandidatePairs>,
+    /// Tier-1 whole-text Normalization *result* cache: an exact repeat of
+    /// a text (raw bytes — the result echoes the input's casing) skips
+    /// retrieval *and* scoring. Sits in front of the candidate memo; the
+    /// memo still serves cross-text token repeats when this misses.
+    norm_result_cache: Cache<CacheKey, NormalizationResult>,
+    /// Optional tier-2 byte store the normalize cache reads through to and
+    /// writes behind; possibly shared with replica services.
+    tier2: Option<Arc<dyn CacheStore>>,
+    /// Content identity of (store, LM): mixed with the generation into the
+    /// tier-2 namespace, so replicas over the same data share entries and
+    /// different deployments never alias.
+    tier2_identity: u64,
+    /// Data-version counter; part of every cache key. Bumped on ingest
+    /// (via the gateway), which invalidates both tiers.
+    generation: AtomicU64,
+    negative_hits: AtomicU64,
+    invalidation_bumps: AtomicU64,
+    invalidated_entries: AtomicU64,
 }
 
 impl<S: TokenStore> CryptextService<S> {
     /// Wrap an assembled [`CrypText`] system.
+    ///
+    /// Reads [`TIER2_ENV_VAR`]: `CRYPTEXT_CACHE_TIER2=shared` attaches the
+    /// process-global [`SharedCacheStore`] as the second cache tier.
     pub fn new(system: CrypText<S>, config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
-        let cache = Cache::new(
-            CacheConfig {
-                capacity: config.cache_capacity,
-                default_ttl_ms: Some(config.cache_ttl_ms),
-                shards: 8,
-            },
-            Arc::clone(&clock),
-        );
+        let tier_config = || CacheConfig {
+            capacity: config.cache_capacity,
+            default_ttl_ms: Some(config.cache_ttl_ms),
+            shards: 8,
+        };
+        let lookup_cache = Cache::new(tier_config(), Arc::clone(&clock));
+        let norm_cache = Cache::new(tier_config(), Arc::clone(&clock));
+        let norm_result_cache = Cache::new(tier_config(), Arc::clone(&clock));
+        let tier2: Option<Arc<dyn CacheStore>> = match std::env::var(TIER2_ENV_VAR) {
+            Ok(v) if v == "shared" => Some(SharedCacheStore::global()),
+            _ => None,
+        };
+        let stats = system.database().stats();
+        let mut h = FxHasher::default();
+        h.write_u64(system.language_model().fingerprint());
+        h.write_usize(stats.unique_tokens);
+        h.write_u64(stats.total_occurrences);
+        for sounds in stats.unique_sounds {
+            h.write_usize(sounds);
+        }
+        h.write_usize(stats.english_tokens);
+        let tier2_identity = h.finish();
         CryptextService {
             system,
             config,
             clock,
             tokens: RwLock::new(std::collections::HashMap::new()),
             issued: std::sync::atomic::AtomicU64::new(0),
-            lookup_cache: cache,
+            lookup_cache,
+            norm_cache,
+            norm_result_cache,
+            tier2,
+            tier2_identity,
+            generation: AtomicU64::new(0),
+            negative_hits: AtomicU64::new(0),
+            invalidation_bumps: AtomicU64::new(0),
+            invalidated_entries: AtomicU64::new(0),
         }
+    }
+
+    /// Attach (or replace) the tier-2 store — e.g. point a fleet of
+    /// replica services at one [`SharedCacheStore`]. Call before wrapping
+    /// the service in an `Arc`.
+    pub fn attach_tier2(&mut self, store: Arc<dyn CacheStore>) {
+        self.tier2 = Some(store);
+    }
+
+    /// Is a tier-2 store attached?
+    pub fn tier2_attached(&self) -> bool {
+        self.tier2.is_some()
+    }
+
+    /// The current data-version; part of every cache key.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Bump the data-version after an out-of-band ingest: every tier-1
+    /// entry (keyed on the old generation) is dropped and the old tier-2
+    /// namespace is flushed. Returns the new generation.
+    pub fn bump_generation(&self) -> u64 {
+        let old = self.generation.fetch_add(1, Ordering::AcqRel);
+        self.invalidation_bumps.fetch_add(1, Ordering::Relaxed);
+        // Every tier-1 entry carries a generation ≤ old in its key and is
+        // now unreachable; drop rather than letting stale entries LRU out.
+        let mut flushed =
+            self.lookup_cache.len() + self.norm_cache.len() + self.norm_result_cache.len();
+        self.lookup_cache.clear();
+        self.norm_cache.clear();
+        self.norm_result_cache.clear();
+        if let Some(t2) = &self.tier2 {
+            flushed += t2.invalidate_namespace(self.tier2_namespace(old));
+        }
+        self.invalidated_entries
+            .fetch_add(flushed as u64, Ordering::Relaxed);
+        old + 1
+    }
+
+    /// The tier-2 namespace for one generation of this service's data.
+    fn tier2_namespace(&self, generation: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.tier2_identity);
+        h.write_u64(generation);
+        h.finish()
     }
 
     /// Issue a new API token for `owner` ("provided upon request" in the
@@ -249,11 +421,64 @@ impl<S: TokenStore> CryptextService<S> {
         Arc::clone(&self.clock)
     }
 
-    fn lookup_cache_key(token: &str, params: LookupParams) -> String {
-        format!(
-            "lookup\u{1}{token}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
-            params.k, params.d, params.exclude_identity, params.observed_only
-        )
+    /// The Look Up cache key: a hashed digest of the raw token, retrieval
+    /// params, and the current generation — replacing the old allocating
+    /// `format!` String key.
+    fn lookup_cache_key(&self, token: &str, params: LookupParams) -> CacheKey {
+        let generation = self.generation();
+        two_point_hash(|h| {
+            h.write_u8(b'L');
+            h.write_u64(generation);
+            h.write_usize(params.k);
+            h.write_usize(params.d);
+            h.write_u8(params.exclude_identity as u8);
+            h.write_u8(params.observed_only as u8);
+            h.write(token.as_bytes());
+        })
+    }
+
+    /// The Normalization candidate cache key: keyed on the token's ASCII
+    /// case-fold (retrieval is provably fold-invariant for ASCII tokens:
+    /// Soundex codes, folds, and distances all case-fold first), the
+    /// retrieval half of the params (`k`, `d` — scoring weights are
+    /// recomputed per context, so they stay out of the key), and the
+    /// generation. Non-ASCII tokens key on their raw bytes: the phonetic
+    /// fold and `str::to_lowercase` can diverge outside ASCII, so folding
+    /// the key there could alias tokens with different retrievals.
+    fn normalize_cache_key(&self, token: &str, k: usize, d: usize) -> CacheKey {
+        let generation = self.generation();
+        two_point_hash(|h| {
+            h.write_u8(b'N');
+            h.write_u64(generation);
+            h.write_usize(k);
+            h.write_usize(d);
+            if token.is_ascii() {
+                for byte in token.bytes() {
+                    h.write_u8(byte.to_ascii_lowercase());
+                }
+            } else {
+                h.write(token.as_bytes());
+            }
+        })
+    }
+
+    /// The whole-text Normalization result key: the full params (the
+    /// scoring weights shape the cached output, so unlike the candidate
+    /// key they all participate) plus the *raw* text bytes. No case-fold
+    /// here — the result echoes the input's casing, so differently-cased
+    /// texts must not alias.
+    fn normalize_result_key(&self, text: &str, params: NormalizeParams) -> CacheKey {
+        let generation = self.generation();
+        two_point_hash(|h| {
+            h.write_u8(b'T');
+            h.write_u64(generation);
+            h.write_usize(params.k);
+            h.write_usize(params.d);
+            h.write_u64(params.edit_penalty.to_bits());
+            h.write_u64(params.prior_weight.to_bits());
+            h.write_usize(params.max_candidates);
+            h.write(text.as_bytes());
+        })
     }
 
     /// Look Up endpoint (cached).
@@ -264,7 +489,7 @@ impl<S: TokenStore> CryptextService<S> {
         params: LookupParams,
     ) -> Result<Vec<LookupHit>> {
         self.authorize(auth)?;
-        let key = Self::lookup_cache_key(token, params);
+        let key = self.lookup_cache_key(token, params);
         if let Some(hits) = self.lookup_cache.get(&key) {
             return Ok(hits);
         }
@@ -287,7 +512,7 @@ impl<S: TokenStore> CryptextService<S> {
         params: LookupParams,
         cancel: &mut dyn FnMut() -> Option<Error>,
     ) -> Result<Vec<LookupHit>> {
-        let key = Self::lookup_cache_key(token, params);
+        let key = self.lookup_cache_key(token, params);
         if let Some(hits) = self.lookup_cache.get(&key) {
             return Ok(hits);
         }
@@ -313,7 +538,39 @@ impl<S: TokenStore> CryptextService<S> {
         text: &str,
         params: NormalizeParams,
     ) -> Result<NormalizationResult> {
-        self.system.normalize(text, params)
+        self.normalize_through_cache(text, params)
+    }
+
+    /// The cached Normalization core every endpoint funnels through. Two
+    /// layers: the whole-text result cache answers exact repeats without
+    /// touching retrieval or scoring at all, and below it per-token
+    /// candidate retrieval consults the tier hierarchy (tier-1 memo, then
+    /// the tier-2 byte store when attached) with misses populating both.
+    /// Byte-identical to the uncached engine — the result cache stores the
+    /// finished output verbatim, and the candidate memo holds only the
+    /// context-independent `(word, distance)` retrieval pairs with scoring
+    /// run fresh per context.
+    fn normalize_through_cache(
+        &self,
+        text: &str,
+        params: NormalizeParams,
+    ) -> Result<NormalizationResult> {
+        let result_key = self.normalize_result_key(text, params);
+        if let Some(result) = self.norm_result_cache.get(&result_key) {
+            return Ok(result);
+        }
+        let cache = ServiceCandidateCache { svc: self };
+        let result = NORMALIZE_SCRATCH.with(|scratch| {
+            Normalizer::new(self.system.language_model()).normalize_cached(
+                self.system.database(),
+                text,
+                params,
+                &mut scratch.borrow_mut(),
+                &cache,
+            )
+        })?;
+        self.norm_result_cache.insert(result_key, result.clone());
+        Ok(result)
     }
 
     /// Perturbation after external authorization (see
@@ -350,7 +607,7 @@ impl<S: TokenStore> CryptextService<S> {
             });
         }
         let computed = try_par_map(&unique, |t| -> Result<Vec<LookupHit>> {
-            let key = Self::lookup_cache_key(t, params);
+            let key = self.lookup_cache_key(t, params);
             if let Some(hits) = self.lookup_cache.get(&key) {
                 return Ok(hits);
             }
@@ -379,7 +636,8 @@ impl<S: TokenStore> CryptextService<S> {
             .collect())
     }
 
-    /// Normalization endpoint.
+    /// Normalization endpoint (cached: cross-text candidate memo with
+    /// negative caching of out-of-dictionary misses).
     pub fn normalize(
         &self,
         auth: &ApiToken,
@@ -387,11 +645,11 @@ impl<S: TokenStore> CryptextService<S> {
         params: NormalizeParams,
     ) -> Result<NormalizationResult> {
         self.authorize(auth)?;
-        self.system.normalize(text, params)
+        self.normalize_through_cache(text, params)
     }
 
     /// Bulk Normalization, fanned out across cores with results in input
-    /// order.
+    /// order; every worker shares the service's candidate cache.
     pub fn normalize_bulk(
         &self,
         auth: &ApiToken,
@@ -399,7 +657,7 @@ impl<S: TokenStore> CryptextService<S> {
         params: NormalizeParams,
     ) -> Result<Vec<NormalizationResult>> {
         self.authorize(auth)?;
-        try_par_map(texts, |t| self.system.normalize(t, params))
+        try_par_map(texts, |t| self.normalize_through_cache(t, params))
     }
 
     /// Perturbation endpoint.
@@ -413,15 +671,119 @@ impl<S: TokenStore> CryptextService<S> {
         self.system.perturb(text, params)
     }
 
-    /// Cache statistics (the Fig. 5 architecture experiment reports the
-    /// hit rate).
+    /// Look Up cache statistics (the Fig. 5 architecture experiment
+    /// reports the hit rate). Tier-1 Look Up only — see
+    /// [`Self::cache_tier_stats`] for the whole hierarchy.
     pub fn cache_stats(&self) -> CacheStats {
         self.lookup_cache.stats()
+    }
+
+    /// Counter snapshot across the whole cache hierarchy.
+    pub fn cache_tier_stats(&self) -> CacheTierSnapshot {
+        CacheTierSnapshot {
+            lookup: self.lookup_cache.stats(),
+            normalize: self.norm_cache.stats(),
+            normalize_results: self.norm_result_cache.stats(),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            generation: self.generation(),
+            invalidation_bumps: self.invalidation_bumps.load(Ordering::Relaxed),
+            invalidated_entries: self.invalidated_entries.load(Ordering::Relaxed),
+            tier2_attached: self.tier2.is_some(),
+            tier2: self.tier2.as_ref().map(|t| t.stats()).unwrap_or_default(),
+        }
+    }
+
+    /// Eagerly reap expired entries from every cache tier; returns how
+    /// many were dropped. The gateway runs this during drain so a drained
+    /// service leaves no expired entries behind.
+    pub fn sweep_caches(&self) -> usize {
+        let mut reaped = self.lookup_cache.sweep_expired()
+            + self.norm_cache.sweep_expired()
+            + self.norm_result_cache.sweep_expired();
+        if let Some(t2) = &self.tier2 {
+            reaped += t2.sweep_expired();
+        }
+        reaped
     }
 
     /// The wrapped system (read access).
     pub fn system(&self) -> &CrypText<S> {
         &self.system
+    }
+}
+
+/// Aggregate counter snapshot over the service's cache hierarchy, in the
+/// same point-in-time style as the gateway's `GatewayStatsSnapshot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheTierSnapshot {
+    /// Tier-1 Look Up result cache counters.
+    pub lookup: CacheStats,
+    /// Tier-1 Normalization candidate memo counters (hits include
+    /// negative hits; tier-2 promotions count as tier-1 inserts).
+    pub normalize: CacheStats,
+    /// Tier-1 whole-text Normalization result cache counters (a hit here
+    /// skips retrieval and scoring entirely — exact-repeat traffic).
+    pub normalize_results: CacheStats,
+    /// How many normalize hits served a cached *negative* entry (an
+    /// out-of-dictionary token with no candidates — the uncached p99 path).
+    pub negative_hits: u64,
+    /// Current data-version (part of every key).
+    pub generation: u64,
+    /// How many generation bumps (= namespace invalidations) happened.
+    pub invalidation_bumps: u64,
+    /// Total entries flushed by those bumps, across both tiers.
+    pub invalidated_entries: u64,
+    /// Is a tier-2 store attached?
+    pub tier2_attached: bool,
+    /// Tier-2 store counters (zeros when detached). A shared store reports
+    /// fleet-wide numbers, not per-replica ones.
+    pub tier2: StoreStats,
+}
+
+/// The service's [`CandidateCache`] adapter: tier-1 typed memo in front,
+/// tier-2 byte store behind (read-through on miss, write-behind on fill,
+/// errors absorbed — an injected tier-2 fault costs a future miss, never
+/// the request).
+struct ServiceCandidateCache<'a, S: TokenStore> {
+    svc: &'a CryptextService<S>,
+}
+
+impl<S: TokenStore> CandidateCache for ServiceCandidateCache<'_, S> {
+    fn get(&self, token: &str, k: usize, d: usize) -> Option<CandidatePairs> {
+        let key = self.svc.normalize_cache_key(token, k, d);
+        if let Some(pairs) = self.svc.norm_cache.get(&key) {
+            if pairs.is_empty() {
+                self.svc.negative_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(pairs);
+        }
+        let t2 = self.svc.tier2.as_ref()?;
+        let ns = self.svc.tier2_namespace(self.svc.generation());
+        let bytes = t2.get(ns, key.as_u128())?;
+        let pairs: CandidatePairs = Arc::new(decode_pairs(&bytes)?);
+        // Promote into tier-1 so the next request never leaves process.
+        self.svc.norm_cache.insert(key, Arc::clone(&pairs));
+        if pairs.is_empty() {
+            self.svc.negative_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(pairs)
+    }
+
+    fn put(&self, token: &str, k: usize, d: usize, pairs: CandidatePairs) {
+        let key = self.svc.normalize_cache_key(token, k, d);
+        self.svc.norm_cache.insert(key, Arc::clone(&pairs));
+        if let Some(t2) = &self.svc.tier2 {
+            let ns = self.svc.tier2_namespace(self.svc.generation());
+            // Write-behind: the result is already served from tier-1; a
+            // tier-2 failure (failpoint sweeps arm `cache.shared.put`)
+            // only means the fleet misses until the next fill.
+            let _ = t2.put(
+                ns,
+                key.as_u128(),
+                encode_pairs(&pairs),
+                Some(self.svc.config.cache_ttl_ms),
+            );
+        }
     }
 }
 
@@ -861,6 +1223,175 @@ mod tests {
                 .normalize(&b, "the demokRATs won", NormalizeParams::default())
                 .unwrap()
         );
+    }
+
+    #[test]
+    fn normalize_candidates_are_cached_cross_text() {
+        let (svc, _) = service(100);
+        let tok = svc.issue_token("memo");
+        let a = svc
+            .normalize(&tok, "the demokRATs argue", NormalizeParams::default())
+            .unwrap();
+        let cold = svc.cache_tier_stats();
+        assert!(cold.normalize.misses > 0);
+        assert_eq!(cold.normalize.hits, 0);
+        // A *different* text repeating the same perturbed token hits the
+        // cross-text memo; the result stays byte-identical to uncached.
+        let b = svc
+            .normalize(
+                &tok,
+                "so the demokRATs fight on",
+                NormalizeParams::default(),
+            )
+            .unwrap();
+        let warm = svc.cache_tier_stats();
+        assert!(warm.normalize.hits > 0, "cross-text repeat is a hit");
+        assert_eq!(a.corrections[0].replacement, "democrats");
+        assert_eq!(b.corrections[0].replacement, "democrats");
+        // Case-fold keying: a case variant of the token also hits.
+        let hits_before = svc.cache_tier_stats().normalize.hits;
+        svc.normalize(&tok, "the DEMOKrats again", NormalizeParams::default())
+            .unwrap();
+        assert!(svc.cache_tier_stats().normalize.hits > hits_before);
+    }
+
+    #[test]
+    fn out_of_dictionary_misses_are_negatively_cached() {
+        let (svc, _) = service(100);
+        let tok = svc.issue_token("neg");
+        svc.normalize(&tok, "qzxblorp said something", NormalizeParams::default())
+            .unwrap();
+        assert_eq!(svc.cache_tier_stats().negative_hits, 0);
+        svc.normalize(&tok, "then qzxblorp left", NormalizeParams::default())
+            .unwrap();
+        let s = svc.cache_tier_stats();
+        assert!(
+            s.negative_hits >= 1,
+            "repeat of a no-candidate token served from the negative entry"
+        );
+    }
+
+    #[test]
+    fn generation_bump_invalidates_every_tier() {
+        use cryptext_cache::LruCacheStore;
+        let (mut svc, _) = service(100);
+        let store = Arc::new(LruCacheStore::new(
+            cryptext_cache::CacheConfig::default(),
+            svc.clock(),
+        ));
+        svc.attach_tier2(Arc::clone(&store) as Arc<dyn CacheStore>);
+        let tok = svc.issue_token("bump");
+        svc.normalize(&tok, "the demokRATs argue", NormalizeParams::default())
+            .unwrap();
+        svc.look_up(&tok, "democrats", LookupParams::paper_default())
+            .unwrap();
+        let before = svc.cache_tier_stats();
+        assert!(before.tier2.inserts > 0, "write-behind reached tier-2");
+        assert_eq!(svc.bump_generation(), 1);
+        let after = svc.cache_tier_stats();
+        assert_eq!(after.generation, 1);
+        assert_eq!(after.invalidation_bumps, 1);
+        assert!(
+            after.invalidated_entries > 0,
+            "stale entries flushed, not leaked"
+        );
+        assert!(after.tier2.invalidated > 0, "old namespace flushed");
+        // Post-bump traffic recomputes (same immutable data → same bytes)
+        // under the new keys rather than hitting stale entries.
+        let miss_base = after.normalize.misses;
+        let r = svc
+            .normalize(&tok, "the demokRATs argue", NormalizeParams::default())
+            .unwrap();
+        assert_eq!(r.corrections[0].replacement, "democrats");
+        assert!(svc.cache_tier_stats().normalize.misses > miss_base);
+    }
+
+    #[test]
+    fn shared_tier2_serves_a_replica_fleet() {
+        use cryptext_cache::SharedCacheStore;
+        // Two identically-built replicas pointing at one shared store:
+        // a fill through one is a tier-2 hit through the other.
+        let (mut svc_a, _) = service(100);
+        let (mut svc_b, _) = service(100);
+        let shared = Arc::new(SharedCacheStore::new(
+            cryptext_cache::CacheConfig::default(),
+            svc_a.clock(),
+        ));
+        svc_a.attach_tier2(Arc::clone(&shared) as Arc<dyn CacheStore>);
+        svc_b.attach_tier2(Arc::clone(&shared) as Arc<dyn CacheStore>);
+        let ta = svc_a.issue_token("a");
+        let tb = svc_b.issue_token("b");
+        let a = svc_a
+            .normalize(&ta, "the demokRATs argue", NormalizeParams::default())
+            .unwrap();
+        let t2_hits_before = shared.stats().hits;
+        let b = svc_b
+            .normalize(&tb, "the demokRATs argue", NormalizeParams::default())
+            .unwrap();
+        assert_eq!(a, b, "replicas byte-identical through the shared tier");
+        assert!(
+            shared.stats().hits > t2_hits_before,
+            "replica B read through to the shared store"
+        );
+        // The promotion landed in B's tier-1: the next request stays local.
+        let local_hits = svc_b.cache_tier_stats().normalize.hits;
+        svc_b
+            .normalize(&tb, "more demokRATs here", NormalizeParams::default())
+            .unwrap();
+        assert!(svc_b.cache_tier_stats().normalize.hits > local_hits);
+    }
+
+    #[test]
+    fn tier2_put_failures_degrade_to_misses() {
+        use cryptext_cache::{SharedCacheStore, SHARED_PUT_FAILPOINT};
+        use cryptext_common::failpoint;
+        let (mut svc, _) = service(100);
+        let shared = Arc::new(SharedCacheStore::new(
+            cryptext_cache::CacheConfig::default(),
+            svc.clock(),
+        ));
+        svc.attach_tier2(Arc::clone(&shared) as Arc<dyn CacheStore>);
+        let tok = svc.issue_token("fp");
+        let _fp = failpoint::arm(SHARED_PUT_FAILPOINT, "kill@1");
+        let r = svc
+            .normalize(&tok, "the demokRATs argue", NormalizeParams::default())
+            .unwrap();
+        assert_eq!(
+            r.corrections[0].replacement, "democrats",
+            "request unaffected by the dead write path"
+        );
+        let s = svc.cache_tier_stats();
+        assert!(s.tier2.put_errors > 0, "failure counted");
+        assert_eq!(s.tier2.inserts, 0, "nothing stored past the failpoint");
+        // Tier-1 still took the fill: repeats are local hits.
+        svc.normalize(&tok, "the demokRATs again", NormalizeParams::default())
+            .unwrap();
+        assert!(svc.cache_tier_stats().normalize.hits > 0);
+    }
+
+    #[test]
+    fn pair_codec_round_trips_and_rejects_malformed_bytes() {
+        let pairs = vec![
+            ("democrats".to_string(), 1usize),
+            ("demonrats".to_string(), 2usize),
+            (String::new(), 0usize),
+        ];
+        let bytes = encode_pairs(&pairs);
+        assert_eq!(decode_pairs(&bytes), Some(pairs.clone()));
+        assert_eq!(decode_pairs(&encode_pairs(&[])), Some(Vec::new()));
+        // Truncations at every prefix degrade to a miss, never a panic.
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_pairs(&bytes[..cut]), None, "cut at {cut}");
+        }
+        // Trailing garbage and absurd counts are rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode_pairs(&padded), None);
+        assert_eq!(decode_pairs(&u64::MAX.to_le_bytes()), None);
+        // Non-UTF-8 word bytes are rejected.
+        let mut bad = encode_pairs(&[("ab".to_string(), 1)]);
+        bad[12] = 0xFF;
+        assert_eq!(decode_pairs(&bad), None);
     }
 
     #[test]

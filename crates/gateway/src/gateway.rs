@@ -66,6 +66,9 @@ pub struct DrainReport {
     /// failpoint), if any. A failed flush is reported, not swallowed:
     /// recovery then falls back to the durable store's committed prefix.
     pub flush_error: Option<Error>,
+    /// Expired cache entries reaped from every tier after the flush —
+    /// drain leaves no expired entries behind.
+    pub cache_expired_reaped: usize,
 }
 
 /// The caller side of one dispatched execution: a slot the pool worker
@@ -199,11 +202,19 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         }
     }
 
-    /// Invalidate coalescing across a store mutation (call after
-    /// ingest/reshard): in-flight leaders finish and serve their cohort
-    /// the pre-mutation result, but no *new* request joins them.
+    /// Invalidate coalescing *and* the service's result caches across a
+    /// store mutation (call after ingest/reshard): in-flight leaders
+    /// finish and serve their cohort the pre-mutation result, no *new*
+    /// request joins them, and the version bump forwarded to the service
+    /// flushes every cached result (tier-1 keys + the tier-2 namespace).
     pub fn bump_generation(&self) {
         self.generation.fetch_add(1, Ordering::AcqRel);
+        self.service.bump_generation();
+    }
+
+    /// Cache-hierarchy counters of the fronted service.
+    pub fn cache_stats(&self) -> cryptext_core::service::CacheTierSnapshot {
+        self.service.cache_tier_stats()
     }
 
     /// Is the gateway refusing new admissions?
@@ -534,11 +545,15 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         let flush_error = failpoint::check("gateway.drain.flush")
             .and_then(|_| flush())
             .err();
+        // A drained service leaves no expired cache entries behind: reap
+        // every tier eagerly (after the flush, when traffic has stopped).
+        let cache_expired_reaped = self.service.sweep_caches();
         DrainReport {
             quiesced: in_flight_at_flush == 0,
             in_flight_at_flush,
             waited_ms: started.elapsed().as_millis() as u64,
             flush_error,
+            cache_expired_reaped,
         }
     }
 
@@ -829,6 +844,69 @@ mod tests {
         let before = gw.coalesce_key("lookup\u{1}x");
         gw.bump_generation();
         assert_ne!(before, gw.coalesce_key("lookup\u{1}x"));
+    }
+
+    #[test]
+    fn bump_generation_forwards_to_service_cache_tiers() {
+        let (gw, _) = small_gateway(1_000_000);
+        let token = gw.service().issue_token("bump");
+
+        gw.look_up(
+            &token,
+            "vaccine",
+            LookupParams::paper_default(),
+            CallOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(gw.service().cache_stats().inserts, 1);
+
+        gw.bump_generation();
+        let tiers = gw.cache_stats();
+        assert_eq!(tiers.generation, 1, "service version advanced");
+        assert_eq!(tiers.invalidation_bumps, 1);
+        assert!(tiers.invalidated_entries >= 1, "cached lookup flushed");
+
+        // The flushed entry is recomputed, not served stale.
+        gw.look_up(
+            &token,
+            "vaccine",
+            LookupParams::paper_default(),
+            CallOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(gw.service().cache_stats().misses, 2);
+        assert_eq!(gw.service().cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn drain_reaps_expired_cache_entries() {
+        let (gw, clock) = small_gateway(1_000_000);
+        let token = gw.service().issue_token("drain-sweep");
+
+        gw.look_up(
+            &token,
+            "vaccine",
+            LookupParams::paper_default(),
+            CallOptions::default(),
+        )
+        .unwrap();
+        gw.normalize(
+            &token,
+            "the vacc1ne mandates",
+            NormalizeParams::default(),
+            CallOptions::default(),
+        )
+        .unwrap();
+
+        clock.advance(ServiceConfig::default().cache_ttl_ms + 1);
+        let report = gw.drain_with(|| Ok(()));
+        assert!(report.quiesced);
+        assert!(
+            report.cache_expired_reaped >= 2,
+            "drain leaves no expired entries behind (reaped {})",
+            report.cache_expired_reaped
+        );
+        gw.end_drain();
     }
 
     #[test]

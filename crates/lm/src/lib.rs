@@ -141,6 +141,34 @@ impl LmBuilder {
     /// Freeze into an immutable model with the given interpolation.
     pub fn build(self, weights: Interpolation) -> NgramLm {
         let vocab_size = self.unigrams.len().max(1);
+        // Content digest: XOR-accumulated per-unigram hashes (order
+        // independent — FxHashMap iteration order is arbitrary) mixed with
+        // the model's scalar shape and the interpolation weights. Two
+        // replicas trained on the same corpus with the same weights agree;
+        // any retrain that changes a count diverges. Cache namespaces key
+        // on this so results scored by different models never alias.
+        let mut fingerprint: u64 = 0;
+        for (&sym, &count) in &self.unigrams {
+            let word_hash = self
+                .interner
+                .with_resolved(sym, cryptext_common::hash::fx_hash_str)
+                .unwrap_or(0);
+            let mut h = cryptext_common::FxHasher::default();
+            std::hash::Hasher::write_u64(&mut h, word_hash);
+            std::hash::Hasher::write_u64(&mut h, count);
+            fingerprint ^= std::hash::Hasher::finish(&h);
+        }
+        let mut h = cryptext_common::FxHasher::default();
+        std::hash::Hasher::write_u64(&mut h, fingerprint);
+        std::hash::Hasher::write_u64(&mut h, vocab_size as u64);
+        std::hash::Hasher::write_u64(&mut h, self.total_unigrams);
+        std::hash::Hasher::write_u64(&mut h, self.sentences);
+        std::hash::Hasher::write_u64(&mut h, self.bigrams.len() as u64);
+        std::hash::Hasher::write_u64(&mut h, self.trigrams.len() as u64);
+        for w in [weights.l3, weights.l2, weights.l1, weights.l0] {
+            std::hash::Hasher::write_u64(&mut h, w.to_bits());
+        }
+        let fingerprint = std::hash::Hasher::finish(&h);
         // History counts for symbols that never occur as unigrams (BOS in
         // practice) are a sum over every bigram starting with the symbol.
         // BOS is the history of *every* sentence-initial slot, so that sum
@@ -161,6 +189,7 @@ impl LmBuilder {
             vocab_size,
             weights,
             sentences: self.sentences,
+            fingerprint,
         }
     }
 }
@@ -178,6 +207,8 @@ pub struct NgramLm {
     vocab_size: usize,
     weights: Interpolation,
     sentences: u64,
+    /// Build-time content digest; see [`LmBuilder::build`].
+    fingerprint: u64,
 }
 
 impl NgramLm {
@@ -200,6 +231,14 @@ impl NgramLm {
     /// Number of training sentences.
     pub fn sentences(&self) -> u64 {
         self.sentences
+    }
+
+    /// A 64-bit content digest of the trained model (counts + weights):
+    /// equal for identically-trained replicas, different after any
+    /// retrain that changes a count. Cache namespaces include it so
+    /// memoized scores never cross model identities.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Is `word` in the trained vocabulary?
@@ -628,6 +667,34 @@ mod tests {
         assert!(lm.prob("x", "a", "b") > 0.0);
         assert!(lm.coherency("x", &["a"], &["b"]).is_finite());
         assert_eq!(lm.vocab_size(), 1, "clamped to avoid div-by-zero");
+    }
+
+    #[test]
+    fn fingerprint_is_content_derived() {
+        let a = NgramLm::train(["the democrats won", "the vaccine mandate"]);
+        let b = NgramLm::train(["the democrats won", "the vaccine mandate"]);
+        let c = NgramLm::train(["the democrats won"]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "replicas agree");
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "different corpus diverges"
+        );
+        let reweighted = {
+            let mut builder = LmBuilder::new();
+            builder.train_text("the democrats won\nthe vaccine mandate");
+            builder.build(Interpolation {
+                l3: 0.4,
+                l2: 0.4,
+                l1: 0.15,
+                l0: 0.05,
+            })
+        };
+        assert_ne!(
+            a.fingerprint(),
+            reweighted.fingerprint(),
+            "weights are part of the identity"
+        );
     }
 
     #[test]

@@ -677,3 +677,160 @@ fn chaos_drain_quiesces_sheds_and_loses_no_committed_batches() {
         )
         .is_ok());
 }
+
+#[test]
+fn a_mixed_hit_miss_storm_accounts_queue_waits_only_for_queued_hits() {
+    // The tiered result cache sits *behind* admission and single-flight
+    // (admission → single-flight → cache → engine), so a warm hit is
+    // admitted like any request — it just executes in microseconds. This
+    // storm mixes warm hits with a latched cold-key miss and pins the
+    // accounting: hits that found a free slot leave no queue-wait marks,
+    // hits that physically queued behind the cold leader are counted
+    // exactly once, and coalesced followers on the cold key still receive
+    // the leader's exact bytes (served on settle, never re-executed).
+    let (svc, _) = test_service(1_000_000);
+    let gw: Arc<Gateway<TokenDatabase>> = Arc::new(Gateway::new(
+        Arc::clone(&svc),
+        GatewayConfig {
+            lookup: RouteBudget::new(2, 2),
+            shed_retry_after_ms: 25,
+            ..GatewayConfig::default()
+        },
+    ));
+    let auth = svc.issue_token("mix");
+
+    // Warm two hot keys through the gateway itself (direct service calls
+    // would fill the same cache and skew the counts below). Both are
+    // engine misses that fill tier-1; the lane is empty, so no waits.
+    let hot_r = gw
+        .look_up(
+            &auth,
+            "republicans",
+            LookupParams::paper_default(),
+            CallOptions::default(),
+        )
+        .unwrap();
+    let hot_d = gw
+        .look_up(
+            &auth,
+            "democrats",
+            LookupParams::paper_default(),
+            CallOptions::default(),
+        )
+        .unwrap();
+    let warmed = svc.cache_stats();
+    assert_eq!((warmed.hits, warmed.misses), (0, 2));
+    assert_eq!(gw.stats().queue_waits, 0, "warming found free slots");
+
+    // Cold key: a latched leader occupies one execution slot...
+    let flights: Arc<SingleFlight<Vec<LookupHit>>> = Arc::new(SingleFlight::new());
+    let latch = Latch::new();
+    let cold_caller = |gw: &Arc<Gateway<TokenDatabase>>| {
+        let (gw, auth, latch, flights) = (
+            Arc::clone(gw),
+            auth.clone(),
+            Arc::clone(&latch),
+            Arc::clone(&flights),
+        );
+        std::thread::spawn(move || {
+            gw.call_coalesced(
+                RouteClass::Lookup,
+                0x0C01DCA11,
+                &auth,
+                CallOptions::default(),
+                &flights,
+                move |svc, _| {
+                    latch.wait();
+                    svc.look_up_prechecked("vaccine", LookupParams::paper_default(), &mut || None)
+                },
+            )
+        })
+    };
+    let leader = cold_caller(&gw);
+    eventually("cold leader executing", || gw.stats().active_now == 1);
+
+    // ...a duplicate attaches to its flight from the second slot...
+    let follower = cold_caller(&gw);
+    eventually("cold follower attached", || {
+        gw.stats().coalesced_followers == 1
+    });
+
+    // ...and two warm hits arrive behind it, one per hot key (distinct
+    // coalescing keys, so neither attaches to the other): both must take
+    // queue seats — a hit is admitted like any request.
+    let warm_caller = |token: &str| {
+        let (gw, auth, token) = (Arc::clone(&gw), auth.clone(), token.to_string());
+        std::thread::spawn(move || {
+            gw.look_up(
+                &auth,
+                &token,
+                LookupParams::paper_default(),
+                CallOptions::default(),
+            )
+        })
+    };
+    let queued_r = warm_caller("republicans");
+    eventually("first warm hit queued", || gw.stats().queued_now == 1);
+    let queued_d = warm_caller("democrats");
+    eventually("second warm hit queued", || gw.stats().queued_now == 2);
+
+    // Lane saturated (2 executing + 2 queued): further warm hits shed
+    // immediately — a cached result does not bypass admission control.
+    let shed: Vec<_> = (0..4)
+        .map(|i| {
+            warm_caller(if i % 2 == 0 {
+                "republicans"
+            } else {
+                "democrats"
+            })
+        })
+        .collect();
+    eventually("excess warm hits shed", || gw.stats().shed_queue_full == 4);
+    assert_eq!(
+        gw.stats().queue_waits,
+        0,
+        "nothing has finished a queue wait while the leader holds its slot"
+    );
+    assert_eq!(svc.cache_stats().hits, 0, "queued hits have not executed");
+
+    latch.open();
+
+    // Cold cohort: leader computes once, follower gets the exact bytes.
+    let leader_hits = leader.join().unwrap().expect("cold leader succeeds");
+    let follower_hits = follower.join().unwrap().expect("cold follower succeeds");
+    assert_eq!(
+        follower_hits, leader_hits,
+        "follower gets the leader's exact bytes on the cold key"
+    );
+
+    // Queued warm hits drain through the freed slots and serve from cache.
+    assert_eq!(queued_r.join().unwrap().unwrap(), hot_r);
+    assert_eq!(queued_d.join().unwrap().unwrap(), hot_d);
+    for h in shed {
+        match h.join().unwrap() {
+            Err(Error::Overloaded { retry_after_ms }) => assert_eq!(retry_after_ms, 25),
+            other => panic!("saturated lane must shed: {other:?}"),
+        }
+    }
+
+    let s = gw.stats();
+    assert_eq!(
+        s.queue_waits, 2,
+        "exactly the two queued warm hits are accounted as waits"
+    );
+    assert_eq!(s.executions, 5, "2 warmups + cold leader + 2 queued hits");
+    assert_eq!(s.coalesced_followers, 1);
+    assert_eq!(s.promoted_followers, 0);
+    assert_eq!(s.admitted, 6, "warmups, cold pair, queued hits");
+    assert_eq!(s.completed_ok, 6);
+    assert_eq!(s.shed_queue_full, 4);
+    assert_eq!((s.active_now, s.queued_now), (0, 0));
+
+    let c = svc.cache_stats();
+    assert_eq!(c.misses, 3, "two warmups plus the cold leader");
+    assert_eq!(c.hits, 2, "both queued requests served from tier-1");
+    assert_eq!(c.inserts, 3);
+    let tiers = gw.cache_stats();
+    assert_eq!(tiers.lookup.hits, 2);
+    assert_eq!(tiers.generation, 0);
+}
