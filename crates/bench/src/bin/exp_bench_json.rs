@@ -32,7 +32,14 @@
 //!   a mid-stream generation bump. The hit/miss/invalidation counts are
 //!   a pure function of the seeded replay and pinned by `--check`, which
 //!   additionally gates two wide-margin latency invariants: warm-hit p50
-//!   ≤ 1/3 of the uncached p50, and replay p99 below the uncached p99.
+//!   ≤ 1/3 of the uncached p50, and replay p99 below the uncached p99,
+//! * the HTTP wire dimension (`BENCH_http.json`): the same Look Up mix
+//!   over a real loopback socket (one keep-alive connection through
+//!   `cryptext-http`) vs the direct `Gateway` call, so the wire tax —
+//!   parse + route + serialize + two kernel crossings — is measured
+//!   apart from the layering tax. Result shapes (wire hits == direct
+//!   hits) and the served-request count are deterministic and pinned by
+//!   `--check`; the latency numbers are informational.
 //!
 //! ```text
 //! cargo run --release -p cryptext-bench --bin exp_bench_json
@@ -61,6 +68,7 @@ use cryptext_docstore::Database;
 use cryptext_gateway::{
     CallOptions, Gateway, GatewayConfig, RouteBudget, RouteClass, SingleFlight,
 };
+use cryptext_http::{HttpConfig, HttpServer};
 
 const N_POSTS: usize = 4_000;
 const SEED: u64 = 7;
@@ -87,6 +95,9 @@ const STORM_BUDGET: (usize, usize) = (2, 2);
 const WAVE_REQUESTS: usize = 8;
 /// Rounds for the admission-overhead comparison (gateway vs direct).
 const SERVICE_ROUNDS: usize = 40;
+/// Rounds for the HTTP wire-overhead comparison (loopback socket vs
+/// direct gateway call), over the same six-query mix.
+const HTTP_ROUNDS: usize = 200;
 /// The cache dimension's Zipf replay: [`CACHE_REPLAY`] normalize requests
 /// drawn Zipf-style (exponent [`CACHE_ZIPF_S`]) from a pool of
 /// [`CACHE_POOL`] distinct feed texts — hot texts repeat, the tail stays
@@ -520,6 +531,143 @@ fn check_service() -> Result<(), String> {
     Ok(())
 }
 
+/// The six-query mix shared by the admission-overhead and wire-overhead
+/// comparisons: clean words, an observed perturbation source, a miss.
+const GATE_QUERIES: [&str; 6] = [
+    "republicans",
+    "democrats",
+    "vaccine",
+    "mandates",
+    "dirty",
+    "zzzmiss",
+];
+
+/// One Look Up over an open keep-alive connection; returns the hit
+/// count parsed out of the JSON body (so the wire path's result shape
+/// can be pinned against the direct path's).
+fn http_lookup(stream: &mut std::net::TcpStream, token: &str, query: &str) -> usize {
+    use std::io::{Read, Write};
+    stream
+        .write_all(
+            format!(
+                "GET /lookup?q={query} HTTP/1.1\r\nHost: bench\r\nAuthorization: Bearer {token}\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .expect("wire send");
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..pos]).expect("UTF-8 headers");
+            assert!(
+                head.starts_with("HTTP/1.1 200"),
+                "wire lookup for {query:?} answered {head:?}"
+            );
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.parse().ok())
+                .expect("Content-Length");
+            while buf.len() < pos + 4 + content_length {
+                let n = stream.read(&mut chunk).expect("wire read");
+                assert!(n > 0, "server closed mid-body");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            let body =
+                std::str::from_utf8(&buf[pos + 4..pos + 4 + content_length]).expect("UTF-8 body");
+            return body.matches("\"token\":").count();
+        }
+        let n = stream.read(&mut chunk).expect("wire read");
+        assert!(n > 0, "server closed mid-headers");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Outcome of the HTTP wire-overhead run: the same workload measured
+/// over the loopback socket and via the direct gateway call, plus the
+/// server's own served-request count.
+struct HttpOverhead {
+    wire: Measured,
+    direct: Measured,
+    requests_served: u64,
+}
+
+/// Serve the bench fixture over loopback HTTP and run the comparison.
+/// Single connection, sequential requests: the difference between the
+/// two measurements is pure wire tax (parse + route + serialize + two
+/// kernel crossings), not contention.
+fn run_http_overhead(rounds: usize) -> HttpOverhead {
+    let svc = service_fixture();
+    let gw: Arc<Gateway<TokenDatabase>> =
+        Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
+    let auth = svc.issue_token("bench-http");
+    let params = LookupParams::paper_default();
+
+    let server =
+        HttpServer::bind(Arc::clone(&gw), HttpConfig::default(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let serve = std::thread::spawn(move || server.serve());
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    for _ in 0..WARMUP_ROUNDS {
+        for q in GATE_QUERIES {
+            let _ = http_lookup(&mut stream, auth.as_str(), q);
+            let _ = gw
+                .look_up(&auth, q, params, CallOptions::default())
+                .unwrap();
+        }
+    }
+    let wire = measure(&GATE_QUERIES, rounds, |q| {
+        http_lookup(&mut stream, auth.as_str(), q)
+    });
+    let direct = measure(&GATE_QUERIES, rounds, |q| {
+        gw.look_up(&auth, q, params, CallOptions::default())
+            .unwrap()
+            .len()
+    });
+    assert_eq!(
+        wire.total_hits, direct.total_hits,
+        "the wire layer adds transport, not different results"
+    );
+    drop(stream);
+    handle.shutdown();
+    let report = serve.join().expect("serve thread");
+    HttpOverhead {
+        wire,
+        direct,
+        requests_served: report.requests_served,
+    }
+}
+
+/// The wire dimension's invariants are deterministic (result shapes and
+/// request counts, not timings), so `--check` re-runs the loopback
+/// comparison live and pins the committed counts against it.
+fn check_http() -> Result<(), String> {
+    let json = std::fs::read_to_string("BENCH_http.json")
+        .map_err(|e| format!("read BENCH_http.json: {e}"))?;
+    let fresh = run_http_overhead(HTTP_ROUNDS);
+    let checks = [
+        (
+            "total_hits",
+            vec![fresh.wire.total_hits as u64, fresh.direct.total_hits as u64],
+        ),
+        ("requests_served", vec![fresh.requests_served]),
+        ("rounds", vec![HTTP_ROUNDS as u64]),
+    ];
+    for (key, want) in checks {
+        let got = extract_ints(&json, key);
+        if got != want {
+            return Err(format!(
+                "BENCH_http.json {key} is {got:?}, expected {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// A deterministic Zipf-distributed index sequence over `pool` items:
 /// xorshift64* stream mapped through the CDF of `1/(i+1)^s` weights. Pure
 /// function of the seed, so `--check` replays the exact same workload.
@@ -818,6 +966,7 @@ fn main() {
             .and_then(|()| check_ingest(&texts))
             .and_then(|()| check_service())
             .and_then(|()| check_cache(&platform))
+            .and_then(|()| check_http())
         {
             Ok(()) => {
                 println!(
@@ -1119,14 +1268,7 @@ fn main() {
     let gw: Arc<Gateway<TokenDatabase>> =
         Arc::new(Gateway::new(Arc::clone(&svc), GatewayConfig::default()));
     let auth = svc.issue_token("bench-overhead");
-    let gate_queries = [
-        "republicans",
-        "democrats",
-        "vaccine",
-        "mandates",
-        "dirty",
-        "zzzmiss",
-    ];
+    let gate_queries = GATE_QUERIES;
     for _ in 0..WARMUP_ROUNDS {
         for q in gate_queries {
             let _ = svc.look_up(&auth, q, params).unwrap();
@@ -1242,6 +1384,31 @@ fn main() {
     std::fs::write("BENCH_cache.json", &out).expect("write BENCH_cache.json");
     print!("{out}");
 
+    // ---- BENCH_http.json (HTTP wire dimension) ----
+    let http = run_http_overhead(HTTP_ROUNDS);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"http\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{ \"queries\": {}, \"rounds\": {HTTP_ROUNDS} }},",
+        GATE_QUERIES.len()
+    );
+    out.push_str("  \"paths\": {\n");
+    json_block(&mut out, "wire", &http.wire, "total_hits", false);
+    json_block(&mut out, "direct_gateway", &http.direct, "total_hits", true);
+    out.push_str("  },\n");
+    let _ = writeln!(
+        out,
+        "  \"wire_overhead\": {{ \"p50_us\": {:.2}, \"p99_us\": {:.2} }},",
+        http.wire.p50_us - http.direct.p50_us,
+        http.wire.p99_us - http.direct.p99_us
+    );
+    let _ = writeln!(out, "  \"requests_served\": {}", http.requests_served);
+    out.push_str("}\n");
+    std::fs::write("BENCH_http.json", &out).expect("write BENCH_http.json");
+    print!("{out}");
+
     eprintln!(
         "lookup p50: optimized {:.2}µs vs naive {:.2}µs → {lookup_speedup:.2}x",
         optimized.p50_us, naive.p50_us
@@ -1286,5 +1453,13 @@ fn main() {
         cache.candidate_hits,
         cache.candidate_misses,
         cache.negative_candidate_hits
+    );
+    eprintln!(
+        "http: wire p50 {:.2}µs vs direct gateway {:.2}µs → {:.2}µs wire tax \
+         ({} requests over one keep-alive connection)",
+        http.wire.p50_us,
+        http.direct.p50_us,
+        http.wire.p50_us - http.direct.p50_us,
+        http.requests_served
     );
 }

@@ -87,6 +87,56 @@ impl Error {
         }
     }
 
+    /// The canonical HTTP status code for this error — the one wire
+    /// mapping every layer (gateway envelope, HTTP server, tests) speaks:
+    ///
+    /// | variant | status |
+    /// |---|---|
+    /// | `InvalidArgument` | 400 |
+    /// | `Unauthorized` | 403 (credentials presented and refused; a *missing* credential is the wire layer's 401) |
+    /// | `NotFound` | 404 |
+    /// | `Conflict` | 409 |
+    /// | `RateLimited` / `Overloaded` | 429 (+ `Retry-After` from [`Self::retry_after`]) |
+    /// | `DeadlineExceeded` | 504 |
+    /// | `Io` / `Corrupt` / `Serde` / `Internal` | 500 |
+    pub fn status_code(&self) -> u16 {
+        match self {
+            Error::InvalidArgument(_) => 400,
+            Error::Unauthorized(_) => 403,
+            Error::NotFound(_) => 404,
+            Error::Conflict(_) => 409,
+            Error::RateLimited { .. } | Error::Overloaded { .. } => 429,
+            Error::DeadlineExceeded { .. } => 504,
+            Error::Io(_) | Error::Corrupt(_) | Error::Serde(_) | Error::Internal(_) => 500,
+        }
+    }
+
+    /// The `Retry-After` header value (whole seconds, rounded **up** so a
+    /// client honoring it never retries inside the throttled window) for
+    /// throttling errors, `None` otherwise. The millisecond-precision hint
+    /// remains available via [`Self::retry_after_ms`].
+    pub fn retry_after(&self) -> Option<u64> {
+        self.retry_after_ms().map(|ms| ms.div_ceil(1000).max(1))
+    }
+
+    /// Stable snake_case label for the error category (wire bodies, logs,
+    /// metrics). One label per variant, no payload.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Error::Io(_) => "io",
+            Error::Corrupt(_) => "corrupt",
+            Error::NotFound(_) => "not_found",
+            Error::InvalidArgument(_) => "invalid_argument",
+            Error::Conflict(_) => "conflict",
+            Error::Unauthorized(_) => "unauthorized",
+            Error::RateLimited { .. } => "rate_limited",
+            Error::Overloaded { .. } => "overloaded",
+            Error::DeadlineExceeded { .. } => "deadline_exceeded",
+            Error::Serde(_) => "serde",
+            Error::Internal(_) => "internal",
+        }
+    }
+
     /// A structural copy of this error, for broadcasting one failure to
     /// several coalesced waiters. `std::io::Error` is not `Clone`, so the
     /// I/O arm is rebuilt from its kind and message; every other arm
@@ -231,6 +281,50 @@ mod tests {
         ] {
             assert_eq!(e.duplicate().to_string(), e.to_string());
         }
+    }
+
+    #[test]
+    fn every_variant_has_a_canonical_status() {
+        let cases: Vec<(Error, u16, &str)> = vec![
+            (Error::Io(std::io::Error::other("net")), 500, "io"),
+            (Error::Corrupt("magic".into()), 500, "corrupt"),
+            (Error::NotFound("doc".into()), 404, "not_found"),
+            (Error::InvalidArgument("k".into()), 400, "invalid_argument"),
+            (Error::Conflict("dup".into()), 409, "conflict"),
+            (Error::Unauthorized("tok".into()), 403, "unauthorized"),
+            (
+                Error::RateLimited { retry_after_ms: 1 },
+                429,
+                "rate_limited",
+            ),
+            (Error::Overloaded { retry_after_ms: 1 }, 429, "overloaded"),
+            (
+                Error::DeadlineExceeded { budget_ms: 5 },
+                504,
+                "deadline_exceeded",
+            ),
+            (Error::Serde("bad".into()), 500, "serde"),
+            (Error::Internal("bug".into()), 500, "internal"),
+        ];
+        for (e, status, label) in cases {
+            assert_eq!(e.status_code(), status, "{e}");
+            assert_eq!(e.kind_label(), label, "{e}");
+        }
+    }
+
+    #[test]
+    fn retry_after_rounds_up_to_whole_seconds() {
+        let hint = |ms| Error::RateLimited { retry_after_ms: ms }.retry_after();
+        assert_eq!(hint(60_000), Some(60));
+        assert_eq!(hint(1_001), Some(2), "partial seconds round up");
+        assert_eq!(hint(25), Some(1), "sub-second hints never collapse to 0");
+        assert_eq!(hint(0), Some(1));
+        assert_eq!(
+            Error::Overloaded { retry_after_ms: 25 }.retry_after(),
+            Some(1)
+        );
+        assert_eq!(Error::DeadlineExceeded { budget_ms: 9 }.retry_after(), None);
+        assert_eq!(Error::invalid("x").retry_after(), None);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Minimal hand-rolled JSON *writing* helpers.
+//!
+//! The workspace has no registry access, so wire-facing crates (the
+//! gateway's response envelope, the HTTP server's bodies, the unified
+//! stats report) serialize by hand instead of through a real serde. This
+//! module keeps the fiddly parts — string escaping and float formatting —
+//! in one audited place; structure (objects, arrays, commas) stays at the
+//! call site where the shape is visible.
+//!
+//! Writing only: the workspace never *parses* JSON on a hot path, and the
+//! bench checker's line-oriented `extract_ints` is deliberately not a
+//! parser.
+
+/// Append `s` to `out` as a JSON string literal, quotes included.
+///
+/// Escapes the two mandatory characters (`"`, `\`), the named control
+/// shorthands, and every other control byte as `\u00XX`. Everything else
+/// (UTF-8 multibyte included) passes through verbatim — JSON strings are
+/// Unicode text.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON string literal of `s` (allocating convenience form of
+/// [`push_str_escaped`]).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str_escaped(&mut out, s);
+    out
+}
+
+/// Render an `f64` as a JSON number. JSON has no NaN/Infinity; those
+/// degrade to `null` (the conventional lenient mapping) rather than
+/// emitting an invalid document.
+pub fn float(x: f64) -> String {
+    if x.is_finite() {
+        // `{}` on f64 is shortest-roundtrip, always contains enough
+        // precision, and never produces exponent-free ambiguity JSON
+        // parsers reject.
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(string("a\nb\tc\r"), "\"a\\nb\\tc\\r\"");
+        assert_eq!(string("\u{08}\u{0C}"), "\"\\b\\f\"");
+        assert_eq!(string("\u{01}"), "\"\\u0001\"");
+        assert_eq!(string("héllo ✓"), "\"héllo ✓\"", "UTF-8 passes through");
+    }
+
+    #[test]
+    fn floats_render_finite_values_and_null_otherwise() {
+        assert_eq!(float(1.5), "1.5");
+        assert_eq!(float(0.0), "0");
+        assert_eq!(float(-2.25), "-2.25");
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+    }
+}

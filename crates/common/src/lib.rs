@@ -28,6 +28,7 @@ pub mod error;
 pub mod failpoint;
 pub mod hash;
 pub mod interner;
+pub mod jsonfmt;
 pub mod par;
 pub mod rng;
 pub mod text;

@@ -61,6 +61,28 @@ impl ApiToken {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Rebuild a token from its raw string — the inverse of
+    /// [`Self::as_str`], for wire layers that receive the credential in a
+    /// header. Construction does **not** validate: an unknown or revoked
+    /// string still authorizes to `Unauthorized` exactly like a revoked
+    /// issued token.
+    pub fn from_raw(raw: impl Into<String>) -> Self {
+        ApiToken(raw.into())
+    }
+}
+
+/// Where a cached endpoint's result came from, for response cache
+/// metadata (the HTTP layer derives `Cache-Control`-style hints from it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Tier-1 whole-result hit: the Look Up result cache or the
+    /// whole-text Normalization result cache answered without touching
+    /// retrieval or scoring.
+    Tier1Hit,
+    /// Computed this request (lower tiers — candidate memo, tier-2 —
+    /// may still have contributed pieces).
+    Cold,
 }
 
 /// Service configuration.
@@ -512,9 +534,23 @@ impl<S: TokenStore> CryptextService<S> {
         params: LookupParams,
         cancel: &mut dyn FnMut() -> Option<Error>,
     ) -> Result<Vec<LookupHit>> {
+        self.look_up_prechecked_traced(token, params, cancel)
+            .map(|(hits, _)| hits)
+    }
+
+    /// [`Self::look_up_prechecked`] plus provenance: whether tier-1
+    /// answered ([`Served::Tier1Hit`]) or the store walk ran
+    /// ([`Served::Cold`]). The gateway's response envelope carries this
+    /// through to wire-level cache headers.
+    pub fn look_up_prechecked_traced(
+        &self,
+        token: &str,
+        params: LookupParams,
+        cancel: &mut dyn FnMut() -> Option<Error>,
+    ) -> Result<(Vec<LookupHit>, Served)> {
         let key = self.lookup_cache_key(token, params);
         if let Some(hits) = self.lookup_cache.get(&key) {
-            return Ok(hits);
+            return Ok((hits, Served::Tier1Hit));
         }
         let hits = PRECHECKED_SCRATCH.with(|scratch| {
             look_up_cancellable(
@@ -526,7 +562,7 @@ impl<S: TokenStore> CryptextService<S> {
             )
         })?;
         self.lookup_cache.insert(key, hits.clone());
-        Ok(hits)
+        Ok((hits, Served::Cold))
     }
 
     /// Normalization after external authorization (see
@@ -538,6 +574,18 @@ impl<S: TokenStore> CryptextService<S> {
         text: &str,
         params: NormalizeParams,
     ) -> Result<NormalizationResult> {
+        self.normalize_through_cache(text, params).map(|(r, _)| r)
+    }
+
+    /// [`Self::normalize_prechecked`] plus provenance: whether the
+    /// whole-text result cache answered ([`Served::Tier1Hit`]) or
+    /// retrieval + scoring ran ([`Served::Cold`] — per-token candidate
+    /// memo hits still count as cold, the *result* was assembled fresh).
+    pub fn normalize_prechecked_traced(
+        &self,
+        text: &str,
+        params: NormalizeParams,
+    ) -> Result<(NormalizationResult, Served)> {
         self.normalize_through_cache(text, params)
     }
 
@@ -554,10 +602,10 @@ impl<S: TokenStore> CryptextService<S> {
         &self,
         text: &str,
         params: NormalizeParams,
-    ) -> Result<NormalizationResult> {
+    ) -> Result<(NormalizationResult, Served)> {
         let result_key = self.normalize_result_key(text, params);
         if let Some(result) = self.norm_result_cache.get(&result_key) {
-            return Ok(result);
+            return Ok((result, Served::Tier1Hit));
         }
         let cache = ServiceCandidateCache { svc: self };
         let result = NORMALIZE_SCRATCH.with(|scratch| {
@@ -570,7 +618,7 @@ impl<S: TokenStore> CryptextService<S> {
             )
         })?;
         self.norm_result_cache.insert(result_key, result.clone());
-        Ok(result)
+        Ok((result, Served::Cold))
     }
 
     /// Perturbation after external authorization (see
@@ -645,7 +693,7 @@ impl<S: TokenStore> CryptextService<S> {
         params: NormalizeParams,
     ) -> Result<NormalizationResult> {
         self.authorize(auth)?;
-        self.normalize_through_cache(text, params)
+        self.normalize_through_cache(text, params).map(|(r, _)| r)
     }
 
     /// Bulk Normalization, fanned out across cores with results in input
@@ -657,7 +705,9 @@ impl<S: TokenStore> CryptextService<S> {
         params: NormalizeParams,
     ) -> Result<Vec<NormalizationResult>> {
         self.authorize(auth)?;
-        try_par_map(texts, |t| self.normalize_through_cache(t, params))
+        try_par_map(texts, |t| {
+            self.normalize_through_cache(t, params).map(|(r, _)| r)
+        })
     }
 
     /// Perturbation endpoint.
@@ -709,6 +759,12 @@ impl<S: TokenStore> CryptextService<S> {
     /// The wrapped system (read access).
     pub fn system(&self) -> &CrypText<S> {
         &self.system
+    }
+
+    /// The active configuration (the HTTP layer derives `Cache-Control`
+    /// max-age from the cache TTL).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
     }
 }
 

@@ -38,10 +38,12 @@ pub struct RouteAdmission {
     cv: Condvar,
 }
 
-/// A successful admission: the permit plus whether the request had to
-/// queue first (stats attribution).
+/// A successfully acquired slot: the permit plus whether the request had
+/// to queue first (stats attribution). The gateway folds this into its
+/// own [`Admitted`](crate::gateway::Admitted) once authorization also
+/// passes.
 #[derive(Debug)]
-pub(crate) struct Admitted {
+pub(crate) struct Acquired {
     pub permit: Permit,
     pub waited: bool,
 }
@@ -112,7 +114,7 @@ impl RouteAdmission {
         deadline: &Deadline,
         draining: &AtomicBool,
         shed_retry_after_ms: u64,
-    ) -> Result<Admitted> {
+    ) -> Result<Acquired> {
         let overloaded = || Error::Overloaded {
             retry_after_ms: shed_retry_after_ms,
         };
@@ -122,7 +124,7 @@ impl RouteAdmission {
         }
         if st.active < self.budget.max_concurrent {
             st.active += 1;
-            return Ok(Admitted {
+            return Ok(Acquired {
                 permit: Permit {
                     route: Arc::clone(self),
                 },
@@ -148,7 +150,7 @@ impl RouteAdmission {
             if st.active < self.budget.max_concurrent {
                 st.queued -= 1;
                 st.active += 1;
-                return Ok(Admitted {
+                return Ok(Acquired {
                     permit: Permit {
                         route: Arc::clone(self),
                     },

@@ -1,0 +1,369 @@
+//! The unified request/response envelope — one typed entry point for
+//! every route, so wire layers (HTTP, benches, tests) speak a single
+//! vocabulary instead of three ad-hoc method signatures.
+//!
+//! A [`Request`] is route + input + parameters + per-call options; the
+//! route is implied by the parameter variant, so a request can never
+//! pair Lookup parameters with the Normalize lane. A [`Response`] is the
+//! typed output plus the metadata a cache in front of the service needs:
+//! the data generation the result was computed under and a
+//! [`CacheDisposition`] saying whether tier-1 served it. The typed
+//! convenience methods on `Gateway` (`look_up`, `normalize`, `perturb`)
+//! are thin shims over [`Gateway::handle`](crate::Gateway::handle).
+
+use cryptext_common::jsonfmt;
+use cryptext_core::lookup::{LookupHit, LookupParams};
+use cryptext_core::normalize::{NormalizationResult, NormalizeParams};
+use cryptext_core::perturb::{PerturbParams, PerturbationOutcome};
+use cryptext_core::service::Served;
+
+use crate::gateway::CallOptions;
+use crate::RouteClass;
+
+/// Parameters for one route; the variant *is* the route selection.
+#[derive(Debug, Clone, Copy)]
+pub enum RouteParams {
+    /// Look Up: `P_x` retrieval for one token.
+    Lookup(LookupParams),
+    /// Normalization: perturbed text back to dictionary words.
+    Normalize(NormalizeParams),
+    /// Perturbation: rewriting a text with database perturbations.
+    Perturb(PerturbParams),
+}
+
+impl RouteParams {
+    /// The route class these parameters select.
+    pub fn route(&self) -> RouteClass {
+        match self {
+            RouteParams::Lookup(_) => RouteClass::Lookup,
+            RouteParams::Normalize(_) => RouteClass::Normalize,
+            RouteParams::Perturb(_) => RouteClass::Perturb,
+        }
+    }
+}
+
+/// One request through the gateway: the input text (a token for Look Up,
+/// a whole text otherwise), the route-selecting parameters, and per-call
+/// overrides.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The query token (Lookup) or source text (Normalize/Perturb).
+    pub input: String,
+    /// Route + parameters.
+    pub params: RouteParams,
+    /// Per-call deadline/retry overrides.
+    pub opts: CallOptions,
+}
+
+impl Request {
+    /// A Look Up request with default call options.
+    pub fn lookup(token: impl Into<String>, params: LookupParams) -> Self {
+        Request {
+            input: token.into(),
+            params: RouteParams::Lookup(params),
+            opts: CallOptions::default(),
+        }
+    }
+
+    /// A Normalization request with default call options.
+    pub fn normalize(text: impl Into<String>, params: NormalizeParams) -> Self {
+        Request {
+            input: text.into(),
+            params: RouteParams::Normalize(params),
+            opts: CallOptions::default(),
+        }
+    }
+
+    /// A Perturbation request with default call options.
+    pub fn perturb(text: impl Into<String>, params: PerturbParams) -> Self {
+        Request {
+            input: text.into(),
+            params: RouteParams::Perturb(params),
+            opts: CallOptions::default(),
+        }
+    }
+
+    /// Replace the call options.
+    pub fn with_opts(mut self, opts: CallOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The route class this request targets.
+    pub fn route(&self) -> RouteClass {
+        self.params.route()
+    }
+}
+
+/// Typed output of one route.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteOutput {
+    /// Look Up hits, rank order.
+    Lookup(Vec<LookupHit>),
+    /// The normalized text with its corrections.
+    Normalize(NormalizationResult),
+    /// The perturbed text with its replacements.
+    Perturb(PerturbationOutcome),
+}
+
+impl RouteOutput {
+    /// The Look Up hits, if this is a Lookup output.
+    pub fn into_lookup(self) -> Option<Vec<LookupHit>> {
+        match self {
+            RouteOutput::Lookup(hits) => Some(hits),
+            _ => None,
+        }
+    }
+
+    /// The Normalization result, if this is a Normalize output.
+    pub fn into_normalize(self) -> Option<NormalizationResult> {
+        match self {
+            RouteOutput::Normalize(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The Perturbation outcome, if this is a Perturb output.
+    pub fn into_perturb(self) -> Option<PerturbationOutcome> {
+        match self {
+            RouteOutput::Perturb(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The wire body: a JSON document per route (see `crates/http`'s
+    /// README for the exact shapes).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        match self {
+            RouteOutput::Lookup(hits) => {
+                out.push_str("{\"hits\":[");
+                for (i, h) in hits.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"token\":");
+                    jsonfmt::push_str_escaped(&mut out, &h.token);
+                    out.push_str(&format!(
+                        ",\"count\":{},\"distance\":{},\"is_english\":{}}}",
+                        h.count, h.distance, h.is_english
+                    ));
+                }
+                out.push_str("]}");
+            }
+            RouteOutput::Normalize(r) => {
+                out.push_str("{\"text\":");
+                jsonfmt::push_str_escaped(&mut out, &r.text);
+                out.push_str(",\"corrections\":[");
+                for (i, c) in r.corrections.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"original\":");
+                    jsonfmt::push_str_escaped(&mut out, &c.original);
+                    out.push_str(",\"replacement\":");
+                    jsonfmt::push_str_escaped(&mut out, &c.replacement);
+                    out.push_str(&format!(
+                        ",\"start\":{},\"end\":{},\"score\":{},\"candidates\":[",
+                        c.span.start,
+                        c.span.end,
+                        jsonfmt::float(c.score)
+                    ));
+                    for (j, cand) in c.candidates.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str("{\"word\":");
+                        jsonfmt::push_str_escaped(&mut out, &cand.word);
+                        out.push_str(&format!(
+                            ",\"score\":{},\"distance\":{}}}",
+                            jsonfmt::float(cand.score),
+                            cand.distance
+                        ));
+                    }
+                    out.push_str("]}");
+                }
+                out.push_str("]}");
+            }
+            RouteOutput::Perturb(o) => {
+                out.push_str("{\"text\":");
+                jsonfmt::push_str_escaped(&mut out, &o.text);
+                out.push_str(",\"replacements\":[");
+                for (i, r) in o.replacements.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"original\":");
+                    jsonfmt::push_str_escaped(&mut out, &r.original);
+                    out.push_str(",\"replacement\":");
+                    jsonfmt::push_str_escaped(&mut out, &r.replacement);
+                    out.push_str(&format!(
+                        ",\"start\":{},\"end\":{}}}",
+                        r.span.start, r.span.end
+                    ));
+                }
+                out.push_str(&format!("],\"misses\":{}}}", o.misses));
+            }
+        }
+        out
+    }
+}
+
+/// How the service answered, from a front cache's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Tier-1 served the exact result without recomputation. Coalesced
+    /// followers inherit their leader's disposition — the cohort shared
+    /// one execution, hit or not.
+    Hit,
+    /// The result was computed (and is now cached for the next caller).
+    Cold,
+    /// The route is uncacheable (Perturbation re-rolls its RNG per call).
+    Bypass,
+}
+
+impl CacheDisposition {
+    /// Stable lower-case label (the `X-Cryptext-Cache` header value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Cold => "cold",
+            CacheDisposition::Bypass => "bypass",
+        }
+    }
+
+    /// Can a cache in front of the service store this response at all?
+    pub fn cacheable(&self) -> bool {
+        !matches!(self, CacheDisposition::Bypass)
+    }
+
+    pub(crate) fn from_served(served: Served) -> Self {
+        match served {
+            Served::Tier1Hit => CacheDisposition::Hit,
+            Served::Cold => CacheDisposition::Cold,
+        }
+    }
+}
+
+/// One response from the gateway: the typed output plus the metadata a
+/// CDN-style cache keys on. `body_json` renders the wire body on demand,
+/// so in-process callers (the typed shims, benches) never pay for
+/// serialization they don't use.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The typed route output.
+    pub output: RouteOutput,
+    /// Data generation the result was computed under; bumps on ingest.
+    pub generation: u64,
+    /// Whether tier-1 served it (drives `Cache-Control`/`Age` hints).
+    pub cache: CacheDisposition,
+}
+
+impl Response {
+    /// The JSON wire body.
+    pub fn body_json(&self) -> Vec<u8> {
+        self.output.to_json().into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptext_core::normalize::{Candidate, Correction};
+    use cryptext_core::perturb::AppliedPerturbation;
+
+    #[test]
+    fn params_variant_selects_the_route() {
+        assert_eq!(
+            Request::lookup("x", LookupParams::paper_default()).route(),
+            RouteClass::Lookup
+        );
+        assert_eq!(
+            Request::normalize("x", NormalizeParams::default()).route(),
+            RouteClass::Normalize
+        );
+        assert_eq!(
+            Request::perturb("x", PerturbParams::with_ratio(0.5)).route(),
+            RouteClass::Perturb
+        );
+    }
+
+    #[test]
+    fn lookup_json_shape() {
+        let out = RouteOutput::Lookup(vec![LookupHit {
+            token: "va\"xx".into(),
+            count: 3,
+            distance: 1,
+            is_english: false,
+        }]);
+        assert_eq!(
+            out.to_json(),
+            r#"{"hits":[{"token":"va\"xx","count":3,"distance":1,"is_english":false}]}"#
+        );
+        assert_eq!(RouteOutput::Lookup(vec![]).to_json(), r#"{"hits":[]}"#);
+    }
+
+    #[test]
+    fn normalize_json_shape() {
+        let out = RouteOutput::Normalize(NormalizationResult {
+            text: "the vaccine".into(),
+            corrections: vec![Correction {
+                original: "vacc1ne".into(),
+                replacement: "vaccine".into(),
+                span: 4..11,
+                score: 1.5,
+                candidates: vec![Candidate {
+                    word: "vaccine".into(),
+                    score: 1.5,
+                    distance: 1,
+                }],
+            }],
+        });
+        assert_eq!(
+            out.to_json(),
+            concat!(
+                r#"{"text":"the vaccine","corrections":[{"original":"vacc1ne","#,
+                r#""replacement":"vaccine","start":4,"end":11,"score":1.5,"#,
+                r#""candidates":[{"word":"vaccine","score":1.5,"distance":1}]}]}"#
+            )
+        );
+    }
+
+    #[test]
+    fn perturb_json_shape() {
+        let out = RouteOutput::Perturb(PerturbationOutcome {
+            text: "the vacc1ne".into(),
+            replacements: vec![AppliedPerturbation {
+                original: "vaccine".into(),
+                replacement: "vacc1ne".into(),
+                span: 4..11,
+            }],
+            misses: 2,
+        });
+        assert_eq!(
+            out.to_json(),
+            concat!(
+                r#"{"text":"the vacc1ne","replacements":[{"original":"vaccine","#,
+                r#""replacement":"vacc1ne","start":4,"end":11}],"misses":2}"#
+            )
+        );
+    }
+
+    #[test]
+    fn disposition_labels_and_cacheability() {
+        assert_eq!(CacheDisposition::Hit.label(), "hit");
+        assert_eq!(CacheDisposition::Cold.label(), "cold");
+        assert_eq!(CacheDisposition::Bypass.label(), "bypass");
+        assert!(CacheDisposition::Hit.cacheable());
+        assert!(CacheDisposition::Cold.cacheable());
+        assert!(!CacheDisposition::Bypass.cacheable());
+        assert_eq!(
+            CacheDisposition::from_served(Served::Tier1Hit),
+            CacheDisposition::Hit
+        );
+        assert_eq!(
+            CacheDisposition::from_served(Served::Cold),
+            CacheDisposition::Cold
+        );
+    }
+}

@@ -13,12 +13,14 @@ use cryptext_core::database::TokenDatabase;
 use cryptext_core::lookup::{LookupHit, LookupParams};
 use cryptext_core::normalize::{NormalizationResult, NormalizeParams};
 use cryptext_core::perturb::{PerturbParams, PerturbationOutcome};
-use cryptext_core::service::{ApiToken, CryptextService};
+use cryptext_core::service::{ApiToken, CryptextService, Served};
 use cryptext_core::TokenStore;
 
-use crate::admission::{Admitted, Permit, RouteAdmission};
+use crate::admission::{Acquired, Permit, RouteAdmission};
 use crate::deadline::{Deadline, WAIT_SLICE};
+use crate::envelope::{CacheDisposition, Request, Response, RouteOutput, RouteParams};
 use crate::singleflight::{FollowerOutcome, Join, SingleFlight};
+use crate::stats::StatsReport;
 use crate::{GatewayConfig, GatewayStats, GatewayStatsSnapshot, RouteClass};
 
 /// Backoff never exceeds this, so exhausting a retry budget stays cheap
@@ -50,6 +52,17 @@ impl CallOptions {
         self.max_retries = Some(0);
         self
     }
+}
+
+/// A request through the front half of the onion — admission passed,
+/// authorization passed — carrying everything the execution core needs:
+/// the lane permit, the request deadline, and the remaining retry
+/// budget. (Previously an anonymous `(Permit, Deadline, u32)` tuple
+/// load-bearing at three call sites.)
+struct Admitted {
+    permit: Permit,
+    deadline: Deadline,
+    retries: u32,
 }
 
 /// What [`Gateway::drain_with`] observed.
@@ -126,8 +139,11 @@ pub struct Gateway<S: TokenStore + Send + Sync + 'static = TokenDatabase> {
     service: Arc<CryptextService<S>>,
     config: GatewayConfig,
     routes: [Arc<RouteAdmission>; 4],
-    lookup_flights: Arc<SingleFlight<Vec<LookupHit>>>,
-    normalize_flights: Arc<SingleFlight<NormalizationResult>>,
+    /// One coalescing group for every cacheable route: keys are prefixed
+    /// with the route name, so lanes can't collide, and carrying the
+    /// [`Served`] provenance in the flight value means coalesced
+    /// followers inherit their leader's cache disposition.
+    flights: Arc<SingleFlight<(RouteOutput, Served)>>,
     /// Database generation mixed into coalescing keys: bumping it after
     /// an ingest means new requests can never attach to a flight whose
     /// leader read the pre-ingest store.
@@ -162,8 +178,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
             service,
             config,
             routes,
-            lookup_flights: Arc::new(SingleFlight::new()),
-            normalize_flights: Arc::new(SingleFlight::new()),
+            flights: Arc::new(SingleFlight::new()),
             generation: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             stats: Arc::new(GatewayStats::default()),
@@ -199,6 +214,17 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
             promoted_followers: relaxed(&s.promoted_followers),
             active_now: self.routes.iter().map(|r| r.active()).sum(),
             queued_now: self.routes.iter().map(|r| r.queued()).sum(),
+        }
+    }
+
+    /// The unified operator surface: every layer's counters in one
+    /// report ([`Gateway::stats`] + [`Self::cache_stats`] + the draining
+    /// flag). `GET /stats` serves `stats_report().to_json()`.
+    pub fn stats_report(&self) -> StatsReport {
+        StatsReport {
+            gateway: self.stats(),
+            cache: self.service.cache_tier_stats(),
+            draining: self.is_draining(),
         }
     }
 
@@ -240,7 +266,11 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         V: Clone + Send + 'static,
         F: Fn(&CryptextService<S>, &Deadline) -> Result<V> + Send + Sync + 'static,
     {
-        let (permit, deadline, retries) = self.admit_and_authorize(route, auth, opts)?;
+        let Admitted {
+            permit,
+            deadline,
+            retries,
+        } = self.admit_and_authorize(route, auth, opts)?;
         self.execute::<V>(permit, deadline, retries, None, Arc::new(f))
     }
 
@@ -266,7 +296,11 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         V: Clone + Send + 'static,
         F: Fn(&CryptextService<S>, &Deadline) -> Result<V> + Send + Sync + 'static,
     {
-        let (permit, deadline, retries) = self.admit_and_authorize(route, auth, opts)?;
+        let Admitted {
+            permit,
+            deadline,
+            retries,
+        } = self.admit_and_authorize(route, auth, opts)?;
         let f: RequestBody<S, V> = Arc::new(f);
         match flights.join(key) {
             Join::Leader => self.execute(
@@ -314,7 +348,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         route: RouteClass,
         auth: &ApiToken,
         opts: CallOptions,
-    ) -> Result<(Permit, Deadline, u32)> {
+    ) -> Result<Admitted> {
         let deadline = Deadline::new(
             self.service.clock(),
             opts.deadline_ms.unwrap_or(self.config.default_deadline_ms),
@@ -326,7 +360,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
                 retry_after_ms: self.config.shed_retry_after_ms,
             });
         }
-        let admitted = self.routes[route.index()]
+        let acquired = self.routes[route.index()]
             .acquire(&deadline, &self.draining, self.config.shed_retry_after_ms)
             .inspect_err(|e| match e {
                 Error::Overloaded { .. } => {
@@ -343,7 +377,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
                 }
                 _ => {}
             })?;
-        let Admitted { permit, waited } = admitted;
+        let Acquired { permit, waited } = acquired;
         self.stats.admitted.fetch_add(1, Ordering::Relaxed);
         if waited {
             self.stats.queue_waits.fetch_add(1, Ordering::Relaxed);
@@ -352,7 +386,11 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         // request queued rejects it here, deterministically) and charges
         // the token's rate window exactly once for this call.
         self.service.authorize_request(auth)?;
-        Ok((permit, deadline, retries))
+        Ok(Admitted {
+            permit,
+            deadline,
+            retries,
+        })
     }
 
     /// The execution core: hand the request body to a pool worker, wait
@@ -434,10 +472,90 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         )
     }
 
+    /// The unified entry point: one [`Request`] in, one [`Response`]
+    /// out, for every route. Cacheable routes (Look Up, Normalization)
+    /// go through single-flight coalescing keyed on route, exact input,
+    /// parameters, and generation; Perturbation runs uncoalesced (the
+    /// seeded RNG makes byte-identical duplicates rare enough that
+    /// sharing buys nothing) and is marked [`CacheDisposition::Bypass`].
+    ///
+    /// The typed shims ([`Self::look_up`], [`Self::normalize`],
+    /// [`Self::perturb`]) unwrap the envelope for in-process callers;
+    /// wire layers serve [`Response::body_json`] plus the cache
+    /// metadata.
+    pub fn handle(&self, auth: &ApiToken, req: Request) -> Result<Response> {
+        // Snapshot before dispatch: the result is computed under *at
+        // least* this generation (a concurrent bump splits the coalesce
+        // key, so a stale flight can't serve a post-bump request).
+        let generation = self.generation.load(Ordering::Acquire);
+        let input = req.input;
+        let (output, served) = match req.params {
+            RouteParams::Lookup(params) => {
+                let key = self.coalesce_key(&format!(
+                    "lookup\u{1}{input}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
+                    params.k, params.d, params.exclude_identity, params.observed_only
+                ));
+                let flights = Arc::clone(&self.flights);
+                self.call_coalesced(
+                    RouteClass::Lookup,
+                    key,
+                    auth,
+                    req.opts,
+                    &flights,
+                    move |svc, deadline| {
+                        let mut probe = || deadline.probe();
+                        svc.look_up_prechecked_traced(&input, params, &mut probe)
+                            .map(|(hits, served)| (RouteOutput::Lookup(hits), served))
+                    },
+                )?
+            }
+            RouteParams::Normalize(params) => {
+                let key = self.coalesce_key(&format!(
+                    "normalize\u{1}{input}\u{1}{}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
+                    params.k,
+                    params.d,
+                    params.edit_penalty,
+                    params.prior_weight,
+                    params.max_candidates
+                ));
+                let flights = Arc::clone(&self.flights);
+                self.call_coalesced(
+                    RouteClass::Normalize,
+                    key,
+                    auth,
+                    req.opts,
+                    &flights,
+                    move |svc, _| {
+                        svc.normalize_prechecked_traced(&input, params)
+                            .map(|(r, served)| (RouteOutput::Normalize(r), served))
+                    },
+                )?
+            }
+            RouteParams::Perturb(params) => {
+                let (output, _) =
+                    self.call(RouteClass::Perturb, auth, req.opts, move |svc, _| {
+                        svc.perturb_prechecked(&input, params)
+                            .map(|o| (RouteOutput::Perturb(o), Served::Cold))
+                    })?;
+                return Ok(Response {
+                    output,
+                    generation,
+                    cache: CacheDisposition::Bypass,
+                });
+            }
+        };
+        Ok(Response {
+            output,
+            generation,
+            cache: CacheDisposition::from_served(served),
+        })
+    }
+
     /// Look Up through the full onion, coalesced: concurrent duplicate
     /// queries (same token, parameters, and generation) execute once and
     /// share the leader's exact hits. The store walk is cooperatively
-    /// cancellable — an expired deadline aborts it mid-walk.
+    /// cancellable — an expired deadline aborts it mid-walk. Thin shim
+    /// over [`Self::handle`].
     pub fn look_up(
         &self,
         auth: &ApiToken,
@@ -445,27 +563,16 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         params: LookupParams,
         opts: CallOptions,
     ) -> Result<Vec<LookupHit>> {
-        let key = self.coalesce_key(&format!(
-            "lookup\u{1}{token}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
-            params.k, params.d, params.exclude_identity, params.observed_only
-        ));
-        let flights = Arc::clone(&self.lookup_flights);
-        let token = token.to_string();
-        self.call_coalesced(
-            RouteClass::Lookup,
-            key,
-            auth,
-            opts,
-            &flights,
-            move |svc, deadline| {
-                let mut probe = || deadline.probe();
-                svc.look_up_prechecked(&token, params, &mut probe)
-            },
-        )
+        self.handle(auth, Request::lookup(token, params).with_opts(opts))
+            .map(|resp| {
+                resp.output
+                    .into_lookup()
+                    .expect("lookup request yields lookup output")
+            })
     }
 
     /// Normalization through the full onion, coalesced on the exact text
-    /// and parameters.
+    /// and parameters. Thin shim over [`Self::handle`].
     pub fn normalize(
         &self,
         auth: &ApiToken,
@@ -473,24 +580,16 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         params: NormalizeParams,
         opts: CallOptions,
     ) -> Result<NormalizationResult> {
-        let key = self.coalesce_key(&format!(
-            "normalize\u{1}{text}\u{1}{}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
-            params.k, params.d, params.edit_penalty, params.prior_weight, params.max_candidates
-        ));
-        let flights = Arc::clone(&self.normalize_flights);
-        let text = text.to_string();
-        self.call_coalesced(
-            RouteClass::Normalize,
-            key,
-            auth,
-            opts,
-            &flights,
-            move |svc, _| svc.normalize_prechecked(&text, params),
-        )
+        self.handle(auth, Request::normalize(text, params).with_opts(opts))
+            .map(|resp| {
+                resp.output
+                    .into_normalize()
+                    .expect("normalize request yields normalize output")
+            })
     }
 
-    /// Perturbation through the onion, uncoalesced: the seeded RNG makes
-    /// byte-identical duplicates rare enough that sharing buys nothing.
+    /// Perturbation through the onion, uncoalesced. Thin shim over
+    /// [`Self::handle`].
     pub fn perturb(
         &self,
         auth: &ApiToken,
@@ -498,10 +597,12 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         params: PerturbParams,
         opts: CallOptions,
     ) -> Result<PerturbationOutcome> {
-        let text = text.to_string();
-        self.call(RouteClass::Perturb, auth, opts, move |svc, _| {
-            svc.perturb_prechecked(&text, params)
-        })
+        self.handle(auth, Request::perturb(text, params).with_opts(opts))
+            .map(|resp| {
+                resp.output
+                    .into_perturb()
+                    .expect("perturb request yields perturb output")
+            })
     }
 
     // ---- graceful drain -------------------------------------------------

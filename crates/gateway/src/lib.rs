@@ -39,14 +39,18 @@
 
 pub mod admission;
 pub mod deadline;
+pub mod envelope;
 pub mod gateway;
 pub mod singleflight;
+pub mod stats;
 
 use std::sync::atomic::AtomicU64;
 
 pub use deadline::Deadline;
+pub use envelope::{CacheDisposition, Request, Response, RouteOutput, RouteParams};
 pub use gateway::{CallOptions, DrainReport, Gateway};
 pub use singleflight::{FollowerOutcome, Join, SingleFlight};
+pub use stats::StatsReport;
 
 /// The route classes the gateway budgets independently, mirroring the
 /// service's endpoint families. Heavy routes (perturbation rewrites a

@@ -1,0 +1,148 @@
+//! The unified stats surface: one report type over every layer's
+//! counters, with its own wire serialization.
+//!
+//! Before this module each layer exposed its own snapshot type
+//! ([`GatewayStatsSnapshot`], the service's `CacheTierSnapshot`, the
+//! tier-2 store's `StoreStats`) and every consumer stitched them
+//! together by hand. [`StatsReport`] is the one type operators see:
+//! [`Gateway::stats_report`](crate::Gateway::stats_report) returns it and
+//! `GET /stats` serves [`StatsReport::to_json`] verbatim.
+
+use cryptext_cache::{CacheStats, StoreStats};
+use cryptext_core::service::CacheTierSnapshot;
+
+use crate::GatewayStatsSnapshot;
+
+/// Point-in-time counters across the whole front-end: the gateway's
+/// admission/execution layers plus the service's cache hierarchy
+/// (tier-1 caches, tier-2 store), under one roof.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Admission, coalescing, retry, and outcome counters.
+    pub gateway: GatewayStatsSnapshot,
+    /// Cache-hierarchy counters (tier-1 tiers, negative hits, tier-2).
+    pub cache: CacheTierSnapshot,
+    /// Is the gateway refusing new admissions right now?
+    pub draining: bool,
+}
+
+impl StatsReport {
+    /// Current data generation (part of every cache key; bumps on
+    /// ingest). Mirrored here because wire consumers compare it against
+    /// the `X-Cryptext-Generation` response header.
+    pub fn generation(&self) -> u64 {
+        self.cache.generation
+    }
+
+    /// The `GET /stats` body: one JSON document, keys stable for
+    /// scraping.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"gateway\":");
+        push_gateway(&mut out, &self.gateway);
+        out.push_str(",\"cache\":");
+        push_cache(&mut out, &self.cache);
+        out.push_str(&format!(",\"draining\":{}}}", self.draining));
+        out
+    }
+}
+
+fn push_gateway(out: &mut String, g: &GatewayStatsSnapshot) {
+    out.push_str(&format!(
+        concat!(
+            "{{\"admitted\":{},\"queue_waits\":{},\"shed_queue_full\":{},",
+            "\"shed_draining\":{},\"queue_deadline_expired\":{},",
+            "\"executions\":{},\"retries\":{},\"completed_ok\":{},",
+            "\"failed\":{},\"deadline_exceeded\":{},",
+            "\"coalesced_followers\":{},\"promoted_followers\":{},",
+            "\"active_now\":{},\"queued_now\":{}}}"
+        ),
+        g.admitted,
+        g.queue_waits,
+        g.shed_queue_full,
+        g.shed_draining,
+        g.queue_deadline_expired,
+        g.executions,
+        g.retries,
+        g.completed_ok,
+        g.failed,
+        g.deadline_exceeded,
+        g.coalesced_followers,
+        g.promoted_followers,
+        g.active_now,
+        g.queued_now,
+    ));
+}
+
+fn push_cache(out: &mut String, c: &CacheTierSnapshot) {
+    out.push_str("{\"lookup\":");
+    push_tier(out, &c.lookup);
+    out.push_str(",\"normalize\":");
+    push_tier(out, &c.normalize);
+    out.push_str(",\"normalize_results\":");
+    push_tier(out, &c.normalize_results);
+    out.push_str(&format!(
+        concat!(
+            ",\"negative_hits\":{},\"generation\":{},",
+            "\"invalidation_bumps\":{},\"invalidated_entries\":{},",
+            "\"tier2_attached\":{},\"tier2\":"
+        ),
+        c.negative_hits,
+        c.generation,
+        c.invalidation_bumps,
+        c.invalidated_entries,
+        c.tier2_attached,
+    ));
+    push_store(out, &c.tier2);
+    out.push('}');
+}
+
+fn push_tier(out: &mut String, t: &CacheStats) {
+    out.push_str(&format!(
+        concat!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+            "\"expirations\":{},\"inserts\":{}}}"
+        ),
+        t.hits, t.misses, t.evictions, t.expirations, t.inserts,
+    ));
+}
+
+fn push_store(out: &mut String, s: &StoreStats) {
+    out.push_str(&format!(
+        concat!(
+            "{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{},",
+            "\"expirations\":{},\"invalidated\":{},\"put_errors\":{}}}"
+        ),
+        s.hits, s.misses, s.inserts, s.evictions, s.expirations, s.invalidated, s.put_errors,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_every_layer_under_one_document() {
+        let mut report = StatsReport::default();
+        report.gateway.admitted = 7;
+        report.gateway.queued_now = 2;
+        report.cache.lookup.hits = 3;
+        report.cache.generation = 5;
+        report.cache.tier2.put_errors = 1;
+        report.draining = true;
+
+        let json = report.to_json();
+        assert!(json.starts_with("{\"gateway\":{\"admitted\":7,"));
+        assert!(json.contains("\"queued_now\":2}"));
+        assert!(json.contains("\"cache\":{\"lookup\":{\"hits\":3,"));
+        assert!(json.contains("\"generation\":5,"));
+        assert!(json.contains("\"put_errors\":1}"));
+        assert!(json.ends_with(",\"draining\":true}"));
+        assert_eq!(report.generation(), 5);
+
+        // Balanced braces — the document parses structurally.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,0 +1,469 @@
+//! The byte layer: reading requests off a TCP stream under limits and
+//! timeouts, and serializing responses.
+//!
+//! Reading is sliced: the stream runs with a short read timeout
+//! ([`READ_SLICE`]) and the loop re-checks the wall-clock budget and the
+//! server's shutdown flag between slices. That one mechanism gives us
+//! the slowloris defense (a dribbling client exhausts the header budget
+//! and gets `408`), responsive drain (an idle keep-alive connection
+//! notices shutdown within one slice), and bounded memory (the carry
+//! buffer is capped by the header/body limits).
+//!
+//! Pipelining falls out of the carry buffer: bytes read past the current
+//! request's end stay in `Conn::carry` and seed the next
+//! [`read_request`] call without touching the socket.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use cryptext_common::jsonfmt;
+
+use crate::HttpConfig;
+
+/// Read-timeout slice; shutdown and budget checks happen between slices.
+pub(crate) const READ_SLICE: Duration = Duration::from_millis(20);
+
+/// One connection's read state: the stream plus the carry buffer holding
+/// bytes read past the last parsed request (pipelined requests queue
+/// here).
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+/// A request the wire layer refuses before routing; `status` is written
+/// and the connection closes.
+#[derive(Debug)]
+pub(crate) struct Reject {
+    pub status: u16,
+    pub message: String,
+}
+
+impl Reject {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Reject {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// What one [`read_request`] call produced.
+pub(crate) enum ReadOutcome {
+    /// A complete request (headers + body) within limits.
+    Request(HttpRequest),
+    /// Close the connection silently: clean EOF at a request boundary,
+    /// EOF mid-request (a torn request line has no answerable sender),
+    /// an idle keep-alive timeout, or shutdown observed while idle.
+    Closed,
+    /// Refuse with a status, then close.
+    Reject(Reject),
+}
+
+/// A parsed request. Header names are lowercased at parse time; query
+/// pairs are percent-decoded.
+#[derive(Debug)]
+pub struct HttpRequest {
+    pub method: String,
+    /// Path before `?`, percent-decoded.
+    pub path: String,
+    pub query: Vec<(String, String)>,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// HTTP/1.1 defaults on (off with `Connection: close`); HTTP/1.0
+    /// defaults off (on with `Connection: keep-alive`).
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// First header value under `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter under `name`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+}
+
+enum ReadSome {
+    Data,
+    Eof,
+    Idle,
+}
+
+fn read_some(conn: &mut Conn) -> ReadSome {
+    let mut buf = [0u8; 4096];
+    match conn.stream.read(&mut buf) {
+        Ok(0) => ReadSome::Eof,
+        Ok(n) => {
+            conn.carry.extend_from_slice(&buf[..n]);
+            ReadSome::Data
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            ReadSome::Idle
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => ReadSome::Idle,
+        Err(_) => ReadSome::Eof,
+    }
+}
+
+fn find_terminator(haystack: &[u8]) -> Option<usize> {
+    haystack.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Read one complete request off the connection, honoring the carry
+/// buffer, the size limits, the read-budget, and the shutdown flag.
+pub(crate) fn read_request(
+    conn: &mut Conn,
+    config: &HttpConfig,
+    shutdown: &AtomicBool,
+) -> ReadOutcome {
+    let started = Instant::now();
+    let budget = Duration::from_millis(config.header_timeout_ms);
+
+    // Header block.
+    let header_end = loop {
+        if let Some(pos) = find_terminator(&conn.carry) {
+            // The limit applies to the block itself, not to however many
+            // pipelined bytes happen to share the read.
+            if pos + 4 > config.max_header_bytes {
+                return ReadOutcome::Reject(Reject::new(
+                    431,
+                    "header block exceeds the size limit",
+                ));
+            }
+            break pos;
+        }
+        if conn.carry.len() > config.max_header_bytes {
+            return ReadOutcome::Reject(Reject::new(431, "header block exceeds the size limit"));
+        }
+        match read_some(conn) {
+            ReadSome::Data => continue,
+            ReadSome::Eof => return ReadOutcome::Closed,
+            ReadSome::Idle => {
+                if conn.carry.is_empty() && shutdown.load(Ordering::Acquire) {
+                    return ReadOutcome::Closed;
+                }
+                if started.elapsed() >= budget {
+                    return if conn.carry.is_empty() {
+                        // Idle keep-alive connection: no request in
+                        // progress, nothing to answer.
+                        ReadOutcome::Closed
+                    } else {
+                        ReadOutcome::Reject(Reject::new(408, "timed out reading request headers"))
+                    };
+                }
+            }
+        }
+    };
+    let head: Vec<u8> = conn
+        .carry
+        .drain(..header_end + 4)
+        .take(header_end)
+        .collect();
+    let head = match std::str::from_utf8(&head) {
+        Ok(s) => s,
+        Err(_) => return ReadOutcome::Reject(Reject::new(400, "header block is not UTF-8")),
+    };
+
+    // Request line.
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return ReadOutcome::Reject(Reject::new(
+                400,
+                "malformed request line (want METHOD SP TARGET SP VERSION)",
+            ))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return ReadOutcome::Reject(Reject::new(400, "unsupported protocol version"));
+    }
+    if !target.starts_with('/') {
+        return ReadOutcome::Reject(Reject::new(400, "request target must be origin-form"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+
+    // Headers.
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Reject(Reject::new(400, "malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body framing: Content-Length only. Chunked bodies are refused
+    // explicitly rather than misparsed.
+    if let Some(te) = headers.iter().find(|(n, _)| n == "transfer-encoding") {
+        if !te.1.eq_ignore_ascii_case("identity") {
+            return ReadOutcome::Reject(Reject::new(501, "transfer codings are not supported"));
+        }
+    }
+    let content_length: usize = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => return ReadOutcome::Reject(Reject::new(400, "invalid Content-Length")),
+        },
+    };
+    if content_length > config.max_body_bytes {
+        return ReadOutcome::Reject(Reject::new(413, "body exceeds the size limit"));
+    }
+    let body_started = Instant::now();
+    while conn.carry.len() < content_length {
+        match read_some(conn) {
+            ReadSome::Data => continue,
+            ReadSome::Eof => return ReadOutcome::Closed,
+            ReadSome::Idle => {
+                if body_started.elapsed() >= budget {
+                    return ReadOutcome::Reject(Reject::new(408, "timed out reading request body"));
+                }
+            }
+        }
+    }
+    let body: Vec<u8> = conn.carry.drain(..content_length).collect();
+
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match version {
+        "HTTP/1.0" => connection.as_deref() == Some("keep-alive"),
+        _ => connection.as_deref() != Some("close"),
+    };
+
+    ReadOutcome::Request(HttpRequest {
+        method: method.to_string(),
+        path: percent_decode(raw_path),
+        query: parse_query(raw_query),
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Percent-decode, with `+` as space (query convention; harmless in
+/// paths). Invalid escapes pass through literally.
+pub(crate) fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    let h = std::str::from_utf8(h).ok()?;
+                    u8::from_str_radix(h, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+pub(crate) fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Canonical reason phrase for every status the wire layer emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// One response, ready to serialize. `close` appends `Connection: close`
+/// (and the connection loop then hangs up).
+pub(crate) struct WireResponse {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub headers: Vec<(&'static str, String)>,
+    pub body: Vec<u8>,
+    pub close: bool,
+}
+
+impl WireResponse {
+    pub(crate) fn json(status: u16, body: String) -> Self {
+        WireResponse {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    pub(crate) fn text(status: u16, body: &str) -> Self {
+        WireResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            close: false,
+        }
+    }
+
+    /// The standard error body: `{"error":<label>,"message":<detail>}`.
+    pub(crate) fn error(status: u16, label: &str, message: &str) -> Self {
+        let mut body = String::with_capacity(48 + message.len());
+        body.push_str("{\"error\":");
+        jsonfmt::push_str_escaped(&mut body, label);
+        body.push_str(",\"message\":");
+        jsonfmt::push_str_escaped(&mut body, message);
+        body.push('}');
+        let mut resp = WireResponse::json(status, body);
+        resp.headers.push(("Cache-Control", "no-store".to_string()));
+        resp
+    }
+
+    pub(crate) fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(format!("Content-Type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if self.close {
+            out.extend_from_slice(b"Connection: close\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_escapes_plus_and_junk() {
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("a%20b"), "a b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("%2Fpath"), "/path");
+        assert_eq!(percent_decode("100%"), "100%", "trailing % passes through");
+        assert_eq!(percent_decode("%zz"), "%zz", "bad hex passes through");
+    }
+
+    #[test]
+    fn query_parsing_splits_pairs() {
+        let q = parse_query("q=vacc1ne&k=1&flag&empty=");
+        assert_eq!(
+            q,
+            vec![
+                ("q".to_string(), "vacc1ne".to_string()),
+                ("k".to_string(), "1".to_string()),
+                ("flag".to_string(), String::new()),
+                ("empty".to_string(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn response_serialization_is_well_formed() {
+        let mut resp = WireResponse::json(200, "{}".to_string());
+        resp.headers.push(("X-Test", "1".to_string()));
+        resp.close = true;
+        let bytes = resp.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("X-Test: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn error_bodies_escape_their_messages() {
+        let resp = WireResponse::error(400, "bad_request", "a \"quoted\" detail");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(
+            body,
+            r#"{"error":"bad_request","message":"a \"quoted\" detail"}"#
+        );
+    }
+
+    #[test]
+    fn every_emitted_status_has_a_reason() {
+        for status in [
+            200, 400, 401, 403, 404, 405, 408, 409, 413, 429, 431, 500, 501, 503, 504,
+        ] {
+            assert_ne!(reason(status), "Unknown", "status {status}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's deployment shape, end to end: CrypText behind the
+//! overload-resilient gateway behind a real HTTP/1.1 socket.
+//!
+//! ```sh
+//! cargo run --example serve_http
+//! # then, from another shell (the server prints the issued token):
+//! curl -H "Authorization: Bearer <token>" \
+//!   'http://127.0.0.1:8087/lookup?q=vacc1ne'
+//! curl -H "Authorization: Bearer <token>" -X POST --data 'the vacc1ne mandate' \
+//!   'http://127.0.0.1:8087/normalize'
+//! curl 'http://127.0.0.1:8087/stats'
+//! ```
+//!
+//! Ctrl-C (or `kill -TERM`) is simulated here by serving for a fixed
+//! window, then running the graceful drain: accepts stop, in-flight
+//! requests finish, the flush hook runs, and only then does the
+//! listener close.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cryptext::common::SystemClock;
+use cryptext::core::database::TokenDatabase;
+use cryptext::core::service::{CryptextService, ServiceConfig};
+use cryptext::core::CrypText;
+use cryptext::gateway::{Gateway, GatewayConfig};
+use cryptext::http::{HttpConfig, HttpServer};
+use cryptext::stream::{SocialPlatform, StreamConfig};
+
+fn main() {
+    // A database curated from simulated social traffic (stands in for
+    // the paper's Reddit/Twitter ingest).
+    let platform = SocialPlatform::simulate(StreamConfig {
+        n_posts: 2_000,
+        seed: 77,
+        ..StreamConfig::default()
+    });
+    let mut db = TokenDatabase::with_lexicon();
+    for post in platform.posts() {
+        db.ingest_text(&post.text);
+    }
+
+    let service = Arc::new(CryptextService::new(
+        CrypText::new(db),
+        ServiceConfig::default(),
+        Arc::new(SystemClock),
+    ));
+    let token = service.issue_token("serve-http-demo");
+    let gateway = Arc::new(Gateway::new(service, GatewayConfig::default()));
+
+    let server = HttpServer::bind(gateway, HttpConfig::default(), "127.0.0.1:8087")
+        .expect("bind 127.0.0.1:8087");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+
+    println!("serving on http://{addr}");
+    println!("bearer token: {}", token.as_str());
+    println!(
+        "try:  curl -H 'Authorization: Bearer {}' \\",
+        token.as_str()
+    );
+    println!("        'http://{addr}/lookup?q=vacc1ne'");
+    println!("stats: curl 'http://{addr}/stats'");
+    println!("(shutting down gracefully after 60s)");
+
+    // A real deployment would hook this to SIGTERM; the example uses a
+    // timer so `cargo run --example serve_http` terminates on its own.
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(60));
+        handle.shutdown();
+    });
+
+    let report = server.serve();
+    println!(
+        "drained: {} requests served, {} connections open at drain, quiesced: {}",
+        report.requests_served, report.connections_at_drain, report.drain.quiesced
+    );
+}

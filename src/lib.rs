@@ -59,6 +59,7 @@ pub use cryptext_corpus as corpus;
 pub use cryptext_docstore as docstore;
 pub use cryptext_editdist as editdist;
 pub use cryptext_gateway as gateway;
+pub use cryptext_http as http;
 pub use cryptext_lm as lm;
 pub use cryptext_ml as ml;
 pub use cryptext_phonetics as phonetics;

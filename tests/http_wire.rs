@@ -1,0 +1,654 @@
+//! Integration: the HTTP/1.1 wire layer over a real loopback socket —
+//! the `service_api` semantics re-run end to end over TCP, plus the
+//! wire-only contracts no in-process test can see: keep-alive
+//! pipelining, torn/partial requests, size limits, the slowloris
+//! timeout, the error→status mapping, cache-metadata headers, and the
+//! SIGTERM-style drain (zero dropped in-flight responses, flush hook
+//! run before the listener closes).
+//!
+//! CI re-runs this binary with `CRYPTEXT_SHARDS=4` (the fixture builds
+//! its backend through `CrypText::from_env`) and runs the filtered
+//! `torn_write` test under `CRYPTEXT_FAILPOINTS=http.write=torn@1:8` —
+//! that test detects which mode it's in from the first response's
+//! bytes, so one test body proves both the clean path and the
+//! torn-write arm.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cryptext::common::SimClock;
+use cryptext::core::database::TokenDatabase;
+use cryptext::core::service::{CryptextService, ServiceConfig};
+use cryptext::core::{AnyTokenStore, CrypText};
+use cryptext::gateway::{Gateway, GatewayConfig};
+use cryptext::http::{HttpConfig, HttpServer, ServeReport, ShutdownHandle};
+use cryptext::stream::{SocialPlatform, StreamConfig};
+
+// ---------------------------------------------------------------- fixture
+
+struct Server {
+    addr: SocketAddr,
+    token: String,
+    clock: SimClock,
+    gateway: Arc<Gateway<AnyTokenStore>>,
+    handle: ShutdownHandle,
+    join: Option<JoinHandle<ServeReport>>,
+    flush_ran: Arc<AtomicBool>,
+}
+
+/// The `service_api` fixture behind a bound-and-serving HTTP server on
+/// an ephemeral loopback port.
+fn server_with(limit: u32, http: HttpConfig) -> Server {
+    let platform = SocialPlatform::simulate(StreamConfig {
+        n_posts: 1_200,
+        seed: 77,
+        ..StreamConfig::default()
+    });
+    let mut db = TokenDatabase::with_lexicon();
+    for post in platform.posts() {
+        db.ingest_text(&post.text);
+    }
+    let clock = SimClock::new(0);
+    let svc = Arc::new(CryptextService::new(
+        CrypText::from_env(db),
+        ServiceConfig {
+            rate_limit_per_minute: limit,
+            ..ServiceConfig::default()
+        },
+        Arc::new(clock.clone()),
+    ));
+    let token = svc.issue_token("wire").as_str().to_string();
+    let gateway = Arc::new(Gateway::new(svc, GatewayConfig::default()));
+    let server = HttpServer::bind(Arc::clone(&gateway), http, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let flush_ran = Arc::new(AtomicBool::new(false));
+    let flush_flag = Arc::clone(&flush_ran);
+    let join = std::thread::spawn(move || {
+        server.serve_with_flush(move || {
+            flush_flag.store(true, Ordering::SeqCst);
+            Ok(())
+        })
+    });
+    Server {
+        addr,
+        token,
+        clock,
+        gateway,
+        handle,
+        join: Some(join),
+        flush_ran,
+    }
+}
+
+fn server() -> Server {
+    server_with(100_000, HttpConfig::default())
+}
+
+impl Server {
+    /// Graceful stop: shutdown, join the serve thread, hand back the
+    /// report.
+    fn finish(mut self) -> ServeReport {
+        self.handle.shutdown();
+        self.join
+            .take()
+            .expect("still serving")
+            .join()
+            .expect("serve thread")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+// ----------------------------------------------------------- tiny client
+
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Resp {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Resp {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("set client read timeout");
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, raw: &str) {
+        self.stream.write_all(raw.as_bytes()).expect("client send");
+    }
+
+    /// Pull more bytes; `true` on data, `false` on EOF. Panics if the
+    /// wall-clock deadline passes first (a hung test, not a failure
+    /// mode under test).
+    fn fill(&mut self, deadline: Instant) -> bool {
+        let mut chunk = [0u8; 4096];
+        loop {
+            assert!(Instant::now() < deadline, "client read timed out");
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return true;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => panic!("client read: {e}"),
+            }
+        }
+    }
+
+    /// One full response off the stream (headers + `Content-Length`
+    /// body); `None` if the peer closed before completing one.
+    fn try_read_response(&mut self) -> Option<Resp> {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            if !self.fill(deadline) {
+                return None;
+            }
+        };
+        let head = String::from_utf8(self.buf[..header_end].to_vec()).expect("UTF-8 headers");
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().expect("status line");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .expect("Content-Length on every response");
+        self.buf.drain(..header_end + 4);
+        while self.buf.len() < content_length {
+            if !self.fill(deadline) {
+                return None;
+            }
+        }
+        let body_bytes: Vec<u8> = self.buf.drain(..content_length).collect();
+        Some(Resp {
+            status,
+            headers,
+            body: String::from_utf8_lossy(&body_bytes).into_owned(),
+        })
+    }
+
+    fn read_response(&mut self) -> Resp {
+        self.try_read_response()
+            .expect("connection closed before a full response")
+    }
+
+    /// Everything until EOF (for torn-write inspection).
+    fn read_to_eof(&mut self) -> Vec<u8> {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while self.fill(deadline) {}
+        std::mem::take(&mut self.buf)
+    }
+}
+
+fn get_req(path: &str, token: Option<&str>) -> String {
+    let auth = match token {
+        Some(t) => format!("Authorization: Bearer {t}\r\n"),
+        None => String::new(),
+    };
+    format!("GET {path} HTTP/1.1\r\nHost: loopback\r\n{auth}\r\n")
+}
+
+fn post_req(path: &str, token: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: loopback\r\nAuthorization: Bearer {token}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+// ---------------------------------------------------------------- tests
+
+/// The `service_api` happy path, over the wire: Look Up finds hits,
+/// Normalization repairs the paper's example, Perturbation answers.
+#[test]
+fn api_surface_over_the_wire() {
+    let srv = server();
+    let mut c = Client::connect(srv.addr);
+
+    c.send(&get_req("/lookup?q=vaccine", Some(&srv.token)));
+    let resp = c.read_response();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.starts_with("{\"hits\":["));
+    assert!(resp.body.contains("\"token\":"), "no hits in {}", resp.body);
+
+    c.send(&post_req("/normalize", &srv.token, "the vacc1ne mandate"));
+    let resp = c.read_response();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"text\":\"the vaccine mandate\""),
+        "normalization over the wire: {}",
+        resp.body
+    );
+
+    c.send(&post_req(
+        "/perturb?seed=42",
+        &srv.token,
+        "the vaccine mandate",
+    ));
+    let resp = c.read_response();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"replacements\":"));
+
+    let report = srv.finish();
+    assert_eq!(report.requests_served, 3);
+    assert!(report.drain.quiesced);
+}
+
+/// Three pipelined requests in one burst answer in order on one
+/// connection, and the connection survives for a fourth.
+#[test]
+fn pipelined_keep_alive_requests_answer_in_order() {
+    let srv = server();
+    let mut c = Client::connect(srv.addr);
+
+    let burst = format!(
+        "{}{}{}",
+        get_req("/healthz", None),
+        get_req("/lookup?q=vaccine", Some(&srv.token)),
+        get_req("/stats", None)
+    );
+    c.send(&burst);
+
+    let first = c.read_response();
+    assert_eq!((first.status, first.body.as_str()), (200, "ok\n"));
+    let second = c.read_response();
+    assert_eq!(second.status, 200);
+    assert!(second.body.starts_with("{\"hits\":["));
+    let third = c.read_response();
+    assert_eq!(third.status, 200);
+    assert!(third.body.contains("\"draining\":false"), "{}", third.body);
+
+    // Still keep-alive: a fourth request on the same connection works.
+    c.send(&get_req("/healthz", None));
+    assert_eq!(c.read_response().status, 200);
+}
+
+/// Malformed request lines are `400` and close; a torn request (client
+/// hangs up mid-line) is dropped silently; the listener serves the next
+/// connection either way.
+#[test]
+fn torn_and_malformed_request_lines() {
+    let srv = server();
+
+    let mut bad = Client::connect(srv.addr);
+    bad.send("NONSENSE\r\n\r\n");
+    let resp = bad.read_response();
+    assert_eq!(resp.status, 400);
+    assert!(bad.read_to_eof().is_empty(), "400 closes the connection");
+
+    let mut version = Client::connect(srv.addr);
+    version.send("GET /healthz HTTP/9.9\r\n\r\n");
+    assert_eq!(version.read_response().status, 400);
+
+    // A client that dies mid-request-line: nothing to answer.
+    let mut torn = Client::connect(srv.addr);
+    torn.send("GET /look");
+    drop(torn);
+
+    let mut next = Client::connect(srv.addr);
+    next.send(&get_req("/healthz", None));
+    assert_eq!(next.read_response().status, 200);
+}
+
+/// Declared oversized bodies are refused with `413` (before the body is
+/// read), oversized header blocks with `431`.
+#[test]
+fn size_limits_return_413_and_431() {
+    let srv = server();
+
+    let mut big_body = Client::connect(srv.addr);
+    big_body.send(&format!(
+        "POST /normalize HTTP/1.1\r\nHost: loopback\r\nAuthorization: Bearer {}\r\nContent-Length: 300000\r\n\r\n",
+        srv.token
+    ));
+    let resp = big_body.read_response();
+    assert_eq!(resp.status, 413);
+    assert!(resp.body.contains("body_too_large"));
+
+    let mut big_head = Client::connect(srv.addr);
+    big_head.send(&format!(
+        "GET /healthz HTTP/1.1\r\nHost: loopback\r\nX-Padding: {}\r\n\r\n",
+        "p".repeat(20_000)
+    ));
+    assert_eq!(big_head.read_response().status, 431);
+}
+
+/// A client dribbling a request slower than the header budget gets
+/// `408` and a close; an *idle* keep-alive connection just gets closed,
+/// no status.
+#[test]
+fn slowloris_times_out_with_408() {
+    let srv = server_with(
+        100_000,
+        HttpConfig {
+            header_timeout_ms: 150,
+            ..HttpConfig::default()
+        },
+    );
+
+    let mut slow = Client::connect(srv.addr);
+    slow.send("GET /healthz HTT"); // …and never finishes the line.
+    let resp = slow.read_response();
+    assert_eq!(resp.status, 408);
+    assert!(slow.read_to_eof().is_empty(), "408 closes the connection");
+
+    let mut idle = Client::connect(srv.addr);
+    idle.send(&get_req("/healthz", None));
+    assert_eq!(idle.read_response().status, 200);
+    // Now idle past the budget: silent close, no 408 frame.
+    assert!(idle.read_to_eof().is_empty());
+}
+
+/// The error→status mapping, end to end: 401/403/404/405/400/504.
+#[test]
+fn error_statuses_map_the_service_vocabulary() {
+    let srv = server();
+
+    let case = |raw: &str| {
+        let mut c = Client::connect(srv.addr);
+        c.send(raw);
+        c.read_response()
+    };
+
+    let missing = case(&get_req("/lookup?q=x", None));
+    assert_eq!(missing.status, 401);
+    assert!(missing.header("WWW-Authenticate").is_some());
+    assert!(missing.body.contains("\"error\":\"unauthorized\""));
+
+    let revoked = case(&get_req("/lookup?q=x", Some("cx_bogus_token")));
+    assert_eq!(revoked.status, 403, "{}", revoked.body);
+
+    assert_eq!(case(&get_req("/no/such/route", None)).status, 404);
+
+    let wrong_method = case(&get_req("/normalize", Some(&srv.token)));
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.header("Allow"), Some("POST"));
+
+    // Service-level validation (k = 9 is out of range) surfaces as 400,
+    // same as `service_api`'s InvalidArgument assertion.
+    let invalid = case(&get_req("/lookup?q=x&k=9", Some(&srv.token)));
+    assert_eq!(invalid.status, 400, "{}", invalid.body);
+    assert!(invalid.body.contains("invalid_argument"));
+
+    // A born-expired deadline is deterministic 504 under the frozen
+    // simulated clock.
+    let expired = case(&get_req(
+        "/lookup?q=vaccine&deadline_ms=0",
+        Some(&srv.token),
+    ));
+    assert_eq!(expired.status, 504, "{}", expired.body);
+    assert!(expired.body.contains("deadline_exceeded"));
+}
+
+/// Rate limiting over the wire mirrors `service_api`: a limit of 5
+/// admits exactly 5 of 8, refusals carry `Retry-After`, and the budget
+/// refills when the window rolls over.
+#[test]
+fn rate_limit_maps_to_429_with_retry_after() {
+    let srv = server_with(5, HttpConfig::default());
+
+    let shoot = |n: usize| {
+        let mut ok = 0;
+        let mut limited = 0;
+        for _ in 0..n {
+            let mut c = Client::connect(srv.addr);
+            c.send(&get_req("/lookup?q=vaccine", Some(&srv.token)));
+            let resp = c.read_response();
+            match resp.status {
+                200 => ok += 1,
+                429 => {
+                    let after: u64 = resp
+                        .header("Retry-After")
+                        .expect("429 carries Retry-After")
+                        .parse()
+                        .expect("integer seconds");
+                    assert!(after >= 1);
+                    assert!(resp.body.contains("rate_limited"), "{}", resp.body);
+                    limited += 1;
+                }
+                other => panic!("unexpected status {other}"),
+            }
+        }
+        (ok, limited)
+    };
+
+    assert_eq!(shoot(8), (5, 3));
+    srv.clock.advance(60_001);
+    assert_eq!(shoot(2), (2, 0));
+}
+
+/// Cache metadata rides the response headers: cold fills carry
+/// `Age: 0`, repeats are `hit`, Perturb bypasses with `no-store`, and
+/// the generation is pinned on every success.
+#[test]
+fn cache_metadata_headers() {
+    let srv = server();
+    let mut c = Client::connect(srv.addr);
+
+    c.send(&get_req("/lookup?q=democrats", Some(&srv.token)));
+    let cold = c.read_response();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("X-Cryptext-Cache"), Some("cold"));
+    assert_eq!(cold.header("Age"), Some("0"));
+    assert_eq!(cold.header("Cache-Control"), Some("public, max-age=300"));
+    let generation = cold
+        .header("X-Cryptext-Generation")
+        .expect("generation")
+        .to_string();
+
+    c.send(&get_req("/lookup?q=democrats", Some(&srv.token)));
+    let hit = c.read_response();
+    assert_eq!(hit.header("X-Cryptext-Cache"), Some("hit"));
+    assert_eq!(hit.header("Age"), None, "hits have unknowable age");
+    assert_eq!(
+        hit.header("X-Cryptext-Generation"),
+        Some(generation.as_str())
+    );
+    assert_eq!(hit.body, cold.body, "hit serves the leader's exact bytes");
+
+    c.send(&post_req("/perturb?seed=1", &srv.token, "the vaccine"));
+    let bypass = c.read_response();
+    assert_eq!(bypass.header("X-Cryptext-Cache"), Some("bypass"));
+    assert_eq!(bypass.header("Cache-Control"), Some("no-store"));
+
+    let errors = {
+        let mut c2 = Client::connect(srv.addr);
+        c2.send(&get_req("/lookup?q=x", None));
+        c2.read_response()
+    };
+    assert_eq!(errors.header("Cache-Control"), Some("no-store"));
+    assert_eq!(errors.header("X-Cryptext-Cache"), None);
+}
+
+/// The SIGTERM-style drain: requests admitted to the gateway when
+/// shutdown fires all complete over the wire (zero dropped in-flight
+/// responses), the flush hook runs, and the report says quiesced.
+#[test]
+fn graceful_drain_completes_in_flight_requests() {
+    let srv = server();
+    let base = srv.gateway.stats().admitted;
+    const CLIENTS: usize = 8;
+
+    let mut workers = Vec::new();
+    for i in 0..CLIENTS {
+        let addr = srv.addr;
+        let token = srv.token.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr);
+            // Distinct texts: no single-flight coalescing, eight real
+            // executions in flight.
+            c.send(&post_req(
+                "/normalize",
+                &token,
+                &format!("the vacc1ne mandate number {i}"),
+            ));
+            c.read_response()
+        }));
+    }
+
+    // All eight admitted (some may already be executing) — now pull the
+    // plug mid-traffic.
+    let started = Instant::now();
+    while srv.gateway.stats().admitted < base + CLIENTS as u64 {
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "requests never reached the gateway"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let flush_ran = Arc::clone(&srv.flush_ran);
+    let report = srv.finish();
+
+    for worker in workers {
+        let resp = worker.join().expect("client thread");
+        assert_eq!(resp.status, 200, "in-flight request dropped: {}", resp.body);
+        assert!(resp.body.contains("\"text\":\"the vaccine mandate number"));
+    }
+    assert!(report.drain.quiesced, "drain did not quiesce: {report:?}");
+    assert!(report.drain.flush_error.is_none());
+    assert!(flush_ran.load(Ordering::SeqCst), "flush hook never ran");
+    assert!(report.requests_served >= CLIENTS as u64);
+}
+
+/// Clean mode: an API response is whole. Armed mode (CI re-runs this
+/// exact test under `CRYPTEXT_FAILPOINTS=http.write=torn@1:8`): the
+/// response is torn at 8 bytes and the connection dies — but the tear
+/// is confined to that connection. Either way the listener keeps
+/// serving: health, stats, and fresh connections all answer afterwards.
+#[test]
+fn torn_write_cannot_poison_the_listener() {
+    let srv = server();
+
+    let mut first = Client::connect(srv.addr);
+    first.send(&format!(
+        "GET /lookup?q=vaccine HTTP/1.1\r\nHost: loopback\r\nAuthorization: Bearer {}\r\nConnection: close\r\n\r\n",
+        srv.token
+    ));
+    let bytes = first.read_to_eof();
+    let armed = !String::from_utf8_lossy(&bytes).contains("\r\n\r\n");
+    if armed {
+        // torn@1:8 — exactly the torn prefix came through, then EOF.
+        assert_eq!(bytes.len(), 8, "torn at 8 bytes: {bytes:?}");
+        assert!(b"HTTP/1.1 200 OK".starts_with(&bytes[..]));
+    } else {
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(
+            text.starts_with("HTTP/1.1 200 OK\r\n"),
+            "clean mode: {text}"
+        );
+        assert!(text.contains("\"hits\":["));
+    }
+
+    // The listener is fine: non-API routes never trip the failpoint …
+    let mut probe = Client::connect(srv.addr);
+    probe.send(&get_req("/healthz", None));
+    assert_eq!(probe.read_response().status, 200);
+    probe.send(&get_req("/stats", None));
+    assert_eq!(probe.read_response().status, 200);
+
+    // … and a second API request on a fresh connection tears again
+    // (armed) or succeeds (clean) — its connection's problem alone.
+    let mut second = Client::connect(srv.addr);
+    second.send(&format!(
+        "GET /lookup?q=vaccine HTTP/1.1\r\nHost: loopback\r\nAuthorization: Bearer {}\r\nConnection: close\r\n\r\n",
+        srv.token
+    ));
+    let bytes = second.read_to_eof();
+    if armed {
+        assert_eq!(bytes.len(), 8);
+    } else {
+        assert!(String::from_utf8_lossy(&bytes).contains("\"hits\":["));
+    }
+
+    let mut after = Client::connect(srv.addr);
+    after.send(&get_req("/healthz", None));
+    assert_eq!(after.read_response().status, 200, "listener poisoned");
+}
+
+/// HTTP/1.0 defaults to close; `GET /stats` is a complete operator
+/// report (gateway + cache tiers + draining) without auth.
+#[test]
+fn http10_close_default_and_stats_surface() {
+    let srv = server();
+
+    let mut old = Client::connect(srv.addr);
+    old.send("GET /healthz HTTP/1.0\r\n\r\n");
+    let resp = old.read_response();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("Connection"), Some("close"));
+    assert!(old.read_to_eof().is_empty(), "1.0 connection closed");
+
+    let mut c = Client::connect(srv.addr);
+    c.send(&get_req("/lookup?q=vaccine", Some(&srv.token)));
+    assert_eq!(c.read_response().status, 200);
+    c.send(&get_req("/stats", None));
+    let stats = c.read_response();
+    assert_eq!(stats.status, 200);
+    for field in [
+        "\"gateway\":",
+        "\"admitted\":",
+        "\"cache\":",
+        "\"lookup\":",
+        "\"generation\":",
+        "\"draining\":false",
+    ] {
+        assert!(
+            stats.body.contains(field),
+            "missing {field} in {}",
+            stats.body
+        );
+    }
+}
