@@ -49,7 +49,11 @@
 //! recomputed and compared against the committed JSON files, exiting
 //! non-zero on drift. CI runs this as a bench smoke test, so a change that
 //! silently alters retrieval or correction results fails the build even
-//! when every latency number looks plausible.
+//! when every latency number looks plausible. `--check` additionally
+//! gates the metrics hot path: attaching the per-stage instrument bundle
+//! must keep the lookup/normalize p50 within 5% of the detached/pinned
+//! reference, and after the loopback run the registry's wire-layer
+//! totals must equal the served-request count the suite pins.
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Condvar, Mutex};
@@ -62,7 +66,8 @@ use cryptext_core::lookup::LookupHit;
 use cryptext_core::service::{CryptextService, ServiceConfig};
 use cryptext_core::{
     look_up_naive, look_up_with, CrypText, EncodedQuery, LookupParams, LookupScratch,
-    NormalizeParams, NormalizeScratch, Normalizer, ShardedTokenDatabase, TokenDatabase,
+    NormalizeParams, NormalizeScratch, Normalizer, ShardedTokenDatabase, StageMetrics,
+    TokenDatabase,
 };
 use cryptext_docstore::Database;
 use cryptext_gateway::{
@@ -158,6 +163,24 @@ fn extract_ints(json: &str, key: &str) -> Vec<u64> {
             let rest = line[idx + needle.len()..].trim();
             let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
             digits.parse().ok()
+        })
+        .collect()
+}
+
+/// Every numeric value attached to `key` in (our own, flat) JSON output,
+/// parsed as `f64` — the float sibling of [`extract_ints`] for the
+/// latency-pin fields written with `{:.2}`.
+fn extract_floats(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    json.lines()
+        .filter_map(|line| {
+            let idx = line.find(&needle)?;
+            let rest = line[idx + needle.len()..].trim();
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            num.parse().ok()
         })
         .collect()
 }
@@ -591,6 +614,11 @@ struct HttpOverhead {
     wire: Measured,
     direct: Measured,
     requests_served: u64,
+    /// Registry totals after the run — what a `GET /metrics` scrape
+    /// would report: wire-layer responses across all statuses, and
+    /// request-timing observations.
+    registry_responses: u64,
+    registry_timings: u64,
 }
 
 /// Serve the bench fixture over loopback HTTP and run the comparison.
@@ -635,10 +663,13 @@ fn run_http_overhead(rounds: usize) -> HttpOverhead {
     drop(stream);
     handle.shutdown();
     let report = serve.join().expect("serve thread");
+    let snap = gw.metrics().snapshot();
     HttpOverhead {
         wire,
         direct,
         requests_served: report.requests_served,
+        registry_responses: snap.counter_total("cryptext_http_responses_total"),
+        registry_timings: snap.histogram_count("cryptext_http_request_us"),
     }
 }
 
@@ -665,7 +696,112 @@ fn check_http() -> Result<(), String> {
             ));
         }
     }
+    // The registry is the same surface a `GET /metrics` scrape renders:
+    // after the loopback run its wire-layer totals must equal the
+    // served-request count pinned above.
+    if fresh.registry_responses != fresh.requests_served {
+        return Err(format!(
+            "registry cryptext_http_responses_total is {}, expected the served-request count {}",
+            fresh.registry_responses, fresh.requests_served
+        ));
+    }
+    if fresh.registry_timings != fresh.requests_served {
+        return Err(format!(
+            "registry cryptext_http_request_us count is {}, expected the served-request count {}",
+            fresh.registry_timings, fresh.requests_served
+        ));
+    }
     Ok(())
+}
+
+/// The metrics-overhead gate: attaching the per-stage instrument bundle
+/// must not move the hot-path p50. Each workload is measured twice on
+/// this machine — stages detached (the configuration the committed pins
+/// were produced under) and attached (the production service
+/// configuration) — taking the best-of-three p50 per arm, and the
+/// instrumented p50 must stay within 5% of the reference. The reference
+/// is the larger of the live detached p50 and the committed pin, so the
+/// gate holds the pinning machine to its absolute numbers and degrades
+/// to a pure same-run A/B on faster or slower hardware; the small
+/// absolute slack absorbs `Instant` granularity on microsecond p50s.
+fn check_metrics_overhead(
+    db: &TokenDatabase,
+    cx: &CrypText,
+    queries: &[&str],
+    norm_texts: &[&str],
+) -> Result<(), String> {
+    let lookup_json = std::fs::read_to_string("BENCH_lookup.json")
+        .map_err(|e| format!("read BENCH_lookup.json: {e}"))?;
+    let norm_json = std::fs::read_to_string("BENCH_normalize.json")
+        .map_err(|e| format!("read BENCH_normalize.json: {e}"))?;
+    // The first p50_us in each file is the optimized block's pin (the
+    // naive, sharded, and normalize sections all come after it).
+    let pinned_lookup = *extract_floats(&lookup_json, "p50_us")
+        .first()
+        .ok_or("BENCH_lookup.json has no p50_us fields")?;
+    let pinned_norm = *extract_floats(&norm_json, "p50_us")
+        .first()
+        .ok_or("BENCH_normalize.json has no p50_us fields")?;
+
+    let params = LookupParams::paper_default();
+    let lookup_p50 = |stages: Option<Arc<StageMetrics>>| -> f64 {
+        let mut scratch = LookupScratch::new();
+        scratch.attach_stages(stages);
+        for _ in 0..WARMUP_ROUNDS {
+            for q in queries {
+                let _ = look_up_with(db, q, params, &mut scratch).unwrap();
+            }
+        }
+        (0..3)
+            .map(|_| {
+                measure(queries, MEASURE_ROUNDS, |q| {
+                    look_up_with(db, q, params, &mut scratch).unwrap().len()
+                })
+                .p50_us
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let normalizer = Normalizer::new(cx.language_model());
+    let norm_p50 = |stages: Option<Arc<StageMetrics>>| -> f64 {
+        let mut scratch = NormalizeScratch::new();
+        scratch.attach_stages(stages);
+        // No separate warmup pass: the first of the three reps warms the
+        // scratch and the best-of-three min discards it.
+        (0..3)
+            .map(|_| {
+                measure(norm_texts, NORM_ROUNDS, |t| {
+                    normalizer
+                        .normalize_with(cx.database(), t, NormalizeParams::default(), &mut scratch)
+                        .unwrap()
+                        .corrections
+                        .len()
+                })
+                .p50_us
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let gate = |what: &str, detached: f64, instrumented: f64, pinned: f64| -> Result<(), String> {
+        let allowed = detached.max(pinned) * 1.05 + 0.25;
+        if instrumented > allowed {
+            return Err(format!(
+                "instrumented {what} p50 {instrumented:.2}µs exceeds the 5% metrics-overhead \
+                 gate (detached {detached:.2}µs, pinned {pinned:.2}µs, allowed {allowed:.2}µs)"
+            ));
+        }
+        Ok(())
+    };
+
+    let lookup_detached = lookup_p50(None);
+    let lookup_instrumented = lookup_p50(Some(Arc::new(StageMetrics::new())));
+    gate(
+        "lookup",
+        lookup_detached,
+        lookup_instrumented,
+        pinned_lookup,
+    )?;
+    let norm_detached = norm_p50(None);
+    let norm_instrumented = norm_p50(Some(Arc::new(StageMetrics::new())));
+    gate("normalize", norm_detached, norm_instrumented, pinned_norm)
 }
 
 /// A deterministic Zipf-distributed index sequence over `pool` items:
@@ -967,6 +1103,7 @@ fn main() {
             .and_then(|()| check_service())
             .and_then(|()| check_cache(&platform))
             .and_then(|()| check_http())
+            .and_then(|()| check_metrics_overhead(db, &cx, &queries, &norm_texts))
         {
             Ok(()) => {
                 println!(

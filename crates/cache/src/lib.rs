@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cryptext_common::hash::FxHashMap;
+use cryptext_common::metrics::{Counter, MetricsRegistry};
 use cryptext_common::{Clock, FxHasher, Timestamp};
 use parking_lot::Mutex;
 
@@ -114,11 +115,11 @@ pub struct Cache<K, V> {
     default_ttl_ms: Option<u64>,
     clock: Arc<dyn Clock>,
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    expirations: AtomicU64,
-    inserts: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    expirations: Counter,
+    inserts: Counter,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
@@ -133,11 +134,11 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
             default_ttl_ms: config.default_ttl_ms,
             clock,
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            expirations: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            expirations: Counter::new(),
+            inserts: Counter::new(),
         }
     }
 
@@ -188,7 +189,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
             for (dead_tick, k) in dead {
                 shard.map.remove(&k);
                 shard.recency.remove(&dead_tick);
-                self.expirations.fetch_add(1, Ordering::Relaxed);
+                self.expirations.inc();
             }
         }
         // Evict least-recently-used while still at capacity.
@@ -196,7 +197,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
             if let Some((&oldest_tick, _)) = shard.recency.iter().next() {
                 if let Some(victim) = shard.recency.remove(&oldest_tick) {
                     shard.map.remove(&victim);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.inc();
                 }
             } else {
                 break;
@@ -211,7 +212,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
                 tick,
             },
         );
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.inserts.inc();
     }
 
     /// Fetch a live entry, refreshing its recency. Expired entries are
@@ -222,7 +223,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
         let mut shard = self.shard_for(key).lock();
         let expired = match shard.map.get(key) {
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 return None;
             }
             Some(e) => e.expires_at.is_some_and(|t| t <= now),
@@ -231,8 +232,8 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
             if let Some(old) = shard.map.remove(key) {
                 shard.recency.remove(&old.tick);
             }
-            self.expirations.fetch_add(1, Ordering::Relaxed);
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.expirations.inc();
+            self.misses.inc();
             return None;
         }
         let entry = shard.map.get_mut(key).expect("checked above");
@@ -242,7 +243,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
         let key_clone = key.clone();
         shard.recency.remove(&old_tick);
         shard.recency.insert(new_tick, key_clone);
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
         Some(value)
     }
 
@@ -265,7 +266,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
         shard.recency.remove(&entry.tick);
         let now = self.clock.now();
         if entry.expires_at.is_some_and(|t| t <= now) {
-            self.expirations.fetch_add(1, Ordering::Relaxed);
+            self.expirations.inc();
             None
         } else {
             Some(entry.value)
@@ -310,7 +311,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
                 }
             }
         }
-        self.expirations.fetch_add(reaped as u64, Ordering::Relaxed);
+        self.expirations.add(reaped as u64);
         reaped
     }
 
@@ -336,15 +337,56 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
         removed
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot — a projection of the same
+    /// [`Counter`](cryptext_common::metrics::Counter) cells
+    /// [`Cache::register_metrics`] exposes to a registry.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            expirations: self.expirations.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            expirations: self.expirations.get(),
+            inserts: self.inserts.get(),
         }
+    }
+
+    /// Register this cache's counters under the workspace naming scheme
+    /// (`cryptext_cache_<event>_total{tier="<tier>"}`). The registry
+    /// shares the live cells, so exports always match [`Cache::stats`];
+    /// an unregistered cache records at identical cost and is simply
+    /// absent from exports.
+    pub fn register_metrics(&self, registry: &MetricsRegistry, tier: &'static str) {
+        let labels = [("tier", tier)];
+        registry.register_counter(
+            "cryptext_cache_hits_total",
+            "tier-1 cache hits",
+            &labels,
+            &self.hits,
+        );
+        registry.register_counter(
+            "cryptext_cache_misses_total",
+            "tier-1 cache misses",
+            &labels,
+            &self.misses,
+        );
+        registry.register_counter(
+            "cryptext_cache_evictions_total",
+            "tier-1 LRU evictions",
+            &labels,
+            &self.evictions,
+        );
+        registry.register_counter(
+            "cryptext_cache_expirations_total",
+            "tier-1 TTL expirations",
+            &labels,
+            &self.expirations,
+        );
+        registry.register_counter(
+            "cryptext_cache_inserts_total",
+            "tier-1 cache inserts (including overwrites)",
+            &labels,
+            &self.inserts,
+        );
     }
 }
 

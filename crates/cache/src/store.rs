@@ -21,9 +21,9 @@
 //!   tier-2 writes; callers must absorb the error as a miss — a broken
 //!   second tier degrades performance, never correctness.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use cryptext_common::metrics::{Counter, MetricsRegistry};
 use cryptext_common::{failpoint, Clock, Result};
 
 use crate::{Cache, CacheConfig};
@@ -70,12 +70,20 @@ pub trait CacheStore: Send + Sync {
 
     /// Counter snapshot.
     fn stats(&self) -> StoreStats;
+
+    /// Register this store's counters with a workspace
+    /// [`MetricsRegistry`] under `tier` (e.g. `"tier2"`). Default:
+    /// no-op, for backends with nothing to export. Implementations
+    /// share live cells, so exports always match [`CacheStore::stats`].
+    fn register_metrics(&self, registry: &MetricsRegistry, tier: &'static str) {
+        let _ = (registry, tier);
+    }
 }
 
 /// The sharded LRU [`Cache`] adapted to the [`CacheStore`] trait.
 pub struct LruCacheStore {
     inner: Cache<(u64, u128), Vec<u8>>,
-    invalidated: AtomicU64,
+    invalidated: Counter,
 }
 
 impl LruCacheStore {
@@ -83,7 +91,7 @@ impl LruCacheStore {
     pub fn new(config: CacheConfig, clock: Arc<dyn Clock>) -> Self {
         LruCacheStore {
             inner: Cache::new(config, clock),
-            invalidated: AtomicU64::new(0),
+            invalidated: Counter::new(),
         }
     }
 
@@ -105,7 +113,7 @@ impl CacheStore for LruCacheStore {
 
     fn invalidate_namespace(&self, ns: u64) -> usize {
         let n = self.inner.retain_keys(|&(k_ns, _)| k_ns != ns);
-        self.invalidated.fetch_add(n as u64, Ordering::Relaxed);
+        self.invalidated.add(n as u64);
         n
     }
 
@@ -121,9 +129,19 @@ impl CacheStore for LruCacheStore {
             inserts: s.inserts,
             evictions: s.evictions,
             expirations: s.expirations,
-            invalidated: self.invalidated.load(Ordering::Relaxed),
+            invalidated: self.invalidated.get(),
             put_errors: 0,
         }
+    }
+
+    fn register_metrics(&self, registry: &MetricsRegistry, tier: &'static str) {
+        self.inner.register_metrics(registry, tier);
+        registry.register_counter(
+            "cryptext_cache_invalidated_total",
+            "entries flushed by namespace invalidation",
+            &[("tier", tier)],
+            &self.invalidated,
+        );
     }
 }
 
@@ -138,8 +156,8 @@ pub const SHARED_PUT_FAILPOINT: &str = "cache.shared.put";
 /// results.
 pub struct SharedCacheStore {
     inner: Cache<(u64, u128), Vec<u8>>,
-    invalidated: AtomicU64,
-    put_errors: AtomicU64,
+    invalidated: Counter,
+    put_errors: Counter,
 }
 
 impl SharedCacheStore {
@@ -147,8 +165,8 @@ impl SharedCacheStore {
     pub fn new(config: CacheConfig, clock: Arc<dyn Clock>) -> Self {
         SharedCacheStore {
             inner: Cache::new(config, clock),
-            invalidated: AtomicU64::new(0),
-            put_errors: AtomicU64::new(0),
+            invalidated: Counter::new(),
+            put_errors: Counter::new(),
         }
     }
 
@@ -172,7 +190,7 @@ impl CacheStore for SharedCacheStore {
 
     fn put(&self, ns: u64, key: u128, value: Vec<u8>, ttl_ms: Option<u64>) -> Result<()> {
         if let Err(e) = failpoint::check(SHARED_PUT_FAILPOINT) {
-            self.put_errors.fetch_add(1, Ordering::Relaxed);
+            self.put_errors.inc();
             return Err(e);
         }
         self.inner.insert_opt_ttl((ns, key), value, ttl_ms);
@@ -181,7 +199,7 @@ impl CacheStore for SharedCacheStore {
 
     fn invalidate_namespace(&self, ns: u64) -> usize {
         let n = self.inner.retain_keys(|&(k_ns, _)| k_ns != ns);
-        self.invalidated.fetch_add(n as u64, Ordering::Relaxed);
+        self.invalidated.add(n as u64);
         n
     }
 
@@ -197,9 +215,25 @@ impl CacheStore for SharedCacheStore {
             inserts: s.inserts,
             evictions: s.evictions,
             expirations: s.expirations,
-            invalidated: self.invalidated.load(Ordering::Relaxed),
-            put_errors: self.put_errors.load(Ordering::Relaxed),
+            invalidated: self.invalidated.get(),
+            put_errors: self.put_errors.get(),
         }
+    }
+
+    fn register_metrics(&self, registry: &MetricsRegistry, tier: &'static str) {
+        self.inner.register_metrics(registry, tier);
+        registry.register_counter(
+            "cryptext_cache_invalidated_total",
+            "entries flushed by namespace invalidation",
+            &[("tier", tier)],
+            &self.invalidated,
+        );
+        registry.register_counter(
+            "cryptext_cache_put_errors_total",
+            "tier-2 puts that failed (entry dropped)",
+            &[("tier", tier)],
+            &self.put_errors,
+        );
     }
 }
 

@@ -14,10 +14,15 @@
 /// Append `s` to `out` as a JSON string literal, quotes included.
 ///
 /// Escapes the two mandatory characters (`"`, `\`), the named control
-/// shorthands, and every other control byte as `\u00XX`. Everything else
-/// (UTF-8 multibyte included) passes through verbatim — JSON strings are
-/// Unicode text.
+/// shorthands, every other control byte as `\u00XX`, and — because the
+/// emitted documents now carry operator-facing identifiers (metric and
+/// label names) into transports we don't control — every non-ASCII
+/// scalar as `\uXXXX` (UTF-16 surrogate pairs beyond the BMP). The
+/// output is therefore pure printable ASCII: safe to embed in logs,
+/// headers, and charset-confused clients, and it decodes to the
+/// identical Unicode string.
 pub fn push_str_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     out.push('"');
     for c in s.chars() {
         match c {
@@ -28,8 +33,11 @@ pub fn push_str_escaped(out: &mut String, s: &str) {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c if (c as u32) < 0x20 || (c as u32) > 0x7E => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
             }
             c => out.push(c),
         }
@@ -71,7 +79,30 @@ mod tests {
         assert_eq!(string("a\nb\tc\r"), "\"a\\nb\\tc\\r\"");
         assert_eq!(string("\u{08}\u{0C}"), "\"\\b\\f\"");
         assert_eq!(string("\u{01}"), "\"\\u0001\"");
-        assert_eq!(string("héllo ✓"), "\"héllo ✓\"", "UTF-8 passes through");
+        assert_eq!(string("\u{1F}\u{7F}"), "\"\\u001f\\u007f\"");
+    }
+
+    #[test]
+    fn non_ascii_escapes_to_utf16_units() {
+        assert_eq!(string("héllo ✓"), "\"h\\u00e9llo \\u2713\"");
+        // Beyond the BMP: UTF-16 surrogate pair.
+        assert_eq!(string("\u{1F600}"), "\"\\ud83d\\ude00\"");
+        // Output is pure printable ASCII, always.
+        for s in ["héllo ✓", "\u{1F600}", "mixé\u{7F}\u{0}"] {
+            assert!(
+                string(s).bytes().all(|b| (0x20..0x7F).contains(&b)),
+                "non-ASCII leaked for {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaped_strings_stay_mandatory_json() {
+        // Quote/backslash positions in the escaped output only ever
+        // come from the escape sequences themselves.
+        let out = string("a\"b\\c\u{00e9}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\u00e9\"");
+        assert!(!out[1..out.len() - 1].contains("\u{00e9}"));
     }
 
     #[test]

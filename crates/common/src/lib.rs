@@ -20,6 +20,10 @@
 //! * [`text`] — tiny string helpers shared by tokenizer/phonetics.
 //! * [`failpoint`] — deterministic fault injection for durability tests
 //!   (kill / torn-write at named crash boundaries).
+//! * [`metrics`] — the workspace-wide observability layer: lock-free
+//!   counters, gauges, and log-scale latency histograms behind one
+//!   [`MetricsRegistry`](metrics::MetricsRegistry), rendered as
+//!   Prometheus text by the HTTP layer.
 
 #![warn(missing_docs)]
 
@@ -29,6 +33,7 @@ pub mod failpoint;
 pub mod hash;
 pub mod interner;
 pub mod jsonfmt;
+pub mod metrics;
 pub mod par;
 pub mod rng;
 pub mod text;
@@ -37,4 +42,5 @@ pub use clock::{system_clock, Clock, SimClock, SystemClock, TimeRange, Timestamp
 pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use interner::{Interner, Symbol};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use rng::SplitMix64;

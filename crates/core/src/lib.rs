@@ -35,6 +35,7 @@ pub mod durable;
 pub mod ingest;
 pub mod listening;
 pub mod lookup;
+pub mod metrics;
 pub mod normalize;
 pub mod perturb;
 pub mod service;
@@ -48,6 +49,7 @@ pub use lookup::{
     for_each_hit, for_each_hit_until, look_up, look_up_cancellable, look_up_naive, look_up_with,
     LookupHit, LookupParams, LookupScratch,
 };
+pub use metrics::StageMetrics;
 pub use normalize::{
     CandidateCache, CandidatePairs, NormalizeParams, NormalizeScratch, Normalizer,
 };

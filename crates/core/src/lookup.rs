@@ -8,11 +8,14 @@
 
 use std::cell::RefCell;
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cryptext_common::Result;
 use cryptext_editdist::{levenshtein_bounded_chars, levenshtein_bounded_scratch, EditScratch};
 
 use crate::database::{EncodedQuery, SoundScratch, TokenDatabase, TokenRecord};
+use crate::metrics::StageMetrics;
 use crate::store::TokenStore;
 
 /// Parameters of a Look Up query.
@@ -90,12 +93,28 @@ pub struct LookupScratch {
     sound: SoundScratch,
     edit: EditScratch,
     query: EncodedQuery,
+    /// Optional per-stage instrument bundle. `None` (the default) keeps
+    /// every instrumentation site in the retrieval path on its no-op
+    /// branch; attaching shares the service's live cells.
+    pub(crate) stages: Option<Arc<StageMetrics>>,
 }
 
 impl LookupScratch {
     /// Fresh scratch space (allocates lazily on first use).
     pub fn new() -> Self {
         LookupScratch::default()
+    }
+
+    /// Attach (or, with `None`, detach) a stage-metrics bundle. While
+    /// attached, every retrieval through this scratch records encode/walk
+    /// timings and filter/hit volumes into the bundle's shared cells.
+    pub fn attach_stages(&mut self, stages: Option<Arc<StageMetrics>>) {
+        self.stages = stages;
+    }
+
+    /// The currently attached stage-metrics bundle, if any.
+    pub fn stages(&self) -> Option<&Arc<StageMetrics>> {
+        self.stages.as_ref()
     }
 }
 
@@ -200,19 +219,44 @@ where
     S: TokenStore,
     F: FnMut(u32, &'a TokenRecord, usize) -> ControlFlow<()>,
 {
-    let LookupScratch { sound, edit, query } = scratch;
-    query.encode(token, params.k)?;
+    let LookupScratch {
+        sound,
+        edit,
+        query,
+        stages,
+    } = scratch;
+    let stages = stages.as_deref();
+    {
+        // Scope the encode timer to the encode alone; the guard records
+        // on drop, before `?` can propagate an encode error.
+        let _t = stages.map(|s| s.lookup_encode_us.start_timer());
+        query.encode(token, params.k)?;
+    }
     let query_folded: &str = query.folded();
     let query_chars = query.folded_chars();
 
+    // Volume tallies accumulate locally and flush as one atomic add per
+    // walk — never per candidate (the fan-out map runs on pool workers,
+    // where a shared hot cell would bounce between cores).
+    let track = stages.is_some();
+    let examined = AtomicU64::new(0);
+    let mut hits: u64 = 0;
+    let _walk = stages.map(|s| s.lookup_walk_us.start_timer());
+
     if db.num_shards() <= 1 {
         // Single walk: filter inline with the caller's edit scratch.
+        let mut seen: u64 = 0;
         let _ = db.for_each_sound_mate(query, sound, |id, rec| {
+            seen += 1;
             match hit_distance(rec, query_folded, query_chars, params, edit) {
-                Some(distance) => f(id, rec, distance),
+                Some(distance) => {
+                    hits += 1;
+                    f(id, rec, distance)
+                }
                 None => ControlFlow::Continue(()),
             }
         });
+        examined.store(seen, Ordering::Relaxed);
     } else {
         // Sharded: one encoding feeds every shard; the store may run the
         // filter map per shard on pool workers (thread-local edit
@@ -221,6 +265,9 @@ where
             query,
             sound,
             |id, rec| {
+                if track {
+                    examined.fetch_add(1, Ordering::Relaxed);
+                }
                 FAN_OUT_EDIT_SCRATCH.with(|edit| {
                     hit_distance(
                         rec,
@@ -232,8 +279,16 @@ where
                     .map(|distance| (id, rec, distance))
                 })
             },
-            |(id, rec, distance)| f(id, rec, distance),
+            |(id, rec, distance)| {
+                hits += 1;
+                f(id, rec, distance)
+            },
         );
+    }
+    if let Some(s) = stages {
+        s.lookup_filter_candidates
+            .add(examined.load(Ordering::Relaxed));
+        s.lookup_hits.add(hits);
     }
     Ok(())
 }

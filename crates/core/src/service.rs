@@ -31,12 +31,14 @@ use std::sync::Arc;
 
 use cryptext_cache::{Cache, CacheConfig, CacheStats, CacheStore, SharedCacheStore, StoreStats};
 use cryptext_common::hash::{fx_hash_str, FxHashMap};
+use cryptext_common::metrics::{Counter, Gauge, MetricsRegistry};
 use cryptext_common::par::try_par_map;
 use cryptext_common::{Clock, Error, FxHasher, Result, Timestamp};
 use parking_lot::RwLock;
 
 use crate::database::TokenDatabase;
 use crate::lookup::{look_up_cancellable, LookupHit, LookupParams, LookupScratch};
+use crate::metrics::StageMetrics;
 use crate::normalize::{
     CandidateCache, CandidatePairs, NormalizationResult, NormalizeParams, NormalizeScratch,
     Normalizer,
@@ -270,9 +272,22 @@ pub struct CryptextService<S: TokenStore = TokenDatabase> {
     /// Data-version counter; part of every cache key. Bumped on ingest
     /// (via the gateway), which invalidates both tiers.
     generation: AtomicU64,
-    negative_hits: AtomicU64,
-    invalidation_bumps: AtomicU64,
-    invalidated_entries: AtomicU64,
+    negative_hits: Counter,
+    invalidation_bumps: Counter,
+    invalidated_entries: Counter,
+    /// The instance's metrics registry: every cache tier, store backend,
+    /// engine stage, and service counter above registers its live cells
+    /// here. Front-ends (gateway, HTTP) adopt it via [`Self::metrics`].
+    metrics: Arc<MetricsRegistry>,
+    /// Per-stage engine instruments, attached to the per-thread scratches
+    /// around every engine call.
+    stages: Arc<StageMetrics>,
+    /// Registry view of [`Self::generation`].
+    generation_gauge: Gauge,
+    /// Guards against double-registering tier-2 counters when
+    /// [`Self::attach_tier2`] replaces an env-attached store (the registry
+    /// keeps the first store's registration; see `attach_tier2`).
+    tier2_metrics_registered: bool,
 }
 
 impl<S: TokenStore> CryptextService<S> {
@@ -303,6 +318,39 @@ impl<S: TokenStore> CryptextService<S> {
         }
         h.write_usize(stats.english_tokens);
         let tier2_identity = h.finish();
+
+        // One registry per service instance: every layer below registers
+        // its live cells, so each snapshot/render is a consistent view of
+        // this instance (tests and replica fleets never cross-pollute).
+        let metrics = Arc::new(MetricsRegistry::new());
+        lookup_cache.register_metrics(&metrics, "lookup");
+        norm_cache.register_metrics(&metrics, "normalize");
+        norm_result_cache.register_metrics(&metrics, "normalize_results");
+        let mut tier2_metrics_registered = false;
+        if let Some(t2) = &tier2 {
+            t2.register_metrics(&metrics, "tier2");
+            tier2_metrics_registered = true;
+        }
+        let negative_hits = metrics.counter(
+            "cryptext_cache_negative_hits_total",
+            "Normalize hits that served a cached negative (no-candidate) entry",
+        );
+        let invalidation_bumps = metrics.counter(
+            "cryptext_cache_invalidation_bumps_total",
+            "Generation bumps (whole-hierarchy cache invalidations)",
+        );
+        let invalidated_entries = metrics.counter(
+            "cryptext_cache_invalidated_entries_total",
+            "Entries flushed by generation bumps, across tiers",
+        );
+        let generation_gauge = metrics.gauge(
+            "cryptext_service_generation",
+            "Current data-version generation (part of every cache key)",
+        );
+        let stages = Arc::new(StageMetrics::new());
+        stages.register(&metrics);
+        system.database().register_metrics(&metrics);
+
         CryptextService {
             system,
             config,
@@ -315,9 +363,13 @@ impl<S: TokenStore> CryptextService<S> {
             tier2,
             tier2_identity,
             generation: AtomicU64::new(0),
-            negative_hits: AtomicU64::new(0),
-            invalidation_bumps: AtomicU64::new(0),
-            invalidated_entries: AtomicU64::new(0),
+            negative_hits,
+            invalidation_bumps,
+            invalidated_entries,
+            metrics,
+            stages,
+            generation_gauge,
+            tier2_metrics_registered,
         }
     }
 
@@ -325,6 +377,13 @@ impl<S: TokenStore> CryptextService<S> {
     /// replica services at one [`SharedCacheStore`]. Call before wrapping
     /// the service in an `Arc`.
     pub fn attach_tier2(&mut self, store: Arc<dyn CacheStore>) {
+        // First attached store wins the registry slots: replacing a store
+        // would need de-registration to avoid duplicate-name panics, and
+        // replacement only happens in test topology setup.
+        if !self.tier2_metrics_registered {
+            store.register_metrics(&self.metrics, "tier2");
+            self.tier2_metrics_registered = true;
+        }
         self.tier2 = Some(store);
     }
 
@@ -343,7 +402,8 @@ impl<S: TokenStore> CryptextService<S> {
     /// namespace is flushed. Returns the new generation.
     pub fn bump_generation(&self) -> u64 {
         let old = self.generation.fetch_add(1, Ordering::AcqRel);
-        self.invalidation_bumps.fetch_add(1, Ordering::Relaxed);
+        self.invalidation_bumps.inc();
+        self.generation_gauge.set((old + 1) as i64);
         // Every tier-1 entry carries a generation ≤ old in its key and is
         // now unreachable; drop rather than letting stale entries LRU out.
         let mut flushed =
@@ -354,8 +414,7 @@ impl<S: TokenStore> CryptextService<S> {
         if let Some(t2) = &self.tier2 {
             flushed += t2.invalidate_namespace(self.tier2_namespace(old));
         }
-        self.invalidated_entries
-            .fetch_add(flushed as u64, Ordering::Relaxed);
+        self.invalidated_entries.add(flushed as u64);
         old + 1
     }
 
@@ -553,13 +612,14 @@ impl<S: TokenStore> CryptextService<S> {
             return Ok((hits, Served::Tier1Hit));
         }
         let hits = PRECHECKED_SCRATCH.with(|scratch| {
-            look_up_cancellable(
-                self.system.database(),
-                token,
-                params,
-                &mut scratch.borrow_mut(),
-                cancel,
-            )
+            let scratch = &mut *scratch.borrow_mut();
+            // Attach the shared stage instruments for the duration of the
+            // engine call; detach before surfacing any error so a scratch
+            // reused by a metrics-free caller stays on the no-op branch.
+            scratch.attach_stages(Some(Arc::clone(&self.stages)));
+            let res = look_up_cancellable(self.system.database(), token, params, scratch, cancel);
+            scratch.attach_stages(None);
+            res
         })?;
         self.lookup_cache.insert(key, hits.clone());
         Ok((hits, Served::Cold))
@@ -609,13 +669,17 @@ impl<S: TokenStore> CryptextService<S> {
         }
         let cache = ServiceCandidateCache { svc: self };
         let result = NORMALIZE_SCRATCH.with(|scratch| {
-            Normalizer::new(self.system.language_model()).normalize_cached(
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.attach_stages(Some(Arc::clone(&self.stages)));
+            let res = Normalizer::new(self.system.language_model()).normalize_cached(
                 self.system.database(),
                 text,
                 params,
-                &mut scratch.borrow_mut(),
+                scratch,
                 &cache,
-            )
+            );
+            scratch.attach_stages(None);
+            res
         })?;
         self.norm_result_cache.insert(result_key, result.clone());
         Ok((result, Served::Cold))
@@ -728,19 +792,35 @@ impl<S: TokenStore> CryptextService<S> {
         self.lookup_cache.stats()
     }
 
-    /// Counter snapshot across the whole cache hierarchy.
+    /// Counter snapshot across the whole cache hierarchy — a projection
+    /// of the instance [`MetricsRegistry`]: every number here reads the
+    /// same live cells the registry snapshots and renders.
     pub fn cache_tier_stats(&self) -> CacheTierSnapshot {
         CacheTierSnapshot {
             lookup: self.lookup_cache.stats(),
             normalize: self.norm_cache.stats(),
             normalize_results: self.norm_result_cache.stats(),
-            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.get(),
             generation: self.generation(),
-            invalidation_bumps: self.invalidation_bumps.load(Ordering::Relaxed),
-            invalidated_entries: self.invalidated_entries.load(Ordering::Relaxed),
+            invalidation_bumps: self.invalidation_bumps.get(),
+            invalidated_entries: self.invalidated_entries.get(),
             tier2_attached: self.tier2.is_some(),
             tier2: self.tier2.as_ref().map(|t| t.stats()).unwrap_or_default(),
         }
+    }
+
+    /// The instance metrics registry: cache tiers, store backends, engine
+    /// stages, and service counters all share it. Front-ends (the
+    /// gateway, the HTTP wire layer) register their own instruments here
+    /// so one snapshot covers the whole request path.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The shared per-stage engine instruments (also reachable through
+    /// [`Self::metrics`] snapshots; this handle reads the live cells).
+    pub fn stage_metrics(&self) -> &Arc<StageMetrics> {
+        &self.stages
     }
 
     /// Eagerly reap expired entries from every cache tier; returns how
@@ -809,7 +889,7 @@ impl<S: TokenStore> CandidateCache for ServiceCandidateCache<'_, S> {
         let key = self.svc.normalize_cache_key(token, k, d);
         if let Some(pairs) = self.svc.norm_cache.get(&key) {
             if pairs.is_empty() {
-                self.svc.negative_hits.fetch_add(1, Ordering::Relaxed);
+                self.svc.negative_hits.inc();
             }
             return Some(pairs);
         }
@@ -820,7 +900,7 @@ impl<S: TokenStore> CandidateCache for ServiceCandidateCache<'_, S> {
         // Promote into tier-1 so the next request never leaves process.
         self.svc.norm_cache.insert(key, Arc::clone(&pairs));
         if pairs.is_empty() {
-            self.svc.negative_hits.fetch_add(1, Ordering::Relaxed);
+            self.svc.negative_hits.inc();
         }
         Some(pairs)
     }

@@ -62,6 +62,7 @@ use std::ops::ControlFlow;
 
 use cryptext_common::failpoint;
 use cryptext_common::hash::{FxHashMap, FxHashSet, ShardRing};
+use cryptext_common::metrics::{Counter, MetricsRegistry};
 use cryptext_common::par::{par_map, try_par_map};
 use cryptext_common::{Error, Result};
 use cryptext_docstore::{Database, Document, Filter, Value};
@@ -101,6 +102,10 @@ pub struct ShardedTokenDatabase {
     soundex: [CustomSoundex; NUM_LEVELS],
     shards: Vec<TokenDatabase>,
     clean_sentences: Vec<String>,
+    /// Shard walks actually performed (Bloom summary admitted the query).
+    shard_walks: Counter,
+    /// Shard walks skipped outright by the Bloom summaries.
+    shard_skips: Counter,
 }
 
 impl ShardedTokenDatabase {
@@ -119,6 +124,8 @@ impl ShardedTokenDatabase {
                 .map(|_| TokenDatabase::in_memory())
                 .collect(),
             clean_sentences: Vec::new(),
+            shard_walks: Counter::new(),
+            shard_skips: Counter::new(),
         }
     }
 
@@ -471,14 +478,29 @@ impl TokenStore for ShardedTokenDatabase {
         F: FnMut(u32, &'a TokenRecord) -> ControlFlow<()>,
     {
         let n = self.shards.len() as u32;
+        // Tally walk/skip decisions locally and flush as two adds per
+        // query (early exit included), never per shard.
+        let mut walked = 0u64;
+        let mut skipped = 0u64;
+        let mut flow = ControlFlow::Continue(());
         for (s, shard) in self.shards.iter().enumerate() {
             if !shard.may_match(query) {
+                skipped += 1;
                 continue; // Bloom says no bucket here can match.
             }
+            walked += 1;
             let s = s as u32;
-            shard.for_each_sound_mate(query, scratch, |local, rec| f(local * n + s, rec))?;
+            if shard
+                .for_each_sound_mate(query, scratch, |local, rec| f(local * n + s, rec))
+                .is_break()
+            {
+                flow = ControlFlow::Break(());
+                break;
+            }
         }
-        ControlFlow::Continue(())
+        self.shard_walks.add(walked);
+        self.shard_skips.add(skipped);
+        flow
     }
 
     fn fan_out_sound_mates<'a, M, R, F>(
@@ -499,6 +521,8 @@ impl TokenStore for ShardedTokenDatabase {
         let mut matching = std::mem::take(&mut scratch.fan_out);
         matching.clear();
         matching.extend((0..n).filter(|&s| self.shards[s as usize].may_match(query)));
+        self.shard_walks.add(matching.len() as u64);
+        self.shard_skips.add(n as u64 - matching.len() as u64);
         let flow = if matching.len() <= 1 {
             // Nothing to fan out: walk the (at most one) matching shard
             // inline on the caller's scratch, no per-shard buffers.
@@ -523,6 +547,21 @@ impl TokenStore for ShardedTokenDatabase {
 
     fn get(&self, token: &str) -> Option<&TokenRecord> {
         self.shards[self.route(token)].get(token)
+    }
+
+    fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.register_counter(
+            "cryptext_store_shard_walks_total",
+            "Per-query shard walks the Bloom summaries admitted",
+            &[],
+            &self.shard_walks,
+        );
+        registry.register_counter(
+            "cryptext_store_shard_skips_total",
+            "Per-query shard walks skipped by the Bloom summaries",
+            &[],
+            &self.shard_skips,
+        );
     }
 
     fn stats(&self) -> TokenStats {

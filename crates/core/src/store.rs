@@ -28,6 +28,7 @@
 
 use std::ops::ControlFlow;
 
+use cryptext_common::metrics::MetricsRegistry;
 use cryptext_common::Result;
 use cryptext_docstore::Database;
 use cryptext_phonetics::CustomSoundex;
@@ -181,6 +182,14 @@ pub trait TokenStore: Sync {
     fn load_from(store: &Database, collection: &str) -> Result<Self>
     where
         Self: Sized;
+
+    /// Register this backend's observability instruments (shard-walk and
+    /// Bloom-skip counters, durable-log timings, …) with `registry`.
+    /// Backends with nothing to report keep the no-op default; the
+    /// service facade calls this once at construction.
+    fn register_metrics(&self, registry: &MetricsRegistry) {
+        let _ = registry;
+    }
 }
 
 impl TokenStore for TokenDatabase {
@@ -435,6 +444,13 @@ impl TokenStore for AnyTokenStore {
         match self {
             AnyTokenStore::Single(db) => db.persist_to(store, collection),
             AnyTokenStore::Sharded(db) => TokenStore::persist_to(db, store, collection),
+        }
+    }
+
+    fn register_metrics(&self, registry: &MetricsRegistry) {
+        match self {
+            AnyTokenStore::Single(db) => TokenStore::register_metrics(db, registry),
+            AnyTokenStore::Sharded(db) => TokenStore::register_metrics(db, registry),
         }
     }
 

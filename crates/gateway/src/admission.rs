@@ -18,6 +18,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use cryptext_common::{Error, Result};
 
@@ -38,14 +39,16 @@ pub struct RouteAdmission {
     cv: Condvar,
 }
 
-/// A successfully acquired slot: the permit plus whether the request had
-/// to queue first (stats attribution). The gateway folds this into its
-/// own [`Admitted`](crate::gateway::Admitted) once authorization also
+/// A successfully acquired slot: the permit plus how long the request
+/// queued first, if it did ([`None`] means a free slot admitted it
+/// immediately — the gateway records the wait into its per-route
+/// queue-wait histogram). The gateway folds this into its own
+/// [`Admitted`](crate::gateway::Admitted) once authorization also
 /// passes.
 #[derive(Debug)]
 pub(crate) struct Acquired {
     pub permit: Permit,
-    pub waited: bool,
+    pub queue_wait: Option<Duration>,
 }
 
 /// An execution slot on one route. Dropping it frees the slot and wakes
@@ -128,13 +131,16 @@ impl RouteAdmission {
                 permit: Permit {
                     route: Arc::clone(self),
                 },
-                waited: false,
+                queue_wait: None,
             });
         }
         if st.queued >= self.budget.max_queued {
             return Err(overloaded());
         }
         st.queued += 1;
+        // Real time, not the (possibly simulated) request clock: the
+        // queue-wait histogram measures actual condvar occupancy.
+        let queued_at = Instant::now();
         loop {
             // Real-time slices so a frozen simulated clock cannot park
             // the wait past a notification (see `deadline` module docs).
@@ -154,7 +160,7 @@ impl RouteAdmission {
                     permit: Permit {
                         route: Arc::clone(self),
                     },
-                    waited: true,
+                    queue_wait: Some(queued_at.elapsed()),
                 });
             }
             if deadline.expired() {
@@ -190,7 +196,7 @@ mod tests {
 
         let p1 = route.acquire(&d, &draining, 25).unwrap();
         let p2 = route.acquire(&d, &draining, 25).unwrap();
-        assert!(!p1.waited && !p2.waited);
+        assert!(p1.queue_wait.is_none() && p2.queue_wait.is_none());
         assert_eq!((route.active(), route.queued()), (2, 0));
 
         // Third would queue; occupy the queue slot from another thread,
@@ -211,7 +217,10 @@ mod tests {
         // Freeing one slot admits the queued waiter.
         drop(p1.permit);
         let admitted = waiter.join().unwrap().unwrap();
-        assert!(admitted.waited, "queued request records its wait");
+        assert!(
+            admitted.queue_wait.is_some(),
+            "queued request records its wait"
+        );
         assert_eq!((route.active(), route.queued()), (2, 0));
         drop(admitted.permit);
         drop(p2.permit);

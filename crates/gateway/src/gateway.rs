@@ -8,6 +8,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use cryptext_common::hash::{fx_hash_bytes, fx_hash_str};
+use cryptext_common::metrics::MetricsRegistry;
 use cryptext_common::{failpoint, par, Error, Result};
 use cryptext_core::database::TokenDatabase;
 use cryptext_core::lookup::{LookupHit, LookupParams};
@@ -165,7 +166,9 @@ impl<S: TokenStore + Send + Sync + 'static> std::fmt::Debug for Gateway<S> {
 impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
     /// Front `service` with the gateway, pre-growing the shared worker
     /// pool to the configured concurrency so steady-state dispatches
-    /// never pay a thread spawn.
+    /// never pay a thread spawn. The gateway's counters and queue-wait
+    /// histograms register with the service's [`MetricsRegistry`] here —
+    /// one gateway per service instance (duplicate registration panics).
     pub fn new(service: Arc<CryptextService<S>>, config: GatewayConfig) -> Self {
         par::ensure_pool_capacity(config.total_concurrency());
         let routes = [
@@ -174,6 +177,8 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
             RouteAdmission::new(config.perturb),
             RouteAdmission::new(config.listening),
         ];
+        let stats = Arc::new(GatewayStats::default());
+        stats.register(service.metrics());
         Gateway {
             service,
             config,
@@ -181,7 +186,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
             flights: Arc::new(SingleFlight::new()),
             generation: AtomicU64::new(0),
             draining: AtomicBool::new(false),
-            stats: Arc::new(GatewayStats::default()),
+            stats,
         }
     }
 
@@ -195,26 +200,46 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         &self.config
     }
 
-    /// Counters plus point-in-time gauges.
+    /// Counters plus point-in-time gauges — a projection of the same
+    /// registry cells `GET /metrics` renders ([`Self::metrics_text`]):
+    /// `queue_waits` is the summed count of the per-route queue-wait
+    /// histograms, everything else reads its registered counter.
     pub fn stats(&self) -> GatewayStatsSnapshot {
         let s = &self.stats;
-        let relaxed = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let active_now: usize = self.routes.iter().map(|r| r.active()).sum();
+        let queued_now: usize = self.routes.iter().map(|r| r.queued()).sum();
+        s.active_now.set(active_now as i64);
+        s.queued_now.set(queued_now as i64);
         GatewayStatsSnapshot {
-            admitted: relaxed(&s.admitted),
-            queue_waits: relaxed(&s.queue_waits),
-            shed_queue_full: relaxed(&s.shed_queue_full),
-            shed_draining: relaxed(&s.shed_draining),
-            queue_deadline_expired: relaxed(&s.queue_deadline_expired),
-            executions: relaxed(&s.executions),
-            retries: relaxed(&s.retries),
-            completed_ok: relaxed(&s.completed_ok),
-            failed: relaxed(&s.failed),
-            deadline_exceeded: relaxed(&s.deadline_exceeded),
-            coalesced_followers: relaxed(&s.coalesced_followers),
-            promoted_followers: relaxed(&s.promoted_followers),
-            active_now: self.routes.iter().map(|r| r.active()).sum(),
-            queued_now: self.routes.iter().map(|r| r.queued()).sum(),
+            admitted: s.admitted.get(),
+            queue_waits: s.queue_waits_total(),
+            shed_queue_full: s.shed_queue_full.get(),
+            shed_draining: s.shed_draining.get(),
+            queue_deadline_expired: s.queue_deadline_expired.get(),
+            executions: s.executions.get(),
+            retries: s.retries.get(),
+            completed_ok: s.completed_ok.get(),
+            failed: s.failed.get(),
+            deadline_exceeded: s.deadline_exceeded.get(),
+            coalesced_followers: s.coalesced_followers.get(),
+            promoted_followers: s.promoted_followers.get(),
+            active_now,
+            queued_now,
         }
+    }
+
+    /// The service's metrics registry — the gateway's instruments live
+    /// in it alongside every other layer's.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.service.metrics()
+    }
+
+    /// The `GET /metrics` body: every registered instrument in
+    /// Prometheus text exposition format, with the point-in-time gauges
+    /// (active/queued) refreshed first.
+    pub fn metrics_text(&self) -> String {
+        let _ = self.stats(); // refresh active_now / queued_now gauges
+        self.service.metrics().render_prometheus()
     }
 
     /// The unified operator surface: every layer's counters in one
@@ -311,18 +336,14 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
                 f,
             ),
             Join::Follower(flight) => {
-                self.stats
-                    .coalesced_followers
-                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.coalesced_followers.inc();
                 match flights.wait(&flight, &deadline) {
                     FollowerOutcome::Settled(result) => {
                         self.count_outcome(&result);
                         result
                     }
                     FollowerOutcome::Promoted => {
-                        self.stats
-                            .promoted_followers
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.stats.promoted_followers.inc();
                         self.execute(
                             permit,
                             deadline,
@@ -332,7 +353,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
                         )
                     }
                     FollowerOutcome::TimedOut => {
-                        self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        self.stats.deadline_exceeded.inc();
                         Err(Error::DeadlineExceeded {
                             budget_ms: deadline.budget_ms(),
                         })
@@ -355,7 +376,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         );
         let retries = opts.max_retries.unwrap_or(self.config.max_retries);
         if self.is_draining() {
-            self.stats.shed_draining.fetch_add(1, Ordering::Relaxed);
+            self.stats.shed_draining.inc();
             return Err(Error::Overloaded {
                 retry_after_ms: self.config.shed_retry_after_ms,
             });
@@ -365,22 +386,20 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
             .inspect_err(|e| match e {
                 Error::Overloaded { .. } => {
                     if self.is_draining() {
-                        self.stats.shed_draining.fetch_add(1, Ordering::Relaxed);
+                        self.stats.shed_draining.inc();
                     } else {
-                        self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                        self.stats.shed_queue_full.inc();
                     }
                 }
                 Error::DeadlineExceeded { .. } => {
-                    self.stats
-                        .queue_deadline_expired
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.stats.queue_deadline_expired.inc();
                 }
                 _ => {}
             })?;
-        let Acquired { permit, waited } = acquired;
-        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
-        if waited {
-            self.stats.queue_waits.fetch_add(1, Ordering::Relaxed);
+        let Acquired { permit, queue_wait } = acquired;
+        self.stats.admitted.inc();
+        if let Some(wait) = queue_wait {
+            self.stats.queue_wait_us[route.index()].observe(wait.as_micros() as u64);
         }
         // Authorization runs *after* admission (a revocation while the
         // request queued rejects it here, deterministically) and charges
@@ -405,7 +424,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         flight: Option<(u64, Arc<SingleFlight<V>>)>,
         f: RequestBody<S, V>,
     ) -> Result<V> {
-        self.stats.executions.fetch_add(1, Ordering::Relaxed);
+        self.stats.executions.inc();
         let completion = Arc::new(Completion::new());
         let job = {
             let completion = Arc::clone(&completion);
@@ -440,7 +459,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
                 result
             }
             None => {
-                self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                self.stats.deadline_exceeded.inc();
                 Err(Error::DeadlineExceeded {
                     budget_ms: deadline.budget_ms(),
                 })
@@ -454,7 +473,7 @@ impl<S: TokenStore + Send + Sync + 'static> Gateway<S> {
         } else {
             &self.stats.failed
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
     // ---- typed endpoints ------------------------------------------------
@@ -692,7 +711,8 @@ where
             Ok(v) => return Ok(v),
             Err(e) if e.is_retryable() && attempt < max_retries && !deadline.expired() => {
                 attempt += 1;
-                let nonce = stats.retries.fetch_add(1, Ordering::Relaxed);
+                stats.retries.inc();
+                let nonce = stats.retry_nonce.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(Duration::from_millis(backoff_ms(
                     backoff_base_ms,
                     attempt,

@@ -46,6 +46,8 @@ pub mod stats;
 
 use std::sync::atomic::AtomicU64;
 
+use cryptext_common::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+
 pub use deadline::Deadline;
 pub use envelope::{CacheDisposition, Request, Response, RouteOutput, RouteParams};
 pub use gateway::{CallOptions, DrainReport, Gateway};
@@ -186,22 +188,139 @@ impl GatewayConfig {
     }
 }
 
-/// Monotone counters the gateway maintains; read them through
-/// [`Gateway::stats`], which adds the point-in-time gauges.
+/// The gateway's instrument bundle: registry-native counters plus the
+/// per-route queue-wait histograms. Read them through
+/// [`Gateway::stats`], which projects the point-in-time snapshot, or
+/// through the service's [`MetricsRegistry`] once
+/// [`GatewayStats::register`] has run (the handles share cells, so both
+/// views are always the same numbers).
 #[derive(Debug, Default)]
 pub(crate) struct GatewayStats {
-    pub admitted: AtomicU64,
-    pub queue_waits: AtomicU64,
-    pub shed_queue_full: AtomicU64,
-    pub shed_draining: AtomicU64,
-    pub queue_deadline_expired: AtomicU64,
-    pub executions: AtomicU64,
-    pub retries: AtomicU64,
-    pub completed_ok: AtomicU64,
-    pub failed: AtomicU64,
-    pub deadline_exceeded: AtomicU64,
-    pub coalesced_followers: AtomicU64,
-    pub promoted_followers: AtomicU64,
+    pub admitted: Counter,
+    pub shed_queue_full: Counter,
+    pub shed_draining: Counter,
+    pub queue_deadline_expired: Counter,
+    pub executions: Counter,
+    pub retries: Counter,
+    pub completed_ok: Counter,
+    pub failed: Counter,
+    pub deadline_exceeded: Counter,
+    pub coalesced_followers: Counter,
+    pub promoted_followers: Counter,
+    /// Queue wait per admitted-after-waiting request, µs, indexed by
+    /// [`RouteClass::index`]. The legacy `queue_waits` counter is now a
+    /// projection: the sum of these histograms' observation counts.
+    pub queue_wait_us: [Histogram; 4],
+    /// Requests executing right now; refreshed on every snapshot/render.
+    pub active_now: Gauge,
+    /// Requests queued right now; refreshed on every snapshot/render.
+    pub queued_now: Gauge,
+    /// Backoff jitter nonce: kept separate from the `retries` counter so
+    /// each retry draws a unique value even under concurrent increments
+    /// (a get-then-inc on the counter could hand two retriers the same
+    /// jitter).
+    pub retry_nonce: AtomicU64,
+}
+
+impl GatewayStats {
+    /// Register every gateway instrument with `registry` under the
+    /// workspace `cryptext_gateway_*` names. Call once per registry;
+    /// duplicate names panic — the gateway owns its service's registry
+    /// slice, so construct at most one gateway per service instance.
+    pub(crate) fn register(&self, registry: &MetricsRegistry) {
+        registry.register_counter(
+            "cryptext_gateway_admitted_total",
+            "Requests that passed admission (straight in or after queueing)",
+            &[],
+            &self.admitted,
+        );
+        registry.register_counter(
+            "cryptext_gateway_shed_queue_full_total",
+            "Requests shed because the wait queue was full",
+            &[],
+            &self.shed_queue_full,
+        );
+        registry.register_counter(
+            "cryptext_gateway_shed_draining_total",
+            "Requests shed because the gateway was draining",
+            &[],
+            &self.shed_draining,
+        );
+        registry.register_counter(
+            "cryptext_gateway_queue_deadline_expired_total",
+            "Queued requests whose deadline expired before a slot freed",
+            &[],
+            &self.queue_deadline_expired,
+        );
+        registry.register_counter(
+            "cryptext_gateway_executions_total",
+            "Execution jobs dispatched (leaders and uncoalesced calls)",
+            &[],
+            &self.executions,
+        );
+        registry.register_counter(
+            "cryptext_gateway_retries_total",
+            "Retry attempts across all requests",
+            &[],
+            &self.retries,
+        );
+        registry.register_counter(
+            "cryptext_gateway_completed_ok_total",
+            "Requests that returned Ok to their caller",
+            &[],
+            &self.completed_ok,
+        );
+        registry.register_counter(
+            "cryptext_gateway_failed_total",
+            "Requests that returned an error (sheds and detaches excluded)",
+            &[],
+            &self.failed,
+        );
+        registry.register_counter(
+            "cryptext_gateway_deadline_exceeded_total",
+            "Callers that detached with DeadlineExceeded",
+            &[],
+            &self.deadline_exceeded,
+        );
+        registry.register_counter(
+            "cryptext_gateway_coalesced_followers_total",
+            "Requests that attached to an in-flight leader instead of executing",
+            &[],
+            &self.coalesced_followers,
+        );
+        registry.register_counter(
+            "cryptext_gateway_promoted_followers_total",
+            "Followers promoted to leader after a retryable leader failure",
+            &[],
+            &self.promoted_followers,
+        );
+        for route in RouteClass::ALL {
+            registry.register_histogram(
+                "cryptext_gateway_queue_wait_us",
+                "Admission queue wait per queued-then-admitted request (microseconds)",
+                &[("route", route.name())],
+                &self.queue_wait_us[route.index()],
+            );
+        }
+        registry.register_gauge(
+            "cryptext_gateway_active_now",
+            "Requests executing right now, across all routes",
+            &[],
+            &self.active_now,
+        );
+        registry.register_gauge(
+            "cryptext_gateway_queued_now",
+            "Requests waiting in admission queues right now",
+            &[],
+            &self.queued_now,
+        );
+    }
+
+    /// Admitted requests that queued first, across all routes — the
+    /// legacy `queue_waits` counter as a histogram-count projection.
+    pub(crate) fn queue_waits_total(&self) -> u64 {
+        self.queue_wait_us.iter().map(|h| h.count()).sum()
+    }
 }
 
 /// A point-in-time copy of the gateway's counters and gauges.

@@ -8,6 +8,7 @@
 //! | `/normalize` | POST | body (UTF-8 text) | `k`, `d`, `edit_penalty`, `prior_weight`, `max_candidates` |
 //! | `/perturb` | POST | body (UTF-8 text) | `ratio`, `k`, `d`, `case_sensitive`, `observed_only`, `seed` |
 //! | `/stats` | GET | — | — |
+//! | `/metrics` | GET | — | — |
 //! | `/healthz` | GET | — | — |
 //!
 //! Every API route also takes `deadline_ms` and `max_retries` as
@@ -30,6 +31,9 @@ pub(crate) enum Routed {
     Api(Request),
     /// `GET /stats` — the unified [`cryptext_gateway::StatsReport`].
     Stats,
+    /// `GET /metrics` — every registered instrument in Prometheus text
+    /// exposition format.
+    Metrics,
     /// `GET /healthz` — liveness probe.
     Health,
 }
@@ -151,8 +155,11 @@ pub(crate) fn route(req: &HttpRequest) -> Result<Routed, WireResponse> {
             Ok(Routed::Api(Request::perturb(text, params).with_opts(opts)))
         }
         ("GET", "/stats") => Ok(Routed::Stats),
+        ("GET", "/metrics") => Ok(Routed::Metrics),
         ("GET", "/healthz") => Ok(Routed::Health),
-        (_, "/lookup") | (_, "/stats") | (_, "/healthz") => Err(method_not_allowed("GET")),
+        (_, "/lookup") | (_, "/stats") | (_, "/metrics") | (_, "/healthz") => {
+            Err(method_not_allowed("GET"))
+        }
         (_, "/normalize") | (_, "/perturb") => Err(method_not_allowed("POST")),
         _ => Err(WireResponse::error(
             404,
@@ -313,9 +320,18 @@ mod tests {
     }
 
     #[test]
-    fn stats_and_health_route() {
+    fn stats_metrics_and_health_route() {
         assert!(matches!(route(&get("/stats")), Ok(Routed::Stats)));
+        assert!(matches!(route(&get("/metrics")), Ok(Routed::Metrics)));
         assert!(matches!(route(&get("/healthz")), Ok(Routed::Health)));
+        let resp = route(&req("POST", "/metrics", &[], Vec::new()))
+            .err()
+            .unwrap();
+        assert_eq!(resp.status, 405);
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(n, v)| *n == "Allow" && v == "GET"));
     }
 
     #[test]

@@ -29,10 +29,11 @@
 use std::io::Write;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cryptext_common::failpoint::{self, FailAction};
+use cryptext_common::metrics::{self, Counter, Histogram, MetricsRegistry};
 use cryptext_common::{par, Error, Result};
 use cryptext_core::database::TokenDatabase;
 use cryptext_core::TokenStore;
@@ -57,6 +58,47 @@ struct Shared {
     shutdown: AtomicBool,
     open_conns: AtomicUsize,
     requests_served: AtomicU64,
+    metrics: HttpMetrics,
+}
+
+/// The wire layer's instruments, registered with the gateway's (i.e. the
+/// service's) registry at bind time: one request-handling latency
+/// histogram plus per-status response counters.
+struct HttpMetrics {
+    registry: Arc<MetricsRegistry>,
+    request_us: Histogram,
+    /// Status-labelled counters, created on first use of each status.
+    /// The mutex guards registration only (a handful of distinct
+    /// statuses per server lifetime); recording goes through the cloned
+    /// counter handle.
+    by_status: Mutex<Vec<(u16, Counter)>>,
+}
+
+impl HttpMetrics {
+    fn new(registry: &Arc<MetricsRegistry>) -> Self {
+        HttpMetrics {
+            registry: Arc::clone(registry),
+            request_us: registry.histogram(
+                "cryptext_http_request_us",
+                "Wire request handling time, routing to serialized response (microseconds)",
+            ),
+            by_status: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn status_counter(&self, status: u16) -> Counter {
+        let mut by_status = self.by_status.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, counter)) = by_status.iter().find(|(s, _)| *s == status) {
+            return counter.clone();
+        }
+        let counter = self.registry.counter_with(
+            "cryptext_http_responses_total",
+            "HTTP responses written, by status code (wire rejects included)",
+            &[("status", metrics::label_value(&status.to_string()))],
+        );
+        by_status.push((status, counter.clone()));
+        counter
+    }
 }
 
 /// Clonable remote control for a running server; `shutdown()` starts the
@@ -109,6 +151,7 @@ impl<S: TokenStore + Send + Sync + 'static> HttpServer<S> {
     ) -> Result<Self> {
         let listener = TcpListener::bind(addr).map_err(Error::Io)?;
         listener.set_nonblocking(true).map_err(Error::Io)?;
+        let metrics = HttpMetrics::new(gateway.metrics());
         Ok(HttpServer {
             gateway,
             config,
@@ -117,6 +160,7 @@ impl<S: TokenStore + Send + Sync + 'static> HttpServer<S> {
                 shutdown: AtomicBool::new(false),
                 open_conns: AtomicUsize::new(0),
                 requests_served: AtomicU64::new(0),
+                metrics,
             }),
         })
     }
@@ -242,17 +286,25 @@ fn handle_connection<S: TokenStore + Send + Sync + 'static>(
                 );
                 resp.close = true;
                 shared.requests_served.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.status_counter(resp.status).inc();
                 let _ = conn.stream.write_all(&resp.to_bytes());
                 return;
             }
             ReadOutcome::Request(request) => {
+                let started = Instant::now();
                 let draining = shared.shutdown.load(Ordering::Acquire);
                 let (mut resp, api_route) = respond(gateway, &request);
                 if !request.keep_alive || draining {
                     resp.close = true;
                 }
                 shared.requests_served.fetch_add(1, Ordering::Relaxed);
-                if !write_response(&mut conn.stream, &resp, api_route) || resp.close {
+                shared.metrics.status_counter(resp.status).inc();
+                let written = write_response(&mut conn.stream, &resp, api_route);
+                shared
+                    .metrics
+                    .request_us
+                    .observe(started.elapsed().as_micros() as u64);
+                if !written || resp.close {
                     return;
                 }
             }
@@ -274,6 +326,14 @@ fn respond<S: TokenStore + Send + Sync + 'static>(
         Routed::Health => (WireResponse::text(200, "ok\n"), false),
         Routed::Stats => {
             let mut resp = WireResponse::json(200, gateway.stats_report().to_json());
+            resp.headers.push(("Cache-Control", "no-store".to_string()));
+            (resp, false)
+        }
+        Routed::Metrics => {
+            let mut resp = WireResponse::text(200, &gateway.metrics_text());
+            // The Prometheus text exposition content type; scrapes must
+            // always see live counters.
+            resp.content_type = "text/plain; version=0.0.4";
             resp.headers.push(("Cache-Control", "no-store".to_string()));
             (resp, false)
         }

@@ -618,6 +618,114 @@ fn torn_write_cannot_poison_the_listener() {
     assert_eq!(after.read_response().status, 200, "listener poisoned");
 }
 
+/// A minimal Prometheus text-exposition (version 0.0.4) parser: every
+/// line must be a comment (`# HELP` / `# TYPE`) or a
+/// `name{labels} value` sample; returns the samples keyed by
+/// `name{labels}` exactly as rendered.
+fn parse_prometheus(body: &str) -> std::collections::HashMap<String, f64> {
+    let mut samples = std::collections::HashMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "unexpected comment line: {line:?}"
+            );
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line has no value: {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable sample value: {line:?}"));
+        assert!(
+            !series.contains(' '),
+            "series name has embedded spaces: {line:?}"
+        );
+        if let Some((_, labels)) = series.split_once('{') {
+            assert!(labels.ends_with('}'), "unbalanced labels: {line:?}");
+        }
+        let prior = samples.insert(series.to_string(), value);
+        assert!(prior.is_none(), "duplicate series {series:?}");
+    }
+    samples
+}
+
+/// `GET /metrics` over a real loopback socket: Prometheus text that a
+/// strict line parser accepts, served with `no-store`, and counters
+/// that equal the exact request mix this test just drove — the same
+/// registry every layer records into, scraped over the wire.
+#[test]
+fn metrics_endpoint_scrapes_the_live_registry() {
+    let srv = server();
+    let mut c = Client::connect(srv.addr);
+
+    // A known mix: two OK lookups on one key (cold fill + tier-1 hit)
+    // and one unauthorized request that never reaches the gateway.
+    c.send(&get_req("/lookup?q=vaccine", Some(&srv.token)));
+    assert_eq!(c.read_response().status, 200);
+    c.send(&get_req("/lookup?q=vaccine", Some(&srv.token)));
+    assert_eq!(c.read_response().status, 200);
+    c.send(&get_req("/lookup?q=x", None));
+    let denied = c.read_response();
+    assert_eq!(denied.status, 401);
+
+    c.send(&get_req("/metrics", None));
+    let scrape = c.read_response();
+    assert_eq!(scrape.status, 200);
+    assert_eq!(scrape.header("Cache-Control"), Some("no-store"));
+    assert_eq!(
+        scrape.header("Content-Type"),
+        Some("text/plain; version=0.0.4")
+    );
+
+    let samples = parse_prometheus(&scrape.body);
+
+    // Wire layer: per-status counts match the responses asserted above
+    // (the scrape renders before counting itself, so /metrics' own 200
+    // is not in its body).
+    assert_eq!(
+        samples["cryptext_http_responses_total{status=\"200\"}"],
+        2.0
+    );
+    assert_eq!(
+        samples["cryptext_http_responses_total{status=\"401\"}"],
+        1.0
+    );
+    assert_eq!(samples["cryptext_http_request_us_count"], 3.0);
+
+    // Gateway layer: only the two authorized lookups were admitted, on
+    // free slots (no queue waits on any route).
+    assert_eq!(samples["cryptext_gateway_admitted_total"], 2.0);
+    assert_eq!(samples["cryptext_gateway_completed_ok_total"], 2.0);
+    for route in ["lookup", "normalize", "perturb", "listening"] {
+        assert_eq!(
+            samples[&format!("cryptext_gateway_queue_wait_us_count{{route=\"{route}\"}}")],
+            0.0
+        );
+    }
+    assert_eq!(samples["cryptext_gateway_active_now"], 0.0);
+
+    // Cache + engine layers: one cold fill, one tier-1 hit, and the
+    // cold execution left stage timings behind.
+    assert_eq!(samples["cryptext_cache_misses_total{tier=\"lookup\"}"], 1.0);
+    assert_eq!(samples["cryptext_cache_hits_total{tier=\"lookup\"}"], 1.0);
+    assert_eq!(samples["cryptext_lookup_encode_us_count"], 1.0);
+    assert_eq!(samples["cryptext_lookup_walk_us_count"], 1.0);
+
+    // The wire numbers agree with the in-process registry view (which
+    // by now also counted the scrape's own 200).
+    let snap = srv.gateway.metrics().snapshot();
+    assert_eq!(
+        snap.counter_labeled("cryptext_http_responses_total", "status", "200"),
+        3
+    );
+    assert_eq!(snap.counter_total("cryptext_gateway_admitted_total"), 2);
+}
+
 /// HTTP/1.0 defaults to close; `GET /stats` is a complete operator
 /// report (gateway + cache tiers + draining) without auth.
 #[test]

@@ -48,6 +48,17 @@ const TICK: Duration = Duration::from_millis(2);
 /// Generous bound for any single choreography step (single-core debug CI).
 const STEP_TIMEOUT: Duration = Duration::from_secs(20);
 
+/// Queue-wait observations for one route, read from the workspace
+/// metrics registry (the per-route histogram the gateway records into;
+/// the snapshot's `queue_waits` is the sum of these counts).
+fn queue_waits_on(gw: &Gateway<TokenDatabase>, route: &str) -> u64 {
+    gw.metrics().snapshot().histogram_count_labeled(
+        "cryptext_gateway_queue_wait_us",
+        "route",
+        route,
+    )
+}
+
 /// Spin until `cond` holds or fail the test with `what`.
 fn eventually(what: &str, cond: impl Fn() -> bool) {
     let start = Instant::now();
@@ -184,7 +195,15 @@ fn a_10x_storm_sheds_fast_and_serves_the_admitted_byte_identically() {
     let s = gw.stats();
     assert_eq!(s.admitted, 4);
     assert_eq!(s.completed_ok, 4);
-    assert_eq!(s.queue_waits, 2, "both queue seats were eventually served");
+    assert_eq!(
+        queue_waits_on(&gw, "lookup"),
+        2,
+        "both queue seats were eventually served (per-route histogram)"
+    );
+    assert_eq!(
+        s.queue_waits, 2,
+        "the snapshot counter projects the same histogram counts"
+    );
     assert_eq!(
         s.retries, 0,
         "shed is pre-retry: no budget burned on the excess"
@@ -720,7 +739,7 @@ fn a_mixed_hit_miss_storm_accounts_queue_waits_only_for_queued_hits() {
         .unwrap();
     let warmed = svc.cache_stats();
     assert_eq!((warmed.hits, warmed.misses), (0, 2));
-    assert_eq!(gw.stats().queue_waits, 0, "warming found free slots");
+    assert_eq!(queue_waits_on(&gw, "lookup"), 0, "warming found free slots");
 
     // Cold key: a latched leader occupies one execution slot...
     let flights: Arc<SingleFlight<Vec<LookupHit>>> = Arc::new(SingleFlight::new());
@@ -787,7 +806,7 @@ fn a_mixed_hit_miss_storm_accounts_queue_waits_only_for_queued_hits() {
         .collect();
     eventually("excess warm hits shed", || gw.stats().shed_queue_full == 4);
     assert_eq!(
-        gw.stats().queue_waits,
+        queue_waits_on(&gw, "lookup"),
         0,
         "nothing has finished a queue wait while the leader holds its slot"
     );
@@ -815,9 +834,18 @@ fn a_mixed_hit_miss_storm_accounts_queue_waits_only_for_queued_hits() {
 
     let s = gw.stats();
     assert_eq!(
-        s.queue_waits, 2,
+        queue_waits_on(&gw, "lookup"),
+        2,
         "exactly the two queued warm hits are accounted as waits"
     );
+    for other in ["normalize", "perturb", "listening"] {
+        assert_eq!(
+            queue_waits_on(&gw, other),
+            0,
+            "no waits bleed into the {other} lane"
+        );
+    }
+    assert_eq!(s.queue_waits, 2, "snapshot projection agrees");
     assert_eq!(s.executions, 5, "2 warmups + cold leader + 2 queued hits");
     assert_eq!(s.coalesced_followers, 1);
     assert_eq!(s.promoted_followers, 0);
